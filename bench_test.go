@@ -1,0 +1,310 @@
+package dvm
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§4 and §5), plus the ablations DESIGN.md calls
+// out. Each benchmark executes the corresponding experiment from
+// internal/eval and reports its headline numbers as benchmark metrics;
+// run with -v to also see the rendered tables.
+//
+//	go test -bench=. -benchmem                # scaled suite (divisor 4)
+//	DVM_BENCH_SCALE=1 go test -bench=Fig      # paper-scale workloads
+//
+// Use -benchtime=1x for a single pass per experiment.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"dvm/internal/eval"
+	"dvm/internal/workload"
+)
+
+// benchScale returns the workload divisor (1 = paper scale).
+func benchScale() int {
+	if s := os.Getenv("DVM_BENCH_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 4
+}
+
+func benchSpecs() []workload.Spec {
+	return eval.ScaleSpecs(workload.Benchmarks(), benchScale())
+}
+
+func benchApplets() []workload.Spec {
+	return eval.ScaleSpecs(workload.Applets(), benchScale())
+}
+
+// BenchmarkFig5WorkloadInventory regenerates the Figure 5 benchmark
+// table (application suite inventory).
+func BenchmarkFig5WorkloadInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, text, err := eval.Fig5(benchSpecs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			total := 0
+			for _, r := range rows {
+				total += r.SizeBytes
+			}
+			b.ReportMetric(float64(total), "suite-bytes")
+		}
+	}
+}
+
+// BenchmarkFig6EndToEnd regenerates Figure 6: end-to-end application
+// performance under monolithic and distributed service architectures.
+func BenchmarkFig6EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, text, err := eval.Fig6(benchSpecs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			var mono, dvm, cached time.Duration
+			for _, r := range rows {
+				mono += r.Monolithic
+				dvm += r.DVM
+				cached += r.DVMCached
+			}
+			b.ReportMetric(float64(dvm)/float64(mono), "dvm-vs-mono-ratio")
+			b.ReportMetric(float64(cached)/float64(mono), "cached-vs-mono-ratio")
+		}
+	}
+}
+
+// BenchmarkFig7ClientVerification regenerates Figure 7: client-side
+// verification overhead.
+func BenchmarkFig7ClientVerification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, text, err := eval.Fig7(benchSpecs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			var mono, dvm time.Duration
+			for _, r := range rows {
+				mono += r.MonolithicCost
+				dvm += r.DVMCost
+			}
+			b.ReportMetric(mono.Seconds()*1000, "mono-verify-ms")
+			b.ReportMetric(dvm.Seconds()*1000, "dvm-client-ms")
+		}
+	}
+}
+
+// BenchmarkFig8CheckCensus regenerates the Figure 8 table: static vs
+// dynamic verifier checks.
+func BenchmarkFig8CheckCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, text, err := eval.Fig8(benchSpecs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			var static, dynamic int64
+			for _, r := range rows {
+				static += int64(r.StaticChecks)
+				dynamic += r.DynamicChecks
+			}
+			b.ReportMetric(float64(static), "static-checks")
+			b.ReportMetric(float64(dynamic), "dynamic-checks")
+		}
+	}
+}
+
+// BenchmarkFig9SecurityMicro regenerates the Figure 9 security
+// microbenchmark table.
+func BenchmarkFig9SecurityMicro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, text, err := eval.Fig9(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			for _, r := range rows {
+				if r.Operation == "Open File" && r.JDKCheck > 0 && r.DVMCheck > 0 {
+					b.ReportMetric(float64(r.JDKCheck)/float64(r.DVMCheck), "openfile-jdk-over-dvm")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig10ProxyScaling regenerates Figure 10: sustained proxy
+// throughput versus number of simultaneous clients (caching disabled —
+// the worst case).
+func BenchmarkFig10ProxyScaling(b *testing.B) {
+	counts := []int{1, 10, 25, 50, 100, 150, 200, 250, 300}
+	if benchScale() > 1 {
+		counts = []int{1, 10, 25, 50, 100}
+	}
+	cfg := eval.DefaultFig10Config()
+	for i := 0; i < b.N; i++ {
+		rows, text, err := eval.Fig10(counts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.ThroughputBps/1024, "peak-KBps")
+		}
+	}
+}
+
+// BenchmarkAppletFetch regenerates the §4.1.2 applet-download
+// measurement (Internet latency vs proxy overhead vs cached fetch).
+func BenchmarkAppletFetch(b *testing.B) {
+	n := 100
+	if benchScale() > 1 {
+		n = 25
+	}
+	for i := 0; i < b.N; i++ {
+		row, text, err := eval.AppletFetch(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			b.ReportMetric(row.OverheadPercent, "proxy-overhead-pct")
+		}
+	}
+}
+
+// BenchmarkFig11Startup regenerates Figure 11: application start-up
+// time as a function of network bandwidth.
+func BenchmarkFig11Startup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, text, err := eval.Fig11(benchApplets(), eval.StandardBandwidthsKBps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			b.ReportMetric(float64(len(points)), "points")
+		}
+	}
+}
+
+// BenchmarkFig12Repartition regenerates Figure 12: percent improvement
+// in start-up time with the repartitioning optimization service.
+func BenchmarkFig12Repartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, text, err := eval.Fig12(benchApplets(), eval.StandardBandwidthsKBps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			best := 0.0
+			for _, p := range points {
+				if p.ImprovementPct > best {
+					best = p.ImprovementPct
+				}
+			}
+			b.ReportMetric(best, "best-improvement-pct")
+		}
+	}
+}
+
+// BenchmarkAblationRPCVerification quantifies the §2 strawman: moving
+// verification "intact" behind per-check RPCs instead of factoring it.
+func BenchmarkAblationRPCVerification(b *testing.B) {
+	spec := benchSpecs()[0]
+	for i := 0; i < b.N; i++ {
+		res, text, err := eval.AblationRPC(spec, 2*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			b.ReportMetric(res.Slowdown, "naive-slowdown-x")
+		}
+	}
+}
+
+// BenchmarkAblationEagerLink contrasts lazy per-method link checks with
+// eager whole-class checking (§3.1's lazy scheme).
+func BenchmarkAblationEagerLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, text, err := eval.AblationEager()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			b.ReportMetric(float64(res.EagerClassesLoaded-res.LazyClassesLoaded), "classes-saved")
+		}
+	}
+}
+
+// BenchmarkAblationSecurityCache contrasts the enforcement manager's
+// client-side cache with per-check remote decisions.
+func BenchmarkAblationSecurityCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, text, err := eval.AblationSecurityCache(2000, 200*time.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			b.ReportMetric(res.Slowdown, "remote-slowdown-x")
+		}
+	}
+}
+
+// BenchmarkAblationReplication shows the §2 remedy for the Figure 10
+// collapse: replicated proxies restore throughput once one server's
+// memory saturates.
+func BenchmarkAblationReplication(b *testing.B) {
+	clients := 300
+	reps := []int{1, 2}
+	cfg := eval.DefaultFig10Config()
+	cfg.Duration = 2 * time.Second
+	if benchScale() > 1 {
+		// Scaled run: fewer clients, so shrink the memory budget to keep
+		// one replica saturated (the effect under measurement).
+		clients = 40
+		cfg.MemoryBudget = 4 << 20
+	}
+	for i := 0; i < b.N; i++ {
+		rows, text, err := eval.AblationReplication(clients, reps, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			if len(rows) >= 2 && rows[0].ThroughputBps > 0 {
+				b.ReportMetric(rows[len(rows)-1].ThroughputBps/rows[0].ThroughputBps, "replication-speedup-x")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationReflection reproduces the §4.3 anecdote: the
+// reflective RTVerifier the authors abandoned vs the self-describing
+// attribute path.
+func BenchmarkAblationReflection(b *testing.B) {
+	spec := benchSpecs()[0]
+	for i := 0; i < b.N; i++ {
+		res, text, err := eval.AblationReflection(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", text)
+			b.ReportMetric(res.Slowdown, "reflective-slowdown-x")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command dvmasm assembles Jasmin-style assembly into classfiles and
+// disassembles classfiles back into assembly (a text form that
+// reassembles byte-compatibly for every construct this system emits).
+//
+// Usage:
+//
+//	dvmasm file.j                 # assemble -> file.class (alongside input)
+//	dvmasm -o out.class file.j
+//	dvmasm -d file.class          # disassemble -> stdout
+//	dvmasm -d -o file.j file.class
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvm/internal/asm"
+	"dvm/internal/classfile"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble a .class file to assembly")
+	out := flag.String("o", "", "output path (default: derived from input, or stdout for -d)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dvmasm [-d] [-o out] file")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if *dis {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			fatal(err)
+		}
+		text, err := asm.Print(cf)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			fmt.Print(text)
+			return
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	classBytes, err := asm.AssembleBytes(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	dest := *out
+	if dest == "" {
+		dest = strings.TrimSuffix(path, ".j") + ".class"
+	}
+	if err := os.WriteFile(dest, classBytes, 0o644); err != nil {
+		fatal(err)
+	}
+	cf, _ := classfile.Parse(classBytes)
+	fmt.Printf("assembled %s -> %s (%s, %d bytes)\n", path, dest, cf.Name(), len(classBytes))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dvmasm: %v\n", err)
+	os.Exit(1)
+}

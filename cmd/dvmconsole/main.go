@@ -1,0 +1,29 @@
+// Command dvmconsole runs the DVM's remote administration console (§3.3):
+// the central host that receives client handshakes and audit events and
+// serves the stored trail, call graphs, and first-use profiles. Because
+// the log lives here, a compromised client can stop generating events
+// but cannot tamper with what was already recorded.
+//
+// Usage:
+//
+//	dvmconsole -addr :8643
+//
+// Endpoints: POST /handshake, POST/GET /events, GET /sessions,
+// GET /callgraph?session=..., GET /firstuse?session=...
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"dvm/internal/monitor"
+)
+
+func main() {
+	addr := flag.String("addr", ":8643", "HTTP listen address")
+	flag.Parse()
+	coll := monitor.NewCollector()
+	log.Printf("dvmconsole: administration console on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, coll.Handler()))
+}

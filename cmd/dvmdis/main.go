@@ -1,0 +1,108 @@
+// Command dvmdis disassembles Java classfiles (javap-style), including
+// the DVM's quickened native-format extension opcodes.
+//
+// Usage:
+//
+//	dvmdis file.class...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dvmdis file.class...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		if err := dis(path); err != nil {
+			fmt.Fprintf(os.Stderr, "dvmdis: %s: %v\n", path, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func dis(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("class %s extends %s", cf.Name(), cf.SuperName())
+	if ifs := cf.InterfaceNames(); len(ifs) > 0 {
+		fmt.Printf(" implements %v", ifs)
+	}
+	fmt.Printf("  (version %d.%d, %d pool entries, %d bytes)\n",
+		cf.MajorVersion, cf.MinorVersion, cf.Pool.Size(), len(data))
+	for _, f := range cf.Fields {
+		fmt.Printf("  field %s %s (flags 0x%04x)\n", cf.MemberName(f), cf.MemberDescriptor(f), f.AccessFlags)
+	}
+	for _, m := range cf.Methods {
+		fmt.Printf("  method %s%s (flags 0x%04x)\n", cf.MemberName(m), cf.MemberDescriptor(m), m.AccessFlags)
+		code, err := cf.CodeOf(m)
+		if err != nil {
+			return err
+		}
+		if code == nil {
+			continue
+		}
+		fmt.Printf("    max_stack=%d max_locals=%d code=%d bytes\n",
+			code.MaxStack, code.MaxLocals, len(code.Bytecode))
+		text, err := bytecode.Disassemble(code.Bytecode, cf.Pool)
+		if err != nil {
+			// The class may carry DVM native-format opcodes; retry with
+			// the extended decoder via a plain listing.
+			insts, err2 := bytecode.DecodeExt(code.Bytecode)
+			if err2 != nil {
+				return err
+			}
+			for _, in := range insts {
+				fmt.Printf("    %5d: %s\n", in.PC, in.String())
+			}
+			continue
+		}
+		for _, line := range splitLines(text) {
+			fmt.Printf("    %s\n", line)
+		}
+		for _, h := range code.Handlers {
+			ct := "any"
+			if h.CatchType != 0 {
+				ct, _ = cf.Pool.ClassName(h.CatchType)
+			}
+			fmt.Printf("    handler [%d,%d) -> %d catch %s\n", h.StartPC, h.EndPC, h.HandlerPC, ct)
+		}
+	}
+	for _, a := range cf.Attributes {
+		fmt.Printf("  attribute %s (%d bytes)\n", cf.AttrName(a), len(a.Info))
+	}
+	return nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Command dvmgen exports generated workload applications as .class
+// files on disk, producing an origin directory for dvmproxy and a main
+// class for dvmclient.
+//
+// Usage:
+//
+//	dvmgen -out ./classes                    # the whole Figure 5 suite
+//	dvmgen -out ./classes -app jlex -scale 4
+//	dvmgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dvm/internal/eval"
+	"dvm/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required unless -list)")
+	app := flag.String("app", "", "generate only this application (package name, e.g. jlex); empty = all")
+	applets := flag.Bool("applets", false, "also generate the Figure 11 applet suite")
+	scale := flag.Int("scale", 1, "workload scale divisor (1 = paper scale)")
+	list := flag.Bool("list", false, "list available applications")
+	flag.Parse()
+
+	specs := eval.ScaleSpecs(workload.Benchmarks(), *scale)
+	if *applets {
+		specs = append(specs, eval.ScaleSpecs(workload.Applets(), *scale)...)
+	}
+	if *list {
+		for _, s := range specs {
+			fmt.Printf("%-12s %-10s kind=%-10s classes=%d target=%dK main=%s\n",
+				s.Package, s.Name, s.Kind, s.Classes, s.TargetBytes/1024, s.MainClass())
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: dvmgen -out dir [-app pkg] [-applets] [-scale N]")
+		os.Exit(2)
+	}
+	for _, spec := range specs {
+		if *app != "" && spec.Package != *app {
+			continue
+		}
+		a, err := workload.Generate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		for name, data := range a.Classes {
+			path := filepath.Join(*out, filepath.FromSlash(name)+".class")
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%s: %d classes, %d bytes -> %s (run with -main %s)\n",
+			spec.Name, len(a.Classes), a.TotalBytes,
+			filepath.Join(*out, spec.Package), spec.MainClass())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dvmgen: %v\n", err)
+	os.Exit(1)
+}

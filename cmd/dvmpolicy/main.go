@@ -1,0 +1,61 @@
+// Command dvmpolicy validates and queries DVM security policies (the
+// XML-based access-matrix language of §3.2).
+//
+// Usage:
+//
+//	dvmpolicy policy.xml                         # validate and summarize
+//	dvmpolicy -query sid:permission:target policy.xml
+//	dvmpolicy -domain app/Main policy.xml        # resolve a codebase
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvm/internal/security"
+)
+
+func main() {
+	query := flag.String("query", "", "evaluate an access question, formatted sid:permission:target")
+	domain := flag.String("domain", "", "resolve the protection domain for a class name")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dvmpolicy [-query sid:perm:target] [-domain class] policy.xml")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvmpolicy: %v\n", err)
+		os.Exit(1)
+	}
+	pol, err := security.ParsePolicy(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvmpolicy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("policy OK: %d domains, %d assignments, %d resources, %d operation mappings\n",
+		len(pol.Domains), len(pol.Assigns), len(pol.Resources), len(pol.Operations))
+	for _, d := range pol.Domains {
+		fmt.Printf("  domain %s: %d grants\n", d.ID, len(d.Grants))
+	}
+	for _, o := range pol.Operations {
+		fmt.Printf("  check %s at %s.%s%s (target=%s)\n", o.Permission, o.Class, o.Method, o.Desc, o.TargetArg)
+	}
+	if *domain != "" {
+		fmt.Printf("domain(%s) = %q\n", *domain, pol.DomainFor(*domain))
+	}
+	if *query != "" {
+		parts := strings.SplitN(*query, ":", 3)
+		if len(parts) != 3 {
+			fmt.Fprintln(os.Stderr, "dvmpolicy: -query wants sid:permission:target")
+			os.Exit(2)
+		}
+		allowed := pol.Allowed(parts[0], parts[1], parts[2])
+		fmt.Printf("allowed(%s, %s, %s) = %v\n", parts[0], parts[1], parts[2], allowed)
+		if !allowed {
+			os.Exit(3)
+		}
+	}
+}

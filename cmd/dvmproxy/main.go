@@ -1,0 +1,92 @@
+// Command dvmproxy runs the DVM service proxy: it intercepts class
+// requests, applies the static service pipeline (verification, security
+// rewriting, auditing, compilation), caches results, and serves clients
+// over HTTP — the organization's single logical point of control.
+//
+// Usage:
+//
+//	dvmproxy -addr :8642 -origin ./classes [-policy policy.xml]
+//	         [-no-cache] [-no-compile] [-audit-log proxy-audit.log]
+//
+// The origin directory maps internal class names to files:
+// jlex/Main -> ./classes/jlex/Main.class.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dvm/internal/compiler"
+	"dvm/internal/monitor"
+	"dvm/internal/proxy"
+	"dvm/internal/rewrite"
+	"dvm/internal/security"
+	"dvm/internal/verifier"
+)
+
+// dirOrigin serves classfiles from a directory tree.
+type dirOrigin struct{ root string }
+
+func (d dirOrigin) Fetch(name string) ([]byte, error) {
+	if strings.Contains(name, "..") {
+		return nil, fmt.Errorf("origin: bad class name %q", name)
+	}
+	return os.ReadFile(filepath.Join(d.root, filepath.FromSlash(name)+".class"))
+}
+
+func main() {
+	addr := flag.String("addr", ":8642", "HTTP listen address")
+	originDir := flag.String("origin", "", "directory serving original .class files (required)")
+	policyPath := flag.String("policy", "", "security policy XML (omit to disable the security filter)")
+	noCache := flag.Bool("no-cache", false, "disable the proxy result cache")
+	diskCache := flag.String("disk-cache", "", "directory backing the cache on disk (survives restarts)")
+	noCompile := flag.Bool("no-compile", false, "disable the AOT compilation filter")
+	noAuditFilter := flag.Bool("no-audit", false, "disable the audit rewriting filter")
+	auditLog := flag.String("audit-log", "", "append the request audit trail to this file")
+	flag.Parse()
+	if *originDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: dvmproxy -origin dir [-addr :8642] [-policy policy.xml]")
+		os.Exit(2)
+	}
+
+	pipe := rewrite.NewPipeline(verifier.Filter())
+	if *policyPath != "" {
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			log.Fatalf("dvmproxy: %v", err)
+		}
+		pol, err := security.ParsePolicy(data)
+		if err != nil {
+			log.Fatalf("dvmproxy: %v", err)
+		}
+		pipe.Append(security.Filter(pol))
+	}
+	if !*noAuditFilter {
+		pipe.Append(monitor.Filter(monitor.Config{Methods: true, Skip: monitor.SkipInitializers}))
+	}
+	if !*noCompile {
+		pipe.Append(compiler.Filter())
+	}
+
+	cfg := proxy.Config{Pipeline: pipe, CacheEnabled: !*noCache, DiskCacheDir: *diskCache}
+	if *auditLog != "" {
+		f, err := os.OpenFile(*auditLog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatalf("dvmproxy: %v", err)
+		}
+		defer f.Close()
+		cfg.OnAudit = func(r proxy.RequestRecord) {
+			fmt.Fprintf(f, "client=%s arch=%s class=%s bytes=%d cached=%v rejected=%v dur=%s\n",
+				r.Client, r.Arch, r.Class, r.Bytes, r.CacheHit, r.Rejected, r.Duration)
+		}
+	}
+	p := proxy.New(dirOrigin{root: *originDir}, cfg)
+	log.Printf("dvmproxy: serving %s on %s (cache=%v, filters=%d)",
+		*originDir, *addr, !*noCache, len(pipe.Filters()))
+	log.Fatal(http.ListenAndServe(*addr, p.Handler()))
+}

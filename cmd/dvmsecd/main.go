@@ -1,0 +1,64 @@
+// Command dvmsecd runs the DVM's central security server (§3.2): the
+// single logical point of control for the organization's policy.
+// Enforcement managers on clients download their domain's rules from it
+// and learn of policy changes through the long-poll invalidation channel.
+//
+// Usage:
+//
+//	dvmsecd -addr :8644 -policy policy.xml
+//
+// SIGHUP-free policy updates: POST a new policy to /update (or restart).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"dvm/internal/security"
+)
+
+func main() {
+	addr := flag.String("addr", ":8644", "HTTP listen address")
+	policyPath := flag.String("policy", "", "policy XML (required)")
+	flag.Parse()
+	if *policyPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: dvmsecd -policy policy.xml [-addr :8644]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*policyPath)
+	if err != nil {
+		log.Fatalf("dvmsecd: %v", err)
+	}
+	pol, err := security.ParsePolicy(data)
+	if err != nil {
+		log.Fatalf("dvmsecd: %v", err)
+	}
+	vs := security.NewVersionedServer(security.NewServer(pol))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", vs.Handler())
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p2, err := security.ParsePolicy(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		vs.UpdatePolicy(p2)
+		fmt.Fprintf(w, "policy updated to version %d\n", vs.Version())
+	})
+	log.Printf("dvmsecd: security server on %s (policy %s, version %d)", *addr, *policyPath, vs.Version())
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

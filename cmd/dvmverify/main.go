@@ -1,0 +1,87 @@
+// Command dvmverify runs the DVM's static verification service over
+// classfiles: phases 1–3 plus link-assumption collection, optionally
+// rewriting the class into its self-verifying form (Figure 3 of the
+// paper).
+//
+// Usage:
+//
+//	dvmverify [-v] [-instrument] [-o dir] file.class...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dvm/internal/classfile"
+	"dvm/internal/verifier"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print the check census and collected assumptions")
+	instrument := flag.Bool("instrument", false, "rewrite into self-verifying form")
+	outDir := flag.String("o", "", "output directory for instrumented classes (default: alongside input, .dvm.class suffix)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dvmverify [-v] [-instrument] [-o dir] file.class...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		if err := process(path, *verbose, *instrument, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "dvmverify: %s: %v\n", path, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func process(path string, verbose, instrument bool, outDir string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		return err
+	}
+	res, err := verifier.Verify(cf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s OK (%d static checks, %d link assumptions)\n",
+		path, res.ClassName, res.Census.Static(), len(res.Assumptions))
+	if verbose {
+		fmt.Printf("  phase1=%d phase2=%d phase3=%d\n",
+			res.Census.Phase1, res.Census.Phase2, res.Census.Phase3)
+		for _, a := range res.Assumptions {
+			scope := a.Scope
+			if scope == "" {
+				scope = "<class>"
+			}
+			fmt.Printf("  assume %-10s %s.%s %s  [%s]\n", a.Kind, a.Class, a.Name, a.Desc, scope)
+		}
+	}
+	if !instrument {
+		return nil
+	}
+	if err := verifier.Instrument(cf, res); err != nil {
+		return err
+	}
+	out, err := cf.Encode()
+	if err != nil {
+		return err
+	}
+	dest := path + ".dvm.class"
+	if outDir != "" {
+		dest = filepath.Join(outDir, filepath.Base(path))
+	}
+	if err := os.WriteFile(dest, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s (%d dynamic checks injected)\n", dest, res.Census.DynamicInjected)
+	return nil
+}

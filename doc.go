@@ -1,0 +1,18 @@
+// Package dvm is a from-scratch Go implementation of the distributed
+// virtual machine architecture of Sirer, Grimm, Gregory, and Bershad,
+// "Design and implementation of a distributed virtual machine for
+// networked computers" (SOSP'99).
+//
+// The system factors virtual machine services — verification, security
+// enforcement, auditing, compilation, and optimization — out of clients
+// and onto network servers, splitting each service into a static
+// component (run once on a proxy, implemented by binary rewriting) and a
+// small dynamic component hosted by the client runtime.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for the paper-vs-measured
+// comparison. The library lives under internal/; the runnable entry
+// points are the commands under cmd/ and the programs under examples/.
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation.
+package dvm

@@ -1,0 +1,97 @@
+// Repartition demonstrates the §5 optimization service for mobile code
+// on low-bandwidth links: profile an application's first execution,
+// split its classes at method granularity, and compare start-up time
+// over a 28.8 Kb/s link.
+//
+//	go run ./examples/repartition
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"dvm/internal/jvm"
+	"dvm/internal/monitor"
+	"dvm/internal/netsim"
+	"dvm/internal/optimize"
+	"dvm/internal/rewrite"
+	"dvm/internal/workload"
+)
+
+func main() {
+	// A Figure 11-style graphical applet, generated at modest size.
+	spec := workload.Applets()[5] // "Animated UI"
+	spec.Classes = 12
+	spec.TargetBytes = 96 * 1024
+	app, err := workload.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d classes, %d bytes, %d cold methods\n",
+		spec.Name, len(app.Classes), app.TotalBytes, app.ColdMethods)
+
+	// 1. Profile pass: the proxy instruments the app with first-use
+	// probes and collects the profile from its first execution.
+	instrumented := map[string][]byte{}
+	pipe := rewrite.NewPipeline(monitor.Filter(monitor.Config{FirstUse: true}))
+	for name, data := range app.Classes {
+		out, err := pipe.Process(data, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		instrumented[name] = out
+	}
+	vm, err := jvm.New(jvm.MapLoader(instrumented), io.Discard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coll := monitor.NewCollector()
+	session := monitor.Attach(vm, coll, monitor.ClientInfo{User: "profiler"})
+	if thrown, err := vm.RunMain(spec.MainClass(), nil); err != nil || thrown != nil {
+		log.Fatalf("profile run: %v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	prof := optimize.FromFirstUse(coll.FirstUseOrder(session))
+	fmt.Printf("profile: %d methods used on the startup path\n", len(prof.Hot))
+
+	// 2. Repartition on the server.
+	split, rep, err := optimize.Repartition(app.Classes, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repartitioned: %d/%d classes split, %d cold methods factored out\n",
+		rep.Split, rep.Classes, rep.ColdMethods)
+	fmt.Printf("  bytes: %d -> %d carrier + %d cold (loaded only on demand)\n",
+		rep.BytesBefore, rep.CarrierBytes, rep.ColdBytes)
+
+	// 3. Compare startup over the wireless link.
+	link := netsim.Modem28k8
+	measure := func(classes map[string][]byte) (time.Duration, int64) {
+		clock := &netsim.Clock{}
+		var bytes int64
+		loader := jvm.FuncLoader(func(name string) ([]byte, error) {
+			data, ok := classes[name]
+			if !ok {
+				return nil, fmt.Errorf("%s not found", name)
+			}
+			clock.Advance(link.TransferTime(len(data)))
+			bytes += int64(len(data))
+			return data, nil
+		})
+		vm, err := jvm.New(loader, io.Discard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if thrown, err := vm.RunMain(spec.MainClass(), nil); err != nil || thrown != nil {
+			log.Fatalf("startup run: %v %v", err, jvm.DescribeThrowable(thrown))
+		}
+		return clock.Now(), bytes
+	}
+	base, baseBytes := measure(app.Classes)
+	opt, optBytes := measure(split)
+	fmt.Printf("startup over 28.8 Kb/s:\n")
+	fmt.Printf("  original:      %6.1f s  (%d bytes transferred)\n", base.Seconds(), baseBytes)
+	fmt.Printf("  repartitioned: %6.1f s  (%d bytes transferred)\n", opt.Seconds(), optBytes)
+	fmt.Printf("  improvement:   %.1f%%\n", (1-opt.Seconds()/base.Seconds())*100)
+}

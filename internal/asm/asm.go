@@ -1,0 +1,350 @@
+// Package asm implements a Jasmin-style assembler and matching
+// disassembler for Java classfiles — the authoring tool for handwritten
+// test inputs and a human-readable interchange format for everything the
+// DVM's services produce.
+//
+// The source format:
+//
+//	.class public demo/Hello
+//	.super java/lang/Object
+//	.implements java/lang/Runnable
+//
+//	.field private count I
+//
+//	.method public static main ([Ljava/lang/String;)V
+//	    getstatic java/lang/System out Ljava/io/PrintStream;
+//	    ldc "hello world"
+//	    invokevirtual java/io/PrintStream println (Ljava/lang/String;)V
+//	    return
+//	.end method
+//
+// Labels are identifiers followed by ':'; branch operands name labels.
+// Exception handlers use `.catch <class|all> from L1 to L2 using L3`
+// inside a method. Switches span multiple lines:
+//
+//	lookupswitch
+//	    1 : Lone
+//	    5 : Lfive
+//	    default : Ldef
+//
+//	tableswitch 10
+//	    Lten
+//	    Leleven
+//	    default : Ldef
+//
+// ';' starts a comment (outside string literals). max_stack and
+// max_locals are computed automatically.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+)
+
+// SyntaxError reports an assembly failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+// Assemble compiles assembly text into a classfile.
+func Assemble(src string) (*classfile.ClassFile, error) {
+	a := &assembler{}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	return a.builder.Build()
+}
+
+// AssembleBytes compiles assembly text into serialized classfile bytes.
+func AssembleBytes(src string) ([]byte, error) {
+	cf, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return cf.Encode()
+}
+
+type assembler struct {
+	builder *classgen.ClassBuilder
+
+	// class-level accumulation before the builder exists
+	className  string
+	superName  string
+	classFlags uint16
+	implements []string
+
+	// current method state
+	m      *classgen.MethodBuilder
+	labels map[string]classgen.Label
+
+	line int
+}
+
+func (a *assembler) fail(format string, args ...any) error {
+	return &SyntaxError{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// stripComment removes a ';' comment, respecting double-quoted strings.
+// Because type descriptors contain semicolons (Ljava/lang/String;), a
+// comment ';' must begin the line or follow whitespace.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';':
+			if !inStr && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// fields splits a line into tokens, keeping double-quoted strings (with
+// escapes) as single tokens.
+func fields(s string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '"' {
+			j := i + 1
+			var b strings.Builder
+			for j < len(s) {
+				if s[j] == '\\' && j+1 < len(s) {
+					switch s[j+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '"':
+						b.WriteByte('"')
+					case '\\':
+						b.WriteByte('\\')
+					default:
+						b.WriteByte(s[j+1])
+					}
+					j += 2
+					continue
+				}
+				if s[j] == '"' {
+					break
+				}
+				b.WriteByte(s[j])
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated string literal")
+			}
+			out = append(out, "\x00"+b.String()) // \x00 marks "was quoted"
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		out = append(out, s[i:j])
+		i = j
+	}
+	return out, nil
+}
+
+func isQuoted(tok string) bool { return strings.HasPrefix(tok, "\x00") }
+func unquote(tok string) string {
+	return strings.TrimPrefix(tok, "\x00")
+}
+
+var flagNames = map[string]uint16{
+	"public":       classfile.AccPublic,
+	"private":      classfile.AccPrivate,
+	"protected":    classfile.AccProtected,
+	"static":       classfile.AccStatic,
+	"final":        classfile.AccFinal,
+	"super":        classfile.AccSuper,
+	"synchronized": classfile.AccSynchronized,
+	"volatile":     classfile.AccVolatile,
+	"transient":    classfile.AccTransient,
+	"native":       classfile.AccNative,
+	"interface":    classfile.AccInterface,
+	"abstract":     classfile.AccAbstract,
+}
+
+// parseFlags consumes leading flag tokens, returning (flags, rest).
+func parseFlags(toks []string) (uint16, []string) {
+	var flags uint16
+	i := 0
+	for ; i < len(toks); i++ {
+		f, ok := flagNames[toks[i]]
+		if !ok {
+			break
+		}
+		flags |= f
+	}
+	return flags, toks[i:]
+}
+
+func (a *assembler) run(src string) error {
+	lines := strings.Split(src, "\n")
+	i := 0
+	next := func() (toks []string, ok bool, err error) {
+		for i < len(lines) {
+			a.line = i + 1
+			raw := stripComment(lines[i])
+			i++
+			toks, err := fields(raw)
+			if err != nil {
+				return nil, false, a.fail("%v", err)
+			}
+			if len(toks) == 0 {
+				continue
+			}
+			return toks, true, nil
+		}
+		return nil, false, nil
+	}
+
+	for {
+		toks, ok, err := next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		switch toks[0] {
+		case ".class":
+			flags, rest := parseFlags(toks[1:])
+			if len(rest) != 1 {
+				return a.fail(".class wants flags and a name")
+			}
+			a.classFlags = flags
+			if a.classFlags&classfile.AccInterface == 0 {
+				a.classFlags |= classfile.AccSuper
+			}
+			a.className = rest[0]
+		case ".super":
+			if len(toks) != 2 {
+				return a.fail(".super wants one class name")
+			}
+			a.superName = toks[1]
+		case ".implements":
+			if len(toks) != 2 {
+				return a.fail(".implements wants one interface name")
+			}
+			a.implements = append(a.implements, toks[1])
+		case ".field":
+			if err := a.ensureBuilder(); err != nil {
+				return err
+			}
+			flags, rest := parseFlags(toks[1:])
+			if len(rest) != 2 {
+				return a.fail(".field wants flags, name, descriptor")
+			}
+			a.builder.Field(flags, rest[0], rest[1])
+		case ".method":
+			if err := a.ensureBuilder(); err != nil {
+				return err
+			}
+			if err := a.method(toks[1:], next); err != nil {
+				return err
+			}
+		default:
+			return a.fail("unexpected %q at top level", toks[0])
+		}
+	}
+	if err := a.ensureBuilder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (a *assembler) ensureBuilder() error {
+	if a.builder != nil {
+		return nil
+	}
+	if a.className == "" {
+		return a.fail("missing .class directive")
+	}
+	super := a.superName
+	if super == "" && a.className != "java/lang/Object" {
+		super = "java/lang/Object"
+	}
+	a.builder = classgen.NewClass(a.className, super)
+	a.builder.SetFlags(a.classFlags)
+	for _, ifc := range a.implements {
+		a.builder.AddInterface(ifc)
+	}
+	return nil
+}
+
+// method assembles one .method ... .end method block.
+func (a *assembler) method(header []string, next func() ([]string, bool, error)) error {
+	flags, rest := parseFlags(header)
+	if len(rest) != 2 {
+		return a.fail(".method wants flags, name, descriptor")
+	}
+	name, desc := rest[0], rest[1]
+	if flags&(classfile.AccAbstract|classfile.AccNative) != 0 {
+		// Body-less method; expect .end method immediately.
+		toks, ok, err := next()
+		if err != nil {
+			return err
+		}
+		if !ok || len(toks) != 2 || toks[0] != ".end" || toks[1] != "method" {
+			return a.fail("abstract/native method must be followed by .end method")
+		}
+		a.builder.AbstractMethod(flags, name, desc)
+		return nil
+	}
+
+	a.m = a.builder.Method(flags, name, desc)
+	a.labels = make(map[string]classgen.Label)
+	for {
+		toks, ok, err := next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return a.fail("missing .end method")
+		}
+		if toks[0] == ".end" {
+			if len(toks) != 2 || toks[1] != "method" {
+				return a.fail("malformed .end")
+			}
+			a.m = nil
+			a.labels = nil
+			return nil
+		}
+		if err := a.methodLine(toks, next); err != nil {
+			return err
+		}
+	}
+}
+
+// label returns (creating if needed) the classgen label for a name.
+func (a *assembler) label(name string) classgen.Label {
+	if l, ok := a.labels[name]; ok {
+		return l
+	}
+	l := a.m.NewLabel()
+	a.labels[name] = l
+	return l
+}

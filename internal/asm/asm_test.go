@@ -1,0 +1,295 @@
+package asm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvm/internal/asm"
+	"dvm/internal/classfile"
+	"dvm/internal/jvm"
+	"dvm/internal/verifier"
+	"dvm/internal/workload"
+)
+
+const helloSrc = `
+; a classic
+.class public demo/Hello
+.super java/lang/Object
+
+.method public static main ([Ljava/lang/String;)V
+    getstatic java/lang/System out Ljava/io/PrintStream;
+    ldc "hello, assembler"   ; string operand
+    invokevirtual java/io/PrintStream println (Ljava/lang/String;)V
+    return
+.end method
+`
+
+func TestAssembleHelloAndRun(t *testing.T) {
+	data, err := asm.AssembleBytes(helloSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.Verify(cf); err != nil {
+		t.Fatalf("assembled class fails verification: %v", err)
+	}
+	var out bytes.Buffer
+	vm, err := jvm.New(jvm.MapLoader{"demo/Hello": data}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrown, err := vm.RunMain("demo/Hello", nil)
+	if err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	if out.String() != "hello, assembler\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+const controlFlowSrc = `
+.class public demo/Flow
+.super java/lang/Object
+
+.field private static counter I
+
+.method public static classify (I)I
+    iload 0
+    lookupswitch
+        -1 : Lneg
+        0 : Lzero
+        default : Ldef
+Lneg:
+    iconst_m1
+    ireturn
+Lzero:
+    iconst_0
+    ireturn
+Ldef:
+    iload 0
+    tableswitch 10
+        Lten
+        Leleven
+        default : Lbig
+Lten:
+    bipush 10
+    ireturn
+Leleven:
+    bipush 11
+    ireturn
+Lbig:
+    sipush 999
+    ireturn
+.end method
+
+.method public static guarded (II)I
+    .catch java/lang/ArithmeticException from Ltry to Lend using Lhandler
+Ltry:
+    iload 0
+    iload 1
+    idiv
+    ireturn
+Lend:
+Lhandler:
+    pop
+    iconst_m1
+    ireturn
+.end method
+
+.method public static loop (I)I
+    iconst_0
+    istore 1
+    iconst_0
+    istore 2
+Lhead:
+    iload 2
+    iload 0
+    if_icmpge Lout
+    iload 1
+    iload 2
+    iadd
+    istore 1
+    iinc 2 1
+    goto Lhead
+Lout:
+    iload 1
+    ireturn
+.end method
+`
+
+func TestAssembleControlFlow(t *testing.T) {
+	data, err := asm.AssembleBytes(controlFlowSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	cf, _ := classfile.Parse(data)
+	if _, err := verifier.Verify(cf); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+	vm, err := jvm.New(jvm.MapLoader{"demo/Flow": data}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := func(name, desc string, args ...jvm.Value) int32 {
+		t.Helper()
+		v, thrown, err := vm.MainThread().InvokeByName("demo/Flow", name, desc, args)
+		if err != nil || thrown != nil {
+			t.Fatalf("%s: %v %v", name, err, jvm.DescribeThrowable(thrown))
+		}
+		return v.Int()
+	}
+	cases := []struct{ in, want int32 }{
+		{-1, -1}, {0, 0}, {10, 10}, {11, 11}, {5, 999}, {100, 999},
+	}
+	for _, c := range cases {
+		if got := call("classify", "(I)I", jvm.IntV(c.in)); got != c.want {
+			t.Errorf("classify(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := call("guarded", "(II)I", jvm.IntV(10), jvm.IntV(2)); got != 5 {
+		t.Errorf("guarded(10,2) = %d", got)
+	}
+	if got := call("guarded", "(II)I", jvm.IntV(10), jvm.IntV(0)); got != -1 {
+		t.Errorf("guarded(10,0) = %d (handler)", got)
+	}
+	if got := call("loop", "(I)I", jvm.IntV(10)); got != 45 {
+		t.Errorf("loop(10) = %d", got)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"no class":        ".super java/lang/Object\n.field public x I\n",
+		"unknown instr":   ".class public a/B\n.method public static f ()V\n    frobnicate\n.end method\n",
+		"unbound label":   ".class public a/B\n.method public static f ()V\n    goto Lnope\n    return\n.end method\n",
+		"missing end":     ".class public a/B\n.method public static f ()V\n    return\n",
+		"bad catch":       ".class public a/B\n.method public static f ()V\n    .catch from to\n    return\n.end method\n",
+		"bad operand":     ".class public a/B\n.method public static f ()V\n    bipush notanint\n    return\n.end method\n",
+		"unterminated sw": ".class public a/B\n.method public static f ()V\n    lookupswitch\n        1 : L\n",
+		"unquoted string": ".class public a/B\n.method public static f ()V\n    ldc \"oops\n    return\n.end method\n",
+	}
+	for name, src := range cases {
+		if _, err := asm.AssembleBytes(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPrintAssembleRoundTrip(t *testing.T) {
+	// Generated workload classes exercise every printable construct.
+	spec := workload.Benchmarks()[3] // Instantdb: handlers, switches, strings
+	spec.Classes = 4
+	spec.TargetBytes = 24 * 1024
+	app, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range app.Classes {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := asm.Print(cf)
+		if err != nil {
+			t.Fatalf("%s: Print: %v", name, err)
+		}
+		back, err := asm.Assemble(text)
+		if err != nil {
+			t.Fatalf("%s: re-Assemble: %v\n%s", name, err, text)
+		}
+		// Text fixpoint: printing the reassembled class reproduces the
+		// same text.
+		text2, err := asm.Print(back)
+		if err != nil {
+			t.Fatalf("%s: re-Print: %v", name, err)
+		}
+		if text != text2 {
+			t.Errorf("%s: print/assemble text not a fixpoint", name)
+		}
+		// And it still verifies.
+		if _, err := verifier.Verify(back); err != nil {
+			t.Errorf("%s: reassembled class fails verification: %v", name, err)
+		}
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	spec := workload.Benchmarks()[0]
+	spec.Classes = 3
+	spec.TargetBytes = 12 * 1024
+	app, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(classes map[string][]byte) string {
+		var out bytes.Buffer
+		vm, err := jvm.New(jvm.MapLoader(classes), &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if thrown, err := vm.RunMain(spec.MainClass(), nil); err != nil || thrown != nil {
+			t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+		}
+		return out.String()
+	}
+	want := run(app.Classes)
+
+	round := make(map[string][]byte, len(app.Classes))
+	for name, data := range app.Classes {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := asm.Print(cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := asm.AssembleBytes(text)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		round[name] = out
+	}
+	if got := run(round); got != want {
+		t.Errorf("round-tripped output %q != original %q", got, want)
+	}
+}
+
+func TestAssembleAbstractAndInterface(t *testing.T) {
+	src := `
+.class public interface abstract demo/Iface
+.super java/lang/Object
+.method public abstract run ()V
+.end method
+`
+	data, err := asm.AssembleBytes(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.IsInterface() {
+		t.Error("not an interface")
+	}
+	if _, err := verifier.Verify(cf); err != nil {
+		t.Errorf("interface fails verification: %v", err)
+	}
+	if !strings.Contains(mustPrint(t, cf), ".implements") == false {
+		_ = cf
+	}
+}
+
+func mustPrint(t *testing.T, cf *classfile.ClassFile) string {
+	t.Helper()
+	s, err := asm.Print(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

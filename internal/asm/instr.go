@@ -1,0 +1,323 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classgen"
+)
+
+// mnemonics maps instruction names to opcodes, built from the opcode
+// table so the two can never drift.
+var mnemonics = buildMnemonics()
+
+func buildMnemonics() map[string]bytecode.Opcode {
+	m := make(map[string]bytecode.Opcode, 256)
+	for op := 0; op < 256; op++ {
+		o := bytecode.Opcode(op)
+		if o.Valid() && o.Name() != "" && o != bytecode.Wide {
+			m[o.Name()] = o
+		}
+	}
+	return m
+}
+
+// methodLine assembles one line inside a method body.
+func (a *assembler) methodLine(toks []string, next func() ([]string, bool, error)) error {
+	// Label definition: "name:" possibly followed by an instruction.
+	if strings.HasSuffix(toks[0], ":") && !isQuoted(toks[0]) {
+		name := strings.TrimSuffix(toks[0], ":")
+		if name == "" {
+			return a.fail("empty label")
+		}
+		// Double binding is caught by classgen at Build time.
+		a.m.Mark(a.label(name))
+		if len(toks) == 1 {
+			return nil
+		}
+		toks = toks[1:]
+	}
+
+	switch toks[0] {
+	case ".limit":
+		return nil // stack/locals are computed; accept and ignore
+	case ".catch":
+		// .catch <class|all> from L1 to L2 using L3
+		if len(toks) != 8 || toks[2] != "from" || toks[4] != "to" || toks[6] != "using" {
+			return a.fail(".catch wants: .catch <class|all> from L1 to L2 using L3")
+		}
+		catch := toks[1]
+		if catch == "all" {
+			catch = ""
+		}
+		a.m.Handler(a.label(toks[3]), a.label(toks[5]), a.label(toks[7]), catch)
+		return nil
+	}
+
+	op, ok := mnemonics[toks[0]]
+	if !ok {
+		return a.fail("unknown instruction %q", toks[0])
+	}
+	args := toks[1:]
+
+	switch op {
+	case bytecode.Tableswitch:
+		return a.tableswitch(args, next)
+	case bytecode.Lookupswitch:
+		return a.lookupswitch(args, next)
+	}
+
+	switch op.OperandKind() {
+	case bytecode.KindNone:
+		if len(args) != 0 {
+			return a.fail("%s takes no operands", op.Name())
+		}
+		a.m.Raw(bytecode.Inst{Op: op})
+		return nil
+
+	case bytecode.KindS1, bytecode.KindS2:
+		v, err := a.intArg(args, op.Name())
+		if err != nil {
+			return err
+		}
+		a.m.Raw(bytecode.Inst{Op: op, Const: int32(v)})
+		return nil
+
+	case bytecode.KindLocal:
+		v, err := a.intArg(args, op.Name())
+		if err != nil {
+			return err
+		}
+		a.m.Raw(bytecode.Inst{Op: op, Index: uint16(v)})
+		return nil
+
+	case bytecode.KindIinc:
+		if len(args) != 2 {
+			return a.fail("iinc wants: iinc <local> <delta>")
+		}
+		idx, err := strconv.ParseUint(args[0], 10, 16)
+		if err != nil {
+			return a.fail("iinc local: %v", err)
+		}
+		d, err := strconv.ParseInt(args[1], 10, 32)
+		if err != nil {
+			return a.fail("iinc delta: %v", err)
+		}
+		a.m.Raw(bytecode.Inst{Op: bytecode.Iinc, Index: uint16(idx), Const: int32(d)})
+		return nil
+
+	case bytecode.KindBranch2, bytecode.KindBranch4:
+		if len(args) != 1 {
+			return a.fail("%s wants a label", op.Name())
+		}
+		a.m.Branch(op, a.label(args[0]))
+		return nil
+
+	case bytecode.KindCPU1, bytecode.KindCPU2:
+		return a.cpOperand(op, args)
+
+	case bytecode.KindIfaceRef:
+		if len(args) != 3 {
+			return a.fail("invokeinterface wants: class method descriptor")
+		}
+		a.m.InvokeInterface(args[0], args[1], args[2])
+		return nil
+
+	case bytecode.KindAType:
+		if len(args) != 1 {
+			return a.fail("newarray wants an element type")
+		}
+		t, ok := atypes[args[0]]
+		if !ok {
+			return a.fail("newarray: unknown element type %q", args[0])
+		}
+		a.m.Raw(bytecode.Inst{Op: bytecode.Newarray, ArrayType: t})
+		return nil
+
+	case bytecode.KindMultiNew:
+		if len(args) != 2 {
+			return a.fail("multianewarray wants: class dims")
+		}
+		dims, err := strconv.ParseUint(args[1], 10, 8)
+		if err != nil {
+			return a.fail("multianewarray dims: %v", err)
+		}
+		a.m.Raw(bytecode.Inst{
+			Op:    bytecode.Multianewarray,
+			Index: a.builder.Pool().AddClass(args[0]),
+			Dims:  uint8(dims),
+		})
+		return nil
+	}
+	return a.fail("cannot assemble %s", op.Name())
+}
+
+var atypes = map[string]uint8{
+	"boolean": bytecode.TBoolean,
+	"char":    bytecode.TChar,
+	"float":   bytecode.TFloat,
+	"double":  bytecode.TDouble,
+	"byte":    bytecode.TByte,
+	"short":   bytecode.TShort,
+	"int":     bytecode.TInt,
+	"long":    bytecode.TLong,
+}
+
+func (a *assembler) intArg(args []string, what string) (int64, error) {
+	if len(args) != 1 {
+		return 0, a.fail("%s wants one integer operand", what)
+	}
+	v, err := strconv.ParseInt(args[0], 10, 32)
+	if err != nil {
+		return 0, a.fail("%s: %v", what, err)
+	}
+	return v, nil
+}
+
+// cpOperand assembles instructions with constant pool operands.
+func (a *assembler) cpOperand(op bytecode.Opcode, args []string) error {
+	pool := a.builder.Pool()
+	switch op {
+	case bytecode.Ldc, bytecode.LdcW:
+		if len(args) != 1 {
+			return a.fail("ldc wants one literal")
+		}
+		tok := args[0]
+		if isQuoted(tok) {
+			a.m.LdcString(unquote(tok))
+			return nil
+		}
+		if strings.ContainsAny(tok, ".eE") && !strings.HasPrefix(tok, "0x") {
+			f, err := strconv.ParseFloat(strings.TrimSuffix(tok, "f"), 32)
+			if err != nil {
+				return a.fail("ldc float: %v", err)
+			}
+			a.m.Raw(bytecode.Inst{Op: bytecode.Ldc, Index: pool.AddFloat(float32(f))})
+			return nil
+		}
+		v, err := strconv.ParseInt(tok, 0, 32)
+		if err != nil {
+			return a.fail("ldc int: %v", err)
+		}
+		a.m.Raw(bytecode.Inst{Op: bytecode.Ldc, Index: pool.AddInteger(int32(v))})
+		return nil
+
+	case bytecode.Ldc2W:
+		if len(args) != 1 {
+			return a.fail("ldc2_w wants one literal")
+		}
+		tok := args[0]
+		if strings.ContainsAny(tok, ".eE") {
+			d, err := strconv.ParseFloat(strings.TrimSuffix(tok, "d"), 64)
+			if err != nil {
+				return a.fail("ldc2_w double: %v", err)
+			}
+			a.m.Raw(bytecode.Inst{Op: bytecode.Ldc2W, Index: pool.AddDouble(d)})
+			return nil
+		}
+		v, err := strconv.ParseInt(strings.TrimSuffix(tok, "L"), 0, 64)
+		if err != nil {
+			return a.fail("ldc2_w long: %v", err)
+		}
+		a.m.Raw(bytecode.Inst{Op: bytecode.Ldc2W, Index: pool.AddLong(v)})
+		return nil
+
+	case bytecode.Getstatic, bytecode.Putstatic, bytecode.Getfield, bytecode.Putfield:
+		if len(args) != 3 {
+			return a.fail("%s wants: class field descriptor", op.Name())
+		}
+		a.m.Raw(bytecode.Inst{Op: op, Index: pool.AddFieldref(args[0], args[1], args[2])})
+		return nil
+
+	case bytecode.Invokevirtual, bytecode.Invokespecial, bytecode.Invokestatic:
+		if len(args) != 3 {
+			return a.fail("%s wants: class method descriptor", op.Name())
+		}
+		a.m.Raw(bytecode.Inst{Op: op, Index: pool.AddMethodref(args[0], args[1], args[2])})
+		return nil
+
+	case bytecode.New, bytecode.Anewarray, bytecode.Checkcast, bytecode.Instanceof:
+		if len(args) != 1 {
+			return a.fail("%s wants a class name", op.Name())
+		}
+		a.m.Raw(bytecode.Inst{Op: op, Index: pool.AddClass(args[0])})
+		return nil
+	}
+	return a.fail("cannot assemble %s", op.Name())
+}
+
+// tableswitch parses:
+//
+//	tableswitch <low>
+//	    LabelA
+//	    LabelB
+//	    default : LabelD
+func (a *assembler) tableswitch(args []string, next func() ([]string, bool, error)) error {
+	if len(args) != 1 {
+		return a.fail("tableswitch wants its low key on the same line")
+	}
+	low, err := strconv.ParseInt(args[0], 10, 32)
+	if err != nil {
+		return a.fail("tableswitch low: %v", err)
+	}
+	var arms []classgen.Label
+	for {
+		toks, ok, err := next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return a.fail("unterminated tableswitch")
+		}
+		if toks[0] == "default" {
+			if len(toks) != 3 || toks[1] != ":" {
+				return a.fail("tableswitch default wants: default : Label")
+			}
+			if len(arms) == 0 {
+				return a.fail("tableswitch needs at least one arm")
+			}
+			a.m.TableSwitch(int32(low), a.label(toks[2]), arms...)
+			return nil
+		}
+		if len(toks) != 1 {
+			return a.fail("tableswitch arm wants a single label")
+		}
+		arms = append(arms, a.label(toks[0]))
+	}
+}
+
+// lookupswitch parses:
+//
+//	lookupswitch
+//	    <key> : Label
+//	    default : Label
+func (a *assembler) lookupswitch(args []string, next func() ([]string, bool, error)) error {
+	if len(args) != 0 {
+		return a.fail("lookupswitch takes no operands on its line")
+	}
+	var keys []int32
+	var arms []classgen.Label
+	for {
+		toks, ok, err := next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return a.fail("unterminated lookupswitch")
+		}
+		if len(toks) != 3 || toks[1] != ":" {
+			return a.fail("lookupswitch entry wants: <key|default> : Label")
+		}
+		if toks[0] == "default" {
+			a.m.LookupSwitch(a.label(toks[2]), keys, arms)
+			return nil
+		}
+		k, err := strconv.ParseInt(toks[0], 10, 32)
+		if err != nil {
+			return a.fail("lookupswitch key: %v", err)
+		}
+		keys = append(keys, int32(k))
+		arms = append(arms, a.label(toks[2]))
+	}
+}

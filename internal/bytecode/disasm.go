@@ -1,0 +1,116 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+
+	"dvm/internal/classfile"
+)
+
+// Disassemble renders raw bytecode as javap-style text, resolving
+// constant-pool operands through pool when possible. It is the engine
+// behind the dvmdis tool and is also convenient in test failure output.
+func Disassemble(code []byte, pool *classfile.ConstPool) (string, error) {
+	insts, err := Decode(code)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, in := range insts {
+		fmt.Fprintf(&b, "%5d: %-16s", in.PC, widen(in))
+		switch {
+		case in.Op.IsBranch():
+			fmt.Fprintf(&b, " %d", insts[in.Target].PC)
+		case in.Op.IsSwitch():
+			fmt.Fprintf(&b, " default:%d", insts[in.Switch.Default].PC)
+			for k, t := range in.Switch.Targets {
+				key := int32(k) + in.Switch.Low
+				if in.Op == Lookupswitch {
+					key = in.Switch.Keys[k]
+				}
+				fmt.Fprintf(&b, " %d:%d", key, insts[t].PC)
+			}
+		case in.Op.OperandKind() == KindCPU1 || in.Op.OperandKind() == KindCPU2 ||
+			in.Op.OperandKind() == KindIfaceRef || in.Op.OperandKind() == KindMultiNew:
+			fmt.Fprintf(&b, " #%d", in.Index)
+			if pool != nil {
+				if s := describeConst(pool, in.Index); s != "" {
+					fmt.Fprintf(&b, " // %s", s)
+				}
+			}
+			if in.Op == Multianewarray {
+				fmt.Fprintf(&b, " dims=%d", in.Dims)
+			}
+		case in.Op.OperandKind() == KindS1 || in.Op.OperandKind() == KindS2:
+			fmt.Fprintf(&b, " %d", in.Const)
+		case in.Op.OperandKind() == KindLocal:
+			fmt.Fprintf(&b, " %d", in.Index)
+		case in.Op.OperandKind() == KindIinc:
+			fmt.Fprintf(&b, " %d, %d", in.Index, in.Const)
+		case in.Op.OperandKind() == KindAType:
+			fmt.Fprintf(&b, " %s", atypeName(in.ArrayType))
+		}
+		b.WriteByte('\n')
+		_ = i
+	}
+	return b.String(), nil
+}
+
+func widen(in Inst) string {
+	if in.Wide {
+		return "wide " + in.Op.Name()
+	}
+	return in.Op.Name()
+}
+
+func atypeName(t uint8) string {
+	switch t {
+	case TBoolean:
+		return "boolean"
+	case TChar:
+		return "char"
+	case TFloat:
+		return "float"
+	case TDouble:
+		return "double"
+	case TByte:
+		return "byte"
+	case TShort:
+		return "short"
+	case TInt:
+		return "int"
+	case TLong:
+		return "long"
+	}
+	return fmt.Sprintf("atype(%d)", t)
+}
+
+func describeConst(pool *classfile.ConstPool, idx uint16) string {
+	c, err := pool.Entry(idx)
+	if err != nil {
+		return "<bad index>"
+	}
+	switch c.Tag {
+	case classfile.TagClass:
+		n, _ := pool.ClassName(idx)
+		return "class " + n
+	case classfile.TagString:
+		s, _ := pool.StringValue(idx)
+		return fmt.Sprintf("String %q", s)
+	case classfile.TagFieldref, classfile.TagMethodref, classfile.TagInterfaceMethodref:
+		r, err := pool.Ref(idx)
+		if err != nil {
+			return "<bad ref>"
+		}
+		return r.String()
+	case classfile.TagInteger:
+		return fmt.Sprintf("int %d", c.Int)
+	case classfile.TagLong:
+		return fmt.Sprintf("long %d", c.Long)
+	case classfile.TagFloat:
+		return fmt.Sprintf("float %g", c.Float)
+	case classfile.TagDouble:
+		return fmt.Sprintf("double %g", c.Double)
+	}
+	return ""
+}

@@ -1,0 +1,216 @@
+package bytecode
+
+import "encoding/binary"
+
+// Encode serializes an instruction list back to raw bytecode. Branch and
+// switch targets are taken from the instruction-index representation and
+// converted to byte offsets; switch padding is recomputed; ldc, local
+// variable, iinc, goto and jsr instructions are automatically promoted to
+// their wide forms when operands or offsets overflow the short encodings.
+//
+// The returned pcs slice gives the byte offset of each instruction, which
+// callers use to rebuild exception tables and line-number tables.
+//
+// A conditional branch whose offset exceeds ±32767 cannot be encoded
+// directly; none of the DVM's services generate methods near that size,
+// so Encode reports an error rather than synthesizing an inverted-branch
+// trampoline.
+func Encode(insts []Inst) (code []byte, pcs []int, err error) {
+	n := len(insts)
+	if n == 0 {
+		return nil, nil, decodeErrf(0, "cannot encode empty instruction list")
+	}
+	work := make([]Inst, n)
+	copy(work, insts)
+
+	// Validate targets before sizing.
+	for i := range work {
+		in := &work[i]
+		if in.Op.IsBranch() {
+			if in.Target < 0 || in.Target >= n {
+				return nil, nil, decodeErrf(i, "instruction %d: branch target %d out of range", i, in.Target)
+			}
+		}
+		if in.Op.IsSwitch() {
+			if in.Switch == nil {
+				return nil, nil, decodeErrf(i, "instruction %d: switch without payload", i)
+			}
+			if in.Switch.Default < 0 || in.Switch.Default >= n {
+				return nil, nil, decodeErrf(i, "instruction %d: switch default %d out of range", i, in.Switch.Default)
+			}
+			for _, t := range in.Switch.Targets {
+				if t < 0 || t >= n {
+					return nil, nil, decodeErrf(i, "instruction %d: switch target %d out of range", i, t)
+				}
+			}
+			if in.Op == Lookupswitch && len(in.Switch.Keys) != len(in.Switch.Targets) {
+				return nil, nil, decodeErrf(i, "instruction %d: lookupswitch keys/targets mismatch", i)
+			}
+		}
+	}
+
+	// Eager operand-width promotions that do not depend on layout.
+	for i := range work {
+		in := &work[i]
+		switch in.Op.OperandKind() {
+		case KindCPU1:
+			if in.Index > 0xFF {
+				in.Op = LdcW
+			}
+		case KindLocal:
+			if in.Index > 0xFF {
+				in.Wide = true
+			}
+		case KindIinc:
+			if in.Index > 0xFF || in.Const < -128 || in.Const > 127 {
+				in.Wide = true
+			}
+		}
+	}
+
+	pcs = make([]int, n)
+	size := func(i int, pc int) int {
+		in := &work[i]
+		if in.Wide {
+			if in.Op.OperandKind() == KindIinc {
+				return 6
+			}
+			return 4
+		}
+		switch in.Op.OperandKind() {
+		case KindNone:
+			return 1
+		case KindS1, KindCPU1, KindLocal, KindAType:
+			return 2
+		case KindS2, KindCPU2, KindIinc, KindBranch2, KindExtLL, KindExtIincLd:
+			return 3
+		case KindMultiNew:
+			return 4
+		case KindBranch4, KindIfaceRef:
+			return 5
+		case KindExtCmpBr:
+			return 6
+		case KindTable:
+			pad := (4 - ((pc + 1) % 4)) % 4
+			return 1 + pad + 12 + 4*len(in.Switch.Targets)
+		case KindLookup:
+			pad := (4 - ((pc + 1) % 4)) % 4
+			return 1 + pad + 8 + 8*len(in.Switch.Keys)
+		}
+		return 1
+	}
+
+	// Fixpoint: lay out, then widen any overflowing goto/jsr and re-lay
+	// until stable. Widening only grows offsets, so this terminates.
+	for iter := 0; ; iter++ {
+		pc := 0
+		for i := range work {
+			pcs[i] = pc
+			pc += size(i, pc)
+		}
+		changed := false
+		for i := range work {
+			in := &work[i]
+			k := in.Op.OperandKind()
+			if k != KindBranch2 && k != KindExtCmpBr {
+				continue
+			}
+			off := pcs[in.Target] - pcs[i]
+			if off >= -32768 && off <= 32767 {
+				continue
+			}
+			switch in.Op {
+			case Goto:
+				in.Op = GotoW
+				changed = true
+			case Jsr:
+				in.Op = JsrW
+				changed = true
+			default:
+				return nil, nil, decodeErrf(pcs[i], "conditional branch offset %d overflows 16 bits", off)
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > n {
+			return nil, nil, decodeErrf(0, "branch widening did not converge")
+		}
+	}
+
+	total := pcs[n-1] + size(n-1, pcs[n-1])
+	if total > 0xFFFF {
+		return nil, nil, decodeErrf(0, "encoded method length %d exceeds 65535", total)
+	}
+	buf := make([]byte, 0, total)
+	u2 := func(v uint16) { buf = binary.BigEndian.AppendUint16(buf, v) }
+	u4 := func(v uint32) { buf = binary.BigEndian.AppendUint32(buf, v) }
+
+	for i := range work {
+		in := &work[i]
+		if in.Wide {
+			buf = append(buf, byte(Wide), byte(in.Op))
+			u2(in.Index)
+			if in.Op.OperandKind() == KindIinc {
+				u2(uint16(int16(in.Const)))
+			}
+			continue
+		}
+		buf = append(buf, byte(in.Op))
+		switch in.Op.OperandKind() {
+		case KindNone:
+		case KindS1:
+			buf = append(buf, byte(int8(in.Const)))
+		case KindS2:
+			u2(uint16(int16(in.Const)))
+		case KindCPU1:
+			buf = append(buf, byte(in.Index))
+		case KindCPU2:
+			u2(in.Index)
+		case KindLocal:
+			buf = append(buf, byte(in.Index))
+		case KindIinc:
+			buf = append(buf, byte(in.Index), byte(int8(in.Const)))
+		case KindBranch2:
+			u2(uint16(int16(pcs[in.Target] - pcs[i])))
+		case KindBranch4:
+			u4(uint32(int32(pcs[in.Target] - pcs[i])))
+		case KindIfaceRef:
+			u2(in.Index)
+			buf = append(buf, in.Count, 0)
+		case KindAType:
+			buf = append(buf, in.ArrayType)
+		case KindMultiNew:
+			u2(in.Index)
+			buf = append(buf, in.Dims)
+		case KindTable:
+			for len(buf)%4 != 0 {
+				buf = append(buf, 0)
+			}
+			u4(uint32(int32(pcs[in.Switch.Default] - pcs[i])))
+			u4(uint32(in.Switch.Low))
+			u4(uint32(in.Switch.Low + int32(len(in.Switch.Targets)) - 1))
+			for _, t := range in.Switch.Targets {
+				u4(uint32(int32(pcs[t] - pcs[i])))
+			}
+		case KindLookup:
+			for len(buf)%4 != 0 {
+				buf = append(buf, 0)
+			}
+			u4(uint32(int32(pcs[in.Switch.Default] - pcs[i])))
+			u4(uint32(len(in.Switch.Keys)))
+			for k, key := range in.Switch.Keys {
+				u4(uint32(key))
+				u4(uint32(int32(pcs[in.Switch.Targets[k]] - pcs[i])))
+			}
+		case KindExtLL:
+			buf = append(buf, byte(in.Index), in.ArrayType)
+		case KindExtCmpBr:
+			buf = append(buf, byte(in.Index), in.ArrayType, in.Count)
+			u2(uint16(int16(pcs[in.Target] - pcs[i])))
+		case KindExtIincLd:
+			buf = append(buf, byte(in.Index), byte(int8(in.Const)))
+		}
+	}
+	return buf, pcs, nil
+}

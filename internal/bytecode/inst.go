@@ -1,0 +1,379 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inst is one decoded instruction. Branch and switch targets are
+// represented as indices into the decoded instruction slice (not byte
+// offsets), so instruction lists can be spliced by rewriting services and
+// re-encoded with offsets recomputed.
+type Inst struct {
+	Op   Opcode
+	Wide bool // instruction was (or must be) prefixed with the wide opcode
+
+	// PC is the byte offset of the instruction in the code it was decoded
+	// from. Encode recomputes PCs; on freshly built instructions it is
+	// meaningless.
+	PC int
+
+	Index     uint16  // constant pool index or local variable index
+	Const     int32   // bipush/sipush immediate or iinc increment
+	ArrayType uint8   // newarray element type code
+	Dims      uint8   // multianewarray dimension count
+	Count     uint8   // invokeinterface historical count operand
+	Target    int     // branch target as an instruction index, -1 if none
+	Switch    *Switch // switch payload, nil for other instructions
+}
+
+// Switch is the payload of a tableswitch or lookupswitch instruction.
+// Targets (and Default) are instruction indices, parallel to Keys for
+// lookupswitch or implicitly Low..High for tableswitch.
+type Switch struct {
+	Default int
+	Low     int32   // tableswitch only
+	Keys    []int32 // lookupswitch only
+	Targets []int
+}
+
+// String renders the instruction in a javap-like form.
+func (in Inst) String() string {
+	s := in.Op.Name()
+	if in.Wide {
+		s = "wide " + s
+	}
+	switch in.Op.OperandKind() {
+	case KindS1, KindS2:
+		return fmt.Sprintf("%s %d", s, in.Const)
+	case KindCPU1, KindCPU2:
+		return fmt.Sprintf("%s #%d", s, in.Index)
+	case KindLocal:
+		return fmt.Sprintf("%s %d", s, in.Index)
+	case KindIinc:
+		return fmt.Sprintf("%s %d by %d", s, in.Index, in.Const)
+	case KindBranch2, KindBranch4:
+		return fmt.Sprintf("%s ->%d", s, in.Target)
+	case KindIfaceRef:
+		return fmt.Sprintf("%s #%d count %d", s, in.Index, in.Count)
+	case KindAType:
+		return fmt.Sprintf("%s %d", s, in.ArrayType)
+	case KindMultiNew:
+		return fmt.Sprintf("%s #%d dims %d", s, in.Index, in.Dims)
+	case KindTable, KindLookup:
+		return fmt.Sprintf("%s default ->%d (%d arms)", s, in.Switch.Default, len(in.Switch.Targets))
+	}
+	return s
+}
+
+// DecodeError reports malformed bytecode. It is the error currency of the
+// verifier's phase-2 (instruction integrity) checks.
+type DecodeError struct {
+	PC  int
+	Msg string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("bytecode: pc %d: %s", e.PC, e.Msg)
+}
+
+func decodeErrf(pc int, format string, args ...any) error {
+	return &DecodeError{PC: pc, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Decode parses raw method bytecode into an instruction list. It verifies
+// that every opcode is assigned, operands do not run off the end, switch
+// padding is canonical, and every branch/switch target lands on an
+// instruction boundary — the paper's "instruction integrity" phase of
+// verification. Extension (DVM native format) opcodes are rejected; use
+// DecodeExt for code produced by the compilation service.
+func Decode(code []byte) ([]Inst, error) { return decodeAll(code, false) }
+
+// DecodeExt parses bytecode accepting the DVM extension opcodes emitted
+// by the centralized compilation service. Only the DVM client runtime
+// uses this entry point.
+func DecodeExt(code []byte) ([]Inst, error) { return decodeAll(code, true) }
+
+func decodeAll(code []byte, allowExt bool) ([]Inst, error) {
+	if len(code) == 0 {
+		return nil, decodeErrf(0, "empty code")
+	}
+	if len(code) > 0xFFFF {
+		// The exception table and branch encodings cap methods at 64 KiB.
+		return nil, decodeErrf(0, "code length %d exceeds 65535", len(code))
+	}
+	var insts []Inst
+	idxAt := make(map[int]int) // byte offset -> instruction index
+	type pendingBranch struct {
+		inst   int
+		target int // absolute byte offset
+	}
+	var pending []pendingBranch
+	pendSwitch := make(map[int][]int) // inst index -> absolute byte targets (default first)
+
+	pc := 0
+	for pc < len(code) {
+		start := pc
+		op := Opcode(code[pc])
+		pc++
+		in := Inst{Op: op, PC: start, Target: -1}
+		if op == Wide {
+			if pc >= len(code) {
+				return nil, decodeErrf(start, "truncated wide prefix")
+			}
+			in.Op = Opcode(code[pc])
+			in.Wide = true
+			pc++
+			switch in.Op.OperandKind() {
+			case KindLocal:
+				if pc+2 > len(code) {
+					return nil, decodeErrf(start, "truncated wide %s", in.Op.Name())
+				}
+				in.Index = binary.BigEndian.Uint16(code[pc:])
+				pc += 2
+			case KindIinc:
+				if pc+4 > len(code) {
+					return nil, decodeErrf(start, "truncated wide iinc")
+				}
+				in.Index = binary.BigEndian.Uint16(code[pc:])
+				in.Const = int32(int16(binary.BigEndian.Uint16(code[pc+2:])))
+				pc += 4
+			default:
+				return nil, decodeErrf(start, "wide prefix on %s", in.Op.Name())
+			}
+			idxAt[start] = len(insts)
+			insts = append(insts, in)
+			continue
+		}
+		if op.IsExtension() && !allowExt {
+			return nil, decodeErrf(start, "extension opcode 0x%02x in strict JVM code", uint8(op))
+		}
+		info := ops[op]
+		switch info.kind {
+		case KindInvalid:
+			return nil, decodeErrf(start, "unassigned opcode 0x%02x", uint8(op))
+		case KindNone:
+		case KindS1:
+			if pc+1 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			in.Const = int32(int8(code[pc]))
+			pc++
+		case KindS2:
+			if pc+2 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			in.Const = int32(int16(binary.BigEndian.Uint16(code[pc:])))
+			pc += 2
+		case KindCPU1:
+			if pc+1 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			in.Index = uint16(code[pc])
+			pc++
+		case KindCPU2:
+			if pc+2 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			in.Index = binary.BigEndian.Uint16(code[pc:])
+			pc += 2
+		case KindLocal:
+			if pc+1 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			in.Index = uint16(code[pc])
+			pc++
+		case KindIinc:
+			if pc+2 > len(code) {
+				return nil, decodeErrf(start, "truncated iinc")
+			}
+			in.Index = uint16(code[pc])
+			in.Const = int32(int8(code[pc+1]))
+			pc += 2
+		case KindBranch2:
+			if pc+2 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			off := int(int16(binary.BigEndian.Uint16(code[pc:])))
+			pc += 2
+			pending = append(pending, pendingBranch{inst: len(insts), target: start + off})
+		case KindBranch4:
+			if pc+4 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			off := int(int32(binary.BigEndian.Uint32(code[pc:])))
+			pc += 4
+			pending = append(pending, pendingBranch{inst: len(insts), target: start + off})
+		case KindIfaceRef:
+			if pc+4 > len(code) {
+				return nil, decodeErrf(start, "truncated invokeinterface")
+			}
+			in.Index = binary.BigEndian.Uint16(code[pc:])
+			in.Count = code[pc+2]
+			if code[pc+3] != 0 {
+				return nil, decodeErrf(start, "invokeinterface fourth operand must be zero")
+			}
+			pc += 4
+		case KindAType:
+			if pc+1 > len(code) {
+				return nil, decodeErrf(start, "truncated newarray")
+			}
+			in.ArrayType = code[pc]
+			if in.ArrayType < TBoolean || in.ArrayType > TLong {
+				return nil, decodeErrf(start, "newarray: bad element type %d", in.ArrayType)
+			}
+			pc++
+		case KindMultiNew:
+			if pc+3 > len(code) {
+				return nil, decodeErrf(start, "truncated multianewarray")
+			}
+			in.Index = binary.BigEndian.Uint16(code[pc:])
+			in.Dims = code[pc+2]
+			if in.Dims == 0 {
+				return nil, decodeErrf(start, "multianewarray with zero dimensions")
+			}
+			pc += 3
+		case KindTable:
+			pad := (4 - (pc % 4)) % 4
+			for i := 0; i < pad; i++ {
+				if pc >= len(code) {
+					return nil, decodeErrf(start, "truncated tableswitch padding")
+				}
+				if code[pc] != 0 {
+					return nil, decodeErrf(start, "non-zero tableswitch padding")
+				}
+				pc++
+			}
+			if pc+12 > len(code) {
+				return nil, decodeErrf(start, "truncated tableswitch header")
+			}
+			def := int(int32(binary.BigEndian.Uint32(code[pc:])))
+			low := int32(binary.BigEndian.Uint32(code[pc+4:]))
+			high := int32(binary.BigEndian.Uint32(code[pc+8:]))
+			pc += 12
+			if low > high {
+				return nil, decodeErrf(start, "tableswitch low %d > high %d", low, high)
+			}
+			n := int(int64(high) - int64(low) + 1)
+			if pc+4*n > len(code) {
+				return nil, decodeErrf(start, "truncated tableswitch arms (%d)", n)
+			}
+			sw := &Switch{Low: low}
+			targets := []int{start + def}
+			for i := 0; i < n; i++ {
+				targets = append(targets, start+int(int32(binary.BigEndian.Uint32(code[pc:]))))
+				pc += 4
+			}
+			in.Switch = sw
+			pendSwitch[len(insts)] = targets
+		case KindLookup:
+			pad := (4 - (pc % 4)) % 4
+			for i := 0; i < pad; i++ {
+				if pc >= len(code) {
+					return nil, decodeErrf(start, "truncated lookupswitch padding")
+				}
+				if code[pc] != 0 {
+					return nil, decodeErrf(start, "non-zero lookupswitch padding")
+				}
+				pc++
+			}
+			if pc+8 > len(code) {
+				return nil, decodeErrf(start, "truncated lookupswitch header")
+			}
+			def := int(int32(binary.BigEndian.Uint32(code[pc:])))
+			n := int(int32(binary.BigEndian.Uint32(code[pc+4:])))
+			pc += 8
+			if n < 0 || pc+8*n > len(code) {
+				return nil, decodeErrf(start, "truncated lookupswitch pairs (%d)", n)
+			}
+			sw := &Switch{}
+			targets := []int{start + def}
+			var prev int64 = -1 << 62
+			for i := 0; i < n; i++ {
+				key := int32(binary.BigEndian.Uint32(code[pc:]))
+				if int64(key) <= prev {
+					return nil, decodeErrf(start, "lookupswitch keys not strictly increasing")
+				}
+				prev = int64(key)
+				sw.Keys = append(sw.Keys, key)
+				targets = append(targets, start+int(int32(binary.BigEndian.Uint32(code[pc+4:]))))
+				pc += 8
+			}
+			in.Switch = sw
+			pendSwitch[len(insts)] = targets
+		case KindExtLL:
+			if pc+2 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			in.Index = uint16(code[pc])
+			in.ArrayType = code[pc+1]
+			pc += 2
+		case KindExtCmpBr:
+			if pc+5 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			in.Index = uint16(code[pc])
+			in.ArrayType = code[pc+1]
+			in.Count = code[pc+2]
+			if in.Count > 5 {
+				return nil, decodeErrf(start, "ext_cmp_branch: bad condition %d", in.Count)
+			}
+			off := int(int16(binary.BigEndian.Uint16(code[pc+3:])))
+			pc += 5
+			pending = append(pending, pendingBranch{inst: len(insts), target: start + off})
+		case KindExtIincLd:
+			if pc+2 > len(code) {
+				return nil, decodeErrf(start, "truncated %s", info.name)
+			}
+			in.Index = uint16(code[pc])
+			in.Const = int32(int8(code[pc+1]))
+			pc += 2
+		case KindWidePfx:
+			// handled above
+		}
+		idxAt[start] = len(insts)
+		insts = append(insts, in)
+	}
+
+	resolve := func(at, target int) (int, error) {
+		idx, ok := idxAt[target]
+		if !ok {
+			return 0, decodeErrf(insts[at].PC, "branch target %d is not an instruction boundary", target)
+		}
+		return idx, nil
+	}
+	for _, pb := range pending {
+		idx, err := resolve(pb.inst, pb.target)
+		if err != nil {
+			return nil, err
+		}
+		insts[pb.inst].Target = idx
+	}
+	for instIdx, targets := range pendSwitch {
+		sw := insts[instIdx].Switch
+		def, err := resolve(instIdx, targets[0])
+		if err != nil {
+			return nil, err
+		}
+		sw.Default = def
+		for _, t := range targets[1:] {
+			idx, err := resolve(instIdx, t)
+			if err != nil {
+				return nil, err
+			}
+			sw.Targets = append(sw.Targets, idx)
+		}
+	}
+	return insts, nil
+}
+
+// PCMap returns, for each instruction index, its byte offset as recorded
+// at decode time. Useful for mapping exception tables into instruction
+// indices.
+func PCMap(insts []Inst) map[int]int {
+	m := make(map[int]int, len(insts))
+	for i, in := range insts {
+		m[in.PC] = i
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package bytecode
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randInsts generates a random—but structurally valid—instruction list:
+// opcodes from a safe mix, branch/switch targets within range.
+type randInsts []Inst
+
+// Generate implements quick.Generator.
+func (randInsts) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 2 + r.Intn(60)
+	insts := make([]Inst, 0, n)
+	for i := 0; i < n-1; i++ {
+		switch r.Intn(10) {
+		case 0:
+			insts = append(insts, Inst{Op: Nop, Target: -1})
+		case 1:
+			insts = append(insts, Inst{Op: Bipush, Const: int32(int8(r.Int())), Target: -1})
+		case 2:
+			insts = append(insts, Inst{Op: Sipush, Const: int32(int16(r.Int())), Target: -1})
+		case 3:
+			insts = append(insts, Inst{Op: Iload, Index: uint16(r.Intn(400)), Target: -1})
+		case 4:
+			insts = append(insts, Inst{Op: Iinc, Index: uint16(r.Intn(300)), Const: int32(r.Intn(40000) - 20000), Target: -1})
+		case 5:
+			insts = append(insts, Inst{Op: Goto, Target: r.Intn(n)})
+		case 6:
+			insts = append(insts, Inst{Op: IfIcmplt, Target: r.Intn(n)})
+		case 7:
+			arms := 1 + r.Intn(4)
+			sw := &Switch{Low: int32(r.Intn(100) - 50), Default: r.Intn(n)}
+			for a := 0; a < arms; a++ {
+				sw.Targets = append(sw.Targets, r.Intn(n))
+			}
+			insts = append(insts, Inst{Op: Tableswitch, Switch: sw})
+		case 8:
+			arms := 1 + r.Intn(4)
+			sw := &Switch{Default: r.Intn(n)}
+			key := int32(r.Intn(50) - 100)
+			for a := 0; a < arms; a++ {
+				sw.Keys = append(sw.Keys, key)
+				sw.Targets = append(sw.Targets, r.Intn(n))
+				key += int32(1 + r.Intn(40))
+			}
+			insts = append(insts, Inst{Op: Lookupswitch, Switch: sw})
+		default:
+			insts = append(insts, Inst{Op: Iadd, Target: -1})
+		}
+	}
+	insts = append(insts, Inst{Op: Return, Target: -1})
+	return reflect.ValueOf(randInsts(insts))
+}
+
+// TestQuickEncodeDecodeRoundTrip: any structurally valid instruction
+// list must survive Encode→Decode with identical semantics-bearing
+// fields and targets.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(ri randInsts) bool {
+		insts := []Inst(ri)
+		code, _, err := Encode(insts)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		back, err := Decode(code)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		if len(back) != len(insts) {
+			t.Logf("length %d != %d", len(back), len(insts))
+			return false
+		}
+		for i := range insts {
+			w, g := insts[i], back[i]
+			// goto may have been widened to goto_w.
+			if w.Op == Goto && g.Op == GotoW {
+				g.Op = Goto
+			}
+			// iload/iinc may have been widened.
+			if g.Wide {
+				g.Wide = false
+			}
+			if g.Op != w.Op || g.Index != w.Index || g.Const != w.Const {
+				t.Logf("inst %d: %+v != %+v", i, g, w)
+				return false
+			}
+			if w.Op.IsBranch() && g.Target != w.Target {
+				t.Logf("inst %d target: %d != %d", i, g.Target, w.Target)
+				return false
+			}
+			if w.Op.IsSwitch() {
+				if g.Switch.Default != w.Switch.Default ||
+					len(g.Switch.Targets) != len(w.Switch.Targets) {
+					return false
+				}
+				for k := range w.Switch.Targets {
+					if g.Switch.Targets[k] != w.Switch.Targets[k] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randType generates a random valid field type descriptor.
+type randType string
+
+// Generate implements quick.Generator.
+func (randType) Generate(r *rand.Rand, size int) reflect.Value {
+	var build func(depth int) string
+	build = func(depth int) string {
+		prims := []string{"B", "C", "D", "F", "I", "J", "S", "Z"}
+		switch {
+		case depth < 3 && r.Intn(4) == 0:
+			return "[" + build(depth+1)
+		case r.Intn(3) == 0:
+			segs := 1 + r.Intn(3)
+			name := ""
+			for i := 0; i < segs; i++ {
+				if i > 0 {
+					name += "/"
+				}
+				name += string(rune('a' + r.Intn(26)))
+			}
+			return "L" + name + ";"
+		default:
+			return prims[r.Intn(len(prims))]
+		}
+	}
+	return reflect.ValueOf(randType(build(0)))
+}
+
+// TestQuickDescriptorRoundTrip: ParseType(t).String() == t for any valid
+// descriptor, and method descriptors assembled from them round-trip too.
+func TestQuickDescriptorRoundTrip(t *testing.T) {
+	f := func(a, b, ret randType) bool {
+		ty, err := ParseType(string(a))
+		if err != nil || ty.String() != string(a) {
+			return false
+		}
+		md := "(" + string(a) + string(b) + ")" + string(ret)
+		mt, err := ParseMethodType(md)
+		if err != nil || mt.String() != md {
+			return false
+		}
+		// Slot accounting is consistent.
+		slots := 0
+		for _, p := range mt.Params {
+			slots += p.Slots()
+		}
+		return slots == mt.ParamSlots()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package classfile
+
+import "testing"
+
+// BenchmarkParse measures classfile decode throughput.
+func BenchmarkParse(b *testing.B) {
+	cf := buildBenchClass(b)
+	data, err := cf.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncode measures classfile serialization throughput.
+func BenchmarkEncode(b *testing.B) {
+	cf := buildBenchClass(b)
+	data, err := cf.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cf.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildBenchClass constructs a mid-sized class: a realistic pool and a
+// few dozen members.
+func buildBenchClass(b *testing.B) *ClassFile {
+	b.Helper()
+	pool := NewConstPool()
+	cf := &ClassFile{
+		MinorVersion: 3, MajorVersion: 45,
+		Pool:        pool,
+		AccessFlags: AccPublic | AccSuper,
+	}
+	cf.ThisClass = pool.AddClass("bench/Big")
+	cf.SuperClass = pool.AddClass("java/lang/Object")
+	for i := 0; i < 64; i++ {
+		pool.AddString(repeat("resource text ", i%7+1))
+		pool.AddMethodref("bench/Big", name("m", i), "(I)I")
+	}
+	for i := 0; i < 32; i++ {
+		cf.Fields = append(cf.Fields, &Member{
+			AccessFlags:     AccPrivate,
+			NameIndex:       pool.AddUtf8(name("f", i)),
+			DescriptorIndex: pool.AddUtf8("I"),
+		})
+		m := &Member{
+			AccessFlags:     AccPublic | AccStatic,
+			NameIndex:       pool.AddUtf8(name("m", i)),
+			DescriptorIndex: pool.AddUtf8("(I)I"),
+		}
+		code := &Code{MaxStack: 2, MaxLocals: 2, Bytecode: []byte{0x1a, 0xac}} // iload_0; ireturn
+		if err := cf.SetCode(m, code); err != nil {
+			b.Fatal(err)
+		}
+		cf.Methods = append(cf.Methods, m)
+	}
+	return cf
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func repeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}

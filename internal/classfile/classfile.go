@@ -1,0 +1,184 @@
+// Package classfile implements a reader and writer for the Java class file
+// format (JVM specification, chapter 4, as of the Java 1.2 era targeted by
+// the SOSP'99 distributed virtual machine paper).
+//
+// The package is the lowest substrate of the DVM: every static service —
+// verifier, security rewriter, auditor, optimizer, compiler — parses
+// incoming classes with it, transforms them, and re-serializes them. It is
+// therefore built to round-trip: Parse followed by Encode reproduces an
+// equivalent classfile, and the constant pool supports interning new
+// entries so rewriters can splice in references without disturbing
+// existing indices.
+package classfile
+
+import "fmt"
+
+// Magic is the four-byte signature that begins every Java class file.
+const Magic = 0xCAFEBABE
+
+// Class access and property flags (JVM spec table 4.1).
+const (
+	AccPublic       = 0x0001
+	AccPrivate      = 0x0002
+	AccProtected    = 0x0004
+	AccStatic       = 0x0008
+	AccFinal        = 0x0010
+	AccSuper        = 0x0020 // on classes
+	AccSynchronized = 0x0020 // on methods
+	AccVolatile     = 0x0040
+	AccTransient    = 0x0080
+	AccNative       = 0x0100
+	AccInterface    = 0x0200
+	AccAbstract     = 0x0400
+)
+
+// ClassFile is the in-memory representation of a parsed .class file.
+// Indices (ThisClass, SuperClass, name/descriptor indices inside members)
+// refer to entries in Pool exactly as in the on-disk format; accessor
+// methods resolve them to strings.
+type ClassFile struct {
+	MinorVersion uint16
+	MajorVersion uint16
+	Pool         *ConstPool
+	AccessFlags  uint16
+	ThisClass    uint16 // Pool index of a Class constant
+	SuperClass   uint16 // Pool index of a Class constant, 0 for java/lang/Object
+	Interfaces   []uint16
+	Fields       []*Member
+	Methods      []*Member
+	Attributes   []*Attribute
+}
+
+// Member is a field or method description (field_info / method_info).
+type Member struct {
+	AccessFlags     uint16
+	NameIndex       uint16
+	DescriptorIndex uint16
+	Attributes      []*Attribute
+}
+
+// Attribute is a named attribute with its raw payload. Known attributes
+// (Code, ConstantValue, Exceptions, SourceFile, LineNumberTable) can be
+// decoded with the typed helpers in attributes.go; unknown attributes are
+// preserved verbatim so rewriting never drops vendor data.
+type Attribute struct {
+	NameIndex uint16
+	Info      []byte
+}
+
+// Name returns the class's fully qualified internal name
+// (e.g. "java/lang/String").
+func (cf *ClassFile) Name() string {
+	n, err := cf.Pool.ClassName(cf.ThisClass)
+	if err != nil {
+		return ""
+	}
+	return n
+}
+
+// SuperName returns the internal name of the superclass, or "" for
+// java/lang/Object (whose super_class index is zero).
+func (cf *ClassFile) SuperName() string {
+	if cf.SuperClass == 0 {
+		return ""
+	}
+	n, err := cf.Pool.ClassName(cf.SuperClass)
+	if err != nil {
+		return ""
+	}
+	return n
+}
+
+// InterfaceNames resolves the direct superinterface names.
+func (cf *ClassFile) InterfaceNames() []string {
+	out := make([]string, 0, len(cf.Interfaces))
+	for _, idx := range cf.Interfaces {
+		n, err := cf.Pool.ClassName(idx)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// IsInterface reports whether the class was declared as an interface.
+func (cf *ClassFile) IsInterface() bool { return cf.AccessFlags&AccInterface != 0 }
+
+// FindMethod returns the first method with the given name and descriptor,
+// or nil if the class declares no such method.
+func (cf *ClassFile) FindMethod(name, desc string) *Member {
+	for _, m := range cf.Methods {
+		if cf.MemberName(m) == name && cf.MemberDescriptor(m) == desc {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindField returns the first field with the given name and descriptor,
+// or nil if the class declares no such field.
+func (cf *ClassFile) FindField(name, desc string) *Member {
+	for _, f := range cf.Fields {
+		if cf.MemberName(f) == name && cf.MemberDescriptor(f) == desc {
+			return f
+		}
+	}
+	return nil
+}
+
+// MemberName resolves a member's name through the constant pool.
+func (cf *ClassFile) MemberName(m *Member) string {
+	s, err := cf.Pool.Utf8(m.NameIndex)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+// MemberDescriptor resolves a member's type descriptor through the pool.
+func (cf *ClassFile) MemberDescriptor(m *Member) string {
+	s, err := cf.Pool.Utf8(m.DescriptorIndex)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+// AttrName resolves an attribute's name through the constant pool.
+func (cf *ClassFile) AttrName(a *Attribute) string {
+	s, err := cf.Pool.Utf8(a.NameIndex)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+// FindAttr returns the first attribute with the given name in the list,
+// or nil if absent.
+func (cf *ClassFile) FindAttr(attrs []*Attribute, name string) *Attribute {
+	for _, a := range attrs {
+		if cf.AttrName(a) == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// FormatError describes a structural malformation found while parsing or
+// validating a class file. The verifier's phase 1 reports these.
+type FormatError struct {
+	Offset int    // byte offset where the problem was detected, -1 if unknown
+	Msg    string // human-readable description
+}
+
+func (e *FormatError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("classfile: offset %d: %s", e.Offset, e.Msg)
+	}
+	return "classfile: " + e.Msg
+}
+
+func formatErrf(off int, format string, args ...any) error {
+	return &FormatError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,351 @@
+package classfile
+
+import "fmt"
+
+// ConstTag identifies the kind of a constant pool entry (JVM spec 4.4).
+type ConstTag uint8
+
+// Constant pool tags for the Java 1.2-era format.
+const (
+	TagUtf8               ConstTag = 1
+	TagInteger            ConstTag = 3
+	TagFloat              ConstTag = 4
+	TagLong               ConstTag = 5
+	TagDouble             ConstTag = 6
+	TagClass              ConstTag = 7
+	TagString             ConstTag = 8
+	TagFieldref           ConstTag = 9
+	TagMethodref          ConstTag = 10
+	TagInterfaceMethodref ConstTag = 11
+	TagNameAndType        ConstTag = 12
+)
+
+// String returns the spec name of the tag.
+func (t ConstTag) String() string {
+	switch t {
+	case TagUtf8:
+		return "Utf8"
+	case TagInteger:
+		return "Integer"
+	case TagFloat:
+		return "Float"
+	case TagLong:
+		return "Long"
+	case TagDouble:
+		return "Double"
+	case TagClass:
+		return "Class"
+	case TagString:
+		return "String"
+	case TagFieldref:
+		return "Fieldref"
+	case TagMethodref:
+		return "Methodref"
+	case TagInterfaceMethodref:
+		return "InterfaceMethodref"
+	case TagNameAndType:
+		return "NameAndType"
+	}
+	return fmt.Sprintf("Tag(%d)", uint8(t))
+}
+
+// Constant is one constant-pool entry. A single struct (rather than an
+// interface per tag) keeps serialization, copying, and pool interning
+// simple. Which fields are meaningful depends on Tag:
+//
+//	Utf8                     Str
+//	Integer                  Int
+//	Float                    Float
+//	Long                     Long
+//	Double                   Double
+//	Class                    Ref1 = name_index (Utf8)
+//	String                   Ref1 = string_index (Utf8)
+//	Fieldref / Methodref /
+//	InterfaceMethodref       Ref1 = class_index, Ref2 = name_and_type_index
+//	NameAndType              Ref1 = name_index, Ref2 = descriptor_index
+type Constant struct {
+	Tag    ConstTag
+	Str    string
+	Int    int32
+	Float  float32
+	Long   int64
+	Double float64
+	Ref1   uint16
+	Ref2   uint16
+}
+
+// Wide reports whether the constant occupies two pool slots
+// (Long and Double do, per the spec's famous design wart).
+func (c Constant) Wide() bool { return c.Tag == TagLong || c.Tag == TagDouble }
+
+// ConstPool holds the constant pool. Index 0 is reserved/invalid, exactly
+// as on disk; Long and Double entries are followed by an unusable
+// placeholder slot. The pool supports interning: the Add* methods return
+// the index of an existing identical entry instead of growing the pool,
+// which rewriting services rely on to keep transformed classes small.
+type ConstPool struct {
+	entries []Constant // entries[0] is a zero placeholder
+	index   map[string]uint16
+}
+
+// NewConstPool returns an empty pool (containing only the reserved slot 0).
+func NewConstPool() *ConstPool {
+	return &ConstPool{entries: make([]Constant, 1), index: make(map[string]uint16)}
+}
+
+// Size returns the constant_pool_count value: number of slots including
+// the reserved zeroth slot and Long/Double placeholders.
+func (p *ConstPool) Size() int { return len(p.entries) }
+
+// Valid reports whether idx names a usable entry (non-zero, in range, and
+// not the dead second slot of a Long/Double).
+func (p *ConstPool) Valid(idx uint16) bool {
+	if idx == 0 || int(idx) >= len(p.entries) {
+		return false
+	}
+	return p.entries[idx].Tag != 0
+}
+
+// Entry returns the constant at idx. It returns an error rather than
+// panicking so that phase-1 verification can report malformed indices in
+// hostile classfiles gracefully.
+func (p *ConstPool) Entry(idx uint16) (Constant, error) {
+	if !p.Valid(idx) {
+		return Constant{}, formatErrf(-1, "invalid constant pool index %d (pool size %d)", idx, len(p.entries))
+	}
+	return p.entries[idx], nil
+}
+
+// Tag returns the tag at idx, or 0 if the index is invalid.
+func (p *ConstPool) Tag(idx uint16) ConstTag {
+	if !p.Valid(idx) {
+		return 0
+	}
+	return p.entries[idx].Tag
+}
+
+// Utf8 resolves idx as a Utf8 constant.
+func (p *ConstPool) Utf8(idx uint16) (string, error) {
+	c, err := p.Entry(idx)
+	if err != nil {
+		return "", err
+	}
+	if c.Tag != TagUtf8 {
+		return "", formatErrf(-1, "constant %d is %s, want Utf8", idx, c.Tag)
+	}
+	return c.Str, nil
+}
+
+// ClassName resolves idx as a Class constant and returns the referenced
+// internal class name.
+func (p *ConstPool) ClassName(idx uint16) (string, error) {
+	c, err := p.Entry(idx)
+	if err != nil {
+		return "", err
+	}
+	if c.Tag != TagClass {
+		return "", formatErrf(-1, "constant %d is %s, want Class", idx, c.Tag)
+	}
+	return p.Utf8(c.Ref1)
+}
+
+// NameAndType resolves idx as a NameAndType constant, returning the name
+// and descriptor strings.
+func (p *ConstPool) NameAndType(idx uint16) (name, desc string, err error) {
+	c, err := p.Entry(idx)
+	if err != nil {
+		return "", "", err
+	}
+	if c.Tag != TagNameAndType {
+		return "", "", formatErrf(-1, "constant %d is %s, want NameAndType", idx, c.Tag)
+	}
+	if name, err = p.Utf8(c.Ref1); err != nil {
+		return "", "", err
+	}
+	if desc, err = p.Utf8(c.Ref2); err != nil {
+		return "", "", err
+	}
+	return name, desc, nil
+}
+
+// MemberRef is the resolved form of a Fieldref, Methodref, or
+// InterfaceMethodref constant.
+type MemberRef struct {
+	Class string // internal class name owning the member
+	Name  string
+	Desc  string
+}
+
+func (r MemberRef) String() string { return r.Class + "." + r.Name + r.Desc }
+
+// Ref resolves idx as a member reference constant of any of the three
+// reference tags.
+func (p *ConstPool) Ref(idx uint16) (MemberRef, error) {
+	c, err := p.Entry(idx)
+	if err != nil {
+		return MemberRef{}, err
+	}
+	switch c.Tag {
+	case TagFieldref, TagMethodref, TagInterfaceMethodref:
+	default:
+		return MemberRef{}, formatErrf(-1, "constant %d is %s, want a member reference", idx, c.Tag)
+	}
+	cls, err := p.ClassName(c.Ref1)
+	if err != nil {
+		return MemberRef{}, err
+	}
+	name, desc, err := p.NameAndType(c.Ref2)
+	if err != nil {
+		return MemberRef{}, err
+	}
+	return MemberRef{Class: cls, Name: name, Desc: desc}, nil
+}
+
+// StringValue resolves idx as a String constant and returns its text.
+func (p *ConstPool) StringValue(idx uint16) (string, error) {
+	c, err := p.Entry(idx)
+	if err != nil {
+		return "", err
+	}
+	if c.Tag != TagString {
+		return "", formatErrf(-1, "constant %d is %s, want String", idx, c.Tag)
+	}
+	return p.Utf8(c.Ref1)
+}
+
+// append adds a raw entry (no interning) and returns its index.
+// It is used by the parser, which must preserve on-disk indices.
+func (p *ConstPool) append(c Constant) (uint16, error) {
+	idx := len(p.entries)
+	if c.Wide() {
+		if idx+1 > 0xFFFF {
+			return 0, formatErrf(-1, "constant pool overflow")
+		}
+		p.entries = append(p.entries, c, Constant{})
+	} else {
+		if idx > 0xFFFF {
+			return 0, formatErrf(-1, "constant pool overflow")
+		}
+		p.entries = append(p.entries, c)
+	}
+	return uint16(idx), nil
+}
+
+func (p *ConstPool) intern(key string, c Constant) uint16 {
+	if idx, ok := p.index[key]; ok {
+		return idx
+	}
+	idx, err := p.append(c)
+	if err != nil {
+		// Pools this large are rejected during parsing; builders that
+		// overflow 65535 entries are programming errors.
+		panic(err)
+	}
+	p.index[key] = idx
+	return idx
+}
+
+// rebuildIndex populates the interning map after parsing, so that
+// rewriters reuse the class's own entries.
+func (p *ConstPool) rebuildIndex() {
+	p.index = make(map[string]uint16, len(p.entries))
+	for i := len(p.entries) - 1; i >= 1; i-- {
+		c := p.entries[i]
+		if key, ok := p.keyOf(c); ok {
+			p.index[key] = uint16(i)
+		}
+	}
+}
+
+func (p *ConstPool) keyOf(c Constant) (string, bool) {
+	switch c.Tag {
+	case TagUtf8:
+		return "u\x00" + c.Str, true
+	case TagInteger:
+		return fmt.Sprintf("i\x00%d", c.Int), true
+	case TagFloat:
+		return fmt.Sprintf("f\x00%x", c.Float), true
+	case TagLong:
+		return fmt.Sprintf("l\x00%d", c.Long), true
+	case TagDouble:
+		return fmt.Sprintf("d\x00%x", c.Double), true
+	case TagClass:
+		return fmt.Sprintf("c\x00%d", c.Ref1), true
+	case TagString:
+		return fmt.Sprintf("s\x00%d", c.Ref1), true
+	case TagNameAndType:
+		return fmt.Sprintf("n\x00%d\x00%d", c.Ref1, c.Ref2), true
+	case TagFieldref:
+		return fmt.Sprintf("F\x00%d\x00%d", c.Ref1, c.Ref2), true
+	case TagMethodref:
+		return fmt.Sprintf("M\x00%d\x00%d", c.Ref1, c.Ref2), true
+	case TagInterfaceMethodref:
+		return fmt.Sprintf("I\x00%d\x00%d", c.Ref1, c.Ref2), true
+	}
+	return "", false
+}
+
+// AddUtf8 interns a Utf8 constant and returns its index.
+func (p *ConstPool) AddUtf8(s string) uint16 {
+	return p.intern("u\x00"+s, Constant{Tag: TagUtf8, Str: s})
+}
+
+// AddInteger interns an Integer constant.
+func (p *ConstPool) AddInteger(v int32) uint16 {
+	return p.intern(fmt.Sprintf("i\x00%d", v), Constant{Tag: TagInteger, Int: v})
+}
+
+// AddFloat interns a Float constant.
+func (p *ConstPool) AddFloat(v float32) uint16 {
+	return p.intern(fmt.Sprintf("f\x00%x", v), Constant{Tag: TagFloat, Float: v})
+}
+
+// AddLong interns a Long constant (occupies two slots).
+func (p *ConstPool) AddLong(v int64) uint16 {
+	return p.intern(fmt.Sprintf("l\x00%d", v), Constant{Tag: TagLong, Long: v})
+}
+
+// AddDouble interns a Double constant (occupies two slots).
+func (p *ConstPool) AddDouble(v float64) uint16 {
+	return p.intern(fmt.Sprintf("d\x00%x", v), Constant{Tag: TagDouble, Double: v})
+}
+
+// AddClass interns a Class constant for the given internal name.
+func (p *ConstPool) AddClass(name string) uint16 {
+	ni := p.AddUtf8(name)
+	return p.intern(fmt.Sprintf("c\x00%d", ni), Constant{Tag: TagClass, Ref1: ni})
+}
+
+// AddString interns a String constant with the given text.
+func (p *ConstPool) AddString(s string) uint16 {
+	si := p.AddUtf8(s)
+	return p.intern(fmt.Sprintf("s\x00%d", si), Constant{Tag: TagString, Ref1: si})
+}
+
+// AddNameAndType interns a NameAndType constant.
+func (p *ConstPool) AddNameAndType(name, desc string) uint16 {
+	ni := p.AddUtf8(name)
+	di := p.AddUtf8(desc)
+	return p.intern(fmt.Sprintf("n\x00%d\x00%d", ni, di), Constant{Tag: TagNameAndType, Ref1: ni, Ref2: di})
+}
+
+// AddFieldref interns a Fieldref constant.
+func (p *ConstPool) AddFieldref(class, name, desc string) uint16 {
+	ci := p.AddClass(class)
+	nt := p.AddNameAndType(name, desc)
+	return p.intern(fmt.Sprintf("F\x00%d\x00%d", ci, nt), Constant{Tag: TagFieldref, Ref1: ci, Ref2: nt})
+}
+
+// AddMethodref interns a Methodref constant.
+func (p *ConstPool) AddMethodref(class, name, desc string) uint16 {
+	ci := p.AddClass(class)
+	nt := p.AddNameAndType(name, desc)
+	return p.intern(fmt.Sprintf("M\x00%d\x00%d", ci, nt), Constant{Tag: TagMethodref, Ref1: ci, Ref2: nt})
+}
+
+// AddInterfaceMethodref interns an InterfaceMethodref constant.
+func (p *ConstPool) AddInterfaceMethodref(class, name, desc string) uint16 {
+	ci := p.AddClass(class)
+	nt := p.AddNameAndType(name, desc)
+	return p.intern(fmt.Sprintf("I\x00%d\x00%d", ci, nt), Constant{Tag: TagInterfaceMethodref, Ref1: ci, Ref2: nt})
+}

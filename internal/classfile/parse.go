@@ -1,0 +1,318 @@
+package classfile
+
+import (
+	"encoding/binary"
+	"math"
+	"unicode/utf8"
+)
+
+// MaxClassFileSize bounds the classfiles the parser accepts. The proxy
+// parses hostile input from the open Internet; an explicit bound keeps a
+// malicious length field from forcing a huge allocation.
+const MaxClassFileSize = 16 << 20
+
+// reader is a bounds-checked big-endian cursor over the raw classfile.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = formatErrf(r.off, format, args...)
+	}
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.data) {
+		r.fail("truncated: need %d bytes, have %d", n, len(r.data)-r.off)
+		return false
+	}
+	return true
+}
+
+func (r *reader) u1() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u2() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u4() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if n < 0 || !r.need(n) {
+		if n < 0 {
+			r.fail("negative length %d", n)
+		}
+		return nil
+	}
+	v := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+// Parse decodes a classfile from its serialized form. It performs the
+// structural decoding only; deeper consistency checks (phase 1 of
+// verification) live in the verifier package so that the split between
+// "can be decoded" and "is well-formed" matches the paper's service
+// factoring.
+func Parse(data []byte) (*ClassFile, error) {
+	if len(data) > MaxClassFileSize {
+		return nil, formatErrf(0, "classfile exceeds maximum size (%d > %d)", len(data), MaxClassFileSize)
+	}
+	r := &reader{data: data}
+	if magic := r.u4(); r.err == nil && magic != Magic {
+		return nil, formatErrf(0, "bad magic 0x%08X", magic)
+	}
+	cf := &ClassFile{}
+	cf.MinorVersion = r.u2()
+	cf.MajorVersion = r.u2()
+
+	pool, err := parsePool(r)
+	if err != nil {
+		return nil, err
+	}
+	cf.Pool = pool
+
+	cf.AccessFlags = r.u2()
+	cf.ThisClass = r.u2()
+	cf.SuperClass = r.u2()
+
+	ifaceCount := int(r.u2())
+	if r.err == nil && ifaceCount*2 > len(data)-r.off {
+		return nil, formatErrf(r.off, "interface count %d exceeds remaining data", ifaceCount)
+	}
+	cf.Interfaces = make([]uint16, 0, ifaceCount)
+	for i := 0; i < ifaceCount && r.err == nil; i++ {
+		cf.Interfaces = append(cf.Interfaces, r.u2())
+	}
+
+	if cf.Fields, err = parseMembers(r); err != nil {
+		return nil, err
+	}
+	if cf.Methods, err = parseMembers(r); err != nil {
+		return nil, err
+	}
+	if cf.Attributes, err = parseAttributes(r); err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, formatErrf(r.off, "%d trailing bytes after class structure", len(data)-r.off)
+	}
+	return cf, nil
+}
+
+func parsePool(r *reader) (*ConstPool, error) {
+	count := int(r.u2())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if count == 0 {
+		return nil, formatErrf(r.off, "constant pool count must be at least 1")
+	}
+	pool := NewConstPool()
+	for len(pool.entries) < count {
+		tag := ConstTag(r.u1())
+		if r.err != nil {
+			return nil, r.err
+		}
+		var c Constant
+		c.Tag = tag
+		switch tag {
+		case TagUtf8:
+			n := int(r.u2())
+			raw := r.bytes(n)
+			if r.err != nil {
+				return nil, r.err
+			}
+			s, ok := decodeModifiedUTF8(raw)
+			if !ok {
+				return nil, formatErrf(r.off, "malformed modified-UTF8 in constant %d", len(pool.entries))
+			}
+			c.Str = s
+		case TagInteger:
+			c.Int = int32(r.u4())
+		case TagFloat:
+			c.Float = math.Float32frombits(r.u4())
+		case TagLong:
+			hi := uint64(r.u4())
+			lo := uint64(r.u4())
+			c.Long = int64(hi<<32 | lo)
+		case TagDouble:
+			hi := uint64(r.u4())
+			lo := uint64(r.u4())
+			c.Double = math.Float64frombits(hi<<32 | lo)
+		case TagClass, TagString:
+			c.Ref1 = r.u2()
+		case TagFieldref, TagMethodref, TagInterfaceMethodref, TagNameAndType:
+			c.Ref1 = r.u2()
+			c.Ref2 = r.u2()
+		default:
+			return nil, formatErrf(r.off, "unknown constant pool tag %d", tag)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if _, err := pool.append(c); err != nil {
+			return nil, err
+		}
+		if len(pool.entries) > count {
+			return nil, formatErrf(r.off, "Long/Double constant overruns declared pool count %d", count)
+		}
+	}
+	pool.rebuildIndex()
+	return pool, nil
+}
+
+func parseMembers(r *reader) ([]*Member, error) {
+	count := int(r.u2())
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Each member needs at least 8 bytes (flags, name, desc, attr count).
+	if count*8 > len(r.data)-r.off {
+		return nil, formatErrf(r.off, "member count %d exceeds remaining data", count)
+	}
+	members := make([]*Member, 0, count)
+	for i := 0; i < count; i++ {
+		m := &Member{
+			AccessFlags:     r.u2(),
+			NameIndex:       r.u2(),
+			DescriptorIndex: r.u2(),
+		}
+		attrs, err := parseAttributes(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Attributes = attrs
+		members = append(members, m)
+	}
+	return members, r.err
+}
+
+func parseAttributes(r *reader) ([]*Attribute, error) {
+	count := int(r.u2())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if count*6 > len(r.data)-r.off {
+		return nil, formatErrf(r.off, "attribute count %d exceeds remaining data", count)
+	}
+	attrs := make([]*Attribute, 0, count)
+	for i := 0; i < count; i++ {
+		nameIdx := r.u2()
+		length := int(r.u4())
+		info := r.bytes(length)
+		if r.err != nil {
+			return nil, r.err
+		}
+		attrs = append(attrs, &Attribute{NameIndex: nameIdx, Info: info})
+	}
+	return attrs, nil
+}
+
+// decodeModifiedUTF8 decodes the JVM's "modified UTF-8": NUL is encoded as
+// 0xC0 0x80, supplementary characters as CESU-8 surrogate pairs, and no
+// byte may be 0x00 or in 0xF0..0xFF.
+func decodeModifiedUTF8(b []byte) (string, bool) {
+	// Fast path: plain ASCII without NUL.
+	ascii := true
+	for _, c := range b {
+		if c == 0 || c >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return string(b), true
+	}
+	out := make([]rune, 0, len(b))
+	for i := 0; i < len(b); {
+		c := b[i]
+		switch {
+		case c == 0 || c >= 0xF0:
+			return "", false
+		case c < 0x80:
+			out = append(out, rune(c))
+			i++
+		case c&0xE0 == 0xC0:
+			if i+1 >= len(b) || b[i+1]&0xC0 != 0x80 {
+				return "", false
+			}
+			out = append(out, rune(c&0x1F)<<6|rune(b[i+1]&0x3F))
+			i += 2
+		case c&0xF0 == 0xE0:
+			if i+2 >= len(b) || b[i+1]&0xC0 != 0x80 || b[i+2]&0xC0 != 0x80 {
+				return "", false
+			}
+			r := rune(c&0x0F)<<12 | rune(b[i+1]&0x3F)<<6 | rune(b[i+2]&0x3F)
+			// Recombine CESU-8 surrogate pairs into one code point.
+			if r >= 0xD800 && r <= 0xDBFF && i+5 < len(b) &&
+				b[i+3]&0xF0 == 0xE0 {
+				r2 := rune(b[i+3]&0x0F)<<12 | rune(b[i+4]&0x3F)<<6 | rune(b[i+5]&0x3F)
+				if r2 >= 0xDC00 && r2 <= 0xDFFF {
+					out = append(out, ((r-0xD800)<<10|(r2-0xDC00))+0x10000)
+					i += 6
+					continue
+				}
+			}
+			out = append(out, r)
+			i += 3
+		default:
+			return "", false
+		}
+	}
+	return string(out), true
+}
+
+// encodeModifiedUTF8 is the inverse of decodeModifiedUTF8.
+func encodeModifiedUTF8(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == 0:
+			out = append(out, 0xC0, 0x80)
+		case r < 0x80:
+			out = append(out, byte(r))
+		case r < 0x800:
+			out = append(out, 0xC0|byte(r>>6), 0x80|byte(r&0x3F))
+		case r < 0x10000:
+			out = append(out, 0xE0|byte(r>>12), 0x80|byte(r>>6&0x3F), 0x80|byte(r&0x3F))
+		case r <= utf8.MaxRune:
+			// CESU-8 surrogate pair encoding.
+			r -= 0x10000
+			hi := 0xD800 + (r >> 10)
+			lo := 0xDC00 + (r & 0x3FF)
+			out = append(out,
+				0xE0|byte(hi>>12), 0x80|byte(hi>>6&0x3F), 0x80|byte(hi&0x3F),
+				0xE0|byte(lo>>12), 0x80|byte(lo>>6&0x3F), 0x80|byte(lo&0x3F))
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package classfile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The proxy parses classfiles fetched from the open Internet, so the
+// parser must never panic on hostile input: it either errors or returns
+// a structure that re-encodes.
+
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	base, err := buildMinimalRobust(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 5000; trial++ {
+		data := append([]byte(nil), base...)
+		// 1-4 random byte mutations.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			data[rng.Intn(len(data))] = byte(rng.Intn(256))
+		}
+		cf, err := Parse(data)
+		if err != nil {
+			continue // rejected, fine
+		}
+		// Accepted: it must re-encode without panicking.
+		if _, err := cf.Encode(); err != nil {
+			continue
+		}
+	}
+}
+
+func TestParseNeverPanicsOnTruncations(t *testing.T) {
+	base, err := buildMinimalRobust(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= len(base); n++ {
+		_, _ = Parse(base[:n])
+	}
+}
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(512)
+		data := make([]byte, n)
+		rng.Read(data)
+		// Half the trials get a valid magic so parsing goes deeper.
+		if n >= 4 && trial%2 == 0 {
+			data[0], data[1], data[2], data[3] = 0xCA, 0xFE, 0xBA, 0xBE
+		}
+		_, _ = Parse(data)
+	}
+}
+
+func buildMinimalRobust(t *testing.T) *ClassFile {
+	t.Helper()
+	pool := NewConstPool()
+	cf := &ClassFile{
+		MinorVersion: 3, MajorVersion: 45,
+		Pool:        pool,
+		AccessFlags: AccPublic | AccSuper,
+	}
+	cf.ThisClass = pool.AddClass("rob/T")
+	cf.SuperClass = pool.AddClass("java/lang/Object")
+	pool.AddString("payload string")
+	pool.AddLong(1 << 40)
+	pool.AddMethodref("rob/T", "f", "(I)I")
+	m := &Member{
+		AccessFlags:     AccPublic | AccStatic,
+		NameIndex:       pool.AddUtf8("f"),
+		DescriptorIndex: pool.AddUtf8("(I)I"),
+	}
+	code := &Code{MaxStack: 1, MaxLocals: 1, Bytecode: []byte{0x1a, 0xac}}
+	if err := cf.SetCode(m, code); err != nil {
+		t.Fatal(err)
+	}
+	cf.Methods = append(cf.Methods, m)
+	return cf
+}

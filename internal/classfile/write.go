@@ -1,0 +1,127 @@
+package classfile
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// writer accumulates big-endian classfile output.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u1(v uint8)  { w.buf = append(w.buf, v) }
+func (w *writer) u2(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u4(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) raw(b []byte) {
+	w.buf = append(w.buf, b...)
+}
+
+// Encode serializes the class back to the on-disk format. Encoding an
+// unmodified parse result reproduces a byte-for-byte identical file.
+func (cf *ClassFile) Encode() ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 4096)}
+	w.u4(Magic)
+	w.u2(cf.MinorVersion)
+	w.u2(cf.MajorVersion)
+	if err := encodePool(w, cf.Pool); err != nil {
+		return nil, err
+	}
+	w.u2(cf.AccessFlags)
+	w.u2(cf.ThisClass)
+	w.u2(cf.SuperClass)
+	if len(cf.Interfaces) > 0xFFFF {
+		return nil, formatErrf(-1, "too many interfaces (%d)", len(cf.Interfaces))
+	}
+	w.u2(uint16(len(cf.Interfaces)))
+	for _, i := range cf.Interfaces {
+		w.u2(i)
+	}
+	if err := encodeMembers(w, cf.Fields); err != nil {
+		return nil, err
+	}
+	if err := encodeMembers(w, cf.Methods); err != nil {
+		return nil, err
+	}
+	if err := encodeAttributes(w, cf.Attributes); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func encodePool(w *writer, p *ConstPool) error {
+	if p == nil {
+		return formatErrf(-1, "class has no constant pool")
+	}
+	if len(p.entries) > 0xFFFF {
+		return formatErrf(-1, "constant pool too large (%d entries)", len(p.entries))
+	}
+	w.u2(uint16(len(p.entries)))
+	for i := 1; i < len(p.entries); i++ {
+		c := p.entries[i]
+		if c.Tag == 0 {
+			continue // dead second slot of a Long/Double
+		}
+		w.u1(uint8(c.Tag))
+		switch c.Tag {
+		case TagUtf8:
+			enc := encodeModifiedUTF8(c.Str)
+			if len(enc) > 0xFFFF {
+				return formatErrf(-1, "Utf8 constant %d too long (%d bytes)", i, len(enc))
+			}
+			w.u2(uint16(len(enc)))
+			w.raw(enc)
+		case TagInteger:
+			w.u4(uint32(c.Int))
+		case TagFloat:
+			w.u4(math.Float32bits(c.Float))
+		case TagLong:
+			w.u4(uint32(uint64(c.Long) >> 32))
+			w.u4(uint32(uint64(c.Long)))
+		case TagDouble:
+			bits := math.Float64bits(c.Double)
+			w.u4(uint32(bits >> 32))
+			w.u4(uint32(bits))
+		case TagClass, TagString:
+			w.u2(c.Ref1)
+		case TagFieldref, TagMethodref, TagInterfaceMethodref, TagNameAndType:
+			w.u2(c.Ref1)
+			w.u2(c.Ref2)
+		default:
+			return formatErrf(-1, "cannot encode constant %d with tag %d", i, c.Tag)
+		}
+	}
+	return nil
+}
+
+func encodeMembers(w *writer, ms []*Member) error {
+	if len(ms) > 0xFFFF {
+		return formatErrf(-1, "too many members (%d)", len(ms))
+	}
+	w.u2(uint16(len(ms)))
+	for _, m := range ms {
+		w.u2(m.AccessFlags)
+		w.u2(m.NameIndex)
+		w.u2(m.DescriptorIndex)
+		if err := encodeAttributes(w, m.Attributes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeAttributes(w *writer, attrs []*Attribute) error {
+	if len(attrs) > 0xFFFF {
+		return formatErrf(-1, "too many attributes (%d)", len(attrs))
+	}
+	w.u2(uint16(len(attrs)))
+	for _, a := range attrs {
+		if len(a.Info) > math.MaxUint32 {
+			return formatErrf(-1, "attribute too large")
+		}
+		w.u2(a.NameIndex)
+		w.u4(uint32(len(a.Info)))
+		w.raw(a.Info)
+	}
+	return nil
+}

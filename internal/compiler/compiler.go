@@ -1,0 +1,280 @@
+// Package compiler implements the DVM's centralized compilation service
+// (paper §3.4). Monolithic virtual machines compile just-in-time on the
+// client, under tight time and memory pressure; the DVM instead performs
+// the translation once, within the network, for the native format each
+// client described in its handshake — "a compiler within the network can
+// thus perform the translation for that platform ahead of time and thus
+// amortize its startup costs over larger amounts of code."
+//
+// The client architecture targeted here is the DVM runtime's quickened
+// instruction set (bytecode.Ext*): superinstructions that fuse the
+// hottest interpreter dispatch sequences —
+//
+//	iload a; iload b; iadd          → ext_load_add a, b
+//	iload a; iload b; imul          → ext_load_mul a, b
+//	iload a; iload b; if_icmp<c> T  → ext_cmp_branch a, b, c, T
+//	iinc a, k; iload a              → ext_iinc_load a, k
+//
+// The output is NOT standard JVM bytecode: this filter must run last in
+// the pipeline (after verification and the other rewriters) and only for
+// clients whose handshake advertises the "dvm" architecture family.
+// Standard monolithic clients simply receive the unfused code.
+package compiler
+
+import (
+	"fmt"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+	"dvm/internal/rewrite"
+)
+
+// ArchDVM is the client architecture string the handshake uses to opt in
+// to the quickened native format.
+const ArchDVM = "dvm"
+
+// AttrCompiled marks a class translated by the compilation service; the
+// payload is the target architecture string.
+const AttrCompiled = "dvm.Compiled"
+
+// Pipeline note keys published by Filter.
+const (
+	// NoteFusions accumulates (int) the number of superinstructions
+	// emitted across classes.
+	NoteFusions = "compiler.fusions"
+)
+
+// Stats reports what one compilation pass did.
+type Stats struct {
+	MethodsCompiled int
+	Fusions         int
+	BytesBefore     int
+	BytesAfter      int
+}
+
+// CompileClass translates every method body of the class into the
+// quickened format in place.
+func CompileClass(cf *classfile.ClassFile) (Stats, error) {
+	var st Stats
+	for _, m := range cf.Methods {
+		code, err := cf.CodeOf(m)
+		if err != nil {
+			return st, err
+		}
+		if code == nil {
+			continue
+		}
+		st.BytesBefore += len(code.Bytecode)
+		insts, err := bytecode.Decode(code.Bytecode)
+		if err != nil {
+			return st, fmt.Errorf("compiler: %s.%s: %w", cf.Name(), cf.MemberName(m), err)
+		}
+		protected := protectedIndices(insts, code, cf)
+		fused, n := fuse(insts, protected)
+		if n == 0 {
+			st.BytesAfter += len(code.Bytecode)
+			continue
+		}
+		newCode, pcs, err := bytecode.Encode(fused)
+		if err != nil {
+			return st, fmt.Errorf("compiler: %s.%s: %w", cf.Name(), cf.MemberName(m), err)
+		}
+		// Rebuild the exception table over the new layout.
+		if err := remapHandlers(code, insts, fused, pcs, len(code.Bytecode), len(newCode)); err != nil {
+			return st, fmt.Errorf("compiler: %s.%s: %w", cf.Name(), cf.MemberName(m), err)
+		}
+		code.Bytecode = newCode
+		if err := cf.SetCode(m, code); err != nil {
+			return st, err
+		}
+		st.MethodsCompiled++
+		st.Fusions += n
+		st.BytesAfter += len(newCode)
+	}
+	cf.RemoveAttribute(AttrCompiled)
+	cf.AddAttribute(AttrCompiled, []byte(ArchDVM))
+	return st, nil
+}
+
+// protectedIndices marks instruction indices that must stay addressable:
+// branch/switch targets and exception-table boundaries. A fusion window
+// may start at a protected index but not contain one beyond its first
+// instruction.
+func protectedIndices(insts []bytecode.Inst, code *classfile.Code, cf *classfile.ClassFile) map[int]bool {
+	p := make(map[int]bool)
+	for _, in := range insts {
+		if in.Op.IsBranch() {
+			p[in.Target] = true
+		}
+		if in.Op.IsSwitch() {
+			p[in.Switch.Default] = true
+			for _, t := range in.Switch.Targets {
+				p[t] = true
+			}
+		}
+	}
+	pcIdx := bytecode.PCMap(insts)
+	mark := func(pc uint16) {
+		if i, ok := pcIdx[int(pc)]; ok {
+			p[i] = true
+		}
+	}
+	for _, h := range code.Handlers {
+		mark(h.StartPC)
+		mark(h.EndPC)
+		mark(h.HandlerPC)
+	}
+	return p
+}
+
+// fuse rewrites the instruction list, replacing fusible windows with
+// superinstructions and remapping branch targets.
+func fuse(insts []bytecode.Inst, protected map[int]bool) ([]bytecode.Inst, int) {
+	out := make([]bytecode.Inst, 0, len(insts))
+	newIdx := make(map[int]int, len(insts))
+	fusions := 0
+
+	iloadIdx := func(in bytecode.Inst) (uint16, bool) {
+		switch {
+		case in.Op == bytecode.Iload && !in.Wide && in.Index <= 0xFF:
+			return in.Index, true
+		case in.Op >= bytecode.Iload0 && in.Op <= bytecode.Iload3:
+			return uint16(in.Op - bytecode.Iload0), true
+		}
+		return 0, false
+	}
+
+	i := 0
+	for i < len(insts) {
+		emit := func(in bytecode.Inst, consumed int) {
+			newIdx[i] = len(out)
+			out = append(out, in)
+			i += consumed
+		}
+		// Window must not contain protected indices after the first slot.
+		clear3 := i+2 < len(insts) && !protected[i+1] && !protected[i+2]
+		clear2 := i+1 < len(insts) && !protected[i+1]
+
+		if clear3 {
+			a, okA := iloadIdx(insts[i])
+			b, okB := iloadIdx(insts[i+1])
+			third := insts[i+2]
+			if okA && okB {
+				switch {
+				case third.Op == bytecode.Iadd:
+					emit(bytecode.Inst{Op: bytecode.ExtLoadAdd, Index: a, ArrayType: uint8(b), Target: -1}, 3)
+					fusions++
+					continue
+				case third.Op == bytecode.Imul:
+					emit(bytecode.Inst{Op: bytecode.ExtLoadMul, Index: a, ArrayType: uint8(b), Target: -1}, 3)
+					fusions++
+					continue
+				case third.Op >= bytecode.IfIcmpeq && third.Op <= bytecode.IfIcmple:
+					emit(bytecode.Inst{
+						Op: bytecode.ExtCmpBranch, Index: a, ArrayType: uint8(b),
+						Count:  uint8(third.Op - bytecode.IfIcmpeq),
+						Target: third.Target,
+					}, 3)
+					fusions++
+					continue
+				}
+			}
+		}
+		if clear2 && insts[i].Op == bytecode.Iinc && !insts[i].Wide &&
+			insts[i].Index <= 0xFF && insts[i].Const >= -128 && insts[i].Const <= 127 {
+			if b, ok := iloadIdx(insts[i+1]); ok && b == insts[i].Index {
+				emit(bytecode.Inst{Op: bytecode.ExtIincLoad, Index: insts[i].Index, Const: insts[i].Const, Target: -1}, 2)
+				fusions++
+				continue
+			}
+		}
+		emit(insts[i], 1)
+	}
+
+	// Remap targets. Old targets always point at window starts (protected
+	// or untouched), which newIdx covers.
+	for j := range out {
+		in := &out[j]
+		if in.Op.IsBranch() {
+			in.Target = newIdx[in.Target]
+		} else if in.Op.IsSwitch() {
+			sw := *in.Switch
+			sw.Default = newIdx[sw.Default]
+			sw.Targets = append([]int(nil), in.Switch.Targets...)
+			for k, t := range sw.Targets {
+				sw.Targets[k] = newIdx[t]
+			}
+			in.Switch = &sw
+		}
+	}
+	return out, fusions
+}
+
+// remapHandlers rewrites the exception table PCs for the fused layout.
+// Fusion preserves each window's first instruction PC (Decode records
+// original PCs in Inst.PC), which protectedIndices guaranteed covers
+// every handler boundary.
+func remapHandlers(code *classfile.Code, oldInsts, newInsts []bytecode.Inst,
+	newPCs []int, oldCodeLen, newCodeLen int) error {
+	oldPCIdx := bytecode.PCMap(oldInsts)
+	oldToNew := make(map[int]int, len(newInsts))
+	for newI, in := range newInsts {
+		if oldI, ok := oldPCIdx[in.PC]; ok {
+			oldToNew[oldI] = newI
+		}
+	}
+	mapPC := func(pc uint16, isEnd bool) (uint16, error) {
+		if isEnd && int(pc) == oldCodeLen {
+			return uint16(newCodeLen), nil
+		}
+		oldI, ok := oldPCIdx[int(pc)]
+		if !ok {
+			return 0, fmt.Errorf("handler pc %d not on instruction boundary", pc)
+		}
+		newI, ok := oldToNew[oldI]
+		if !ok {
+			return 0, fmt.Errorf("handler boundary %d was fused away", pc)
+		}
+		return uint16(newPCs[newI]), nil
+	}
+	for i := range code.Handlers {
+		h := &code.Handlers[i]
+		s, err := mapPC(h.StartPC, false)
+		if err != nil {
+			return err
+		}
+		e, err := mapPC(h.EndPC, true)
+		if err != nil {
+			return err
+		}
+		hp, err := mapPC(h.HandlerPC, false)
+		if err != nil {
+			return err
+		}
+		h.StartPC, h.EndPC, h.HandlerPC = s, e, hp
+	}
+	return nil
+}
+
+// Filter returns the compilation service as a pipeline filter. It only
+// transforms code when the requesting client's architecture (from the
+// handshake, carried in ctx.ClientArch) opts in to the DVM native
+// format; for every other client it is a no-op, preserving strict JVM
+// compatibility.
+func Filter() rewrite.Filter {
+	return rewrite.FilterFunc{FilterName: "compiler", Fn: func(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+		if ctx.ClientArch != ArchDVM {
+			return nil
+		}
+		st, err := CompileClass(cf)
+		if err != nil {
+			return err
+		}
+		if prev, ok := ctx.Notes[NoteFusions].(int); ok {
+			ctx.Notes[NoteFusions] = prev + st.Fusions
+		} else {
+			ctx.Notes[NoteFusions] = st.Fusions
+		}
+		return nil
+	}}
+}

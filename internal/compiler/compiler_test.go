@@ -1,0 +1,238 @@
+package compiler_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+	"dvm/internal/compiler"
+	"dvm/internal/jvm"
+	"dvm/internal/rewrite"
+)
+
+// buildLoopApp builds app/L with sum(n) = sum of i*i for i<n using
+// fusible iload/iload patterns, plus a method with exception handling.
+func buildLoopApp(t *testing.T) []byte {
+	t.Helper()
+	b := classgen.NewClass("app/L", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "sum", "(I)I")
+	m.IConst(0).IStore(1) // acc
+	m.IConst(0).IStore(2) // i
+	head := m.Here()
+	exit := m.NewLabel()
+	m.ILoad(2).ILoad(0).Branch(bytecode.IfIcmpge, exit) // fusible cmp-branch
+	m.ILoad(2).ILoad(2).IMul()                          // fusible load-mul
+	m.ILoad(1).Swap().IAdd().IStore(1)
+	m.IInc(2, 1)
+	m.Goto(head)
+	m.Mark(exit)
+	m.ILoad(1).IReturn()
+
+	h := b.Method(classfile.AccPublic|classfile.AccStatic, "guarded", "(II)I")
+	start := h.Here()
+	h.ILoad(0).ILoad(1).IAdd() // fusible inside protected region
+	h.ILoad(0).ILoad(1).IDiv()
+	h.IAdd().IReturn()
+	end := h.NewLabel()
+	h.Mark(end)
+	hl := h.Here()
+	h.Pop()
+	h.IConst(-1).IReturn()
+	h.Handler(start, end, hl, "java/lang/ArithmeticException")
+
+	data, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCompileFusesAndPreservesSemantics(t *testing.T) {
+	data := buildLoopApp(t)
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := compiler.CompileClass(cf)
+	if err != nil {
+		t.Fatalf("CompileClass: %v", err)
+	}
+	if st.Fusions == 0 {
+		t.Fatal("no fusions performed")
+	}
+	if st.MethodsCompiled == 0 {
+		t.Error("no methods compiled")
+	}
+	if cf.FindAttr(cf.Attributes, compiler.AttrCompiled) == nil {
+		t.Error("dvm.Compiled attribute missing")
+	}
+	compiled, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict JVM decode must reject the native format...
+	m := cf.FindMethod("sum", "(I)I")
+	code, _ := cf.CodeOf(m)
+	if _, err := bytecode.Decode(code.Bytecode); err == nil {
+		t.Error("strict Decode accepted extension opcodes")
+	}
+	// ...while DecodeExt accepts it.
+	if _, err := bytecode.DecodeExt(code.Bytecode); err != nil {
+		t.Errorf("DecodeExt rejected compiled code: %v", err)
+	}
+
+	// Semantics identical on the DVM client, with fewer dispatches.
+	run := func(classBytes []byte) (int32, int64) {
+		vm, err := jvm.New(jvm.MapLoader{"app/L": classBytes}, &bytes.Buffer{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, thrown, err := vm.MainThread().InvokeByName("app/L", "sum", "(I)I", []jvm.Value{jvm.IntV(100)})
+		if err != nil || thrown != nil {
+			t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+		}
+		return v.Int(), vm.Stats.InstructionsExecuted
+	}
+	wantV, baseInsts := run(data)
+	gotV, fastInsts := run(compiled)
+	if gotV != wantV {
+		t.Fatalf("compiled sum(100) = %d, want %d", gotV, wantV)
+	}
+	if fastInsts >= baseInsts {
+		t.Errorf("compiled code executed %d dispatches, baseline %d — no win", fastInsts, baseInsts)
+	}
+}
+
+func TestCompilePreservesExceptionHandling(t *testing.T) {
+	data := buildLoopApp(t)
+	cf, _ := classfile.Parse(data)
+	if _, err := compiler.CompileClass(cf); err != nil {
+		t.Fatal(err)
+	}
+	compiled, _ := cf.Encode()
+	vm, err := jvm.New(jvm.MapLoader{"app/L": compiled}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal path: (2+3) + (2/3) = 5.
+	v, thrown, err := vm.MainThread().InvokeByName("app/L", "guarded", "(II)I",
+		[]jvm.Value{jvm.IntV(2), jvm.IntV(3)})
+	if err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	if v.Int() != 5 {
+		t.Errorf("guarded(2,3) = %d, want 5", v.Int())
+	}
+	// Exception path: division by zero caught -> -1.
+	v, thrown, err = vm.MainThread().InvokeByName("app/L", "guarded", "(II)I",
+		[]jvm.Value{jvm.IntV(2), jvm.IntV(0)})
+	if err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	if v.Int() != -1 {
+		t.Errorf("guarded(2,0) = %d, want -1 (handler)", v.Int())
+	}
+}
+
+func TestFilterRespectsClientArch(t *testing.T) {
+	data := buildLoopApp(t)
+
+	// A strict JVM client: no transformation.
+	ctx := rewrite.NewContext()
+	ctx.ClientArch = "x86-jdk"
+	out, err := rewrite.NewPipeline(compiler.Filter()).Process(data, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, _ := classfile.Parse(out)
+	code, _ := cf.CodeOf(cf.FindMethod("sum", "(I)I"))
+	if _, err := bytecode.Decode(code.Bytecode); err != nil {
+		t.Errorf("non-DVM client received extension opcodes: %v", err)
+	}
+
+	// A DVM client: quickened.
+	ctx2 := rewrite.NewContext()
+	ctx2.ClientArch = compiler.ArchDVM
+	out2, err := rewrite.NewPipeline(compiler.Filter()).Process(data, ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := ctx2.Notes[compiler.NoteFusions].(int); n == 0 {
+		t.Error("DVM client received no fusions")
+	}
+	cf2, _ := classfile.Parse(out2)
+	code2, _ := cf2.CodeOf(cf2.FindMethod("sum", "(I)I"))
+	if _, err := bytecode.Decode(code2.Bytecode); err == nil {
+		t.Error("DVM output contains no extension opcodes")
+	}
+}
+
+func TestFusionSkipsBranchTargets(t *testing.T) {
+	// A branch targeting the middle of a would-be window must block the
+	// fusion: here the loop jumps straight to the second iload.
+	b := classgen.NewClass("app/T", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "(I)I")
+	mid := m.NewLabel()
+	m.IConst(0).IStore(1)
+	m.ILoad(0)
+	m.Goto(mid)
+	// window candidate: iload_0; [mid] iload_1; iadd
+	m.ILoad(0)
+	m.Mark(mid)
+	m.ILoad(1)
+	m.IAdd()
+	m.IReturn()
+	data, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, _ := classfile.Parse(data)
+	if _, err := compiler.CompileClass(cf); err != nil {
+		t.Fatal(err)
+	}
+	compiled, _ := cf.Encode()
+	vm, err := jvm.New(jvm.MapLoader{"app/T": compiled}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, thrown, err := vm.MainThread().InvokeByName("app/T", "f", "(I)I", []jvm.Value{jvm.IntV(7)})
+	if err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	if v.Int() != 7 {
+		t.Errorf("f(7) = %d, want 7 (goto path: 7 + 0)", v.Int())
+	}
+}
+
+func TestIincLoadFusion(t *testing.T) {
+	b := classgen.NewClass("app/I", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "(I)I")
+	m.ILoad(0).IStore(1)
+	m.IInc(1, 5)
+	m.ILoad(1)
+	m.IReturn()
+	data, _ := b.BuildBytes()
+	cf, _ := classfile.Parse(data)
+	st, err := compiler.CompileClass(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fusions == 0 {
+		t.Fatal("iinc+iload not fused")
+	}
+	compiled, _ := cf.Encode()
+	vm, err := jvm.New(jvm.MapLoader{"app/I": compiled}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, thrown, err := vm.MainThread().InvokeByName("app/I", "f", "(I)I", []jvm.Value{jvm.IntV(10)})
+	if err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	if v.Int() != 15 {
+		t.Errorf("f(10) = %d, want 15", v.Int())
+	}
+}

@@ -1,0 +1,371 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dvm/internal/classfile"
+	"dvm/internal/jvm"
+	"dvm/internal/proxy"
+	"dvm/internal/rewrite"
+	"dvm/internal/security"
+	"dvm/internal/verifier"
+	"dvm/internal/workload"
+)
+
+// Ablations probe the design decisions DESIGN.md calls out: the paper
+// motivates each (naive distribution, lazy link checks, client caching,
+// the reflection anecdote); these experiments quantify them on this
+// implementation.
+
+// AblationRPC compares the DVM's factored verification against the §2
+// strawman: "services decomposed along existing interfaces and moved,
+// intact, to remote hosts" — every verifier check becomes a remote
+// interaction. The paper predicts this is "prohibitively expensive due
+// to the cost of remote communication ... and the frequency of
+// inter-component interactions"; this experiment quantifies it.
+type AblationRPCResult struct {
+	StaticChecks  int
+	DynamicChecks int64
+	FactoredTime  time.Duration // measured: one-time server pass + local resolution
+	NaiveRPCTime  time.Duration // modeled: one round trip per verifier interaction
+	Slowdown      float64
+}
+
+// AblationRPC runs one benchmark in self-verifying form and contrasts
+// the two distribution strategies.
+func AblationRPC(spec workload.Spec, rtt time.Duration) (AblationRPCResult, string, error) {
+	app, err := workload.Generate(spec)
+	if err != nil {
+		return AblationRPCResult{}, "", err
+	}
+	origin := proxy.MapOrigin(app.Classes)
+	p := proxy.New(origin, proxy.Config{
+		Pipeline:     rewrite.NewPipeline(verifier.Filter()),
+		CacheEnabled: true,
+	})
+	// Factored: the static pass happens once on the server (measured as
+	// part of the first run), and clients resolve injected checks
+	// locally.
+	c, err := NewDVMClient(p, "ablation", nil, nil)
+	if err != nil {
+		return AblationRPCResult{}, "", err
+	}
+	start := time.Now()
+	if thrown, err := c.VM.RunMain(spec.MainClass(), nil); err != nil || thrown != nil {
+		return AblationRPCResult{}, "", runFail(spec.Name, thrown, err)
+	}
+	factored := time.Since(start)
+	dynChecks := c.VM.Stats.LinkChecks
+
+	// Count the verifier interactions the naive design would remote.
+	var census verifier.Census
+	for _, data := range app.Classes {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			return AblationRPCResult{}, "", err
+		}
+		res, err := verifier.Verify(cf)
+		if err != nil {
+			return AblationRPCResult{}, "", err
+		}
+		census.Add(res.Census)
+	}
+	res := AblationRPCResult{
+		StaticChecks:  census.Static(),
+		DynamicChecks: dynChecks,
+		FactoredTime:  factored,
+		NaiveRPCTime:  factored + time.Duration(int64(census.Static())+dynChecks)*rtt,
+	}
+	if factored > 0 {
+		res.Slowdown = float64(res.NaiveRPCTime) / float64(res.FactoredTime)
+	}
+	text := fmt.Sprintf(
+		"naive service distribution (verifier moved intact, one RPC per check @ %v rtt) on %s:\n  verifier interactions: %d static + %d dynamic\n  factored (DVM): %s s\n  naive RPC:      %s s  (%.0fx slower)\n",
+		rtt, spec.Name, res.StaticChecks, res.DynamicChecks,
+		secs(res.FactoredTime), secs(res.NaiveRPCTime), res.Slowdown)
+	return res, text, nil
+}
+
+// AblationEagerResult contrasts lazy per-method link checks against
+// eager whole-class checking at initialization time.
+type AblationEagerResult struct {
+	LazyClassesLoaded  int
+	EagerClassesLoaded int
+	LazyChecks         int64
+	EagerChecks        int64
+}
+
+// AblationEager builds an application whose entry path uses one
+// dependency while other methods reference several more; lazy scoping
+// must avoid demanding the unused ones.
+func AblationEager() (AblationEagerResult, string, error) {
+	classes, mainName := eagerTestApp()
+
+	runVariant := func(eager bool) (int, int64, error) {
+		transformed := make(map[string][]byte, len(classes))
+		for name, data := range classes {
+			cf, err := classfile.Parse(data)
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := verifier.Verify(cf)
+			if err != nil {
+				return 0, 0, err
+			}
+			if eager {
+				err = verifier.InstrumentEager(cf, res)
+			} else {
+				err = verifier.Instrument(cf, res)
+			}
+			if err != nil {
+				return 0, 0, err
+			}
+			out, err := cf.Encode()
+			if err != nil {
+				return 0, 0, err
+			}
+			transformed[name] = out
+		}
+		vm, err := jvm.New(jvm.MapLoader(transformed), io.Discard)
+		if err != nil {
+			return 0, 0, err
+		}
+		if thrown, err := vm.RunMain(mainName, nil); err != nil || thrown != nil {
+			return 0, 0, runFail("eager ablation", thrown, err)
+		}
+		loaded := 0
+		for _, n := range vm.LoadedClassNames() {
+			if strings.HasPrefix(n, "app/") {
+				loaded++
+			}
+		}
+		return loaded, vm.Stats.LinkChecks, nil
+	}
+	lazyLoaded, lazyChecks, err := runVariant(false)
+	if err != nil {
+		return AblationEagerResult{}, "", err
+	}
+	eagerLoaded, eagerChecks, err := runVariant(true)
+	if err != nil {
+		return AblationEagerResult{}, "", err
+	}
+	res := AblationEagerResult{
+		LazyClassesLoaded: lazyLoaded, EagerClassesLoaded: eagerLoaded,
+		LazyChecks: lazyChecks, EagerChecks: eagerChecks,
+	}
+	text := fmt.Sprintf(
+		"lazy vs eager link checking:\n  lazy:  %d app classes loaded, %d checks executed\n  eager: %d app classes loaded, %d checks executed\n",
+		res.LazyClassesLoaded, res.LazyChecks, res.EagerClassesLoaded, res.EagerChecks)
+	return res, text, nil
+}
+
+// eagerTestApp builds app/EMain whose main touches app/EUsed but whose
+// idle methods reference app/EIdle0..3.
+func eagerTestApp() (map[string][]byte, string) {
+	classes := map[string][]byte{}
+	addLeaf := func(name string) {
+		b := newLeafClass(name)
+		classes[name] = b
+	}
+	addLeaf("app/EUsed")
+	for i := 0; i < 4; i++ {
+		addLeaf(fmt.Sprintf("app/EIdle%d", i))
+	}
+	classes["app/EMain"] = buildEMain()
+	return classes, "app/EMain"
+}
+
+// AblationSecurityCache contrasts the enforcement manager's cached
+// lookups against per-check remote decisions.
+type AblationSecurityCacheResult struct {
+	Checks     int64
+	CachedTime time.Duration
+	RemoteTime time.Duration
+	Slowdown   float64
+}
+
+// AblationSecurityCache measures N identical access checks both ways.
+func AblationSecurityCache(checks int, rtt time.Duration) (AblationSecurityCacheResult, string, error) {
+	if checks <= 0 {
+		checks = 2000
+	}
+	policy := StandardPolicy()
+	run := func(noCache bool) (time.Duration, error) {
+		srv := security.NewServer(policy)
+		srv.FetchDelay = func() { time.Sleep(rtt) }
+		mgr := security.NewManager(srv, "apps")
+		mgr.NoCache = noCache
+		vm, err := jvm.New(jvm.MapLoader{}, io.Discard)
+		if err != nil {
+			return 0, err
+		}
+		t := vm.MainThread()
+		start := time.Now()
+		for i := 0; i < checks; i++ {
+			if ex := mgr.Check(t, "property.get", "user.name"); ex != nil {
+				return 0, fmt.Errorf("eval: unexpected denial: %s", jvm.DescribeThrowable(ex))
+			}
+		}
+		return time.Since(start), nil
+	}
+	cached, err := run(false)
+	if err != nil {
+		return AblationSecurityCacheResult{}, "", err
+	}
+	remote, err := run(true)
+	if err != nil {
+		return AblationSecurityCacheResult{}, "", err
+	}
+	res := AblationSecurityCacheResult{
+		Checks: int64(checks), CachedTime: cached, RemoteTime: remote,
+		Slowdown: float64(remote) / float64(cached),
+	}
+	text := fmt.Sprintf(
+		"client security-lookup cache (%d checks, %v rtt):\n  cached manager: %s s\n  remote per-check: %s s  (%.0fx slower)\n",
+		checks, rtt, secs(res.CachedTime), secs(res.RemoteTime), res.Slowdown)
+	return res, text, nil
+}
+
+// slowReflectionChecker reproduces the §4.3 anecdote: an RTVerifier
+// built on a slow reflective interface (linear scans and string
+// assembly) rather than the self-describing attribute path.
+type slowReflectionChecker struct{ vm *jvm.VM }
+
+func (s *slowReflectionChecker) CheckField(t *jvm.Thread, class, field, desc string) *jvm.Object {
+	c, err := t.VM().Class(strings.ReplaceAll(class, ".", "/"))
+	if err != nil {
+		return t.VM().Throw("java/lang/NoClassDefFoundError", class)
+	}
+	// Reflective enumeration: walk every loaded class's members and
+	// compare assembled descriptor strings.
+	for _, name := range t.VM().LoadedClassNames() {
+		k := t.VM().LoadedClass(name)
+		if k == nil || k.File == nil {
+			continue
+		}
+		for _, f := range k.File.Fields {
+			sig := name + "." + k.File.MemberName(f) + ":" + k.File.MemberDescriptor(f)
+			if sig == class+"."+field+":"+desc && k == c {
+				return nil
+			}
+		}
+	}
+	if c.HasField(field, desc) {
+		return nil
+	}
+	return t.VM().Throw("java/lang/NoSuchFieldError", class+"."+field)
+}
+
+func (s *slowReflectionChecker) CheckMethod(t *jvm.Thread, class, method, desc string) *jvm.Object {
+	c, err := t.VM().Class(strings.ReplaceAll(class, ".", "/"))
+	if err != nil {
+		return t.VM().Throw("java/lang/NoClassDefFoundError", class)
+	}
+	for _, name := range t.VM().LoadedClassNames() {
+		k := t.VM().LoadedClass(name)
+		if k == nil || k.File == nil {
+			continue
+		}
+		for _, m := range k.File.Methods {
+			sig := name + "." + k.File.MemberName(m) + k.File.MemberDescriptor(m)
+			if sig == class+"."+method+desc && k == c {
+				return nil
+			}
+		}
+	}
+	if c.LookupMethod(method, desc) != nil {
+		return nil
+	}
+	return t.VM().Throw("java/lang/NoSuchMethodError", class+"."+method+desc)
+}
+
+// AblationReflectionResult contrasts the reflective and attribute-based
+// dynamic verifier components.
+type AblationReflectionResult struct {
+	Checks         int64
+	AttributeTime  time.Duration
+	ReflectiveTime time.Duration
+	Slowdown       float64
+}
+
+// AblationReflection reproduces the paper's §4.3 anecdote by
+// microbenchmarking the two dynamic verifier implementations directly:
+// load the application, then drive each checker with the same sequence
+// of link checks.
+func AblationReflection(spec workload.Spec) (AblationReflectionResult, string, error) {
+	app, err := workload.Generate(spec)
+	if err != nil {
+		return AblationReflectionResult{}, "", err
+	}
+	vm, err := jvm.New(jvm.MapLoader(app.Classes), io.Discard)
+	if err != nil {
+		return AblationReflectionResult{}, "", err
+	}
+	// Load everything so both checkers see the same namespace.
+	if thrown, err := vm.RunMain(spec.MainClass(), nil); err != nil || thrown != nil {
+		return AblationReflectionResult{}, "", runFail(spec.Name, thrown, err)
+	}
+	// The checks an application of this shape performs: one method and
+	// one field probe per loaded application class.
+	type probe struct{ class, member, desc string }
+	var probes []probe
+	for _, name := range vm.LoadedClassNames() {
+		if !strings.HasPrefix(name, spec.Package+"/") || name == spec.MainClass() {
+			continue
+		}
+		probes = append(probes, probe{name, "run", "(I)I"})
+	}
+	if len(probes) == 0 {
+		return AblationReflectionResult{}, "", fmt.Errorf("eval: no probes for %s", spec.Name)
+	}
+	const rounds = 50
+	t := vm.MainThread()
+	slow := &slowReflectionChecker{vm: vm}
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, p := range probes {
+			if ex := slow.CheckMethod(t, p.class, p.member, p.desc); ex != nil {
+				return AblationReflectionResult{}, "", fmt.Errorf("eval: reflective check failed: %s", jvm.DescribeThrowable(ex))
+			}
+		}
+	}
+	reflective := time.Since(start)
+
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, p := range probes {
+			if ex := vmDefaultCheckMethod(vm, p.class, p.member, p.desc); ex != nil {
+				return AblationReflectionResult{}, "", fmt.Errorf("eval: attribute check failed: %s", jvm.DescribeThrowable(ex))
+			}
+		}
+	}
+	attribute := time.Since(start)
+
+	res := AblationReflectionResult{
+		Checks: int64(rounds * len(probes)), AttributeTime: attribute, ReflectiveTime: reflective,
+	}
+	if attribute > 0 {
+		res.Slowdown = float64(reflective) / float64(attribute)
+	}
+	text := fmt.Sprintf(
+		"reflection service ablation on %s (%d checks):\n  attribute-based RTVerifier: %s s\n  reflective RTVerifier:      %s s  (%.0fx)\n",
+		spec.Name, res.Checks, secs(res.AttributeTime), secs(res.ReflectiveTime), res.Slowdown)
+	return res, text, nil
+}
+
+// vmDefaultCheckMethod is the fast path: the descriptor-lookup check the
+// DVM's RTVerifier performs.
+func vmDefaultCheckMethod(vm *jvm.VM, class, method, desc string) *jvm.Object {
+	c := vm.LoadedClass(class)
+	if c == nil {
+		return vm.Throw("java/lang/NoClassDefFoundError", class)
+	}
+	if c.LookupMethod(method, desc) == nil {
+		return vm.Throw("java/lang/NoSuchMethodError", class+"."+method+desc)
+	}
+	return nil
+}

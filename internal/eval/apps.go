@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"fmt"
+
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+)
+
+// newLeafClass builds a minimal dependency class exposing get()I.
+func newLeafClass(name string) []byte {
+	b := classgen.NewClass(name, "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "get", "()I")
+	m.IConst(int32(len(name))).IReturn()
+	data, err := b.BuildBytes()
+	if err != nil {
+		panic("eval: leaf class: " + err.Error())
+	}
+	return data
+}
+
+// buildEMain builds the eager-ablation driver: main uses app/EUsed; the
+// idle methods reference app/EIdle0..3 but are never invoked.
+func buildEMain() []byte {
+	b := classgen.NewClass("app/EMain", "java/lang/Object")
+	mn := b.Method(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	mn.InvokeStatic("app/EUsed", "get", "()I")
+	mn.Pop()
+	mn.Return()
+	for i := 0; i < 4; i++ {
+		idle := b.Method(classfile.AccPublic|classfile.AccStatic, fmt.Sprintf("idle%d", i), "()I")
+		idle.InvokeStatic(fmt.Sprintf("app/EIdle%d", i), "get", "()I")
+		idle.IReturn()
+	}
+	data, err := b.BuildBytes()
+	if err != nil {
+		panic("eval: EMain: " + err.Error())
+	}
+	return data
+}

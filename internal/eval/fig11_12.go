@@ -1,0 +1,236 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dvm/internal/jvm"
+	"dvm/internal/monitor"
+	"dvm/internal/netsim"
+	"dvm/internal/optimize"
+	"dvm/internal/rewrite"
+	"dvm/internal/workload"
+)
+
+// Figures 11 and 12 (§5): application start-up time as a function of
+// link bandwidth, without and with the repartitioning optimization
+// service.
+//
+// Start-up time is measured as the time from initial invocation until
+// main completes its init path: the modeled transfer time of every class
+// the client actually demanded, plus the measured client compute time.
+// With repartitioning, cold companions are not demanded during start-up,
+// so less code crosses the slow link.
+
+// StandardBandwidthsKBps is the Figure 11 sweep (28.8 Kb/s wireless up
+// to 1 MB/s LAN).
+var StandardBandwidthsKBps = []float64{3.6, 8, 16, 32, 64, 128, 256, 512, 1000}
+
+// Fig11Point is one (app, bandwidth) sample.
+type Fig11Point struct {
+	App           string
+	BandwidthKBps float64
+	Startup       time.Duration
+	BytesLoaded   int64
+	ClassesLoaded int
+}
+
+// countingLoader accumulates the modeled transfer time for each class a
+// client demands.
+type countingLoader struct {
+	classes map[string][]byte
+	link    netsim.Link
+	clock   *netsim.Clock
+	bytes   int64
+	count   int
+}
+
+func (l *countingLoader) Load(name string) ([]byte, error) {
+	data, ok := l.classes[name]
+	if !ok {
+		return nil, fmt.Errorf("eval: class %s not found", name)
+	}
+	l.clock.Advance(l.link.TransferTime(len(data)))
+	l.bytes += int64(len(data))
+	l.count++
+	return data, nil
+}
+
+// startupTime runs the application over a bandwidth-shaped loader and
+// returns modeled-transfer + measured-compute time.
+func startupTime(classes map[string][]byte, mainClass string, link netsim.Link) (time.Duration, int64, int, error) {
+	clock := &netsim.Clock{}
+	loader := &countingLoader{classes: classes, link: link, clock: clock}
+	vm, err := jvm.New(loader, io.Discard)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	thrown, err := vm.RunMain(mainClass, nil)
+	if err != nil || thrown != nil {
+		return 0, 0, 0, runFail(mainClass, thrown, err)
+	}
+	compute := time.Since(start)
+	return clock.Now() + compute, loader.bytes, loader.count, nil
+}
+
+// Fig11 sweeps start-up time across bandwidths for every applet.
+func Fig11(specs []workload.Spec, bandwidthsKBps []float64) ([]Fig11Point, string, error) {
+	var points []Fig11Point
+	for _, spec := range specs {
+		app, err := workload.Generate(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, bw := range bandwidthsKBps {
+			d, bytes, n, err := startupTime(app.Classes, spec.MainClass(), netsim.LinkKBps(bw))
+			if err != nil {
+				return nil, "", err
+			}
+			points = append(points, Fig11Point{
+				App: spec.Name, BandwidthKBps: bw, Startup: d,
+				BytesLoaded: bytes, ClassesLoaded: n,
+			})
+		}
+	}
+	return points, renderFig11(points, "Startup time (s) vs bandwidth (KB/s)"), nil
+}
+
+func renderFig11(points []Fig11Point, title string) string {
+	// rows: app; columns: bandwidth.
+	bws := []float64{}
+	seen := map[float64]bool{}
+	apps := []string{}
+	seenApp := map[string]bool{}
+	for _, p := range points {
+		if !seen[p.BandwidthKBps] {
+			seen[p.BandwidthKBps] = true
+			bws = append(bws, p.BandwidthKBps)
+		}
+		if !seenApp[p.App] {
+			seenApp[p.App] = true
+			apps = append(apps, p.App)
+		}
+	}
+	header := []string{"App \\ KB/s"}
+	for _, bw := range bws {
+		header = append(header, fmt.Sprintf("%.1f", bw))
+	}
+	var cells [][]string
+	for _, app := range apps {
+		row := []string{app}
+		for _, bw := range bws {
+			for _, p := range points {
+				if p.App == app && p.BandwidthKBps == bw {
+					row = append(row, secs(p.Startup))
+				}
+			}
+		}
+		cells = append(cells, row)
+	}
+	return title + "\n" + table(header, cells)
+}
+
+// Fig12Point is one (app, bandwidth) improvement sample.
+type Fig12Point struct {
+	App            string
+	BandwidthKBps  float64
+	Baseline       time.Duration
+	Optimized      time.Duration
+	ImprovementPct float64
+}
+
+// Fig12 repeats the sweep with the repartitioning service: the first
+// execution's profile drives a method-granularity split, and subsequent
+// start-ups fetch only the hot carriers.
+func Fig12(specs []workload.Spec, bandwidthsKBps []float64) ([]Fig12Point, string, error) {
+	var points []Fig12Point
+	for _, spec := range specs {
+		app, err := workload.Generate(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		// Profile pass: the network proxy "collects profile information
+		// from the first execution of an application".
+		prof, err := collectProfile(app)
+		if err != nil {
+			return nil, "", err
+		}
+		split, _, err := optimize.Repartition(app.Classes, prof)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, bw := range bandwidthsKBps {
+			link := netsim.LinkKBps(bw)
+			base, _, _, err := startupTime(app.Classes, spec.MainClass(), link)
+			if err != nil {
+				return nil, "", err
+			}
+			opt, _, _, err := startupTime(split, spec.MainClass(), link)
+			if err != nil {
+				return nil, "", err
+			}
+			points = append(points, Fig12Point{
+				App: spec.Name, BandwidthKBps: bw,
+				Baseline: base, Optimized: opt,
+				ImprovementPct: (1 - float64(opt)/float64(base)) * 100,
+			})
+		}
+	}
+	// Render as improvement percentages.
+	bws := []float64{}
+	seen := map[float64]bool{}
+	apps := []string{}
+	seenApp := map[string]bool{}
+	for _, p := range points {
+		if !seen[p.BandwidthKBps] {
+			seen[p.BandwidthKBps] = true
+			bws = append(bws, p.BandwidthKBps)
+		}
+		if !seenApp[p.App] {
+			seenApp[p.App] = true
+			apps = append(apps, p.App)
+		}
+	}
+	header := []string{"App \\ KB/s"}
+	for _, bw := range bws {
+		header = append(header, fmt.Sprintf("%.1f", bw))
+	}
+	var cells [][]string
+	for _, app := range apps {
+		row := []string{app}
+		for _, bw := range bws {
+			for _, p := range points {
+				if p.App == app && p.BandwidthKBps == bw {
+					row = append(row, fmt.Sprintf("%.1f%%", p.ImprovementPct))
+				}
+			}
+		}
+		cells = append(cells, row)
+	}
+	return points, "Startup improvement with repartitioning\n" + table(header, cells), nil
+}
+
+// collectProfile runs the app once under first-use instrumentation.
+func collectProfile(app *workload.App) (*optimize.Profile, error) {
+	instrumented := make(map[string][]byte, len(app.Classes))
+	pipe := rewrite.NewPipeline(monitor.Filter(monitor.Config{FirstUse: true}))
+	for name, data := range app.Classes {
+		out, err := pipe.Process(data, nil)
+		if err != nil {
+			return nil, err
+		}
+		instrumented[name] = out
+	}
+	vm, err := jvm.New(jvm.MapLoader(instrumented), io.Discard)
+	if err != nil {
+		return nil, err
+	}
+	coll := monitor.NewCollector()
+	session := monitor.Attach(vm, coll, monitor.ClientInfo{User: "profiler"})
+	if thrown, err := vm.RunMain(app.Spec.MainClass(), nil); err != nil || thrown != nil {
+		return nil, runFail(app.Spec.Name+" (profile)", thrown, err)
+	}
+	return optimize.FromFirstUse(coll.FirstUseOrder(session)), nil
+}

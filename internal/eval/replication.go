@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dvm/internal/netsim"
+	"dvm/internal/proxy"
+)
+
+// AblationReplicationRow is one point of the replication experiment.
+type AblationReplicationRow struct {
+	Replicas      int
+	Clients       int
+	ThroughputBps float64
+	LatencyPerKB  time.Duration
+}
+
+// AblationReplication demonstrates §2's answer to the Figure 10
+// collapse: "in larger installations, an administrator can ... use
+// replicated proxies." It drives a client population big enough to
+// exhaust one proxy's memory budget and shows throughput restored as
+// replicas are added (each replica brings its own 64 MB).
+func AblationReplication(clients int, replicaCounts []int, cfg Fig10Config) ([]AblationReplicationRow, string, error) {
+	origin, err := Corpus(cfg.Applets, cfg.AppletKB*1024, 42)
+	if err != nil {
+		return nil, "", err
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	inet := netsim.NewInternet(7)
+	delayed := proxy.DelayedOrigin{
+		Origin: origin,
+		Delay: func(string) {
+			if cfg.InternetScale > 0 {
+				lat := inet.FetchLatency()
+				if lat > 8*time.Second {
+					lat = 8 * time.Second
+				}
+				time.Sleep(time.Duration(float64(lat) * cfg.InternetScale))
+			}
+		},
+	}
+	rows := make([]AblationReplicationRow, 0, len(replicaCounts))
+	for _, nr := range replicaCounts {
+		group, err := proxy.NewReplicaGroup(delayed, nr, func(int) proxy.Config {
+			return proxy.Config{
+				Pipeline:           ServicePipeline(StandardPolicy(), false),
+				CacheEnabled:       false,
+				MemoryBudget:       cfg.MemoryBudget,
+				PagingPenaltyPerMB: 150 * time.Millisecond,
+			}
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var totalBytes int64
+		var totalLatency time.Duration
+		var fetches int64
+		var firstErr error
+		start := time.Now()
+		deadline := start.Add(cfg.Duration)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for f := 0; time.Now().Before(deadline); f++ {
+					applet := fmt.Sprintf("net/Applet%03d", (c+f)%cfg.Applets)
+					t0 := time.Now()
+					data, err := group.Request(fmt.Sprintf("client-%d", c), "dvm", applet)
+					d := time.Since(t0)
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					totalBytes += int64(len(data))
+					totalLatency += d
+					fetches++
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, "", firstErr
+		}
+		elapsed := time.Since(start)
+		row := AblationReplicationRow{
+			Replicas:      nr,
+			Clients:       clients,
+			ThroughputBps: float64(totalBytes) / elapsed.Seconds(),
+		}
+		if fetches > 0 && totalBytes > 0 {
+			avgLatency := float64(totalLatency) / float64(fetches)
+			avgKB := float64(totalBytes) / float64(fetches) / 1024
+			row.LatencyPerKB = time.Duration(avgLatency / avgKB)
+		}
+		rows = append(rows, row)
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprint(r.Replicas),
+			fmt.Sprintf("%.0f", r.ThroughputBps/1024),
+			ms(r.LatencyPerKB),
+		})
+	}
+	return rows, fmt.Sprintf("replication at %d clients (one proxy's memory saturates)\n", clients) +
+		table([]string{"Replicas", "Throughput (KB/s)", "Latency/KB (ms)"}, cells), nil
+}

@@ -1,0 +1,314 @@
+package jvm
+
+import (
+	"fmt"
+
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+)
+
+// bootstrap builds the runtime library: the java/lang and java/io subset
+// the DVM services and workloads depend on, plus the dvm/* dynamic
+// service component classes (RTVerifier, Enforce, Audit, Profile) that
+// the network proxy's rewritten code invokes.
+//
+// Runtime classes are generated with classgen and their methods bound to
+// Go natives; this exercises the same classfile substrate as application
+// code and keeps the trusted computing base in one place.
+func (vm *VM) bootstrap() error {
+	vm.registerCoreNatives()
+	vm.registerLangExtras()
+	vm.registerIONatives()
+	vm.registerUtilNatives()
+	vm.registerDVMNatives()
+
+	for _, build := range bootstrapClasses {
+		cf, err := build().Build()
+		if err != nil {
+			return fmt.Errorf("jvm: bootstrap: %w", err)
+		}
+		if _, err := vm.link(cf); err != nil {
+			return fmt.Errorf("jvm: bootstrap %s: %w", cf.Name(), err)
+		}
+	}
+	// Initialize System.out with a PrintStream bound to vm.Stdout.
+	sys := vm.classes["java/lang/System"]
+	ps := vm.NewInstance(vm.classes["java/io/PrintStream"])
+	ps.Native = &printStream{}
+	if _, slot, ok := sys.StaticSlot("out", "Ljava/io/PrintStream;"); ok {
+		sys.SetStatic(slot, RefV(ps))
+	}
+	if _, slot, ok := sys.StaticSlot("err", "Ljava/io/PrintStream;"); ok {
+		sys.SetStatic(slot, RefV(ps))
+	}
+	vm.Pin(ps)
+	for _, c := range vm.classes {
+		c.initState = 2 // bootstrap classes need no <clinit>
+	}
+	return nil
+}
+
+type printStream struct{}
+
+const (
+	pub    = classfile.AccPublic
+	pubNat = classfile.AccPublic | classfile.AccNative
+	pubStN = classfile.AccPublic | classfile.AccStatic | classfile.AccNative
+	pubFin = classfile.AccPublic | classfile.AccFinal
+)
+
+// nativeClass declares a class whose methods are all native stubs.
+func nativeClass(name, super string, decl func(b *classgen.ClassBuilder)) func() *classgen.ClassBuilder {
+	return func() *classgen.ClassBuilder {
+		b := classgen.NewClass(name, super)
+		if decl != nil {
+			decl(b)
+		}
+		return b
+	}
+}
+
+// throwableClass declares one exception class with the standard
+// message-carrying constructors.
+func throwableClass(name, super string) func() *classgen.ClassBuilder {
+	return nativeClass(name, super, func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "<init>", "(Ljava/lang/String;)V")
+	})
+}
+
+// bootstrapClasses lists the runtime image in dependency order.
+var bootstrapClasses = []func() *classgen.ClassBuilder{
+	nativeClass("java/lang/Object", "", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "hashCode", "()I")
+		b.AbstractMethod(pubNat, "equals", "(Ljava/lang/Object;)Z")
+		b.AbstractMethod(pubNat, "toString", "()Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "getClass", "()Ljava/lang/Class;")
+	}),
+	nativeClass("java/lang/Class", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "getName", "()Ljava/lang/String;")
+	}),
+	nativeClass("java/lang/String", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "length", "()I")
+		b.AbstractMethod(pubNat, "charAt", "(I)C")
+		b.AbstractMethod(pubNat, "equals", "(Ljava/lang/Object;)Z")
+		b.AbstractMethod(pubNat, "hashCode", "()I")
+		b.AbstractMethod(pubNat, "concat", "(Ljava/lang/String;)Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "substring", "(II)Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "substring", "(I)Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "indexOf", "(I)I")
+		b.AbstractMethod(pubNat, "indexOf", "(Ljava/lang/String;)I")
+		b.AbstractMethod(pubNat, "compareTo", "(Ljava/lang/String;)I")
+		b.AbstractMethod(pubNat, "startsWith", "(Ljava/lang/String;)Z")
+		b.AbstractMethod(pubNat, "endsWith", "(Ljava/lang/String;)Z")
+		b.AbstractMethod(pubNat, "toString", "()Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "intern", "()Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "toLowerCase", "()Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "toUpperCase", "()Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "trim", "()Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "replace", "(CC)Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "lastIndexOf", "(I)I")
+		b.AbstractMethod(pubNat, "toCharArray", "()[C")
+		b.AbstractMethod(pubStN, "valueOf", "(I)Ljava/lang/String;")
+		b.AbstractMethod(pubStN, "valueOf", "(J)Ljava/lang/String;")
+		b.AbstractMethod(pubStN, "valueOf", "(C)Ljava/lang/String;")
+		b.AbstractMethod(pubStN, "valueOf", "(D)Ljava/lang/String;")
+	}),
+
+	// Throwable hierarchy.
+	nativeClass("java/lang/Throwable", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.Field(classfile.AccProtected, "message", "Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "<init>", "(Ljava/lang/String;)V")
+		b.AbstractMethod(pubNat, "getMessage", "()Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "toString", "()Ljava/lang/String;")
+	}),
+	throwableClass("java/lang/Exception", "java/lang/Throwable"),
+	throwableClass("java/lang/RuntimeException", "java/lang/Exception"),
+	throwableClass("java/lang/Error", "java/lang/Throwable"),
+	throwableClass("java/lang/LinkageError", "java/lang/Error"),
+	throwableClass("java/lang/VirtualMachineError", "java/lang/Error"),
+	throwableClass("java/lang/NullPointerException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/IndexOutOfBoundsException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/ArrayIndexOutOfBoundsException", "java/lang/IndexOutOfBoundsException"),
+	throwableClass("java/lang/StringIndexOutOfBoundsException", "java/lang/IndexOutOfBoundsException"),
+	throwableClass("java/lang/ArithmeticException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/ArrayStoreException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/ClassCastException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/NegativeArraySizeException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/IllegalArgumentException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/IllegalStateException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/NumberFormatException", "java/lang/IllegalArgumentException"),
+	throwableClass("java/lang/SecurityException", "java/lang/RuntimeException"),
+	throwableClass("java/lang/StackOverflowError", "java/lang/VirtualMachineError"),
+	throwableClass("java/lang/OutOfMemoryError", "java/lang/VirtualMachineError"),
+	throwableClass("java/lang/NoClassDefFoundError", "java/lang/LinkageError"),
+	throwableClass("java/lang/VerifyError", "java/lang/LinkageError"),
+	throwableClass("java/lang/NoSuchFieldError", "java/lang/LinkageError"),
+	throwableClass("java/lang/NoSuchMethodError", "java/lang/LinkageError"),
+	throwableClass("java/lang/AbstractMethodError", "java/lang/LinkageError"),
+	throwableClass("java/lang/ClassNotFoundException", "java/lang/Exception"),
+	throwableClass("java/io/IOException", "java/lang/Exception"),
+	throwableClass("java/io/FileNotFoundException", "java/io/IOException"),
+
+	// Interfaces.
+	func() *classgen.ClassBuilder {
+		b := classgen.NewClass("java/lang/Runnable", "java/lang/Object")
+		b.SetFlags(classfile.AccPublic | classfile.AccInterface | classfile.AccAbstract)
+		b.AbstractMethod(classfile.AccPublic|classfile.AccAbstract, "run", "()V")
+		return b
+	},
+	func() *classgen.ClassBuilder {
+		b := classgen.NewClass("java/util/Enumeration", "java/lang/Object")
+		b.SetFlags(classfile.AccPublic | classfile.AccInterface | classfile.AccAbstract)
+		b.AbstractMethod(classfile.AccPublic|classfile.AccAbstract, "hasMoreElements", "()Z")
+		b.AbstractMethod(classfile.AccPublic|classfile.AccAbstract, "nextElement", "()Ljava/lang/Object;")
+		return b
+	},
+
+	// Core library.
+	nativeClass("java/io/OutputStream", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "write", "(I)V")
+		b.AbstractMethod(pubNat, "close", "()V")
+		b.AbstractMethod(pubNat, "flush", "()V")
+	}),
+	nativeClass("java/io/PrintStream", "java/io/OutputStream", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "println", "(Ljava/lang/String;)V")
+		b.AbstractMethod(pubNat, "println", "(I)V")
+		b.AbstractMethod(pubNat, "println", "(J)V")
+		b.AbstractMethod(pubNat, "println", "(D)V")
+		b.AbstractMethod(pubNat, "println", "()V")
+		b.AbstractMethod(pubNat, "print", "(Ljava/lang/String;)V")
+		b.AbstractMethod(pubNat, "print", "(I)V")
+		b.AbstractMethod(pubNat, "print", "(C)V")
+	}),
+	nativeClass("java/lang/System", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.Field(classfile.AccPublic|classfile.AccStatic|classfile.AccFinal, "out", "Ljava/io/PrintStream;")
+		b.Field(classfile.AccPublic|classfile.AccStatic|classfile.AccFinal, "err", "Ljava/io/PrintStream;")
+		b.AbstractMethod(pubStN, "getProperty", "(Ljava/lang/String;)Ljava/lang/String;")
+		b.AbstractMethod(pubStN, "setProperty", "(Ljava/lang/String;Ljava/lang/String;)Ljava/lang/String;")
+		b.AbstractMethod(pubStN, "currentTimeMillis", "()J")
+		b.AbstractMethod(pubStN, "arraycopy", "(Ljava/lang/Object;ILjava/lang/Object;II)V")
+		b.AbstractMethod(pubStN, "gc", "()V")
+	}),
+	nativeClass("java/lang/Math", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "abs", "(I)I")
+		b.AbstractMethod(pubStN, "abs", "(D)D")
+		b.AbstractMethod(pubStN, "min", "(II)I")
+		b.AbstractMethod(pubStN, "max", "(II)I")
+		b.AbstractMethod(pubStN, "sqrt", "(D)D")
+		b.AbstractMethod(pubStN, "floor", "(D)D")
+		b.AbstractMethod(pubStN, "ceil", "(D)D")
+	}),
+	nativeClass("java/lang/Integer", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "parseInt", "(Ljava/lang/String;)I")
+		b.AbstractMethod(pubStN, "toString", "(I)Ljava/lang/String;")
+		b.AbstractMethod(pubStN, "toHexString", "(I)Ljava/lang/String;")
+	}),
+	nativeClass("java/lang/Long", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "parseLong", "(Ljava/lang/String;)J")
+		b.AbstractMethod(pubStN, "toString", "(J)Ljava/lang/String;")
+	}),
+	nativeClass("java/lang/Character", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "isDigit", "(C)Z")
+		b.AbstractMethod(pubStN, "isLetter", "(C)Z")
+		b.AbstractMethod(pubStN, "isWhitespace", "(C)Z")
+		b.AbstractMethod(pubStN, "toUpperCase", "(C)C")
+		b.AbstractMethod(pubStN, "toLowerCase", "(C)C")
+	}),
+	nativeClass("java/lang/Boolean", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "toString", "(Z)Ljava/lang/String;")
+	}),
+	nativeClass("java/lang/Thread", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubStN, "currentThread", "()Ljava/lang/Thread;")
+		b.AbstractMethod(pubNat, "setPriority", "(I)V")
+		b.AbstractMethod(pubNat, "getPriority", "()I")
+		b.AbstractMethod(pubStN, "sleep", "(J)V")
+		b.AbstractMethod(pubStN, "yield", "()V")
+	}),
+	nativeClass("java/lang/StringBuffer", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "<init>", "(Ljava/lang/String;)V")
+		b.AbstractMethod(pubNat, "append", "(Ljava/lang/String;)Ljava/lang/StringBuffer;")
+		b.AbstractMethod(pubNat, "append", "(I)Ljava/lang/StringBuffer;")
+		b.AbstractMethod(pubNat, "append", "(J)Ljava/lang/StringBuffer;")
+		b.AbstractMethod(pubNat, "append", "(C)Ljava/lang/StringBuffer;")
+		b.AbstractMethod(pubNat, "append", "(D)Ljava/lang/StringBuffer;")
+		b.AbstractMethod(pubNat, "length", "()I")
+		b.AbstractMethod(pubNat, "toString", "()Ljava/lang/String;")
+	}),
+
+	// java/io file classes over the virtual filesystem.
+	nativeClass("java/io/File", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.Field(classfile.AccPrivate, "path", "Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "<init>", "(Ljava/lang/String;)V")
+		b.AbstractMethod(pubNat, "exists", "()Z")
+		b.AbstractMethod(pubNat, "getPath", "()Ljava/lang/String;")
+		b.AbstractMethod(pubNat, "delete", "()Z")
+	}),
+	nativeClass("java/io/InputStream", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "read", "()I")
+		b.AbstractMethod(pubNat, "close", "()V")
+	}),
+	nativeClass("java/io/FileInputStream", "java/io/InputStream", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "(Ljava/lang/String;)V")
+		b.AbstractMethod(pubNat, "read", "()I")
+		b.AbstractMethod(pubNat, "read", "([B)I")
+		b.AbstractMethod(pubNat, "available", "()I")
+		b.AbstractMethod(pubNat, "close", "()V")
+	}),
+	nativeClass("java/io/FileOutputStream", "java/io/OutputStream", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "(Ljava/lang/String;)V")
+		b.AbstractMethod(pubNat, "write", "(I)V")
+		b.AbstractMethod(pubNat, "write", "([B)V")
+		b.AbstractMethod(pubNat, "close", "()V")
+	}),
+
+	// java/util subset.
+	nativeClass("java/util/Hashtable", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;")
+		b.AbstractMethod(pubNat, "get", "(Ljava/lang/Object;)Ljava/lang/Object;")
+		b.AbstractMethod(pubNat, "remove", "(Ljava/lang/Object;)Ljava/lang/Object;")
+		b.AbstractMethod(pubNat, "containsKey", "(Ljava/lang/Object;)Z")
+		b.AbstractMethod(pubNat, "size", "()I")
+	}),
+	nativeClass("java/util/Vector", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "addElement", "(Ljava/lang/Object;)V")
+		b.AbstractMethod(pubNat, "elementAt", "(I)Ljava/lang/Object;")
+		b.AbstractMethod(pubNat, "setElementAt", "(Ljava/lang/Object;I)V")
+		b.AbstractMethod(pubNat, "size", "()I")
+	}),
+	nativeClass("java/util/Random", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubNat, "<init>", "()V")
+		b.AbstractMethod(pubNat, "<init>", "(J)V")
+		b.AbstractMethod(pubNat, "nextInt", "(I)I")
+		b.AbstractMethod(pubNat, "nextInt", "()I")
+		b.AbstractMethod(pubNat, "nextDouble", "()D")
+	}),
+
+	// DVM dynamic service components (§2: "the code for the dynamic
+	// service components resides on the central proxy and is distributed
+	// to clients on demand"; in this runtime they are part of the client
+	// image).
+	nativeClass("dvm/RTVerifier", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "checkField", "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V")
+		b.AbstractMethod(pubStN, "checkMethod", "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V")
+		b.AbstractMethod(pubStN, "checkClass", "(Ljava/lang/String;Ljava/lang/String;)V")
+	}),
+	nativeClass("dvm/Enforce", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "check", "(Ljava/lang/String;Ljava/lang/String;)V")
+	}),
+	nativeClass("dvm/Audit", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "enter", "(Ljava/lang/String;Ljava/lang/String;)V")
+		b.AbstractMethod(pubStN, "exit", "(Ljava/lang/String;Ljava/lang/String;)V")
+	}),
+	nativeClass("dvm/Profile", "java/lang/Object", func(b *classgen.ClassBuilder) {
+		b.AbstractMethod(pubStN, "firstUse", "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V")
+	}),
+}

@@ -1,0 +1,121 @@
+package jvm
+
+import (
+	"fmt"
+	"testing"
+
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+)
+
+// TestMutuallyRecursiveClasses: A and B reference each other; linking
+// must not loop or deadlock.
+func TestMutuallyRecursiveClasses(t *testing.T) {
+	a := classgen.NewClass("link/A", "java/lang/Object")
+	fa := a.Method(classfile.AccPublic|classfile.AccStatic, "f", "(I)I")
+	base := fa.NewLabel()
+	fa.ILoad(0).Branch(ifleOp, base)
+	fa.ILoad(0).IConst(1).ISub()
+	fa.InvokeStatic("link/B", "g", "(I)I")
+	fa.IReturn()
+	fa.Mark(base)
+	fa.IConst(0).IReturn()
+
+	b := classgen.NewClass("link/B", "java/lang/Object")
+	gb := b.Method(classfile.AccPublic|classfile.AccStatic, "g", "(I)I")
+	gb.ILoad(0).InvokeStatic("link/A", "f", "(I)I").IConst(1).IAdd().IReturn()
+
+	vm := newTestVM(t, nil, a, b)
+	v, thrown := callStatic(t, vm, "link/A", "f", "(I)I", IntV(10))
+	if thrown != nil {
+		t.Fatal(DescribeThrowable(thrown))
+	}
+	if v.Int() != 10 {
+		t.Errorf("f(10) = %d, want 10 (mutual recursion depth)", v.Int())
+	}
+}
+
+// TestDeepInheritanceChain: field layout and dispatch across a 12-level
+// hierarchy.
+func TestDeepInheritanceChain(t *testing.T) {
+	const depth = 12
+	builders := make([]*classgen.ClassBuilder, depth)
+	for i := 0; i < depth; i++ {
+		super := "java/lang/Object"
+		if i > 0 {
+			super = fmt.Sprintf("deep/C%02d", i-1)
+		}
+		b := classgen.NewClass(fmt.Sprintf("deep/C%02d", i), super)
+		b.Field(classfile.AccPublic, fmt.Sprintf("f%02d", i), "I")
+		b.DefaultInit()
+		m := b.Method(classfile.AccPublic, "level", "()I")
+		m.IConst(int32(i)).IReturn()
+		builders[i] = b
+	}
+	drv := classgen.NewClass("deep/Drv", "java/lang/Object")
+	run := drv.Method(classfile.AccPublic|classfile.AccStatic, "run", "()I")
+	run.NewDup(fmt.Sprintf("deep/C%02d", depth-1))
+	run.InvokeSpecial(fmt.Sprintf("deep/C%02d", depth-1), "<init>", "()V")
+	run.AStore(0)
+	// Set a field declared near the root, through the leaf reference.
+	run.ALoad(0).IConst(31).PutField("deep/C02", "f02", "I")
+	run.ALoad(0).GetField("deep/C02", "f02", "I")
+	// Virtual dispatch resolves the leaf override.
+	run.ALoad(0).InvokeVirtual("deep/C00", "level", "()I")
+	run.IAdd().IReturn()
+
+	vm := newTestVM(t, nil, append(builders, drv)...)
+	v, thrown := callStatic(t, vm, "deep/Drv", "run", "()I")
+	if thrown != nil {
+		t.Fatal(DescribeThrowable(thrown))
+	}
+	if v.Int() != 31+depth-1 {
+		t.Errorf("run = %d, want %d", v.Int(), 31+depth-1)
+	}
+	// Instance slots accumulate down the chain.
+	leaf, _ := vm.Class(fmt.Sprintf("deep/C%02d", depth-1))
+	if leaf.instanceSlots != depth {
+		t.Errorf("instanceSlots = %d, want %d", leaf.instanceSlots, depth)
+	}
+}
+
+// TestClinitFailureIsSticky: a class whose initializer throws surfaces
+// the error and does not run <clinit> again.
+func TestClinitFailure(t *testing.T) {
+	b := classgen.NewClass("link/BadInit", "java/lang/Object")
+	b.Field(classfile.AccPublic|classfile.AccStatic, "x", "I")
+	cl := b.Method(classfile.AccStatic, "<clinit>", "()V")
+	cl.NewDup("java/lang/RuntimeException")
+	cl.LdcString("init boom")
+	cl.InvokeSpecial("java/lang/RuntimeException", "<init>", "(Ljava/lang/String;)V")
+	cl.AThrow()
+	g := b.Method(classfile.AccPublic|classfile.AccStatic, "get", "()I")
+	g.GetStatic("link/BadInit", "x", "I").IReturn()
+
+	vm := newTestVM(t, nil, b)
+	_, thrown := callStatic(t, vm, "link/BadInit", "get", "()I")
+	if thrown == nil || thrown.Class.Name != "java/lang/RuntimeException" {
+		t.Fatalf("thrown = %v", DescribeThrowable(thrown))
+	}
+}
+
+// TestDefineClassNameMismatchRejected: a class served under the wrong
+// name must be refused (a linkage-integrity check).
+func TestDefineClassNameMismatchRejected(t *testing.T) {
+	b := classgen.NewClass("real/Name", "java/lang/Object")
+	b.DefaultInit()
+	data, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := New(MapLoader{"fake/Name": data}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Class("fake/Name"); err == nil {
+		t.Fatal("mismatched class name accepted")
+	}
+}
+
+// ifleOp aliases the opcode to keep the test body readable.
+const ifleOp = 0x9e // ifle

@@ -1,0 +1,458 @@
+package jvm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Argument helpers for native implementations.
+
+func argStr(args []Value, i int) string { return GoString(args[i].Ref()) }
+
+func nilRet() (Value, *Object, error) { return Value{}, nil, nil }
+
+func strRet(t *Thread, s string) (Value, *Object, error) {
+	return RefV(t.vm.InternString(s)), nil, nil
+}
+
+func boolRet(b bool) (Value, *Object, error) {
+	if b {
+		return IntV(1), nil, nil
+	}
+	return IntV(0), nil, nil
+}
+
+// libCheck routes an anticipated library security hook through the
+// monolithic security manager, if one is installed.
+func (vm *VM) libCheck(t *Thread, permission, target string) *Object {
+	if vm.BuiltinChecks == nil {
+		return nil
+	}
+	return vm.BuiltinChecks.Check(t, permission, target)
+}
+
+func (vm *VM) registerCoreNatives() {
+	// java/lang/Object
+	vm.RegisterNative("java/lang/Object", "<init>", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() })
+	vm.RegisterNative("java/lang/Object", "hashCode", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return IntV(args[0].Ref().IdentityHash()), nil, nil
+		})
+	vm.RegisterNative("java/lang/Object", "equals", "(Ljava/lang/Object;)Z",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return boolRet(args[0].Ref() == args[1].Ref())
+		})
+	vm.RegisterNative("java/lang/Object", "toString", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			o := args[0].Ref()
+			return strRet(t, fmt.Sprintf("%s@%x", o.Class.Name, o.IdentityHash()))
+		})
+	vm.RegisterNative("java/lang/Object", "getClass", "()Ljava/lang/Class;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return RefV(t.vm.classObject(args[0].Ref().Class)), nil, nil
+		})
+
+	// java/lang/Class
+	vm.RegisterNative("java/lang/Class", "getName", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			c := args[0].Ref().Native.(*Class)
+			return strRet(t, strings.ReplaceAll(c.Name, "/", "."))
+		})
+
+	// java/lang/String
+	reg := func(name, desc string, fn NativeFunc) { vm.RegisterNative("java/lang/String", name, desc, fn) }
+	reg("length", "()I", func(t *Thread, args []Value) (Value, *Object, error) {
+		return IntV(int32(len(GoString(args[0].Ref())))), nil, nil
+	})
+	reg("charAt", "(I)C", func(t *Thread, args []Value) (Value, *Object, error) {
+		s := GoString(args[0].Ref())
+		i := args[1].Int()
+		if int(i) < 0 || int(i) >= len(s) {
+			return Value{}, t.vm.Throw("java/lang/StringIndexOutOfBoundsException", fmt.Sprint(i)), nil
+		}
+		return IntV(int32(s[i])), nil, nil
+	})
+	reg("equals", "(Ljava/lang/Object;)Z", func(t *Thread, args []Value) (Value, *Object, error) {
+		other := args[1].Ref()
+		if other == nil || other.Class.Name != "java/lang/String" {
+			return boolRet(false)
+		}
+		return boolRet(GoString(args[0].Ref()) == GoString(other))
+	})
+	reg("hashCode", "()I", func(t *Thread, args []Value) (Value, *Object, error) {
+		return IntV(javaStringHash(GoString(args[0].Ref()))), nil, nil
+	})
+	reg("concat", "(Ljava/lang/String;)Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		return RefV(t.vm.NewString(GoString(args[0].Ref()) + argStr(args, 1))), nil, nil
+	})
+	reg("substring", "(II)Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		s := GoString(args[0].Ref())
+		a, b := int(args[1].Int()), int(args[2].Int())
+		if a < 0 || b > len(s) || a > b {
+			return Value{}, t.vm.Throw("java/lang/StringIndexOutOfBoundsException", fmt.Sprintf("begin %d, end %d, length %d", a, b, len(s))), nil
+		}
+		return RefV(t.vm.NewString(s[a:b])), nil, nil
+	})
+	reg("substring", "(I)Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		s := GoString(args[0].Ref())
+		a := int(args[1].Int())
+		if a < 0 || a > len(s) {
+			return Value{}, t.vm.Throw("java/lang/StringIndexOutOfBoundsException", fmt.Sprint(a)), nil
+		}
+		return RefV(t.vm.NewString(s[a:])), nil, nil
+	})
+	reg("indexOf", "(I)I", func(t *Thread, args []Value) (Value, *Object, error) {
+		return IntV(int32(strings.IndexByte(GoString(args[0].Ref()), byte(args[1].Int())))), nil, nil
+	})
+	reg("indexOf", "(Ljava/lang/String;)I", func(t *Thread, args []Value) (Value, *Object, error) {
+		return IntV(int32(strings.Index(GoString(args[0].Ref()), argStr(args, 1)))), nil, nil
+	})
+	reg("compareTo", "(Ljava/lang/String;)I", func(t *Thread, args []Value) (Value, *Object, error) {
+		return IntV(int32(strings.Compare(GoString(args[0].Ref()), argStr(args, 1)))), nil, nil
+	})
+	reg("startsWith", "(Ljava/lang/String;)Z", func(t *Thread, args []Value) (Value, *Object, error) {
+		return boolRet(strings.HasPrefix(GoString(args[0].Ref()), argStr(args, 1)))
+	})
+	reg("endsWith", "(Ljava/lang/String;)Z", func(t *Thread, args []Value) (Value, *Object, error) {
+		return boolRet(strings.HasSuffix(GoString(args[0].Ref()), argStr(args, 1)))
+	})
+	reg("toString", "()Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		return args[0], nil, nil
+	})
+	reg("intern", "()Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		return RefV(t.vm.InternString(GoString(args[0].Ref()))), nil, nil
+	})
+	reg("valueOf", "(I)Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		return strRet(t, strconv.Itoa(int(args[0].Int())))
+	})
+	reg("valueOf", "(J)Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		return strRet(t, strconv.FormatInt(args[0].Long(), 10))
+	})
+	reg("valueOf", "(C)Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		return strRet(t, string(rune(args[0].Int())))
+	})
+	reg("valueOf", "(D)Ljava/lang/String;", func(t *Thread, args []Value) (Value, *Object, error) {
+		return strRet(t, strconv.FormatFloat(args[0].Double(), 'g', -1, 64))
+	})
+
+	// Throwable hierarchy: every class shares these constructors.
+	throwInit0 := func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() }
+	throwInit1 := func(t *Thread, args []Value) (Value, *Object, error) {
+		o := args[0].Ref()
+		if slot, ok := o.Class.FieldSlot("message", "Ljava/lang/String;"); ok {
+			o.SetField(slot, args[1])
+		}
+		return nilRet()
+	}
+	for _, cn := range throwableClassNames {
+		vm.RegisterNative(cn, "<init>", "()V", throwInit0)
+		vm.RegisterNative(cn, "<init>", "(Ljava/lang/String;)V", throwInit1)
+	}
+	vm.RegisterNative("java/lang/Throwable", "getMessage", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			o := args[0].Ref()
+			slot, _ := o.Class.FieldSlot("message", "Ljava/lang/String;")
+			return o.GetField(slot), nil, nil
+		})
+	vm.RegisterNative("java/lang/Throwable", "toString", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return strRet(t, DescribeThrowable(args[0].Ref()))
+		})
+
+	// java/io/OutputStream + PrintStream
+	vm.RegisterNative("java/io/OutputStream", "<init>", "()V", throwInit0)
+	vm.RegisterNative("java/io/OutputStream", "write", "(I)V",
+		func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() })
+	vm.RegisterNative("java/io/OutputStream", "close", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() })
+	vm.RegisterNative("java/io/OutputStream", "flush", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() })
+	vm.RegisterNative("java/io/PrintStream", "println", "(Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			fmt.Fprintln(t.vm.Stdout, argStr(args, 1))
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/PrintStream", "println", "(I)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			fmt.Fprintln(t.vm.Stdout, args[1].Int())
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/PrintStream", "println", "(J)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			fmt.Fprintln(t.vm.Stdout, args[1].Long())
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/PrintStream", "println", "(D)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			fmt.Fprintln(t.vm.Stdout, args[1].Double())
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/PrintStream", "println", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			fmt.Fprintln(t.vm.Stdout)
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/PrintStream", "print", "(Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			fmt.Fprint(t.vm.Stdout, argStr(args, 1))
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/PrintStream", "print", "(I)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			fmt.Fprint(t.vm.Stdout, args[1].Int())
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/PrintStream", "print", "(C)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			fmt.Fprint(t.vm.Stdout, string(rune(args[1].Int())))
+			return nilRet()
+		})
+
+	// java/lang/System
+	vm.RegisterNative("java/lang/System", "getProperty", "(Ljava/lang/String;)Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			key := argStr(args, 0)
+			if ex := t.vm.libCheck(t, "property.get", key); ex != nil {
+				return Value{}, ex, nil
+			}
+			v, ok := t.vm.Properties[key]
+			if !ok {
+				return NullV(), nil, nil
+			}
+			return strRet(t, v)
+		})
+	vm.RegisterNative("java/lang/System", "setProperty", "(Ljava/lang/String;Ljava/lang/String;)Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			key, val := argStr(args, 0), argStr(args, 1)
+			if ex := t.vm.libCheck(t, "property.set", key); ex != nil {
+				return Value{}, ex, nil
+			}
+			old, had := t.vm.Properties[key]
+			t.vm.Properties[key] = val
+			if !had {
+				return NullV(), nil, nil
+			}
+			return strRet(t, old)
+		})
+	vm.RegisterNative("java/lang/System", "currentTimeMillis", "()J",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return LongV(time.Now().UnixMilli()), nil, nil
+		})
+	vm.RegisterNative("java/lang/System", "gc", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			t.vm.GC()
+			return nilRet()
+		})
+	vm.RegisterNative("java/lang/System", "arraycopy", "(Ljava/lang/Object;ILjava/lang/Object;II)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			src, dst := args[0].Ref(), args[2].Ref()
+			spos, dpos, n := int(args[1].Int()), int(args[3].Int()), int(args[4].Int())
+			if src == nil || dst == nil {
+				return Value{}, t.vm.Throw("java/lang/NullPointerException", "arraycopy"), nil
+			}
+			if src.Elems == nil || dst.Elems == nil {
+				return Value{}, t.vm.Throw("java/lang/ArrayStoreException", "arraycopy of non-array"), nil
+			}
+			if n < 0 || spos < 0 || dpos < 0 || spos+n > src.Len() || dpos+n > dst.Len() {
+				return Value{}, t.vm.Throw("java/lang/ArrayIndexOutOfBoundsException", "arraycopy bounds"), nil
+			}
+			copy(dst.Elems[dpos:dpos+n], src.Elems[spos:spos+n])
+			return nilRet()
+		})
+
+	// java/lang/Math
+	vm.RegisterNative("java/lang/Math", "abs", "(I)I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			v := args[0].Int()
+			if v < 0 {
+				v = -v
+			}
+			return IntV(v), nil, nil
+		})
+	vm.RegisterNative("java/lang/Math", "abs", "(D)D",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			v := args[0].Double()
+			if v < 0 {
+				v = -v
+			}
+			return DoubleV(v), nil, nil
+		})
+	vm.RegisterNative("java/lang/Math", "min", "(II)I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return IntV(min(args[0].Int(), args[1].Int())), nil, nil
+		})
+	vm.RegisterNative("java/lang/Math", "max", "(II)I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return IntV(max(args[0].Int(), args[1].Int())), nil, nil
+		})
+	vm.RegisterNative("java/lang/Math", "sqrt", "(D)D",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return DoubleV(math.Sqrt(args[0].Double())), nil, nil
+		})
+	vm.RegisterNative("java/lang/Math", "floor", "(D)D",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return DoubleV(math.Floor(args[0].Double())), nil, nil
+		})
+	vm.RegisterNative("java/lang/Math", "ceil", "(D)D",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return DoubleV(math.Ceil(args[0].Double())), nil, nil
+		})
+
+	// java/lang/Integer
+	vm.RegisterNative("java/lang/Integer", "parseInt", "(Ljava/lang/String;)I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			n, err := strconv.ParseInt(strings.TrimSpace(argStr(args, 0)), 10, 32)
+			if err != nil {
+				return Value{}, t.vm.Throw("java/lang/NumberFormatException", argStr(args, 0)), nil
+			}
+			return IntV(int32(n)), nil, nil
+		})
+	vm.RegisterNative("java/lang/Integer", "toString", "(I)Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return strRet(t, strconv.Itoa(int(args[0].Int())))
+		})
+	vm.RegisterNative("java/lang/Integer", "toHexString", "(I)Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return strRet(t, strconv.FormatUint(uint64(uint32(args[0].Int())), 16))
+		})
+
+	// java/lang/Thread
+	vm.RegisterNative("java/lang/Thread", "<init>", "()V", throwInit0)
+	vm.RegisterNative("java/lang/Thread", "currentThread", "()Ljava/lang/Thread;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return RefV(t.vm.threadObject(t)), nil, nil
+		})
+	vm.RegisterNative("java/lang/Thread", "setPriority", "(I)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			if ex := t.vm.libCheck(t, "thread.setPriority", ""); ex != nil {
+				return Value{}, ex, nil
+			}
+			p := args[1].Int()
+			if p < 1 || p > 10 {
+				return Value{}, t.vm.Throw("java/lang/IllegalArgumentException", fmt.Sprint(p)), nil
+			}
+			if th, ok := args[0].Ref().Native.(*Thread); ok {
+				th.Priority = p
+			}
+			return nilRet()
+		})
+	vm.RegisterNative("java/lang/Thread", "getPriority", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			if th, ok := args[0].Ref().Native.(*Thread); ok {
+				return IntV(th.Priority), nil, nil
+			}
+			return IntV(5), nil, nil
+		})
+	vm.RegisterNative("java/lang/Thread", "sleep", "(J)V",
+		func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() })
+	vm.RegisterNative("java/lang/Thread", "yield", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() })
+
+	// java/lang/StringBuffer
+	vm.RegisterNative("java/lang/StringBuffer", "<init>", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			args[0].Ref().Native = &strings.Builder{}
+			return nilRet()
+		})
+	vm.RegisterNative("java/lang/StringBuffer", "<init>", "(Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			b := &strings.Builder{}
+			b.WriteString(argStr(args, 1))
+			args[0].Ref().Native = b
+			return nilRet()
+		})
+	sbAppend := func(write func(b *strings.Builder, args []Value)) NativeFunc {
+		return func(t *Thread, args []Value) (Value, *Object, error) {
+			b, ok := args[0].Ref().Native.(*strings.Builder)
+			if !ok {
+				b = &strings.Builder{}
+				args[0].Ref().Native = b
+			}
+			write(b, args)
+			return args[0], nil, nil
+		}
+	}
+	vm.RegisterNative("java/lang/StringBuffer", "append", "(Ljava/lang/String;)Ljava/lang/StringBuffer;",
+		sbAppend(func(b *strings.Builder, args []Value) { b.WriteString(argStr(args, 1)) }))
+	vm.RegisterNative("java/lang/StringBuffer", "append", "(I)Ljava/lang/StringBuffer;",
+		sbAppend(func(b *strings.Builder, args []Value) { b.WriteString(strconv.Itoa(int(args[1].Int()))) }))
+	vm.RegisterNative("java/lang/StringBuffer", "append", "(J)Ljava/lang/StringBuffer;",
+		sbAppend(func(b *strings.Builder, args []Value) { b.WriteString(strconv.FormatInt(args[1].Long(), 10)) }))
+	vm.RegisterNative("java/lang/StringBuffer", "append", "(C)Ljava/lang/StringBuffer;",
+		sbAppend(func(b *strings.Builder, args []Value) { b.WriteRune(rune(args[1].Int())) }))
+	vm.RegisterNative("java/lang/StringBuffer", "append", "(D)Ljava/lang/StringBuffer;",
+		sbAppend(func(b *strings.Builder, args []Value) {
+			b.WriteString(strconv.FormatFloat(args[1].Double(), 'g', -1, 64))
+		}))
+	vm.RegisterNative("java/lang/StringBuffer", "length", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			if b, ok := args[0].Ref().Native.(*strings.Builder); ok {
+				return IntV(int32(b.Len())), nil, nil
+			}
+			return IntV(0), nil, nil
+		})
+	vm.RegisterNative("java/lang/StringBuffer", "toString", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			if b, ok := args[0].Ref().Native.(*strings.Builder); ok {
+				return RefV(t.vm.NewString(b.String())), nil, nil
+			}
+			return strRet(t, "")
+		})
+}
+
+// throwableClassNames enumerates the exception classes needing the shared
+// message constructors.
+var throwableClassNames = []string{
+	"java/lang/Throwable", "java/lang/Exception", "java/lang/RuntimeException",
+	"java/lang/Error", "java/lang/LinkageError", "java/lang/VirtualMachineError",
+	"java/lang/NullPointerException", "java/lang/IndexOutOfBoundsException",
+	"java/lang/ArrayIndexOutOfBoundsException", "java/lang/StringIndexOutOfBoundsException",
+	"java/lang/ArithmeticException", "java/lang/ArrayStoreException",
+	"java/lang/ClassCastException", "java/lang/NegativeArraySizeException",
+	"java/lang/IllegalArgumentException", "java/lang/IllegalStateException",
+	"java/lang/NumberFormatException", "java/lang/SecurityException",
+	"java/lang/StackOverflowError", "java/lang/OutOfMemoryError",
+	"java/lang/NoClassDefFoundError", "java/lang/VerifyError",
+	"java/lang/NoSuchFieldError", "java/lang/NoSuchMethodError",
+	"java/lang/AbstractMethodError", "java/lang/ClassNotFoundException",
+	"java/io/IOException", "java/io/FileNotFoundException",
+}
+
+// javaStringHash implements Java's String.hashCode.
+func javaStringHash(s string) int32 {
+	var h int32
+	for i := 0; i < len(s); i++ {
+		h = 31*h + int32(s[i])
+	}
+	return h
+}
+
+// classObject returns the pinned java/lang/Class instance for c.
+func (vm *VM) classObject(c *Class) *Object {
+	if vm.classObjs == nil {
+		vm.classObjs = make(map[*Class]*Object)
+	}
+	if o, ok := vm.classObjs[c]; ok {
+		return o
+	}
+	o := vm.NewInstance(vm.classes["java/lang/Class"])
+	o.Native = c
+	vm.classObjs[c] = o
+	vm.Pin(o)
+	return o
+}
+
+// threadObject returns the pinned java/lang/Thread instance for t.
+func (vm *VM) threadObject(t *Thread) *Object {
+	if vm.threadObj == nil {
+		o := vm.NewInstance(vm.classes["java/lang/Thread"])
+		o.Native = t
+		vm.threadObj = o
+		vm.Pin(o)
+	}
+	return vm.threadObj
+}

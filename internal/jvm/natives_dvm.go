@@ -1,0 +1,135 @@
+package jvm
+
+import "strings"
+
+// The dvm/* natives are the client halves of the DVM's dynamic service
+// components. Static services on the network proxy rewrite application
+// code to call them:
+//
+//	dvm/RTVerifier — deferred link-phase verification checks (§3.1,
+//	  Figure 3): "the functionality in the dynamic component is limited
+//	  to a descriptor lookup and string comparison."
+//	dvm/Enforce    — the security enforcement manager's check entry
+//	  point (§3.2, Figure 4).
+//	dvm/Audit      — remote-monitoring events (§3.3).
+//	dvm/Profile    — first-use profiling feeding the repartitioning
+//	  optimizer (§5).
+func (vm *VM) registerDVMNatives() {
+	vm.RegisterNative("dvm/RTVerifier", "checkField",
+		"(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			t.vm.Stats.LinkChecks++
+			cls, field, desc := argStr(args, 0), argStr(args, 1), argStr(args, 2)
+			if lc := t.vm.CheckLink; lc != nil {
+				return Value{}, lc.CheckField(t, cls, field, desc), nil
+			}
+			return Value{}, t.vm.defaultCheckField(cls, field, desc), nil
+		})
+	vm.RegisterNative("dvm/RTVerifier", "checkMethod",
+		"(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			t.vm.Stats.LinkChecks++
+			cls, method, desc := argStr(args, 0), argStr(args, 1), argStr(args, 2)
+			if lc := t.vm.CheckLink; lc != nil {
+				return Value{}, lc.CheckMethod(t, cls, method, desc), nil
+			}
+			return Value{}, t.vm.defaultCheckMethod(cls, method, desc), nil
+		})
+	vm.RegisterNative("dvm/RTVerifier", "checkClass",
+		"(Ljava/lang/String;Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			t.vm.Stats.LinkChecks++
+			cls, relation := argStr(args, 0), argStr(args, 1)
+			return Value{}, t.vm.defaultCheckClass(cls, relation), nil
+		})
+
+	vm.RegisterNative("dvm/Enforce", "check",
+		"(Ljava/lang/String;Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			t.vm.Stats.SecurityChecks++
+			perm, target := argStr(args, 0), argStr(args, 1)
+			if ac := t.vm.CheckAccess; ac != nil {
+				return Value{}, ac.Check(t, perm, target), nil
+			}
+			// No enforcement manager installed: fail closed, as the paper's
+			// mandatory-check design requires.
+			return Value{}, t.vm.Throw("java/lang/SecurityException",
+				"no enforcement manager for "+perm), nil
+		})
+
+	vm.RegisterNative("dvm/Audit", "enter",
+		"(Ljava/lang/String;Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			t.vm.Stats.AuditEvents++
+			if f := t.vm.OnAudit; f != nil {
+				f(AuditEvent{Class: argStr(args, 0), Method: argStr(args, 1), Kind: "enter"})
+			}
+			return nilRet()
+		})
+	vm.RegisterNative("dvm/Audit", "exit",
+		"(Ljava/lang/String;Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			t.vm.Stats.AuditEvents++
+			if f := t.vm.OnAudit; f != nil {
+				f(AuditEvent{Class: argStr(args, 0), Method: argStr(args, 1), Kind: "exit"})
+			}
+			return nilRet()
+		})
+
+	vm.RegisterNative("dvm/Profile", "firstUse",
+		"(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			if f := t.vm.OnFirstUse; f != nil {
+				f(argStr(args, 0), argStr(args, 1), argStr(args, 2))
+			}
+			return nilRet()
+		})
+}
+
+func internalName(s string) string { return strings.ReplaceAll(s, ".", "/") }
+
+// defaultCheckField is the built-in link checker: resolve the class in
+// the client namespace and confirm it exports the field.
+func (vm *VM) defaultCheckField(cls, field, desc string) *Object {
+	c, err := vm.Class(internalName(cls))
+	if err != nil {
+		return vm.Throw("java/lang/NoClassDefFoundError", cls)
+	}
+	if !c.HasField(field, desc) {
+		return vm.Throw("java/lang/NoSuchFieldError", cls+"."+field+" "+desc)
+	}
+	return nil
+}
+
+// defaultCheckMethod confirms the class exports the method.
+func (vm *VM) defaultCheckMethod(cls, method, desc string) *Object {
+	c, err := vm.Class(internalName(cls))
+	if err != nil {
+		return vm.Throw("java/lang/NoClassDefFoundError", cls)
+	}
+	if c.LookupMethod(method, desc) == nil {
+		return vm.Throw("java/lang/NoSuchMethodError", cls+"."+method+desc)
+	}
+	return nil
+}
+
+// defaultCheckClass confirms an inheritance assumption of the form
+// "sub extends super" or "cls implements iface" recorded by the static
+// verifier.
+func (vm *VM) defaultCheckClass(cls, relation string) *Object {
+	c, err := vm.Class(internalName(cls))
+	if err != nil {
+		return vm.Throw("java/lang/NoClassDefFoundError", cls)
+	}
+	if relation == "" {
+		return nil
+	}
+	target, err := vm.Class(internalName(relation))
+	if err != nil {
+		return vm.Throw("java/lang/NoClassDefFoundError", relation)
+	}
+	if !c.AssignableTo(target) {
+		return vm.Throw("java/lang/VerifyError", cls+" is not assignable to "+relation)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package jvm
+
+// Native implementations of the java/io subset over the virtual
+// filesystem. The anticipated security hooks of the monolithic baseline
+// live at file *open* (and delete) — there is deliberately no hook at
+// read, mirroring the JDK limitation that Figure 9 of the paper exploits:
+// "A malicious application that acquires a file handle ... can thus avoid
+// security checks, which are imposed only on object creation."
+func (vm *VM) registerIONatives() {
+	// java/io/File
+	vm.RegisterNative("java/io/File", "<init>", "(Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			o := args[0].Ref()
+			if slot, ok := o.Class.FieldSlot("path", "Ljava/lang/String;"); ok {
+				o.SetField(slot, args[1])
+			}
+			return nilRet()
+		})
+	filePath := func(o *Object) string {
+		slot, _ := o.Class.FieldSlot("path", "Ljava/lang/String;")
+		return GoString(o.GetField(slot).Ref())
+	}
+	vm.RegisterNative("java/io/File", "exists", "()Z",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return boolRet(t.vm.VFS.Exists(filePath(args[0].Ref())))
+		})
+	vm.RegisterNative("java/io/File", "getPath", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return strRet(t, filePath(args[0].Ref()))
+		})
+	vm.RegisterNative("java/io/File", "delete", "()Z",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			path := filePath(args[0].Ref())
+			if ex := t.vm.libCheck(t, "file.delete", path); ex != nil {
+				return Value{}, ex, nil
+			}
+			return boolRet(t.vm.VFS.Remove(path))
+		})
+
+	// java/io/InputStream
+	vm.RegisterNative("java/io/InputStream", "<init>", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() })
+	vm.RegisterNative("java/io/InputStream", "read", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) { return IntV(-1), nil, nil })
+	vm.RegisterNative("java/io/InputStream", "close", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) { return nilRet() })
+
+	// java/io/FileInputStream
+	vm.RegisterNative("java/io/FileInputStream", "<init>", "(Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			path := argStr(args, 1)
+			// Anticipated hook: open is checked in the monolithic model.
+			if ex := t.vm.libCheck(t, "file.open", path); ex != nil {
+				return Value{}, ex, nil
+			}
+			data, err := t.vm.VFS.Read(path)
+			if err != nil {
+				return Value{}, t.vm.Throw("java/io/FileNotFoundException", path), nil
+			}
+			args[0].Ref().Native = &fileHandle{path: path, data: data, fs: t.vm.VFS}
+			return nilRet()
+		})
+	fin := func(o *Object) *fileHandle {
+		h, _ := o.Native.(*fileHandle)
+		return h
+	}
+	vm.RegisterNative("java/io/FileInputStream", "read", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h := fin(args[0].Ref())
+			if h == nil {
+				return Value{}, t.vm.Throw("java/io/IOException", "stream closed"), nil
+			}
+			// NOTE: no security hook here (see package comment).
+			if h.pos >= len(h.data) {
+				return IntV(-1), nil, nil
+			}
+			b := h.data[h.pos]
+			h.pos++
+			return IntV(int32(b)), nil, nil
+		})
+	vm.RegisterNative("java/io/FileInputStream", "read", "([B)I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h := fin(args[0].Ref())
+			buf := args[1].Ref()
+			if h == nil {
+				return Value{}, t.vm.Throw("java/io/IOException", "stream closed"), nil
+			}
+			if buf == nil {
+				return Value{}, t.vm.Throw("java/lang/NullPointerException", "read buffer"), nil
+			}
+			if h.pos >= len(h.data) {
+				return IntV(-1), nil, nil
+			}
+			n := 0
+			for n < buf.Len() && h.pos < len(h.data) {
+				buf.Elems[n] = IntV(int32(int8(h.data[h.pos])))
+				n++
+				h.pos++
+			}
+			return IntV(int32(n)), nil, nil
+		})
+	vm.RegisterNative("java/io/FileInputStream", "available", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h := fin(args[0].Ref())
+			if h == nil {
+				return IntV(0), nil, nil
+			}
+			return IntV(int32(len(h.data) - h.pos)), nil, nil
+		})
+	vm.RegisterNative("java/io/FileInputStream", "close", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			args[0].Ref().Native = nil
+			return nilRet()
+		})
+
+	// java/io/FileOutputStream
+	vm.RegisterNative("java/io/FileOutputStream", "<init>", "(Ljava/lang/String;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			path := argStr(args, 1)
+			if ex := t.vm.libCheck(t, "file.open", path); ex != nil {
+				return Value{}, ex, nil
+			}
+			args[0].Ref().Native = &fileHandle{path: path, fs: t.vm.VFS, out: true}
+			t.vm.VFS.Write(path, nil)
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/FileOutputStream", "write", "(I)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h := fin(args[0].Ref())
+			if h == nil || !h.out {
+				return Value{}, t.vm.Throw("java/io/IOException", "stream closed"), nil
+			}
+			h.fs.Append(h.path, []byte{byte(args[1].Int())})
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/FileOutputStream", "write", "([B)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h := fin(args[0].Ref())
+			buf := args[1].Ref()
+			if h == nil || !h.out {
+				return Value{}, t.vm.Throw("java/io/IOException", "stream closed"), nil
+			}
+			if buf == nil {
+				return Value{}, t.vm.Throw("java/lang/NullPointerException", "write buffer"), nil
+			}
+			bs := make([]byte, buf.Len())
+			for i := range bs {
+				bs[i] = byte(buf.Elems[i].Int())
+			}
+			h.fs.Append(h.path, bs)
+			return nilRet()
+		})
+	vm.RegisterNative("java/io/FileOutputStream", "close", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			args[0].Ref().Native = nil
+			return nilRet()
+		})
+}

@@ -1,0 +1,90 @@
+package jvm
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// registerLangExtras installs the wrapper-class natives and the String
+// operations beyond the core set (registered from registerCoreNatives).
+func (vm *VM) registerLangExtras() {
+	// java/lang/Long
+	vm.RegisterNative("java/lang/Long", "parseLong", "(Ljava/lang/String;)J",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			n, err := strconv.ParseInt(strings.TrimSpace(argStr(args, 0)), 10, 64)
+			if err != nil {
+				return Value{}, t.vm.Throw("java/lang/NumberFormatException", argStr(args, 0)), nil
+			}
+			return LongV(n), nil, nil
+		})
+	vm.RegisterNative("java/lang/Long", "toString", "(J)Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return strRet(t, strconv.FormatInt(args[0].Long(), 10))
+		})
+
+	// java/lang/Character
+	charPred := func(pred func(rune) bool) NativeFunc {
+		return func(t *Thread, args []Value) (Value, *Object, error) {
+			return boolRet(pred(rune(uint16(args[0].Int()))))
+		}
+	}
+	vm.RegisterNative("java/lang/Character", "isDigit", "(C)Z", charPred(unicode.IsDigit))
+	vm.RegisterNative("java/lang/Character", "isLetter", "(C)Z", charPred(unicode.IsLetter))
+	vm.RegisterNative("java/lang/Character", "isWhitespace", "(C)Z", charPred(unicode.IsSpace))
+	vm.RegisterNative("java/lang/Character", "toUpperCase", "(C)C",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return IntV(int32(uint16(unicode.ToUpper(rune(uint16(args[0].Int())))))), nil, nil
+		})
+	vm.RegisterNative("java/lang/Character", "toLowerCase", "(C)C",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return IntV(int32(uint16(unicode.ToLower(rune(uint16(args[0].Int())))))), nil, nil
+		})
+
+	// java/lang/Boolean
+	vm.RegisterNative("java/lang/Boolean", "toString", "(Z)Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			if args[0].Int() != 0 {
+				return strRet(t, "true")
+			}
+			return strRet(t, "false")
+		})
+
+	// java/lang/String extras
+	vm.RegisterNative("java/lang/String", "toLowerCase", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return RefV(t.vm.NewString(strings.ToLower(GoString(args[0].Ref())))), nil, nil
+		})
+	vm.RegisterNative("java/lang/String", "toUpperCase", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return RefV(t.vm.NewString(strings.ToUpper(GoString(args[0].Ref())))), nil, nil
+		})
+	vm.RegisterNative("java/lang/String", "trim", "()Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			// Java's trim removes chars <= ' ' from both ends.
+			return RefV(t.vm.NewString(strings.Trim(GoString(args[0].Ref()), "\x00\x01\x02\x03\x04\x05\x06\x07\x08\t\n\x0b\x0c\r\x0e\x0f\x10\x11\x12\x13\x14\x15\x16\x17\x18\x19\x1a\x1b\x1c\x1d\x1e\x1f "))), nil, nil
+		})
+	vm.RegisterNative("java/lang/String", "replace", "(CC)Ljava/lang/String;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			old := string(rune(uint16(args[1].Int())))
+			new_ := string(rune(uint16(args[2].Int())))
+			return RefV(t.vm.NewString(strings.ReplaceAll(GoString(args[0].Ref()), old, new_))), nil, nil
+		})
+	vm.RegisterNative("java/lang/String", "lastIndexOf", "(I)I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			return IntV(int32(strings.LastIndexByte(GoString(args[0].Ref()), byte(args[1].Int())))), nil, nil
+		})
+	vm.RegisterNative("java/lang/String", "toCharArray", "()[C",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			s := GoString(args[0].Ref())
+			ac, err := t.vm.arrayClass("C")
+			if err != nil {
+				return Value{}, nil, err
+			}
+			arr := t.vm.NewArray(ac, len(s))
+			for i := 0; i < len(s); i++ {
+				arr.Elems[i] = IntV(int32(s[i]))
+			}
+			return RefV(arr), nil, nil
+		})
+}

@@ -1,0 +1,225 @@
+package jvm
+
+// java/util subset: Hashtable, Vector, and a deterministic Random. The
+// benchmark workloads (the Instantdb TPC-A analog in particular) lean on
+// these, as the paper's originals did.
+
+// hashKey keys a Hashtable entry: strings hash by content, everything
+// else by identity — sufficient for the runtime's collection semantics
+// without re-entering the interpreter for user hashCode/equals.
+type hashKey struct {
+	str   string
+	isStr bool
+	obj   *Object
+}
+
+func makeHashKey(o *Object) hashKey {
+	if o != nil && o.Class.Name == "java/lang/String" {
+		return hashKey{str: GoString(o), isStr: true}
+	}
+	return hashKey{obj: o}
+}
+
+type javaHashtable struct {
+	m map[hashKey]Value
+	// keep inserted objects reachable for the collector
+	refs map[hashKey]*Object
+}
+
+type javaVector struct {
+	elems []Value
+}
+
+// splitmix64 is the deterministic PRNG behind java/util/Random: the
+// evaluation must be reproducible run-to-run, so the runtime trades
+// Java-faithful LCG output for a fixed, well-distributed stream.
+type splitmix64 struct{ state uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (vm *VM) registerUtilNatives() {
+	// java/util/Hashtable
+	vm.RegisterNative("java/util/Hashtable", "<init>", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			args[0].Ref().Native = &javaHashtable{m: map[hashKey]Value{}, refs: map[hashKey]*Object{}}
+			return nilRet()
+		})
+	ht := func(t *Thread, o *Object) (*javaHashtable, *Object) {
+		h, ok := o.Native.(*javaHashtable)
+		if !ok {
+			return nil, t.vm.Throw("java/lang/IllegalStateException", "Hashtable not initialized")
+		}
+		return h, nil
+	}
+	vm.RegisterNative("java/util/Hashtable", "put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h, ex := ht(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			if args[1].Ref() == nil || args[2].Ref() == nil {
+				return Value{}, t.vm.Throw("java/lang/NullPointerException", "Hashtable.put"), nil
+			}
+			k := makeHashKey(args[1].Ref())
+			old, had := h.m[k]
+			h.m[k] = args[2]
+			h.refs[k] = args[1].Ref()
+			if !had {
+				return NullV(), nil, nil
+			}
+			return old, nil, nil
+		})
+	vm.RegisterNative("java/util/Hashtable", "get", "(Ljava/lang/Object;)Ljava/lang/Object;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h, ex := ht(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			v, ok := h.m[makeHashKey(args[1].Ref())]
+			if !ok {
+				return NullV(), nil, nil
+			}
+			return v, nil, nil
+		})
+	vm.RegisterNative("java/util/Hashtable", "remove", "(Ljava/lang/Object;)Ljava/lang/Object;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h, ex := ht(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			k := makeHashKey(args[1].Ref())
+			v, ok := h.m[k]
+			if !ok {
+				return NullV(), nil, nil
+			}
+			delete(h.m, k)
+			delete(h.refs, k)
+			return v, nil, nil
+		})
+	vm.RegisterNative("java/util/Hashtable", "containsKey", "(Ljava/lang/Object;)Z",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h, ex := ht(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			_, ok := h.m[makeHashKey(args[1].Ref())]
+			return boolRet(ok)
+		})
+	vm.RegisterNative("java/util/Hashtable", "size", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			h, ex := ht(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			return IntV(int32(len(h.m))), nil, nil
+		})
+
+	// java/util/Vector
+	vm.RegisterNative("java/util/Vector", "<init>", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			args[0].Ref().Native = &javaVector{}
+			return nilRet()
+		})
+	vec := func(t *Thread, o *Object) (*javaVector, *Object) {
+		v, ok := o.Native.(*javaVector)
+		if !ok {
+			return nil, t.vm.Throw("java/lang/IllegalStateException", "Vector not initialized")
+		}
+		return v, nil
+	}
+	vm.RegisterNative("java/util/Vector", "addElement", "(Ljava/lang/Object;)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			v, ex := vec(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			v.elems = append(v.elems, args[1])
+			return nilRet()
+		})
+	vm.RegisterNative("java/util/Vector", "elementAt", "(I)Ljava/lang/Object;",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			v, ex := vec(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			i := int(args[1].Int())
+			if i < 0 || i >= len(v.elems) {
+				return Value{}, t.vm.Throw("java/lang/ArrayIndexOutOfBoundsException", "Vector.elementAt"), nil
+			}
+			return v.elems[i], nil, nil
+		})
+	vm.RegisterNative("java/util/Vector", "setElementAt", "(Ljava/lang/Object;I)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			v, ex := vec(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			i := int(args[2].Int())
+			if i < 0 || i >= len(v.elems) {
+				return Value{}, t.vm.Throw("java/lang/ArrayIndexOutOfBoundsException", "Vector.setElementAt"), nil
+			}
+			v.elems[i] = args[1]
+			return nilRet()
+		})
+	vm.RegisterNative("java/util/Vector", "size", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			v, ex := vec(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			return IntV(int32(len(v.elems))), nil, nil
+		})
+
+	// java/util/Random
+	vm.RegisterNative("java/util/Random", "<init>", "()V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			args[0].Ref().Native = &splitmix64{state: 0x5DEECE66D}
+			return nilRet()
+		})
+	vm.RegisterNative("java/util/Random", "<init>", "(J)V",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			args[0].Ref().Native = &splitmix64{state: uint64(args[1].Long())}
+			return nilRet()
+		})
+	rng := func(t *Thread, o *Object) (*splitmix64, *Object) {
+		r, ok := o.Native.(*splitmix64)
+		if !ok {
+			return nil, t.vm.Throw("java/lang/IllegalStateException", "Random not initialized")
+		}
+		return r, nil
+	}
+	vm.RegisterNative("java/util/Random", "nextInt", "(I)I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			r, ex := rng(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			bound := args[1].Int()
+			if bound <= 0 {
+				return Value{}, t.vm.Throw("java/lang/IllegalArgumentException", "bound must be positive"), nil
+			}
+			return IntV(int32(r.next() % uint64(bound))), nil, nil
+		})
+	vm.RegisterNative("java/util/Random", "nextInt", "()I",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			r, ex := rng(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			return IntV(int32(r.next())), nil, nil
+		})
+	vm.RegisterNative("java/util/Random", "nextDouble", "()D",
+		func(t *Thread, args []Value) (Value, *Object, error) {
+			r, ex := rng(t, args[0].Ref())
+			if ex != nil {
+				return Value{}, ex, nil
+			}
+			return DoubleV(float64(r.next()>>11) / float64(1<<53)), nil, nil
+		})
+}

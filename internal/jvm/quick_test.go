@@ -1,0 +1,193 @@
+package jvm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+)
+
+// buildArithClass exposes every binary int/long operation for
+// property-based comparison against Go reference semantics.
+func buildArithClass(t *testing.T) *VM {
+	t.Helper()
+	b := classgen.NewClass("q/Arith", "java/lang/Object")
+	binI := func(name string, op bytecode.Opcode) {
+		m := b.Method(classfile.AccPublic|classfile.AccStatic, name, "(II)I")
+		m.ILoad(0).ILoad(1).Inst(op).IReturn()
+	}
+	binI("add", bytecode.Iadd)
+	binI("sub", bytecode.Isub)
+	binI("mul", bytecode.Imul)
+	binI("div", bytecode.Idiv)
+	binI("rem", bytecode.Irem)
+	binI("and", bytecode.Iand)
+	binI("or", bytecode.Ior)
+	binI("xor", bytecode.Ixor)
+	binI("shl", bytecode.Ishl)
+	binI("shr", bytecode.Ishr)
+	binI("ushr", bytecode.Iushr)
+	binL := func(name string, op bytecode.Opcode) {
+		m := b.Method(classfile.AccPublic|classfile.AccStatic, name, "(JJ)J")
+		m.LLoad(0).LLoad(2).Inst(op).LReturn()
+	}
+	binL("ladd", bytecode.Ladd)
+	binL("lmul", bytecode.Lmul)
+	binL("ldiv", bytecode.Ldiv)
+	conv := b.Method(classfile.AccPublic|classfile.AccStatic, "i2sbc", "(I)I")
+	conv.ILoad(0).Inst(bytecode.I2b).Inst(bytecode.I2c).Inst(bytecode.I2s).IReturn()
+	data, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := New(MapLoader{"q/Arith": data}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// TestQuickIntArithmeticMatchesJavaSemantics compares interpreter results
+// against Go reference implementations of the JVM's int semantics.
+func TestQuickIntArithmeticMatchesJavaSemantics(t *testing.T) {
+	vm := buildArithClass(t)
+	th := vm.MainThread()
+	call := func(name string, a, b int32) (int32, bool) {
+		v, thrown, err := th.InvokeByName("q/Arith", name, "(II)I", []Value{IntV(a), IntV(b)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if thrown != nil {
+			return 0, false
+		}
+		return v.Int(), true
+	}
+	f := func(a, b int32) bool {
+		if v, ok := call("add", a, b); !ok || v != a+b {
+			return false
+		}
+		if v, ok := call("sub", a, b); !ok || v != a-b {
+			return false
+		}
+		if v, ok := call("mul", a, b); !ok || v != a*b {
+			return false
+		}
+		if v, ok := call("and", a, b); !ok || v != a&b {
+			return false
+		}
+		if v, ok := call("or", a, b); !ok || v != a|b {
+			return false
+		}
+		if v, ok := call("xor", a, b); !ok || v != a^b {
+			return false
+		}
+		if v, ok := call("shl", a, b); !ok || v != a<<(uint32(b)&31) {
+			return false
+		}
+		if v, ok := call("shr", a, b); !ok || v != a>>(uint32(b)&31) {
+			return false
+		}
+		if v, ok := call("ushr", a, b); !ok || v != int32(uint32(a)>>(uint32(b)&31)) {
+			return false
+		}
+		v, ok := call("div", a, b)
+		switch {
+		case b == 0:
+			if ok {
+				return false // must throw
+			}
+		case a == math.MinInt32 && b == -1:
+			if !ok || v != math.MinInt32 {
+				return false
+			}
+		default:
+			if !ok || v != a/b {
+				return false
+			}
+		}
+		r, ok := call("rem", a, b)
+		switch {
+		case b == 0:
+			if ok {
+				return false
+			}
+		case a == math.MinInt32 && b == -1:
+			if !ok || r != 0 {
+				return false
+			}
+		default:
+			if !ok || r != a%b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLongArithmetic checks 64-bit two-slot plumbing under random
+// inputs.
+func TestQuickLongArithmetic(t *testing.T) {
+	vm := buildArithClass(t)
+	th := vm.MainThread()
+	f := func(a, b int64) bool {
+		v, thrown, err := th.InvokeByName("q/Arith", "ladd", "(JJ)J", []Value{LongV(a), LongV(b)})
+		if err != nil || thrown != nil || v.Long() != a+b {
+			return false
+		}
+		v, thrown, err = th.InvokeByName("q/Arith", "lmul", "(JJ)J", []Value{LongV(a), LongV(b)})
+		if err != nil || thrown != nil || v.Long() != a*b {
+			return false
+		}
+		v, thrown, err = th.InvokeByName("q/Arith", "ldiv", "(JJ)J", []Value{LongV(a), LongV(b)})
+		if b == 0 {
+			return err == nil && thrown != nil
+		}
+		want := a / b
+		if a == math.MinInt64 && b == -1 {
+			want = math.MinInt64
+		}
+		return err == nil && thrown == nil && v.Long() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNarrowingConversions: i2b;i2c;i2s pipeline equals the
+// composed Go narrowing.
+func TestQuickNarrowingConversions(t *testing.T) {
+	vm := buildArithClass(t)
+	th := vm.MainThread()
+	f := func(a int32) bool {
+		v, thrown, err := th.InvokeByName("q/Arith", "i2sbc", "(I)I", []Value{IntV(a)})
+		if err != nil || thrown != nil {
+			return false
+		}
+		want := int32(int16(uint16(int32(int8(a)))))
+		return v.Int() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStringHashMatchesJava: the runtime's String.hashCode equals
+// the canonical Java algorithm for arbitrary ASCII strings.
+func TestQuickStringHashMatchesJava(t *testing.T) {
+	f := func(s string) bool {
+		var want int32
+		for i := 0; i < len(s); i++ {
+			want = 31*want + int32(s[i])
+		}
+		return javaStringHash(s) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package jvm
+
+import (
+	"math"
+	"testing"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+)
+
+// TestFloatConversionSaturation covers the JVM's saturating f2i/d2l
+// semantics, including NaN-to-zero.
+func TestFloatConversionSaturation(t *testing.T) {
+	b := classgen.NewClass("sem/Conv", "java/lang/Object")
+	f2i := b.Method(classfile.AccPublic|classfile.AccStatic, "f2i", "(F)I")
+	f2i.FLoad(0).Inst(bytecode.F2i).IReturn()
+	d2l := b.Method(classfile.AccPublic|classfile.AccStatic, "d2l", "(D)J")
+	d2l.DLoad(0).Inst(bytecode.D2l).LReturn()
+
+	vm := newTestVM(t, nil, b)
+	cases := []struct {
+		in   float32
+		want int32
+	}{
+		{float32(math.NaN()), 0},
+		{float32(math.Inf(1)), math.MaxInt32},
+		{float32(math.Inf(-1)), math.MinInt32},
+		{1e20, math.MaxInt32},
+		{-1e20, math.MinInt32},
+		{42.9, 42},
+		{-42.9, -42},
+	}
+	for _, c := range cases {
+		v, thrown := callStatic(t, vm, "sem/Conv", "f2i", "(F)I", FloatV(c.in))
+		if thrown != nil || v.Int() != c.want {
+			t.Errorf("f2i(%g) = %d, want %d", c.in, v.Int(), c.want)
+		}
+	}
+	lcases := []struct {
+		in   float64
+		want int64
+	}{
+		{math.NaN(), 0},
+		{math.Inf(1), math.MaxInt64},
+		{-1e300, math.MinInt64},
+		{123.99, 123},
+	}
+	for _, c := range lcases {
+		v, thrown := callStatic(t, vm, "sem/Conv", "d2l", "(D)J", DoubleV(c.in))
+		if thrown != nil || v.Long() != c.want {
+			t.Errorf("d2l(%g) = %d, want %d", c.in, v.Long(), c.want)
+		}
+	}
+}
+
+// TestFcmpNaNSemantics: fcmpl pushes -1 on NaN, fcmpg pushes +1.
+func TestFcmpNaNSemantics(t *testing.T) {
+	b := classgen.NewClass("sem/Cmp", "java/lang/Object")
+	l := b.Method(classfile.AccPublic|classfile.AccStatic, "cmpl", "(FF)I")
+	l.FLoad(0).FLoad(1).Inst(bytecode.Fcmpl).IReturn()
+	g := b.Method(classfile.AccPublic|classfile.AccStatic, "cmpg", "(FF)I")
+	g.FLoad(0).FLoad(1).Inst(bytecode.Fcmpg).IReturn()
+
+	vm := newTestVM(t, nil, b)
+	nan := FloatV(float32(math.NaN()))
+	v, _ := callStatic(t, vm, "sem/Cmp", "cmpl", "(FF)I", nan, FloatV(1))
+	if v.Int() != -1 {
+		t.Errorf("fcmpl(NaN, 1) = %d, want -1", v.Int())
+	}
+	v, _ = callStatic(t, vm, "sem/Cmp", "cmpg", "(FF)I", nan, FloatV(1))
+	if v.Int() != 1 {
+		t.Errorf("fcmpg(NaN, 1) = %d, want 1", v.Int())
+	}
+	v, _ = callStatic(t, vm, "sem/Cmp", "cmpl", "(FF)I", FloatV(2), FloatV(1))
+	if v.Int() != 1 {
+		t.Errorf("fcmpl(2, 1) = %d, want 1", v.Int())
+	}
+}
+
+// TestDupComplexForms executes dup_x1/dup2_x1/dup2 over live values.
+func TestDupComplexForms(t *testing.T) {
+	b := classgen.NewClass("sem/Dup", "java/lang/Object")
+	// dup_x1: a b -> b a b ; compute b*100 + a*10 + b
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "dx1", "(II)I")
+	m.ILoad(0).ILoad(1)
+	m.Inst(bytecode.DupX1)
+	// stack: b a b
+	m.IStore(2).IStore(3).IStore(4)
+	// locals: 2=b(top) 3=a 4=b
+	m.ILoad(4).IConst(100).IMul()
+	m.ILoad(3).IConst(10).IMul().IAdd()
+	m.ILoad(2).IAdd()
+	m.IReturn()
+	// dup2 over a long pair: (l dup2 ladd) == 2*l
+	m2 := b.Method(classfile.AccPublic|classfile.AccStatic, "d2l", "(J)J")
+	m2.LLoad(0)
+	m2.Inst(bytecode.Dup2)
+	m2.Inst(bytecode.Ladd)
+	m2.LReturn()
+
+	vm := newTestVM(t, nil, b)
+	v, thrown := callStatic(t, vm, "sem/Dup", "dx1", "(II)I", IntV(3), IntV(7))
+	if thrown != nil {
+		t.Fatal(DescribeThrowable(thrown))
+	}
+	// b a b with b=7, a=3: 7*100 + 3*10 + 7 = 737
+	if v.Int() != 737 {
+		t.Errorf("dx1 = %d, want 737", v.Int())
+	}
+	v, thrown = callStatic(t, vm, "sem/Dup", "d2l", "(J)J", LongV(1<<40))
+	if thrown != nil || v.Long() != 1<<41 {
+		t.Errorf("d2l = %d", v.Long())
+	}
+}
+
+// TestGCTracesHashtableAndVector: objects reachable only through native
+// collection payloads survive collection.
+func TestGCTracesHashtableAndVector(t *testing.T) {
+	b := classgen.NewClass("sem/Coll", "java/lang/Object")
+	b.Field(classfile.AccPublic|classfile.AccStatic, "table", "Ljava/util/Hashtable;")
+	setup := b.Method(classfile.AccPublic|classfile.AccStatic, "setup", "()V")
+	setup.NewDup("java/util/Hashtable")
+	setup.InvokeSpecial("java/util/Hashtable", "<init>", "()V")
+	setup.PutStatic("sem/Coll", "table", "Ljava/util/Hashtable;")
+	setup.GetStatic("sem/Coll", "table", "Ljava/util/Hashtable;")
+	setup.LdcString("key")
+	setup.NewDup("java/lang/StringBuffer")
+	setup.InvokeSpecial("java/lang/StringBuffer", "<init>", "()V")
+	setup.InvokeVirtual("java/util/Hashtable", "put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;")
+	setup.Pop()
+	setup.Return()
+	get := b.Method(classfile.AccPublic|classfile.AccStatic, "get", "()Ljava/lang/Object;")
+	get.GetStatic("sem/Coll", "table", "Ljava/util/Hashtable;")
+	get.LdcString("key")
+	get.InvokeVirtual("java/util/Hashtable", "get", "(Ljava/lang/Object;)Ljava/lang/Object;")
+	get.AReturn()
+
+	vm := newTestVM(t, nil, b)
+	callStatic(t, vm, "sem/Coll", "setup", "()V")
+	vm.GC()
+	vm.GC()
+	v, thrown := callStatic(t, vm, "sem/Coll", "get", "()Ljava/lang/Object;")
+	if thrown != nil {
+		t.Fatal(DescribeThrowable(thrown))
+	}
+	if v.Ref() == nil {
+		t.Fatal("hashtable value collected despite being reachable")
+	}
+	if v.Ref().Class.Name != "java/lang/StringBuffer" {
+		t.Errorf("class = %s", v.Ref().Class.Name)
+	}
+}
+
+// TestArrayCovarianceAndStoreCheck: Object[] holding a String array
+// rejects an incompatible store at run time.
+func TestArrayCovarianceAndStoreCheck(t *testing.T) {
+	b := classgen.NewClass("sem/Cov", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "()V")
+	m.IConst(1).ANewArray("java/lang/String")
+	m.AStore(0)
+	m.ALoad(0).IConst(0)
+	m.NewDup("java/lang/Object")
+	m.InvokeSpecial("java/lang/Object", "<init>", "()V")
+	m.Inst(bytecode.Aastore) // Object into String[]: ArrayStoreException
+	m.Return()
+	vm := newTestVM(t, nil, b)
+	_, thrown := callStatic(t, vm, "sem/Cov", "f", "()V")
+	if thrown == nil || thrown.Class.Name != "java/lang/ArrayStoreException" {
+		t.Errorf("thrown = %v", DescribeThrowable(thrown))
+	}
+	// And the subtype relation itself.
+	sArr, err := vm.Class("[Ljava/lang/String;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oArr, err := vm.Class("[Ljava/lang/Object;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sArr.AssignableTo(oArr) {
+		t.Error("String[] not assignable to Object[]")
+	}
+	if oArr.AssignableTo(sArr) {
+		t.Error("Object[] assignable to String[]")
+	}
+}
+
+// TestFinallyViaHandlers: the modern finally pattern (duplicate code +
+// catch-all rethrow) unwinds correctly.
+func TestFinallyViaHandlers(t *testing.T) {
+	b := classgen.NewClass("sem/Fin", "java/lang/Object")
+	b.Field(classfile.AccPublic|classfile.AccStatic, "cleanups", "I")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "(I)I")
+	start := m.Here()
+	bad := m.NewLabel()
+	m.ILoad(0).Branch(bytecode.Ifeq, bad)
+	// normal path: cleanup, return 1
+	m.GetStatic("sem/Fin", "cleanups", "I").IConst(1).IAdd().PutStatic("sem/Fin", "cleanups", "I")
+	m.IConst(1).IReturn()
+	m.Mark(bad)
+	m.NewDup("java/lang/RuntimeException")
+	m.InvokeSpecial("java/lang/RuntimeException", "<init>", "()V")
+	m.AThrow()
+	end := m.NewLabel()
+	m.Mark(end)
+	h := m.Here()
+	// catch-all: cleanup, rethrow
+	m.GetStatic("sem/Fin", "cleanups", "I").IConst(1).IAdd().PutStatic("sem/Fin", "cleanups", "I")
+	m.AThrow()
+	m.Handler(start, end, h, "")
+
+	vm := newTestVM(t, nil, b)
+	v, thrown := callStatic(t, vm, "sem/Fin", "f", "(I)I", IntV(1))
+	if thrown != nil || v.Int() != 1 {
+		t.Fatalf("normal path: %v %v", v, DescribeThrowable(thrown))
+	}
+	_, thrown = callStatic(t, vm, "sem/Fin", "f", "(I)I", IntV(0))
+	if thrown == nil || thrown.Class.Name != "java/lang/RuntimeException" {
+		t.Fatalf("exception path: %v", DescribeThrowable(thrown))
+	}
+	c, _ := vm.Class("sem/Fin")
+	_, slot, _ := c.StaticSlot("cleanups", "I")
+	if got := c.GetStatic(slot).Int(); got != 2 {
+		t.Errorf("cleanups = %d, want 2 (both paths)", got)
+	}
+}

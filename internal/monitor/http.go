@@ -1,0 +1,190 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dvm/internal/jvm"
+)
+
+// HTTP transport for the remote monitoring service: clients handshake
+// and stream audit events to the central administration console over the
+// network, exactly as §3.3 describes ("as each application comes up, it
+// contacts the remote monitoring console and a handshake protocol
+// establishes the credentials of the user and assigns an identifier to
+// the session"). The console host keeps the logs out of reach of the
+// monitored clients.
+//
+// Wire format (JSON over HTTP):
+//
+//	POST /handshake   {user, hardware, arch, jvmVersion, codeVersion} -> {session}
+//	POST /events      {session, events: [{class, method, kind}]}
+//	GET  /sessions                       -> ["sess-0001", ...]
+//	GET  /events?session=sess-0001       -> [...]
+//	GET  /callgraph?session=sess-0001    -> [{caller, callee, count}]
+
+type wireEvent struct {
+	Class  string `json:"class"`
+	Method string `json:"method"`
+	Kind   string `json:"kind"`
+}
+
+type wireBatch struct {
+	Session string      `json:"session"`
+	Events  []wireEvent `json:"events"`
+}
+
+type wireHandshake struct {
+	User        string `json:"user"`
+	Hardware    string `json:"hardware"`
+	Arch        string `json:"arch"`
+	JVMVersion  string `json:"jvmVersion"`
+	CodeVersion string `json:"codeVersion"`
+}
+
+// Handler exposes the collector as the administration console's HTTP
+// interface.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/handshake", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var hs wireHandshake
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&hs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		session := c.Handshake(ClientInfo{
+			User: hs.User, Hardware: hs.Hardware, Arch: hs.Arch,
+			JVMVersion: hs.JVMVersion, CodeVersion: hs.CodeVersion,
+		})
+		writeJSON(w, map[string]string{"session": session})
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var batch wireBatch
+			if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&batch); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			for _, e := range batch.Events {
+				if err := c.Record(batch.Session, e.Class, e.Method, e.Kind); err != nil {
+					http.Error(w, err.Error(), http.StatusForbidden)
+					return
+				}
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodGet:
+			writeJSON(w, c.Events(r.URL.Query().Get("session")))
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Sessions())
+	})
+	mux.HandleFunc("/callgraph", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.CallGraph(r.URL.Query().Get("session")))
+	})
+	mux.HandleFunc("/firstuse", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.FirstUseOrder(r.URL.Query().Get("session")))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// RemoteSession is the client side of the HTTP monitoring protocol. It
+// batches events to amortize round trips (Flush sends; Close flushes).
+type RemoteSession struct {
+	base    string
+	client  *http.Client
+	Session string
+
+	buf       []wireEvent
+	batchSize int
+	// Err records the first delivery failure; auditing must never
+	// disturb the application ("a security breach may stop the creation
+	// of new audit events"), so errors are latched, not raised.
+	Err error
+}
+
+// AttachHTTP handshakes with a console at baseURL and wires the VM's
+// audit and first-use hooks to it. Events are batched (batchSize ≤ 0
+// means 64).
+func AttachHTTP(vm *jvm.VM, baseURL string, info ClientInfo, batchSize int) (*RemoteSession, error) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	rs := &RemoteSession{base: strings.TrimRight(baseURL, "/"), client: &http.Client{}, batchSize: batchSize}
+	body, _ := json.Marshal(wireHandshake{
+		User: info.User, Hardware: info.Hardware, Arch: info.Arch,
+		JVMVersion: info.JVMVersion, CodeVersion: info.CodeVersion,
+	})
+	resp, err := rs.client.Post(rs.base+"/handshake", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("monitor: handshake: %s", resp.Status)
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	rs.Session = out.Session
+
+	vm.OnAudit = func(e jvm.AuditEvent) {
+		rs.add(wireEvent{Class: e.Class, Method: e.Method, Kind: e.Kind})
+	}
+	vm.OnFirstUse = func(class, method, desc string) {
+		rs.add(wireEvent{Class: class, Method: method + " " + desc, Kind: "note"})
+	}
+	return rs, nil
+}
+
+func (rs *RemoteSession) add(e wireEvent) {
+	rs.buf = append(rs.buf, e)
+	if len(rs.buf) >= rs.batchSize {
+		rs.Flush()
+	}
+}
+
+// Flush delivers buffered events to the console.
+func (rs *RemoteSession) Flush() {
+	if len(rs.buf) == 0 {
+		return
+	}
+	batch := wireBatch{Session: rs.Session, Events: rs.buf}
+	rs.buf = rs.buf[:0]
+	body, _ := json.Marshal(batch)
+	resp, err := rs.client.Post(rs.base+"/events", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		if rs.Err == nil {
+			rs.Err = err
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 && rs.Err == nil {
+		rs.Err = fmt.Errorf("monitor: events: %s", resp.Status)
+	}
+}
+
+// Close flushes any buffered events.
+func (rs *RemoteSession) Close() {
+	rs.Flush()
+}

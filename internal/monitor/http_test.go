@@ -1,0 +1,101 @@
+package monitor_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"dvm/internal/jvm"
+	"dvm/internal/monitor"
+	"dvm/internal/rewrite"
+)
+
+func TestHTTPConsoleEndToEnd(t *testing.T) {
+	coll := monitor.NewCollector()
+	ts := httptest.NewServer(coll.Handler())
+	defer ts.Close()
+
+	data := buildApp(t)
+	out, _ := instrument(t, data, monitor.Config{Methods: true})
+	vm, err := jvm.New(jvm.MapLoader{"app/M": out}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := monitor.AttachHTTP(vm, ts.URL, monitor.ClientInfo{User: "netuser", Arch: "dvm"}, 4)
+	if err != nil {
+		t.Fatalf("AttachHTTP: %v", err)
+	}
+	if thrown, err := vm.RunMain("app/M", nil); err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	rs.Close()
+	if rs.Err != nil {
+		t.Fatalf("delivery error: %v", rs.Err)
+	}
+	// Console saw the handshake and the events.
+	if got := coll.Sessions(); len(got) != 1 || got[0] != rs.Session {
+		t.Fatalf("sessions = %v", got)
+	}
+	info, ok := coll.Info(rs.Session)
+	if !ok || info.User != "netuser" {
+		t.Errorf("info = %+v", info)
+	}
+	if coll.EventCount() != 8 {
+		t.Errorf("events = %d, want 8", coll.EventCount())
+	}
+	edges := coll.CallGraph(rs.Session)
+	if len(edges) != 2 {
+		t.Errorf("call graph = %v", edges)
+	}
+}
+
+func TestHTTPConsoleBatching(t *testing.T) {
+	coll := monitor.NewCollector()
+	ts := httptest.NewServer(coll.Handler())
+	defer ts.Close()
+
+	vm, err := jvm.New(jvm.MapLoader{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := monitor.AttachHTTP(vm, ts.URL, monitor.ClientInfo{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the batch size: nothing delivered until Flush.
+	vm.OnAudit(jvm.AuditEvent{Class: "a", Method: "b", Kind: "enter"})
+	if coll.EventCount() != 0 {
+		t.Error("event delivered before flush despite batching")
+	}
+	rs.Flush()
+	if coll.EventCount() != 1 {
+		t.Errorf("events after flush = %d", coll.EventCount())
+	}
+}
+
+func TestHTTPConsoleRejectsUnknownSession(t *testing.T) {
+	coll := monitor.NewCollector()
+	ts := httptest.NewServer(coll.Handler())
+	defer ts.Close()
+	rs := &monitor.RemoteSession{}
+	_ = rs
+	// Handshake-less event posting must be rejected; use a raw session.
+	vm, err := jvm.New(jvm.MapLoader{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := monitor.AttachHTTP(vm, ts.URL, monitor.ClientInfo{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Session = "sess-9999" // forged
+	vm.OnAudit(jvm.AuditEvent{Class: "a", Method: "b", Kind: "enter"})
+	good.Flush()
+	if good.Err == nil {
+		t.Error("forged session accepted")
+	}
+	if coll.EventCount() != 0 {
+		t.Error("forged events stored")
+	}
+}
+
+var _ = rewrite.NewContext

@@ -1,0 +1,216 @@
+// Package monitor implements the DVM's remote monitoring service (paper
+// §3.3): a static audit filter that transforms applications to invoke
+// auditing at method and constructor boundaries, a handshake protocol
+// that establishes client credentials and session identifiers, a central
+// administration collector whose logs live outside the reach of
+// untrusted code, and an instruction-level profiling service that builds
+// dynamic call graphs and first-use orders — the input to the §5
+// repartitioning optimizer.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one audit record as stored by the collector.
+type Event struct {
+	Session string
+	Class   string
+	Method  string
+	Kind    string // "enter", "exit", "note"
+	Seq     int64
+	Time    time.Time
+}
+
+// ClientInfo is what a client reports during the handshake: the
+// monitoring console tracks "client hardware configurations, users, JVM
+// instances, code versions and noteworthy client events."
+type ClientInfo struct {
+	User        string
+	Hardware    string
+	Arch        string
+	JVMVersion  string
+	CodeVersion string
+}
+
+// Collector is the central administration host. A security breach on a
+// client can stop new events but cannot tamper with the stored log: the
+// log is append-only and lives here, not on the client.
+type Collector struct {
+	mu       sync.Mutex
+	sessions map[string]*sessionRecord
+	events   []Event
+	seq      int64
+	nextID   int
+}
+
+type sessionRecord struct {
+	id    string
+	info  ClientInfo
+	stack []string // call stack reconstructed from enter/exit
+	graph map[string]map[string]int
+	first []string
+	seen  map[string]bool
+}
+
+// NewCollector creates an empty monitoring console.
+func NewCollector() *Collector {
+	return &Collector{sessions: make(map[string]*sessionRecord)}
+}
+
+// Handshake registers a client and assigns its session identifier.
+func (c *Collector) Handshake(info ClientInfo) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := fmt.Sprintf("sess-%04d", c.nextID)
+	c.sessions[id] = &sessionRecord{
+		id:    id,
+		info:  info,
+		graph: make(map[string]map[string]int),
+		seen:  make(map[string]bool),
+	}
+	return id
+}
+
+// Record ingests one audit event for a session. Unknown sessions are
+// rejected (the handshake established credentials).
+func (c *Collector) Record(session, class, method, kind string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[session]
+	if !ok {
+		return fmt.Errorf("monitor: unknown session %q", session)
+	}
+	c.seq++
+	c.events = append(c.events, Event{
+		Session: session, Class: class, Method: method, Kind: kind,
+		Seq: c.seq, Time: time.Now(),
+	})
+	node := class + "." + method
+	switch kind {
+	case "enter":
+		if len(s.stack) > 0 {
+			caller := s.stack[len(s.stack)-1]
+			edges := s.graph[caller]
+			if edges == nil {
+				edges = make(map[string]int)
+				s.graph[caller] = edges
+			}
+			edges[node]++
+		}
+		if !s.seen[node] {
+			s.seen[node] = true
+			s.first = append(s.first, node)
+		}
+		s.stack = append(s.stack, node)
+	case "exit":
+		// Pop to the matching frame; tolerate exceptional unwinds that
+		// skipped exit events.
+		for i := len(s.stack) - 1; i >= 0; i-- {
+			if s.stack[i] == node {
+				s.stack = s.stack[:i]
+				break
+			}
+		}
+	case "note":
+		// First-use probe from the profiling service; method carries its
+		// descriptor.
+		if !s.seen[node] {
+			s.seen[node] = true
+			s.first = append(s.first, node)
+		}
+	}
+	return nil
+}
+
+// Events returns a copy of the stored audit trail (optionally filtered
+// by session; "" means all).
+func (c *Collector) Events(session string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, e := range c.events {
+		if session == "" || e.Session == session {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventCount returns the total events stored.
+func (c *Collector) EventCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Sessions returns the known session ids, sorted.
+func (c *Collector) Sessions() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.sessions))
+	for id := range c.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Info returns the handshake record for a session.
+func (c *Collector) Info(session string) (ClientInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[session]
+	if !ok {
+		return ClientInfo{}, false
+	}
+	return s.info, true
+}
+
+// CallEdge is one edge of the dynamic call graph with its traversal
+// count.
+type CallEdge struct {
+	Caller string
+	Callee string
+	Count  int
+}
+
+// CallGraph returns the dynamic call graph reconstructed from a
+// session's enter/exit events, sorted for determinism.
+func (c *Collector) CallGraph(session string) []CallEdge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[session]
+	if !ok {
+		return nil
+	}
+	var out []CallEdge
+	for caller, edges := range s.graph {
+		for callee, n := range edges {
+			out = append(out, CallEdge{Caller: caller, Callee: callee, Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Caller != out[j].Caller {
+			return out[i].Caller < out[j].Caller
+		}
+		return out[i].Callee < out[j].Callee
+	})
+	return out
+}
+
+// FirstUseOrder returns the methods of a session in first-invocation
+// order — the profile the repartitioning optimizer consumes.
+func (c *Collector) FirstUseOrder(session string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[session]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), s.first...)
+}

@@ -1,0 +1,225 @@
+package monitor_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+	"dvm/internal/jvm"
+	"dvm/internal/monitor"
+	"dvm/internal/rewrite"
+)
+
+// buildApp builds app/M with main -> a -> b call chain and a loop calling b.
+func buildApp(t *testing.T) []byte {
+	t.Helper()
+	b := classgen.NewClass("app/M", "java/lang/Object")
+	mb := b.Method(classfile.AccPublic|classfile.AccStatic, "b", "()I")
+	mb.IConst(1).IReturn()
+	ma := b.Method(classfile.AccPublic|classfile.AccStatic, "a", "()I")
+	ma.InvokeStatic("app/M", "b", "()I")
+	ma.InvokeStatic("app/M", "b", "()I")
+	ma.IAdd().IReturn()
+	mn := b.Method(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	mn.InvokeStatic("app/M", "a", "()I")
+	mn.Pop()
+	mn.Return()
+	data, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func instrument(t *testing.T, data []byte, cfg monitor.Config) ([]byte, *rewrite.Context) {
+	t.Helper()
+	ctx := rewrite.NewContext()
+	out, err := rewrite.NewPipeline(monitor.Filter(cfg)).Process(data, ctx)
+	if err != nil {
+		t.Fatalf("monitor filter: %v", err)
+	}
+	return out, ctx
+}
+
+func TestAuditEventsFlowToCollector(t *testing.T) {
+	data := buildApp(t)
+	out, ctx := instrument(t, data, monitor.Config{Methods: true})
+	if n, _ := ctx.Notes[monitor.NoteAuditSites].(int); n == 0 {
+		t.Fatal("no audit sites inserted")
+	}
+	vm, err := jvm.New(jvm.MapLoader{"app/M": out}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := monitor.NewCollector()
+	session := monitor.Attach(vm, coll, monitor.ClientInfo{User: "alice", Arch: "x86", JVMVersion: "1.2-dvm"})
+	thrown, err := vm.RunMain("app/M", nil)
+	if err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	// main enter/exit, a enter/exit, 2x b enter/exit = 8 events.
+	if got := coll.EventCount(); got != 8 {
+		t.Errorf("EventCount = %d, want 8", got)
+	}
+	info, ok := coll.Info(session)
+	if !ok || info.User != "alice" {
+		t.Errorf("Info = %+v ok=%v", info, ok)
+	}
+	if vm.Stats.AuditEvents != 8 {
+		t.Errorf("client AuditEvents = %d", vm.Stats.AuditEvents)
+	}
+}
+
+func TestCallGraphReconstruction(t *testing.T) {
+	data := buildApp(t)
+	out, _ := instrument(t, data, monitor.Config{Methods: true})
+	vm, err := jvm.New(jvm.MapLoader{"app/M": out}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := monitor.NewCollector()
+	session := monitor.Attach(vm, coll, monitor.ClientInfo{})
+	if thrown, err := vm.RunMain("app/M", nil); err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	edges := coll.CallGraph(session)
+	want := map[string]int{
+		"app/M.main->app/M.a": 1,
+		"app/M.a->app/M.b":    2,
+	}
+	got := map[string]int{}
+	for _, e := range edges {
+		got[e.Caller+"->"+e.Callee] = e.Count
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("edge %s = %d, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+}
+
+func TestFirstUseProfile(t *testing.T) {
+	data := buildApp(t)
+	out, _ := instrument(t, data, monitor.Config{FirstUse: true})
+	vm, err := jvm.New(jvm.MapLoader{"app/M": out}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := monitor.NewCollector()
+	session := monitor.Attach(vm, coll, monitor.ClientInfo{})
+	if thrown, err := vm.RunMain("app/M", nil); err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	// Run main twice: first-use probes must fire once.
+	if _, thrown, err := vm.MainThread().InvokeByName("app/M", "main", "([Ljava/lang/String;)V",
+		[]jvm.Value{jvm.NullV()}); err != nil || thrown != nil {
+		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+	}
+	order := coll.FirstUseOrder(session)
+	if len(order) != 3 {
+		t.Fatalf("first-use order = %v, want 3 methods", order)
+	}
+	if order[0] != "app/M.main ([Ljava/lang/String;)V" || order[2] != "app/M.b ()I" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSkipInitializers(t *testing.T) {
+	b := classgen.NewClass("app/K", "java/lang/Object")
+	b.DefaultInit()
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "go", "()V")
+	m.Return()
+	data, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := instrument(t, data, monitor.Config{Methods: true, Skip: monitor.SkipInitializers})
+	cf, err := classfile.Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <init> must be untouched: no Audit call inside.
+	init := cf.FindMethod("<init>", "()V")
+	code, _ := cf.CodeOf(init)
+	insts, err := bytecode.Decode(code.Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		if in.Op == bytecode.Invokestatic {
+			ref, _ := cf.Pool.Ref(in.Index)
+			if ref.Class == "dvm/Audit" {
+				t.Fatal("constructor was instrumented despite Skip")
+			}
+		}
+	}
+}
+
+func TestCollectorRejectsUnknownSession(t *testing.T) {
+	coll := monitor.NewCollector()
+	if err := coll.Record("sess-9999", "a", "b", "enter"); err == nil {
+		t.Fatal("unknown session accepted")
+	}
+}
+
+func TestAuditExitCoversAllReturnPaths(t *testing.T) {
+	b := classgen.NewClass("app/R", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "(I)I")
+	l := m.NewLabel()
+	m.ILoad(0).Branch(bytecode.Ifne, l)
+	m.IConst(1).IReturn()
+	m.Mark(l)
+	m.IConst(2).IReturn()
+	data, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := instrument(t, data, monitor.Config{Methods: true})
+	vm, err := jvm.New(jvm.MapLoader{"app/R": out}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := monitor.NewCollector()
+	monitor.Attach(vm, coll, monitor.ClientInfo{})
+	for _, arg := range []int32{0, 1} {
+		if _, thrown, err := vm.MainThread().InvokeByName("app/R", "f", "(I)I",
+			[]jvm.Value{jvm.IntV(arg)}); err != nil || thrown != nil {
+			t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
+		}
+	}
+	enter, exit := 0, 0
+	for _, e := range coll.Events("") {
+		switch e.Kind {
+		case "enter":
+			enter++
+		case "exit":
+			exit++
+		}
+	}
+	if enter != 2 || exit != 2 {
+		t.Errorf("enter/exit = %d/%d, want 2/2", enter, exit)
+	}
+}
+
+func TestSessionsAndMultipleClients(t *testing.T) {
+	coll := monitor.NewCollector()
+	s1 := coll.Handshake(monitor.ClientInfo{User: "a"})
+	s2 := coll.Handshake(monitor.ClientInfo{User: "b"})
+	if s1 == s2 {
+		t.Fatal("duplicate session ids")
+	}
+	if err := coll.Record(s1, "x", "y", "enter"); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Record(s2, "x", "y", "enter"); err != nil {
+		t.Fatal(err)
+	}
+	if len(coll.Events(s1)) != 1 || len(coll.Events("")) != 2 {
+		t.Error("per-session filtering broken")
+	}
+	if got := coll.Sessions(); len(got) != 2 {
+		t.Errorf("Sessions = %v", got)
+	}
+}

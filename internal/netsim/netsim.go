@@ -1,0 +1,136 @@
+// Package netsim provides the network substrate the evaluation runs
+// over: bandwidth/latency-shaped links (the 28.8 Kb/s wireless to
+// 1 MB/s LAN sweep of Figures 11 and 12) and a synthetic Internet whose
+// applet fetch latency distribution is calibrated to the paper's
+// measurements (§4.1.2: 2198 ms average, 3752 ms standard deviation).
+//
+// Links support two uses: a pure time model (TransferTime) for the
+// bandwidth-sweep experiments, where sleeping real wall-clock time at
+// 28.8 Kb/s would be infeasible, and an optional scaled real delay
+// (Sleep) for concurrency experiments like the Figure 10 proxy-scaling
+// run, which needs actual overlapping transfers.
+package netsim
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Link models a point-to-point connection.
+type Link struct {
+	// BytesPerSec is the link bandwidth.
+	BytesPerSec float64
+	// Latency is the fixed per-transfer round-trip setup cost.
+	Latency time.Duration
+}
+
+// Common link presets used by the paper's experiments.
+var (
+	// Modem28k8 is the 28.8 Kb/s wireless link of §5.
+	Modem28k8 = Link{BytesPerSec: 28800.0 / 8, Latency: 150 * time.Millisecond}
+	// Ethernet10M is the paper's 10 Mb/s client LAN.
+	Ethernet10M = Link{BytesPerSec: 10e6 / 8, Latency: 2 * time.Millisecond}
+)
+
+// LinkKBps builds a link from a KB/s figure, as swept by Figure 11.
+func LinkKBps(kbps float64) Link {
+	return Link{BytesPerSec: kbps * 1000, Latency: 100 * time.Millisecond}
+}
+
+// TransferTime returns the modeled time to move n bytes across the link.
+func (l Link) TransferTime(n int) time.Duration {
+	if l.BytesPerSec <= 0 {
+		return l.Latency
+	}
+	return l.Latency + time.Duration(float64(n)/l.BytesPerSec*float64(time.Second))
+}
+
+// Sleep blocks for the transfer time scaled by factor (0 disables
+// sleeping entirely; 0.001 turns seconds into milliseconds). Used where
+// real concurrency matters more than absolute durations.
+func (l Link) Sleep(n int, factor float64) {
+	if factor <= 0 {
+		return
+	}
+	d := time.Duration(float64(l.TransferTime(n)) * factor)
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Internet generates applet-fetch latencies following a log-normal
+// distribution calibrated so that mean ≈ 2198 ms and standard deviation
+// ≈ 3752 ms, matching the AltaVista applet sample of §4.1.2.
+type Internet struct {
+	mu  sync.Mutex
+	rng splitmix
+
+	// Mu and Sigma are the underlying normal parameters.
+	Mu, Sigma float64
+}
+
+// NewInternet creates the calibrated synthetic Internet with a
+// deterministic seed.
+func NewInternet(seed uint64) *Internet {
+	// For a log-normal: mean m = exp(mu + s^2/2), sd^2 = (exp(s^2)-1) m^2.
+	// With m = 2198 ms, sd = 3752 ms: s^2 = ln(1 + (sd/m)^2) ≈ 1.3577,
+	// mu = ln(m) - s^2/2 ≈ 7.0166.
+	m, sd := 2198.0, 3752.0
+	s2 := math.Log(1 + (sd/m)*(sd/m))
+	return &Internet{
+		rng:   splitmix{state: seed ^ 0x9E3779B97F4A7C15},
+		Mu:    math.Log(m) - s2/2,
+		Sigma: math.Sqrt(s2),
+	}
+}
+
+// FetchLatency draws one applet download latency.
+func (i *Internet) FetchLatency() time.Duration {
+	i.mu.Lock()
+	u1 := i.rng.float()
+	u2 := i.rng.float()
+	i.mu.Unlock()
+	// Box-Muller.
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	ms := math.Exp(i.Mu + i.Sigma*z)
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// splitmix is a deterministic PRNG (no math/rand: experiments must be
+// reproducible run-to-run without global seeding).
+type splitmix struct{ state uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in (0, 1].
+func (r *splitmix) float() float64 {
+	return (float64(r.next()>>11) + 1) / float64(1<<53)
+}
+
+// Clock is a simulated clock for modeled experiments: transfers advance
+// it without sleeping.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Advance moves the clock forward.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Now returns the elapsed simulated time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}

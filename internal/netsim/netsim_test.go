@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTransferTimeScalesInversely(t *testing.T) {
+	slow := LinkKBps(3.6)  // 28.8 Kb/s
+	fast := LinkKBps(1000) // 1 MB/s
+	n := 100 * 1024
+	ts := slow.TransferTime(n)
+	tf := fast.TransferTime(n)
+	if ts <= tf {
+		t.Fatalf("slow link faster than fast link: %v vs %v", ts, tf)
+	}
+	// 100 KiB at 3.6 KB/s ≈ 28.4 s (+latency).
+	if ts < 25*time.Second || ts > 35*time.Second {
+		t.Errorf("28.8k transfer time = %v, expected ~28s", ts)
+	}
+	// Latency floor dominates tiny transfers.
+	if got := fast.TransferTime(1); got < fast.Latency {
+		t.Errorf("transfer below latency floor: %v", got)
+	}
+}
+
+func TestZeroBandwidthIsLatencyOnly(t *testing.T) {
+	l := Link{Latency: time.Second}
+	if got := l.TransferTime(1 << 20); got != time.Second {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInternetCalibration(t *testing.T) {
+	inet := NewInternet(1)
+	const n = 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		ms := float64(inet.FetchLatency()) / float64(time.Millisecond)
+		sum += ms
+		sum2 += ms * ms
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	// §4.1.2 calibration: 2198 ms ± 3752 ms. Log-normal sampling noise at
+	// n=20000 is substantial in the tail; accept ±25%.
+	if mean < 2198*0.75 || mean > 2198*1.25 {
+		t.Errorf("mean = %.0f ms, want ≈2198", mean)
+	}
+	if sd < 3752*0.5 || sd > 3752*2 {
+		t.Errorf("sd = %.0f ms, want ≈3752", sd)
+	}
+}
+
+func TestInternetDeterministicPerSeed(t *testing.T) {
+	a, b := NewInternet(7), NewInternet(7)
+	for i := 0; i < 100; i++ {
+		if a.FetchLatency() != b.FetchLatency() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewInternet(8)
+	same := true
+	a2 := NewInternet(7)
+	for i := 0; i < 10; i++ {
+		if a2.FetchLatency() != c.FetchLatency() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(500 * time.Millisecond)
+	if c.Now() != 1500*time.Millisecond {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestSleepScaling(t *testing.T) {
+	l := Link{BytesPerSec: 1000, Latency: 10 * time.Second}
+	start := time.Now()
+	l.Sleep(1000, 0) // disabled: returns immediately
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("factor 0 slept")
+	}
+	start = time.Now()
+	l.Sleep(1000, 0.001) // 11 s scaled to 11 ms
+	el := time.Since(start)
+	if el < 5*time.Millisecond || el > 500*time.Millisecond {
+		t.Errorf("scaled sleep = %v, want ~11ms", el)
+	}
+}

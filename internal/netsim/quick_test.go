@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickTransferTimeMonotone: for any link, more bytes never take
+// less time, and time is never below the latency floor.
+func TestQuickTransferTimeMonotone(t *testing.T) {
+	f := func(kbps uint16, a, b uint32) bool {
+		l := LinkKBps(float64(kbps%2000) + 0.5)
+		x, y := int(a%10_000_000), int(b%10_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		tx, ty := l.TransferTime(x), l.TransferTime(y)
+		return tx <= ty && tx >= l.Latency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTransferAdditivity: transferring in two chunks costs one
+// extra latency, no more and no less (modulo a rounding nanosecond).
+func TestQuickTransferAdditivity(t *testing.T) {
+	f := func(kbps uint16, a, b uint32) bool {
+		l := LinkKBps(float64(kbps%2000) + 0.5)
+		x, y := int(a%1_000_000), int(b%1_000_000)
+		whole := l.TransferTime(x + y)
+		split := l.TransferTime(x) + l.TransferTime(y)
+		diff := split - whole - l.Latency
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // nanosecond rounding
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFetchLatencyPositive: the synthetic Internet never produces
+// non-positive latencies.
+func TestQuickFetchLatencyPositive(t *testing.T) {
+	inet := NewInternet(3)
+	for i := 0; i < 50000; i++ {
+		if d := inet.FetchLatency(); d <= 0 || d > time.Hour {
+			t.Fatalf("draw %d: %v", i, d)
+		}
+	}
+}

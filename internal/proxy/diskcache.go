@@ -1,0 +1,55 @@
+package proxy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+)
+
+// The on-disk cache backs the in-memory cache with files, giving the
+// proxy the paper's two properties: "accesses to classes that have been
+// fetched by another DVM client are served from an on-disk cache on the
+// proxy", and recoverability — a restarted proxy resumes serving
+// previously transformed classes without re-fetching or re-rewriting
+// them (§2's "replicated or recoverable server implementations").
+//
+// Entries are keyed by (arch, class) exactly like the memory cache; the
+// file name is a digest of the key so arbitrary class names map to safe
+// paths.
+
+// diskCachePath returns the file path for a cache key.
+func (p *Proxy) diskCachePath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(p.cfg.DiskCacheDir, hex.EncodeToString(sum[:16])+".class")
+}
+
+// diskCacheGet loads a cached transformation from disk, if present.
+func (p *Proxy) diskCacheGet(key string) ([]byte, bool) {
+	if p.cfg.DiskCacheDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(p.diskCachePath(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// diskCachePut stores a transformation on disk (best effort: a full or
+// read-only disk degrades to memory-only caching rather than failing the
+// request).
+func (p *Proxy) diskCachePut(key string, data []byte) {
+	if p.cfg.DiskCacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(p.cfg.DiskCacheDir, 0o755); err != nil {
+		return
+	}
+	path := p.diskCachePath(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}

@@ -1,0 +1,84 @@
+package proxy_test
+
+import (
+	"testing"
+
+	"dvm/internal/proxy"
+	"dvm/internal/rewrite"
+	"dvm/internal/verifier"
+)
+
+func TestDiskCacheSurvivesProxyRestart(t *testing.T) {
+	dir := t.TempDir()
+	org := origin(t)
+	cfg := proxy.Config{
+		Pipeline:     rewrite.NewPipeline(verifier.Filter()),
+		CacheEnabled: true,
+		DiskCacheDir: dir,
+	}
+	p1 := proxy.New(org, cfg)
+	first, err := p1.Request("c", "dvm", "app/Dep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Stats().OriginFetches != 1 {
+		t.Fatalf("stats = %+v", p1.Stats())
+	}
+
+	// "Restart": a fresh proxy over the same disk cache — but a broken
+	// origin, proving the class is served from disk, not refetched.
+	p2 := proxy.New(proxy.MapOrigin{}, cfg)
+	second, err := p2.Request("c2", "dvm", "app/Dep")
+	if err != nil {
+		t.Fatalf("restarted proxy could not serve from disk: %v", err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("disk-cached bytes differ")
+	}
+	st := p2.Stats()
+	if st.CacheHits != 1 || st.OriginFetches != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiskCacheKeyedByArch(t *testing.T) {
+	dir := t.TempDir()
+	org := origin(t)
+	cfg := proxy.Config{
+		Pipeline:     rewrite.NewPipeline(verifier.Filter()),
+		CacheEnabled: true,
+		DiskCacheDir: dir,
+	}
+	p := proxy.New(org, cfg)
+	if _, err := p.Request("c", "dvm", "app/Dep"); err != nil {
+		t.Fatal(err)
+	}
+	// A different arch must not hit the dvm entry.
+	p2 := proxy.New(org, cfg)
+	if _, err := p2.Request("c", "x86-jdk", "app/Dep"); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Stats().OriginFetches != 1 {
+		t.Errorf("arch keying broken: %+v", p2.Stats())
+	}
+}
+
+func TestDiskCacheUnwritableDegradesGracefully(t *testing.T) {
+	org := origin(t)
+	cfg := proxy.Config{
+		Pipeline:     rewrite.NewPipeline(),
+		CacheEnabled: true,
+		DiskCacheDir: "/dev/null/impossible", // cannot mkdir here
+	}
+	p := proxy.New(org, cfg)
+	if _, err := p.Request("c", "dvm", "app/Dep"); err != nil {
+		t.Fatalf("unwritable disk cache failed the request: %v", err)
+	}
+	// Memory cache still works.
+	if _, err := p.Request("c", "dvm", "app/Dep"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().CacheHits != 1 {
+		t.Errorf("stats = %+v", p.Stats())
+	}
+}

@@ -1,0 +1,88 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dvm/internal/jvm"
+)
+
+// HTTP front end: clients fetch classes with
+//
+//	GET /classes/<internal/class/Name>.class
+//	X-DVM-Client: <client id>      (from the handshake)
+//	X-DVM-Arch:   <native format>  (e.g. "dvm" or "x86-jdk")
+//
+// The path mirrors how 1999-era browsers fetched applets through an HTTP
+// proxy; the DVM headers carry what the paper's handshake protocol
+// established out of band.
+
+const classPathPrefix = "/classes/"
+
+// Handler returns the proxy's HTTP interface.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(classPathPrefix, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, classPathPrefix)
+		name = strings.TrimSuffix(name, ".class")
+		if name == "" || strings.Contains(name, "..") {
+			http.Error(w, "bad class name", http.StatusBadRequest)
+			return
+		}
+		client := r.Header.Get("X-DVM-Client")
+		arch := r.Header.Get("X-DVM-Arch")
+		data, err := p.Request(client, arch, name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/java-vm")
+		w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s := p.Stats()
+		fmt.Fprintf(w, "requests=%d cacheHits=%d rejections=%d bytesOut=%d\n",
+			s.Requests, s.CacheHits, s.Rejections, s.BytesOut)
+	})
+	return mux
+}
+
+// Loader returns an in-process jvm.ClassLoader that resolves classes
+// through the proxy directly (no HTTP hop) — the configuration used by
+// most experiments, where client and proxy share a benchmark process.
+func (p *Proxy) Loader(client, arch string) jvm.ClassLoader {
+	return jvm.FuncLoader(func(name string) ([]byte, error) {
+		return p.Request(client, arch, name)
+	})
+}
+
+// HTTPLoader returns a jvm.ClassLoader that fetches classes over HTTP
+// from a proxy at baseURL (e.g. "http://127.0.0.1:8642").
+func HTTPLoader(baseURL, client, arch string) jvm.ClassLoader {
+	httpClient := &http.Client{}
+	return jvm.FuncLoader(func(name string) ([]byte, error) {
+		req, err := http.NewRequest(http.MethodGet, baseURL+classPathPrefix+name+".class", nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("X-DVM-Client", client)
+		req.Header.Set("X-DVM-Arch", arch)
+		resp, err := httpClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return nil, fmt.Errorf("proxy: %s: %s: %s", name, resp.Status, strings.TrimSpace(string(body)))
+		}
+		return io.ReadAll(resp.Body)
+	})
+}

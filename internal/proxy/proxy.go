@@ -1,0 +1,272 @@
+// Package proxy implements the DVM's service proxy (paper §3): a
+// transparent interceptor on the path between clients and code origins.
+// It fetches requested classes, parses them once, runs the static
+// service pipeline (verifier, security, auditor, optimizer, compiler)
+// over the in-memory form, re-serializes, caches the result, and serves
+// it — generating an audit trail for the remote administration console.
+//
+// "The proxy uses a cache to avoid rewriting code shared between
+// clients"; rejected classes are replaced with a VerifyError-raising
+// stand-in so failures surface through the normal Java exception
+// mechanism on the client (§3.1).
+package proxy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvm/internal/rewrite"
+	"dvm/internal/verifier"
+)
+
+// Origin supplies original (untransformed) class bytes, e.g. a web
+// server on the open Internet.
+type Origin interface {
+	Fetch(name string) ([]byte, error)
+}
+
+// MapOrigin serves classes from memory.
+type MapOrigin map[string][]byte
+
+// Fetch implements Origin.
+func (m MapOrigin) Fetch(name string) ([]byte, error) {
+	b, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("origin: %s not found", name)
+	}
+	return b, nil
+}
+
+// DelayedOrigin wraps an origin with a per-fetch delay callback (the
+// synthetic Internet).
+type DelayedOrigin struct {
+	Origin
+	// Delay is invoked before each fetch with the class name; it may
+	// sleep (scaled) or advance a simulated clock.
+	Delay func(name string)
+}
+
+// Fetch implements Origin.
+func (d DelayedOrigin) Fetch(name string) ([]byte, error) {
+	if d.Delay != nil {
+		d.Delay(name)
+	}
+	return d.Origin.Fetch(name)
+}
+
+// RequestRecord is one entry of the proxy's audit trail.
+type RequestRecord struct {
+	Client    string
+	Arch      string
+	Class     string
+	Bytes     int
+	CacheHit  bool
+	Rejected  bool // verification failure, replacement served
+	Duration  time.Duration
+	ProxyTime time.Duration // time spent parsing/transforming (excludes origin fetch)
+}
+
+// Config parameterizes a proxy.
+type Config struct {
+	// Pipeline is the static service pipeline applied to every class.
+	Pipeline *rewrite.Pipeline
+	// CacheEnabled turns on the shared result cache.
+	CacheEnabled bool
+	// CacheBudget bounds cached bytes (0 = unlimited).
+	CacheBudget int
+	// DiskCacheDir, when set, backs the memory cache with files so a
+	// restarted proxy recovers its transformed classes ("served from an
+	// on-disk cache on the proxy", §4.1.2). Requires CacheEnabled.
+	DiskCacheDir string
+	// MemoryBudget models the server's physical memory: when the bytes
+	// held by in-flight requests exceed it, each request pays a paging
+	// penalty proportional to the overshoot (reproduces the >250-client
+	// degradation of Figure 10). 0 disables the model.
+	MemoryBudget int64
+	// PagingPenaltyPerMB is the added delay per MiB of overshoot
+	// (default 2ms when MemoryBudget is set).
+	PagingPenaltyPerMB time.Duration
+	// OnAudit receives the audit trail (central administration console).
+	OnAudit func(RequestRecord)
+}
+
+// Stats is a snapshot of proxy counters.
+type Stats struct {
+	Requests      int64
+	CacheHits     int64
+	OriginFetches int64
+	Rejections    int64
+	BytesIn       int64
+	BytesOut      int64
+	ProxyTime     time.Duration
+}
+
+// Proxy is the static-service host.
+type Proxy struct {
+	origin Origin
+	cfg    Config
+
+	mu         sync.Mutex
+	cache      map[string][]byte // key: arch + "\x00" + class
+	cacheBytes int
+	cacheOrder []string // FIFO eviction order
+
+	inFlight atomic.Int64
+
+	statRequests      atomic.Int64
+	statCacheHits     atomic.Int64
+	statOriginFetches atomic.Int64
+	statRejections    atomic.Int64
+	statBytesIn       atomic.Int64
+	statBytesOut      atomic.Int64
+	statProxyTime     atomic.Int64 // nanoseconds
+}
+
+// connectionMemory is the modeled per-connection server memory (socket
+// buffers, HTTP state, worker stack) held for an in-flight request.
+const connectionMemory = 256 << 10
+
+// New creates a proxy in front of origin.
+func New(origin Origin, cfg Config) *Proxy {
+	if cfg.Pipeline == nil {
+		cfg.Pipeline = rewrite.NewPipeline()
+	}
+	if cfg.MemoryBudget > 0 && cfg.PagingPenaltyPerMB == 0 {
+		cfg.PagingPenaltyPerMB = 2 * time.Millisecond
+	}
+	return &Proxy{origin: origin, cfg: cfg, cache: make(map[string][]byte)}
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Requests:      p.statRequests.Load(),
+		CacheHits:     p.statCacheHits.Load(),
+		OriginFetches: p.statOriginFetches.Load(),
+		Rejections:    p.statRejections.Load(),
+		BytesIn:       p.statBytesIn.Load(),
+		BytesOut:      p.statBytesOut.Load(),
+		ProxyTime:     time.Duration(p.statProxyTime.Load()),
+	}
+}
+
+// CacheEntries returns the cached keys, sorted (diagnostics).
+func (p *Proxy) CacheEntries() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := append([]string(nil), p.cacheOrder...)
+	sort.Strings(out)
+	return out
+}
+
+// Request serves one class to one client: the full intercept path.
+func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
+	start := time.Now()
+	p.statRequests.Add(1)
+	key := arch + "\x00" + class
+
+	if p.cfg.CacheEnabled {
+		p.mu.Lock()
+		data, ok := p.cache[key]
+		p.mu.Unlock()
+		if !ok {
+			// Second level: the on-disk cache (survives proxy restarts).
+			if d, hit := p.diskCacheGet(key); hit {
+				data, ok = d, true
+				p.storeMem(key, d)
+			}
+		}
+		if ok {
+			p.statCacheHits.Add(1)
+			p.statBytesOut.Add(int64(len(data)))
+			p.audit(RequestRecord{
+				Client: client, Arch: arch, Class: class, Bytes: len(data),
+				CacheHit: true, Duration: time.Since(start),
+			})
+			return data, nil
+		}
+	}
+
+	// Memory model: an in-flight request holds connection state and
+	// transfer buffers for its whole lifetime (including the upstream
+	// fetch), plus the parsed class afterwards.
+	held := int64(connectionMemory)
+	p.inFlight.Add(held)
+	defer func() { p.inFlight.Add(-held) }()
+
+	p.statOriginFetches.Add(1)
+	raw, err := p.origin.Fetch(class)
+	if err != nil {
+		return nil, err
+	}
+	p.statBytesIn.Add(int64(len(raw)))
+	extra := int64(len(raw)) * 4 // parsed form is a few times the wire size
+	held += extra
+	total := p.inFlight.Add(extra)
+	if p.cfg.MemoryBudget > 0 && total > p.cfg.MemoryBudget {
+		overMB := float64(total-p.cfg.MemoryBudget) / (1 << 20)
+		penalty := time.Duration(overMB * float64(p.cfg.PagingPenaltyPerMB))
+		if penalty > 0 {
+			time.Sleep(penalty)
+		}
+	}
+
+	tstart := time.Now()
+	ctx := rewrite.NewContext()
+	ctx.ClientID = client
+	ctx.ClientArch = arch
+	out, perr := p.cfg.Pipeline.Process(raw, ctx)
+	rejected := false
+	if perr != nil {
+		// A verification (or other service) rejection becomes a
+		// replacement class that raises VerifyError on the client.
+		rejected = true
+		p.statRejections.Add(1)
+		repl, rerr := verifier.MakeErrorClass(class, perr.Error())
+		if rerr != nil {
+			return nil, fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", class, rerr, perr)
+		}
+		out = repl
+	}
+	proxyTime := time.Since(tstart)
+	p.statProxyTime.Add(int64(proxyTime))
+
+	if p.cfg.CacheEnabled {
+		p.storeMem(key, out)
+		p.diskCachePut(key, out)
+	}
+
+	p.statBytesOut.Add(int64(len(out)))
+	p.audit(RequestRecord{
+		Client: client, Arch: arch, Class: class, Bytes: len(out),
+		Rejected: rejected, Duration: time.Since(start), ProxyTime: proxyTime,
+	})
+	return out, nil
+}
+
+// storeMem inserts into the in-memory cache with FIFO eviction.
+func (p *Proxy) storeMem(key string, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.cache[key]; dup {
+		return
+	}
+	p.cache[key] = data
+	p.cacheBytes += len(data)
+	p.cacheOrder = append(p.cacheOrder, key)
+	for p.cfg.CacheBudget > 0 && p.cacheBytes > p.cfg.CacheBudget && len(p.cacheOrder) > 0 {
+		victim := p.cacheOrder[0]
+		p.cacheOrder = p.cacheOrder[1:]
+		p.cacheBytes -= len(p.cache[victim])
+		delete(p.cache, victim)
+	}
+}
+
+func (p *Proxy) audit(r RequestRecord) {
+	if p.cfg.OnAudit != nil {
+		p.cfg.OnAudit(r)
+	}
+}

@@ -1,0 +1,87 @@
+package proxy
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ReplicaGroup addresses the centralization concern of §2: "Centralization
+// can lead to a bottleneck in performance or result in a single point of
+// failure within the network. These problems can be addressed by
+// replicated or recoverable server implementations."
+//
+// The group fronts several independent proxies over the same origin.
+// Static service components need no shared mutable state ("they do not
+// inherently need to synchronize with clients or require exclusive
+// access to shared state"), so replicas are plain copies; requests are
+// spread round-robin and a replica failure falls over to the next.
+type ReplicaGroup struct {
+	replicas []*Proxy
+	next     atomic.Uint64
+}
+
+// NewReplicaGroup builds n replicas over the origin, each with its own
+// cache and pipeline built by mkConfig (called once per replica).
+func NewReplicaGroup(origin Origin, n int, mkConfig func(i int) Config) (*ReplicaGroup, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("proxy: replica group needs at least 1 replica")
+	}
+	g := &ReplicaGroup{}
+	for i := 0; i < n; i++ {
+		g.replicas = append(g.replicas, New(origin, mkConfig(i)))
+	}
+	return g, nil
+}
+
+// NewReplicaGroupMixed builds one replica per origin (used when replicas
+// sit on different hosts with different upstream connectivity).
+func NewReplicaGroupMixed(origins []Origin, mkConfig func(i int) Config) (*ReplicaGroup, error) {
+	if len(origins) == 0 {
+		return nil, fmt.Errorf("proxy: replica group needs at least 1 replica")
+	}
+	g := &ReplicaGroup{}
+	for i, o := range origins {
+		g.replicas = append(g.replicas, New(o, mkConfig(i)))
+	}
+	return g, nil
+}
+
+// Size returns the number of replicas.
+func (g *ReplicaGroup) Size() int { return len(g.replicas) }
+
+// Replica returns the i-th replica (diagnostics, per-replica stats).
+func (g *ReplicaGroup) Replica(i int) *Proxy { return g.replicas[i] }
+
+// Request serves a class from the next replica in round-robin order,
+// failing over to the remaining replicas on error.
+func (g *ReplicaGroup) Request(client, arch, class string) ([]byte, error) {
+	start := int(g.next.Add(1)-1) % len(g.replicas)
+	var firstErr error
+	for i := 0; i < len(g.replicas); i++ {
+		p := g.replicas[(start+i)%len(g.replicas)]
+		data, err := p.Request(client, arch, class)
+		if err == nil {
+			return data, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// Stats aggregates the replica counters.
+func (g *ReplicaGroup) Stats() Stats {
+	var out Stats
+	for _, p := range g.replicas {
+		s := p.Stats()
+		out.Requests += s.Requests
+		out.CacheHits += s.CacheHits
+		out.OriginFetches += s.OriginFetches
+		out.Rejections += s.Rejections
+		out.BytesIn += s.BytesIn
+		out.BytesOut += s.BytesOut
+		out.ProxyTime += s.ProxyTime
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package proxy_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dvm/internal/proxy"
+	"dvm/internal/rewrite"
+	"dvm/internal/verifier"
+)
+
+func TestReplicaGroupRoundRobin(t *testing.T) {
+	org := origin(t)
+	g, err := proxy.NewReplicaGroup(org, 3, func(i int) proxy.Config {
+		return proxy.Config{Pipeline: rewrite.NewPipeline(verifier.Filter()), CacheEnabled: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := g.Request("c", "dvm", "app/Dep"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round-robin: every replica saw 3 requests.
+	for i := 0; i < 3; i++ {
+		if got := g.Replica(i).Stats().Requests; got != 3 {
+			t.Errorf("replica %d requests = %d, want 3", i, got)
+		}
+	}
+	if g.Stats().Requests != 9 {
+		t.Errorf("aggregate requests = %d", g.Stats().Requests)
+	}
+}
+
+func TestReplicaGroupFailover(t *testing.T) {
+	org := origin(t)
+	// Replica 0 fronts a broken origin; every request must fail over to
+	// the healthy replica regardless of which one round-robin picks.
+	broken := proxy.MapOrigin{}
+	group, err := proxy.NewReplicaGroupMixed(
+		[]proxy.Origin{broken, org},
+		func(i int) proxy.Config { return proxy.Config{Pipeline: rewrite.NewPipeline()} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := group.Request("c", "dvm", "app/Dep"); err != nil {
+			t.Fatalf("request %d failed despite healthy replica: %v", i, err)
+		}
+	}
+	// A class no replica can supply still errors.
+	if _, err := group.Request("c", "dvm", "app/Nope"); err == nil {
+		t.Fatal("nonexistent class served")
+	}
+}
+
+func TestReplicaGroupConcurrent(t *testing.T) {
+	org := origin(t)
+	g, err := proxy.NewReplicaGroup(org, 4, func(i int) proxy.Config {
+		return proxy.Config{Pipeline: rewrite.NewPipeline(verifier.Filter()), CacheEnabled: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := "app/Main"
+			if i%2 == 0 {
+				name = "app/Dep"
+			}
+			if _, err := g.Request(fmt.Sprintf("c%d", i), "dvm", name); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if g.Stats().Requests != 64 {
+		t.Errorf("requests = %d", g.Stats().Requests)
+	}
+}
+
+func TestReplicaGroupRejectsEmpty(t *testing.T) {
+	if _, err := proxy.NewReplicaGroup(origin(t), 0, func(int) proxy.Config { return proxy.Config{} }); err == nil {
+		t.Fatal("accepted zero replicas")
+	}
+}

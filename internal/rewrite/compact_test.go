@@ -1,0 +1,138 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+	"dvm/internal/rewrite"
+)
+
+func buildPadded(t *testing.T) *classfile.ClassFile {
+	t.Helper()
+	b := classgen.NewClass("demo/Pad", "java/lang/Object")
+	b.Field(classfile.AccPrivate, "x", "I")
+	b.DefaultInit()
+	keep := b.Method(classfile.AccPublic|classfile.AccStatic, "keep", "()Ljava/lang/String;")
+	keep.LdcString("kept constant")
+	keep.AReturn()
+	drop := b.Method(classfile.AccPublic|classfile.AccStatic, "drop", "()Ljava/lang/String;")
+	drop.LdcString("a very long constant that exists only in the dropped method and should vanish")
+	drop.LdcString("another dropped constant with plenty of padding text in it")
+	drop.InvokeVirtual("java/lang/String", "concat", "(Ljava/lang/String;)Ljava/lang/String;")
+	drop.AReturn()
+	return b.MustBuild()
+}
+
+func TestCompactPoolDropsUnreferencedConstants(t *testing.T) {
+	cf := buildPadded(t)
+	before, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the method, then compact.
+	kept := cf.Methods[:0]
+	for _, m := range cf.Methods {
+		if cf.MemberName(m) != "drop" {
+			kept = append(kept, m)
+		}
+	}
+	cf.Methods = kept
+	if err := rewrite.CompactPool(cf); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before)-100 {
+		t.Errorf("compaction freed too little: %d -> %d bytes", len(before), len(after))
+	}
+	// The result reparses and still carries the live method + constant.
+	back, err := classfile.Parse(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FindMethod("keep", "()Ljava/lang/String;") == nil {
+		t.Fatal("live method lost")
+	}
+	found := false
+	for i := 1; i < back.Pool.Size(); i++ {
+		if back.Pool.Tag(uint16(i)) == classfile.TagUtf8 {
+			if s, _ := back.Pool.Utf8(uint16(i)); s == "kept constant" {
+				found = true
+			}
+			if s, _ := back.Pool.Utf8(uint16(i)); s == "another dropped constant with plenty of padding text in it" {
+				t.Error("dropped constant survived compaction")
+			}
+		}
+	}
+	if !found {
+		t.Error("live constant lost")
+	}
+}
+
+func TestCompactPoolIdempotent(t *testing.T) {
+	cf := buildPadded(t)
+	if err := rewrite.CompactPool(cf); err != nil {
+		t.Fatal(err)
+	}
+	once, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rewrite.CompactPool(cf); err != nil {
+		t.Fatal(err)
+	}
+	twice, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(once) != len(twice) {
+		t.Errorf("compaction not idempotent: %d vs %d bytes", len(once), len(twice))
+	}
+}
+
+func TestCompactPoolPreservesHandlersAndSwitches(t *testing.T) {
+	b := classgen.NewClass("demo/HS", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "(I)I")
+	start := m.Here()
+	def := m.NewLabel()
+	a1 := m.NewLabel()
+	m.ILoad(0)
+	m.TableSwitch(1, def, a1)
+	m.Mark(a1)
+	m.IConst(10).IReturn()
+	m.Mark(def)
+	m.ILoad(0).IConst(0).IDiv().IReturn()
+	end := m.NewLabel()
+	m.Mark(end)
+	h := m.Here()
+	m.Pop()
+	m.IConst(-1).IReturn()
+	m.Handler(start, end, h, "java/lang/ArithmeticException")
+	cf := b.MustBuild()
+
+	if err := rewrite.CompactPool(cf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := back.CodeOf(back.FindMethod("f", "(I)I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code.Handlers) != 1 {
+		t.Fatalf("handlers = %d", len(code.Handlers))
+	}
+	cn, err := back.Pool.ClassName(code.Handlers[0].CatchType)
+	if err != nil || cn != "java/lang/ArithmeticException" {
+		t.Errorf("catch type = %q, %v", cn, err)
+	}
+}

@@ -1,0 +1,106 @@
+package rewrite
+
+import (
+	"fmt"
+	"time"
+
+	"dvm/internal/classfile"
+)
+
+// Context carries per-class information through a pipeline run: which
+// client requested the class, accumulated service notes, and per-filter
+// timing for the audit trail.
+type Context struct {
+	// ClientID identifies the requesting client (from the handshake
+	// protocol of §3.3); empty for client-independent processing.
+	ClientID string
+	// ClientArch is the client's native format descriptor, used by the
+	// compilation service (§3.4).
+	ClientArch string
+	// Notes lets filters publish results to later filters and to the
+	// proxy (e.g. the verifier's check census, the optimizer's split map).
+	Notes map[string]any
+	// FilterTimings records wall-clock time spent per filter.
+	FilterTimings map[string]time.Duration
+}
+
+// NewContext returns an empty context.
+func NewContext() *Context {
+	return &Context{
+		Notes:         make(map[string]any),
+		FilterTimings: make(map[string]time.Duration),
+	}
+}
+
+// Filter is one static service component: a code transformation applied
+// to a parsed class (paper Figure 2's pipeline stages — verifier,
+// security, compiler, optimizer, profiler — all implement this).
+type Filter interface {
+	// Name identifies the filter in audit trails and timings.
+	Name() string
+	// Transform inspects and/or rewrites the class in place.
+	Transform(cf *classfile.ClassFile, ctx *Context) error
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc struct {
+	FilterName string
+	Fn         func(cf *classfile.ClassFile, ctx *Context) error
+}
+
+// Name implements Filter.
+func (f FilterFunc) Name() string { return f.FilterName }
+
+// Transform implements Filter.
+func (f FilterFunc) Transform(cf *classfile.ClassFile, ctx *Context) error {
+	return f.Fn(cf, ctx)
+}
+
+// Pipeline composes filters. Process parses the class once, runs every
+// filter over the shared in-memory form, and serializes once — the
+// paper's single-parse proxy structure.
+type Pipeline struct {
+	filters []Filter
+}
+
+// NewPipeline builds a pipeline from filters in application order.
+func NewPipeline(filters ...Filter) *Pipeline {
+	return &Pipeline{filters: filters}
+}
+
+// Append adds a filter at the end of the pipeline.
+func (p *Pipeline) Append(f Filter) { p.filters = append(p.filters, f) }
+
+// Filters returns the filter list in application order.
+func (p *Pipeline) Filters() []Filter { return p.filters }
+
+// Process runs the pipeline over one serialized class.
+func (p *Pipeline) Process(data []byte, ctx *Context) ([]byte, error) {
+	if ctx == nil {
+		ctx = NewContext()
+	}
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: pipeline parse: %w", err)
+	}
+	if err := p.ProcessClass(cf, ctx); err != nil {
+		return nil, err
+	}
+	out, err := cf.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: pipeline encode: %w", err)
+	}
+	return out, nil
+}
+
+// ProcessClass runs the filters over an already-parsed class.
+func (p *Pipeline) ProcessClass(cf *classfile.ClassFile, ctx *Context) error {
+	for _, f := range p.filters {
+		start := time.Now()
+		if err := f.Transform(cf, ctx); err != nil {
+			return fmt.Errorf("rewrite: filter %s on %s: %w", f.Name(), cf.Name(), err)
+		}
+		ctx.FilterTimings[f.Name()] += time.Since(start)
+	}
+	return nil
+}

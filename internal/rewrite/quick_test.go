@@ -1,0 +1,172 @@
+package rewrite_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+	"dvm/internal/jvm"
+	"dvm/internal/rewrite"
+)
+
+// buildTestFunction builds demo/Q with a function containing branches,
+// a loop, a switch, and an exception handler — a dense target for
+// random insertion.
+func buildTestFunction(t *testing.T) []byte {
+	t.Helper()
+	b := classgen.NewClass("demo/Q", "java/lang/Object")
+	b.Field(classfile.AccPublic|classfile.AccStatic, "probes", "I")
+	probe := b.Method(classfile.AccPublic|classfile.AccStatic, "probe", "()V")
+	probe.GetStatic("demo/Q", "probes", "I").IConst(1).IAdd().PutStatic("demo/Q", "probes", "I")
+	probe.Return()
+
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "(I)I")
+	// acc = 0; for i in 0..x: acc += switch(i & 3) {0->1, 1->i, _->2}
+	m.IConst(0).IStore(1)
+	m.IConst(0).IStore(2)
+	head := m.Here()
+	exit := m.NewLabel()
+	m.ILoad(2).ILoad(0).Branch(bytecode.IfIcmpge, exit)
+	def := m.NewLabel()
+	a0 := m.NewLabel()
+	a1 := m.NewLabel()
+	after := m.NewLabel()
+	m.ILoad(2).IConst(3).Inst(bytecode.Iand)
+	m.TableSwitch(0, def, a0, a1)
+	m.Mark(a0)
+	m.ILoad(1).IConst(1).IAdd().IStore(1)
+	m.Goto(after)
+	m.Mark(a1)
+	m.ILoad(1).ILoad(2).IAdd().IStore(1)
+	m.Goto(after)
+	m.Mark(def)
+	m.ILoad(1).IConst(2).IAdd().IStore(1)
+	m.Mark(after)
+	m.IInc(2, 1)
+	m.Goto(head)
+	m.Mark(exit)
+	// guarded division to exercise the handler path
+	tryStart := m.Here()
+	m.ILoad(1).ILoad(0).IConst(3).Inst(bytecode.Irem).IDiv().IStore(1)
+	done := m.NewLabel()
+	m.Goto(done)
+	tryEnd := m.NewLabel()
+	m.Mark(tryEnd)
+	h := m.Here()
+	m.Pop()
+	m.IInc(1, 1000)
+	m.Mark(done)
+	m.Handler(tryStart, tryEnd, h, "java/lang/ArithmeticException")
+	m.ILoad(1).IReturn()
+
+	data, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func runF(t *testing.T, data []byte, arg int32) (int32, int32) {
+	t.Helper()
+	vm, err := jvm.New(jvm.MapLoader{"demo/Q": data}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, thrown, err := vm.MainThread().InvokeByName("demo/Q", "f", "(I)I", []jvm.Value{jvm.IntV(arg)})
+	if err != nil {
+		t.Fatalf("vm error: %v", err)
+	}
+	if thrown != nil {
+		t.Fatalf("thrown: %s", jvm.DescribeThrowable(thrown))
+	}
+	c, _ := vm.Class("demo/Q")
+	_, slot, _ := c.StaticSlot("probes", "I")
+	return v.Int(), c.GetStatic(slot).Int()
+}
+
+// TestQuickRandomInsertionPreservesSemantics splices probe calls at
+// random positions (random captureBranches) and verifies f's result is
+// unchanged for a spread of inputs — the core soundness property of the
+// binary rewriting engine.
+func TestQuickRandomInsertionPreservesSemantics(t *testing.T) {
+	base := buildTestFunction(t)
+	wantResults := map[int32]int32{}
+	for _, arg := range []int32{0, 1, 2, 3, 6, 7, 17} {
+		w, _ := runF(t, base, arg)
+		wantResults[arg] = w
+	}
+
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 60; trial++ {
+		cf, err := classfile.Parse(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ed, err := rewrite.EditMethod(cf, cf.FindMethod("f", "(I)I"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserts := 1 + rng.Intn(4)
+		for k := 0; k < inserts; k++ {
+			pos := rng.Intn(len(ed.Insts))
+			sn := rewrite.NewSnippet(ed.Pool()).InvokeStatic("demo/Q", "probe", "()V")
+			if err := ed.InsertAt(pos, sn.Insts(), rng.Intn(2) == 0); err != nil {
+				t.Fatalf("trial %d: InsertAt(%d): %v", trial, pos, err)
+			}
+		}
+		if err := ed.Commit(); err != nil {
+			t.Fatalf("trial %d: Commit: %v", trial, err)
+		}
+		out, err := cf.Encode()
+		if err != nil {
+			t.Fatalf("trial %d: Encode: %v", trial, err)
+		}
+		for arg, want := range wantResults {
+			got, _ := runF(t, out, arg)
+			if got != want {
+				t.Fatalf("trial %d: f(%d) = %d, want %d (semantics broken by insertion)",
+					trial, arg, got, want)
+			}
+		}
+	}
+}
+
+// TestQuickInsertionThenCompactionRoundTrip adds pool compaction after
+// random insertion: the combination used by the repartitioning service.
+func TestQuickInsertionThenCompactionRoundTrip(t *testing.T) {
+	base := buildTestFunction(t)
+	want, _ := runF(t, base, 7)
+
+	rng := rand.New(rand.NewSource(999))
+	for trial := 0; trial < 20; trial++ {
+		cf, err := classfile.Parse(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ed, err := rewrite.EditMethod(cf, cf.FindMethod("f", "(I)I"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := rng.Intn(len(ed.Insts))
+		sn := rewrite.NewSnippet(ed.Pool()).LdcString("inserted-and-dropped").Pop()
+		if err := ed.InsertAt(pos, sn.Insts(), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := ed.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rewrite.CompactPool(cf); err != nil {
+			t.Fatalf("trial %d: CompactPool: %v", trial, err)
+		}
+		out, err := cf.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := runF(t, out, 7)
+		if got != want {
+			t.Fatalf("trial %d: f(7) = %d, want %d after compaction", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package rewrite is the DVM's binary rewriting engine: the mechanism
+// every static service component uses to inject dynamic-service calls
+// into application code (paper §2: "The glue that ties the static and
+// dynamic service components together is binary rewriting").
+//
+// It provides two layers:
+//
+//   - MethodEditor: decode one method body into an instruction list,
+//     splice snippets at arbitrary positions with branch/exception-table
+//     fixup, and re-encode with max_stack recomputed.
+//   - Pipeline: the proxy-side filter API of §3 — "an internal filtering
+//     API allows the logically separate services ... to be composed on
+//     the proxy host. Parsing and code generation are performed only once
+//     for all static services, while structuring the services as
+//     independent code-transformation filters enables them to be stacked
+//     according to site-specific requirements."
+package rewrite
+
+import (
+	"fmt"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+)
+
+// MethodEditor edits one method body. Obtain with EditMethod, splice with
+// InsertAt, and call Commit to re-encode into the classfile.
+type MethodEditor struct {
+	cf     *classfile.ClassFile
+	member *classfile.Member
+	code   *classfile.Code
+
+	Insts    []bytecode.Inst
+	handlers []editHandler
+	// MaxLocals may be raised by snippets that need scratch locals.
+	MaxLocals int
+}
+
+type editHandler struct {
+	start, end, handler int // instruction indices, end exclusive
+	catchType           uint16
+}
+
+// EditMethod decodes the method's Code attribute for editing. It returns
+// (nil, nil) for methods without code (abstract/native).
+func EditMethod(cf *classfile.ClassFile, m *classfile.Member) (*MethodEditor, error) {
+	code, err := cf.CodeOf(m)
+	if err != nil {
+		return nil, err
+	}
+	if code == nil {
+		return nil, nil
+	}
+	insts, err := bytecode.Decode(code.Bytecode)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: %s.%s: %w", cf.Name(), cf.MemberName(m), err)
+	}
+	pcIdx := bytecode.PCMap(insts)
+	ed := &MethodEditor{
+		cf:        cf,
+		member:    m,
+		code:      code,
+		Insts:     insts,
+		MaxLocals: int(code.MaxLocals),
+	}
+	for _, h := range code.Handlers {
+		si, ok1 := pcIdx[int(h.StartPC)]
+		hi, ok3 := pcIdx[int(h.HandlerPC)]
+		var ei int
+		var ok2 bool
+		if int(h.EndPC) == len(code.Bytecode) {
+			ei, ok2 = len(insts), true
+		} else {
+			ei, ok2 = pcIdx[int(h.EndPC)]
+		}
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("rewrite: %s.%s: exception table not on instruction boundaries", cf.Name(), cf.MemberName(m))
+		}
+		ed.handlers = append(ed.handlers, editHandler{start: si, end: ei, handler: hi, catchType: h.CatchType})
+	}
+	return ed, nil
+}
+
+// Pool returns the class constant pool for interning snippet operands.
+func (ed *MethodEditor) Pool() *classfile.ConstPool { return ed.cf.Pool }
+
+// InsertAt splices snippet before instruction position (0 = method
+// entry; len(Insts) is not allowed — snippets always precede an existing
+// instruction).
+//
+// captureBranches controls whether existing branches targeting pos are
+// redirected to the snippet start (true — required for security checks
+// that must dominate the protected instruction) or continue to target
+// the original instruction (false — right for entry guards that must not
+// re-run on loop back-edges).
+//
+// Snippet instructions may use relative targets: a Target of
+// RelEnd means "the original instruction at pos" and RelSelf(k) targets
+// the k-th instruction of the snippet itself.
+func (ed *MethodEditor) InsertAt(pos int, snippet []bytecode.Inst, captureBranches bool) error {
+	if pos < 0 || pos >= len(ed.Insts) {
+		return fmt.Errorf("rewrite: insert position %d out of range (method has %d instructions)", pos, len(ed.Insts))
+	}
+	k := len(snippet)
+	if k == 0 {
+		return nil
+	}
+	// Resolve snippet-relative targets to absolute (post-shift) indices.
+	resolved := make([]bytecode.Inst, k)
+	copy(resolved, snippet)
+	resolveTarget := func(t int) (int, error) {
+		switch {
+		case t == RelEnd:
+			return pos + k, nil // original instruction, post-shift
+		case t <= relBase:
+			i := relBase - t
+			if i >= k {
+				return 0, fmt.Errorf("rewrite: snippet-relative target %d out of snippet range %d", i, k)
+			}
+			return pos + i, nil
+		case t >= 0:
+			return 0, fmt.Errorf("rewrite: snippet branch target %d must be relative (use RelEnd/RelSelf)", t)
+		}
+		return 0, fmt.Errorf("rewrite: snippet branch without target")
+	}
+	for i := range resolved {
+		in := &resolved[i]
+		if in.Op.IsBranch() {
+			t, err := resolveTarget(in.Target)
+			if err != nil {
+				return err
+			}
+			in.Target = t
+		} else if in.Op.IsSwitch() {
+			if in.Switch == nil {
+				return fmt.Errorf("rewrite: snippet switch without payload")
+			}
+			sw := *in.Switch
+			d, err := resolveTarget(sw.Default)
+			if err != nil {
+				return err
+			}
+			sw.Default = d
+			sw.Targets = append([]int(nil), in.Switch.Targets...)
+			for j, tt := range sw.Targets {
+				nt, err := resolveTarget(tt)
+				if err != nil {
+					return err
+				}
+				sw.Targets[j] = nt
+			}
+			in.Switch = &sw
+		}
+	}
+
+	// Shift existing targets.
+	shift := func(t int) int {
+		switch {
+		case t > pos:
+			return t + k
+		case t == pos:
+			if captureBranches {
+				return pos // snippet start
+			}
+			return pos + k
+		}
+		return t
+	}
+	for i := range ed.Insts {
+		in := &ed.Insts[i]
+		if in.Op.IsBranch() {
+			in.Target = shift(in.Target)
+		} else if in.Op.IsSwitch() {
+			sw := *in.Switch
+			sw.Default = shift(sw.Default)
+			sw.Targets = append([]int(nil), in.Switch.Targets...)
+			for j, tt := range sw.Targets {
+				sw.Targets[j] = shift(tt)
+			}
+			in.Switch = &sw
+		}
+	}
+	for i := range ed.handlers {
+		h := &ed.handlers[i]
+		// A protected region grows to cover code inserted inside it; the
+		// snippet joins the region when inserted strictly within, and the
+		// handler entry shifts like a branch target.
+		if h.start > pos {
+			h.start += k
+		}
+		if h.end > pos {
+			h.end += k
+		}
+		if h.handler > pos {
+			h.handler += k
+		} else if h.handler == pos {
+			if captureBranches {
+				// keep pointing at snippet start
+			} else {
+				h.handler += k
+			}
+		}
+	}
+
+	// Splice.
+	out := make([]bytecode.Inst, 0, len(ed.Insts)+k)
+	out = append(out, ed.Insts[:pos]...)
+	out = append(out, resolved...)
+	out = append(out, ed.Insts[pos:]...)
+	ed.Insts = out
+	return nil
+}
+
+// InsertEntry splices a snippet at method entry without capturing
+// back-edges (entry guards run once per invocation).
+func (ed *MethodEditor) InsertEntry(snippet []bytecode.Inst) error {
+	return ed.InsertAt(0, snippet, false)
+}
+
+// InsertBeforeReturns splices the snippet before every return
+// instruction (used by audit exit events). athrow exits are not covered;
+// callers needing those wrap with a handler.
+func (ed *MethodEditor) InsertBeforeReturns(snippet []bytecode.Inst) error {
+	// Collect positions first; splicing shifts indices.
+	var positions []int
+	for i, in := range ed.Insts {
+		if in.Op.IsReturn() {
+			positions = append(positions, i)
+		}
+	}
+	for n := len(positions) - 1; n >= 0; n-- {
+		if err := ed.InsertAt(positions[n], snippet, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commit re-encodes the edited body into the classfile, recomputing
+// branch offsets, the exception table, and max_stack. Line-number tables
+// are dropped (offsets no longer correspond); other code attributes are
+// preserved verbatim.
+func (ed *MethodEditor) Commit() error {
+	code, pcs, err := bytecode.Encode(ed.Insts)
+	if err != nil {
+		return fmt.Errorf("rewrite: %s.%s: %w", ed.cf.Name(), ed.cf.MemberName(ed.member), err)
+	}
+	var handlerStarts []int
+	for _, h := range ed.handlers {
+		handlerStarts = append(handlerStarts, h.handler)
+	}
+	maxStack, err := bytecode.MaxStack(ed.Insts, ed.cf.Pool, handlerStarts)
+	if err != nil {
+		return fmt.Errorf("rewrite: %s.%s: %w", ed.cf.Name(), ed.cf.MemberName(ed.member), err)
+	}
+	newCode := &classfile.Code{
+		MaxStack:  uint16(maxStack),
+		MaxLocals: uint16(ed.MaxLocals),
+		Bytecode:  code,
+	}
+	endPC := func(i int) uint16 {
+		if i >= len(pcs) {
+			return uint16(len(code))
+		}
+		return uint16(pcs[i])
+	}
+	for _, h := range ed.handlers {
+		newCode.Handlers = append(newCode.Handlers, classfile.ExceptionHandler{
+			StartPC:   uint16(pcs[h.start]),
+			EndPC:     endPC(h.end),
+			HandlerPC: uint16(pcs[h.handler]),
+			CatchType: h.catchType,
+		})
+	}
+	for _, a := range ed.code.Attributes {
+		if ed.cf.AttrName(a) == classfile.AttrLineNumberTable {
+			continue
+		}
+		newCode.Attributes = append(newCode.Attributes, a)
+	}
+	return ed.cf.SetCode(ed.member, newCode)
+}
+
+// Snippet-relative branch target encoding. Snippets cannot know absolute
+// instruction indices before insertion, so their branches use these
+// sentinels, resolved by InsertAt.
+const (
+	// RelEnd targets the original instruction the snippet was inserted
+	// before (i.e. "skip the rest of the snippet").
+	RelEnd = -1
+	// relBase anchors RelSelf encodings.
+	relBase = -1000
+)
+
+// RelSelf targets the i-th instruction of the snippet itself.
+func RelSelf(i int) int { return relBase - i }

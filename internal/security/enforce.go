@@ -1,0 +1,195 @@
+package security
+
+import (
+	"sync"
+
+	"dvm/internal/jvm"
+)
+
+// Server is the centralized network security service: the single logical
+// point of control for the organization's policy. Enforcement managers
+// register with it, download domain rules on first touch, and receive
+// invalidations when the policy changes.
+type Server struct {
+	mu       sync.Mutex
+	policy   *Policy
+	managers map[*Manager]struct{}
+
+	// FetchDelay simulates the network cost of the first-touch policy
+	// download (the "download" column of Figure 9). It is invoked once
+	// per manager domain fetch.
+	FetchDelay func()
+
+	// Stats
+	Fetches       int64
+	Decisions     int64
+	Invalidations int64
+}
+
+// NewServer creates a security server around a policy.
+func NewServer(policy *Policy) *Server {
+	return &Server{policy: policy, managers: make(map[*Manager]struct{})}
+}
+
+// Policy returns the current policy.
+func (s *Server) Policy() *Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy
+}
+
+// FetchDomain is the manager's first-touch download: the grant rows for
+// one security identifier.
+func (s *Server) FetchDomain(sid string) []Grant {
+	s.mu.Lock()
+	delay := s.FetchDelay
+	grants := s.policy.GrantsFor(sid)
+	s.Fetches++
+	s.mu.Unlock()
+	if delay != nil {
+		delay()
+	}
+	return grants
+}
+
+// Decide answers one access question directly (used for cache misses on
+// targets not covered by the downloaded rows).
+func (s *Server) Decide(sid, permission, target string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Decisions++
+	return s.policy.Allowed(sid, permission, target)
+}
+
+// register attaches a manager for invalidation pushes.
+func (s *Server) register(m *Manager) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.managers[m] = struct{}{}
+}
+
+// UpdatePolicy swaps the organization policy and pushes cache
+// invalidations to every registered enforcement manager — the
+// cache-invalidation protocol of §3.2. Policy changes take effect without
+// any action from (or the cooperation of) client users.
+func (s *Server) UpdatePolicy(p *Policy) {
+	s.mu.Lock()
+	s.policy = p
+	ms := make([]*Manager, 0, len(s.managers))
+	for m := range s.managers {
+		ms = append(ms, m)
+	}
+	s.Invalidations += int64(len(ms))
+	s.mu.Unlock()
+	for _, m := range ms {
+		m.invalidate()
+	}
+}
+
+// Manager is the client-side enforcement manager: the small dynamic
+// component that executes the access checks the static service injected.
+// It downloads its domain's rules on first use, evaluates checks locally,
+// and caches decisions.
+type Manager struct {
+	server *Server
+	sid    string
+
+	// NoCache disables client-side caching entirely: every check becomes
+	// a remote decision at the server. This is the naive
+	// service-distribution strawman of §2 ("moved, intact, to remote
+	// hosts ... prohibitively expensive"), kept for the ablation
+	// benchmarks.
+	NoCache bool
+
+	mu      sync.Mutex
+	grants  []Grant
+	fetched bool
+	cache   map[string]bool
+
+	// fetchOverride replaces the in-process server download with another
+	// transport (the HTTP RemoteManager).
+	fetchOverride func(sid string) []Grant
+
+	// Stats
+	CacheHits   int64
+	CacheMisses int64
+	Downloads   int64
+}
+
+// NewManager creates an enforcement manager for a client running under
+// the given security identifier and registers it with the server.
+func NewManager(server *Server, sid string) *Manager {
+	m := &Manager{server: server, sid: sid, cache: make(map[string]bool)}
+	server.register(m)
+	return m
+}
+
+// SID returns the client's security identifier.
+func (m *Manager) SID() string { return m.sid }
+
+// invalidate drops all cached decisions and the downloaded rules.
+func (m *Manager) invalidate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache = make(map[string]bool)
+	m.grants = nil
+	m.fetched = false
+}
+
+// allowed evaluates one access question, downloading the domain rules on
+// first touch and caching the result.
+func (m *Manager) allowed(permission, target string) bool {
+	if m.NoCache {
+		// Remote round trip per check, including the transfer delay.
+		if m.server.FetchDelay != nil {
+			m.server.FetchDelay()
+		}
+		return m.server.Decide(m.sid, permission, target)
+	}
+	key := permission + "\x00" + target
+	m.mu.Lock()
+	if v, ok := m.cache[key]; ok {
+		m.CacheHits++
+		m.mu.Unlock()
+		return v
+	}
+	m.CacheMisses++
+	if !m.fetched {
+		m.fetched = true
+		m.Downloads++
+		fetch := m.fetchOverride
+		m.mu.Unlock()
+		var grants []Grant
+		if fetch != nil {
+			grants = fetch(m.sid) // network fetch outside the lock
+		} else {
+			grants = m.server.FetchDomain(m.sid)
+		}
+		m.mu.Lock()
+		m.grants = grants
+	}
+	v := false
+	for _, g := range m.grants {
+		if g.Permission != permission && g.Permission != "*" {
+			continue
+		}
+		if g.Target == "" || g.Target == "*" || matchPattern(g.Target, target) {
+			v = true
+			break
+		}
+	}
+	m.cache[key] = v
+	m.mu.Unlock()
+	return v
+}
+
+// Check implements jvm.AccessChecker: the entry point behind
+// dvm/Enforce.check.
+func (m *Manager) Check(t *jvm.Thread, permission, target string) *jvm.Object {
+	if m.allowed(permission, target) {
+		return nil
+	}
+	return t.VM().Throw("java/lang/SecurityException", permission+" denied on "+target)
+}
+
+var _ jvm.AccessChecker = (*Manager)(nil)

@@ -1,0 +1,126 @@
+package security
+
+import (
+	"dvm/internal/classfile"
+	"dvm/internal/rewrite"
+)
+
+// Pipeline note keys published by Filter.
+const (
+	// NoteChecksInserted accumulates (int) the number of access checks the
+	// static service injected across classes.
+	NoteChecksInserted = "security.checksInserted"
+)
+
+// Filter returns the static half of the security service as a proxy
+// pipeline filter. Per the policy's operation mappings it rewrites
+// incoming applications so that every matching call site (and every
+// declared method boundary named in the policy) is preceded by a call to
+// the client enforcement manager, dvm/Enforce.check(permission, target).
+//
+// Where the operation's target is its final String argument, the snippet
+// duplicates it off the operand stack so the check sees the actual
+// dynamic target — the capability the Sun JDK's anticipated-hook design
+// lacks (Figure 9's "Read File" row).
+func Filter(policy *Policy) rewrite.Filter {
+	return rewrite.FilterFunc{FilterName: "security", Fn: func(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+		if policy == nil {
+			return nil // no policy: nothing to enforce
+		}
+		inserted := 0
+		for _, m := range cf.Methods {
+			n, err := instrumentMethod(cf, m, policy)
+			if err != nil {
+				return err
+			}
+			inserted += n
+		}
+		if prev, ok := ctx.Notes[NoteChecksInserted].(int); ok {
+			ctx.Notes[NoteChecksInserted] = prev + inserted
+		} else {
+			ctx.Notes[NoteChecksInserted] = inserted
+		}
+		return nil
+	}}
+}
+
+func instrumentMethod(cf *classfile.ClassFile, m *classfile.Member, policy *Policy) (int, error) {
+	ed, err := rewrite.EditMethod(cf, m)
+	if err != nil || ed == nil {
+		return 0, err
+	}
+	inserted := 0
+
+	// Call-site instrumentation: find invocations matching an operation.
+	type site struct {
+		pos int
+		op  Operation
+	}
+	var sites []site
+	for i, in := range ed.Insts {
+		if !in.Op.IsInvoke() {
+			continue
+		}
+		ref, err := cf.Pool.Ref(in.Index)
+		if err != nil {
+			continue
+		}
+		for _, op := range policy.Operations {
+			if !matchPattern(op.Class, ref.Class) || op.Method != ref.Name {
+				continue
+			}
+			if op.Desc != "" && op.Desc != ref.Desc {
+				continue
+			}
+			sites = append(sites, site{pos: i, op: op})
+			break
+		}
+	}
+	// Insert back-to-front so earlier positions stay valid; capture
+	// branches so no control path can reach the operation unchecked.
+	for n := len(sites) - 1; n >= 0; n-- {
+		st := sites[n]
+		sn := rewrite.NewSnippet(ed.Pool())
+		if st.op.TargetArg == "arg" {
+			// Stack: [..., target]; keep it and pass a copy to the check.
+			sn.Dup()
+			sn.LdcString(st.op.Permission)
+			sn.Swap()
+			sn.InvokeStatic("dvm/Enforce", "check", "(Ljava/lang/String;Ljava/lang/String;)V")
+		} else {
+			sn.LdcString(st.op.Permission)
+			sn.LdcString("")
+			sn.InvokeStatic("dvm/Enforce", "check", "(Ljava/lang/String;Ljava/lang/String;)V")
+		}
+		if err := ed.InsertAt(st.pos, sn.Insts(), true); err != nil {
+			return inserted, err
+		}
+		inserted++
+	}
+
+	// Method-boundary instrumentation: the class itself declares an
+	// operation-mapped method.
+	mname := cf.MemberName(m)
+	for _, op := range policy.Operations {
+		if !matchPattern(op.Class, cf.Name()) || op.Method != mname {
+			continue
+		}
+		if op.Desc != "" && op.Desc != cf.MemberDescriptor(m) {
+			continue
+		}
+		sn := rewrite.NewSnippet(ed.Pool())
+		sn.LdcString(op.Permission)
+		sn.LdcString("")
+		sn.InvokeStatic("dvm/Enforce", "check", "(Ljava/lang/String;Ljava/lang/String;)V")
+		if err := ed.InsertEntry(sn.Insts()); err != nil {
+			return inserted, err
+		}
+		inserted++
+		break
+	}
+
+	if inserted == 0 {
+		return 0, nil
+	}
+	return inserted, ed.Commit()
+}

@@ -1,0 +1,216 @@
+package security
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTP transport for the security service: enforcement managers on
+// clients download their domain's rules from the central server and
+// learn about policy changes through a version-based invalidation
+// channel (the paper's "cache-invalidation protocol between the security
+// server and the enforcement manager").
+//
+// Wire format (JSON over HTTP):
+//
+//	GET /domain?sid=apps          -> {version, grants: [{permission, target}]}
+//	GET /decide?sid=&perm=&target= -> {allowed}
+//	GET /poll?since=N              -> {version}   (blocks until version > N or timeout)
+
+type wireDomain struct {
+	Version int64   `json:"version"`
+	Grants  []Grant `json:"grants"`
+}
+
+// VersionedServer wraps Server with a policy version counter and a
+// notification channel for long-polling managers.
+type VersionedServer struct {
+	*Server
+	mu      sync.Mutex
+	version int64
+	waiters []chan struct{}
+}
+
+// NewVersionedServer wraps a security server for network use.
+func NewVersionedServer(s *Server) *VersionedServer {
+	return &VersionedServer{Server: s, version: 1}
+}
+
+// UpdatePolicy swaps the policy, bumps the version, and wakes pollers.
+func (v *VersionedServer) UpdatePolicy(p *Policy) {
+	v.Server.UpdatePolicy(p)
+	v.mu.Lock()
+	v.version++
+	ws := v.waiters
+	v.waiters = nil
+	v.mu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// Version returns the current policy version.
+func (v *VersionedServer) Version() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.version
+}
+
+// waitBeyond blocks until the version exceeds since, the timeout
+// expires, or ctx is cancelled (client hung up), returning the current
+// version.
+func (v *VersionedServer) waitBeyond(ctx context.Context, since int64, timeout time.Duration) int64 {
+	v.mu.Lock()
+	if v.version > since {
+		cur := v.version
+		v.mu.Unlock()
+		return cur
+	}
+	w := make(chan struct{})
+	v.waiters = append(v.waiters, w)
+	v.mu.Unlock()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w:
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	return v.Version()
+}
+
+// Handler exposes the server over HTTP.
+func (v *VersionedServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/domain", func(w http.ResponseWriter, r *http.Request) {
+		sid := r.URL.Query().Get("sid")
+		if sid == "" {
+			http.Error(w, "missing sid", http.StatusBadRequest)
+			return
+		}
+		grants := v.FetchDomain(sid)
+		writeJSONSec(w, wireDomain{Version: v.Version(), Grants: grants})
+	})
+	mux.HandleFunc("/decide", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		allowed := v.Decide(q.Get("sid"), q.Get("perm"), q.Get("target"))
+		writeJSONSec(w, map[string]bool{"allowed": allowed})
+	})
+	mux.HandleFunc("/poll", func(w http.ResponseWriter, r *http.Request) {
+		since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+		ver := v.waitBeyond(r.Context(), since, 25*time.Second)
+		writeJSONSec(w, map[string]int64{"version": ver})
+	})
+	return mux
+}
+
+func writeJSONSec(w http.ResponseWriter, val any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(val)
+}
+
+// RemoteManager is an enforcement manager whose server lives across the
+// network. It downloads the domain rules on first touch, caches
+// decisions, and invalidates when the long-poll observes a new policy
+// version.
+type RemoteManager struct {
+	*Manager
+	base    string
+	client  *http.Client
+	sid     string
+	ctx     context.Context
+	cancel  context.CancelFunc
+	stopped sync.Once
+
+	mu      sync.Mutex
+	version int64
+}
+
+// NewRemoteManager builds a manager against a security server at
+// baseURL and starts the invalidation poller.
+func NewRemoteManager(baseURL, sid string) *RemoteManager {
+	base := strings.TrimRight(baseURL, "/")
+	ctx, cancel := context.WithCancel(context.Background())
+	rm := &RemoteManager{
+		base:   base,
+		client: &http.Client{},
+		sid:    sid,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	// The embedded Manager handles caching; its "server" is this remote
+	// transport.
+	srv := NewServer(&Policy{domainByID: map[string]*Domain{}})
+	srv.FetchDelay = nil
+	rm.Manager = NewManager(srv, sid)
+	rm.Manager.fetchOverride = rm.fetchDomain
+	go rm.pollLoop()
+	return rm
+}
+
+// fetchDomain downloads the domain rules and records the policy version.
+func (rm *RemoteManager) fetchDomain(sid string) []Grant {
+	resp, err := rm.client.Get(rm.base + "/domain?sid=" + sid)
+	if err != nil {
+		return nil // fail closed: no grants
+	}
+	defer resp.Body.Close()
+	var wd wireDomain
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&wd); err != nil {
+		return nil
+	}
+	rm.mu.Lock()
+	rm.version = wd.Version
+	rm.mu.Unlock()
+	return wd.Grants
+}
+
+// pollLoop watches for policy-version changes and invalidates the local
+// cache when one lands.
+func (rm *RemoteManager) pollLoop() {
+	for rm.ctx.Err() == nil {
+		rm.mu.Lock()
+		since := rm.version
+		rm.mu.Unlock()
+		req, err := http.NewRequestWithContext(rm.ctx, http.MethodGet,
+			fmt.Sprintf("%s/poll?since=%d", rm.base, since), nil)
+		if err != nil {
+			return
+		}
+		resp, err := rm.client.Do(req)
+		if err != nil {
+			select {
+			case <-rm.ctx.Done():
+				return
+			case <-time.After(time.Second):
+				continue
+			}
+		}
+		var out struct {
+			Version int64 `json:"version"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<10)).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		if out.Version > since && since != 0 {
+			rm.Manager.invalidate()
+		}
+		rm.mu.Lock()
+		rm.version = out.Version
+		rm.mu.Unlock()
+	}
+}
+
+// Close stops the invalidation poller (cancelling any in-flight poll).
+func (rm *RemoteManager) Close() {
+	rm.stopped.Do(rm.cancel)
+}

@@ -1,0 +1,97 @@
+package security
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRemoteManagerFetchAndCache(t *testing.T) {
+	vs := NewVersionedServer(NewServer(testPolicy(t)))
+	ts := httptest.NewServer(vs.Handler())
+	defer ts.Close()
+
+	rm := NewRemoteManager(ts.URL, "apps")
+	defer rm.Close()
+	if !rm.allowed("property.get", "user.name") {
+		t.Fatal("allowed check failed over HTTP")
+	}
+	for i := 0; i < 10; i++ {
+		if !rm.allowed("property.get", "user.name") {
+			t.Fatal("cached check failed")
+		}
+	}
+	if rm.Downloads != 1 {
+		t.Errorf("downloads = %d, want 1", rm.Downloads)
+	}
+	if rm.allowed("file.open", "/etc/passwd") {
+		t.Error("denied target allowed")
+	}
+}
+
+func TestRemoteManagerInvalidationPush(t *testing.T) {
+	vs := NewVersionedServer(NewServer(testPolicy(t)))
+	ts := httptest.NewServer(vs.Handler())
+	defer ts.Close()
+
+	rm := NewRemoteManager(ts.URL, "apps")
+	defer rm.Close()
+	if !rm.allowed("file.open", "/tmp/x") {
+		t.Fatal("initial policy should allow")
+	}
+	// Central update: drop the file.open grant.
+	p2, err := ParsePolicy([]byte(`
+<policy>
+  <domain id="apps"><grant permission="property.get" target="*"/></domain>
+  <assign domain="apps" codebase="app/*"/>
+</policy>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs.UpdatePolicy(p2)
+
+	// The poller invalidates shortly; wait for it.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if !rm.allowed("file.open", "/tmp/x") {
+			return // revoked — invalidation propagated
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("policy update never propagated to the remote manager")
+}
+
+func TestRemoteManagerFailsClosedWhenServerGone(t *testing.T) {
+	vs := NewVersionedServer(NewServer(testPolicy(t)))
+	ts := httptest.NewServer(vs.Handler())
+	rm := NewRemoteManager(ts.URL, "apps")
+	defer rm.Close()
+	ts.Close() // server vanishes before the first fetch
+	if rm.allowed("property.get", "user.name") {
+		t.Fatal("manager allowed access with no reachable server")
+	}
+}
+
+func TestVersionedServerPollBlocksAndWakes(t *testing.T) {
+	vs := NewVersionedServer(NewServer(testPolicy(t)))
+	start := time.Now()
+	done := make(chan int64, 1)
+	go func() {
+		done <- vs.waitBeyond(context.Background(), vs.Version(), 5*time.Second)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	p2 := testPolicy(t)
+	vs.UpdatePolicy(p2)
+	select {
+	case v := <-done:
+		if v <= 1 {
+			t.Errorf("version = %d", v)
+		}
+		if time.Since(start) > 2*time.Second {
+			t.Error("poll did not wake promptly")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("poll never woke")
+	}
+}

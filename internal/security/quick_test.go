@@ -1,0 +1,123 @@
+package security
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// identifier generates short path-like strings.
+type identifier string
+
+// Generate implements quick.Generator.
+func (identifier) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(12)
+	b := make([]byte, n)
+	const alpha = "abc/."
+	for i := range b {
+		b[i] = alpha[r.Intn(len(alpha))]
+	}
+	return reflect.ValueOf(identifier(b))
+}
+
+// TestQuickMatchPattern: the glob implements exactly literal-or-prefix
+// semantics.
+func TestQuickMatchPattern(t *testing.T) {
+	f := func(p, s identifier) bool {
+		pat, str := string(p), string(s)
+		got := matchPattern(pat, str)
+		var want bool
+		switch {
+		case pat == "*":
+			want = true
+		case strings.HasSuffix(pat, "*"):
+			want = strings.HasPrefix(str, pat[:len(pat)-1])
+		default:
+			want = pat == str
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGrantMonotonicity: adding a grant can only widen what a
+// domain may do, never narrow it.
+func TestQuickGrantMonotonicity(t *testing.T) {
+	f := func(perm, target, extraPerm, extraTarget identifier) bool {
+		if perm == "" || extraPerm == "" {
+			return true
+		}
+		base := &Policy{
+			Domains:    []Domain{{ID: "d", Grants: []Grant{{Permission: string(perm), Target: string(target)}}}},
+			domainByID: map[string]*Domain{},
+		}
+		base.domainByID["d"] = &base.Domains[0]
+		wider := &Policy{
+			Domains: []Domain{{ID: "d", Grants: []Grant{
+				{Permission: string(perm), Target: string(target)},
+				{Permission: string(extraPerm), Target: string(extraTarget)},
+			}}},
+			domainByID: map[string]*Domain{},
+		}
+		wider.domainByID["d"] = &wider.Domains[0]
+		// Every question base allows, wider must allow too.
+		for _, q := range []struct{ p, t string }{
+			{string(perm), string(target)},
+			{string(extraPerm), string(extraTarget)},
+			{"other", "x"},
+		} {
+			if base.Allowed("d", q.p, q.t) && !wider.Allowed("d", q.p, q.t) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPolicyEncodeParseRoundTrip: encoding then re-parsing a policy
+// preserves every access decision for sampled questions.
+func TestQuickPolicyEncodeParseRoundTrip(t *testing.T) {
+	f := func(p1, t1, p2, t2 identifier) bool {
+		if p1 == "" || p2 == "" {
+			return true
+		}
+		pol := &Policy{
+			Domains: []Domain{
+				{ID: "a", Grants: []Grant{{Permission: string(p1), Target: string(t1)}}},
+				{ID: "b", Grants: []Grant{{Permission: string(p2), Target: string(t2)}}},
+			},
+			Assigns:    []Assignment{{Domain: "a", Codebase: "app/*"}},
+			domainByID: map[string]*Domain{},
+		}
+		pol.domainByID["a"] = &pol.Domains[0]
+		pol.domainByID["b"] = &pol.Domains[1]
+		data, err := pol.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := ParsePolicy(data)
+		if err != nil {
+			return false
+		}
+		for _, sid := range []string{"a", "b"} {
+			for _, q := range []struct{ p, t string }{
+				{string(p1), string(t1)}, {string(p2), string(t2)}, {"zz", "zz"},
+			} {
+				if pol.Allowed(sid, q.p, q.t) != back.Allowed(sid, q.p, q.t) {
+					return false
+				}
+			}
+		}
+		return back.DomainFor("app/Main") == "a"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package security
+
+import (
+	"strings"
+
+	"dvm/internal/jvm"
+)
+
+// StackIntrospection is the monolithic baseline: the JDK 1.2-style
+// protection-domain + stack-walk access controller (Gong & Schemers 98).
+// A check passes only if *every* frame on the current call stack belongs
+// to a domain granting the permission (system code is implicitly
+// privileged).
+//
+// The implementation mirrors the JDK's actual mechanics, which is where
+// its cost lives: each check snapshots the stack into an access-control
+// context of protection-domain records, materializes a permission
+// object (canonicalizing file targets against the filesystem, as
+// java.io.FilePermission did), and evaluates implies() domain by domain.
+//
+// It is installed as vm.BuiltinChecks, so it runs only at the library
+// hook points the original system designers anticipated — which is
+// precisely the limitation Figure 9's "Read File" row demonstrates: no
+// hook exists on file reads, so the monolithic architecture cannot check
+// them at all.
+type StackIntrospection struct {
+	policy *Policy
+
+	// Stats
+	Checks       int64
+	FramesWalked int64
+}
+
+// NewStackIntrospection builds the baseline access controller over the
+// same policy the DVM uses, for an apples-to-apples comparison.
+func NewStackIntrospection(policy *Policy) *StackIntrospection {
+	return &StackIntrospection{policy: policy}
+}
+
+// permission is the materialized permission object of one check.
+type permission struct {
+	name   string
+	target string
+	// actions is unused by our policies but allocated faithfully: the
+	// JDK's permission objects carried parsed action masks.
+	actions []string
+}
+
+// protectionDomain is one entry of the snapshotted context.
+type protectionDomain struct {
+	codeSource string
+	sid        string
+	system     bool
+}
+
+// Check implements jvm.AccessChecker by walking the thread's frames.
+func (si *StackIntrospection) Check(t *jvm.Thread, perm, target string) *jvm.Object {
+	si.Checks++
+
+	// 1. Materialize the permission, canonicalizing file targets against
+	// the filesystem the way java.io.FilePermission resolved paths.
+	p := permission{name: perm, target: target, actions: strings.Split(perm, ".")}
+	if strings.HasPrefix(perm, "file.") && target != "" {
+		p.target = canonicalize(t.VM(), target)
+	}
+
+	// 2. Snapshot the calling context: one protection domain record per
+	// frame (the JDK's AccessControlContext construction).
+	frames := t.FrameClasses()
+	ctx := make([]protectionDomain, 0, len(frames))
+	for _, cls := range frames {
+		si.FramesWalked++
+		name := cls.Name
+		pd := protectionDomain{codeSource: name}
+		if strings.HasPrefix(name, "java/") || strings.HasPrefix(name, "dvm/") {
+			pd.system = true
+		} else {
+			pd.sid = si.policy.DomainFor(name)
+		}
+		ctx = append(ctx, pd)
+	}
+
+	// 3. Every domain on the stack must imply the permission.
+	for _, pd := range ctx {
+		if pd.system {
+			continue // system domain: AllPermission
+		}
+		if pd.sid == "" || !si.implies(pd, p) {
+			return t.VM().Throw("java/lang/SecurityException",
+				p.name+" denied to "+pd.codeSource+" on "+p.target)
+		}
+	}
+	return nil
+}
+
+// implies evaluates one domain against one permission.
+func (si *StackIntrospection) implies(pd protectionDomain, p permission) bool {
+	return si.policy.Allowed(pd.sid, p.name, p.target)
+}
+
+// canonicalize resolves "." and ".." components and, like the JDK's
+// FilePermission, probes the filesystem for each prefix of the path.
+func canonicalize(vm *jvm.VM, path string) string {
+	parts := strings.Split(path, "/")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		switch part {
+		case "", ".":
+			continue
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, part)
+			// Existence probe per prefix (the JDK's canonicalization hit
+			// the OS once per component).
+			vm.VFS.Exists("/" + strings.Join(out, "/"))
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+var _ jvm.AccessChecker = (*StackIntrospection)(nil)

@@ -1,0 +1,45 @@
+package signing
+
+import (
+	"dvm/internal/jvm"
+)
+
+// RedirectLoader implements the §2 deployment rule: "clients can be
+// instructed to redirect incorrectly signed or unsigned code to the
+// centralized services."
+//
+// It wraps two class sources: Direct (wherever the client would
+// naturally load from — a local disk, an origin server) and Service (the
+// DVM proxy). Classes arriving from Direct must carry a valid service
+// signature; anything unsigned or tampered is refetched through the
+// proxy, which transforms and signs it. Code from the Service path is
+// verified too — a compromised network cannot forge the service key.
+type RedirectLoader struct {
+	Signer  *Signer
+	Direct  jvm.ClassLoader
+	Service jvm.ClassLoader
+
+	// Redirects counts classes that had to be rerouted to the service.
+	Redirects int64
+}
+
+// Load implements jvm.ClassLoader.
+func (r *RedirectLoader) Load(name string) ([]byte, error) {
+	if r.Direct != nil {
+		data, err := r.Direct.Load(name)
+		if err == nil && r.Signer.VerifyBytes(data) == nil {
+			return data, nil
+		}
+	}
+	r.Redirects++
+	data, err := r.Service.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Signer.VerifyBytes(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+var _ jvm.ClassLoader = (*RedirectLoader)(nil)

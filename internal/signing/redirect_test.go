@@ -1,0 +1,119 @@
+package signing_test
+
+import (
+	"testing"
+
+	"dvm/internal/classfile"
+	"dvm/internal/jvm"
+	"dvm/internal/proxy"
+	"dvm/internal/rewrite"
+	"dvm/internal/signing"
+	"dvm/internal/verifier"
+)
+
+func TestRedirectLoaderAcceptsSignedDirect(t *testing.T) {
+	s := signing.NewSigner([]byte("org-key"))
+	cf, _ := classfile.Parse(sampleClass(t))
+	if err := s.Sign(cf); err != nil {
+		t.Fatal(err)
+	}
+	signed, _ := cf.Encode()
+	rl := &signing.RedirectLoader{
+		Signer: s,
+		Direct: jvm.MapLoader{"app/S": signed},
+		Service: jvm.FuncLoader(func(string) ([]byte, error) {
+			t.Fatal("service consulted for validly signed direct code")
+			return nil, nil
+		}),
+	}
+	data, err := rl.Load("app/S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(signed) || rl.Redirects != 0 {
+		t.Errorf("bytes=%d redirects=%d", len(data), rl.Redirects)
+	}
+}
+
+func TestRedirectLoaderReroutesUnsigned(t *testing.T) {
+	s := signing.NewSigner([]byte("org-key"))
+	raw := sampleClass(t)
+	// The service proxy transforms and signs.
+	p := proxy.New(proxy.MapOrigin{"app/S": raw}, proxy.Config{
+		Pipeline:     rewrite.NewPipeline(verifier.Filter(), s.Filter()),
+		CacheEnabled: true,
+	})
+	rl := &signing.RedirectLoader{
+		Signer:  s,
+		Direct:  jvm.MapLoader{"app/S": raw}, // unsigned direct copy
+		Service: p.Loader("client", "dvm"),
+	}
+	data, err := rl.Load("app/S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Redirects != 1 {
+		t.Errorf("redirects = %d, want 1", rl.Redirects)
+	}
+	if err := s.VerifyBytes(data); err != nil {
+		t.Errorf("rerouted class not signed: %v", err)
+	}
+	// The rerouted class runs.
+	vm, err := jvm.New(jvm.MapLoader{"app/S": data}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, thrown, err := vm.MainThread().InvokeByName("app/S", "f", "()I", nil)
+	if err != nil || thrown != nil || v.Int() != 7 {
+		t.Errorf("f = %d, %v, %v", v.Int(), err, jvm.DescribeThrowable(thrown))
+	}
+}
+
+func TestRedirectLoaderReroutesTampered(t *testing.T) {
+	s := signing.NewSigner([]byte("org-key"))
+	raw := sampleClass(t)
+	cf, _ := classfile.Parse(raw)
+	if err := s.Sign(cf); err != nil {
+		t.Fatal(err)
+	}
+	signed, _ := cf.Encode()
+	tampered := append([]byte(nil), signed...)
+	tampered[len(tampered)-1] ^= 0xFF // corrupt the signature bytes
+
+	p := proxy.New(proxy.MapOrigin{"app/S": raw}, proxy.Config{
+		Pipeline: rewrite.NewPipeline(s.Filter()),
+	})
+	rl := &signing.RedirectLoader{
+		Signer:  s,
+		Direct:  jvm.MapLoader{"app/S": tampered},
+		Service: p.Loader("client", "dvm"),
+	}
+	data, err := rl.Load("app/S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Redirects != 1 {
+		t.Errorf("redirects = %d", rl.Redirects)
+	}
+	if err := s.VerifyBytes(data); err != nil {
+		t.Errorf("service copy not verifiable: %v", err)
+	}
+}
+
+func TestRedirectLoaderRejectsForgedService(t *testing.T) {
+	s := signing.NewSigner([]byte("org-key"))
+	forged := signing.NewSigner([]byte("attacker-key"))
+	raw := sampleClass(t)
+	cf, _ := classfile.Parse(raw)
+	if err := forged.Sign(cf); err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := cf.Encode()
+	rl := &signing.RedirectLoader{
+		Signer:  s,
+		Service: jvm.MapLoader{"app/S": bad},
+	}
+	if _, err := rl.Load("app/S"); err == nil {
+		t.Fatal("forged service signature accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package verifier
+
+import (
+	"testing"
+
+	"dvm/internal/classfile"
+	"dvm/internal/workload"
+)
+
+// benchClass returns a representative generated class for throughput
+// measurement.
+func benchClass(b *testing.B) ([]byte, *classfile.ClassFile) {
+	b.Helper()
+	spec := workload.Benchmarks()[0]
+	spec.Classes = 3
+	spec.TargetBytes = 32 * 1024
+	app, err := workload.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, data := range app.Classes {
+		if name == spec.MainClass() {
+			continue
+		}
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return data, cf
+	}
+	b.Fatal("no class")
+	return nil, nil
+}
+
+// BenchmarkVerify measures static verification throughput (phases 1-3 +
+// assumption collection).
+func BenchmarkVerify(b *testing.B) {
+	data, cf := benchClass(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Verify(cf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyAndInstrument measures the full static service: verify,
+// rewrite into self-verifying form, re-encode.
+func BenchmarkVerifyAndInstrument(b *testing.B) {
+	data, _ := benchClass(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Verify(cf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Instrument(cf, res); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cf.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

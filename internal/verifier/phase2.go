@@ -1,0 +1,163 @@
+package verifier
+
+import (
+	"fmt"
+	"strings"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+)
+
+// phase2 checks instruction integrity for one method: every opcode is
+// assigned, operands stay in bounds, branch targets land on instruction
+// boundaries (all enforced by bytecode.Decode), and additionally that
+// every constant-pool operand has the tag its instruction requires, local
+// variable indices fit max_locals, and the exception table is sane.
+//
+// It returns the decoded instruction list for reuse by phase 3 — the
+// single-parse structure the proxy relies on.
+func phase2(cf *classfile.ClassFile, m *classfile.Member, code *classfile.Code, census *Census) ([]bytecode.Inst, error) {
+	name := cf.Name()
+	mname := cf.MemberName(m) + cf.MemberDescriptor(m)
+	fail := func(pc int, format string, args ...any) error {
+		return &Error{Phase: 2, Class: name, Method: mname,
+			Msg: fmt.Sprintf("pc %d: ", pc) + fmt.Sprintf(format, args...)}
+	}
+	pool := cf.Pool
+
+	insts, err := bytecode.Decode(code.Bytecode)
+	if err != nil {
+		return nil, &Error{Phase: 2, Class: name, Method: mname, Msg: err.Error()}
+	}
+	census.Phase2 += len(insts) // decode validated each instruction
+
+	for _, in := range insts {
+		switch in.Op.OperandKind() {
+		case bytecode.KindCPU1, bytecode.KindCPU2:
+			census.Phase2++
+			tag := pool.Tag(in.Index)
+			switch in.Op {
+			case bytecode.Ldc, bytecode.LdcW:
+				switch tag {
+				case classfile.TagInteger, classfile.TagFloat, classfile.TagString:
+				default:
+					return nil, fail(in.PC, "ldc operand %d has tag %s", in.Index, tag)
+				}
+			case bytecode.Ldc2W:
+				if tag != classfile.TagLong && tag != classfile.TagDouble {
+					return nil, fail(in.PC, "ldc2_w operand %d has tag %s", in.Index, tag)
+				}
+			case bytecode.Getstatic, bytecode.Putstatic, bytecode.Getfield, bytecode.Putfield:
+				if tag != classfile.TagFieldref {
+					return nil, fail(in.PC, "%s operand %d has tag %s", in.Op.Name(), in.Index, tag)
+				}
+			case bytecode.Invokevirtual, bytecode.Invokestatic:
+				if tag != classfile.TagMethodref {
+					return nil, fail(in.PC, "%s operand %d has tag %s", in.Op.Name(), in.Index, tag)
+				}
+			case bytecode.Invokespecial:
+				if tag != classfile.TagMethodref && tag != classfile.TagInterfaceMethodref {
+					return nil, fail(in.PC, "invokespecial operand %d has tag %s", in.Index, tag)
+				}
+			case bytecode.New, bytecode.Anewarray, bytecode.Checkcast, bytecode.Instanceof:
+				if tag != classfile.TagClass {
+					return nil, fail(in.PC, "%s operand %d has tag %s", in.Op.Name(), in.Index, tag)
+				}
+				if in.Op == bytecode.New {
+					cn, _ := pool.ClassName(in.Index)
+					if strings.HasPrefix(cn, "[") {
+						return nil, fail(in.PC, "new of array class %s", cn)
+					}
+				}
+			}
+			// Method name restrictions.
+			if in.Op.IsInvoke() {
+				census.Phase2++
+				ref, err := pool.Ref(in.Index)
+				if err != nil {
+					return nil, fail(in.PC, "%v", err)
+				}
+				if ref.Name == "<clinit>" {
+					return nil, fail(in.PC, "explicit invocation of <clinit>")
+				}
+				if ref.Name == "<init>" && in.Op != bytecode.Invokespecial {
+					return nil, fail(in.PC, "<init> must be invoked by invokespecial")
+				}
+			}
+		case bytecode.KindIfaceRef:
+			census.Phase2++
+			if pool.Tag(in.Index) != classfile.TagInterfaceMethodref {
+				return nil, fail(in.PC, "invokeinterface operand %d has tag %s", in.Index, pool.Tag(in.Index))
+			}
+			ref, err := pool.Ref(in.Index)
+			if err != nil {
+				return nil, fail(in.PC, "%v", err)
+			}
+			mt, err := bytecode.ParseMethodType(ref.Desc)
+			if err != nil {
+				return nil, fail(in.PC, "%v", err)
+			}
+			if int(in.Count) != mt.ParamSlots()+1 {
+				return nil, fail(in.PC, "invokeinterface count %d != %d", in.Count, mt.ParamSlots()+1)
+			}
+		case bytecode.KindMultiNew:
+			census.Phase2++
+			if pool.Tag(in.Index) != classfile.TagClass {
+				return nil, fail(in.PC, "multianewarray operand %d not a Class", in.Index)
+			}
+			cn, _ := pool.ClassName(in.Index)
+			t, err := bytecode.ParseType(cn)
+			if err != nil || t.Kind != bytecode.KArray {
+				return nil, fail(in.PC, "multianewarray of non-array class %s", cn)
+			}
+			depth := 0
+			for tt := &t; tt.Kind == bytecode.KArray; tt = tt.Elem {
+				depth++
+			}
+			if int(in.Dims) > depth {
+				return nil, fail(in.PC, "multianewarray dims %d exceed array depth %d", in.Dims, depth)
+			}
+		case bytecode.KindLocal:
+			census.Phase2++
+			slots := 1
+			switch in.Op {
+			case bytecode.Lload, bytecode.Dload, bytecode.Lstore, bytecode.Dstore:
+				slots = 2
+			}
+			if int(in.Index)+slots > int(code.MaxLocals) {
+				return nil, fail(in.PC, "local %d out of range (max_locals %d)", in.Index, code.MaxLocals)
+			}
+		case bytecode.KindIinc:
+			census.Phase2++
+			if int(in.Index) >= int(code.MaxLocals) {
+				return nil, fail(in.PC, "iinc local %d out of range", in.Index)
+			}
+		}
+	}
+
+	// Exception table sanity.
+	pcIdx := bytecode.PCMap(insts)
+	for _, h := range code.Handlers {
+		census.Phase2++
+		if _, ok := pcIdx[int(h.StartPC)]; !ok {
+			return nil, fail(int(h.StartPC), "handler start not on instruction boundary")
+		}
+		if _, ok := pcIdx[int(h.HandlerPC)]; !ok {
+			return nil, fail(int(h.HandlerPC), "handler entry not on instruction boundary")
+		}
+		if int(h.EndPC) != len(code.Bytecode) {
+			if _, ok := pcIdx[int(h.EndPC)]; !ok {
+				return nil, fail(int(h.EndPC), "handler end not on instruction boundary")
+			}
+		}
+		if h.StartPC >= h.EndPC {
+			return nil, fail(int(h.StartPC), "empty handler range [%d, %d)", h.StartPC, h.EndPC)
+		}
+		if h.CatchType != 0 {
+			if _, err := pool.ClassName(h.CatchType); err != nil {
+				return nil, fail(int(h.HandlerPC), "bad catch type: %v", err)
+			}
+		}
+	}
+	return insts, nil
+}

@@ -1,0 +1,1206 @@
+package verifier
+
+import (
+	"fmt"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+)
+
+// Abstract value kinds for the dataflow lattice.
+type vkind uint8
+
+const (
+	vtTop vkind = iota // unusable / merged-incompatible
+	vtInt
+	vtFloat
+	vtLong
+	vtLong2 // second slot of a long
+	vtDouble
+	vtDouble2 // second slot of a double
+	vtRef
+	vtNull
+	vtRet        // returnAddress from jsr
+	vtUninit     // result of `new`, before <init>
+	vtUninitThis // `this` in a constructor, before super-call
+)
+
+// vt is one abstract slot value.
+type vt struct {
+	kind vkind
+	cls  string // class for vtRef / vtUninit
+	site int    // allocation site (instruction index) for vtUninit
+}
+
+var (
+	tTop    = vt{kind: vtTop}
+	tInt    = vt{kind: vtInt}
+	tFloat  = vt{kind: vtFloat}
+	tLong   = vt{kind: vtLong}
+	tLong2  = vt{kind: vtLong2}
+	tDouble = vt{kind: vtDouble}
+	tDbl2   = vt{kind: vtDouble2}
+	tNull   = vt{kind: vtNull}
+)
+
+func tRef(cls string) vt { return vt{kind: vtRef, cls: cls} }
+
+func (v vt) isOneSlotRefLike() bool {
+	return v.kind == vtRef || v.kind == vtNull || v.kind == vtUninit || v.kind == vtUninitThis
+}
+
+func (v vt) category() int {
+	switch v.kind {
+	case vtLong, vtDouble:
+		return 2
+	case vtLong2, vtDouble2:
+		return 0 // halves are not directly manipulable
+	}
+	return 1
+}
+
+func (v vt) String() string {
+	switch v.kind {
+	case vtTop:
+		return "top"
+	case vtInt:
+		return "int"
+	case vtFloat:
+		return "float"
+	case vtLong:
+		return "long"
+	case vtLong2:
+		return "long2"
+	case vtDouble:
+		return "double"
+	case vtDouble2:
+		return "double2"
+	case vtRef:
+		return "ref(" + v.cls + ")"
+	case vtNull:
+		return "null"
+	case vtRet:
+		return "retaddr"
+	case vtUninit:
+		return fmt.Sprintf("uninit(%s@%d)", v.cls, v.site)
+	case vtUninitThis:
+		return "uninitThis"
+	}
+	return "?"
+}
+
+// merge joins two abstract values at a control-flow join. Incompatible
+// reference classes join to java/lang/Object — the cross-class precision
+// is exactly what the DVM defers to link-time assumptions, per §3.1.
+func merge(a, b vt) vt {
+	if a == b {
+		return a
+	}
+	if a.kind == b.kind {
+		switch a.kind {
+		case vtRef:
+			return tRef("java/lang/Object")
+		case vtUninit:
+			return tTop // distinct allocation sites must not merge
+		default:
+			return a
+		}
+	}
+	if a.kind == vtNull && b.kind == vtRef {
+		return b
+	}
+	if b.kind == vtNull && a.kind == vtRef {
+		return a
+	}
+	return tTop
+}
+
+// state is the abstract frame at one program point.
+type state struct {
+	locals []vt
+	stack  []vt
+}
+
+func (s state) clone() state {
+	ns := state{locals: make([]vt, len(s.locals)), stack: make([]vt, len(s.stack))}
+	copy(ns.locals, s.locals)
+	copy(ns.stack, s.stack)
+	return ns
+}
+
+// typeToVT converts a descriptor type into abstract slot values.
+func typeToVT(t bytecode.Type) []vt {
+	switch t.Kind {
+	case bytecode.KInt, bytecode.KBoolean, bytecode.KByte, bytecode.KChar, bytecode.KShort:
+		return []vt{tInt}
+	case bytecode.KFloat:
+		return []vt{tFloat}
+	case bytecode.KLong:
+		return []vt{tLong, tLong2}
+	case bytecode.KDouble:
+		return []vt{tDouble, tDbl2}
+	case bytecode.KObject:
+		return []vt{tRef(t.ClassName)}
+	case bytecode.KArray:
+		return []vt{tRef(t.String())}
+	}
+	return nil
+}
+
+// phase3 runs the abstract interpreter over one method body.
+func phase3(cf *classfile.ClassFile, m *classfile.Member, code *classfile.Code,
+	insts []bytecode.Inst, census *Census) error {
+	name := cf.Name()
+	mname := cf.MemberName(m)
+	mdesc := cf.MemberDescriptor(m)
+	fail := func(idx int, format string, args ...any) error {
+		pc := 0
+		if idx >= 0 && idx < len(insts) {
+			pc = insts[idx].PC
+		}
+		return &Error{Phase: 3, Class: name, Method: mname + mdesc,
+			Msg: fmt.Sprintf("pc %d: ", pc) + fmt.Sprintf(format, args...)}
+	}
+
+	mt, err := bytecode.ParseMethodType(mdesc)
+	if err != nil {
+		return fail(-1, "%v", err)
+	}
+
+	// Initial frame.
+	init := state{locals: make([]vt, code.MaxLocals)}
+	for i := range init.locals {
+		init.locals[i] = tTop
+	}
+	slot := 0
+	if m.AccessFlags&classfile.AccStatic == 0 {
+		if mname == "<init>" && name != "java/lang/Object" {
+			init.locals[0] = vt{kind: vtUninitThis, cls: name}
+		} else {
+			init.locals[0] = tRef(name)
+		}
+		slot = 1
+	}
+	for _, p := range mt.Params {
+		for _, v := range typeToVT(p) {
+			if slot >= len(init.locals) {
+				return fail(-1, "parameters exceed max_locals %d", code.MaxLocals)
+			}
+			init.locals[slot] = v
+			slot++
+		}
+	}
+
+	// Handler map: instruction index -> handlers covering it.
+	pcIdx := bytecode.PCMap(insts)
+	type hEdge struct {
+		target int
+		exc    vt
+	}
+	coverage := make([][]hEdge, len(insts))
+	for _, h := range code.Handlers {
+		si := pcIdx[int(h.StartPC)]
+		var ei int
+		if int(h.EndPC) == len(code.Bytecode) {
+			ei = len(insts)
+		} else {
+			ei = pcIdx[int(h.EndPC)]
+		}
+		hi := pcIdx[int(h.HandlerPC)]
+		exc := tRef("java/lang/Throwable")
+		if h.CatchType != 0 {
+			cn, err := cf.Pool.ClassName(h.CatchType)
+			if err != nil {
+				return fail(hi, "%v", err)
+			}
+			exc = tRef(cn)
+		}
+		for i := si; i < ei && i < len(insts); i++ {
+			coverage[i] = append(coverage[i], hEdge{target: hi, exc: exc})
+		}
+	}
+
+	in := make([]state, len(insts))
+	seen := make([]bool, len(insts))
+	var work []int
+
+	mergeInto := func(idx int, s state) error {
+		if idx < 0 || idx >= len(insts) {
+			return fail(idx, "control transfer out of method")
+		}
+		if !seen[idx] {
+			seen[idx] = true
+			in[idx] = s.clone()
+			work = append(work, idx)
+			return nil
+		}
+		cur := &in[idx]
+		census.Phase3++
+		if len(cur.stack) != len(s.stack) {
+			return fail(idx, "inconsistent stack height at join: %d vs %d", len(cur.stack), len(s.stack))
+		}
+		changed := false
+		for i := range cur.locals {
+			nv := merge(cur.locals[i], s.locals[i])
+			if nv != cur.locals[i] {
+				cur.locals[i] = nv
+				changed = true
+			}
+		}
+		for i := range cur.stack {
+			nv := merge(cur.stack[i], s.stack[i])
+			if nv != cur.stack[i] {
+				cur.stack[i] = nv
+				changed = true
+			}
+		}
+		if changed {
+			work = append(work, idx)
+		}
+		return nil
+	}
+
+	if err := mergeInto(0, init); err != nil {
+		return err
+	}
+
+	maxStack := int(code.MaxStack)
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := in[idx].clone()
+		inst := insts[idx]
+		census.Phase3++
+
+		// Exception edges: the handler sees this instruction's *entry*
+		// locals with a one-element stack.
+		for _, he := range coverage[idx] {
+			hs := state{locals: in[idx].clone().locals, stack: []vt{he.exc}}
+			if err := mergeInto(he.target, hs); err != nil {
+				return err
+			}
+		}
+
+		push := func(v ...vt) error {
+			s.stack = append(s.stack, v...)
+			if len(s.stack) > maxStack {
+				return fail(idx, "operand stack overflow: %d > max_stack %d", len(s.stack), maxStack)
+			}
+			return nil
+		}
+		pop := func() (vt, error) {
+			if len(s.stack) == 0 {
+				return tTop, fail(idx, "operand stack underflow")
+			}
+			v := s.stack[len(s.stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
+			return v, nil
+		}
+		popKind := func(k vkind) error {
+			v, err := pop()
+			if err != nil {
+				return err
+			}
+			census.Phase3++
+			if v.kind != k {
+				return fail(idx, "%s: expected %v on stack, found %v", inst.Op.Name(), vt{kind: k}, v)
+			}
+			return nil
+		}
+		popRef := func() (vt, error) {
+			v, err := pop()
+			if err != nil {
+				return v, err
+			}
+			census.Phase3++
+			if !v.isOneSlotRefLike() {
+				return v, fail(idx, "%s: expected reference, found %v", inst.Op.Name(), v)
+			}
+			return v, nil
+		}
+		popWide := func(k vkind, k2 vkind) error {
+			hi, err := pop()
+			if err != nil {
+				return err
+			}
+			lo, err := pop()
+			if err != nil {
+				return err
+			}
+			census.Phase3++
+			if hi.kind != k2 || lo.kind != k {
+				return fail(idx, "%s: expected %v pair, found %v/%v", inst.Op.Name(), vt{kind: k}, lo, hi)
+			}
+			return nil
+		}
+		popType := func(t bytecode.Type) error {
+			switch t.Kind {
+			case bytecode.KLong:
+				return popWide(vtLong, vtLong2)
+			case bytecode.KDouble:
+				return popWide(vtDouble, vtDouble2)
+			case bytecode.KFloat:
+				return popKind(vtFloat)
+			case bytecode.KObject, bytecode.KArray:
+				_, err := popRef()
+				return err
+			default:
+				return popKind(vtInt)
+			}
+		}
+		setLocal := func(i int, v ...vt) error {
+			census.Phase3++
+			if i+len(v) > len(s.locals) {
+				return fail(idx, "local %d out of range", i)
+			}
+			// Invalidate a wide value whose first half is being overwritten.
+			if i > 0 && (s.locals[i-1].kind == vtLong || s.locals[i-1].kind == vtDouble) {
+				s.locals[i-1] = tTop
+			}
+			for j, vv := range v {
+				s.locals[i+j] = vv
+			}
+			// Overwriting the first half kills the second.
+			end := i + len(v)
+			if end < len(s.locals) && (v[len(v)-1].kind == vtLong || v[len(v)-1].kind == vtDouble) {
+				// second half written by caller passing both slots
+			}
+			return nil
+		}
+		getLocal := func(i int, k vkind) (vt, error) {
+			census.Phase3++
+			if i >= len(s.locals) {
+				return tTop, fail(idx, "local %d out of range", i)
+			}
+			v := s.locals[i]
+			if k == vtRef {
+				if !v.isOneSlotRefLike() && v.kind != vtRet {
+					return v, fail(idx, "%s: local %d holds %v, want reference", inst.Op.Name(), i, v)
+				}
+				return v, nil
+			}
+			if v.kind != k {
+				return v, fail(idx, "%s: local %d holds %v, want %v", inst.Op.Name(), i, v, vt{kind: k})
+			}
+			if k == vtLong || k == vtDouble {
+				want := vtLong2
+				if k == vtDouble {
+					want = vtDouble2
+				}
+				if i+1 >= len(s.locals) || s.locals[i+1].kind != want {
+					return v, fail(idx, "%s: local %d wide value corrupted", inst.Op.Name(), i)
+				}
+			}
+			return v, nil
+		}
+
+		flowEnds := false
+		if err := func() error {
+			op := inst.Op
+			switch {
+			case op == bytecode.Nop:
+			case op == bytecode.AconstNull:
+				return push(tNull)
+			case op >= bytecode.IconstM1 && op <= bytecode.Iconst5:
+				return push(tInt)
+			case op == bytecode.Lconst0 || op == bytecode.Lconst1:
+				return push(tLong, tLong2)
+			case op >= bytecode.Fconst0 && op <= bytecode.Fconst2:
+				return push(tFloat)
+			case op == bytecode.Dconst0 || op == bytecode.Dconst1:
+				return push(tDouble, tDbl2)
+			case op == bytecode.Bipush || op == bytecode.Sipush:
+				return push(tInt)
+			case op == bytecode.Ldc || op == bytecode.LdcW:
+				switch cf.Pool.Tag(inst.Index) {
+				case classfile.TagInteger:
+					return push(tInt)
+				case classfile.TagFloat:
+					return push(tFloat)
+				case classfile.TagString:
+					return push(tRef("java/lang/String"))
+				}
+				return fail(idx, "ldc of unexpected tag")
+			case op == bytecode.Ldc2W:
+				if cf.Pool.Tag(inst.Index) == classfile.TagLong {
+					return push(tLong, tLong2)
+				}
+				return push(tDouble, tDbl2)
+
+			case op == bytecode.Iload || (op >= bytecode.Iload0 && op <= bytecode.Iload3):
+				i := localIndex(inst, bytecode.Iload0)
+				if _, err := getLocal(i, vtInt); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.Fload || (op >= bytecode.Fload0 && op <= bytecode.Fload3):
+				i := localIndex(inst, bytecode.Fload0)
+				if _, err := getLocal(i, vtFloat); err != nil {
+					return err
+				}
+				return push(tFloat)
+			case op == bytecode.Lload || (op >= bytecode.Lload0 && op <= bytecode.Lload3):
+				i := localIndex(inst, bytecode.Lload0)
+				if _, err := getLocal(i, vtLong); err != nil {
+					return err
+				}
+				return push(tLong, tLong2)
+			case op == bytecode.Dload || (op >= bytecode.Dload0 && op <= bytecode.Dload3):
+				i := localIndex(inst, bytecode.Dload0)
+				if _, err := getLocal(i, vtDouble); err != nil {
+					return err
+				}
+				return push(tDouble, tDbl2)
+			case op == bytecode.Aload || (op >= bytecode.Aload0 && op <= bytecode.Aload3):
+				i := localIndex(inst, bytecode.Aload0)
+				v, err := getLocal(i, vtRef)
+				if err != nil {
+					return err
+				}
+				if v.kind == vtRet {
+					return fail(idx, "aload of returnAddress")
+				}
+				return push(v)
+
+			case op == bytecode.Istore || (op >= bytecode.Istore0 && op <= bytecode.Istore3):
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return setLocal(localIndex(inst, bytecode.Istore0), tInt)
+			case op == bytecode.Fstore || (op >= bytecode.Fstore0 && op <= bytecode.Fstore3):
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				return setLocal(localIndex(inst, bytecode.Fstore0), tFloat)
+			case op == bytecode.Lstore || (op >= bytecode.Lstore0 && op <= bytecode.Lstore3):
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				return setLocal(localIndex(inst, bytecode.Lstore0), tLong, tLong2)
+			case op == bytecode.Dstore || (op >= bytecode.Dstore0 && op <= bytecode.Dstore3):
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				return setLocal(localIndex(inst, bytecode.Dstore0), tDouble, tDbl2)
+			case op == bytecode.Astore || (op >= bytecode.Astore0 && op <= bytecode.Astore3):
+				v, err := pop()
+				if err != nil {
+					return err
+				}
+				census.Phase3++
+				if !v.isOneSlotRefLike() && v.kind != vtRet {
+					return fail(idx, "astore of %v", v)
+				}
+				return setLocal(localIndex(inst, bytecode.Astore0), v)
+
+			case op == bytecode.Iaload, op == bytecode.Baload, op == bytecode.Caload, op == bytecode.Saload:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.Faload:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				return push(tFloat)
+			case op == bytecode.Laload:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				return push(tLong, tLong2)
+			case op == bytecode.Daload:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				return push(tDouble, tDbl2)
+			case op == bytecode.Aaload:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				arr, err := popRef()
+				if err != nil {
+					return err
+				}
+				elem := "java/lang/Object"
+				if arr.kind == vtRef && len(arr.cls) > 1 && arr.cls[0] == '[' {
+					ed := arr.cls[1:]
+					if ed[0] == 'L' {
+						elem = ed[1 : len(ed)-1]
+					} else if ed[0] == '[' {
+						elem = ed
+					}
+				}
+				return push(tRef(elem))
+
+			case op == bytecode.Iastore, op == bytecode.Bastore, op == bytecode.Castore, op == bytecode.Sastore:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				_, err := popRef()
+				return err
+			case op == bytecode.Fastore:
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				_, err := popRef()
+				return err
+			case op == bytecode.Lastore:
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				_, err := popRef()
+				return err
+			case op == bytecode.Dastore:
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				_, err := popRef()
+				return err
+			case op == bytecode.Aastore:
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				_, err := popRef()
+				return err
+
+			case op == bytecode.Pop:
+				v, err := pop()
+				if err != nil {
+					return err
+				}
+				if v.category() != 1 {
+					return fail(idx, "pop of category-2 half %v", v)
+				}
+				return nil
+			case op == bytecode.Pop2:
+				v, err := pop()
+				if err != nil {
+					return err
+				}
+				if v.category() == 1 {
+					v2, err := pop()
+					if err != nil {
+						return err
+					}
+					if v2.category() != 1 {
+						return fail(idx, "pop2 splits wide value")
+					}
+					return nil
+				}
+				// v is a wide second-half; pop the first half too.
+				_, err = pop()
+				return err
+			case op == bytecode.Dup:
+				v, err := pop()
+				if err != nil {
+					return err
+				}
+				if v.category() != 1 {
+					return fail(idx, "dup of category-2 value")
+				}
+				return push(v, v)
+			case op == bytecode.DupX1:
+				v1, err := pop()
+				if err != nil {
+					return err
+				}
+				v2, err := pop()
+				if err != nil {
+					return err
+				}
+				if v1.category() != 1 || v2.category() != 1 {
+					return fail(idx, "dup_x1 on category-2 values")
+				}
+				return push(v1, v2, v1)
+			case op == bytecode.DupX2:
+				v1, err := pop()
+				if err != nil {
+					return err
+				}
+				v2, err := pop()
+				if err != nil {
+					return err
+				}
+				v3, err := pop()
+				if err != nil {
+					return err
+				}
+				if v1.category() != 1 {
+					return fail(idx, "dup_x2 of category-2 top")
+				}
+				return push(v1, v3, v2, v1)
+			case op == bytecode.Dup2:
+				v1, err := pop()
+				if err != nil {
+					return err
+				}
+				v2, err := pop()
+				if err != nil {
+					return err
+				}
+				return push(v2, v1, v2, v1)
+			case op == bytecode.Dup2X1:
+				v1, err := pop()
+				if err != nil {
+					return err
+				}
+				v2, err := pop()
+				if err != nil {
+					return err
+				}
+				v3, err := pop()
+				if err != nil {
+					return err
+				}
+				return push(v2, v1, v3, v2, v1)
+			case op == bytecode.Dup2X2:
+				v1, err := pop()
+				if err != nil {
+					return err
+				}
+				v2, err := pop()
+				if err != nil {
+					return err
+				}
+				v3, err := pop()
+				if err != nil {
+					return err
+				}
+				v4, err := pop()
+				if err != nil {
+					return err
+				}
+				return push(v2, v1, v4, v3, v2, v1)
+			case op == bytecode.Swap:
+				v1, err := pop()
+				if err != nil {
+					return err
+				}
+				v2, err := pop()
+				if err != nil {
+					return err
+				}
+				if v1.category() != 1 || v2.category() != 1 {
+					return fail(idx, "swap on category-2 values")
+				}
+				return push(v1, v2)
+
+			// Arithmetic: int family.
+			case op == bytecode.Iadd, op == bytecode.Isub, op == bytecode.Imul,
+				op == bytecode.Idiv, op == bytecode.Irem, op == bytecode.Ishl,
+				op == bytecode.Ishr, op == bytecode.Iushr, op == bytecode.Iand,
+				op == bytecode.Ior, op == bytecode.Ixor:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.Ineg:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.Iinc:
+				_, err := getLocal(int(inst.Index), vtInt)
+				return err
+
+			// long family.
+			case op == bytecode.Ladd, op == bytecode.Lsub, op == bytecode.Lmul,
+				op == bytecode.Ldiv, op == bytecode.Lrem, op == bytecode.Land,
+				op == bytecode.Lor, op == bytecode.Lxor:
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				return push(tLong, tLong2)
+			case op == bytecode.Lneg:
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				return push(tLong, tLong2)
+			case op == bytecode.Lshl, op == bytecode.Lshr, op == bytecode.Lushr:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				return push(tLong, tLong2)
+
+			// float/double families.
+			case op == bytecode.Fadd, op == bytecode.Fsub, op == bytecode.Fmul,
+				op == bytecode.Fdiv, op == bytecode.Frem:
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				return push(tFloat)
+			case op == bytecode.Fneg:
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				return push(tFloat)
+			case op == bytecode.Dadd, op == bytecode.Dsub, op == bytecode.Dmul,
+				op == bytecode.Ddiv, op == bytecode.Drem:
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				return push(tDouble, tDbl2)
+			case op == bytecode.Dneg:
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				return push(tDouble, tDbl2)
+
+			// Conversions.
+			case op == bytecode.I2l:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return push(tLong, tLong2)
+			case op == bytecode.I2f:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return push(tFloat)
+			case op == bytecode.I2d:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return push(tDouble, tDbl2)
+			case op == bytecode.L2i:
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.L2f:
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				return push(tFloat)
+			case op == bytecode.L2d:
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				return push(tDouble, tDbl2)
+			case op == bytecode.F2i:
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.F2l:
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				return push(tLong, tLong2)
+			case op == bytecode.F2d:
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				return push(tDouble, tDbl2)
+			case op == bytecode.D2i:
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.D2l:
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				return push(tLong, tLong2)
+			case op == bytecode.D2f:
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				return push(tFloat)
+			case op == bytecode.I2b, op == bytecode.I2c, op == bytecode.I2s:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return push(tInt)
+
+			// Comparisons.
+			case op == bytecode.Lcmp:
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				if err := popWide(vtLong, vtLong2); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.Fcmpl, op == bytecode.Fcmpg:
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				if err := popKind(vtFloat); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.Dcmpl, op == bytecode.Dcmpg:
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				if err := popWide(vtDouble, vtDouble2); err != nil {
+					return err
+				}
+				return push(tInt)
+
+			// Branches.
+			case op >= bytecode.Ifeq && op <= bytecode.Ifle:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return mergeInto(inst.Target, s)
+			case op >= bytecode.IfIcmpeq && op <= bytecode.IfIcmple:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return mergeInto(inst.Target, s)
+			case op == bytecode.IfAcmpeq, op == bytecode.IfAcmpne:
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				return mergeInto(inst.Target, s)
+			case op == bytecode.Ifnull, op == bytecode.Ifnonnull:
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				return mergeInto(inst.Target, s)
+			case op == bytecode.Goto, op == bytecode.GotoW:
+				flowEnds = true
+				return mergeInto(inst.Target, s)
+			case op == bytecode.Jsr, op == bytecode.JsrW:
+				// Simplified subroutine treatment (documented in DESIGN.md):
+				// the subroutine is assumed to return with the caller's
+				// frame intact; full Stata-Abadi subroutine typing is out of
+				// scope for this reproduction.
+				sub := s.clone()
+				sub.stack = append(sub.stack, vt{kind: vtRet})
+				if err := mergeInto(inst.Target, sub); err != nil {
+					return err
+				}
+				return nil
+			case op == bytecode.Ret:
+				if _, err := getLocal(int(inst.Index), vtRef); err != nil {
+					return err
+				}
+				if s.locals[inst.Index].kind != vtRet {
+					return fail(idx, "ret on non-returnAddress local")
+				}
+				flowEnds = true
+				return nil
+			case op == bytecode.Tableswitch, op == bytecode.Lookupswitch:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				flowEnds = true
+				if err := mergeInto(inst.Switch.Default, s); err != nil {
+					return err
+				}
+				for _, t := range inst.Switch.Targets {
+					if err := mergeInto(t, s); err != nil {
+						return err
+					}
+				}
+				return nil
+
+			// Returns.
+			case op == bytecode.Ireturn:
+				flowEnds = true
+				census.Phase3++
+				if !isIntKind(mt.Ret.Kind) {
+					return fail(idx, "ireturn from method returning %s", mt.Ret.String())
+				}
+				return popKind(vtInt)
+			case op == bytecode.Freturn:
+				flowEnds = true
+				if mt.Ret.Kind != bytecode.KFloat {
+					return fail(idx, "freturn from method returning %s", mt.Ret.String())
+				}
+				return popKind(vtFloat)
+			case op == bytecode.Lreturn:
+				flowEnds = true
+				if mt.Ret.Kind != bytecode.KLong {
+					return fail(idx, "lreturn from method returning %s", mt.Ret.String())
+				}
+				return popWide(vtLong, vtLong2)
+			case op == bytecode.Dreturn:
+				flowEnds = true
+				if mt.Ret.Kind != bytecode.KDouble {
+					return fail(idx, "dreturn from method returning %s", mt.Ret.String())
+				}
+				return popWide(vtDouble, vtDouble2)
+			case op == bytecode.Areturn:
+				flowEnds = true
+				if mt.Ret.Kind != bytecode.KObject && mt.Ret.Kind != bytecode.KArray {
+					return fail(idx, "areturn from method returning %s", mt.Ret.String())
+				}
+				_, err := popRef()
+				return err
+			case op == bytecode.Return:
+				flowEnds = true
+				census.Phase3++
+				if mt.Ret.Kind != bytecode.KVoid {
+					return fail(idx, "return from method returning %s", mt.Ret.String())
+				}
+				if mname == "<init>" {
+					// this must be initialized by now
+					if len(s.locals) > 0 && s.locals[0].kind == vtUninitThis {
+						return fail(idx, "constructor returns before calling super constructor")
+					}
+				}
+				return nil
+
+			// Field access.
+			case op == bytecode.Getstatic, op == bytecode.Putstatic,
+				op == bytecode.Getfield, op == bytecode.Putfield:
+				ref, err := cf.Pool.Ref(inst.Index)
+				if err != nil {
+					return fail(idx, "%v", err)
+				}
+				ft, err := bytecode.ParseType(ref.Desc)
+				if err != nil {
+					return fail(idx, "%v", err)
+				}
+				switch op {
+				case bytecode.Putstatic:
+					if err := popType(ft); err != nil {
+						return err
+					}
+				case bytecode.Putfield:
+					if err := popType(ft); err != nil {
+						return err
+					}
+					if _, err := popRef(); err != nil {
+						return err
+					}
+				case bytecode.Getfield:
+					if _, err := popRef(); err != nil {
+						return err
+					}
+					return push(typeToVT(ft)...)
+				case bytecode.Getstatic:
+					return push(typeToVT(ft)...)
+				}
+				return nil
+
+			// Invocations.
+			case op.IsInvoke():
+				ref, err := cf.Pool.Ref(inst.Index)
+				if err != nil {
+					return fail(idx, "%v", err)
+				}
+				imt, err := bytecode.ParseMethodType(ref.Desc)
+				if err != nil {
+					return fail(idx, "%v", err)
+				}
+				for i := len(imt.Params) - 1; i >= 0; i-- {
+					if err := popType(imt.Params[i]); err != nil {
+						return err
+					}
+				}
+				if op != bytecode.Invokestatic {
+					recv, err := pop()
+					if err != nil {
+						return err
+					}
+					census.Phase3++
+					switch recv.kind {
+					case vtRef, vtNull:
+						if ref.Name == "<init>" {
+							return fail(idx, "<init> invoked on initialized reference")
+						}
+					case vtUninit:
+						if ref.Name != "<init>" {
+							return fail(idx, "use of uninitialized object")
+						}
+						// Initialize every alias of this allocation site.
+						initialized := tRef(recv.cls)
+						for i := range s.stack {
+							if s.stack[i] == recv {
+								s.stack[i] = initialized
+							}
+						}
+						for i := range s.locals {
+							if s.locals[i] == recv {
+								s.locals[i] = initialized
+							}
+						}
+					case vtUninitThis:
+						if ref.Name != "<init>" {
+							return fail(idx, "use of uninitialized this")
+						}
+						initialized := tRef(name)
+						for i := range s.stack {
+							if s.stack[i].kind == vtUninitThis {
+								s.stack[i] = initialized
+							}
+						}
+						for i := range s.locals {
+							if s.locals[i].kind == vtUninitThis {
+								s.locals[i] = initialized
+							}
+						}
+					default:
+						return fail(idx, "invoke on non-reference %v", recv)
+					}
+				}
+				if imt.Ret.Kind != bytecode.KVoid {
+					return push(typeToVT(imt.Ret)...)
+				}
+				return nil
+
+			// Allocation and type tests.
+			case op == bytecode.New:
+				cn, err := cf.Pool.ClassName(inst.Index)
+				if err != nil {
+					return fail(idx, "%v", err)
+				}
+				return push(vt{kind: vtUninit, cls: cn, site: idx})
+			case op == bytecode.Newarray:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				return push(tRef("[" + primDesc(inst.ArrayType)))
+			case op == bytecode.Anewarray:
+				if err := popKind(vtInt); err != nil {
+					return err
+				}
+				cn, err := cf.Pool.ClassName(inst.Index)
+				if err != nil {
+					return fail(idx, "%v", err)
+				}
+				if cn[0] == '[' {
+					return push(tRef("[" + cn))
+				}
+				return push(tRef("[L" + cn + ";"))
+			case op == bytecode.Multianewarray:
+				for i := 0; i < int(inst.Dims); i++ {
+					if err := popKind(vtInt); err != nil {
+						return err
+					}
+				}
+				cn, _ := cf.Pool.ClassName(inst.Index)
+				return push(tRef(cn))
+			case op == bytecode.Arraylength:
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.Athrow:
+				flowEnds = true
+				_, err := popRef()
+				return err
+			case op == bytecode.Checkcast:
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				cn, err := cf.Pool.ClassName(inst.Index)
+				if err != nil {
+					return fail(idx, "%v", err)
+				}
+				return push(tRef(cn))
+			case op == bytecode.Instanceof:
+				if _, err := popRef(); err != nil {
+					return err
+				}
+				return push(tInt)
+			case op == bytecode.Monitorenter, op == bytecode.Monitorexit:
+				_, err := popRef()
+				return err
+			}
+			return fail(idx, "phase 3 has no rule for %s", op.Name())
+		}(); err != nil {
+			return err
+		}
+
+		if !flowEnds {
+			if idx+1 >= len(insts) {
+				return fail(idx, "control falls off the end of the method")
+			}
+			if err := mergeInto(idx+1, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func localIndex(in bytecode.Inst, base bytecode.Opcode) int {
+	if in.Op >= base && in.Op <= base+3 {
+		return int(in.Op - base)
+	}
+	return int(in.Index)
+}
+
+func isIntKind(k bytecode.BaseKind) bool {
+	switch k {
+	case bytecode.KInt, bytecode.KBoolean, bytecode.KByte, bytecode.KChar, bytecode.KShort:
+		return true
+	}
+	return false
+}
+
+func primDesc(atype uint8) string {
+	switch atype {
+	case bytecode.TBoolean:
+		return "Z"
+	case bytecode.TChar:
+		return "C"
+	case bytecode.TFloat:
+		return "F"
+	case bytecode.TDouble:
+		return "D"
+	case bytecode.TByte:
+		return "B"
+	case bytecode.TShort:
+		return "S"
+	case bytecode.TInt:
+		return "I"
+	case bytecode.TLong:
+		return "J"
+	}
+	return "I"
+}

@@ -1,0 +1,65 @@
+package verifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvm/internal/classfile"
+)
+
+// The verification service is the trust boundary: Verify must never
+// panic on hostile classes — it either accepts or returns an error.
+
+func TestVerifyNeverPanicsOnMutations(t *testing.T) {
+	base, err := goodClass().MustBuild().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31337))
+	accepted, rejected, unparsed := 0, 0, 0
+	for trial := 0; trial < 4000; trial++ {
+		data := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			data[rng.Intn(len(data))] = byte(rng.Intn(256))
+		}
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			unparsed++
+			continue
+		}
+		if _, err := Verify(cf); err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	// Sanity on the distribution: mutations must usually be caught
+	// somewhere (most single-byte flips land in the pool or code).
+	if rejected+unparsed == 0 {
+		t.Error("no mutation was ever rejected")
+	}
+	t.Logf("mutations: %d unparsed, %d rejected, %d accepted", unparsed, rejected, accepted)
+}
+
+// TestVerifyCatchesWhatTheInterpreterWouldTrip: a class that passes
+// verification and whose methods are then invoked must never produce an
+// *internal* VM error (Java exceptions are fine) — the safety contract
+// between the service and the runtime.
+func TestVerifierInterpreterContract(t *testing.T) {
+	// Covered end-to-end by eval's integration tests; here we pin the
+	// specific hostile pattern of a branch past the end, which must be
+	// caught at phase 2, never reaching execution.
+	cf := goodClass().MustBuild()
+	m := cf.FindMethod("fib", "(I)I")
+	code, err := cf.CodeOf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code.Bytecode = []byte{0xa7, 0x00, 0x7F} // goto +127 (past end)
+	if err := cf.SetCode(m, code); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(cf); err == nil {
+		t.Fatal("branch past end accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package verifier
+
+import (
+	"testing"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+)
+
+// TestJsrSubroutineVerifies: the javac "finally" idiom (jsr to a shared
+// subroutine, astore of the return address, ret) passes verification.
+func TestJsrSubroutineVerifies(t *testing.T) {
+	b := classgen.NewClass("app/Fin", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "(I)I")
+	sub := m.NewLabel()
+	after := m.NewLabel()
+	m.ILoad(0).IStore(1)
+	m.Branch(bytecode.Jsr, sub)
+	m.Goto(after)
+	m.Mark(sub)
+	m.AStore(2) // return address
+	m.IInc(1, 1)
+	m.Raw(bytecode.Inst{Op: bytecode.Ret, Index: 2})
+	m.Mark(after)
+	m.ILoad(1).IReturn()
+	cf := b.MustBuild()
+	if _, err := Verify(cf); err != nil {
+		t.Fatalf("jsr/ret idiom rejected: %v", err)
+	}
+}
+
+// TestRetOnNonReturnAddressRejected: ret must only consume a
+// returnAddress local.
+func TestRetOnNonReturnAddressRejected(t *testing.T) {
+	b := classgen.NewClass("app/BadRet", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "()V")
+	m.LdcString("not a retaddr")
+	m.AStore(1)
+	m.Raw(bytecode.Inst{Op: bytecode.Ret, Index: 1})
+	m.Return()
+	cf := b.MustBuild()
+	if _, err := Verify(cf); err == nil {
+		t.Fatal("ret on a String local accepted")
+	}
+}
+
+// TestAloadOfReturnAddressRejected: returnAddress values may be stored
+// but never reloaded onto the operand stack.
+func TestAloadOfReturnAddressRejected(t *testing.T) {
+	b := classgen.NewClass("app/BadJsr", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "()V")
+	sub := m.NewLabel()
+	m.Branch(bytecode.Jsr, sub)
+	m.Return()
+	m.Mark(sub)
+	m.AStore(1)
+	m.ALoad(1) // illegal: retaddr back onto the stack
+	m.Pop()
+	m.Raw(bytecode.Inst{Op: bytecode.Ret, Index: 1})
+	cf := b.MustBuild()
+	if _, err := Verify(cf); err == nil {
+		t.Fatal("aload of returnAddress accepted")
+	}
+}
+
+// TestDupFamilyTyping exercises the dup2/dup_x forms over category-1 and
+// category-2 values.
+func TestDupFamilyTyping(t *testing.T) {
+	// dup2 over a long is legal (duplicates both halves).
+	ok := classgen.NewClass("app/Dup2L", "java/lang/Object")
+	m := ok.Method(classfile.AccPublic|classfile.AccStatic, "f", "()J")
+	m.LConst(5)
+	m.Inst(bytecode.Dup2)
+	m.Inst(bytecode.Ladd)
+	m.LReturn()
+	if _, err := Verify(ok.MustBuild()); err != nil {
+		t.Errorf("dup2 over long rejected: %v", err)
+	}
+
+	// swap over a long half is illegal.
+	bad := classgen.NewClass("app/SwapL", "java/lang/Object")
+	mb := bad.Method(classfile.AccPublic|classfile.AccStatic, "f", "()V")
+	mb.LConst(5)
+	mb.Inst(bytecode.Swap)
+	mb.Inst(bytecode.Pop2)
+	mb.Return()
+	if _, err := Verify(bad.MustBuild()); err == nil {
+		t.Error("swap over long halves accepted")
+	}
+}
+
+// TestUninitAliasing: after <init> on one alias, every alias of the same
+// allocation site becomes initialized.
+func TestUninitAliasing(t *testing.T) {
+	b := classgen.NewClass("app/Alias", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "()I")
+	m.New("java/lang/Object") // uninit on stack
+	m.Dup()                   // two aliases
+	m.AStore(1)               // one in a local
+	m.InvokeSpecial("java/lang/Object", "<init>", "()V")
+	// The local alias must now be initialized and usable.
+	m.ALoad(1)
+	m.InvokeVirtual("java/lang/Object", "hashCode", "()I")
+	m.IReturn()
+	if _, err := Verify(b.MustBuild()); err != nil {
+		t.Fatalf("alias initialization not propagated: %v", err)
+	}
+}
+
+// TestInterfaceMethodCountMismatchRejected: invokeinterface's historical
+// count operand must equal 1 + argument slots.
+func TestInterfaceMethodCountMismatchRejected(t *testing.T) {
+	b := classgen.NewClass("app/Iface", "java/lang/Object")
+	m := b.Method(classfile.AccPublic|classfile.AccStatic, "f", "(Ljava/lang/Runnable;)V")
+	m.ALoad(0)
+	m.Raw(bytecode.Inst{
+		Op:    bytecode.Invokeinterface,
+		Index: b.Pool().AddInterfaceMethodref("java/lang/Runnable", "run", "()V"),
+		Count: 9, // wrong: must be 1
+	})
+	m.Return()
+	cf := b.MustBuild()
+	_, err := Verify(cf)
+	if err == nil {
+		t.Fatal("bad invokeinterface count accepted")
+	}
+	ve, ok := err.(*Error)
+	if !ok || ve.Phase != 2 {
+		t.Errorf("err = %v, want phase 2", err)
+	}
+}

@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"fmt"
+
+	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+)
+
+// emitKernel writes the flavor-specific hot computation into run(I)I.
+// Precondition: local 0 holds the int argument. Postcondition: one int
+// (the accumulator) is on the stack.
+func (g *generator) emitKernel(b *classgen.ClassBuilder, m *classgen.MethodBuilder, idx int) {
+	switch g.spec.Kind {
+	case KindLexer:
+		g.kernelLexer(b, m, idx)
+	case KindParser:
+		g.kernelParser(b, m, idx)
+	case KindCompiler:
+		g.kernelCompiler(b, m, idx)
+	case KindDatabase:
+		g.kernelDatabase(b, m, idx)
+	case KindConstraint:
+		g.kernelConstraint(b, m, idx)
+	case KindApplet:
+		g.kernelApplet(b, m, idx)
+	}
+}
+
+// kernelLexer models scanner-generator work: build a transition table,
+// then drive a DFA over a synthetic input via charAt.
+func (g *generator) kernelLexer(b *classgen.ClassBuilder, m *classgen.MethodBuilder, idx int) {
+	const tableSize = 64
+	// locals: 0=arg, 1=table, 2=i, 3=state/acc
+	m.IConst(tableSize).NewArray(bytecode.TInt).AStore(1)
+	m.IConst(0).IStore(2)
+	fillHead := m.Here()
+	fillDone := m.NewLabel()
+	m.ILoad(2).IConst(tableSize).Branch(bytecode.IfIcmpge, fillDone)
+	m.ALoad(1).ILoad(2)
+	m.ILoad(2).IConst(int32(7 + idx)).IMul().IConst(tableSize - 1).Inst(bytecode.Iand)
+	m.Inst(bytecode.Iastore)
+	m.IInc(2, 1)
+	m.Goto(fillHead)
+	m.Mark(fillDone)
+
+	// Scan the synthetic input: state = table[(state + ch) & mask].
+	input := g.text(48 + g.rng.intn(32))
+	m.IConst(0).IStore(3)
+	m.IConst(0).IStore(2)
+	scanHead := m.Here()
+	scanDone := m.NewLabel()
+	m.ILoad(2).IConst(int32(len(input))).Branch(bytecode.IfIcmpge, scanDone)
+	m.ALoad(1)
+	m.ILoad(3)
+	m.LdcString(input)
+	m.ILoad(2)
+	m.InvokeVirtual("java/lang/String", "charAt", "(I)C")
+	m.IAdd().IConst(tableSize - 1).Inst(bytecode.Iand)
+	m.Inst(bytecode.Iaload)
+	m.IStore(3)
+	m.IInc(2, 1)
+	m.Goto(scanHead)
+	m.Mark(scanDone)
+	m.ILoad(3).ILoad(0).IAdd()
+}
+
+// kernelParser models LALR table interpretation: a switch-dispatched
+// state machine with helper reductions.
+func (g *generator) kernelParser(b *classgen.ClassBuilder, m *classgen.MethodBuilder, idx int) {
+	// locals: 0=arg, 1=state, 2=i, 3=acc
+	m.ILoad(0).IConst(7).Inst(bytecode.Iand).IStore(1)
+	m.IConst(0).IStore(3)
+	m.IConst(0).IStore(2)
+	head := m.Here()
+	done := m.NewLabel()
+	m.ILoad(2).IConst(int32(24+g.rng.intn(16))).Branch(bytecode.IfIcmpge, done)
+
+	def := m.NewLabel()
+	arms := make([]classgen.Label, 4)
+	for i := range arms {
+		arms[i] = m.NewLabel()
+	}
+	after := m.NewLabel()
+	m.ILoad(1).IConst(3).Inst(bytecode.Iand)
+	m.TableSwitch(0, def, arms...)
+	for i, arm := range arms {
+		m.Mark(arm)
+		m.ILoad(3).ILoad(1).IAdd().IConst(int32(3 + i)).IMul().IStore(3)
+		m.ILoad(1).InvokeStatic(b.Name(), "reduce", "(I)I").IStore(1)
+		m.Goto(after)
+	}
+	m.Mark(def)
+	m.IInc(1, 1)
+	m.Mark(after)
+	m.IInc(2, 1)
+	m.Goto(head)
+	m.Mark(done)
+	m.ILoad(3)
+}
+
+// kernelCompiler models multi-pass lowering: string emission plus
+// arithmetic folding across helper calls.
+func (g *generator) kernelCompiler(b *classgen.ClassBuilder, m *classgen.MethodBuilder, idx int) {
+	// locals: 0=arg, 1=sb, 2=i, 3=acc
+	m.NewDup("java/lang/StringBuffer")
+	m.InvokeSpecial("java/lang/StringBuffer", "<init>", "()V")
+	m.AStore(1)
+	m.ILoad(0).IStore(3)
+	m.IConst(0).IStore(2)
+	head := m.Here()
+	done := m.NewLabel()
+	m.ILoad(2).IConst(int32(10+g.rng.intn(8))).Branch(bytecode.IfIcmpge, done)
+	m.ALoad(1).LdcString(opNames[g.rng.intn(len(opNames))])
+	m.InvokeVirtual("java/lang/StringBuffer", "append", "(Ljava/lang/String;)Ljava/lang/StringBuffer;")
+	m.ILoad(3)
+	m.InvokeVirtual("java/lang/StringBuffer", "append", "(I)Ljava/lang/StringBuffer;")
+	m.Pop()
+	m.ILoad(3).IConst(31).IMul().ILoad(2).IAdd().IStore(3)
+	m.ILoad(3).InvokeStatic(b.Name(), "fold", "(I)I").IStore(3)
+	m.IInc(2, 1)
+	m.Goto(head)
+	m.Mark(done)
+	m.ALoad(1).InvokeVirtual("java/lang/StringBuffer", "length", "()I")
+	m.ILoad(3).IAdd()
+}
+
+var opNames = []string{"load ", "store ", "add ", "mul ", "jmp ", "cmp ", "ret "}
+
+// kernelDatabase models TPC-A: keyed account updates through a
+// Hashtable with an occasional aborted (exception) transaction.
+func (g *generator) kernelDatabase(b *classgen.ClassBuilder, m *classgen.MethodBuilder, idx int) {
+	// locals: 0=arg, 1=table, 2=i, 3=acc
+	m.NewDup("java/util/Hashtable")
+	m.InvokeSpecial("java/util/Hashtable", "<init>", "()V")
+	m.AStore(1)
+	m.IConst(0).IStore(3)
+	m.IConst(0).IStore(2)
+	head := m.Here()
+	done := m.NewLabel()
+	m.ILoad(2).IConst(int32(12+g.rng.intn(8))).Branch(bytecode.IfIcmpge, done)
+	// table.put(String.valueOf((arg+i)&15), String.valueOf(i))
+	m.ALoad(1)
+	m.ILoad(0).ILoad(2).IAdd().IConst(15).Inst(bytecode.Iand)
+	m.InvokeStatic("java/lang/String", "valueOf", "(I)Ljava/lang/String;")
+	m.ILoad(2).InvokeStatic("java/lang/String", "valueOf", "(I)Ljava/lang/String;")
+	m.InvokeVirtual("java/util/Hashtable", "put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;")
+	m.Pop()
+	// acc += balance lookup length (read-modify-write).
+	m.ALoad(1)
+	m.ILoad(2).IConst(15).Inst(bytecode.Iand)
+	m.InvokeStatic("java/lang/String", "valueOf", "(I)Ljava/lang/String;")
+	m.InvokeVirtual("java/util/Hashtable", "get", "(Ljava/lang/Object;)Ljava/lang/Object;")
+	notNull := m.NewLabel()
+	cont := m.NewLabel()
+	m.Dup().Branch(bytecode.Ifnonnull, notNull)
+	m.Pop()
+	m.Goto(cont)
+	m.Mark(notNull)
+	m.CheckCast("java/lang/String")
+	m.InvokeVirtual("java/lang/String", "length", "()I")
+	m.ILoad(3).IAdd().IStore(3)
+	m.Mark(cont)
+	m.IInc(2, 1)
+	m.Goto(head)
+	m.Mark(done)
+	// One guarded division models the aborted-transaction path.
+	tryStart := m.Here()
+	m.ILoad(3).ILoad(0).IConst(7).Inst(bytecode.Iand).IDiv().IStore(3)
+	after := m.NewLabel()
+	m.Goto(after)
+	tryEnd := m.NewLabel()
+	m.Mark(tryEnd)
+	handler := m.Here()
+	m.Pop()
+	m.IInc(3, 1)
+	m.Mark(after)
+	m.Handler(tryStart, tryEnd, handler, "java/lang/ArithmeticException")
+	m.ILoad(3).ALoad(1).InvokeVirtual("java/util/Hashtable", "size", "()I").IAdd()
+}
+
+// kernelConstraint models iterative relaxation over double arrays.
+func (g *generator) kernelConstraint(b *classgen.ClassBuilder, m *classgen.MethodBuilder, idx int) {
+	const vars = 16
+	// locals: 0=arg, 1=x(arr), 2=iter, 3=i, 4... acc in 5
+	m.IConst(vars).NewArray(bytecode.TDouble).AStore(1)
+	m.IConst(0).IStore(3)
+	initHead := m.Here()
+	initDone := m.NewLabel()
+	m.ILoad(3).IConst(vars).Branch(bytecode.IfIcmpge, initDone)
+	m.ALoad(1).ILoad(3)
+	m.ILoad(3).ILoad(0).IAdd().Inst(bytecode.I2d)
+	m.Inst(bytecode.Dastore)
+	m.IInc(3, 1)
+	m.Goto(initHead)
+	m.Mark(initDone)
+
+	m.IConst(0).IStore(2)
+	iterHead := m.Here()
+	iterDone := m.NewLabel()
+	m.ILoad(2).IConst(int32(8+g.rng.intn(6))).Branch(bytecode.IfIcmpge, iterDone)
+	m.IConst(1).IStore(3)
+	inHead := m.Here()
+	inDone := m.NewLabel()
+	m.ILoad(3).IConst(vars).Branch(bytecode.IfIcmpge, inDone)
+	// x[i] = (x[i] + x[i-1]) / 2
+	m.ALoad(1).ILoad(3)
+	m.ALoad(1).ILoad(3).Inst(bytecode.Daload)
+	m.ALoad(1).ILoad(3).IConst(1).ISub().Inst(bytecode.Daload)
+	m.Inst(bytecode.Dadd)
+	m.DConst(2).Inst(bytecode.Ddiv)
+	m.Inst(bytecode.Dastore)
+	m.IInc(3, 1)
+	m.Goto(inHead)
+	m.Mark(inDone)
+	m.IInc(2, 1)
+	m.Goto(iterHead)
+	m.Mark(iterDone)
+	// acc = (int) x[vars-1] + arg
+	m.ALoad(1).IConst(vars - 1).Inst(bytecode.Daload)
+	m.Inst(bytecode.D2i)
+	m.ILoad(0).IAdd()
+}
+
+// kernelApplet models UI startup work: building widget descriptors
+// (string concatenation) and layout arithmetic.
+func (g *generator) kernelApplet(b *classgen.ClassBuilder, m *classgen.MethodBuilder, idx int) {
+	// locals: 0=arg, 1=acc, 2=i
+	m.ILoad(0).IStore(1)
+	m.IConst(0).IStore(2)
+	head := m.Here()
+	done := m.NewLabel()
+	m.ILoad(2).IConst(6).Branch(bytecode.IfIcmpge, done)
+	m.LdcString(fmt.Sprintf("widget-%d ", idx))
+	m.InvokeVirtual("java/lang/String", "length", "()I")
+	m.ILoad(1).IAdd().IConst(3).IMul().IConst(0xFFFF).Inst(bytecode.Iand).IStore(1)
+	m.IInc(2, 1)
+	m.Goto(head)
+	m.Mark(done)
+	m.ILoad(1)
+}
+
+// emitHelpers adds the hot helper methods kernels call.
+func (g *generator) emitHelpers(b *classgen.ClassBuilder, idx int) {
+	switch g.spec.Kind {
+	case KindParser:
+		// A reduction pops a handle and recomputes attributes: a short
+		// loop of real work, not a one-liner.
+		red := b.Method(pubStatic, "reduce", "(I)I")
+		red.ILoad(0).IStore(1)
+		red.IConst(0).IStore(2)
+		head := red.Here()
+		done := red.NewLabel()
+		red.ILoad(2).IConst(12).Branch(bytecode.IfIcmpge, done)
+		red.ILoad(1).IConst(5).IMul().ILoad(2).IAdd().IConst(0x7FFF).Inst(bytecode.Iand).IStore(1)
+		red.IInc(2, 1)
+		red.Goto(head)
+		red.Mark(done)
+		red.ILoad(1).IConst(31).Inst(bytecode.Irem).IReturn()
+		g.hotMethods++
+	case KindCompiler:
+		fold := b.Method(pubStatic, "fold", "(I)I")
+		l := fold.NewLabel()
+		fold.ILoad(0).Branch(bytecode.Ifge, l)
+		fold.ILoad(0).Inst(bytecode.Ineg).IReturn()
+		fold.Mark(l)
+		fold.ILoad(0).IConst(0x7FFF).Inst(bytecode.Iand).IReturn()
+		g.hotMethods++
+	}
+}
+
+// emitColdMethod writes one never-invoked method (configuration parsing,
+// error reporting, alternate code paths in the originals) and returns an
+// estimate of the bytes it added.
+func (g *generator) emitColdMethod(b *classgen.ClassBuilder, idx, c int) int {
+	name := fmt.Sprintf("util%02d", c)
+	m := b.Method(pubStatic, name, "(I)Ljava/lang/String;")
+	est := 40
+	m.NewDup("java/lang/StringBuffer")
+	m.InvokeSpecial("java/lang/StringBuffer", "<init>", "()V")
+	m.AStore(1)
+	parts := 2 + g.rng.intn(3)
+	for p := 0; p < parts; p++ {
+		s := g.text(40 + g.rng.intn(80))
+		est += len(s) + 12
+		m.ALoad(1).LdcString(s)
+		m.InvokeVirtual("java/lang/StringBuffer", "append", "(Ljava/lang/String;)Ljava/lang/StringBuffer;")
+		m.Pop()
+	}
+	m.ALoad(1).ILoad(0)
+	m.InvokeVirtual("java/lang/StringBuffer", "append", "(I)Ljava/lang/StringBuffer;")
+	m.InvokeVirtual("java/lang/StringBuffer", "toString", "()Ljava/lang/String;")
+	m.AReturn()
+	return est
+}
+
+// mainClass builds <pkg>/Main: the driver loop and checksum output.
+func (g *generator) mainClass(nWorkers int) ([]byte, error) {
+	b := classgen.NewClass(g.spec.MainClass(), "java/lang/Object")
+	b.Field(classfile.AccPublic|classfile.AccStatic, "checksum", "I")
+	m := b.Method(pubStatic, "main", "([Ljava/lang/String;)V")
+	// locals: 0=args, 1=acc, 2=i
+	m.IConst(0).IStore(1)
+	m.IConst(0).IStore(2)
+	head := m.Here()
+	done := m.NewLabel()
+	m.ILoad(2).IConst(int32(g.spec.WorkUnits)).Branch(bytecode.IfIcmpge, done)
+	m.ILoad(1).ILoad(2).IAdd().IConst(127).Inst(bytecode.Iand)
+	m.InvokeStatic(g.className(0), "run", "(I)I")
+	m.ILoad(1).IAdd().IStore(1)
+	m.IInc(2, 1)
+	m.Goto(head)
+	m.Mark(done)
+	m.ILoad(1).PutStatic(g.spec.MainClass(), "checksum", "I")
+	m.GetStatic("java/lang/System", "out", "Ljava/io/PrintStream;")
+	m.LdcString(g.spec.Name + " checksum=")
+	m.InvokeVirtual("java/io/PrintStream", "print", "(Ljava/lang/String;)V")
+	m.GetStatic("java/lang/System", "out", "Ljava/io/PrintStream;")
+	m.ILoad(1)
+	m.InvokeVirtual("java/io/PrintStream", "println", "(I)V")
+	m.Return()
+	return b.BuildBytes()
+}

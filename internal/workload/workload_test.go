@@ -1,0 +1,138 @@
+package workload_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvm/internal/classfile"
+	"dvm/internal/jvm"
+	"dvm/internal/verifier"
+	"dvm/internal/workload"
+)
+
+func generate(t *testing.T, spec workload.Spec) *workload.App {
+	t.Helper()
+	app, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", spec.Name, err)
+	}
+	return app
+}
+
+// smallSpec shrinks a spec so unit tests stay fast.
+func smallSpec(s workload.Spec) workload.Spec {
+	s.Classes = 5
+	s.TargetBytes = 20 * 1024
+	s.WorkUnits = 3
+	return s
+}
+
+func TestEveryKindGeneratesRunsAndVerifies(t *testing.T) {
+	for _, spec := range workload.Benchmarks() {
+		spec := smallSpec(spec)
+		t.Run(spec.Name, func(t *testing.T) {
+			app := generate(t, spec)
+			if len(app.Classes) != spec.Classes {
+				t.Errorf("classes = %d, want %d", len(app.Classes), spec.Classes)
+			}
+			// Every generated class passes full static verification.
+			for name, data := range app.Classes {
+				cf, err := classfile.Parse(data)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if _, err := verifier.Verify(cf); err != nil {
+					t.Fatalf("%s fails verification: %v", name, err)
+				}
+			}
+			// And the app runs to completion deterministically.
+			out1 := run(t, app)
+			out2 := run(t, app)
+			if out1 != out2 {
+				t.Errorf("non-deterministic output: %q vs %q", out1, out2)
+			}
+			if !strings.Contains(out1, "checksum=") {
+				t.Errorf("output = %q", out1)
+			}
+		})
+	}
+}
+
+func run(t *testing.T, app *workload.App) string {
+	t.Helper()
+	var out bytes.Buffer
+	vm, err := jvm.New(jvm.MapLoader(app.Classes), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrown, err := vm.RunMain(app.Spec.MainClass(), nil)
+	if err != nil {
+		t.Fatalf("%s: %v", app.Spec.Name, err)
+	}
+	if thrown != nil {
+		t.Fatalf("%s: uncaught %s", app.Spec.Name, jvm.DescribeThrowable(thrown))
+	}
+	return out.String()
+}
+
+func TestSizesApproachTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation")
+	}
+	for _, spec := range workload.Benchmarks() {
+		app := generate(t, spec)
+		lo := spec.TargetBytes * 80 / 100
+		hi := spec.TargetBytes * 130 / 100
+		if app.TotalBytes < lo || app.TotalBytes > hi {
+			t.Errorf("%s: generated %d bytes, target %d (accept %d..%d)",
+				spec.Name, app.TotalBytes, spec.TargetBytes, lo, hi)
+		}
+		if app.ColdMethods == 0 {
+			t.Errorf("%s: no cold methods generated", spec.Name)
+		}
+	}
+}
+
+func TestAppletSuite(t *testing.T) {
+	specs := workload.Applets()
+	if len(specs) != 6 {
+		t.Fatalf("applets = %d, want 6 (Figure 11)", len(specs))
+	}
+	spec := smallSpec(specs[5]) // the smallest
+	app := generate(t, spec)
+	out := run(t, app)
+	if !strings.Contains(out, "checksum=") {
+		t.Errorf("applet output = %q", out)
+	}
+}
+
+func TestDeterministicAcrossGenerations(t *testing.T) {
+	spec := smallSpec(workload.Benchmarks()[0])
+	a := generate(t, spec)
+	b := generate(t, spec)
+	if len(a.Classes) != len(b.Classes) {
+		t.Fatal("class count differs")
+	}
+	for name, data := range a.Classes {
+		if !bytes.Equal(data, b.Classes[name]) {
+			t.Errorf("%s differs between generations", name)
+		}
+	}
+}
+
+func TestBenchmarkTableMatchesPaper(t *testing.T) {
+	specs := workload.Benchmarks()
+	want := map[string]int{"JLex": 20, "Javacup": 35, "Pizza": 241, "Instantdb": 70, "Cassowary": 34}
+	for _, s := range specs {
+		if want[s.Name] != s.Classes {
+			t.Errorf("%s: classes = %d, want %d (Figure 5)", s.Name, s.Classes, want[s.Name])
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	if _, err := workload.Generate(workload.Spec{Name: "x", Package: "x", Classes: 1}); err == nil {
+		t.Fatal("accepted 1-class spec")
+	}
+}
