@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dvm/internal/compiler"
 	"dvm/internal/monitor"
@@ -48,6 +49,7 @@ func main() {
 	noCompile := flag.Bool("no-compile", false, "disable the AOT compilation filter")
 	noAuditFilter := flag.Bool("no-audit", false, "disable the audit rewriting filter")
 	auditLog := flag.String("audit-log", "", "append the request audit trail to this file")
+	statsInterval := flag.Duration("stats-interval", time.Minute, "periodic stats summary interval (0 disables)")
 	flag.Parse()
 	if *originDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: dvmproxy -origin dir [-addr :8642] [-policy policy.xml]")
@@ -81,11 +83,20 @@ func main() {
 		}
 		defer f.Close()
 		cfg.OnAudit = func(r proxy.RequestRecord) {
-			fmt.Fprintf(f, "client=%s arch=%s class=%s bytes=%d cached=%v rejected=%v dur=%s\n",
-				r.Client, r.Arch, r.Class, r.Bytes, r.CacheHit, r.Rejected, r.Duration)
+			fmt.Fprintf(f, "client=%s arch=%s class=%s bytes=%d cached=%v coalesced=%v rejected=%v fetchErr=%q dur=%s\n",
+				r.Client, r.Arch, r.Class, r.Bytes, r.CacheHit, r.Coalesced, r.Rejected, r.FetchError, r.Duration)
 		}
 	}
 	p := proxy.New(dirOrigin{root: *originDir}, cfg)
+	if *statsInterval > 0 {
+		go func() {
+			for range time.Tick(*statsInterval) {
+				s := p.Stats()
+				log.Printf("dvmproxy: summary requests=%d cacheHits=%d coalesced=%d originFetches=%d fetchErrors=%d rejections=%d bytesIn=%d bytesOut=%d proxyTime=%s",
+					s.Requests, s.CacheHits, s.Coalesced, s.OriginFetches, s.FetchErrors, s.Rejections, s.BytesIn, s.BytesOut, s.ProxyTime)
+			}
+		}()
+	}
 	log.Printf("dvmproxy: serving %s on %s (cache=%v, filters=%d)",
 		*originDir, *addr, !*noCache, len(pipe.Filters()))
 	log.Fatal(http.ListenAndServe(*addr, p.Handler()))

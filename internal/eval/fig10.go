@@ -52,6 +52,11 @@ type Fig10Row struct {
 	ThroughputBps    float64
 	LatencyPerKB     time.Duration // average client-observed latency per KB
 	FetchesPerClient int
+	// OriginFetches and Coalesced report duplicate-work elimination:
+	// coalesced requests joined an in-flight fetch instead of doing
+	// their own origin fetch + pipeline run.
+	OriginFetches int64
+	Coalesced     int64
 }
 
 // Fig10Config parameterizes the scaling experiment.
@@ -157,12 +162,15 @@ func Fig10(clientCounts []int, cfg Fig10Config) ([]Fig10Row, string, error) {
 			return nil, "", firstErr
 		}
 		elapsed := time.Since(start)
+		st := p.Stats()
 		row := Fig10Row{
 			Clients:          n,
 			TotalBytes:       totalBytes,
 			Elapsed:          elapsed,
 			ThroughputBps:    float64(totalBytes) / elapsed.Seconds(),
 			FetchesPerClient: int(fetches / int64(n)),
+			OriginFetches:    st.OriginFetches,
+			Coalesced:        st.Coalesced,
 		}
 		if totalBytes > 0 && fetches > 0 {
 			avgLatency := float64(totalLatency) / float64(fetches)
@@ -177,10 +185,11 @@ func Fig10(clientCounts []int, cfg Fig10Config) ([]Fig10Row, string, error) {
 			fmt.Sprint(r.Clients),
 			fmt.Sprintf("%.0f", r.ThroughputBps/1024),
 			ms(r.LatencyPerKB),
+			fmt.Sprint(r.Coalesced),
 			secs(r.Elapsed),
 		})
 	}
-	return rows, table([]string{"Clients", "Throughput (KB/s)", "Latency/KB (ms)", "Elapsed (s)"}, cells), nil
+	return rows, table([]string{"Clients", "Throughput (KB/s)", "Latency/KB (ms)", "Coalesced", "Elapsed (s)"}, cells), nil
 }
 
 // AppletFetchRow reports the §4.1.2 applet-download measurements.

@@ -125,8 +125,8 @@ func TestFullDistributedDeploymentOverHTTP(t *testing.T) {
 		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
 	}
 	rs.Close()
-	if rs.Err != nil {
-		t.Fatalf("audit delivery: %v", rs.Err)
+	if rs.Err() != nil {
+		t.Fatalf("audit delivery: %v", rs.Err())
 	}
 	if coll.EventCount() == 0 {
 		t.Error("no events reached the console")

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"dvm/internal/jvm"
 )
@@ -103,19 +104,35 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// maxRetainedEvents bounds the client-side buffer when the console is
+// unreachable: failed batches are kept for retry, but a dead console
+// must not grow client memory without bound, so the oldest events are
+// dropped past this cap.
+const maxRetainedEvents = 4096
+
 // RemoteSession is the client side of the HTTP monitoring protocol. It
 // batches events to amortize round trips (Flush sends; Close flushes).
+// The VM invokes the audit hooks from whatever thread executes the
+// instrumented code, so the buffer and error latch are mutex-guarded.
 type RemoteSession struct {
 	base    string
 	client  *http.Client
 	Session string
 
+	mu        sync.Mutex
 	buf       []wireEvent
 	batchSize int
-	// Err records the first delivery failure; auditing must never
+	// err records the first delivery failure; auditing must never
 	// disturb the application ("a security breach may stop the creation
 	// of new audit events"), so errors are latched, not raised.
-	Err error
+	err error
+}
+
+// Err returns the first delivery failure, if any.
+func (rs *RemoteSession) Err() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.err
 }
 
 // AttachHTTP handshakes with a console at baseURL and wires the VM's
@@ -156,32 +173,52 @@ func AttachHTTP(vm *jvm.VM, baseURL string, info ClientInfo, batchSize int) (*Re
 }
 
 func (rs *RemoteSession) add(e wireEvent) {
+	rs.mu.Lock()
 	rs.buf = append(rs.buf, e)
-	if len(rs.buf) >= rs.batchSize {
+	full := len(rs.buf) >= rs.batchSize
+	rs.mu.Unlock()
+	if full {
 		rs.Flush()
 	}
 }
 
-// Flush delivers buffered events to the console.
+// Flush delivers buffered events to the console. The buffer is only
+// truncated after a successful delivery: a failed POST puts the batch
+// back (bounded by maxRetainedEvents) so it is retried on the next
+// flush instead of being silently dropped.
 func (rs *RemoteSession) Flush() {
+	rs.mu.Lock()
 	if len(rs.buf) == 0 {
+		rs.mu.Unlock()
 		return
 	}
 	batch := wireBatch{Session: rs.Session, Events: rs.buf}
-	rs.buf = rs.buf[:0]
+	rs.buf = nil
+	rs.mu.Unlock()
+
 	body, _ := json.Marshal(batch)
 	resp, err := rs.client.Post(rs.base+"/events", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		if rs.Err == nil {
-			rs.Err = err
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			err = fmt.Errorf("monitor: events: %s", resp.Status)
 		}
+	}
+	if err == nil {
 		return
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode >= 300 && rs.Err == nil {
-		rs.Err = fmt.Errorf("monitor: events: %s", resp.Status)
+	rs.mu.Lock()
+	if rs.err == nil {
+		rs.err = err
 	}
+	// Re-queue ahead of anything buffered since, preserving event order,
+	// then enforce the retention cap (oldest dropped first).
+	rs.buf = append(batch.Events, rs.buf...)
+	if over := len(rs.buf) - maxRetainedEvents; over > 0 {
+		rs.buf = append([]wireEvent(nil), rs.buf[over:]...)
+	}
+	rs.mu.Unlock()
 }
 
 // Close flushes any buffered events.

@@ -28,8 +28,8 @@ func TestHTTPConsoleEndToEnd(t *testing.T) {
 		t.Fatalf("%v %v", err, jvm.DescribeThrowable(thrown))
 	}
 	rs.Close()
-	if rs.Err != nil {
-		t.Fatalf("delivery error: %v", rs.Err)
+	if rs.Err() != nil {
+		t.Fatalf("delivery error: %v", rs.Err())
 	}
 	// Console saw the handshake and the events.
 	if got := coll.Sessions(); len(got) != 1 || got[0] != rs.Session {
@@ -90,7 +90,7 @@ func TestHTTPConsoleRejectsUnknownSession(t *testing.T) {
 	good.Session = "sess-9999" // forged
 	vm.OnAudit(jvm.AuditEvent{Class: "a", Method: "b", Kind: "enter"})
 	good.Flush()
-	if good.Err == nil {
+	if good.Err() == nil {
 		t.Error("forged session accepted")
 	}
 	if coll.EventCount() != 0 {

@@ -1,0 +1,251 @@
+package proxy_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dvm/internal/classfile"
+	"dvm/internal/proxy"
+	"dvm/internal/rewrite"
+	"dvm/internal/verifier"
+)
+
+// countingOrigin counts real upstream fetches.
+type countingOrigin struct {
+	proxy.Origin
+	fetches atomic.Int64
+}
+
+func (c *countingOrigin) Fetch(name string) ([]byte, error) {
+	c.fetches.Add(1)
+	return c.Origin.Fetch(name)
+}
+
+// TestProxyCoalescesConcurrentMisses is the concurrency stress test:
+// many goroutines requesting few classes through a slow origin must
+// produce exactly one origin fetch and one pipeline run per class,
+// while every request is counted and audited. Run under -race.
+func TestProxyCoalescesConcurrentMisses(t *testing.T) {
+	const goroutines = 48
+	classes := []string{"app/Main", "app/Dep"}
+
+	cnt := &countingOrigin{Origin: origin(t)}
+	var pipelineRuns atomic.Int64
+	pipe := rewrite.NewPipeline(
+		verifier.Filter(),
+		rewrite.FilterFunc{
+			FilterName: "count",
+			Fn: func(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+				pipelineRuns.Add(1)
+				return nil
+			},
+		},
+	)
+	slow := proxy.DelayedOrigin{
+		Origin: cnt,
+		// Long enough that every concurrent request for a class joins
+		// the first one's flight.
+		Delay: func(string) { time.Sleep(100 * time.Millisecond) },
+	}
+
+	var auditMu sync.Mutex
+	var recs []proxy.RequestRecord
+	p := proxy.New(slow, proxy.Config{
+		Pipeline:     pipe,
+		CacheEnabled: true,
+		OnAudit: func(r proxy.RequestRecord) {
+			auditMu.Lock()
+			recs = append(recs, r)
+			auditMu.Unlock()
+		},
+	})
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if _, err := p.Request("c", "dvm", classes[i%len(classes)]); err != nil {
+				t.Errorf("request: %v", err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := cnt.fetches.Load(); got != int64(len(classes)) {
+		t.Errorf("origin fetches = %d, want %d (one per class)", got, len(classes))
+	}
+	if got := pipelineRuns.Load(); got != int64(len(classes)) {
+		t.Errorf("pipeline runs = %d, want %d (one per class)", got, len(classes))
+	}
+	st := p.Stats()
+	if st.Requests != goroutines {
+		t.Errorf("requests = %d, want %d", st.Requests, goroutines)
+	}
+	if st.OriginFetches != int64(len(classes)) {
+		t.Errorf("stats.OriginFetches = %d, want %d", st.OriginFetches, len(classes))
+	}
+	// Every follower is a cache hit (coalesced or post-store); leaders
+	// are the only misses.
+	if st.CacheHits != goroutines-int64(len(classes)) {
+		t.Errorf("cache hits = %d, want %d", st.CacheHits, goroutines-len(classes))
+	}
+	if st.Coalesced == 0 {
+		t.Error("no coalesced requests despite concurrent identical misses")
+	}
+	if st.Coalesced > st.CacheHits {
+		t.Errorf("coalesced (%d) must be a subset of cache hits (%d)", st.Coalesced, st.CacheHits)
+	}
+
+	// All requests audited; exactly one non-hit record per class, and
+	// coalesced records are marked as coalesced cache hits.
+	auditMu.Lock()
+	defer auditMu.Unlock()
+	if len(recs) != goroutines {
+		t.Fatalf("audit records = %d, want %d", len(recs), goroutines)
+	}
+	var misses, coalesced int64
+	for _, r := range recs {
+		if !r.CacheHit {
+			misses++
+		}
+		if r.Coalesced {
+			coalesced++
+			if !r.CacheHit {
+				t.Errorf("coalesced record not marked as cache hit: %+v", r)
+			}
+		}
+	}
+	if misses != int64(len(classes)) {
+		t.Errorf("miss records = %d, want %d", misses, len(classes))
+	}
+	if coalesced != st.Coalesced {
+		t.Errorf("coalesced records = %d, stats say %d", coalesced, st.Coalesced)
+	}
+}
+
+// TestProxyCoalescingWithoutCache checks that in-flight dedup works even
+// with the result cache disabled (the Figure 10 worst case): concurrent
+// requests still share one fetch, but later requests refetch.
+func TestProxyCoalescingWithoutCache(t *testing.T) {
+	cnt := &countingOrigin{Origin: origin(t)}
+	slow := proxy.DelayedOrigin{
+		Origin: cnt,
+		Delay:  func(string) { time.Sleep(50 * time.Millisecond) },
+	}
+	p := proxy.New(slow, proxy.Config{Pipeline: rewrite.NewPipeline(verifier.Filter())})
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := p.Request("c", "dvm", "app/Dep"); err != nil {
+				t.Errorf("request: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := cnt.fetches.Load(); got != 1 {
+		t.Errorf("concurrent fetches = %d, want 1", got)
+	}
+	// Sequential request after the flight completed: cache is off, so it
+	// must hit the origin again.
+	if _, err := p.Request("c", "dvm", "app/Dep"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cnt.fetches.Load(); got != 2 {
+		t.Errorf("post-flight fetches = %d, want 2", got)
+	}
+	if st := p.Stats(); st.Coalesced != 7 {
+		t.Errorf("coalesced = %d, want 7", st.Coalesced)
+	}
+}
+
+// TestProxyFetchErrorAudited: a failed origin fetch must still reach the
+// administration console as an audit record.
+func TestProxyFetchErrorAudited(t *testing.T) {
+	var mu sync.Mutex
+	var recs []proxy.RequestRecord
+	p := proxy.New(proxy.MapOrigin{}, proxy.Config{
+		Pipeline: rewrite.NewPipeline(verifier.Filter()),
+		OnAudit: func(r proxy.RequestRecord) {
+			mu.Lock()
+			recs = append(recs, r)
+			mu.Unlock()
+		},
+	})
+	if _, err := p.Request("c", "dvm", "app/Missing"); err == nil {
+		t.Fatal("missing class did not error")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recs) != 1 {
+		t.Fatalf("audit records = %d, want 1 (failed fetches must be audited)", len(recs))
+	}
+	if recs[0].FetchError == "" {
+		t.Errorf("record has no FetchError: %+v", recs[0])
+	}
+	if st := p.Stats(); st.FetchErrors != 1 {
+		t.Errorf("stats.FetchErrors = %d, want 1", st.FetchErrors)
+	}
+}
+
+// TestProxyCoalescedFetchErrorAudited: followers of a failed flight get
+// their own audit records too.
+func TestProxyCoalescedFetchErrorAudited(t *testing.T) {
+	var mu sync.Mutex
+	var recs []proxy.RequestRecord
+	slow := proxy.DelayedOrigin{
+		Origin: proxy.MapOrigin{}, // every fetch fails
+		Delay:  func(string) { time.Sleep(50 * time.Millisecond) },
+	}
+	p := proxy.New(slow, proxy.Config{
+		Pipeline:     rewrite.NewPipeline(verifier.Filter()),
+		CacheEnabled: true,
+		OnAudit: func(r proxy.RequestRecord) {
+			mu.Lock()
+			recs = append(recs, r)
+			mu.Unlock()
+		},
+	})
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errors := atomic.Int64{}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := p.Request("c", "dvm", "app/Gone"); err != nil {
+				errors.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if errors.Load() != 4 {
+		t.Errorf("errors = %d, want 4 (followers share the leader's failure)", errors.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recs) != 4 {
+		t.Fatalf("audit records = %d, want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.FetchError == "" {
+			t.Errorf("record missing FetchError: %+v", r)
+		}
+	}
+	if st := p.Stats(); st.FetchErrors != 4 {
+		t.Errorf("stats.FetchErrors = %d, want 4", st.FetchErrors)
+	}
+}

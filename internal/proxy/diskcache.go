@@ -38,7 +38,10 @@ func (p *Proxy) diskCacheGet(key string) ([]byte, bool) {
 
 // diskCachePut stores a transformation on disk (best effort: a full or
 // read-only disk degrades to memory-only caching rather than failing the
-// request).
+// request). Each writer stages into its own unique temp file and then
+// atomically renames it into place, so concurrent writers of the same
+// key cannot interleave partial writes or rename each other's
+// half-written staging file; readers always see a complete entry.
 func (p *Proxy) diskCachePut(key string, data []byte) {
 	if p.cfg.DiskCacheDir == "" {
 		return
@@ -47,9 +50,20 @@ func (p *Proxy) diskCachePut(key string, data []byte) {
 		return
 	}
 	path := p.diskCachePath(key)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(p.cfg.DiskCacheDir, filepath.Base(path)+".tmp*")
+	if err != nil {
 		return
 	}
-	_ = os.Rename(tmp, path)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
 }

@@ -48,8 +48,8 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		s := p.Stats()
-		fmt.Fprintf(w, "requests=%d cacheHits=%d rejections=%d bytesOut=%d\n",
-			s.Requests, s.CacheHits, s.Rejections, s.BytesOut)
+		fmt.Fprintf(w, "requests=%d cacheHits=%d coalesced=%d fetchErrors=%d rejections=%d bytesOut=%d\n",
+			s.Requests, s.CacheHits, s.Coalesced, s.FetchErrors, s.Rejections, s.BytesOut)
 	})
 	return mux
 }

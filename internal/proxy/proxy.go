@@ -9,10 +9,22 @@
 // clients"; rejected classes are replaced with a VerifyError-raising
 // stand-in so failures surface through the normal Java exception
 // mechanism on the client (§3.1).
+//
+// Concurrency: simultaneous misses for the same (arch, class) are
+// coalesced — one leader performs the origin fetch and the pipeline run
+// while followers wait and share the result. Followers still count as
+// requests and receive their own audit records, marked as coalesced
+// cache hits, so the administration console sees every client. The
+// result cache is a byte-budgeted LRU: hits refresh recency, replacing
+// a key updates the byte accounting, and an entry larger than the whole
+// budget is skipped (logged) rather than allowed to wipe the cache and
+// then fail to stay resident.
 package proxy
 
 import (
+	"container/list"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,9 +76,14 @@ type RequestRecord struct {
 	Class     string
 	Bytes     int
 	CacheHit  bool
+	Coalesced bool // joined an in-flight fetch for the same class
 	Rejected  bool // verification failure, replacement served
-	Duration  time.Duration
-	ProxyTime time.Duration // time spent parsing/transforming (excludes origin fetch)
+	// FetchError is set when the origin fetch (or replacement
+	// construction) failed and no bytes were served; the administration
+	// console must see failed fetches too.
+	FetchError string
+	Duration   time.Duration
+	ProxyTime  time.Duration // time spent parsing/transforming (excludes origin fetch)
 }
 
 // Config parameterizes a proxy.
@@ -97,11 +114,28 @@ type Config struct {
 type Stats struct {
 	Requests      int64
 	CacheHits     int64
+	Coalesced     int64 // requests served by joining an in-flight fetch (subset of CacheHits)
 	OriginFetches int64
+	FetchErrors   int64
 	Rejections    int64
 	BytesIn       int64
 	BytesOut      int64
 	ProxyTime     time.Duration
+}
+
+// cacheEntry is one LRU cache element.
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// flight is one in-progress origin fetch + pipeline run that concurrent
+// requests for the same key share.
+type flight struct {
+	done     chan struct{} // closed when the leader finishes
+	data     []byte
+	rejected bool
+	err      error
 }
 
 // Proxy is the static-service host.
@@ -110,15 +144,20 @@ type Proxy struct {
 	cfg    Config
 
 	mu         sync.Mutex
-	cache      map[string][]byte // key: arch + "\x00" + class
+	cache      map[string]*list.Element // key: arch + "\x00" + class
+	lru        *list.List               // front = most recently used
 	cacheBytes int
-	cacheOrder []string // FIFO eviction order
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	inFlight atomic.Int64
 
 	statRequests      atomic.Int64
 	statCacheHits     atomic.Int64
+	statCoalesced     atomic.Int64
 	statOriginFetches atomic.Int64
+	statFetchErrors   atomic.Int64
 	statRejections    atomic.Int64
 	statBytesIn       atomic.Int64
 	statBytesOut      atomic.Int64
@@ -137,7 +176,13 @@ func New(origin Origin, cfg Config) *Proxy {
 	if cfg.MemoryBudget > 0 && cfg.PagingPenaltyPerMB == 0 {
 		cfg.PagingPenaltyPerMB = 2 * time.Millisecond
 	}
-	return &Proxy{origin: origin, cfg: cfg, cache: make(map[string][]byte)}
+	return &Proxy{
+		origin:  origin,
+		cfg:     cfg,
+		cache:   make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*flight),
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -145,7 +190,9 @@ func (p *Proxy) Stats() Stats {
 	return Stats{
 		Requests:      p.statRequests.Load(),
 		CacheHits:     p.statCacheHits.Load(),
+		Coalesced:     p.statCoalesced.Load(),
 		OriginFetches: p.statOriginFetches.Load(),
+		FetchErrors:   p.statFetchErrors.Load(),
 		Rejections:    p.statRejections.Load(),
 		BytesIn:       p.statBytesIn.Load(),
 		BytesOut:      p.statBytesOut.Load(),
@@ -157,7 +204,10 @@ func (p *Proxy) Stats() Stats {
 func (p *Proxy) CacheEntries() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := append([]string(nil), p.cacheOrder...)
+	out := make([]string, 0, len(p.cache))
+	for k := range p.cache {
+		out = append(out, k)
+	}
 	sort.Strings(out)
 	return out
 }
@@ -169,9 +219,7 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 	key := arch + "\x00" + class
 
 	if p.cfg.CacheEnabled {
-		p.mu.Lock()
-		data, ok := p.cache[key]
-		p.mu.Unlock()
+		data, ok := p.memGet(key)
 		if !ok {
 			// Second level: the on-disk cache (survives proxy restarts).
 			if d, hit := p.diskCacheGet(key); hit {
@@ -190,6 +238,59 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 		}
 	}
 
+	// Coalesce concurrent misses: if another request is already fetching
+	// and transforming this key, join it instead of duplicating the
+	// origin fetch and the pipeline run.
+	p.flightMu.Lock()
+	if f, ok := p.flights[key]; ok {
+		p.flightMu.Unlock()
+		return p.awaitFlight(f, client, arch, class, start)
+	}
+	f := &flight{done: make(chan struct{})}
+	p.flights[key] = f
+	p.flightMu.Unlock()
+
+	data, err := p.lead(f, key, client, arch, class, start)
+	// Publish the outcome only after the cache holds the result (success
+	// path inside lead), so new requests find either the flight or the
+	// cached entry; then wake the followers.
+	p.flightMu.Lock()
+	delete(p.flights, key)
+	p.flightMu.Unlock()
+	close(f.done)
+	return data, err
+}
+
+// awaitFlight is the follower path: hold connection memory (the client
+// is a live connection even while it waits), share the leader's result,
+// and emit this client's own audit record marked as a coalesced hit.
+func (p *Proxy) awaitFlight(f *flight, client, arch, class string, start time.Time) ([]byte, error) {
+	p.inFlight.Add(connectionMemory)
+	defer p.inFlight.Add(-connectionMemory)
+	<-f.done
+	if f.err != nil {
+		p.statFetchErrors.Add(1)
+		p.audit(RequestRecord{
+			Client: client, Arch: arch, Class: class,
+			Coalesced: true, FetchError: f.err.Error(), Duration: time.Since(start),
+		})
+		return nil, f.err
+	}
+	p.statCacheHits.Add(1)
+	p.statCoalesced.Add(1)
+	p.statBytesOut.Add(int64(len(f.data)))
+	p.audit(RequestRecord{
+		Client: client, Arch: arch, Class: class, Bytes: len(f.data),
+		CacheHit: true, Coalesced: true, Rejected: f.rejected,
+		Duration: time.Since(start),
+	})
+	return f.data, nil
+}
+
+// lead is the miss path run by exactly one request per key: origin
+// fetch, memory model, pipeline, caching, auditing. The result is left
+// in f for the followers.
+func (p *Proxy) lead(f *flight, key, client, arch, class string, start time.Time) ([]byte, error) {
 	// Memory model: an in-flight request holds connection state and
 	// transfer buffers for its whole lifetime (including the upstream
 	// fetch), plus the parsed class afterwards.
@@ -200,6 +301,12 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 	p.statOriginFetches.Add(1)
 	raw, err := p.origin.Fetch(class)
 	if err != nil {
+		f.err = err
+		p.statFetchErrors.Add(1)
+		p.audit(RequestRecord{
+			Client: client, Arch: arch, Class: class,
+			FetchError: err.Error(), Duration: time.Since(start),
+		})
 		return nil, err
 	}
 	p.statBytesIn.Add(int64(len(raw)))
@@ -227,7 +334,14 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 		p.statRejections.Add(1)
 		repl, rerr := verifier.MakeErrorClass(class, perr.Error())
 		if rerr != nil {
-			return nil, fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", class, rerr, perr)
+			err := fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", class, rerr, perr)
+			f.err = err
+			p.statFetchErrors.Add(1)
+			p.audit(RequestRecord{
+				Client: client, Arch: arch, Class: class, Rejected: true,
+				FetchError: err.Error(), Duration: time.Since(start),
+			})
+			return nil, err
 		}
 		out = repl
 	}
@@ -238,6 +352,7 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 		p.storeMem(key, out)
 		p.diskCachePut(key, out)
 	}
+	f.data, f.rejected = out, rejected
 
 	p.statBytesOut.Add(int64(len(out)))
 	p.audit(RequestRecord{
@@ -247,22 +362,62 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 	return out, nil
 }
 
-// storeMem inserts into the in-memory cache with FIFO eviction.
+// memGet looks up the in-memory cache; a hit refreshes LRU recency.
+func (p *Proxy) memGet(key string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.cache[key]
+	if !ok {
+		return nil, false
+	}
+	p.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// storeMem inserts or replaces an entry in the in-memory cache with LRU
+// eviction. A replacement (e.g. a fresher transform after a pipeline
+// config change, or a disk/memory disagreement) overwrites the stale
+// bytes and fixes the byte accounting.
 func (p *Proxy) storeMem(key string, data []byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, dup := p.cache[key]; dup {
+	if p.cfg.CacheBudget > 0 && len(data) > p.cfg.CacheBudget {
+		// Caching this would evict everything and the entry still could
+		// not stay resident; serve it uncached instead.
+		log.Printf("proxy: cache: entry %q (%d bytes) exceeds cache budget (%d); not cached",
+			keyClass(key), len(data), p.cfg.CacheBudget)
 		return
 	}
-	p.cache[key] = data
-	p.cacheBytes += len(data)
-	p.cacheOrder = append(p.cacheOrder, key)
-	for p.cfg.CacheBudget > 0 && p.cacheBytes > p.cfg.CacheBudget && len(p.cacheOrder) > 0 {
-		victim := p.cacheOrder[0]
-		p.cacheOrder = p.cacheOrder[1:]
-		p.cacheBytes -= len(p.cache[victim])
-		delete(p.cache, victim)
+	if el, ok := p.cache[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		p.cacheBytes += len(data) - len(ent.data)
+		ent.data = data
+		p.lru.MoveToFront(el)
+	} else {
+		p.cache[key] = p.lru.PushFront(&cacheEntry{key: key, data: data})
+		p.cacheBytes += len(data)
 	}
+	for p.cfg.CacheBudget > 0 && p.cacheBytes > p.cfg.CacheBudget {
+		back := p.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		p.lru.Remove(back)
+		delete(p.cache, ent.key)
+		p.cacheBytes -= len(ent.data)
+	}
+}
+
+// keyClass extracts the class name from an arch\x00class cache key for
+// human-readable logs.
+func keyClass(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return key[i+1:]
+		}
+	}
+	return key
 }
 
 func (p *Proxy) audit(r RequestRecord) {

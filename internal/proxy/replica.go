@@ -77,7 +77,9 @@ func (g *ReplicaGroup) Stats() Stats {
 		s := p.Stats()
 		out.Requests += s.Requests
 		out.CacheHits += s.CacheHits
+		out.Coalesced += s.Coalesced
 		out.OriginFetches += s.OriginFetches
+		out.FetchErrors += s.FetchErrors
 		out.Rejections += s.Rejections
 		out.BytesIn += s.BytesIn
 		out.BytesOut += s.BytesOut
