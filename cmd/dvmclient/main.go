@@ -37,6 +37,9 @@ func main() {
 	secServer := flag.String("secserver", "", "security server URL for a remote enforcement manager (e.g. http://host:8644)")
 	console := flag.String("console", "", "administration console URL for remote auditing (e.g. http://host:8643)")
 	stats := flag.Bool("stats", false, "print runtime statistics on exit")
+	fetchTimeout := flag.Duration("fetch-timeout", 30*time.Second, "per-attempt deadline for remote service calls")
+	retries := flag.Int("retries", 2, "retries after a failed remote call attempt")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures before a per-service circuit breaker opens (-1 disables)")
 	flag.Parse()
 	if *mainClass == "" || (*proxyURL == "" && *dir == "") {
 		fmt.Fprintln(os.Stderr, "usage: dvmclient (-proxy URL | -dir DIR) -main pkg/Class [args...]")
@@ -45,7 +48,11 @@ func main() {
 
 	var loader jvm.ClassLoader
 	if *proxyURL != "" {
-		loader = proxy.HTTPLoader(*proxyURL, *clientID, *arch)
+		loader = proxy.HTTPLoaderWith(*proxyURL, *clientID, *arch, proxy.LoaderOptions{
+			Timeout:          *fetchTimeout,
+			Retries:          *retries,
+			BreakerThreshold: *breakerThreshold,
+		})
 	} else {
 		root := *dir
 		loader = jvm.FuncLoader(func(name string) ([]byte, error) {
@@ -87,16 +94,27 @@ func main() {
 	}
 	if *secServer != "" {
 		// Remote enforcement manager: rules and invalidations come from
-		// the central security server.
+		// the central security server. Unreachable server = fail closed.
 		sid := "apps"
-		rm := security.NewRemoteManager(*secServer, sid)
+		rm := security.NewRemoteManagerWith(*secServer, sid, security.RemoteOptions{
+			Timeout:          *fetchTimeout,
+			Retries:          *retries,
+			BreakerThreshold: *breakerThreshold,
+			OnDegraded: func(sid, perm, target string, err error) {
+				fmt.Fprintf(os.Stderr, "dvmclient: security degraded, denied %s %s (domain %s): %v\n",
+					perm, target, sid, err)
+			},
+		})
 		defer rm.Close()
 		vm.CheckAccess = rm.Manager
 	}
 	if *console != "" {
-		rs, err := monitor.AttachHTTP(vm, *console, monitor.ClientInfo{
+		rs, err := monitor.AttachHTTPWith(vm, *console, monitor.ClientInfo{
 			User: *clientID, Arch: *arch, JVMVersion: "1.2-dvm",
-		}, 64)
+		}, 64, monitor.SessionOptions{
+			Timeout:          *fetchTimeout,
+			BreakerThreshold: *breakerThreshold,
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -7,14 +7,22 @@
 //
 //	dvmproxy -addr :8642 -origin ./classes [-policy policy.xml]
 //	         [-no-cache] [-no-compile] [-audit-log proxy-audit.log]
+//	         [-fetch-timeout 10s] [-retries 2] [-breaker-threshold 5]
+//	         [-cache-ttl 0]
 //
 // The origin directory maps internal class names to files:
-// jlex/Main -> ./classes/jlex/Main.class.
+// jlex/Main -> ./classes/jlex/Main.class. Origin fetches carry a
+// per-attempt deadline, bounded retries, and a circuit breaker; with a
+// cache TTL set, an unreachable origin degrades to serving stale cache
+// entries (stale-if-error) instead of failing requests.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -33,11 +41,15 @@ import (
 // dirOrigin serves classfiles from a directory tree.
 type dirOrigin struct{ root string }
 
-func (d dirOrigin) Fetch(name string) ([]byte, error) {
+func (d dirOrigin) Fetch(_ context.Context, name string) ([]byte, error) {
 	if strings.Contains(name, "..") {
 		return nil, fmt.Errorf("origin: bad class name %q", name)
 	}
-	return os.ReadFile(filepath.Join(d.root, filepath.FromSlash(name)+".class"))
+	b, err := os.ReadFile(filepath.Join(d.root, filepath.FromSlash(name)+".class"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("origin: %s: %w", name, proxy.ErrNotFound)
+	}
+	return b, err
 }
 
 func main() {
@@ -46,10 +58,15 @@ func main() {
 	policyPath := flag.String("policy", "", "security policy XML (omit to disable the security filter)")
 	noCache := flag.Bool("no-cache", false, "disable the proxy result cache")
 	diskCache := flag.String("disk-cache", "", "directory backing the cache on disk (survives restarts)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry freshness window; expired entries are revalidated, and served stale when the origin is down (0 = never expire)")
 	noCompile := flag.Bool("no-compile", false, "disable the AOT compilation filter")
 	noAuditFilter := flag.Bool("no-audit", false, "disable the audit rewriting filter")
 	auditLog := flag.String("audit-log", "", "append the request audit trail to this file")
 	statsInterval := flag.Duration("stats-interval", time.Minute, "periodic stats summary interval (0 disables)")
+	fetchTimeout := flag.Duration("fetch-timeout", 10*time.Second, "per-attempt origin fetch deadline (0 = none)")
+	retries := flag.Int("retries", 2, "origin fetch retries after the first failed attempt")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive origin failures that trip the circuit breaker (-1 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
 	flag.Parse()
 	if *originDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: dvmproxy -origin dir [-addr :8642] [-policy policy.xml]")
@@ -75,7 +92,16 @@ func main() {
 		pipe.Append(compiler.Filter())
 	}
 
-	cfg := proxy.Config{Pipeline: pipe, CacheEnabled: !*noCache, DiskCacheDir: *diskCache}
+	cfg := proxy.Config{
+		Pipeline:         pipe,
+		CacheEnabled:     !*noCache,
+		DiskCacheDir:     *diskCache,
+		CacheTTL:         *cacheTTL,
+		FetchTimeout:     *fetchTimeout,
+		FetchRetries:     *retries,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	}
 	if *auditLog != "" {
 		f, err := os.OpenFile(*auditLog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
@@ -83,8 +109,8 @@ func main() {
 		}
 		defer f.Close()
 		cfg.OnAudit = func(r proxy.RequestRecord) {
-			fmt.Fprintf(f, "client=%s arch=%s class=%s bytes=%d cached=%v coalesced=%v rejected=%v fetchErr=%q dur=%s\n",
-				r.Client, r.Arch, r.Class, r.Bytes, r.CacheHit, r.Coalesced, r.Rejected, r.FetchError, r.Duration)
+			fmt.Fprintf(f, "client=%s arch=%s class=%s bytes=%d cached=%v coalesced=%v rejected=%v stale=%v fetchErr=%q dur=%s\n",
+				r.Client, r.Arch, r.Class, r.Bytes, r.CacheHit, r.Coalesced, r.Rejected, r.Stale, r.FetchError, r.Duration)
 		}
 	}
 	p := proxy.New(dirOrigin{root: *originDir}, cfg)
@@ -92,12 +118,12 @@ func main() {
 		go func() {
 			for range time.Tick(*statsInterval) {
 				s := p.Stats()
-				log.Printf("dvmproxy: summary requests=%d cacheHits=%d coalesced=%d originFetches=%d fetchErrors=%d rejections=%d bytesIn=%d bytesOut=%d proxyTime=%s",
-					s.Requests, s.CacheHits, s.Coalesced, s.OriginFetches, s.FetchErrors, s.Rejections, s.BytesIn, s.BytesOut, s.ProxyTime)
+				log.Printf("dvmproxy: summary requests=%d cacheHits=%d coalesced=%d originFetches=%d fetchRetries=%d fetchErrors=%d staleServed=%d rejections=%d bytesIn=%d bytesOut=%d proxyTime=%s breaker=%s breakerTrips=%d",
+					s.Requests, s.CacheHits, s.Coalesced, s.OriginFetches, s.FetchRetries, s.FetchErrors, s.StaleServed, s.Rejections, s.BytesIn, s.BytesOut, s.ProxyTime, s.Breaker.State, s.Breaker.Trips)
 			}
 		}()
 	}
-	log.Printf("dvmproxy: serving %s on %s (cache=%v, filters=%d)",
-		*originDir, *addr, !*noCache, len(pipe.Filters()))
+	log.Printf("dvmproxy: serving %s on %s (cache=%v, filters=%d, fetch-timeout=%s, retries=%d, breaker-threshold=%d)",
+		*originDir, *addr, !*noCache, len(pipe.Filters()), *fetchTimeout, *retries, *breakerThreshold)
 	log.Fatal(http.ListenAndServe(*addr, p.Handler()))
 }

@@ -17,6 +17,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"dvm/internal/security"
 )
@@ -24,6 +25,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8644", "HTTP listen address")
 	policyPath := flag.String("policy", "", "policy XML (required)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (slowloris guard)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
 	flag.Parse()
 	if *policyPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: dvmsecd -policy policy.xml [-addr :8644]")
@@ -60,5 +63,14 @@ func main() {
 		fmt.Fprintf(w, "policy updated to version %d\n", vs.Version())
 	})
 	log.Printf("dvmsecd: security server on %s (policy %s, version %d)", *addr, *policyPath, vs.Version())
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	// No WriteTimeout: the /poll invalidation channel legitimately holds
+	// responses for the long-poll window. Header and idle timeouts still
+	// bound what a stuck or malicious client can pin.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	log.Fatal(srv.ListenAndServe())
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -144,7 +145,7 @@ func Fig10(clientCounts []int, cfg Fig10Config) ([]Fig10Row, string, error) {
 				for f := 0; time.Now().Before(deadline); f++ {
 					applet := fmt.Sprintf("net/Applet%03d", (c+f)%cfg.Applets)
 					t0 := time.Now()
-					data, err := p.Request(fmt.Sprintf("client-%d", c), "dvm", applet)
+					data, err := p.Request(context.Background(), fmt.Sprintf("client-%d", c), "dvm", applet)
 					d := time.Since(t0)
 					mu.Lock()
 					if err != nil && firstErr == nil {
@@ -232,16 +233,16 @@ func AppletFetch(samples int) (AppletFetchRow, string, error) {
 	for i := 0; i < samples; i++ {
 		name := fmt.Sprintf("net/Applet%03d", i)
 		sumInternet += inet.FetchLatency()
-		if _, err := p2.Request("c", "dvm", name); err != nil {
+		if _, err := p2.Request(context.Background(), "c", "dvm", name); err != nil {
 			return AppletFetchRow{}, "", err
 		}
 		// Warm the shared-cache proxy, then time a cached fetch: LAN
 		// transfer plus the (real) cache lookup.
-		if _, err := p.Request("warm", "dvm", name); err != nil {
+		if _, err := p.Request(context.Background(), "warm", "dvm", name); err != nil {
 			return AppletFetchRow{}, "", err
 		}
 		t0 := time.Now()
-		data, err := p.Request("c2", "dvm", name)
+		data, err := p.Request(context.Background(), "c2", "dvm", name)
 		if err != nil {
 			return AppletFetchRow{}, "", err
 		}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -71,7 +72,7 @@ func AblationReplication(clients int, replicaCounts []int, cfg Fig10Config) ([]A
 				for f := 0; time.Now().Before(deadline); f++ {
 					applet := fmt.Sprintf("net/Applet%03d", (c+f)%cfg.Applets)
 					t0 := time.Now()
-					data, err := group.Request(fmt.Sprintf("client-%d", c), "dvm", applet)
+					data, err := group.Request(context.Background(), fmt.Sprintf("client-%d", c), "dvm", applet)
 					d := time.Since(t0)
 					mu.Lock()
 					if err != nil && firstErr == nil {

@@ -1,14 +1,18 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dvm/internal/jvm"
+	"dvm/internal/resilience"
 )
 
 // HTTP transport for the remote monitoring service: clients handshake
@@ -110,6 +114,23 @@ func writeJSON(w http.ResponseWriter, v any) {
 // dropped past this cap.
 const maxRetainedEvents = 4096
 
+// SessionOptions parameterizes a RemoteSession's hop to the console.
+// Monitoring is an auxiliary service and fails OPEN: when the console
+// is unreachable, events are retained up to a cap, the oldest are
+// dropped (counted in Dropped), and execution continues — a dead
+// console must never stall or stop the application.
+type SessionOptions struct {
+	// Timeout bounds each event POST (default 5s).
+	Timeout time.Duration
+	// BreakerThreshold trips the console breaker after that many
+	// consecutive delivery failures, after which flushes skip the
+	// network entirely until the cooldown passes (0 = default 5,
+	// <0 = disabled).
+	BreakerThreshold int
+	// BreakerCooldown is the open-state cooldown (default 5s).
+	BreakerCooldown time.Duration
+}
+
 // RemoteSession is the client side of the HTTP monitoring protocol. It
 // batches events to amortize round trips (Flush sends; Close flushes).
 // The VM invokes the audit hooks from whatever thread executes the
@@ -117,7 +138,11 @@ const maxRetainedEvents = 4096
 type RemoteSession struct {
 	base    string
 	client  *http.Client
+	breaker *resilience.Breaker
+	timeout time.Duration
 	Session string
+
+	dropped atomic.Int64
 
 	mu        sync.Mutex
 	buf       []wireEvent
@@ -135,14 +160,39 @@ func (rs *RemoteSession) Err() error {
 	return rs.err
 }
 
+// Dropped returns the number of events discarded because the console
+// was unreachable and the retention cap was hit (fail-open losses).
+func (rs *RemoteSession) Dropped() int64 { return rs.dropped.Load() }
+
+// Breaker exposes the console-hop circuit breaker (diagnostics).
+func (rs *RemoteSession) Breaker() *resilience.Breaker { return rs.breaker }
+
 // AttachHTTP handshakes with a console at baseURL and wires the VM's
 // audit and first-use hooks to it. Events are batched (batchSize ≤ 0
-// means 64).
+// means 64). Default resilience settings; see AttachHTTPWith.
 func AttachHTTP(vm *jvm.VM, baseURL string, info ClientInfo, batchSize int) (*RemoteSession, error) {
+	return AttachHTTPWith(vm, baseURL, info, batchSize, SessionOptions{})
+}
+
+// AttachHTTPWith is AttachHTTP with explicit per-hop deadline and
+// breaker settings.
+func AttachHTTPWith(vm *jvm.VM, baseURL string, info ClientInfo, batchSize int, opts SessionOptions) (*RemoteSession, error) {
 	if batchSize <= 0 {
 		batchSize = 64
 	}
-	rs := &RemoteSession{base: strings.TrimRight(baseURL, "/"), client: &http.Client{}, batchSize: batchSize}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	rs := &RemoteSession{
+		base:    strings.TrimRight(baseURL, "/"),
+		client:  &http.Client{Timeout: opts.Timeout},
+		timeout: opts.Timeout,
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: opts.BreakerThreshold,
+			Cooldown:  opts.BreakerCooldown,
+		}),
+		batchSize: batchSize,
+	}
 	body, _ := json.Marshal(wireHandshake{
 		User: info.User, Hardware: info.Hardware, Arch: info.Arch,
 		JVMVersion: info.JVMVersion, CodeVersion: info.CodeVersion,
@@ -182,11 +232,20 @@ func (rs *RemoteSession) add(e wireEvent) {
 	}
 }
 
-// Flush delivers buffered events to the console. The buffer is only
-// truncated after a successful delivery: a failed POST puts the batch
-// back (bounded by maxRetainedEvents) so it is retried on the next
-// flush instead of being silently dropped.
+// Flush delivers buffered events to the console under the session's
+// default per-hop deadline.
 func (rs *RemoteSession) Flush() {
+	rs.FlushContext(context.Background())
+}
+
+// FlushContext delivers buffered events to the console. The buffer is
+// only truncated after a successful delivery: a failed POST puts the
+// batch back (bounded by maxRetainedEvents) so it is retried on the
+// next flush instead of being silently dropped. Monitoring fails open:
+// while the console breaker is open no network attempt is made at all,
+// so a dead console costs the application nothing but the (bounded)
+// buffer — events past the cap are dropped oldest-first and counted.
+func (rs *RemoteSession) FlushContext(ctx context.Context) {
 	rs.mu.Lock()
 	if len(rs.buf) == 0 {
 		rs.mu.Unlock()
@@ -196,18 +255,16 @@ func (rs *RemoteSession) Flush() {
 	rs.buf = nil
 	rs.mu.Unlock()
 
-	body, _ := json.Marshal(batch)
-	resp, err := rs.client.Post(rs.base+"/events", "application/json", strings.NewReader(string(body)))
+	err := rs.breaker.Allow()
 	if err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode >= 300 {
-			err = fmt.Errorf("monitor: events: %s", resp.Status)
+		err = rs.post(ctx, batch)
+		if err == nil {
+			rs.breaker.Success()
+			return
 		}
+		rs.breaker.Failure()
 	}
-	if err == nil {
-		return
-	}
+
 	rs.mu.Lock()
 	if rs.err == nil {
 		rs.err = err
@@ -217,8 +274,35 @@ func (rs *RemoteSession) Flush() {
 	rs.buf = append(batch.Events, rs.buf...)
 	if over := len(rs.buf) - maxRetainedEvents; over > 0 {
 		rs.buf = append([]wireEvent(nil), rs.buf[over:]...)
+		rs.dropped.Add(int64(over))
 	}
 	rs.mu.Unlock()
+}
+
+// post is one delivery attempt, bounded by the session timeout and the
+// caller's ctx.
+func (rs *RemoteSession) post(ctx context.Context, batch wireBatch) error {
+	if rs.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rs.timeout)
+		defer cancel()
+	}
+	body, _ := json.Marshal(batch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rs.base+"/events", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rs.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("monitor: events: %s", resp.Status)
+	}
+	return nil
 }
 
 // Close flushes any buffered events.

@@ -1,6 +1,7 @@
 package proxy_test
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,9 +19,9 @@ type countingOrigin struct {
 	fetches atomic.Int64
 }
 
-func (c *countingOrigin) Fetch(name string) ([]byte, error) {
+func (c *countingOrigin) Fetch(ctx context.Context, name string) ([]byte, error) {
 	c.fetches.Add(1)
-	return c.Origin.Fetch(name)
+	return c.Origin.Fetch(ctx, name)
 }
 
 // TestProxyCoalescesConcurrentMisses is the concurrency stress test:
@@ -69,7 +70,7 @@ func TestProxyCoalescesConcurrentMisses(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			if _, err := p.Request("c", "dvm", classes[i%len(classes)]); err != nil {
+			if _, err := p.Request(context.Background(), "c", "dvm", classes[i%len(classes)]); err != nil {
 				t.Errorf("request: %v", err)
 			}
 		}(i)
@@ -147,7 +148,7 @@ func TestProxyCoalescingWithoutCache(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			if _, err := p.Request("c", "dvm", "app/Dep"); err != nil {
+			if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
 				t.Errorf("request: %v", err)
 			}
 		}()
@@ -159,7 +160,7 @@ func TestProxyCoalescingWithoutCache(t *testing.T) {
 	}
 	// Sequential request after the flight completed: cache is off, so it
 	// must hit the origin again.
-	if _, err := p.Request("c", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
 		t.Fatal(err)
 	}
 	if got := cnt.fetches.Load(); got != 2 {
@@ -183,7 +184,7 @@ func TestProxyFetchErrorAudited(t *testing.T) {
 			mu.Unlock()
 		},
 	})
-	if _, err := p.Request("c", "dvm", "app/Missing"); err == nil {
+	if _, err := p.Request(context.Background(), "c", "dvm", "app/Missing"); err == nil {
 		t.Fatal("missing class did not error")
 	}
 	mu.Lock()
@@ -225,7 +226,7 @@ func TestProxyCoalescedFetchErrorAudited(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			if _, err := p.Request("c", "dvm", "app/Gone"); err != nil {
+			if _, err := p.Request(context.Background(), "c", "dvm", "app/Gone"); err != nil {
 				errors.Add(1)
 			}
 		}()

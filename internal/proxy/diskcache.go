@@ -25,15 +25,25 @@ func (p *Proxy) diskCachePath(key string) string {
 }
 
 // diskCacheGet loads a cached transformation from disk, if present.
-func (p *Proxy) diskCacheGet(key string) ([]byte, bool) {
+// fresh reports whether the file's age is within CacheTTL (always true
+// when no TTL is configured); stale disk entries remain usable as the
+// stale-if-error fallback.
+func (p *Proxy) diskCacheGet(key string) (data []byte, fresh, ok bool) {
 	if p.cfg.DiskCacheDir == "" {
-		return nil, false
+		return nil, false, false
 	}
-	data, err := os.ReadFile(p.diskCachePath(key))
+	path := p.diskCachePath(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		return nil, false, false
 	}
-	return data, true
+	fresh = true
+	if p.cfg.CacheTTL > 0 {
+		if fi, serr := os.Stat(path); serr == nil {
+			fresh = p.now().Sub(fi.ModTime()) <= p.cfg.CacheTTL
+		}
+	}
+	return data, fresh, true
 }
 
 // diskCachePut stores a transformation on disk (best effort: a full or

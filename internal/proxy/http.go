@@ -1,12 +1,17 @@
 package proxy
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"strings"
+	"time"
 
 	"dvm/internal/jvm"
+	"dvm/internal/resilience"
 )
 
 // HTTP front end: clients fetch classes with
@@ -18,8 +23,30 @@ import (
 // The path mirrors how 1999-era browsers fetched applets through an HTTP
 // proxy; the DVM headers carry what the paper's handshake protocol
 // established out of band.
+//
+// Failures map to distinct statuses so clients can react correctly:
+// origin deadline exceeded -> 504, origin breaker open -> 503 with
+// Retry-After, class unknown -> 404, other upstream failures -> 502.
 
 const classPathPrefix = "/classes/"
+
+// retryAfterSeconds is the hint sent with a 503 while the origin
+// breaker is open: roughly the breaker cooldown.
+const retryAfterSeconds = 5
+
+// statusFor maps a Request error to its HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, resilience.ErrOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound), errors.Is(err, fs.ErrNotExist):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadGateway
+	}
+}
 
 // Handler returns the proxy's HTTP interface.
 func (p *Proxy) Handler() http.Handler {
@@ -37,9 +64,13 @@ func (p *Proxy) Handler() http.Handler {
 		}
 		client := r.Header.Get("X-DVM-Client")
 		arch := r.Header.Get("X-DVM-Arch")
-		data, err := p.Request(client, arch, name)
+		data, err := p.Request(r.Context(), client, arch, name)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			status := statusFor(err)
+			if status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		w.Header().Set("Content-Type", "application/java-vm")
@@ -48,8 +79,8 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		s := p.Stats()
-		fmt.Fprintf(w, "requests=%d cacheHits=%d coalesced=%d fetchErrors=%d rejections=%d bytesOut=%d\n",
-			s.Requests, s.CacheHits, s.Coalesced, s.FetchErrors, s.Rejections, s.BytesOut)
+		fmt.Fprintf(w, "requests=%d cacheHits=%d coalesced=%d fetchErrors=%d fetchRetries=%d staleServed=%d rejections=%d bytesOut=%d breaker=%s breakerTrips=%d\n",
+			s.Requests, s.CacheHits, s.Coalesced, s.FetchErrors, s.FetchRetries, s.StaleServed, s.Rejections, s.BytesOut, s.Breaker.State, s.Breaker.Trips)
 	})
 	return mux
 }
@@ -58,31 +89,104 @@ func (p *Proxy) Handler() http.Handler {
 // through the proxy directly (no HTTP hop) — the configuration used by
 // most experiments, where client and proxy share a benchmark process.
 func (p *Proxy) Loader(client, arch string) jvm.ClassLoader {
+	return p.LoaderContext(context.Background(), client, arch)
+}
+
+// LoaderContext is Loader with a caller-supplied base context: every
+// class resolution inherits its cancellation and deadline.
+func (p *Proxy) LoaderContext(ctx context.Context, client, arch string) jvm.ClassLoader {
 	return jvm.FuncLoader(func(name string) ([]byte, error) {
-		return p.Request(client, arch, name)
+		return p.Request(ctx, client, arch, name)
 	})
 }
 
+// maxClassBytes bounds a class response read by HTTPLoader: a
+// misbehaving or compromised proxy must not be able to OOM the client.
+// The largest classfiles in the paper's corpus are well under 1 MiB;
+// 16 MiB leaves room for embedded resources.
+const maxClassBytes = 16 << 20
+
+// LoaderOptions parameterizes HTTPLoaderWith.
+type LoaderOptions struct {
+	// Timeout bounds each class fetch attempt (default 30s).
+	Timeout time.Duration
+	// Retries is the number of retries after a failed attempt.
+	Retries int
+	// BreakerThreshold trips the proxy-hop breaker after that many
+	// consecutive failures (0 = default 5, <0 = disabled).
+	BreakerThreshold int
+	// BreakerCooldown is the open-state cooldown (default 5s).
+	BreakerCooldown time.Duration
+	// Context, when non-nil, is the base context for all fetches.
+	Context context.Context
+}
+
 // HTTPLoader returns a jvm.ClassLoader that fetches classes over HTTP
-// from a proxy at baseURL (e.g. "http://127.0.0.1:8642").
+// from a proxy at baseURL (e.g. "http://127.0.0.1:8642") with default
+// resilience settings.
 func HTTPLoader(baseURL, client, arch string) jvm.ClassLoader {
-	httpClient := &http.Client{}
+	return HTTPLoaderWith(baseURL, client, arch, LoaderOptions{})
+}
+
+// HTTPLoaderWith is HTTPLoader with explicit per-hop deadline, retry,
+// and breaker settings. The class-load hop is availability-critical for
+// the client (no class, no execution), so failures surface as load
+// errors — the JVM turns them into NoClassDefFoundError.
+func HTTPLoaderWith(baseURL, client, arch string, opts LoaderOptions) jvm.ClassLoader {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	base := opts.Context
+	if base == nil {
+		base = context.Background()
+	}
+	hop := resilience.Hop{
+		Timeout: opts.Timeout,
+		Retry:   resilience.RetryPolicy{Attempts: 1 + opts.Retries},
+		Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: opts.BreakerThreshold,
+			Cooldown:  opts.BreakerCooldown,
+		}),
+	}
+	httpClient := &http.Client{Timeout: opts.Timeout}
 	return jvm.FuncLoader(func(name string) ([]byte, error) {
-		req, err := http.NewRequest(http.MethodGet, baseURL+classPathPrefix+name+".class", nil)
+		var data []byte
+		err := hop.Do(base, func(ctx context.Context) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+classPathPrefix+name+".class", nil)
+			if err != nil {
+				return resilience.Permanent(err)
+			}
+			req.Header.Set("X-DVM-Client", client)
+			req.Header.Set("X-DVM-Arch", arch)
+			resp, err := httpClient.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+				err := fmt.Errorf("proxy: %s: %s: %s", name, resp.Status, strings.TrimSpace(string(body)))
+				if resp.StatusCode == http.StatusNotFound {
+					return resilience.Permanent(fmt.Errorf("%v: %w", err, ErrNotFound))
+				}
+				if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+					return resilience.Permanent(err) // our request is wrong; retrying won't fix it
+				}
+				return err
+			}
+			b, err := io.ReadAll(io.LimitReader(resp.Body, maxClassBytes+1))
+			if err != nil {
+				return err
+			}
+			if len(b) > maxClassBytes {
+				return resilience.Permanent(fmt.Errorf("proxy: %s: response exceeds %d bytes", name, maxClassBytes))
+			}
+			data = b
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("X-DVM-Client", client)
-		req.Header.Set("X-DVM-Arch", arch)
-		resp, err := httpClient.Do(req)
-		if err != nil {
-			return nil, err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-			return nil, fmt.Errorf("proxy: %s: %s: %s", name, resp.Status, strings.TrimSpace(string(body)))
-		}
-		return io.ReadAll(resp.Body)
+		return data, nil
 	})
 }

@@ -109,7 +109,7 @@ func TestLRUCache(t *testing.T) {
 					p.storeMem(fmt.Sprintf("k%d", i), pad(100))
 				}
 			},
-			want: []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"},
+			want:  []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"},
 			bytes: 1000,
 		},
 	}
@@ -137,7 +137,7 @@ func TestLRUReplacementServesFreshBytes(t *testing.T) {
 	p := lruProxy(0)
 	p.storeMem("k", []byte("stale"))
 	p.storeMem("k", []byte("fresh"))
-	got, ok := p.memGet("k")
+	got, _, ok := p.memGet("k")
 	if !ok || string(got) != "fresh" {
 		t.Fatalf("memGet = %q, %v; want fresh entry", got, ok)
 	}
@@ -155,7 +155,7 @@ func TestDiskCacheConcurrentWritersSameKey(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			p.diskCachePut("k", payload(i))
-			if data, ok := p.diskCacheGet("k"); ok {
+			if data, _, ok := p.diskCacheGet("k"); ok {
 				// Any complete write is acceptable; torn bytes are not.
 				if len(data) != 4096 || bytes.Count(data, data[:1]) != 4096 {
 					t.Errorf("torn read: len=%d first=%q", len(data), data[0])
@@ -164,7 +164,7 @@ func TestDiskCacheConcurrentWritersSameKey(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	data, ok := p.diskCacheGet("k")
+	data, _, ok := p.diskCacheGet("k")
 	if !ok {
 		t.Fatal("no entry after concurrent writes")
 	}

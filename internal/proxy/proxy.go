@@ -19,10 +19,21 @@
 // a key updates the byte accounting, and an entry larger than the whole
 // budget is skipped (logged) rather than allowed to wipe the cache and
 // then fail to stay resident.
+//
+// Failure semantics: the origin hop carries a per-attempt deadline, a
+// retry policy with backoff+jitter, and a circuit breaker
+// (internal/resilience). When the origin is down the proxy *fails
+// open with stale data*: a cached entry past its TTL is normally
+// revalidated, but if the revalidating fetch fails the stale bytes are
+// served (stale-if-error, counted in Stats.StaleServed) — an
+// unreachable origin degrades freshness, never availability, matching
+// the paper's split between trust-critical and auxiliary services.
 package proxy
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
@@ -30,24 +41,32 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dvm/internal/resilience"
 	"dvm/internal/rewrite"
 	"dvm/internal/verifier"
 )
 
+// ErrNotFound marks an origin's definitive "no such class" answer.
+// Unlike a timeout or connection error it is not evidence the origin is
+// down: it is never retried, never trips the breaker, and never falls
+// back to stale cache. The HTTP front end maps it to 404.
+var ErrNotFound = errors.New("class not found")
+
 // Origin supplies original (untransformed) class bytes, e.g. a web
-// server on the open Internet.
+// server on the open Internet. Fetch must honor ctx cancellation: a
+// hung origin is abandoned when the per-hop deadline expires.
 type Origin interface {
-	Fetch(name string) ([]byte, error)
+	Fetch(ctx context.Context, name string) ([]byte, error)
 }
 
 // MapOrigin serves classes from memory.
 type MapOrigin map[string][]byte
 
 // Fetch implements Origin.
-func (m MapOrigin) Fetch(name string) ([]byte, error) {
+func (m MapOrigin) Fetch(_ context.Context, name string) ([]byte, error) {
 	b, ok := m[name]
 	if !ok {
-		return nil, fmt.Errorf("origin: %s not found", name)
+		return nil, fmt.Errorf("origin: %s: %w", name, ErrNotFound)
 	}
 	return b, nil
 }
@@ -62,11 +81,11 @@ type DelayedOrigin struct {
 }
 
 // Fetch implements Origin.
-func (d DelayedOrigin) Fetch(name string) ([]byte, error) {
+func (d DelayedOrigin) Fetch(ctx context.Context, name string) ([]byte, error) {
 	if d.Delay != nil {
 		d.Delay(name)
 	}
-	return d.Origin.Fetch(name)
+	return d.Origin.Fetch(ctx, name)
 }
 
 // RequestRecord is one entry of the proxy's audit trail.
@@ -78,9 +97,12 @@ type RequestRecord struct {
 	CacheHit  bool
 	Coalesced bool // joined an in-flight fetch for the same class
 	Rejected  bool // verification failure, replacement served
+	// Stale marks a degraded response: the origin was unreachable and an
+	// expired cache entry was served instead (stale-if-error).
+	Stale bool
 	// FetchError is set when the origin fetch (or replacement
-	// construction) failed and no bytes were served; the administration
-	// console must see failed fetches too.
+	// construction) failed; the administration console must see failed
+	// and degraded fetches too. With Stale set, bytes were still served.
 	FetchError string
 	Duration   time.Duration
 	ProxyTime  time.Duration // time spent parsing/transforming (excludes origin fetch)
@@ -94,10 +116,33 @@ type Config struct {
 	CacheEnabled bool
 	// CacheBudget bounds cached bytes (0 = unlimited).
 	CacheBudget int
+	// CacheTTL is how long a cached entry is considered fresh
+	// (0 = forever). An expired entry is revalidated by refetching; if
+	// the origin is unreachable the stale bytes are served instead
+	// (stale-if-error).
+	CacheTTL time.Duration
 	// DiskCacheDir, when set, backs the memory cache with files so a
 	// restarted proxy recovers its transformed classes ("served from an
 	// on-disk cache on the proxy", §4.1.2). Requires CacheEnabled.
 	DiskCacheDir string
+
+	// FetchTimeout bounds each origin fetch attempt (0 = no per-attempt
+	// deadline; the caller's ctx still applies).
+	FetchTimeout time.Duration
+	// FetchRetries is the number of retries after the first failed fetch
+	// attempt (0 = no retries). Not-found answers are never retried.
+	FetchRetries int
+	// RetryBase is the first backoff delay between retries (default 50ms).
+	RetryBase time.Duration
+	// RetrySeed makes the retry jitter deterministic (tests).
+	RetrySeed uint64
+	// BreakerThreshold is the number of consecutive origin failures that
+	// trips the origin circuit breaker (0 = default 5, <0 = disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe (default 5s).
+	BreakerCooldown time.Duration
+
 	// MemoryBudget models the server's physical memory: when the bytes
 	// held by in-flight requests exceed it, each request pays a paging
 	// penalty proportional to the overshoot (reproduces the >250-client
@@ -116,17 +161,22 @@ type Stats struct {
 	CacheHits     int64
 	Coalesced     int64 // requests served by joining an in-flight fetch (subset of CacheHits)
 	OriginFetches int64
+	FetchRetries  int64 // retry attempts scheduled against the origin
 	FetchErrors   int64
+	StaleServed   int64 // degraded responses served from expired cache (stale-if-error)
 	Rejections    int64
 	BytesIn       int64
 	BytesOut      int64
 	ProxyTime     time.Duration
+	// Breaker is the origin circuit-breaker snapshot.
+	Breaker resilience.BreakerCounts
 }
 
 // cacheEntry is one LRU cache element.
 type cacheEntry struct {
-	key  string
-	data []byte
+	key      string
+	data     []byte
+	storedAt time.Time
 }
 
 // flight is one in-progress origin fetch + pipeline run that concurrent
@@ -135,13 +185,17 @@ type flight struct {
 	done     chan struct{} // closed when the leader finishes
 	data     []byte
 	rejected bool
+	stale    bool
 	err      error
 }
 
 // Proxy is the static-service host.
 type Proxy struct {
-	origin Origin
-	cfg    Config
+	origin  Origin
+	cfg     Config
+	breaker *resilience.Breaker
+	hop     resilience.Hop
+	now     func() time.Time // clock hook for TTL tests
 
 	mu         sync.Mutex
 	cache      map[string]*list.Element // key: arch + "\x00" + class
@@ -157,7 +211,9 @@ type Proxy struct {
 	statCacheHits     atomic.Int64
 	statCoalesced     atomic.Int64
 	statOriginFetches atomic.Int64
+	statFetchRetries  atomic.Int64
 	statFetchErrors   atomic.Int64
+	statStaleServed   atomic.Int64
 	statRejections    atomic.Int64
 	statBytesIn       atomic.Int64
 	statBytesOut      atomic.Int64
@@ -176,14 +232,34 @@ func New(origin Origin, cfg Config) *Proxy {
 	if cfg.MemoryBudget > 0 && cfg.PagingPenaltyPerMB == 0 {
 		cfg.PagingPenaltyPerMB = 2 * time.Millisecond
 	}
-	return &Proxy{
+	p := &Proxy{
 		origin:  origin,
 		cfg:     cfg,
+		now:     time.Now,
 		cache:   make(map[string]*list.Element),
 		lru:     list.New(),
 		flights: make(map[string]*flight),
 	}
+	p.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		Threshold: cfg.BreakerThreshold,
+		Cooldown:  cfg.BreakerCooldown,
+	})
+	p.hop = resilience.Hop{
+		Timeout: cfg.FetchTimeout,
+		Retry: resilience.RetryPolicy{
+			Attempts: 1 + cfg.FetchRetries,
+			Base:     cfg.RetryBase,
+			Seed:     cfg.RetrySeed,
+		},
+		Breaker: p.breaker,
+		OnRetry: func(int, error) { p.statFetchRetries.Add(1) },
+	}
+	return p
 }
+
+// Breaker exposes the origin circuit breaker (diagnostics, shared
+// upstream wiring).
+func (p *Proxy) Breaker() *resilience.Breaker { return p.breaker }
 
 // Stats returns a snapshot of the counters.
 func (p *Proxy) Stats() Stats {
@@ -192,11 +268,14 @@ func (p *Proxy) Stats() Stats {
 		CacheHits:     p.statCacheHits.Load(),
 		Coalesced:     p.statCoalesced.Load(),
 		OriginFetches: p.statOriginFetches.Load(),
+		FetchRetries:  p.statFetchRetries.Load(),
 		FetchErrors:   p.statFetchErrors.Load(),
+		StaleServed:   p.statStaleServed.Load(),
 		Rejections:    p.statRejections.Load(),
 		BytesIn:       p.statBytesIn.Load(),
 		BytesOut:      p.statBytesOut.Load(),
 		ProxyTime:     time.Duration(p.statProxyTime.Load()),
+		Breaker:       p.breaker.Counts(),
 	}
 }
 
@@ -212,22 +291,31 @@ func (p *Proxy) CacheEntries() []string {
 	return out
 }
 
-// Request serves one class to one client: the full intercept path.
-func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
+// Request serves one class to one client: the full intercept path. The
+// ctx bounds the whole request (client disconnect, caller deadline);
+// per-attempt origin deadlines come from Config.FetchTimeout.
+func (p *Proxy) Request(ctx context.Context, client, arch, class string) ([]byte, error) {
 	start := time.Now()
 	p.statRequests.Add(1)
 	key := arch + "\x00" + class
 
+	var staleData []byte // expired cache entry kept for stale-if-error
+	var haveStale bool
 	if p.cfg.CacheEnabled {
-		data, ok := p.memGet(key)
+		data, fresh, ok := p.memGet(key)
 		if !ok {
 			// Second level: the on-disk cache (survives proxy restarts).
-			if d, hit := p.diskCacheGet(key); hit {
-				data, ok = d, true
-				p.storeMem(key, d)
+			// Only a fresh disk entry is promoted to memory; a stale one
+			// is kept solely as the stale-if-error fallback so it still
+			// gets revalidated on the next request.
+			if d, diskFresh, hit := p.diskCacheGet(key); hit {
+				data, fresh, ok = d, diskFresh, true
+				if diskFresh {
+					p.storeMem(key, d)
+				}
 			}
 		}
-		if ok {
+		if ok && fresh {
 			p.statCacheHits.Add(1)
 			p.statBytesOut.Add(int64(len(data)))
 			p.audit(RequestRecord{
@@ -235,6 +323,9 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 				CacheHit: true, Duration: time.Since(start),
 			})
 			return data, nil
+		}
+		if ok {
+			staleData, haveStale = data, true
 		}
 	}
 
@@ -244,13 +335,13 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 	p.flightMu.Lock()
 	if f, ok := p.flights[key]; ok {
 		p.flightMu.Unlock()
-		return p.awaitFlight(f, client, arch, class, start)
+		return p.awaitFlight(ctx, f, client, arch, class, start)
 	}
 	f := &flight{done: make(chan struct{})}
 	p.flights[key] = f
 	p.flightMu.Unlock()
 
-	data, err := p.lead(f, key, client, arch, class, start)
+	data, err := p.lead(ctx, f, key, client, arch, class, staleData, haveStale, start)
 	// Publish the outcome only after the cache holds the result (success
 	// path inside lead), so new requests find either the flight or the
 	// cached entry; then wake the followers.
@@ -264,10 +355,21 @@ func (p *Proxy) Request(client, arch, class string) ([]byte, error) {
 // awaitFlight is the follower path: hold connection memory (the client
 // is a live connection even while it waits), share the leader's result,
 // and emit this client's own audit record marked as a coalesced hit.
-func (p *Proxy) awaitFlight(f *flight, client, arch, class string, start time.Time) ([]byte, error) {
+func (p *Proxy) awaitFlight(ctx context.Context, f *flight, client, arch, class string, start time.Time) ([]byte, error) {
 	p.inFlight.Add(connectionMemory)
 	defer p.inFlight.Add(-connectionMemory)
-	<-f.done
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		// This client gave up (disconnect or deadline); the leader's
+		// fetch continues for the others.
+		err := ctx.Err()
+		p.audit(RequestRecord{
+			Client: client, Arch: arch, Class: class,
+			Coalesced: true, FetchError: err.Error(), Duration: time.Since(start),
+		})
+		return nil, err
+	}
 	if f.err != nil {
 		p.statFetchErrors.Add(1)
 		p.audit(RequestRecord{
@@ -278,19 +380,24 @@ func (p *Proxy) awaitFlight(f *flight, client, arch, class string, start time.Ti
 	}
 	p.statCacheHits.Add(1)
 	p.statCoalesced.Add(1)
+	if f.stale {
+		p.statStaleServed.Add(1)
+	}
 	p.statBytesOut.Add(int64(len(f.data)))
 	p.audit(RequestRecord{
 		Client: client, Arch: arch, Class: class, Bytes: len(f.data),
-		CacheHit: true, Coalesced: true, Rejected: f.rejected,
+		CacheHit: true, Coalesced: true, Rejected: f.rejected, Stale: f.stale,
 		Duration: time.Since(start),
 	})
 	return f.data, nil
 }
 
 // lead is the miss path run by exactly one request per key: origin
-// fetch, memory model, pipeline, caching, auditing. The result is left
-// in f for the followers.
-func (p *Proxy) lead(f *flight, key, client, arch, class string, start time.Time) ([]byte, error) {
+// fetch (deadline + retry + breaker), memory model, pipeline, caching,
+// auditing. The result is left in f for the followers. When the origin
+// is unreachable and a stale cache entry exists, it is served instead
+// (stale-if-error).
+func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class string, staleData []byte, haveStale bool, start time.Time) ([]byte, error) {
 	// Memory model: an in-flight request holds connection state and
 	// transfer buffers for its whole lifetime (including the upstream
 	// fetch), plus the parsed class afterwards.
@@ -299,8 +406,36 @@ func (p *Proxy) lead(f *flight, key, client, arch, class string, start time.Time
 	defer func() { p.inFlight.Add(-held) }()
 
 	p.statOriginFetches.Add(1)
-	raw, err := p.origin.Fetch(class)
+	var raw []byte
+	err := p.hop.Do(ctx, func(actx context.Context) error {
+		b, ferr := p.origin.Fetch(actx, class)
+		if ferr != nil {
+			if errors.Is(ferr, ErrNotFound) {
+				// A definitive answer, not an outage: no retry, no
+				// breaker penalty, no stale fallback.
+				return resilience.Permanent(ferr)
+			}
+			return ferr
+		}
+		raw = b
+		return nil
+	})
 	if err != nil {
+		if haveStale && !errors.Is(err, ErrNotFound) {
+			// Degraded mode: the origin is down but we still hold the
+			// previous transformation. Freshness degrades; availability
+			// does not.
+			p.statStaleServed.Add(1)
+			p.statBytesOut.Add(int64(len(staleData)))
+			f.data, f.stale = staleData, true
+			p.touchStale(key)
+			p.audit(RequestRecord{
+				Client: client, Arch: arch, Class: class, Bytes: len(staleData),
+				CacheHit: true, Stale: true, FetchError: err.Error(),
+				Duration: time.Since(start),
+			})
+			return staleData, nil
+		}
 		f.err = err
 		p.statFetchErrors.Add(1)
 		p.audit(RequestRecord{
@@ -322,10 +457,10 @@ func (p *Proxy) lead(f *flight, key, client, arch, class string, start time.Time
 	}
 
 	tstart := time.Now()
-	ctx := rewrite.NewContext()
-	ctx.ClientID = client
-	ctx.ClientArch = arch
-	out, perr := p.cfg.Pipeline.Process(raw, ctx)
+	rctx := rewrite.NewContext()
+	rctx.ClientID = client
+	rctx.ClientArch = arch
+	out, perr := p.cfg.Pipeline.Process(raw, rctx)
 	rejected := false
 	if perr != nil {
 		// A verification (or other service) rejection becomes a
@@ -363,15 +498,34 @@ func (p *Proxy) lead(f *flight, key, client, arch, class string, start time.Time
 }
 
 // memGet looks up the in-memory cache; a hit refreshes LRU recency.
-func (p *Proxy) memGet(key string) ([]byte, bool) {
+// fresh reports whether the entry is within CacheTTL (always true when
+// no TTL is configured).
+func (p *Proxy) memGet(key string) (data []byte, fresh, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	el, ok := p.cache[key]
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
 	p.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).data, true
+	ent := el.Value.(*cacheEntry)
+	fresh = p.cfg.CacheTTL <= 0 || p.now().Sub(ent.storedAt) <= p.cfg.CacheTTL
+	return ent.data, fresh, true
+}
+
+// touchStale refreshes the timestamp on a stale entry that was just
+// served via stale-if-error, so a down origin is re-probed once per TTL
+// window per key instead of on every request (the breaker bounds the
+// damage regardless; this bounds audit noise).
+func (p *Proxy) touchStale(key string) {
+	if p.cfg.CacheTTL <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.cache[key]; ok {
+		el.Value.(*cacheEntry).storedAt = p.now()
+	}
 }
 
 // storeMem inserts or replaces an entry in the in-memory cache with LRU
@@ -392,9 +546,10 @@ func (p *Proxy) storeMem(key string, data []byte) {
 		ent := el.Value.(*cacheEntry)
 		p.cacheBytes += len(data) - len(ent.data)
 		ent.data = data
+		ent.storedAt = p.now()
 		p.lru.MoveToFront(el)
 	} else {
-		p.cache[key] = p.lru.PushFront(&cacheEntry{key: key, data: data})
+		p.cache[key] = p.lru.PushFront(&cacheEntry{key: key, data: data, storedAt: p.now()})
 		p.cacheBytes += len(data)
 	}
 	for p.cfg.CacheBudget > 0 && p.cacheBytes > p.cfg.CacheBudget {

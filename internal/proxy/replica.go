@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 )
@@ -53,13 +54,21 @@ func (g *ReplicaGroup) Size() int { return len(g.replicas) }
 func (g *ReplicaGroup) Replica(i int) *Proxy { return g.replicas[i] }
 
 // Request serves a class from the next replica in round-robin order,
-// failing over to the remaining replicas on error.
-func (g *ReplicaGroup) Request(client, arch, class string) ([]byte, error) {
+// failing over to the remaining replicas on error. The caller's ctx
+// bounds the whole failover sweep; once it expires no further replicas
+// are tried.
+func (g *ReplicaGroup) Request(ctx context.Context, client, arch, class string) ([]byte, error) {
 	start := int(g.next.Add(1)-1) % len(g.replicas)
 	var firstErr error
 	for i := 0; i < len(g.replicas); i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if firstErr == nil {
+				firstErr = cerr
+			}
+			break
+		}
 		p := g.replicas[(start+i)%len(g.replicas)]
-		data, err := p.Request(client, arch, class)
+		data, err := p.Request(ctx, client, arch, class)
 		if err == nil {
 			return data, nil
 		}
@@ -79,7 +88,9 @@ func (g *ReplicaGroup) Stats() Stats {
 		out.CacheHits += s.CacheHits
 		out.Coalesced += s.Coalesced
 		out.OriginFetches += s.OriginFetches
+		out.FetchRetries += s.FetchRetries
 		out.FetchErrors += s.FetchErrors
+		out.StaleServed += s.StaleServed
 		out.Rejections += s.Rejections
 		out.BytesIn += s.BytesIn
 		out.BytesOut += s.BytesOut

@@ -1,6 +1,7 @@
 package proxy_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -22,7 +23,7 @@ func TestReplicaGroupRoundRobin(t *testing.T) {
 		t.Fatalf("Size = %d", g.Size())
 	}
 	for i := 0; i < 9; i++ {
-		if _, err := g.Request("c", "dvm", "app/Dep"); err != nil {
+		if _, err := g.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -49,12 +50,12 @@ func TestReplicaGroupFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := group.Request("c", "dvm", "app/Dep"); err != nil {
+		if _, err := group.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
 			t.Fatalf("request %d failed despite healthy replica: %v", i, err)
 		}
 	}
 	// A class no replica can supply still errors.
-	if _, err := group.Request("c", "dvm", "app/Nope"); err == nil {
+	if _, err := group.Request(context.Background(), "c", "dvm", "app/Nope"); err == nil {
 		t.Fatal("nonexistent class served")
 	}
 }
@@ -77,7 +78,7 @@ func TestReplicaGroupConcurrent(t *testing.T) {
 			if i%2 == 0 {
 				name = "app/Dep"
 			}
-			if _, err := g.Request(fmt.Sprintf("c%d", i), "dvm", name); err != nil {
+			if _, err := g.Request(context.Background(), fmt.Sprintf("c%d", i), "dvm", name); err != nil {
 				errs <- err
 			}
 		}(i)

@@ -1,0 +1,247 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func testBreaker(th int, cd time.Duration, c *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{Threshold: th, Cooldown: cd, Now: c.now})
+}
+
+// TestBreakerTransitions drives the full closed -> open -> half-open ->
+// closed cycle, plus the half-open -> open failure path, table-driven
+// over a scripted sequence of events.
+func TestBreakerTransitions(t *testing.T) {
+	type step struct {
+		do   string // "fail", "ok", "advance", "allow-ok", "allow-open"
+		want BreakerState
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"closed stays closed under sparse failures", []step{
+			{"fail", Closed}, {"fail", Closed}, {"ok", Closed}, {"fail", Closed}, {"fail", Closed},
+		}},
+		{"threshold consecutive failures trip open", []step{
+			{"fail", Closed}, {"fail", Closed}, {"fail", Open}, {"allow-open", Open},
+		}},
+		{"open admits probe after cooldown, success closes", []step{
+			{"fail", Closed}, {"fail", Closed}, {"fail", Open},
+			{"advance", HalfOpen}, {"allow-ok", HalfOpen}, {"ok", Closed}, {"allow-ok", Closed},
+		}},
+		{"half-open probe failure re-opens", []step{
+			{"fail", Closed}, {"fail", Closed}, {"fail", Open},
+			{"advance", HalfOpen}, {"allow-ok", HalfOpen}, {"fail", Open}, {"allow-open", Open},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			b := testBreaker(3, time.Minute, clk)
+			for i, s := range tc.steps {
+				switch s.do {
+				case "fail":
+					_ = b.Allow() // consume an admission when one is available
+					b.Failure()
+				case "ok":
+					b.Success()
+				case "advance":
+					clk.advance(time.Minute)
+				case "allow-ok":
+					if err := b.Allow(); err != nil {
+						t.Fatalf("step %d: Allow() = %v, want nil", i, err)
+					}
+				case "allow-open":
+					if err := b.Allow(); !errors.Is(err, ErrOpen) {
+						t.Fatalf("step %d: Allow() = %v, want ErrOpen", i, err)
+					}
+				}
+				if got := b.State(); got != s.want {
+					t.Fatalf("step %d (%s): state = %v, want %v", i, s.do, got, s.want)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerCounts(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(2, time.Minute, clk)
+	b.Failure()
+	b.Failure() // trips
+	clk.advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Failure() // half-open failure: second trip
+	c := b.Counts()
+	if c.Trips != 2 || c.Failures != 3 || c.State != "open" {
+		t.Fatalf("counts = %+v, want 2 trips, 3 failures, open", c)
+	}
+	clk.advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Success()
+	c = b.Counts()
+	if c.State != "closed" || c.Successes != 1 {
+		t.Fatalf("counts after recovery = %+v, want closed, 1 success", c)
+	}
+}
+
+func TestBreakerHalfOpenLimitsProbes(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, HalfOpenProbes: 1, Now: clk.now})
+	b.Failure()
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe refused: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe allowed (err=%v), want ErrOpen", err)
+	}
+}
+
+func TestBreakerDisabledAndNil(t *testing.T) {
+	var nilB *Breaker
+	if err := nilB.Allow(); err != nil {
+		t.Fatalf("nil breaker refused: %v", err)
+	}
+	nilB.Success()
+	nilB.Failure()
+	off := NewBreaker(BreakerConfig{Threshold: -1})
+	for i := 0; i < 100; i++ {
+		off.Failure()
+	}
+	if err := off.Allow(); err != nil {
+		t.Fatalf("disabled breaker refused after failures: %v", err)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{Attempts: 6, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	var prevNoJitter time.Duration
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := p.Backoff(attempt)
+		d2 := p.Backoff(attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		base := 10 * time.Millisecond << (attempt - 1)
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if d1 < base || d1 > base+base/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d1, base, base+base/2)
+		}
+		if base > prevNoJitter {
+			prevNoJitter = base
+		}
+	}
+	// Different seeds give a different jitter sequence.
+	q := p
+	q.Seed = 43
+	same := true
+	for attempt := 1; attempt <= 6; attempt++ {
+		if p.Backoff(attempt) != q.Backoff(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical jitter sequences")
+	}
+}
+
+func TestHopRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	h := Hop{Retry: RetryPolicy{Attempts: 4, Base: time.Microsecond, Jitter: 0}}
+	err := h.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flaky %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil after 3", err, calls)
+	}
+}
+
+func TestHopPermanentStopsRetry(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("not found")
+	h := Hop{Retry: RetryPolicy{Attempts: 5, Base: time.Microsecond}}
+	err := h.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestHopTimeoutSurfacesDeadline(t *testing.T) {
+	h := Hop{Timeout: 5 * time.Millisecond, Retry: RetryPolicy{Attempts: 1}}
+	err := h.Do(context.Background(), func(ctx context.Context) error {
+		<-ctx.Done()
+		return fmt.Errorf("upstream hung: %w", ctx.Err())
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestHopBreakerOpenFailsFast(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(1, time.Minute, clk)
+	b.Failure() // trip
+	calls := 0
+	h := Hop{Breaker: b, Retry: RetryPolicy{Attempts: 5, Base: time.Microsecond}}
+	err := h.Do(context.Background(), func(context.Context) error { calls++; return nil })
+	if calls != 0 {
+		t.Fatalf("open breaker let %d calls through", calls)
+	}
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+}
+
+func TestHopPermanentDoesNotTripBreaker(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(1, time.Minute, clk)
+	h := Hop{Breaker: b, Retry: RetryPolicy{Attempts: 1}}
+	_ = h.Do(context.Background(), func(context.Context) error {
+		return Permanent(errors.New("404"))
+	})
+	if got := b.State(); got != Closed {
+		t.Fatalf("breaker state after permanent error = %v, want closed", got)
+	}
+}
+
+func TestHopParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := Hop{Retry: RetryPolicy{Attempts: 3, Base: time.Hour}}
+	calls := 0
+	err := h.Do(ctx, func(context.Context) error { calls++; return errors.New("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if calls > 0 {
+		t.Fatalf("cancelled ctx still ran op %d times", calls)
+	}
+}

@@ -101,19 +101,30 @@ type Manager struct {
 	// benchmarks.
 	NoCache bool
 
+	// OnDegraded is invoked (outside the manager lock) whenever a check
+	// is denied because the security server was unreachable — the
+	// audited Degraded record. Security fails closed: an outage can only
+	// remove permissions, never grant them.
+	OnDegraded func(sid, permission, target string, err error)
+
 	mu      sync.Mutex
 	grants  []Grant
 	fetched bool
 	cache   map[string]bool
 
 	// fetchOverride replaces the in-process server download with another
-	// transport (the HTTP RemoteManager).
-	fetchOverride func(sid string) []Grant
+	// transport (the HTTP RemoteManager). An error means the server was
+	// unreachable: the check fails closed and the download is retried on
+	// the next first-touch.
+	fetchOverride func(sid string) ([]Grant, error)
 
 	// Stats
 	CacheHits   int64
 	CacheMisses int64
 	Downloads   int64
+	// DegradedDenies counts checks denied because the server was
+	// unreachable (fail-closed outcomes, not policy decisions).
+	DegradedDenies int64
 }
 
 // NewManager creates an enforcement manager for a client running under
@@ -160,12 +171,26 @@ func (m *Manager) allowed(permission, target string) bool {
 		fetch := m.fetchOverride
 		m.mu.Unlock()
 		var grants []Grant
+		var ferr error
 		if fetch != nil {
-			grants = fetch(m.sid) // network fetch outside the lock
+			grants, ferr = fetch(m.sid) // network fetch outside the lock
 		} else {
 			grants = m.server.FetchDomain(m.sid)
 		}
 		m.mu.Lock()
+		if ferr != nil {
+			// Fail closed: deny this check without caching the denial
+			// (it reflects an outage, not policy), and let the next
+			// first-touch retry the download.
+			m.fetched = false
+			m.DegradedDenies++
+			hook := m.OnDegraded
+			m.mu.Unlock()
+			if hook != nil {
+				hook(m.sid, permission, target, ferr)
+			}
+			return false
+		}
 		m.grants = grants
 	}
 	v := false

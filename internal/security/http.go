@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dvm/internal/resilience"
 )
 
 // HTTP transport for the security service: enforcement managers on
@@ -23,6 +25,12 @@ import (
 //	GET /domain?sid=apps          -> {version, grants: [{permission, target}]}
 //	GET /decide?sid=&perm=&target= -> {allowed}
 //	GET /poll?since=N              -> {version}   (blocks until version > N or timeout)
+//
+// Failure semantics: the security service is trust-critical, so it
+// fails CLOSED — when the server is unreachable (timeout, refused,
+// breaker open) the enforcement manager denies the check, counts it in
+// DegradedDenies, and reports it through OnDegraded. An outage can
+// revoke access, never grant it.
 
 type wireDomain struct {
 	Version int64   `json:"version"`
@@ -35,12 +43,12 @@ type VersionedServer struct {
 	*Server
 	mu      sync.Mutex
 	version int64
-	waiters []chan struct{}
+	waiters map[chan struct{}]struct{}
 }
 
 // NewVersionedServer wraps a security server for network use.
 func NewVersionedServer(s *Server) *VersionedServer {
-	return &VersionedServer{Server: s, version: 1}
+	return &VersionedServer{Server: s, version: 1, waiters: make(map[chan struct{}]struct{})}
 }
 
 // UpdatePolicy swaps the policy, bumps the version, and wakes pollers.
@@ -49,9 +57,9 @@ func (v *VersionedServer) UpdatePolicy(p *Policy) {
 	v.mu.Lock()
 	v.version++
 	ws := v.waiters
-	v.waiters = nil
+	v.waiters = make(map[chan struct{}]struct{})
 	v.mu.Unlock()
-	for _, w := range ws {
+	for w := range ws {
 		close(w)
 	}
 }
@@ -63,9 +71,19 @@ func (v *VersionedServer) Version() int64 {
 	return v.version
 }
 
+// Waiters returns the number of registered long-poll waiters
+// (diagnostics; a disconnected client must not leave one behind).
+func (v *VersionedServer) Waiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
 // waitBeyond blocks until the version exceeds since, the timeout
 // expires, or ctx is cancelled (client hung up), returning the current
-// version.
+// version. The waiter is deregistered on every exit path: a client that
+// disconnects mid-poll must not leak its channel until the next policy
+// update.
 func (v *VersionedServer) waitBeyond(ctx context.Context, since int64, timeout time.Duration) int64 {
 	v.mu.Lock()
 	if v.version > since {
@@ -74,7 +92,7 @@ func (v *VersionedServer) waitBeyond(ctx context.Context, since int64, timeout t
 		return cur
 	}
 	w := make(chan struct{})
-	v.waiters = append(v.waiters, w)
+	v.waiters[w] = struct{}{}
 	v.mu.Unlock()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -83,6 +101,9 @@ func (v *VersionedServer) waitBeyond(ctx context.Context, since int64, timeout t
 	case <-timer.C:
 	case <-ctx.Done():
 	}
+	v.mu.Lock()
+	delete(v.waiters, w)
+	v.mu.Unlock()
 	return v.Version()
 }
 
@@ -108,6 +129,12 @@ func (v *VersionedServer) Handler() http.Handler {
 		ver := v.waitBeyond(r.Context(), since, 25*time.Second)
 		writeJSONSec(w, map[string]int64{"version": ver})
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		v.mu.Lock()
+		version, waiters := v.version, len(v.waiters)
+		v.mu.Unlock()
+		fmt.Fprintf(w, "version=%d waiters=%d\n", version, waiters)
+	})
 	return mux
 }
 
@@ -116,14 +143,33 @@ func writeJSONSec(w http.ResponseWriter, val any) {
 	_ = json.NewEncoder(w).Encode(val)
 }
 
+// RemoteOptions parameterizes a RemoteManager's hop to the security
+// server.
+type RemoteOptions struct {
+	// Timeout bounds each /domain fetch attempt (default 5s).
+	Timeout time.Duration
+	// Retries after a failed /domain attempt (default 1).
+	Retries int
+	// BreakerThreshold trips the server breaker after that many
+	// consecutive failures (0 = default 5, <0 = disabled).
+	BreakerThreshold int
+	// BreakerCooldown is the open-state cooldown (default 5s).
+	BreakerCooldown time.Duration
+	// OnDegraded receives fail-closed denials (audited Degraded record).
+	OnDegraded func(sid, permission, target string, err error)
+}
+
 // RemoteManager is an enforcement manager whose server lives across the
 // network. It downloads the domain rules on first touch, caches
 // decisions, and invalidates when the long-poll observes a new policy
-// version.
+// version. When the server is unreachable it fails closed: checks are
+// denied (never allowed) until the server comes back.
 type RemoteManager struct {
 	*Manager
 	base    string
-	client  *http.Client
+	client  *http.Client // domain fetches: bounded by opts.Timeout
+	poller  *http.Client // long polls: must outlive the 25s server hold
+	hop     resilience.Hop
 	sid     string
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -134,13 +180,35 @@ type RemoteManager struct {
 }
 
 // NewRemoteManager builds a manager against a security server at
-// baseURL and starts the invalidation poller.
+// baseURL with default resilience settings and starts the invalidation
+// poller.
 func NewRemoteManager(baseURL, sid string) *RemoteManager {
+	return NewRemoteManagerWith(baseURL, sid, RemoteOptions{})
+}
+
+// NewRemoteManagerWith is NewRemoteManager with explicit per-hop
+// deadline, retry, and breaker settings.
+func NewRemoteManagerWith(baseURL, sid string, opts RemoteOptions) *RemoteManager {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 1
+	}
 	base := strings.TrimRight(baseURL, "/")
 	ctx, cancel := context.WithCancel(context.Background())
 	rm := &RemoteManager{
 		base:   base,
-		client: &http.Client{},
+		client: &http.Client{Timeout: opts.Timeout},
+		poller: &http.Client{Timeout: 40 * time.Second},
+		hop: resilience.Hop{
+			Timeout: opts.Timeout,
+			Retry:   resilience.RetryPolicy{Attempts: 1 + opts.Retries},
+			Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				Threshold: opts.BreakerThreshold,
+				Cooldown:  opts.BreakerCooldown,
+			}),
+		},
 		sid:    sid,
 		ctx:    ctx,
 		cancel: cancel,
@@ -151,25 +219,41 @@ func NewRemoteManager(baseURL, sid string) *RemoteManager {
 	srv.FetchDelay = nil
 	rm.Manager = NewManager(srv, sid)
 	rm.Manager.fetchOverride = rm.fetchDomain
+	rm.Manager.OnDegraded = opts.OnDegraded
 	go rm.pollLoop()
 	return rm
 }
 
-// fetchDomain downloads the domain rules and records the policy version.
-func (rm *RemoteManager) fetchDomain(sid string) []Grant {
-	resp, err := rm.client.Get(rm.base + "/domain?sid=" + sid)
-	if err != nil {
-		return nil // fail closed: no grants
-	}
-	defer resp.Body.Close()
+// Breaker exposes the server-hop circuit breaker (diagnostics).
+func (rm *RemoteManager) Breaker() *resilience.Breaker { return rm.hop.Breaker }
+
+// fetchDomain downloads the domain rules and records the policy
+// version. An error (timeout, refused, breaker open, bad payload) means
+// the caller's check fails closed.
+func (rm *RemoteManager) fetchDomain(sid string) ([]Grant, error) {
 	var wd wireDomain
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&wd); err != nil {
-		return nil
+	err := rm.hop.Do(rm.ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rm.base+"/domain?sid="+sid, nil)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		resp, err := rm.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("security: domain fetch: %s", resp.Status)
+		}
+		return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&wd)
+	})
+	if err != nil {
+		return nil, err
 	}
 	rm.mu.Lock()
 	rm.version = wd.Version
 	rm.mu.Unlock()
-	return wd.Grants
+	return wd.Grants, nil
 }
 
 // pollLoop watches for policy-version changes and invalidates the local
@@ -184,7 +268,7 @@ func (rm *RemoteManager) pollLoop() {
 		if err != nil {
 			return
 		}
-		resp, err := rm.client.Do(req)
+		resp, err := rm.poller.Do(req)
 		if err != nil {
 			select {
 			case <-rm.ctx.Done():
