@@ -140,7 +140,7 @@ func main() {
 		})
 		run("Ablation: replicated proxies (§2)", func() (string, error) {
 			clients := 300
-			reps := []int{1, 2, 4}
+			reps := []int{1, 2, 4, 8}
 			if *scale > 1 {
 				clients = 60
 				reps = []int{1, 2}

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	dvmclient -proxy http://127.0.0.1:8642 -main jlex/Main [args...]
+//	dvmclient -proxy http://10.0.0.1:8642,http://10.0.0.2:8642 -main jlex/Main [args...]
 //	dvmclient -dir ./classes -main jlex/Main [-monolithic] [args...]
+//
+// -proxy accepts a comma-separated endpoint list: the client spreads
+// class loads round-robin across the fleet and fails over to the next
+// endpoint when one stops answering (a sharded cluster serves any key
+// from any node, so every endpoint is equivalent).
 //
 // With -monolithic the client runs the baseline architecture: local
 // verification at load time and no dependence on injected checks.
@@ -27,7 +33,7 @@ import (
 )
 
 func main() {
-	proxyURL := flag.String("proxy", "", "proxy base URL (e.g. http://127.0.0.1:8642)")
+	proxyURL := flag.String("proxy", "", "proxy base URL, or a comma-separated list for round-robin with failover")
 	dir := flag.String("dir", "", "load classes from a local directory instead of a proxy")
 	mainClass := flag.String("main", "", "internal name of the class whose main to run (required)")
 	clientID := flag.String("id", "dvmclient", "client identifier sent to the proxy")
@@ -48,11 +54,26 @@ func main() {
 
 	var loader jvm.ClassLoader
 	if *proxyURL != "" {
-		loader = proxy.HTTPLoaderWith(*proxyURL, *clientID, *arch, proxy.LoaderOptions{
+		var endpoints []string
+		for _, u := range strings.Split(*proxyURL, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				endpoints = append(endpoints, u)
+			}
+		}
+		opts := proxy.LoaderOptions{
 			Timeout:          *fetchTimeout,
 			Retries:          *retries,
 			BreakerThreshold: *breakerThreshold,
-		})
+		}
+		if len(endpoints) == 1 {
+			loader = proxy.HTTPLoaderWith(endpoints[0], *clientID, *arch, opts)
+		} else {
+			var err error
+			loader, err = proxy.HTTPLoaderMulti(endpoints, *clientID, *arch, opts)
+			if err != nil {
+				fatal(err)
+			}
+		}
 	} else {
 		root := *dir
 		loader = jvm.FuncLoader(func(name string) ([]byte, error) {

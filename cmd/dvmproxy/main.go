@@ -9,12 +9,25 @@
 //	         [-no-cache] [-no-compile] [-audit-log proxy-audit.log]
 //	         [-fetch-timeout 10s] [-retries 2] [-breaker-threshold 5]
 //	         [-cache-ttl 0]
+//	         [-self http://10.0.0.1:8642 -peers http://10.0.0.1:8642,http://10.0.0.2:8642]
 //
 // The origin directory maps internal class names to files:
 // jlex/Main -> ./classes/jlex/Main.class. Origin fetches carry a
 // per-attempt deadline, bounded retries, and a circuit breaker; with a
 // cache TTL set, an unreachable origin degrades to serving stale cache
 // entries (stale-if-error) instead of failing requests.
+//
+// Cluster mode (-self/-peers) joins this proxy to a sharded fleet: a
+// consistent-hash ring assigns every (arch, class) key an owner node,
+// and misses for keys owned elsewhere are filled from the owner over
+// /peer/class instead of refetched from the origin — one origin fetch
+// and one pipeline run per key across the whole fleet. A peer that
+// stops answering trips a per-link breaker and this node degrades to
+// local fetches. /healthz shows the ring view.
+//
+// The server drains gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests get -drain-timeout to finish, and the stats ticker
+// stops.
 package main
 
 import (
@@ -26,10 +39,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"dvm/internal/cluster"
 	"dvm/internal/compiler"
 	"dvm/internal/monitor"
 	"dvm/internal/proxy"
@@ -67,10 +83,21 @@ func main() {
 	retries := flag.Int("retries", 2, "origin fetch retries after the first failed attempt")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive origin failures that trip the circuit breaker (-1 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
+	self := flag.String("self", "", "this node's peer URL in a sharded proxy cluster (e.g. http://10.0.0.1:8642); empty = standalone")
+	peers := flag.String("peers", "", "comma-separated peer URLs forming the static cluster membership (include -self)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default)")
+	hotThreshold := flag.Int("hot-threshold", 0, "peer fills of one key before it is replicated into the local cache (0 = default 8, -1 = never)")
+	peerTimeout := flag.Duration("peer-timeout", 3*time.Second, "deadline for one peer class fetch")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (slowloris guard)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long in-flight requests get to finish on shutdown")
 	flag.Parse()
 	if *originDir == "" {
-		fmt.Fprintln(os.Stderr, "usage: dvmproxy -origin dir [-addr :8642] [-policy policy.xml]")
+		fmt.Fprintln(os.Stderr, "usage: dvmproxy -origin dir [-addr :8642] [-policy policy.xml] [-self URL -peers URL,...]")
 		os.Exit(2)
+	}
+	if *self == "" && *peers != "" {
+		log.Fatal("dvmproxy: -peers requires -self")
 	}
 
 	pipe := rewrite.NewPipeline(verifier.Filter())
@@ -109,21 +136,104 @@ func main() {
 		}
 		defer f.Close()
 		cfg.OnAudit = func(r proxy.RequestRecord) {
-			fmt.Fprintf(f, "client=%s arch=%s class=%s bytes=%d cached=%v coalesced=%v rejected=%v stale=%v fetchErr=%q dur=%s\n",
-				r.Client, r.Arch, r.Class, r.Bytes, r.CacheHit, r.Coalesced, r.Rejected, r.Stale, r.FetchError, r.Duration)
+			fmt.Fprintf(f, "client=%s arch=%s class=%s bytes=%d cached=%v coalesced=%v rejected=%v stale=%v peer=%q peerErr=%q fetchErr=%q dur=%s\n",
+				r.Client, r.Arch, r.Class, r.Bytes, r.CacheHit, r.Coalesced, r.Rejected, r.Stale, r.Peer, r.PeerError, r.FetchError, r.Duration)
 		}
 	}
-	p := proxy.New(dirOrigin{root: *originDir}, cfg)
+
+	origin := dirOrigin{root: *originDir}
+	var handler http.Handler
+	var stats func() proxy.Stats
+	if *self != "" {
+		node, err := cluster.NewNode(origin, cfg, cluster.Config{
+			Self:             *self,
+			Peers:            splitList(*peers),
+			VirtualNodes:     *vnodes,
+			HotThreshold:     *hotThreshold,
+			PeerTimeout:      *peerTimeout,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		})
+		if err != nil {
+			log.Fatalf("dvmproxy: %v", err)
+		}
+		handler = node.Handler()
+		stats = node.Proxy().Stats
+		log.Printf("dvmproxy: cluster node %s with %d members (ring seed 0, vnodes %d, hot threshold %d)",
+			*self, node.Ring().Size(), *vnodes, *hotThreshold)
+	} else {
+		p := proxy.New(origin, cfg)
+		handler = p.Handler()
+		stats = p.Stats
+	}
+
+	summarize := func(prefix string) {
+		s := stats()
+		log.Printf("dvmproxy: %s requests=%d cacheHits=%d coalesced=%d originFetches=%d fetchRetries=%d fetchErrors=%d staleServed=%d peerFetches=%d peerHits=%d ownerFetches=%d rejections=%d bytesIn=%d bytesOut=%d proxyTime=%s breaker=%s breakerTrips=%d",
+			prefix, s.Requests, s.CacheHits, s.Coalesced, s.OriginFetches, s.FetchRetries, s.FetchErrors, s.StaleServed,
+			s.PeerFetches, s.PeerHits, s.OwnerFetches, s.Rejections, s.BytesIn, s.BytesOut, s.ProxyTime, s.Breaker.State, s.Breaker.Trips)
+	}
+
+	// The stats ticker is owned by the shutdown path: unlike time.Tick,
+	// a Ticker plus a done channel actually terminates the goroutine.
+	tickerDone := make(chan struct{})
+	tickerStopped := make(chan struct{})
 	if *statsInterval > 0 {
+		ticker := time.NewTicker(*statsInterval)
 		go func() {
-			for range time.Tick(*statsInterval) {
-				s := p.Stats()
-				log.Printf("dvmproxy: summary requests=%d cacheHits=%d coalesced=%d originFetches=%d fetchRetries=%d fetchErrors=%d staleServed=%d rejections=%d bytesIn=%d bytesOut=%d proxyTime=%s breaker=%s breakerTrips=%d",
-					s.Requests, s.CacheHits, s.Coalesced, s.OriginFetches, s.FetchRetries, s.FetchErrors, s.StaleServed, s.Rejections, s.BytesIn, s.BytesOut, s.ProxyTime, s.Breaker.State, s.Breaker.Trips)
+			defer close(tickerStopped)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					summarize("summary")
+				case <-tickerDone:
+					return
+				}
 			}
 		}()
+	} else {
+		close(tickerStopped)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	log.Printf("dvmproxy: serving %s on %s (cache=%v, filters=%d, fetch-timeout=%s, retries=%d, breaker-threshold=%d)",
 		*originDir, *addr, !*noCache, len(pipe.Filters()), *fetchTimeout, *retries, *breakerThreshold)
-	log.Fatal(http.ListenAndServe(*addr, p.Handler()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("dvmproxy: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("dvmproxy: signal received, draining connections (up to %s)", *drainTimeout)
+	close(tickerDone)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("dvmproxy: drain incomplete: %v", err)
+	}
+	<-tickerStopped
+	summarize("final")
+	log.Print("dvmproxy: shut down")
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }

@@ -1,0 +1,486 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+	"dvm/internal/cluster"
+	"dvm/internal/netsim"
+	"dvm/internal/proxy"
+	"dvm/internal/rewrite"
+	"dvm/internal/verifier"
+)
+
+// corpus builds n distinct single-class applets.
+func corpus(t *testing.T, n int) proxy.MapOrigin {
+	t.Helper()
+	out := make(proxy.MapOrigin, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("app/Applet%03d", i)
+		b := classgen.NewClass(name, "java/lang/Object")
+		b.DefaultInit()
+		m := b.Method(classfile.AccPublic|classfile.AccStatic, "val", "()I")
+		m.IConst(int32(i)).IReturn()
+		data, err := b.BuildBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// countingOrigin counts fetches across the whole cluster (all nodes
+// share one instance).
+type countingOrigin struct {
+	inner   proxy.Origin
+	fetches atomic.Int64
+}
+
+func (c *countingOrigin) Fetch(ctx context.Context, name string) ([]byte, error) {
+	c.fetches.Add(1)
+	return c.inner.Fetch(ctx, name)
+}
+
+func classNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("app/Applet%03d", i)
+	}
+	return out
+}
+
+func verifyingProxyCfg(i int) proxy.Config {
+	return proxy.Config{
+		Pipeline:     rewrite.NewPipeline(verifier.Filter()),
+		CacheEnabled: true,
+	}
+}
+
+// TestClusterSingleOriginFetchPerKey is the headline acceptance
+// property: a 4-node cluster serving the same class set from every node
+// performs exactly one origin fetch per distinct (arch, class) key,
+// where 4 round-robin replicas perform ~4x that.
+func TestClusterSingleOriginFetchPerKey(t *testing.T) {
+	// classes is coprime to nodes so the round-robin baseline can't luck
+	// into per-class replica affinity.
+	const nodes, classes = 4, 17
+	org := &countingOrigin{inner: corpus(t, classes)}
+	c, err := cluster.StartLocal(org, nodes, verifyingProxyCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	var want []byte
+	for ni, n := range c.Nodes {
+		for _, class := range classNames(classes) {
+			data, err := n.Request(ctx, fmt.Sprintf("client-%d", ni), "dvm", class)
+			if err != nil {
+				t.Fatalf("node %d class %s: %v", ni, class, err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("node %d class %s: empty response", ni, class)
+			}
+			if class == "app/Applet000" {
+				if want == nil {
+					want = data
+				} else if !bytes.Equal(want, data) {
+					t.Errorf("node %d serves different bytes for %s than the owner", ni, class)
+				}
+			}
+		}
+	}
+	if got := org.fetches.Load(); got != classes {
+		t.Errorf("cluster origin fetches = %d, want exactly %d (one per distinct key)", got, classes)
+	}
+	var total proxy.Stats
+	for _, n := range c.Nodes {
+		s := n.Proxy().Stats()
+		total.OriginFetches += s.OriginFetches
+		total.OwnerFetches += s.OwnerFetches
+		total.PeerHits += s.PeerHits
+		total.PeerFetches += s.PeerFetches
+	}
+	if total.OriginFetches != classes {
+		t.Errorf("sum OriginFetches = %d, want %d", total.OriginFetches, classes)
+	}
+	if total.OwnerFetches != classes {
+		t.Errorf("sum OwnerFetches = %d, want %d", total.OwnerFetches, classes)
+	}
+	if total.PeerHits != total.PeerFetches {
+		t.Errorf("peer fetches failed: hits=%d fetches=%d", total.PeerHits, total.PeerFetches)
+	}
+	// Every node's misses for non-owned keys went over the peer protocol:
+	// (nodes-1) requesters per key.
+	if want := int64((nodes - 1) * classes); total.PeerHits != want {
+		t.Errorf("sum PeerHits = %d, want %d", total.PeerHits, want)
+	}
+
+	// The round-robin baseline: same workload, N independent caches.
+	org2 := &countingOrigin{inner: corpus(t, classes)}
+	group, err := proxy.NewReplicaGroup(org2, nodes, func(int) proxy.Config {
+		return verifyingProxyCfg(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < nodes; round++ {
+		for _, class := range classNames(classes) {
+			if _, err := group.Request(ctx, "client", "dvm", class); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if rr := org2.fetches.Load(); rr < int64(2*classes) {
+		t.Errorf("round-robin fleet fetched only %d times; expected duplicate cold fetches well above %d", rr, classes)
+	} else {
+		t.Logf("origin fetches: cluster=%d round-robin=%d (%d distinct keys)", org.fetches.Load(), rr, classes)
+	}
+}
+
+// TestClusterPeerDownDegradesToLocal kills one node's server mid-run:
+// requests from the surviving nodes for keys that dead node owned must
+// degrade to local origin fetches without a single request failure.
+func TestClusterPeerDownDegradesToLocal(t *testing.T) {
+	const nodes, classes = 4, 24
+	org := &countingOrigin{inner: corpus(t, classes)}
+	c, err := cluster.StartLocal(org, nodes, verifyingProxyCfg, func(int) cluster.Config {
+		return cluster.Config{PeerTimeout: 2 * time.Second, BreakerThreshold: 2, BreakerCooldown: time.Minute}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	warm := func(skip int) {
+		for ni, n := range c.Nodes {
+			if ni == skip {
+				continue
+			}
+			for _, class := range classNames(classes) {
+				if _, err := n.Request(ctx, fmt.Sprintf("client-%d", ni), "dvm", class); err != nil {
+					t.Fatalf("node %d class %s: %v", ni, class, err)
+				}
+			}
+		}
+	}
+	warm(-1)
+	fetchesBefore := org.fetches.Load()
+	if fetchesBefore != classes {
+		t.Fatalf("warm cluster fetched %d times, want %d", fetchesBefore, classes)
+	}
+
+	// Kill node 0 and invalidate the survivors' caches for its keys by
+	// using a fresh arch (fresh cache keys reshard to the same owners).
+	c.Stop(0)
+	for ni, n := range c.Nodes {
+		if ni == 0 {
+			continue
+		}
+		for _, class := range classNames(classes) {
+			if _, err := n.Request(ctx, fmt.Sprintf("client-%d", ni), "jdk", class); err != nil {
+				t.Fatalf("after peer death: node %d class %s: %v", ni, class, err)
+			}
+		}
+	}
+	var peerErrors int64
+	for ni, n := range c.Nodes {
+		if ni == 0 {
+			continue
+		}
+		peerErrors += n.PeerErrors()
+	}
+	if peerErrors == 0 {
+		t.Error("no peer errors recorded although a peer was killed")
+	}
+	if org.fetches.Load() == fetchesBefore {
+		t.Error("no local fallback fetches after peer death")
+	}
+	// The dead peer's link breaker must be visible in the survivors' view.
+	open := false
+	for ni, n := range c.Nodes {
+		if ni == 0 {
+			continue
+		}
+		for _, v := range n.PeerViews() {
+			if v.Member == c.Nodes[0].Self() && v.Link != "closed" && v.Link != "-" {
+				open = true
+			}
+		}
+	}
+	if !open {
+		t.Error("no survivor marked the dead peer's link breaker non-closed")
+	}
+}
+
+// TestClusterHotKeyReplication: a key a node keeps filling from its
+// owner crosses HotThreshold and gets replicated into the node's own
+// cache, after which the peer traffic for it stops.
+func TestClusterHotKeyReplication(t *testing.T) {
+	const classes = 8
+	org := &countingOrigin{inner: corpus(t, classes)}
+	c, err := cluster.StartLocal(org, 2, verifyingProxyCfg, func(int) cluster.Config {
+		return cluster.Config{HotThreshold: 3}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find a class owned by node 1 so node 0 must peer-fill it.
+	ring := c.Nodes[0].Ring()
+	var remote string
+	for _, class := range classNames(classes) {
+		if ring.Owner(cluster.KeyFor("dvm", class)) == c.Nodes[1].Self() {
+			remote = class
+			break
+		}
+	}
+	if remote == "" {
+		t.Fatal("no class owned by node 1")
+	}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Nodes[0].Request(ctx, "client", "dvm", remote); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Nodes[0].Proxy().Stats()
+	if s.PeerFetches != 3 {
+		t.Errorf("peer fetches = %d, want exactly HotThreshold=3 (then served from the local replica)", s.PeerFetches)
+	}
+	if c.Nodes[0].HotReplicas() == 0 {
+		t.Error("hot key was never replicated locally")
+	}
+	if org.fetches.Load() != 1 {
+		t.Errorf("origin fetched %d times for one key", org.fetches.Load())
+	}
+}
+
+// TestClusterRejectionSurvivesPeerHop: a class the pipeline rejects is
+// served as a VerifyError replacement by the owner, and the rejected
+// flag crosses the peer protocol into the requester's audit trail.
+func TestClusterRejectionSurvivesPeerHop(t *testing.T) {
+	org := corpus(t, 4)
+	org["app/Bad"] = []byte("\xde\xad\xbe\xefnot a classfile")
+	var mu sync.Mutex
+	var records []proxy.RequestRecord
+	c, err := cluster.StartLocal(org, 2, func(int) proxy.Config {
+		return proxy.Config{
+			Pipeline:     rewrite.NewPipeline(verifier.Filter()),
+			CacheEnabled: true,
+			OnAudit: func(r proxy.RequestRecord) {
+				mu.Lock()
+				records = append(records, r)
+				mu.Unlock()
+			},
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Request from the node that does NOT own the key.
+	requester := 0
+	if c.Nodes[0].Ring().Owner(cluster.KeyFor("dvm", "app/Bad")) == c.Nodes[0].Self() {
+		requester = 1
+	}
+	data, err := c.Nodes[requester].Request(context.Background(), "client", "dvm", "app/Bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("no replacement class served")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, r := range records {
+		if r.Class == "app/Bad" && r.Peer != "" && r.Rejected {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no audit record with both Peer set and Rejected=true; the flag was lost on the peer hop")
+	}
+}
+
+// TestClusterNotFound: a class missing from the origin surfaces the
+// canonical not-found through the peer path (mapped to 404 by the
+// front end), not a peer-outage error.
+func TestClusterNotFound(t *testing.T) {
+	c, err := cluster.StartLocal(corpus(t, 4), 2, verifyingProxyCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for ni, n := range c.Nodes {
+		_, err := n.Request(context.Background(), "client", "dvm", "app/Missing")
+		if !errors.Is(err, proxy.ErrNotFound) {
+			t.Errorf("node %d: err = %v, want ErrNotFound", ni, err)
+		}
+	}
+}
+
+// TestClusterChaosPeerFaults drives concurrent cluster traffic while
+// every peer link injects deterministic errors, hangs, and partial
+// reads. No request may fail: a broken peer hop always degrades to a
+// local origin fetch.
+func TestClusterChaosPeerFaults(t *testing.T) {
+	const nodes, classes, rounds = 3, 12, 6
+	org := &countingOrigin{inner: corpus(t, classes)}
+	links := make([]*netsim.LinkFaults, nodes)
+	next := 0
+	c, err := cluster.StartLocal(org, nodes, verifyingProxyCfg, func(int) cluster.Config {
+		lf := netsim.NewLinkFaults(nil)
+		links[next] = lf
+		next++
+		return cluster.Config{
+			Transport:        lf,
+			PeerTimeout:      300 * time.Millisecond,
+			BreakerThreshold: 3,
+			BreakerCooldown:  100 * time.Millisecond,
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Every link from every node carries faults; each (src,dst) pair gets
+	// its own deterministic sequence.
+	for i, lf := range links {
+		for j, u := range c.URLs() {
+			if i == j {
+				continue
+			}
+			parsed, err := url.Parse(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lf.SetLink(parsed.Host, netsim.FaultSpec{
+				Seed:        uint64(i*nodes + j),
+				ErrorRate:   0.25,
+				HangRate:    0.1,
+				HangFor:     50 * time.Millisecond,
+				PartialRate: 0.15,
+			})
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, nodes*rounds*classes)
+	for ni := range c.Nodes {
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(ni, r int) {
+				defer wg.Done()
+				// Distinct archs defeat caching round-to-round so the peer
+				// path keeps being exercised under faults.
+				arch := fmt.Sprintf("arch-%d", r)
+				for _, class := range classNames(classes) {
+					data, err := c.Nodes[ni].Request(context.Background(), fmt.Sprintf("c%d", ni), arch, class)
+					if err != nil {
+						errCh <- fmt.Errorf("node %d round %d class %s: %w", ni, r, class, err)
+						return
+					}
+					if len(data) == 0 {
+						errCh <- fmt.Errorf("node %d round %d class %s: empty", ni, r, class)
+						return
+					}
+				}
+			}(ni, r)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	var peerErrors int64
+	for _, n := range c.Nodes {
+		peerErrors += n.PeerErrors()
+	}
+	if peerErrors == 0 {
+		t.Error("chaos run injected no peer failures; fault wiring is dead")
+	}
+	t.Logf("chaos: %d peer errors absorbed, %d origin fetches for %d distinct keys",
+		peerErrors, org.fetches.Load(), rounds*classes)
+}
+
+// TestClusterHealthzRingView: the node's /healthz includes the ring
+// membership with per-link breaker state.
+func TestClusterHealthzRingView(t *testing.T) {
+	c, err := cluster.StartLocal(corpus(t, 2), 3, verifyingProxyCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := http.Get(c.URLs()[0] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "peerFetches=") || !strings.Contains(text, "ownerFetches=") {
+		t.Errorf("healthz missing cluster counters:\n%s", text)
+	}
+	if got := strings.Count(text, "ring member="); got != 3 {
+		t.Errorf("healthz lists %d ring members, want 3:\n%s", got, text)
+	}
+	if !strings.Contains(text, "self") {
+		t.Errorf("healthz does not mark self:\n%s", text)
+	}
+}
+
+// TestClusterClientLoaderFailover: the multi-endpoint HTTP loader keeps
+// loading classes when one endpoint dies.
+func TestClusterClientLoaderFailover(t *testing.T) {
+	c, err := cluster.StartLocal(corpus(t, 6), 3, verifyingProxyCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	loader, err := proxy.HTTPLoaderMulti(c.URLs(), "client", "dvm", proxy.LoaderOptions{
+		Timeout: 2 * time.Second, BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range classNames(6) {
+		if _, err := loader.Load(class); err != nil {
+			t.Fatalf("load %s: %v", class, err)
+		}
+	}
+	c.Stop(1)
+	for round := 0; round < 3; round++ {
+		for _, class := range classNames(6) {
+			if _, err := loader.Load(class); err != nil {
+				t.Fatalf("load %s after endpoint death: %v", class, err)
+			}
+		}
+	}
+	if _, err := loader.Load("app/Missing"); !errors.Is(err, proxy.ErrNotFound) {
+		t.Errorf("missing class: err = %v, want ErrNotFound", err)
+	}
+}

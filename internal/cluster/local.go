@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"dvm/internal/proxy"
+)
+
+// LocalCluster is an in-process cluster: n nodes, each with a real HTTP
+// listener on a loopback port, so the peer protocol runs over the
+// actual wire path while everything lives in one process. It backs the
+// eval scalability tables and the chaos tests, and doubles as a
+// single-machine deployment helper.
+type LocalCluster struct {
+	Nodes []*Node
+
+	servers   []*http.Server
+	listeners []net.Listener
+	wg        sync.WaitGroup
+
+	mu      sync.Mutex
+	stopped []bool
+}
+
+// StartLocal builds and serves n nodes over origin. mkProxy(i) supplies
+// each node's proxy config (nil = cache enabled, defaults otherwise);
+// mkCluster(i) supplies each node's cluster config, whose Self and
+// Peers are overwritten with the loopback endpoints (nil = defaults).
+// Listeners are bound before any node is constructed, so every node is
+// born with the complete membership list.
+func StartLocal(origin proxy.Origin, n int, mkProxy func(i int) proxy.Config, mkCluster func(i int) Config) (*LocalCluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: local cluster needs at least 1 node")
+	}
+	c := &LocalCluster{stopped: make([]bool, n)}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.listeners = append(c.listeners, l)
+		urls[i] = "http://" + l.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		pcfg := proxy.Config{CacheEnabled: true}
+		if mkProxy != nil {
+			pcfg = mkProxy(i)
+		}
+		ccfg := Config{}
+		if mkCluster != nil {
+			ccfg = mkCluster(i)
+		}
+		ccfg.Self = urls[i]
+		ccfg.Peers = urls
+		node, err := NewNode(origin, pcfg, ccfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+		srv := &http.Server{Handler: node.Handler()}
+		c.servers = append(c.servers, srv)
+		c.wg.Add(1)
+		go func(srv *http.Server, l net.Listener) {
+			defer c.wg.Done()
+			_ = srv.Serve(l)
+		}(srv, c.listeners[i])
+	}
+	return c, nil
+}
+
+// URLs returns the nodes' peer endpoints in node order.
+func (c *LocalCluster) URLs() []string {
+	out := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Self()
+	}
+	return out
+}
+
+// Stop kills node i's HTTP server (chaos: a peer crash). The node's
+// in-process object remains usable; only its network presence dies.
+func (c *LocalCluster) Stop(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.servers) || c.stopped[i] {
+		return
+	}
+	c.stopped[i] = true
+	_ = c.servers[i].Close()
+}
+
+// Close shuts down every node's server.
+func (c *LocalCluster) Close() {
+	c.mu.Lock()
+	for i, srv := range c.servers {
+		if !c.stopped[i] {
+			c.stopped[i] = true
+			_ = srv.Close()
+		}
+	}
+	// Listeners without a server yet (constructor failure path).
+	for i := len(c.servers); i < len(c.listeners); i++ {
+		_ = c.listeners[i].Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvm/internal/proxy"
+	"dvm/internal/resilience"
+)
+
+// peerPathPrefix is the peer-protocol route: an owner serves the
+// transformed class for GET /peer/class/<name>.class with X-DVM-Arch.
+const peerPathPrefix = "/peer/class/"
+
+// maxPeerClassBytes bounds one peer response read; mirrors the client
+// loader's bound so a misbehaving peer cannot OOM a node.
+const maxPeerClassBytes = 16 << 20
+
+// maxHotKeys bounds the per-node hot-key counter table. When it fills,
+// the counts are reset — crude aging that keeps the table O(1) while
+// still promoting keys that stay hot across resets.
+const maxHotKeys = 4096
+
+// Config parameterizes one cluster node.
+type Config struct {
+	// Self is this node's peer URL (e.g. "http://10.0.0.1:8642"); the
+	// other members reach its /peer/class/ endpoint there.
+	Self string
+	// Peers is the full static membership, including Self (added if
+	// absent). Every node must be configured with the same set: the ring
+	// is computed locally and identically on each node.
+	Peers []string
+	// VirtualNodes per member on the ring (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// Seed perturbs ring placement; all members must share it.
+	Seed uint64
+	// HotThreshold is how many peer fills of one key this node performs
+	// before replicating the key into its own cache (0 = default 8,
+	// <0 = never replicate).
+	HotThreshold int
+	// PeerTimeout bounds one peer class fetch (default 3s).
+	PeerTimeout time.Duration
+	// BreakerThreshold/BreakerCooldown parameterize the per-peer circuit
+	// breakers (defaults as in internal/resilience).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Transport overrides the peer HTTP transport (fault injection via
+	// netsim.LinkFaults / netsim.FaultyTransport).
+	Transport http.RoundTripper
+}
+
+// defaultHotThreshold is the peer-fill count after which a key is
+// replicated locally when Config.HotThreshold is zero.
+const defaultHotThreshold = 8
+
+// Node is one member of a sharded proxy cluster: a local proxy whose
+// miss path consults the ring, plus the peer-protocol client and server
+// halves.
+type Node struct {
+	cfg    Config
+	ring   *Ring
+	local  *proxy.Proxy
+	client *http.Client
+
+	breakerMu sync.Mutex
+	breakers  map[string]*resilience.Breaker
+
+	hotMu sync.Mutex
+	hot   map[string]int
+
+	statPeerErrors  atomic.Int64 // failed peer-fill attempts (fell back to local origin)
+	statPeerServed  atomic.Int64 // peer-protocol requests this node answered as owner
+	statHotReplicas atomic.Int64 // keys promoted into the local cache as hot
+}
+
+// NewNode builds the node's proxy over origin with pcfg and wires its
+// miss path into the cluster. pcfg.PeerFill is overwritten.
+func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	cfg.Self = strings.TrimSuffix(cfg.Self, "/")
+	members := make([]string, 0, len(cfg.Peers)+1)
+	for _, p := range cfg.Peers {
+		members = append(members, strings.TrimSuffix(p, "/"))
+	}
+	if !contains(members, cfg.Self) {
+		members = append(members, cfg.Self)
+	}
+	ring, err := NewRing(members, cfg.VirtualNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HotThreshold == 0 {
+		cfg.HotThreshold = defaultHotThreshold
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 3 * time.Second
+	}
+	n := &Node{
+		cfg:      cfg,
+		ring:     ring,
+		client:   &http.Client{Transport: cfg.Transport},
+		breakers: make(map[string]*resilience.Breaker),
+		hot:      make(map[string]int),
+	}
+	pcfg.PeerFill = n.fill
+	n.local = proxy.New(origin, pcfg)
+	return n, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Proxy returns the node's local proxy (stats, diagnostics).
+func (n *Node) Proxy() *proxy.Proxy { return n.local }
+
+// Ring returns the node's view of the ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Self returns this node's peer URL.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Request serves one class through the cluster-aware local proxy.
+func (n *Node) Request(ctx context.Context, client, arch, class string) ([]byte, error) {
+	return n.local.Request(ctx, client, arch, class)
+}
+
+// localOnlyKey marks a context as coming in over the peer protocol:
+// such a request must be answered from this node (cache or origin) and
+// never forwarded again, so a transient membership disagreement between
+// two nodes' ring views cannot turn into a forwarding loop.
+type localOnlyKey struct{}
+
+func withLocalOnly(ctx context.Context) context.Context {
+	return context.WithValue(ctx, localOnlyKey{}, true)
+}
+
+func isLocalOnly(ctx context.Context) bool {
+	v, _ := ctx.Value(localOnlyKey{}).(bool)
+	return v
+}
+
+// breaker returns (creating on demand) the circuit breaker guarding the
+// link to peer.
+func (n *Node) breaker(peer string) *resilience.Breaker {
+	n.breakerMu.Lock()
+	defer n.breakerMu.Unlock()
+	b, ok := n.breakers[peer]
+	if !ok {
+		b = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: n.cfg.BreakerThreshold,
+			Cooldown:  n.cfg.BreakerCooldown,
+		})
+		n.breakers[peer] = b
+	}
+	return b
+}
+
+// noteFill counts a peer fill for key and reports whether the key has
+// crossed the hot threshold and should be replicated locally.
+func (n *Node) noteFill(key string) bool {
+	if n.cfg.HotThreshold < 0 {
+		return false
+	}
+	n.hotMu.Lock()
+	defer n.hotMu.Unlock()
+	if len(n.hot) >= maxHotKeys {
+		n.hot = make(map[string]int)
+	}
+	n.hot[key]++
+	return n.hot[key] >= n.cfg.HotThreshold
+}
+
+// fill is the proxy's PeerFill hook: route the miss to the ring owner.
+func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
+	if isLocalOnly(ctx) {
+		// Peer-protocol request: we are being asked *as* the owner (or as
+		// a fallback); answer from here regardless of the ring view.
+		return proxy.PeerResult{Outcome: proxy.PeerSelf}
+	}
+	key := KeyFor(arch, class)
+	owner := n.ring.Owner(key)
+	if owner == n.cfg.Self {
+		return proxy.PeerResult{Outcome: proxy.PeerSelf}
+	}
+	hot := n.noteFill(key)
+	b := n.breaker(owner)
+	if err := b.Allow(); err != nil {
+		// The link to the owner is presumed down: skip the network hop
+		// entirely and degrade to a local origin fetch.
+		n.statPeerErrors.Add(1)
+		return proxy.PeerResult{Outcome: proxy.PeerFailed, Peer: owner, Err: err}
+	}
+	res := n.fetchPeer(ctx, owner, arch, class)
+	res.Peer = owner
+	switch res.Outcome {
+	case proxy.PeerServed:
+		b.Success()
+		if hot {
+			res.CacheLocal = true
+			n.statHotReplicas.Add(1)
+		}
+	case proxy.PeerFailed:
+		if resilience.IsPermanent(res.Err) {
+			// A definitive answer (e.g. the owner's origin says not
+			// found): the peer is healthy, only this key is unservable.
+			b.Success()
+		} else {
+			b.Failure()
+		}
+		n.statPeerErrors.Add(1)
+	}
+	return res
+}
+
+// fetchPeer performs one GET against the owner's peer endpoint.
+func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.PeerResult {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+peerPathPrefix+class+".class", nil)
+	if err != nil {
+		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: resilience.Permanent(err)}
+	}
+	req.Header.Set("X-DVM-Arch", arch)
+	req.Header.Set("X-DVM-Client", "peer:"+n.cfg.Self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		err := fmt.Errorf("cluster: peer %s: %s: %s", owner, resp.Status, strings.TrimSpace(string(body)))
+		if resp.StatusCode == http.StatusNotFound {
+			// Definitive: the owner asked the origin and the class does
+			// not exist. The local fallback fetch will surface the
+			// canonical not-found to the client.
+			return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: resilience.Permanent(err)}
+		}
+		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerClassBytes+1))
+	if err != nil {
+		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
+	}
+	if len(data) > maxPeerClassBytes {
+		return proxy.PeerResult{Outcome: proxy.PeerFailed,
+			Err: resilience.Permanent(fmt.Errorf("cluster: peer %s: %s: response exceeds %d bytes", owner, class, maxPeerClassBytes))}
+	}
+	return proxy.PeerResult{
+		Outcome:  proxy.PeerServed,
+		Data:     data,
+		Rejected: resp.Header.Get("X-DVM-Rejected") == "1",
+		Stale:    resp.Header.Get("X-DVM-Stale") == "1",
+	}
+}
+
+// Handler returns the node's HTTP interface: the client-facing class
+// routes of the local proxy, the peer protocol, and a /healthz that
+// includes the ring view.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle(classPathPrefix(), n.local.Handler())
+	mux.HandleFunc(peerPathPrefix, n.handlePeer)
+	mux.HandleFunc("/healthz", n.handleHealthz)
+	return mux
+}
+
+// classPathPrefix mirrors the proxy front end's route without exporting
+// it from the proxy package.
+func classPathPrefix() string { return "/classes/" }
+
+// handlePeer answers an owner-side fill: serve the transformed class
+// from this node's cache/origin, never re-forwarding (localOnly), and
+// carry the response flags as headers.
+func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, peerPathPrefix)
+	name = strings.TrimSuffix(name, ".class")
+	if name == "" || strings.Contains(name, "..") {
+		http.Error(w, "bad class name", http.StatusBadRequest)
+		return
+	}
+	arch := r.Header.Get("X-DVM-Arch")
+	client := r.Header.Get("X-DVM-Client")
+	if client == "" {
+		client = "peer"
+	}
+	data, info, err := n.local.RequestDetail(withLocalOnly(r.Context()), client, arch, name)
+	if err != nil {
+		http.Error(w, err.Error(), proxy.StatusFor(err))
+		return
+	}
+	n.statPeerServed.Add(1)
+	if info.Rejected {
+		w.Header().Set("X-DVM-Rejected", "1")
+	}
+	if info.Stale {
+		w.Header().Set("X-DVM-Stale", "1")
+	}
+	w.Header().Set("Content-Type", "application/java-vm")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	_, _ = w.Write(data)
+}
+
+// handleHealthz renders the local proxy counters plus the cluster view:
+// one line per ring member with its link-breaker state.
+func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s := n.local.Stats()
+	fmt.Fprintf(w, "requests=%d cacheHits=%d coalesced=%d fetchErrors=%d staleServed=%d peerFetches=%d peerHits=%d ownerFetches=%d peerErrors=%d peerServed=%d hotReplicas=%d rejections=%d bytesOut=%d breaker=%s\n",
+		s.Requests, s.CacheHits, s.Coalesced, s.FetchErrors, s.StaleServed,
+		s.PeerFetches, s.PeerHits, s.OwnerFetches,
+		n.statPeerErrors.Load(), n.statPeerServed.Load(), n.statHotReplicas.Load(),
+		s.Rejections, s.BytesOut, s.Breaker.State)
+	for _, v := range n.PeerViews() {
+		marker := ""
+		if v.Self {
+			marker = " self"
+		}
+		fmt.Fprintf(w, "ring member=%s link=%s%s\n", v.Member, v.Link, marker)
+	}
+}
+
+// PeerView is one member of the node's ring view (diagnostics).
+type PeerView struct {
+	Member string
+	Self   bool
+	// Link is the local breaker state for the path to this member
+	// ("closed" = healthy, "open" = presumed down, "-" for self).
+	Link string
+}
+
+// PeerViews snapshots the ring membership with per-link health, sorted
+// by member.
+func (n *Node) PeerViews() []PeerView {
+	members := n.ring.Members()
+	sort.Strings(members)
+	out := make([]PeerView, 0, len(members))
+	for _, m := range members {
+		v := PeerView{Member: m, Self: m == n.cfg.Self, Link: "-"}
+		if !v.Self {
+			n.breakerMu.Lock()
+			b := n.breakers[m]
+			n.breakerMu.Unlock()
+			if b == nil {
+				v.Link = "closed"
+			} else {
+				v.Link = b.State().String()
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// PeerErrors returns the count of failed peer fills (diagnostics).
+func (n *Node) PeerErrors() int64 { return n.statPeerErrors.Load() }
+
+// PeerServed returns how many peer-protocol requests this node answered
+// as an owner (diagnostics).
+func (n *Node) PeerServed() int64 { return n.statPeerServed.Load() }
+
+// HotReplicas returns how many peer fills were promoted into the local
+// cache as hot keys (diagnostics).
+func (n *Node) HotReplicas() int64 { return n.statHotReplicas.Load() }

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8642", i+1)
+	}
+	return out
+}
+
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = KeyFor("dvm", fmt.Sprintf("net/pkg%d/Applet%05d", i%7, i))
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossNodes(t *testing.T) {
+	// Two nodes given the same membership in different orders must agree
+	// on every owner — the ring is configuration, not negotiation.
+	members := ringMembers(5)
+	reversed := make([]string, len(members))
+	for i, m := range members {
+		reversed[len(members)-1-i] = m
+	}
+	a, err := NewRing(members, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(reversed, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(2000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner disagreement for %q: %s vs %s", k, ao, bo)
+		}
+	}
+}
+
+func TestRingSeedChangesPlacement(t *testing.T) {
+	members := ringMembers(4)
+	a, _ := NewRing(members, 0, 1)
+	b, _ := NewRing(members, 0, 2)
+	moved := 0
+	keys := ringKeys(2000)
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("different seeds produced identical placement")
+	}
+}
+
+// TestRingBalance is the distribution property: with the default vnode
+// count, every member's share of a large key population stays within
+// 15% of the mean.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(50000)
+	for _, n := range []int{2, 4, 8} {
+		for _, seed := range []uint64{0, 7, 1999} {
+			members := ringMembers(n)
+			r, err := NewRing(members, 0, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			mean := float64(len(keys)) / float64(n)
+			for _, m := range members {
+				dev := (float64(counts[m]) - mean) / mean
+				if dev < -0.15 || dev > 0.15 {
+					t.Errorf("n=%d seed=%d: member %s holds %d keys, %.1f%% off the mean %.0f",
+						n, seed, m, counts[m], dev*100, mean)
+				}
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemap is the consistency property: adding or removing
+// one member moves at most ~1.5/n of the keys (ideal is 1/n for a
+// join against the new size, (1/n) of the old size for a leave).
+func TestRingMinimalRemap(t *testing.T) {
+	keys := ringKeys(50000)
+	for _, n := range []int{3, 5, 8} {
+		members := ringMembers(n)
+		before, err := NewRing(members, 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Leave: drop the last member.
+		after, err := NewRing(members[:n-1], 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			if before.Owner(k) != after.Owner(k) {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		if limit := 1.5 / float64(n); frac > limit {
+			t.Errorf("leave at n=%d remapped %.1f%% of keys (limit %.1f%%)", n, frac*100, limit*100)
+		}
+		// Every moved key must land on a surviving member, and keys owned
+		// by survivors must not move at all.
+		for _, k := range keys {
+			bo, ao := before.Owner(k), after.Owner(k)
+			if bo != members[n-1] && bo != ao {
+				t.Fatalf("leave at n=%d moved key %q owned by surviving member %s", n, k, bo)
+			}
+		}
+
+		// Join: add one more member.
+		joined, err := NewRing(append(append([]string{}, members...), fmt.Sprintf("http://10.0.1.1:8642")), 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved = 0
+		for _, k := range keys {
+			if before.Owner(k) != joined.Owner(k) {
+				moved++
+			}
+		}
+		frac = float64(moved) / float64(len(keys))
+		if limit := 1.5 / float64(n+1); frac > limit {
+			t.Errorf("join at n=%d remapped %.1f%% of keys (limit %.1f%%)", n, frac*100, limit*100)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0, 0); err == nil {
+		t.Error("empty member accepted")
+	}
+	r, err := NewRing([]string{"a", "a", "b"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 {
+		t.Errorf("duplicates not removed: size=%d", r.Size())
+	}
+}

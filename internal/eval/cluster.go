@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dvm/internal/cluster"
+	"dvm/internal/netsim"
+	"dvm/internal/proxy"
+)
+
+// Sharded-cluster scalability: the ROADMAP's fleet question. Round-robin
+// replication (§2's literal remedy) gives N proxies N independent
+// caches, so a fleet pays N cold origin fetches and N duplicate
+// rewrite-pipeline runs per class. The consistent-hash cluster
+// (internal/cluster) shards ownership instead: one origin fetch and one
+// pipeline run per distinct key, cluster-wide, with peer fills for
+// everyone else.
+
+// ClusterScalingRow is one (mode, fleet size) point of the comparison.
+type ClusterScalingRow struct {
+	Mode          string // "round-robin" or "cluster"
+	Nodes         int
+	Clients       int
+	OriginFetches int64
+	// DupRewrites counts pipeline runs beyond the necessary one per
+	// distinct key — pure duplicate work a sharded fleet avoids.
+	DupRewrites int64
+	// HitRate is the fleet-aggregate cache hit rate (cluster mode counts
+	// the internal peer-protocol requests too).
+	HitRate       float64
+	P50, P99      time.Duration
+	ThroughputBps float64
+}
+
+// ClusterScaling runs the same client workload against two fleets of
+// each size in nodeCounts — N round-robin replicas and an N-node
+// sharded cluster (both with caching on, over the same synthetic-
+// Internet origin) — and reports duplicate work and client-observed
+// latency. The cluster's peer hops run over real loopback HTTP.
+func ClusterScaling(clients int, nodeCounts []int, cfg Fig10Config) ([]ClusterScalingRow, string, error) {
+	origin, err := Corpus(cfg.Applets, cfg.AppletKB*1024, 42)
+	if err != nil {
+		return nil, "", err
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	inet := netsim.NewInternet(7)
+	delayed := proxy.DelayedOrigin{
+		Origin: origin,
+		Delay: func(string) {
+			if cfg.InternetScale > 0 {
+				lat := inet.FetchLatency()
+				if lat > 8*time.Second {
+					lat = 8 * time.Second
+				}
+				time.Sleep(time.Duration(float64(lat) * cfg.InternetScale))
+			}
+		},
+	}
+	mkProxy := func(int) proxy.Config {
+		return proxy.Config{
+			Pipeline:           ServicePipeline(StandardPolicy(), false),
+			CacheEnabled:       true,
+			MemoryBudget:       cfg.MemoryBudget,
+			PagingPenaltyPerMB: 150 * time.Millisecond,
+		}
+	}
+
+	var rows []ClusterScalingRow
+	for _, n := range nodeCounts {
+		// Round-robin baseline: N independent caches.
+		group, err := proxy.NewReplicaGroup(delayed, n, mkProxy)
+		if err != nil {
+			return nil, "", err
+		}
+		row, err := driveFleet("round-robin", n, clients, cfg, func(c int) requestFunc {
+			return group.Request
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		row = finishRow(row, group.Stats(), cfg.Applets)
+		rows = append(rows, row)
+
+		// Sharded cluster: one logical cache over N nodes.
+		lc, err := cluster.StartLocal(delayed, n, mkProxy, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		row, err = driveFleet("cluster", n, clients, cfg, func(c int) requestFunc {
+			return lc.Nodes[c%n].Request
+		})
+		if err != nil {
+			lc.Close()
+			return nil, "", err
+		}
+		var total proxy.Stats
+		for _, node := range lc.Nodes {
+			s := node.Proxy().Stats()
+			total.Requests += s.Requests
+			total.CacheHits += s.CacheHits
+			total.OriginFetches += s.OriginFetches
+		}
+		lc.Close()
+		row = finishRow(row, total, cfg.Applets)
+		rows = append(rows, row)
+	}
+
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Mode,
+			fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.OriginFetches),
+			fmt.Sprint(r.DupRewrites),
+			fmt.Sprintf("%.1f%%", r.HitRate*100),
+			ms(r.P50),
+			ms(r.P99),
+			fmt.Sprintf("%.0f", r.ThroughputBps/1024),
+		})
+	}
+	text := fmt.Sprintf("sharded cluster vs round-robin replicas at %d clients, %d distinct classes\n", clients, cfg.Applets) +
+		table([]string{"Mode", "Nodes", "Origin fetches", "Dup rewrites", "Hit rate", "p50 (ms)", "p99 (ms)", "Throughput (KB/s)"}, cells)
+	return rows, text, nil
+}
+
+type requestFunc func(ctx context.Context, client, arch, class string) ([]byte, error)
+
+// driveFleet runs the standard applet-loop workload for cfg.Duration
+// and collects client-observed latencies.
+func driveFleet(mode string, nodes, clients int, cfg Fig10Config, entry func(c int) requestFunc) (ClusterScalingRow, error) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var totalBytes int64
+	var firstErr error
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			req := entry(c)
+			for f := 0; time.Now().Before(deadline); f++ {
+				applet := fmt.Sprintf("net/Applet%03d", (c+f)%cfg.Applets)
+				t0 := time.Now()
+				data, err := req(context.Background(), fmt.Sprintf("client-%d", c), "dvm", applet)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				totalBytes += int64(len(data))
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ClusterScalingRow{}, firstErr
+	}
+	elapsed := time.Since(start)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	row := ClusterScalingRow{
+		Mode:          mode,
+		Nodes:         nodes,
+		Clients:       clients,
+		P50:           percentile(latencies, 0.50),
+		P99:           percentile(latencies, 0.99),
+		ThroughputBps: float64(totalBytes) / elapsed.Seconds(),
+	}
+	return row, nil
+}
+
+// finishRow fills the duplicate-work counters from fleet-aggregate
+// stats: every origin fetch beyond one per distinct key paid for a
+// redundant fetch and a redundant pipeline run.
+func finishRow(row ClusterScalingRow, s proxy.Stats, distinct int) ClusterScalingRow {
+	row.OriginFetches = s.OriginFetches
+	if d := s.OriginFetches - int64(distinct); d > 0 {
+		row.DupRewrites = d
+	}
+	if s.Requests > 0 {
+		row.HitRate = float64(s.CacheHits) / float64(s.Requests)
+	}
+	return row
+}
+
+// percentile reads the p-quantile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -295,6 +295,45 @@ func TestAblationReplicationRestoresThroughput(t *testing.T) {
 	}
 }
 
+func TestClusterScalingDeduplicatesOriginWork(t *testing.T) {
+	cfg := DefaultFig10Config()
+	cfg.Applets = 8
+	cfg.AppletKB = 8
+	cfg.Duration = 300 * time.Millisecond
+	cfg.InternetScale = 0.002
+	cfg.MemoryBudget = 0
+	rows, text, err := ClusterScaling(8, []int{2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (one per mode)", len(rows))
+	}
+	var rr, cl ClusterScalingRow
+	for _, r := range rows {
+		switch r.Mode {
+		case "round-robin":
+			rr = r
+		case "cluster":
+			cl = r
+		}
+	}
+	if cl.OriginFetches != int64(cfg.Applets) {
+		t.Errorf("cluster origin fetches = %d, want exactly %d (one per distinct key)",
+			cl.OriginFetches, cfg.Applets)
+	}
+	if cl.DupRewrites != 0 {
+		t.Errorf("cluster duplicate rewrites = %d, want 0", cl.DupRewrites)
+	}
+	if rr.OriginFetches <= cl.OriginFetches {
+		t.Errorf("round-robin fetched %d times, cluster %d; replication should duplicate cold work",
+			rr.OriginFetches, cl.OriginFetches)
+	}
+	if !strings.Contains(text, "Dup rewrites") || !strings.Contains(text, "cluster") {
+		t.Errorf("table = %s", text)
+	}
+}
+
 func TestScaleSpecs(t *testing.T) {
 	specs := workload.Benchmarks()
 	small := ScaleSpecs(specs, 10)

@@ -16,13 +16,23 @@ type AblationReplicationRow struct {
 	Clients       int
 	ThroughputBps float64
 	LatencyPerKB  time.Duration
+	// OriginFetches/DupRewrites/HitRate expose the duplicate work a
+	// round-robin fleet does: with caching off (the paper's worst case)
+	// every request is a fresh origin fetch plus a fresh pipeline run.
+	OriginFetches int64
+	DupRewrites   int64
+	HitRate       float64
 }
 
 // AblationReplication demonstrates §2's answer to the Figure 10
 // collapse: "in larger installations, an administrator can ... use
 // replicated proxies." It drives a client population big enough to
 // exhaust one proxy's memory budget and shows throughput restored as
-// replicas are added (each replica brings its own 64 MB).
+// replicas are added (each replica brings its own 64 MB). The rendered
+// output then appends the ClusterScaling comparison — the same fleet
+// sizes run with caching on, round-robin replicas vs. the sharded
+// cluster — so the duplicate-work numbers sit next to the throughput
+// restoration they motivate.
 func AblationReplication(clients int, replicaCounts []int, cfg Fig10Config) ([]AblationReplicationRow, string, error) {
 	origin, err := Corpus(cfg.Applets, cfg.AppletKB*1024, 42)
 	if err != nil {
@@ -100,6 +110,14 @@ func AblationReplication(clients int, replicaCounts []int, cfg Fig10Config) ([]A
 			avgKB := float64(totalBytes) / float64(fetches) / 1024
 			row.LatencyPerKB = time.Duration(avgLatency / avgKB)
 		}
+		gs := group.Stats()
+		row.OriginFetches = gs.OriginFetches
+		if d := gs.OriginFetches - int64(cfg.Applets); d > 0 {
+			row.DupRewrites = d
+		}
+		if gs.Requests > 0 {
+			row.HitRate = float64(gs.CacheHits) / float64(gs.Requests)
+		}
 		rows = append(rows, row)
 	}
 	var cells [][]string
@@ -108,8 +126,20 @@ func AblationReplication(clients int, replicaCounts []int, cfg Fig10Config) ([]A
 			fmt.Sprint(r.Replicas),
 			fmt.Sprintf("%.0f", r.ThroughputBps/1024),
 			ms(r.LatencyPerKB),
+			fmt.Sprint(r.OriginFetches),
+			fmt.Sprint(r.DupRewrites),
+			fmt.Sprintf("%.1f%%", r.HitRate*100),
 		})
 	}
-	return rows, fmt.Sprintf("replication at %d clients (one proxy's memory saturates)\n", clients) +
-		table([]string{"Replicas", "Throughput (KB/s)", "Latency/KB (ms)"}, cells), nil
+	text := fmt.Sprintf("replication at %d clients (one proxy's memory saturates)\n", clients) +
+		table([]string{"Replicas", "Throughput (KB/s)", "Latency/KB (ms)", "Origin fetches", "Dup rewrites", "Hit rate"}, cells)
+
+	// The same fleet sizes as one sharded cache: round-robin vs. the
+	// consistent-hash cluster, caching on.
+	if _, ctext, err := ClusterScaling(clients, replicaCounts, cfg); err == nil {
+		text += "\n" + ctext
+	} else {
+		return nil, "", err
+	}
+	return rows, text, nil
 }

@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"net/http"
+	"sync"
+)
+
+// LinkFaults is a per-destination fault mesh for HTTP hops: each
+// destination host can carry its own FaultSpec while traffic to every
+// other host passes through clean. A cluster chaos test uses one
+// LinkFaults per node as its peer transport, so the link from node A to
+// peer B can be cut or degraded (asymmetrically — B can still reach A)
+// without touching the rest of the mesh.
+type LinkFaults struct {
+	base http.RoundTripper
+
+	mu    sync.RWMutex
+	links map[string]*FaultyTransport
+}
+
+// NewLinkFaults builds a mesh view over base (nil =
+// http.DefaultTransport). With no links configured it is a transparent
+// pass-through.
+func NewLinkFaults(base http.RoundTripper) *LinkFaults {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &LinkFaults{base: base, links: make(map[string]*FaultyTransport)}
+}
+
+// SetLink installs (or replaces) the fault profile for requests whose
+// URL host is host (e.g. "127.0.0.1:8642"). Replacing a link resets its
+// deterministic fault sequence and stats.
+func (l *LinkFaults) SetLink(host string, spec FaultSpec) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.links[host] = NewFaultyTransport(l.base, spec)
+}
+
+// ClearLink restores a clean link to host.
+func (l *LinkFaults) ClearLink(host string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.links, host)
+}
+
+// LinkStats reports the injected-fault counters for the link to host.
+func (l *LinkFaults) LinkStats(host string) (FaultStats, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	ft, ok := l.links[host]
+	if !ok {
+		return FaultStats{}, false
+	}
+	return ft.Stats(), true
+}
+
+// RoundTrip implements http.RoundTripper: requests to a host with a
+// configured link go through its fault profile, the rest through base.
+func (l *LinkFaults) RoundTrip(req *http.Request) (*http.Response, error) {
+	l.mu.RLock()
+	ft := l.links[req.URL.Host]
+	l.mu.RUnlock()
+	if ft != nil {
+		return ft.RoundTrip(req)
+	}
+	return l.base.RoundTrip(req)
+}

@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dvm/internal/jvm"
@@ -34,8 +35,10 @@ const classPathPrefix = "/classes/"
 // breaker is open: roughly the breaker cooldown.
 const retryAfterSeconds = 5
 
-// statusFor maps a Request error to its HTTP status.
-func statusFor(err error) int {
+// StatusFor maps a Request error to its HTTP status. Exported so the
+// cluster peer protocol serves the same status semantics as the
+// client-facing front end.
+func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -66,7 +69,7 @@ func (p *Proxy) Handler() http.Handler {
 		arch := r.Header.Get("X-DVM-Arch")
 		data, err := p.Request(r.Context(), client, arch, name)
 		if err != nil {
-			status := statusFor(err)
+			status := StatusFor(err)
 			if status == http.StatusServiceUnavailable {
 				w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
 			}
@@ -79,8 +82,8 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		s := p.Stats()
-		fmt.Fprintf(w, "requests=%d cacheHits=%d coalesced=%d fetchErrors=%d fetchRetries=%d staleServed=%d rejections=%d bytesOut=%d breaker=%s breakerTrips=%d\n",
-			s.Requests, s.CacheHits, s.Coalesced, s.FetchErrors, s.FetchRetries, s.StaleServed, s.Rejections, s.BytesOut, s.Breaker.State, s.Breaker.Trips)
+		fmt.Fprintf(w, "requests=%d cacheHits=%d coalesced=%d fetchErrors=%d fetchRetries=%d staleServed=%d peerFetches=%d peerHits=%d ownerFetches=%d rejections=%d bytesOut=%d breaker=%s breakerTrips=%d\n",
+			s.Requests, s.CacheHits, s.Coalesced, s.FetchErrors, s.FetchRetries, s.StaleServed, s.PeerFetches, s.PeerHits, s.OwnerFetches, s.Rejections, s.BytesOut, s.Breaker.State, s.Breaker.Trips)
 	})
 	return mux
 }
@@ -189,4 +192,42 @@ func HTTPLoaderWith(baseURL, client, arch string, opts LoaderOptions) jvm.ClassL
 		}
 		return data, nil
 	})
+}
+
+// HTTPLoaderMulti returns a jvm.ClassLoader that spreads class fetches
+// round-robin across several proxy endpoints (a replica fleet or a
+// sharded cluster) and fails over to the remaining endpoints when one
+// is down. Each endpoint keeps its own circuit breaker, so a dead proxy
+// is skipped cheaply after a few failures. A not-found answer is
+// definitive (every cluster node can resolve every class) and stops the
+// failover sweep.
+func HTTPLoaderMulti(baseURLs []string, client, arch string, opts LoaderOptions) (jvm.ClassLoader, error) {
+	if len(baseURLs) == 0 {
+		return nil, fmt.Errorf("proxy: HTTPLoaderMulti needs at least one endpoint")
+	}
+	if len(baseURLs) == 1 {
+		return HTTPLoaderWith(baseURLs[0], client, arch, opts), nil
+	}
+	loaders := make([]jvm.ClassLoader, len(baseURLs))
+	for i, u := range baseURLs {
+		loaders[i] = HTTPLoaderWith(u, client, arch, opts)
+	}
+	var next atomic.Uint64
+	return jvm.FuncLoader(func(name string) ([]byte, error) {
+		start := int(next.Add(1)-1) % len(loaders)
+		var firstErr error
+		for i := 0; i < len(loaders); i++ {
+			data, err := loaders[(start+i)%len(loaders)].Load(name)
+			if err == nil {
+				return data, nil
+			}
+			if errors.Is(err, ErrNotFound) {
+				return nil, err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		return nil, firstErr
+	}), nil
 }

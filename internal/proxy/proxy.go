@@ -28,6 +28,14 @@
 // served (stale-if-error, counted in Stats.StaleServed) — an
 // unreachable origin degrades freshness, never availability, matching
 // the paper's split between trust-critical and auxiliary services.
+//
+// Clustering: when Config.PeerFill is set (internal/cluster), a cache
+// miss is routed through it before the origin hop. The hook implements
+// the sharded-fleet protocol: if another node owns the key on the
+// consistent-hash ring, the transformed bytes are filled from that peer
+// (one origin fetch and one pipeline run cluster-wide); if this node is
+// the owner, or the peer hop fails, the miss falls through to the local
+// origin path, so a peer outage degrades sharing, never availability.
 package proxy
 
 import (
@@ -100,6 +108,12 @@ type RequestRecord struct {
 	// Stale marks a degraded response: the origin was unreachable and an
 	// expired cache entry was served instead (stale-if-error).
 	Stale bool
+	// Peer is the cluster node that supplied the bytes when the miss was
+	// filled over the peer protocol instead of from the origin.
+	Peer string
+	// PeerError records a failed peer-fill attempt that fell back to a
+	// local origin fetch (the owner was down or unreachable).
+	PeerError string
 	// FetchError is set when the origin fetch (or replacement
 	// construction) failed; the administration console must see failed
 	// and degraded fetches too. With Stale set, bytes were still served.
@@ -143,6 +157,14 @@ type Config struct {
 	// half-open probe (default 5s).
 	BreakerCooldown time.Duration
 
+	// PeerFill, when set, is consulted on every cache miss before the
+	// origin hop. A sharded cluster (internal/cluster) uses it to route
+	// the miss to the ring node that owns the key and fill the cache from
+	// that peer's already-transformed copy. See PeerResult for the three
+	// possible outcomes; a nil hook (standalone proxy) always behaves as
+	// PeerSelf.
+	PeerFill func(ctx context.Context, arch, class string) PeerResult
+
 	// MemoryBudget models the server's physical memory: when the bytes
 	// held by in-flight requests exceed it, each request pays a paging
 	// penalty proportional to the overshoot (reproduces the >250-client
@@ -155,6 +177,51 @@ type Config struct {
 	OnAudit func(RequestRecord)
 }
 
+// PeerOutcome says how a PeerFill attempt resolved.
+type PeerOutcome int
+
+const (
+	// PeerSelf: this node owns the key on the ring (or no routing
+	// applies); fetch from the origin and run the pipeline locally.
+	PeerSelf PeerOutcome = iota
+	// PeerServed: the owning peer returned the transformed class; serve
+	// it without touching the origin or the pipeline.
+	PeerServed
+	// PeerFailed: the owning peer was down or unreachable; degrade to a
+	// local origin fetch so a peer outage never fails a request.
+	PeerFailed
+)
+
+// PeerResult is the outcome of routing a cache miss through the cluster
+// ring (Config.PeerFill).
+type PeerResult struct {
+	Outcome PeerOutcome
+	// Data is the transformed class (Outcome == PeerServed).
+	Data []byte
+	// CacheLocal stores the peer's bytes in this node's own cache too:
+	// the cluster replicates hot keys toward their readers so the ring
+	// owner does not become a hotspot.
+	CacheLocal bool
+	// Rejected and Stale mirror the owner's response flags so audit
+	// records and client semantics survive the peer hop.
+	Rejected bool
+	Stale    bool
+	// Peer identifies the node that served (or failed to serve) the key.
+	Peer string
+	// Err is the peer hop failure (Outcome == PeerFailed).
+	Err error
+}
+
+// RequestInfo describes how a request was served; the peer protocol
+// forwards it as response headers so flags survive the extra hop.
+type RequestInfo struct {
+	CacheHit  bool
+	Coalesced bool
+	Rejected  bool
+	Stale     bool
+	Peer      string // cluster node that supplied the bytes, if any
+}
+
 // Stats is a snapshot of proxy counters.
 type Stats struct {
 	Requests      int64
@@ -164,6 +231,9 @@ type Stats struct {
 	FetchRetries  int64 // retry attempts scheduled against the origin
 	FetchErrors   int64
 	StaleServed   int64 // degraded responses served from expired cache (stale-if-error)
+	PeerFetches   int64 // misses routed to the owning cluster peer
+	PeerHits      int64 // peer fetches that returned the transformed class
+	OwnerFetches  int64 // origin fetches performed as the key's ring owner
 	Rejections    int64
 	BytesIn       int64
 	BytesOut      int64
@@ -186,6 +256,7 @@ type flight struct {
 	data     []byte
 	rejected bool
 	stale    bool
+	peer     string // cluster node that filled the miss, if any
 	err      error
 }
 
@@ -214,6 +285,9 @@ type Proxy struct {
 	statFetchRetries  atomic.Int64
 	statFetchErrors   atomic.Int64
 	statStaleServed   atomic.Int64
+	statPeerFetches   atomic.Int64
+	statPeerHits      atomic.Int64
+	statOwnerFetches  atomic.Int64
 	statRejections    atomic.Int64
 	statBytesIn       atomic.Int64
 	statBytesOut      atomic.Int64
@@ -271,6 +345,9 @@ func (p *Proxy) Stats() Stats {
 		FetchRetries:  p.statFetchRetries.Load(),
 		FetchErrors:   p.statFetchErrors.Load(),
 		StaleServed:   p.statStaleServed.Load(),
+		PeerFetches:   p.statPeerFetches.Load(),
+		PeerHits:      p.statPeerHits.Load(),
+		OwnerFetches:  p.statOwnerFetches.Load(),
 		Rejections:    p.statRejections.Load(),
 		BytesIn:       p.statBytesIn.Load(),
 		BytesOut:      p.statBytesOut.Load(),
@@ -295,6 +372,14 @@ func (p *Proxy) CacheEntries() []string {
 // ctx bounds the whole request (client disconnect, caller deadline);
 // per-attempt origin deadlines come from Config.FetchTimeout.
 func (p *Proxy) Request(ctx context.Context, client, arch, class string) ([]byte, error) {
+	data, _, err := p.RequestDetail(ctx, client, arch, class)
+	return data, err
+}
+
+// RequestDetail is Request plus a description of how the response was
+// produced; the cluster peer protocol needs the flags to forward them
+// across the extra hop.
+func (p *Proxy) RequestDetail(ctx context.Context, client, arch, class string) ([]byte, RequestInfo, error) {
 	start := time.Now()
 	p.statRequests.Add(1)
 	key := arch + "\x00" + class
@@ -322,7 +407,7 @@ func (p *Proxy) Request(ctx context.Context, client, arch, class string) ([]byte
 				Client: client, Arch: arch, Class: class, Bytes: len(data),
 				CacheHit: true, Duration: time.Since(start),
 			})
-			return data, nil
+			return data, RequestInfo{CacheHit: true}, nil
 		}
 		if ok {
 			staleData, haveStale = data, true
@@ -341,7 +426,7 @@ func (p *Proxy) Request(ctx context.Context, client, arch, class string) ([]byte
 	p.flights[key] = f
 	p.flightMu.Unlock()
 
-	data, err := p.lead(ctx, f, key, client, arch, class, staleData, haveStale, start)
+	data, info, err := p.lead(ctx, f, key, client, arch, class, staleData, haveStale, start)
 	// Publish the outcome only after the cache holds the result (success
 	// path inside lead), so new requests find either the flight or the
 	// cached entry; then wake the followers.
@@ -349,13 +434,13 @@ func (p *Proxy) Request(ctx context.Context, client, arch, class string) ([]byte
 	delete(p.flights, key)
 	p.flightMu.Unlock()
 	close(f.done)
-	return data, err
+	return data, info, err
 }
 
 // awaitFlight is the follower path: hold connection memory (the client
 // is a live connection even while it waits), share the leader's result,
 // and emit this client's own audit record marked as a coalesced hit.
-func (p *Proxy) awaitFlight(ctx context.Context, f *flight, client, arch, class string, start time.Time) ([]byte, error) {
+func (p *Proxy) awaitFlight(ctx context.Context, f *flight, client, arch, class string, start time.Time) ([]byte, RequestInfo, error) {
 	p.inFlight.Add(connectionMemory)
 	defer p.inFlight.Add(-connectionMemory)
 	select {
@@ -368,7 +453,7 @@ func (p *Proxy) awaitFlight(ctx context.Context, f *flight, client, arch, class 
 			Client: client, Arch: arch, Class: class,
 			Coalesced: true, FetchError: err.Error(), Duration: time.Since(start),
 		})
-		return nil, err
+		return nil, RequestInfo{Coalesced: true}, err
 	}
 	if f.err != nil {
 		p.statFetchErrors.Add(1)
@@ -376,7 +461,7 @@ func (p *Proxy) awaitFlight(ctx context.Context, f *flight, client, arch, class 
 			Client: client, Arch: arch, Class: class,
 			Coalesced: true, FetchError: f.err.Error(), Duration: time.Since(start),
 		})
-		return nil, f.err
+		return nil, RequestInfo{Coalesced: true}, f.err
 	}
 	p.statCacheHits.Add(1)
 	p.statCoalesced.Add(1)
@@ -384,26 +469,66 @@ func (p *Proxy) awaitFlight(ctx context.Context, f *flight, client, arch, class 
 		p.statStaleServed.Add(1)
 	}
 	p.statBytesOut.Add(int64(len(f.data)))
+	info := RequestInfo{CacheHit: true, Coalesced: true, Rejected: f.rejected, Stale: f.stale, Peer: f.peer}
 	p.audit(RequestRecord{
 		Client: client, Arch: arch, Class: class, Bytes: len(f.data),
 		CacheHit: true, Coalesced: true, Rejected: f.rejected, Stale: f.stale,
-		Duration: time.Since(start),
+		Peer: f.peer, Duration: time.Since(start),
 	})
-	return f.data, nil
+	return f.data, info, nil
 }
 
-// lead is the miss path run by exactly one request per key: origin
-// fetch (deadline + retry + breaker), memory model, pipeline, caching,
-// auditing. The result is left in f for the followers. When the origin
-// is unreachable and a stale cache entry exists, it is served instead
-// (stale-if-error).
-func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class string, staleData []byte, haveStale bool, start time.Time) ([]byte, error) {
+// lead is the miss path run by exactly one request per key: peer fill
+// (sharded cluster), origin fetch (deadline + retry + breaker), memory
+// model, pipeline, caching, auditing. The result is left in f for the
+// followers. When the origin is unreachable and a stale cache entry
+// exists, it is served instead (stale-if-error).
+func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class string, staleData []byte, haveStale bool, start time.Time) ([]byte, RequestInfo, error) {
 	// Memory model: an in-flight request holds connection state and
 	// transfer buffers for its whole lifetime (including the upstream
 	// fetch), plus the parsed class afterwards.
 	held := int64(connectionMemory)
 	p.inFlight.Add(held)
 	defer func() { p.inFlight.Add(-held) }()
+
+	// Sharded cluster: ask the key's ring owner before the origin. A
+	// peer-served miss skips both the origin fetch and the pipeline run —
+	// the owner already paid for them once on behalf of the whole fleet.
+	var peerErr string
+	if p.cfg.PeerFill != nil {
+		switch res := p.cfg.PeerFill(ctx, arch, class); res.Outcome {
+		case PeerServed:
+			p.statPeerFetches.Add(1)
+			p.statPeerHits.Add(1)
+			if res.Stale {
+				p.statStaleServed.Add(1)
+			}
+			if p.cfg.CacheEnabled && res.CacheLocal {
+				// Hot key: replicate the owner's copy into the local LRU
+				// (and disk cache) so this node stops round-tripping for it.
+				p.storeMem(key, res.Data)
+				p.diskCachePut(key, res.Data)
+			}
+			f.data, f.rejected, f.stale, f.peer = res.Data, res.Rejected, res.Stale, res.Peer
+			p.statBytesOut.Add(int64(len(res.Data)))
+			info := RequestInfo{Rejected: res.Rejected, Stale: res.Stale, Peer: res.Peer}
+			p.audit(RequestRecord{
+				Client: client, Arch: arch, Class: class, Bytes: len(res.Data),
+				Rejected: res.Rejected, Stale: res.Stale, Peer: res.Peer,
+				Duration: time.Since(start),
+			})
+			return res.Data, info, nil
+		case PeerFailed:
+			// Owner down or unreachable: degrade to a local origin fetch.
+			// Sharing is lost for this key, availability is not.
+			p.statPeerFetches.Add(1)
+			if res.Err != nil {
+				peerErr = res.Err.Error()
+			}
+		default: // PeerSelf: this node owns the key
+			p.statOwnerFetches.Add(1)
+		}
+	}
 
 	p.statOriginFetches.Add(1)
 	var raw []byte
@@ -432,17 +557,17 @@ func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class st
 			p.audit(RequestRecord{
 				Client: client, Arch: arch, Class: class, Bytes: len(staleData),
 				CacheHit: true, Stale: true, FetchError: err.Error(),
-				Duration: time.Since(start),
+				PeerError: peerErr, Duration: time.Since(start),
 			})
-			return staleData, nil
+			return staleData, RequestInfo{CacheHit: true, Stale: true}, nil
 		}
 		f.err = err
 		p.statFetchErrors.Add(1)
 		p.audit(RequestRecord{
 			Client: client, Arch: arch, Class: class,
-			FetchError: err.Error(), Duration: time.Since(start),
+			FetchError: err.Error(), PeerError: peerErr, Duration: time.Since(start),
 		})
-		return nil, err
+		return nil, RequestInfo{}, err
 	}
 	p.statBytesIn.Add(int64(len(raw)))
 	extra := int64(len(raw)) * 4 // parsed form is a few times the wire size
@@ -476,7 +601,7 @@ func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class st
 				Client: client, Arch: arch, Class: class, Rejected: true,
 				FetchError: err.Error(), Duration: time.Since(start),
 			})
-			return nil, err
+			return nil, RequestInfo{}, err
 		}
 		out = repl
 	}
@@ -492,9 +617,10 @@ func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class st
 	p.statBytesOut.Add(int64(len(out)))
 	p.audit(RequestRecord{
 		Client: client, Arch: arch, Class: class, Bytes: len(out),
-		Rejected: rejected, Duration: time.Since(start), ProxyTime: proxyTime,
+		Rejected: rejected, PeerError: peerErr,
+		Duration: time.Since(start), ProxyTime: proxyTime,
 	})
-	return out, nil
+	return out, RequestInfo{Rejected: rejected}, nil
 }
 
 // memGet looks up the in-memory cache; a hit refreshes LRU recency.

@@ -91,6 +91,9 @@ func (g *ReplicaGroup) Stats() Stats {
 		out.FetchRetries += s.FetchRetries
 		out.FetchErrors += s.FetchErrors
 		out.StaleServed += s.StaleServed
+		out.PeerFetches += s.PeerFetches
+		out.PeerHits += s.PeerHits
+		out.OwnerFetches += s.OwnerFetches
 		out.Rejections += s.Rejections
 		out.BytesIn += s.BytesIn
 		out.BytesOut += s.BytesOut
