@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,6 +19,7 @@ import (
 	"dvm/internal/netsim"
 	"dvm/internal/proxy"
 	"dvm/internal/rewrite"
+	"dvm/internal/telemetry"
 	"dvm/internal/verifier"
 )
 
@@ -88,10 +88,11 @@ func TestClusterSingleOriginFetchPerKey(t *testing.T) {
 	var want []byte
 	for ni, n := range c.Nodes {
 		for _, class := range classNames(classes) {
-			data, err := n.Request(ctx, fmt.Sprintf("client-%d", ni), "dvm", class)
+			res, err := n.Request(ctx, proxy.Lookup{Client: fmt.Sprintf("client-%d", ni), Arch: "dvm", Class: class})
 			if err != nil {
 				t.Fatalf("node %d class %s: %v", ni, class, err)
 			}
+			data := res.Data
 			if len(data) == 0 {
 				t.Fatalf("node %d class %s: empty response", ni, class)
 			}
@@ -140,7 +141,7 @@ func TestClusterSingleOriginFetchPerKey(t *testing.T) {
 	}
 	for round := 0; round < nodes; round++ {
 		for _, class := range classNames(classes) {
-			if _, err := group.Request(ctx, "client", "dvm", class); err != nil {
+			if _, err := group.Request(ctx, proxy.Lookup{Client: "client", Arch: "dvm", Class: class}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -173,7 +174,7 @@ func TestClusterPeerDownDegradesToLocal(t *testing.T) {
 				continue
 			}
 			for _, class := range classNames(classes) {
-				if _, err := n.Request(ctx, fmt.Sprintf("client-%d", ni), "dvm", class); err != nil {
+				if _, err := n.Request(ctx, proxy.Lookup{Client: fmt.Sprintf("client-%d", ni), Arch: "dvm", Class: class}); err != nil {
 					t.Fatalf("node %d class %s: %v", ni, class, err)
 				}
 			}
@@ -193,7 +194,7 @@ func TestClusterPeerDownDegradesToLocal(t *testing.T) {
 			continue
 		}
 		for _, class := range classNames(classes) {
-			if _, err := n.Request(ctx, fmt.Sprintf("client-%d", ni), "jdk", class); err != nil {
+			if _, err := n.Request(ctx, proxy.Lookup{Client: fmt.Sprintf("client-%d", ni), Arch: "jdk", Class: class}); err != nil {
 				t.Fatalf("after peer death: node %d class %s: %v", ni, class, err)
 			}
 		}
@@ -256,7 +257,7 @@ func TestClusterHotKeyReplication(t *testing.T) {
 	}
 	ctx := context.Background()
 	for i := 0; i < 10; i++ {
-		if _, err := c.Nodes[0].Request(ctx, "client", "dvm", remote); err != nil {
+		if _, err := c.Nodes[0].Request(ctx, proxy.Lookup{Client: "client", Arch: "dvm", Class: remote}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -301,11 +302,11 @@ func TestClusterRejectionSurvivesPeerHop(t *testing.T) {
 	if c.Nodes[0].Ring().Owner(cluster.KeyFor("dvm", "app/Bad")) == c.Nodes[0].Self() {
 		requester = 1
 	}
-	data, err := c.Nodes[requester].Request(context.Background(), "client", "dvm", "app/Bad")
+	res, err := c.Nodes[requester].Request(context.Background(), proxy.Lookup{Client: "client", Arch: "dvm", Class: "app/Bad"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(data) == 0 {
+	if len(res.Data) == 0 {
 		t.Fatal("no replacement class served")
 	}
 	mu.Lock()
@@ -331,7 +332,7 @@ func TestClusterNotFound(t *testing.T) {
 	}
 	defer c.Close()
 	for ni, n := range c.Nodes {
-		_, err := n.Request(context.Background(), "client", "dvm", "app/Missing")
+		_, err := n.Request(context.Background(), proxy.Lookup{Client: "client", Arch: "dvm", Class: "app/Missing"})
 		if !errors.Is(err, proxy.ErrNotFound) {
 			t.Errorf("node %d: err = %v, want ErrNotFound", ni, err)
 		}
@@ -395,12 +396,12 @@ func TestClusterChaosPeerFaults(t *testing.T) {
 				// path keeps being exercised under faults.
 				arch := fmt.Sprintf("arch-%d", r)
 				for _, class := range classNames(classes) {
-					data, err := c.Nodes[ni].Request(context.Background(), fmt.Sprintf("c%d", ni), arch, class)
+					res, err := c.Nodes[ni].Request(context.Background(), proxy.Lookup{Client: fmt.Sprintf("c%d", ni), Arch: arch, Class: class})
 					if err != nil {
 						errCh <- fmt.Errorf("node %d round %d class %s: %w", ni, r, class, err)
 						return
 					}
-					if len(data) == 0 {
+					if len(res.Data) == 0 {
 						errCh <- fmt.Errorf("node %d round %d class %s: empty", ni, r, class)
 						return
 					}
@@ -441,15 +442,34 @@ func TestClusterHealthzRingView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	text := string(body)
-	if !strings.Contains(text, "peerFetches=") || !strings.Contains(text, "ownerFetches=") {
-		t.Errorf("healthz missing cluster counters:\n%s", text)
+	h, err := telemetry.ParseHealth(body)
+	if err != nil {
+		t.Fatalf("healthz did not parse as the shared schema: %v\n%s", err, body)
 	}
-	if got := strings.Count(text, "ring member="); got != 3 {
-		t.Errorf("healthz lists %d ring members, want 3:\n%s", got, text)
+	if h.Service != "proxy" || h.Status != telemetry.StatusOK {
+		t.Errorf("healthz service/status = %q/%q, want proxy/ok", h.Service, h.Status)
 	}
-	if !strings.Contains(text, "self") {
-		t.Errorf("healthz does not mark self:\n%s", text)
+	for _, counter := range []string{"peer_fetches_total", "owner_fetches_total"} {
+		if _, ok := h.Counters[counter]; !ok {
+			t.Errorf("healthz missing cluster counter %s:\n%s", counter, body)
+		}
+	}
+	if len(h.Ring) != 3 {
+		t.Fatalf("healthz lists %d ring members, want 3:\n%s", len(h.Ring), body)
+	}
+	selfs := 0
+	for _, m := range h.Ring {
+		if m.Self {
+			selfs++
+			if m.Link != "-" {
+				t.Errorf("self member %s has link %q, want \"-\"", m.Member, m.Link)
+			}
+		} else if m.Link == "" {
+			t.Errorf("member %s missing link state", m.Member)
+		}
+	}
+	if selfs != 1 {
+		t.Errorf("healthz marks %d members as self, want 1", selfs)
 	}
 }
 
@@ -482,5 +502,79 @@ func TestClusterClientLoaderFailover(t *testing.T) {
 	}
 	if _, err := loader.Load("app/Missing"); !errors.Is(err, proxy.ErrNotFound) {
 		t.Errorf("missing class: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestClusterTraceCrossHop is the tentpole acceptance scenario for the
+// telemetry layer: a cold request from a non-owner must come back with
+// one trace whose spans cover the whole journey — the requester's
+// proxy.request and peer.fill, then (shifted onto the requester's
+// timeline from the X-DVM-Trace-Spans response header) the owner's
+// proxy.request and origin.fetch — in start order, with durations.
+func TestClusterTraceCrossHop(t *testing.T) {
+	const nodes, classes = 4, 8
+	c, err := cluster.StartLocal(corpus(t, classes), nodes, verifyingProxyCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n0 := c.Nodes[0]
+	var class, owner string
+	for _, cl := range classNames(classes) {
+		if o := n0.Ring().Owner(cluster.KeyFor("dvm", cl)); o != n0.Self() {
+			class, owner = cl, o
+			break
+		}
+	}
+	if class == "" {
+		t.Fatal("ring assigned every class to node 0")
+	}
+	res, err := n0.Request(context.Background(), proxy.Lookup{Client: "trace", Arch: "dvm", Class: class})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("result carries no trace")
+	}
+	spans := res.Trace.Spans()
+	if len(spans) < 3 {
+		t.Fatalf("trace has %d spans, want >= 3 hops:\n%v", len(spans), spans)
+	}
+	find := func(stage, node string) int {
+		for i, s := range spans {
+			if s.Stage == stage && s.Node == node {
+				return i
+			}
+		}
+		t.Fatalf("trace missing span %s@%s:\n%v", stage, node, spans)
+		return -1
+	}
+	iReq := find("proxy.request", n0.Self())
+	iFill := find("peer.fill", n0.Self())
+	iOwnerReq := find("proxy.request", owner)
+	iOrigin := find("origin.fetch", owner)
+	if !(iReq <= iFill && iFill <= iOwnerReq && iOwnerReq <= iOrigin) {
+		t.Errorf("spans out of start order (req=%d fill=%d ownerReq=%d origin=%d):\n%v",
+			iReq, iFill, iOwnerReq, iOrigin, spans)
+	}
+	for _, i := range []int{iReq, iFill, iOwnerReq, iOrigin} {
+		if spans[i].Dur <= 0 {
+			t.Errorf("span %s@%s has no duration", spans[i].Stage, spans[i].Node)
+		}
+	}
+	// The owner's spans were shifted onto the requester's timeline: they
+	// must not start before the peer.fill hop that produced them.
+	if spans[iOwnerReq].Start < spans[iFill].Start {
+		t.Errorf("owner span starts at %v, before the peer.fill hop at %v",
+			spans[iOwnerReq].Start, spans[iFill].Start)
+	}
+	// Spans from two distinct nodes prove the trace crossed the wire.
+	seen := map[string]bool{}
+	for _, s := range spans {
+		seen[s.Node] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("trace covers %d node(s), want >= 2: %v", len(seen), spans)
 	}
 }

@@ -8,11 +8,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dvm/internal/proxy"
 	"dvm/internal/resilience"
+	"dvm/internal/telemetry"
 )
 
 // peerPathPrefix is the peer-protocol route: an owner serves the
@@ -75,9 +75,12 @@ type Node struct {
 	hotMu sync.Mutex
 	hot   map[string]int
 
-	statPeerErrors  atomic.Int64 // failed peer-fill attempts (fell back to local origin)
-	statPeerServed  atomic.Int64 // peer-protocol requests this node answered as owner
-	statHotReplicas atomic.Int64 // keys promoted into the local cache as hot
+	// Cluster counters live in the local proxy's telemetry registry, so
+	// one /metrics scrape covers the node end to end.
+	cPeerErrors  *telemetry.Counter   // failed peer-fill attempts (fell back to local origin)
+	cPeerServed  *telemetry.Counter   // peer-protocol requests this node answered as owner
+	cHotReplicas *telemetry.Counter   // keys promoted into the local cache as hot
+	hPeerFetch   *telemetry.Histogram // peer-protocol hop latency
 }
 
 // NewNode builds the node's proxy over origin with pcfg and wires its
@@ -112,7 +115,16 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 		hot:      make(map[string]int),
 	}
 	pcfg.PeerFill = n.fill
+	if pcfg.Node == "" {
+		pcfg.Node = cfg.Self // trace spans name the node by its peer URL
+	}
 	n.local = proxy.New(origin, pcfg)
+	reg := n.local.Telemetry()
+	n.cPeerErrors = reg.Counter("peer_errors_total")
+	n.cPeerServed = reg.Counter("peer_served_total")
+	n.cHotReplicas = reg.Counter("hot_replicas_total")
+	n.hPeerFetch = reg.Histogram("peer_fetch_seconds", nil)
+	reg.Gauge("ring_members", func() float64 { return float64(len(n.ring.Members())) })
 	return n, nil
 }
 
@@ -135,8 +147,8 @@ func (n *Node) Ring() *Ring { return n.ring }
 func (n *Node) Self() string { return n.cfg.Self }
 
 // Request serves one class through the cluster-aware local proxy.
-func (n *Node) Request(ctx context.Context, client, arch, class string) ([]byte, error) {
-	return n.local.Request(ctx, client, arch, class)
+func (n *Node) Request(ctx context.Context, l proxy.Lookup) (proxy.Result, error) {
+	return n.local.Request(ctx, l)
 }
 
 // localOnlyKey marks a context as coming in over the peer protocol:
@@ -202,7 +214,7 @@ func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 	if err := b.Allow(); err != nil {
 		// The link to the owner is presumed down: skip the network hop
 		// entirely and degrade to a local origin fetch.
-		n.statPeerErrors.Add(1)
+		n.cPeerErrors.Inc()
 		return proxy.PeerResult{Outcome: proxy.PeerFailed, Peer: owner, Err: err}
 	}
 	res := n.fetchPeer(ctx, owner, arch, class)
@@ -212,7 +224,7 @@ func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 		b.Success()
 		if hot {
 			res.CacheLocal = true
-			n.statHotReplicas.Add(1)
+			n.cHotReplicas.Inc()
 		}
 	case proxy.PeerFailed:
 		if resilience.IsPermanent(res.Err) {
@@ -222,13 +234,20 @@ func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 		} else {
 			b.Failure()
 		}
-		n.statPeerErrors.Add(1)
+		n.cPeerErrors.Inc()
 	}
 	return res
 }
 
-// fetchPeer performs one GET against the owner's peer endpoint.
+// fetchPeer performs one GET against the owner's peer endpoint. The
+// request carries the trace ID so the owner joins the same trace, and
+// the owner's spans come back in the response header, shifted into the
+// local timeline at the offset where this hop began.
 func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.PeerResult {
+	tr := telemetry.FromContext(ctx)
+	hopStart := tr.Elapsed()
+	hopTimer := telemetry.StartTimer()
+	defer func() { n.hPeerFetch.Observe(hopTimer.Elapsed()) }()
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+peerPathPrefix+class+".class", nil)
@@ -237,6 +256,9 @@ func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.P
 	}
 	req.Header.Set("X-DVM-Arch", arch)
 	req.Header.Set("X-DVM-Client", "peer:"+n.cfg.Self)
+	if id := tr.ID(); id != "" {
+		req.Header.Set(telemetry.TraceHeader, id)
+	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
@@ -261,6 +283,9 @@ func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.P
 		return proxy.PeerResult{Outcome: proxy.PeerFailed,
 			Err: resilience.Permanent(fmt.Errorf("cluster: peer %s: %s: response exceeds %d bytes", owner, class, maxPeerClassBytes))}
 	}
+	if spans, derr := telemetry.DecodeSpans(resp.Header.Get(telemetry.TraceSpansHeader)); derr == nil {
+		tr.AppendShifted(spans, hopStart)
+	}
 	return proxy.PeerResult{
 		Outcome:  proxy.PeerServed,
 		Data:     data,
@@ -276,7 +301,8 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle(classPathPrefix(), n.local.Handler())
 	mux.HandleFunc(peerPathPrefix, n.handlePeer)
-	mux.HandleFunc("/healthz", n.handleHealthz)
+	mux.Handle("/healthz", telemetry.HealthHandler(n.Health))
+	mux.Handle("/metrics", n.local.Telemetry().Handler())
 	return mux
 }
 
@@ -303,39 +329,42 @@ func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
 	if client == "" {
 		client = "peer"
 	}
-	data, info, err := n.local.RequestDetail(withLocalOnly(r.Context()), client, arch, name)
+	// Join the caller's trace under its ID; this hop's spans (recorded
+	// against a fresh local time base) ride back in the response header
+	// for the caller to merge into its own timeline.
+	tr := telemetry.JoinTrace(r.Header.Get(telemetry.TraceHeader))
+	ctx := telemetry.WithTrace(withLocalOnly(r.Context()), tr)
+	res, err := n.local.Request(ctx, proxy.Lookup{Client: client, Arch: arch, Class: name})
+	w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
 	if err != nil {
 		http.Error(w, err.Error(), proxy.StatusFor(err))
 		return
 	}
-	n.statPeerServed.Add(1)
-	if info.Rejected {
+	n.cPeerServed.Inc()
+	if res.Info.Rejected {
 		w.Header().Set("X-DVM-Rejected", "1")
 	}
-	if info.Stale {
+	if res.Info.Stale {
 		w.Header().Set("X-DVM-Stale", "1")
 	}
 	w.Header().Set("Content-Type", "application/java-vm")
-	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
-	_, _ = w.Write(data)
+	w.Header().Set("Content-Length", fmt.Sprint(len(res.Data)))
+	_, _ = w.Write(res.Data)
 }
 
-// handleHealthz renders the local proxy counters plus the cluster view:
-// one line per ring member with its link-breaker state.
-func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s := n.local.Stats()
-	fmt.Fprintf(w, "requests=%d cacheHits=%d coalesced=%d fetchErrors=%d staleServed=%d peerFetches=%d peerHits=%d ownerFetches=%d peerErrors=%d peerServed=%d hotReplicas=%d rejections=%d bytesOut=%d breaker=%s\n",
-		s.Requests, s.CacheHits, s.Coalesced, s.FetchErrors, s.StaleServed,
-		s.PeerFetches, s.PeerHits, s.OwnerFetches,
-		n.statPeerErrors.Load(), n.statPeerServed.Load(), n.statHotReplicas.Load(),
-		s.Rejections, s.BytesOut, s.Breaker.State)
+// Health extends the local proxy's report with the cluster view: the
+// ring membership with per-link breaker states. Any open link marks the
+// node degraded (peer sharing is impaired even though requests succeed
+// via the local origin fallback).
+func (n *Node) Health() telemetry.Health {
+	h := n.local.Health()
 	for _, v := range n.PeerViews() {
-		marker := ""
-		if v.Self {
-			marker = " self"
+		h.Ring = append(h.Ring, telemetry.RingMemberHealth{Member: v.Member, Link: v.Link, Self: v.Self})
+		if v.Link == resilience.Open.String() {
+			h.Status = telemetry.StatusDegraded
 		}
-		fmt.Fprintf(w, "ring member=%s link=%s%s\n", v.Member, v.Link, marker)
 	}
+	return h
 }
 
 // PeerView is one member of the node's ring view (diagnostics).
@@ -371,12 +400,12 @@ func (n *Node) PeerViews() []PeerView {
 }
 
 // PeerErrors returns the count of failed peer fills (diagnostics).
-func (n *Node) PeerErrors() int64 { return n.statPeerErrors.Load() }
+func (n *Node) PeerErrors() int64 { return n.cPeerErrors.Load() }
 
 // PeerServed returns how many peer-protocol requests this node answered
 // as an owner (diagnostics).
-func (n *Node) PeerServed() int64 { return n.statPeerServed.Load() }
+func (n *Node) PeerServed() int64 { return n.cPeerServed.Load() }
 
 // HotReplicas returns how many peer fills were promoted into the local
 // cache as hot keys (diagnostics).
-func (n *Node) HotReplicas() int64 { return n.statHotReplicas.Load() }
+func (n *Node) HotReplicas() int64 { return n.cHotReplicas.Load() }

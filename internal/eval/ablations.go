@@ -11,6 +11,7 @@ import (
 	"dvm/internal/proxy"
 	"dvm/internal/rewrite"
 	"dvm/internal/security"
+	"dvm/internal/telemetry"
 	"dvm/internal/verifier"
 	"dvm/internal/workload"
 )
@@ -53,11 +54,11 @@ func AblationRPC(spec workload.Spec, rtt time.Duration) (AblationRPCResult, stri
 	if err != nil {
 		return AblationRPCResult{}, "", err
 	}
-	start := time.Now()
+	start := telemetry.StartTimer()
 	if thrown, err := c.VM.RunMain(spec.MainClass(), nil); err != nil || thrown != nil {
 		return AblationRPCResult{}, "", runFail(spec.Name, thrown, err)
 	}
-	factored := time.Since(start)
+	factored := start.Elapsed()
 	dynChecks := c.VM.Stats.LinkChecks
 
 	// Count the verifier interactions the naive design would remote.
@@ -203,13 +204,13 @@ func AblationSecurityCache(checks int, rtt time.Duration) (AblationSecurityCache
 			return 0, err
 		}
 		t := vm.MainThread()
-		start := time.Now()
+		start := telemetry.StartTimer()
 		for i := 0; i < checks; i++ {
 			if ex := mgr.Check(t, "property.get", "user.name"); ex != nil {
 				return 0, fmt.Errorf("eval: unexpected denial: %s", jvm.DescribeThrowable(ex))
 			}
 		}
-		return time.Since(start), nil
+		return start.Elapsed(), nil
 	}
 	cached, err := run(false)
 	if err != nil {
@@ -325,7 +326,7 @@ func AblationReflection(spec workload.Spec) (AblationReflectionResult, string, e
 	t := vm.MainThread()
 	slow := &slowReflectionChecker{vm: vm}
 
-	start := time.Now()
+	start := telemetry.StartTimer()
 	for r := 0; r < rounds; r++ {
 		for _, p := range probes {
 			if ex := slow.CheckMethod(t, p.class, p.member, p.desc); ex != nil {
@@ -333,9 +334,9 @@ func AblationReflection(spec workload.Spec) (AblationReflectionResult, string, e
 			}
 		}
 	}
-	reflective := time.Since(start)
+	reflective := start.Elapsed()
 
-	start = time.Now()
+	start = telemetry.StartTimer()
 	for r := 0; r < rounds; r++ {
 		for _, p := range probes {
 			if ex := vmDefaultCheckMethod(vm, p.class, p.member, p.desc); ex != nil {
@@ -343,7 +344,7 @@ func AblationReflection(spec workload.Spec) (AblationReflectionResult, string, e
 			}
 		}
 	}
-	attribute := time.Since(start)
+	attribute := start.Elapsed()
 
 	res := AblationReflectionResult{
 		Checks: int64(rounds * len(probes)), AttributeTime: attribute, ReflectiveTime: reflective,

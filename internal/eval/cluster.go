@@ -3,13 +3,14 @@ package eval
 import (
 	"context"
 	"fmt"
-	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"dvm/internal/cluster"
 	"dvm/internal/netsim"
 	"dvm/internal/proxy"
+	"dvm/internal/telemetry"
 )
 
 // Sharded-cluster scalability: the ROADMAP's fleet question. Round-robin
@@ -31,8 +32,12 @@ type ClusterScalingRow struct {
 	DupRewrites int64
 	// HitRate is the fleet-aggregate cache hit rate (cluster mode counts
 	// the internal peer-protocol requests too).
-	HitRate       float64
-	P50, P99      time.Duration
+	HitRate float64
+	// Latency is the fleet-wide client-observed latency histogram (the
+	// per-client histograms merged bucket-wise); the quantile columns are
+	// computed from it.
+	Latency       telemetry.HistSnapshot
+	P50, P95, P99 time.Duration
 	ThroughputBps float64
 }
 
@@ -72,6 +77,7 @@ func ClusterScaling(clients int, nodeCounts []int, cfg Fig10Config) ([]ClusterSc
 	}
 
 	var rows []ClusterScalingRow
+	var breakdown string
 	for _, n := range nodeCounts {
 		// Round-robin baseline: N independent caches.
 		group, err := proxy.NewReplicaGroup(delayed, n, mkProxy)
@@ -91,6 +97,12 @@ func ClusterScaling(clients int, nodeCounts []int, cfg Fig10Config) ([]ClusterSc
 		lc, err := cluster.StartLocal(delayed, n, mkProxy, nil)
 		if err != nil {
 			return nil, "", err
+		}
+		// One traced cold request from a non-owner first: its trace shows
+		// the per-stage breakdown (peer.fill on the non-owner, the owner's
+		// origin.fetch and pipeline) that the aggregate table cannot.
+		if s := traceSample(lc, cfg.Applets); s != "" {
+			breakdown = s
 		}
 		row, err = driveFleet("cluster", n, clients, cfg, func(c int) requestFunc {
 			return lc.Nodes[c%n].Request
@@ -120,27 +132,55 @@ func ClusterScaling(clients int, nodeCounts []int, cfg Fig10Config) ([]ClusterSc
 			fmt.Sprint(r.DupRewrites),
 			fmt.Sprintf("%.1f%%", r.HitRate*100),
 			ms(r.P50),
+			ms(r.P95),
 			ms(r.P99),
 			fmt.Sprintf("%.0f", r.ThroughputBps/1024),
 		})
 	}
 	text := fmt.Sprintf("sharded cluster vs round-robin replicas at %d clients, %d distinct classes\n", clients, cfg.Applets) +
-		table([]string{"Mode", "Nodes", "Origin fetches", "Dup rewrites", "Hit rate", "p50 (ms)", "p99 (ms)", "Throughput (KB/s)"}, cells)
+		table([]string{"Mode", "Nodes", "Origin fetches", "Dup rewrites", "Hit rate", "p50 (ms)", "p95 (ms)", "p99 (ms)", "Throughput (KB/s)"}, cells)
+	if breakdown != "" {
+		text += "\n" + breakdown
+	}
 	return rows, text, nil
 }
 
-type requestFunc func(ctx context.Context, client, arch, class string) ([]byte, error)
+type requestFunc func(ctx context.Context, l proxy.Lookup) (proxy.Result, error)
+
+// traceSample issues one traced request from node 0 for a class another
+// node owns and renders the resulting cross-hop span timeline.
+func traceSample(lc *cluster.LocalCluster, applets int) string {
+	n0 := lc.Nodes[0]
+	for i := 0; i < applets; i++ {
+		class := fmt.Sprintf("net/Applet%03d", i)
+		if n0.Ring().Owner(cluster.KeyFor("dvm", class)) == n0.Self() {
+			continue
+		}
+		res, err := n0.Request(context.Background(), proxy.Lookup{Client: "trace-probe", Arch: "dvm", Class: class})
+		if err != nil {
+			return ""
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "trace %s — cold peer-filled request for %s, per-stage:\n", res.Trace.ID(), class)
+		for _, s := range res.Trace.Spans() {
+			fmt.Fprintf(&b, "  %-14s %-24s start=%-9s dur=%s ms\n", s.Stage, s.Node, ms(s.Start)+" ms", ms(s.Dur))
+		}
+		return b.String()
+	}
+	return ""
+}
 
 // driveFleet runs the standard applet-loop workload for cfg.Duration
-// and collects client-observed latencies.
+// and collects client-observed latencies in a shared telemetry
+// histogram — the same mergeable form the daemons export on /metrics.
 func driveFleet(mode string, nodes, clients int, cfg Fig10Config, entry func(c int) requestFunc) (ClusterScalingRow, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var latencies []time.Duration
+	hist := telemetry.NewHistogram(nil)
 	var totalBytes int64
 	var firstErr error
-	start := time.Now()
-	deadline := start.Add(cfg.Duration)
+	start := telemetry.StartTimer()
+	deadline := time.Now().Add(cfg.Duration)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -148,15 +188,16 @@ func driveFleet(mode string, nodes, clients int, cfg Fig10Config, entry func(c i
 			req := entry(c)
 			for f := 0; time.Now().Before(deadline); f++ {
 				applet := fmt.Sprintf("net/Applet%03d", (c+f)%cfg.Applets)
-				t0 := time.Now()
-				data, err := req(context.Background(), fmt.Sprintf("client-%d", c), "dvm", applet)
-				d := time.Since(t0)
+				t0 := telemetry.StartTimer()
+				res, err := req(context.Background(), proxy.Lookup{
+					Client: fmt.Sprintf("client-%d", c), Arch: "dvm", Class: applet,
+				})
+				hist.Observe(t0.Elapsed())
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
-				totalBytes += int64(len(data))
-				latencies = append(latencies, d)
+				totalBytes += int64(len(res.Data))
 				mu.Unlock()
 			}
 		}(c)
@@ -165,14 +206,16 @@ func driveFleet(mode string, nodes, clients int, cfg Fig10Config, entry func(c i
 	if firstErr != nil {
 		return ClusterScalingRow{}, firstErr
 	}
-	elapsed := time.Since(start)
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	elapsed := start.Elapsed()
+	lat := hist.Snapshot()
 	row := ClusterScalingRow{
 		Mode:          mode,
 		Nodes:         nodes,
 		Clients:       clients,
-		P50:           percentile(latencies, 0.50),
-		P99:           percentile(latencies, 0.99),
+		Latency:       lat,
+		P50:           lat.Quantile(0.50),
+		P95:           lat.Quantile(0.95),
+		P99:           lat.Quantile(0.99),
 		ThroughputBps: float64(totalBytes) / elapsed.Seconds(),
 	}
 	return row, nil
@@ -190,13 +233,4 @@ func finishRow(row ClusterScalingRow, s proxy.Stats, distinct int) ClusterScalin
 		row.HitRate = float64(s.CacheHits) / float64(s.Requests)
 	}
 	return row
-}
-
-// percentile reads the p-quantile from sorted latencies.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
 }

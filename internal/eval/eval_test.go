@@ -332,6 +332,30 @@ func TestClusterScalingDeduplicatesOriginWork(t *testing.T) {
 	if !strings.Contains(text, "Dup rewrites") || !strings.Contains(text, "cluster") {
 		t.Errorf("table = %s", text)
 	}
+
+	// The latency columns are computed from the mergeable histogram
+	// snapshot, not a sorted sample array: each row carries its snapshot
+	// and the quantile columns must be reproducible from it.
+	for _, r := range rows {
+		if r.Latency.Count() == 0 {
+			t.Errorf("%s/%d: empty latency histogram", r.Mode, r.Nodes)
+			continue
+		}
+		if r.P50 != r.Latency.Quantile(0.50) || r.P95 != r.Latency.Quantile(0.95) || r.P99 != r.Latency.Quantile(0.99) {
+			t.Errorf("%s/%d: quantile columns not derived from the histogram snapshot", r.Mode, r.Nodes)
+		}
+		if r.P50 > r.P95 || r.P95 > r.P99 {
+			t.Errorf("%s/%d: quantiles not monotone: p50=%v p95=%v p99=%v", r.Mode, r.Nodes, r.P50, r.P95, r.P99)
+		}
+	}
+	if !strings.Contains(text, "p50 (ms)") || !strings.Contains(text, "p99 (ms)") {
+		t.Errorf("table missing quantile columns:\n%s", text)
+	}
+	// The cluster run includes one traced cold request's per-stage
+	// breakdown under the table.
+	if !strings.Contains(text, "trace ") || !strings.Contains(text, "peer.fill") {
+		t.Errorf("output missing cross-hop trace breakdown:\n%s", text)
+	}
 }
 
 func TestScaleSpecs(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"dvm/internal/classgen"
 	"dvm/internal/netsim"
 	"dvm/internal/proxy"
+	"dvm/internal/telemetry"
 )
 
 // Figure 10 + §4.1.2: proxy scaling and applet fetch overhead.
@@ -58,6 +59,10 @@ type Fig10Row struct {
 	// their own origin fetch + pipeline run.
 	OriginFetches int64
 	Coalesced     int64
+	// Latency is the proxy's request-latency histogram for this point;
+	// P50/P95/P99 are its bucket quantiles.
+	Latency       telemetry.HistSnapshot
+	P50, P95, P99 time.Duration
 }
 
 // Fig10Config parameterizes the scaling experiment.
@@ -134,25 +139,23 @@ func Fig10(clientCounts []int, cfg Fig10Config) ([]Fig10Row, string, error) {
 		var mu sync.Mutex
 		var firstErr error
 		var totalBytes int64
-		var totalLatency time.Duration
 		var fetches int64
-		start := time.Now()
-		deadline := start.Add(cfg.Duration)
+		start := telemetry.StartTimer()
+		deadline := time.Now().Add(cfg.Duration)
 		for c := 0; c < n; c++ {
 			wg.Add(1)
 			go func(c int) {
 				defer wg.Done()
 				for f := 0; time.Now().Before(deadline); f++ {
 					applet := fmt.Sprintf("net/Applet%03d", (c+f)%cfg.Applets)
-					t0 := time.Now()
-					data, err := p.Request(context.Background(), fmt.Sprintf("client-%d", c), "dvm", applet)
-					d := time.Since(t0)
+					res, err := p.Request(context.Background(), proxy.Lookup{
+						Client: fmt.Sprintf("client-%d", c), Arch: "dvm", Class: applet,
+					})
 					mu.Lock()
 					if err != nil && firstErr == nil {
 						firstErr = err
 					}
-					totalBytes += int64(len(data))
-					totalLatency += d
+					totalBytes += int64(len(res.Data))
 					fetches++
 					mu.Unlock()
 				}
@@ -162,8 +165,11 @@ func Fig10(clientCounts []int, cfg Fig10Config) ([]Fig10Row, string, error) {
 		if firstErr != nil {
 			return nil, "", firstErr
 		}
-		elapsed := time.Since(start)
+		elapsed := start.Elapsed()
 		st := p.Stats()
+		// Client-observed latency comes from the proxy's own request
+		// histogram: the same numbers /metrics exports.
+		lat := p.RequestLatency()
 		row := Fig10Row{
 			Clients:          n,
 			TotalBytes:       totalBytes,
@@ -172,9 +178,13 @@ func Fig10(clientCounts []int, cfg Fig10Config) ([]Fig10Row, string, error) {
 			FetchesPerClient: int(fetches / int64(n)),
 			OriginFetches:    st.OriginFetches,
 			Coalesced:        st.Coalesced,
+			Latency:          lat,
+			P50:              lat.Quantile(0.50),
+			P95:              lat.Quantile(0.95),
+			P99:              lat.Quantile(0.99),
 		}
 		if totalBytes > 0 && fetches > 0 {
-			avgLatency := float64(totalLatency) / float64(fetches)
+			avgLatency := float64(lat.Sum) / float64(fetches)
 			avgKB := float64(totalBytes) / float64(fetches) / 1024
 			row.LatencyPerKB = time.Duration(avgLatency / avgKB)
 		}
@@ -186,11 +196,14 @@ func Fig10(clientCounts []int, cfg Fig10Config) ([]Fig10Row, string, error) {
 			fmt.Sprint(r.Clients),
 			fmt.Sprintf("%.0f", r.ThroughputBps/1024),
 			ms(r.LatencyPerKB),
+			ms(r.P50),
+			ms(r.P95),
+			ms(r.P99),
 			fmt.Sprint(r.Coalesced),
 			secs(r.Elapsed),
 		})
 	}
-	return rows, table([]string{"Clients", "Throughput (KB/s)", "Latency/KB (ms)", "Coalesced", "Elapsed (s)"}, cells), nil
+	return rows, table([]string{"Clients", "Throughput (KB/s)", "Latency/KB (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "Coalesced", "Elapsed (s)"}, cells), nil
 }
 
 // AppletFetchRow reports the §4.1.2 applet-download measurements.
@@ -233,20 +246,20 @@ func AppletFetch(samples int) (AppletFetchRow, string, error) {
 	for i := 0; i < samples; i++ {
 		name := fmt.Sprintf("net/Applet%03d", i)
 		sumInternet += inet.FetchLatency()
-		if _, err := p2.Request(context.Background(), "c", "dvm", name); err != nil {
+		if _, err := p2.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: name}); err != nil {
 			return AppletFetchRow{}, "", err
 		}
 		// Warm the shared-cache proxy, then time a cached fetch: LAN
 		// transfer plus the (real) cache lookup.
-		if _, err := p.Request(context.Background(), "warm", "dvm", name); err != nil {
+		if _, err := p.Request(context.Background(), proxy.Lookup{Client: "warm", Arch: "dvm", Class: name}); err != nil {
 			return AppletFetchRow{}, "", err
 		}
-		t0 := time.Now()
-		data, err := p.Request(context.Background(), "c2", "dvm", name)
+		t0 := telemetry.StartTimer()
+		res, err := p.Request(context.Background(), proxy.Lookup{Client: "c2", Arch: "dvm", Class: name})
 		if err != nil {
 			return AppletFetchRow{}, "", err
 		}
-		sumCached += time.Since(t0) + lan.TransferTime(len(data))
+		sumCached += t0.Elapsed() + lan.TransferTime(len(res.Data))
 	}
 	row := AppletFetchRow{
 		Samples:          samples,

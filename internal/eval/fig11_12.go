@@ -10,6 +10,7 @@ import (
 	"dvm/internal/netsim"
 	"dvm/internal/optimize"
 	"dvm/internal/rewrite"
+	"dvm/internal/telemetry"
 	"dvm/internal/workload"
 )
 
@@ -66,12 +67,12 @@ func startupTime(classes map[string][]byte, mainClass string, link netsim.Link) 
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	start := time.Now()
+	start := telemetry.StartTimer()
 	thrown, err := vm.RunMain(mainClass, nil)
 	if err != nil || thrown != nil {
 		return 0, 0, 0, runFail(mainClass, thrown, err)
 	}
-	compute := time.Since(start)
+	compute := start.Elapsed()
 	return clock.Now() + compute, loader.bytes, loader.count, nil
 }
 

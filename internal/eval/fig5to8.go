@@ -10,6 +10,7 @@ import (
 	"dvm/internal/proxy"
 	"dvm/internal/rewrite"
 	"dvm/internal/security"
+	"dvm/internal/telemetry"
 	"dvm/internal/verifier"
 	"dvm/internal/workload"
 )
@@ -83,11 +84,11 @@ func Fig6(specs []workload.Spec) ([]Fig6Row, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		start := time.Now()
+		start := telemetry.StartTimer()
 		if thrown, err := mono.VM.RunMain(spec.MainClass(), nil); err != nil || thrown != nil {
 			return nil, "", runFail(spec.Name+" (monolithic)", thrown, err)
 		}
-		monoTime := time.Since(start)
+		monoTime := start.Elapsed()
 
 		// DVM uncached: first execution through a cold proxy.
 		dvmProxy := proxy.New(origin, proxy.Config{
@@ -101,12 +102,12 @@ func Fig6(specs []workload.Spec) ([]Fig6Row, string, error) {
 			if err != nil {
 				return 0, err
 			}
-			start := time.Now()
+			start := telemetry.StartTimer()
 			thrown, err := c.VM.RunMain(spec.MainClass(), nil)
 			if err != nil || thrown != nil {
 				return 0, runFail(spec.Name+" (dvm)", thrown, err)
 			}
-			return time.Since(start), nil
+			return start.Elapsed(), nil
 		}
 		dvmTime, err := run("client-1")
 		if err != nil {
@@ -233,11 +234,11 @@ func timeDVMRun(spec workload.Spec, origin proxy.Origin, verified bool) (time.Du
 		if err != nil {
 			return 0, err
 		}
-		start := time.Now()
+		start := telemetry.StartTimer()
 		if thrown, err := c.VM.RunMain(spec.MainClass(), nil); err != nil || thrown != nil {
 			return 0, runFail(spec.Name+" (measure)", thrown, err)
 		}
-		if d := time.Since(start); best == 0 || d < best {
+		if d := start.Elapsed(); best == 0 || d < best {
 			best = d
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"dvm/internal/jvm"
 	"dvm/internal/rewrite"
 	"dvm/internal/security"
+	"dvm/internal/telemetry"
 )
 
 // Figure 9: security microbenchmarks. Four system-resource operations
@@ -165,14 +166,14 @@ func Fig9(iterations int) ([]Fig9Row, string, error) {
 		if _, thrown, err := vm.MainThread().InvokeByName("app/Micro", op.method, op.desc, args); err != nil || thrown != nil {
 			return 0, runFail(op.name, thrown, err)
 		}
-		start := time.Now()
+		start := telemetry.StartTimer()
 		for i := 0; i < iters; i++ {
 			_, thrown, err := vm.MainThread().InvokeByName("app/Micro", op.method, op.desc, args)
 			if err != nil || thrown != nil {
 				return 0, runFail(op.name, thrown, err)
 			}
 		}
-		return time.Since(start) / time.Duration(iters), nil
+		return start.Elapsed() / time.Duration(iters), nil
 	}
 
 	rows := make([]Fig9Row, 0, len(fig9Ops))
@@ -216,11 +217,11 @@ func Fig9(iterations int) ([]Fig9Row, string, error) {
 			}
 			args = []jvm.Value{v}
 		}
-		start := time.Now()
+		start := telemetry.StartTimer()
 		if _, thrown, err := vm.MainThread().InvokeByName("app/Micro", op.method, op.desc, args); err != nil || thrown != nil {
 			return nil, "", runFail(op.name+" (download)", thrown, err)
 		}
-		row.DVMDownload = time.Since(start)
+		row.DVMDownload = start.Elapsed()
 		// ...subsequent checks hit the manager's cache.
 		if row.DVMCheck, err = measure(vm, op, iterations); err != nil {
 			return nil, "", err

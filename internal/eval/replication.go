@@ -8,6 +8,7 @@ import (
 
 	"dvm/internal/netsim"
 	"dvm/internal/proxy"
+	"dvm/internal/telemetry"
 )
 
 // AblationReplicationRow is one point of the replication experiment.
@@ -73,22 +74,24 @@ func AblationReplication(clients int, replicaCounts []int, cfg Fig10Config) ([]A
 		var totalLatency time.Duration
 		var fetches int64
 		var firstErr error
-		start := time.Now()
-		deadline := start.Add(cfg.Duration)
+		start := telemetry.StartTimer()
+		deadline := time.Now().Add(cfg.Duration)
 		for c := 0; c < clients; c++ {
 			wg.Add(1)
 			go func(c int) {
 				defer wg.Done()
 				for f := 0; time.Now().Before(deadline); f++ {
 					applet := fmt.Sprintf("net/Applet%03d", (c+f)%cfg.Applets)
-					t0 := time.Now()
-					data, err := group.Request(context.Background(), fmt.Sprintf("client-%d", c), "dvm", applet)
-					d := time.Since(t0)
+					t0 := telemetry.StartTimer()
+					res, err := group.Request(context.Background(), proxy.Lookup{
+						Client: fmt.Sprintf("client-%d", c), Arch: "dvm", Class: applet,
+					})
+					d := t0.Elapsed()
 					mu.Lock()
 					if err != nil && firstErr == nil {
 						firstErr = err
 					}
-					totalBytes += int64(len(data))
+					totalBytes += int64(len(res.Data))
 					totalLatency += d
 					fetches++
 					mu.Unlock()
@@ -99,7 +102,7 @@ func AblationReplication(clients int, replicaCounts []int, cfg Fig10Config) ([]A
 		if firstErr != nil {
 			return nil, "", firstErr
 		}
-		elapsed := time.Since(start)
+		elapsed := start.Elapsed()
 		row := AblationReplicationRow{
 			Replicas:      nr,
 			Clients:       clients,

@@ -13,6 +13,7 @@ import (
 
 	"dvm/internal/jvm"
 	"dvm/internal/resilience"
+	"dvm/internal/telemetry"
 )
 
 // HTTP transport for the remote monitoring service: clients handshake
@@ -35,6 +36,10 @@ type wireEvent struct {
 	Class  string `json:"class"`
 	Method string `json:"method"`
 	Kind   string `json:"kind"`
+	// Time is the client-side stamp taken when the event was buffered.
+	// It rides along on retries so a re-delivered batch keeps original
+	// event times (a zero/absent Time falls back to the console clock).
+	Time time.Time `json:"time,omitempty"`
 }
 
 type wireBatch struct {
@@ -78,8 +83,9 @@ func (c *Collector) Handler() http.Handler {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
+			c.cBatches.Inc()
 			for _, e := range batch.Events {
-				if err := c.Record(batch.Session, e.Class, e.Method, e.Kind); err != nil {
+				if err := c.RecordAt(batch.Session, e.Class, e.Method, e.Kind, e.Time); err != nil {
 					http.Error(w, err.Error(), http.StatusForbidden)
 					return
 				}
@@ -100,6 +106,8 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("/firstuse", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.FirstUseOrder(r.URL.Query().Get("session")))
 	})
+	mux.Handle("/healthz", telemetry.HealthHandler(c.Health))
+	mux.Handle("/metrics", c.reg.Handler())
 	return mux
 }
 
@@ -143,6 +151,7 @@ type RemoteSession struct {
 	Session string
 
 	dropped atomic.Int64
+	hFlush  *telemetry.Histogram
 
 	mu        sync.Mutex
 	buf       []wireEvent
@@ -192,6 +201,7 @@ func AttachHTTPWith(vm *jvm.VM, baseURL string, info ClientInfo, batchSize int, 
 			Cooldown:  opts.BreakerCooldown,
 		}),
 		batchSize: batchSize,
+		hFlush:    telemetry.NewHistogram(nil),
 	}
 	body, _ := json.Marshal(wireHandshake{
 		User: info.User, Hardware: info.Hardware, Arch: info.Arch,
@@ -222,7 +232,16 @@ func AttachHTTPWith(vm *jvm.VM, baseURL string, info ClientInfo, batchSize int, 
 	return rs, nil
 }
 
+// FlushLatency returns the delivery-latency histogram snapshot (one
+// observation per network flush attempt), mergeable with other nodes'.
+func (rs *RemoteSession) FlushLatency() telemetry.HistSnapshot {
+	return rs.hFlush.Snapshot()
+}
+
 func (rs *RemoteSession) add(e wireEvent) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
 	rs.mu.Lock()
 	rs.buf = append(rs.buf, e)
 	full := len(rs.buf) >= rs.batchSize
@@ -257,7 +276,11 @@ func (rs *RemoteSession) FlushContext(ctx context.Context) {
 
 	err := rs.breaker.Allow()
 	if err == nil {
+		span := telemetry.FromContext(ctx).StartSpan("monitor", "monitor.flush")
+		t0 := telemetry.StartTimer()
 		err = rs.post(ctx, batch)
+		rs.hFlush.Observe(t0.Elapsed())
+		span.End()
 		if err == nil {
 			rs.breaker.Success()
 			return
@@ -293,6 +316,9 @@ func (rs *RemoteSession) post(ctx context.Context, batch wireBatch) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tr := telemetry.FromContext(ctx); tr != nil {
+		req.Header.Set(telemetry.TraceHeader, tr.ID())
+	}
 	resp, err := rs.client.Do(req)
 	if err != nil {
 		return err

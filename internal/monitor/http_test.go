@@ -1,12 +1,15 @@
 package monitor_test
 
 import (
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
 	"dvm/internal/jvm"
 	"dvm/internal/monitor"
 	"dvm/internal/rewrite"
+	"dvm/internal/telemetry"
 )
 
 func TestHTTPConsoleEndToEnd(t *testing.T) {
@@ -99,3 +102,38 @@ func TestHTTPConsoleRejectsUnknownSession(t *testing.T) {
 }
 
 var _ = rewrite.NewContext
+
+// TestConsoleHealthzSharedSchema: the monitoring console serves the
+// shared health JSON with event/batch counters and a sessions gauge.
+func TestConsoleHealthzSharedSchema(t *testing.T) {
+	coll := monitor.NewCollector()
+	sid := coll.Handshake(monitor.ClientInfo{User: "probe"})
+	if err := coll.Record(sid, "a", "m", "note"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coll.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := telemetry.ParseHealth(body)
+	if err != nil {
+		t.Fatalf("healthz did not parse as the shared schema: %v\n%s", err, body)
+	}
+	if h.Service != "monitor" || h.Status != telemetry.StatusOK {
+		t.Errorf("service/status = %q/%q, want monitor/ok", h.Service, h.Status)
+	}
+	if got := h.Counters["events_total"]; got != 1 {
+		t.Errorf("events_total = %d, want 1", got)
+	}
+	if got := h.Gauges["sessions"]; got != 1 {
+		t.Errorf("sessions gauge = %v, want 1", got)
+	}
+}

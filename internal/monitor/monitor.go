@@ -13,6 +13,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dvm/internal/telemetry"
 )
 
 // Event is one audit record as stored by the collector.
@@ -45,6 +47,11 @@ type Collector struct {
 	events   []Event
 	seq      int64
 	nextID   int
+
+	reg       *telemetry.Registry
+	cEvents   *telemetry.Counter
+	cBatches  *telemetry.Counter
+	cRejected *telemetry.Counter
 }
 
 type sessionRecord struct {
@@ -58,7 +65,26 @@ type sessionRecord struct {
 
 // NewCollector creates an empty monitoring console.
 func NewCollector() *Collector {
-	return &Collector{sessions: make(map[string]*sessionRecord)}
+	c := &Collector{sessions: make(map[string]*sessionRecord)}
+	c.reg = telemetry.NewRegistry("monitor")
+	c.cEvents = c.reg.Counter("events_total")
+	c.cBatches = c.reg.Counter("batches_total")
+	c.cRejected = c.reg.Counter("rejected_total")
+	c.reg.Gauge("sessions", func() float64 {
+		return float64(len(c.Sessions()))
+	})
+	c.reg.Gauge("events_stored", func() float64 {
+		return float64(c.EventCount())
+	})
+	return c
+}
+
+// Telemetry exposes the console's metric registry.
+func (c *Collector) Telemetry() *telemetry.Registry { return c.reg }
+
+// Health reports the shared versioned health schema.
+func (c *Collector) Health() telemetry.Health {
+	return c.reg.Health(telemetry.StatusOK)
 }
 
 // Handshake registers a client and assigns its session identifier.
@@ -76,19 +102,34 @@ func (c *Collector) Handshake(info ClientInfo) string {
 	return id
 }
 
-// Record ingests one audit event for a session. Unknown sessions are
-// rejected (the handshake established credentials).
+// Record ingests one audit event for a session, stamped with the
+// collector's clock. Unknown sessions are rejected (the handshake
+// established credentials).
 func (c *Collector) Record(session, class, method, kind string) error {
+	return c.RecordAt(session, class, method, kind, time.Time{})
+}
+
+// RecordAt is Record with an explicit event timestamp. A zero at means
+// "now". Remote batches carry the client-side stamp on the wire, so an
+// event delivered late — after a failed flush was re-queued and retried
+// — keeps the time it actually happened rather than the time the retry
+// landed.
+func (c *Collector) RecordAt(session, class, method, kind string, at time.Time) error {
+	if at.IsZero() {
+		at = time.Now()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s, ok := c.sessions[session]
 	if !ok {
+		c.cRejected.Inc()
 		return fmt.Errorf("monitor: unknown session %q", session)
 	}
 	c.seq++
+	c.cEvents.Inc()
 	c.events = append(c.events, Event{
 		Session: session, Class: class, Method: method, Kind: kind,
-		Seq: c.seq, Time: time.Now(),
+		Seq: c.seq, Time: at,
 	})
 	node := class + "." + method
 	switch kind {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // flakyConsole fronts a collector but fails the first n event POSTs.
@@ -67,6 +68,38 @@ func TestFlushRetriesFailedBatch(t *testing.T) {
 	for i, e := range evs {
 		if want := fmt.Sprintf("m%d", i); e.Method != want {
 			t.Errorf("event %d = %s, want %s (order not preserved)", i, e.Method, want)
+		}
+	}
+}
+
+// TestFlushRetryPreservesEventTimes: a batch that fails delivery and is
+// retried later must land with the timestamps taken when the events
+// happened, not when the retry finally succeeded. (The stamp rides the
+// wire in wireEvent.Time; the collector only falls back to its own
+// clock for a zero stamp.)
+func TestFlushRetryPreservesEventTimes(t *testing.T) {
+	coll := NewCollector()
+	ts := httptest.NewServer(flakyConsole(coll, 1))
+	defer ts.Close()
+
+	rs := newSession(t, coll, ts.URL, 100)
+	for i := 0; i < 3; i++ {
+		rs.add(wireEvent{Class: "a", Method: fmt.Sprintf("m%d", i), Kind: "note"})
+	}
+	buffered := time.Now()
+	rs.Flush() // fails; batch retained with its stamps
+	time.Sleep(30 * time.Millisecond)
+	rs.Flush() // delivered on retry
+	evs := coll.Events(rs.Session)
+	if len(evs) != 3 {
+		t.Fatalf("events after retry = %d, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Time.IsZero() {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+		if e.Time.After(buffered) {
+			t.Errorf("event %d stamped %v, after buffering finished at %v: retry re-stamped it", i, e.Time, buffered)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"dvm/internal/proxy"
 	"dvm/internal/resilience"
 	"dvm/internal/rewrite"
+	"dvm/internal/telemetry"
 )
 
 // Chaos suite: injected origin faults must degrade the proxy along its
@@ -62,7 +64,7 @@ func TestStaleIfErrorServesExpiredEntry(t *testing.T) {
 		CacheTTL:     5 * time.Millisecond,
 		RetrySeed:    1,
 	})
-	want, err := p.Request(context.Background(), "c", "dvm", "app/Dep")
+	wantRes, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"})
 	if err != nil {
 		t.Fatalf("prime: %v", err)
 	}
@@ -70,11 +72,11 @@ func TestStaleIfErrorServesExpiredEntry(t *testing.T) {
 	sw.set(&failingOrigin{})
 	time.Sleep(10 * time.Millisecond) // let the entry expire
 
-	got, err := p.Request(context.Background(), "c", "dvm", "app/Dep")
+	gotRes, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"})
 	if err != nil {
 		t.Fatalf("degraded request failed instead of serving stale: %v", err)
 	}
-	if string(got) != string(want) {
+	if string(gotRes.Data) != string(wantRes.Data) {
 		t.Fatal("stale response differs from the cached transformation")
 	}
 	s := p.Stats()
@@ -85,7 +87,7 @@ func TestStaleIfErrorServesExpiredEntry(t *testing.T) {
 	// Not-found is a definitive answer, never a stale fallback.
 	sw.set(proxy.MapOrigin{})
 	time.Sleep(10 * time.Millisecond)
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); !errors.Is(err, proxy.ErrNotFound) {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); !errors.Is(err, proxy.ErrNotFound) {
 		t.Fatalf("expired entry + not-found origin: err = %v, want ErrNotFound", err)
 	}
 }
@@ -105,7 +107,7 @@ func TestChaosThirtyPercentErrorOrigin(t *testing.T) {
 		BreakerThreshold: -1, // isolate stale-if-error from breaker fail-fast
 	})
 	for _, class := range []string{"app/Main", "app/Dep"} {
-		if _, err := p.Request(context.Background(), "warm", "dvm", class); err != nil {
+		if _, err := p.Request(context.Background(), proxy.Lookup{Client: "warm", Arch: "dvm", Class: class}); err != nil {
 			t.Fatalf("prime %s: %v", class, err)
 		}
 	}
@@ -122,7 +124,7 @@ func TestChaosThirtyPercentErrorOrigin(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				class := []string{"app/Main", "app/Dep"}[i%2]
-				if _, err := p.Request(context.Background(), fmt.Sprintf("c%d", c), "dvm", class); err != nil {
+				if _, err := p.Request(context.Background(), proxy.Lookup{Client: fmt.Sprintf("c%d", c), Arch: "dvm", Class: class}); err != nil {
 					failures.Add(1)
 				}
 				time.Sleep(2 * time.Millisecond) // let entries expire between rounds
@@ -150,12 +152,12 @@ func TestProxyBreakerTripsAndRecovers(t *testing.T) {
 	})
 
 	for i := 0; i < 2; i++ {
-		if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err == nil {
+		if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err == nil {
 			t.Fatal("request against dead origin succeeded")
 		}
 	}
 	calls := failing.calls.Load()
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); !errors.Is(err, resilience.ErrOpen) {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); !errors.Is(err, resilience.ErrOpen) {
 		t.Fatalf("breaker should be open: err = %v", err)
 	}
 	if failing.calls.Load() != calls {
@@ -169,7 +171,7 @@ func TestProxyBreakerTripsAndRecovers(t *testing.T) {
 	// Heal the origin; after the cooldown a half-open probe closes it.
 	sw.set(org)
 	time.Sleep(35 * time.Millisecond)
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatalf("post-recovery request: %v", err)
 	}
 	if got := p.Stats().Breaker.State; got != "closed" {
@@ -202,7 +204,7 @@ func TestHandlerErrorMapping(t *testing.T) {
 			origin: &failingOrigin{},
 			cfg:    proxy.Config{BreakerThreshold: 1, BreakerCooldown: time.Minute},
 			prep: func(p *proxy.Proxy) {
-				_, _ = p.Request(context.Background(), "prep", "dvm", "app/Trip")
+				_, _ = p.Request(context.Background(), proxy.Lookup{Client: "prep", Arch: "dvm", Class: "app/Trip"})
 			},
 			wantStatus: http.StatusServiceUnavailable,
 			wantRetry:  true,
@@ -246,7 +248,7 @@ func TestHealthzExposesBreakerAndStale(t *testing.T) {
 		BreakerThreshold: 1,
 		BreakerCooldown:  time.Minute,
 	})
-	_, _ = p.Request(context.Background(), "c", "dvm", "app/X")
+	_, _ = p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/X"})
 	ts := httptest.NewServer(p.Handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -254,23 +256,30 @@ func TestHealthzExposesBreakerAndStale(t *testing.T) {
 		t.Fatalf("healthz: %v", err)
 	}
 	defer resp.Body.Close()
-	buf := make([]byte, 4096)
-	n, _ := resp.Body.Read(buf)
-	body := string(buf[:n])
-	for _, want := range []string{"breaker=open", "breakerTrips=1", "staleServed=0"} {
-		if !contains(body, want) {
-			t.Fatalf("healthz %q missing %q", body, want)
-		}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("healthz body: %v", err)
 	}
-}
-
-func contains(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
+	h, err := telemetry.ParseHealth(body)
+	if err != nil {
+		t.Fatalf("healthz did not parse as the shared schema: %v\n%s", err, body)
 	}
-	return false
+	if h.Service != "proxy" {
+		t.Fatalf("healthz service = %q, want proxy", h.Service)
+	}
+	if h.Status != telemetry.StatusDegraded {
+		t.Fatalf("healthz status = %q with the origin breaker open, want degraded", h.Status)
+	}
+	b, ok := h.Breakers["origin"]
+	if !ok {
+		t.Fatalf("healthz missing origin breaker:\n%s", body)
+	}
+	if b.State != "open" || b.Trips != 1 {
+		t.Fatalf("origin breaker = %+v, want state=open trips=1", b)
+	}
+	if got := h.Counters["stale_served_total"]; got != 0 {
+		t.Fatalf("stale_served_total = %d, want 0 (nothing cached to serve stale)", got)
+	}
 }
 
 // TestCoalescedFollowerHonorsOwnContext: a follower with an expired
@@ -283,7 +292,7 @@ func TestCoalescedFollowerHonorsOwnContext(t *testing.T) {
 
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, err := p.Request(context.Background(), "leader", "dvm", "app/Dep")
+		_, err := p.Request(context.Background(), proxy.Lookup{Client: "leader", Arch: "dvm", Class: "app/Dep"})
 		leaderDone <- err
 	}()
 	// Wait for the leader to own the flight.
@@ -294,7 +303,7 @@ func TestCoalescedFollowerHonorsOwnContext(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, err := p.Request(ctx, "follower", "dvm", "app/Dep")
+	_, err := p.Request(ctx, proxy.Lookup{Client: "follower", Arch: "dvm", Class: "app/Dep"})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
 	}

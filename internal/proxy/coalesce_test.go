@@ -70,7 +70,7 @@ func TestProxyCoalescesConcurrentMisses(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			if _, err := p.Request(context.Background(), "c", "dvm", classes[i%len(classes)]); err != nil {
+			if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: classes[i%len(classes)]}); err != nil {
 				t.Errorf("request: %v", err)
 			}
 		}(i)
@@ -148,7 +148,7 @@ func TestProxyCoalescingWithoutCache(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+			if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 				t.Errorf("request: %v", err)
 			}
 		}()
@@ -160,7 +160,7 @@ func TestProxyCoalescingWithoutCache(t *testing.T) {
 	}
 	// Sequential request after the flight completed: cache is off, so it
 	// must hit the origin again.
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
 	if got := cnt.fetches.Load(); got != 2 {
@@ -184,7 +184,7 @@ func TestProxyFetchErrorAudited(t *testing.T) {
 			mu.Unlock()
 		},
 	})
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Missing"); err == nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Missing"}); err == nil {
 		t.Fatal("missing class did not error")
 	}
 	mu.Lock()
@@ -226,7 +226,7 @@ func TestProxyCoalescedFetchErrorAudited(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			if _, err := p.Request(context.Background(), "c", "dvm", "app/Gone"); err != nil {
+			if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Gone"}); err != nil {
 				errors.Add(1)
 			}
 		}()

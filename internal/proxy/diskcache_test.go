@@ -18,7 +18,7 @@ func TestDiskCacheSurvivesProxyRestart(t *testing.T) {
 		DiskCacheDir: dir,
 	}
 	p1 := proxy.New(org, cfg)
-	first, err := p1.Request(context.Background(), "c", "dvm", "app/Dep")
+	first, err := p1.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +29,11 @@ func TestDiskCacheSurvivesProxyRestart(t *testing.T) {
 	// "Restart": a fresh proxy over the same disk cache — but a broken
 	// origin, proving the class is served from disk, not refetched.
 	p2 := proxy.New(proxy.MapOrigin{}, cfg)
-	second, err := p2.Request(context.Background(), "c2", "dvm", "app/Dep")
+	second, err := p2.Request(context.Background(), proxy.Lookup{Client: "c2", Arch: "dvm", Class: "app/Dep"})
 	if err != nil {
 		t.Fatalf("restarted proxy could not serve from disk: %v", err)
 	}
-	if string(first) != string(second) {
+	if string(first.Data) != string(second.Data) {
 		t.Fatal("disk-cached bytes differ")
 	}
 	st := p2.Stats()
@@ -51,12 +51,12 @@ func TestDiskCacheKeyedByArch(t *testing.T) {
 		DiskCacheDir: dir,
 	}
 	p := proxy.New(org, cfg)
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
 	// A different arch must not hit the dvm entry.
 	p2 := proxy.New(org, cfg)
-	if _, err := p2.Request(context.Background(), "c", "x86-jdk", "app/Dep"); err != nil {
+	if _, err := p2.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "x86-jdk", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
 	if p2.Stats().OriginFetches != 1 {
@@ -72,11 +72,11 @@ func TestDiskCacheUnwritableDegradesGracefully(t *testing.T) {
 		DiskCacheDir: "/dev/null/impossible", // cannot mkdir here
 	}
 	p := proxy.New(org, cfg)
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatalf("unwritable disk cache failed the request: %v", err)
 	}
 	// Memory cache still works.
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
 	if p.Stats().CacheHits != 1 {

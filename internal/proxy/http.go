@@ -13,6 +13,7 @@ import (
 
 	"dvm/internal/jvm"
 	"dvm/internal/resilience"
+	"dvm/internal/telemetry"
 )
 
 // HTTP front end: clients fetch classes with
@@ -67,7 +68,13 @@ func (p *Proxy) Handler() http.Handler {
 		}
 		client := r.Header.Get("X-DVM-Client")
 		arch := r.Header.Get("X-DVM-Arch")
-		data, err := p.Request(r.Context(), client, arch, name)
+		// Continue the caller's trace (or start one) so the response can
+		// carry this hop's per-stage spans back to the requester.
+		tr := telemetry.JoinTrace(r.Header.Get(telemetry.TraceHeader))
+		ctx := telemetry.WithTrace(r.Context(), tr)
+		res, err := p.Request(ctx, Lookup{Client: client, Arch: arch, Class: name})
+		w.Header().Set(telemetry.TraceHeader, tr.ID())
+		w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
 		if err != nil {
 			status := StatusFor(err)
 			if status == http.StatusServiceUnavailable {
@@ -77,14 +84,11 @@ func (p *Proxy) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/java-vm")
-		w.Header().Set("Content-Length", fmt.Sprint(len(data)))
-		_, _ = w.Write(data)
+		w.Header().Set("Content-Length", fmt.Sprint(len(res.Data)))
+		_, _ = w.Write(res.Data)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		s := p.Stats()
-		fmt.Fprintf(w, "requests=%d cacheHits=%d coalesced=%d fetchErrors=%d fetchRetries=%d staleServed=%d peerFetches=%d peerHits=%d ownerFetches=%d rejections=%d bytesOut=%d breaker=%s breakerTrips=%d\n",
-			s.Requests, s.CacheHits, s.Coalesced, s.FetchErrors, s.FetchRetries, s.StaleServed, s.PeerFetches, s.PeerHits, s.OwnerFetches, s.Rejections, s.BytesOut, s.Breaker.State, s.Breaker.Trips)
-	})
+	mux.Handle("/healthz", telemetry.HealthHandler(p.Health))
+	mux.Handle("/metrics", p.reg.Handler())
 	return mux
 }
 
@@ -99,7 +103,8 @@ func (p *Proxy) Loader(client, arch string) jvm.ClassLoader {
 // class resolution inherits its cancellation and deadline.
 func (p *Proxy) LoaderContext(ctx context.Context, client, arch string) jvm.ClassLoader {
 	return jvm.FuncLoader(func(name string) ([]byte, error) {
-		return p.Request(ctx, client, arch, name)
+		res, err := p.Request(ctx, Lookup{Client: client, Arch: arch, Class: name})
+		return res.Data, err
 	})
 }
 

@@ -1,0 +1,108 @@
+package proxy_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dvm/internal/proxy"
+	"dvm/internal/rewrite"
+	"dvm/internal/telemetry"
+)
+
+// promValue extracts the value of one exact metric line from a
+// Prometheus text exposition.
+func promValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad value in %q: %v", name, line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in /metrics output:\n%s", name, body)
+	return 0
+}
+
+// TestMetricsRequestHistogramMatchesStats is the acceptance criterion
+// tying the two telemetry surfaces together: the request-latency
+// histogram on /metrics must have observed exactly Stats().Requests
+// requests — every request goes through the root span, the root span is
+// observed into the histogram, no path is missed or double-counted.
+func TestMetricsRequestHistogramMatchesStats(t *testing.T) {
+	p := proxy.New(origin(t), proxy.Config{
+		Pipeline:     rewrite.NewPipeline(),
+		CacheEnabled: true,
+	})
+	// A mix of misses, hits, and an error: all must be observed.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Request(context.Background(), proxy.Lookup{Client: fmt.Sprintf("c%d", i), Arch: "dvm", Class: "app/Dep"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Missing"}); err == nil {
+		t.Fatal("expected not-found error")
+	}
+
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content-type = %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	requests := p.Stats().Requests
+	if requests != 4 {
+		t.Fatalf("Stats().Requests = %d, want 4", requests)
+	}
+	if got := promValue(t, body, "dvm_proxy_request_seconds_count"); got != float64(requests) {
+		t.Errorf("request_seconds_count = %v, want %d (histogram must observe every request)", got, requests)
+	}
+	if got := promValue(t, body, `dvm_proxy_request_seconds_bucket{le="+Inf"}`); got != float64(requests) {
+		t.Errorf("+Inf bucket = %v, want %d (cumulative buckets must end at the count)", got, requests)
+	}
+	if got := promValue(t, body, "dvm_proxy_requests_total"); got != float64(requests) {
+		t.Errorf("requests_total = %v, want %d", got, requests)
+	}
+	// The derived Stats snapshot and the histogram agree with the
+	// in-process view too, not just over HTTP.
+	if lat := p.RequestLatency(); lat.Count() != requests {
+		t.Errorf("RequestLatency().Count() = %d, want %d", lat.Count(), requests)
+	}
+
+	// And /healthz is the same registry through the shared schema.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	hbody, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := telemetry.ParseHealth(hbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counters["requests_total"] != requests {
+		t.Errorf("healthz requests_total = %d, want %d", h.Counters["requests_total"], requests)
+	}
+}

@@ -36,6 +36,14 @@
 // (one origin fetch and one pipeline run cluster-wide); if this node is
 // the owner, or the peer hop fails, the miss falls through to the local
 // origin path, so a peer outage degrades sharing, never availability.
+//
+// Telemetry: every request runs under a telemetry.Trace — created here
+// if the caller did not attach one to the ctx — and records spans for
+// each stage (proxy.request, queue.wait, peer.fill, origin.fetch,
+// pipeline), so the caller gets a per-stage latency breakdown even
+// across peer hops. All counters and latency histograms live in a
+// telemetry.Registry served on /metrics and /healthz; Stats is a
+// snapshot view derived from it.
 package proxy
 
 import (
@@ -51,6 +59,7 @@ import (
 
 	"dvm/internal/resilience"
 	"dvm/internal/rewrite"
+	"dvm/internal/telemetry"
 	"dvm/internal/verifier"
 )
 
@@ -124,6 +133,9 @@ type RequestRecord struct {
 
 // Config parameterizes a proxy.
 type Config struct {
+	// Node names this proxy in trace spans and health reports — a peer
+	// URL in a cluster, "proxy" by default.
+	Node string
 	// Pipeline is the static service pipeline applied to every class.
 	Pipeline *rewrite.Pipeline
 	// CacheEnabled turns on the shared result cache.
@@ -212,6 +224,32 @@ type PeerResult struct {
 	Err error
 }
 
+// Lookup names what a request wants and for whom. It is the single
+// argument of Request; the cluster, the HTTP front end, the bench
+// drivers, and the examples all build one.
+type Lookup struct {
+	// Client identifies the requesting client (audit trail).
+	Client string
+	// Arch is the client's architecture (cache partitioning: the
+	// compiler service specializes output per arch).
+	Arch string
+	// Class is the fully qualified class name.
+	Class string
+}
+
+// Result is everything a request produced: the transformed bytes, the
+// serving flags, and the request's cross-hop trace.
+type Result struct {
+	// Data is the transformed class.
+	Data []byte
+	// Info describes how the response was served (cache/peer/stale...).
+	Info RequestInfo
+	// Trace is the request's timeline — the ctx trace if the caller
+	// attached one, else one created at entry. Present on errors too, so
+	// a caller can see where a failed request spent its time.
+	Trace *telemetry.Trace
+}
+
 // RequestInfo describes how a request was served; the peer protocol
 // forwards it as response headers so flags survive the extra hop.
 type RequestInfo struct {
@@ -222,7 +260,9 @@ type RequestInfo struct {
 	Peer      string // cluster node that supplied the bytes, if any
 }
 
-// Stats is a snapshot of proxy counters.
+// Stats is a snapshot of proxy counters, derived from the telemetry
+// registry (the registry is the source of truth; this struct is the
+// ergonomic Go view of it).
 type Stats struct {
 	Requests      int64
 	CacheHits     int64
@@ -278,20 +318,25 @@ type Proxy struct {
 
 	inFlight atomic.Int64
 
-	statRequests      atomic.Int64
-	statCacheHits     atomic.Int64
-	statCoalesced     atomic.Int64
-	statOriginFetches atomic.Int64
-	statFetchRetries  atomic.Int64
-	statFetchErrors   atomic.Int64
-	statStaleServed   atomic.Int64
-	statPeerFetches   atomic.Int64
-	statPeerHits      atomic.Int64
-	statOwnerFetches  atomic.Int64
-	statRejections    atomic.Int64
-	statBytesIn       atomic.Int64
-	statBytesOut      atomic.Int64
-	statProxyTime     atomic.Int64 // nanoseconds
+	reg *telemetry.Registry
+
+	cRequests      *telemetry.Counter
+	cCacheHits     *telemetry.Counter
+	cCoalesced     *telemetry.Counter
+	cOriginFetches *telemetry.Counter
+	cFetchErrors   *telemetry.Counter
+	cStaleServed   *telemetry.Counter
+	cPeerFetches   *telemetry.Counter
+	cPeerHits      *telemetry.Counter
+	cOwnerFetches  *telemetry.Counter
+	cRejections    *telemetry.Counter
+	cBytesIn       *telemetry.Counter
+	cBytesOut      *telemetry.Counter
+	cFetchRetries  *telemetry.Counter
+
+	hRequest     *telemetry.Histogram // whole-request latency; count == Requests
+	hOriginFetch *telemetry.Histogram
+	hPipeline    *telemetry.Histogram // parse+transform time; Sum backs Stats.ProxyTime
 }
 
 // connectionMemory is the modeled per-connection server memory (socket
@@ -300,6 +345,9 @@ const connectionMemory = 256 << 10
 
 // New creates a proxy in front of origin.
 func New(origin Origin, cfg Config) *Proxy {
+	if cfg.Node == "" {
+		cfg.Node = "proxy"
+	}
 	if cfg.Pipeline == nil {
 		cfg.Pipeline = rewrite.NewPipeline()
 	}
@@ -313,10 +361,28 @@ func New(origin Origin, cfg Config) *Proxy {
 		cache:   make(map[string]*list.Element),
 		lru:     list.New(),
 		flights: make(map[string]*flight),
+		reg:     telemetry.NewRegistry("proxy"),
 	}
+	p.cRequests = p.reg.Counter("requests_total")
+	p.cCacheHits = p.reg.Counter("cache_hits_total")
+	p.cCoalesced = p.reg.Counter("coalesced_total")
+	p.cOriginFetches = p.reg.Counter("origin_fetches_total")
+	p.cFetchErrors = p.reg.Counter("fetch_errors_total")
+	p.cStaleServed = p.reg.Counter("stale_served_total")
+	p.cPeerFetches = p.reg.Counter("peer_fetches_total")
+	p.cPeerHits = p.reg.Counter("peer_hits_total")
+	p.cOwnerFetches = p.reg.Counter("owner_fetches_total")
+	p.cRejections = p.reg.Counter("rejections_total")
+	p.cBytesIn = p.reg.Counter("bytes_in_total")
+	p.cBytesOut = p.reg.Counter("bytes_out_total")
+	p.cFetchRetries = p.reg.Counter("fetch_retries_total")
+	p.hRequest = p.reg.Histogram("request_seconds", nil)
+	p.hOriginFetch = p.reg.Histogram("origin_fetch_seconds", nil)
+	p.hPipeline = p.reg.Histogram("pipeline_seconds", nil)
 	p.breaker = resilience.NewBreaker(resilience.BreakerConfig{
-		Threshold: cfg.BreakerThreshold,
-		Cooldown:  cfg.BreakerCooldown,
+		Threshold:     cfg.BreakerThreshold,
+		Cooldown:      cfg.BreakerCooldown,
+		OpenDurations: p.reg.Histogram("breaker_open_seconds", nil),
 	})
 	p.hop = resilience.Hop{
 		Timeout: cfg.FetchTimeout,
@@ -326,8 +392,14 @@ func New(origin Origin, cfg Config) *Proxy {
 			Seed:     cfg.RetrySeed,
 		},
 		Breaker: p.breaker,
-		OnRetry: func(int, error) { p.statFetchRetries.Add(1) },
+		Retries: p.cFetchRetries,
 	}
+	p.reg.Gauge("cache_bytes", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.cacheBytes)
+	})
+	p.reg.Gauge("inflight_bytes", func() float64 { return float64(p.inFlight.Load()) })
 	return p
 }
 
@@ -335,25 +407,54 @@ func New(origin Origin, cfg Config) *Proxy {
 // upstream wiring).
 func (p *Proxy) Breaker() *resilience.Breaker { return p.breaker }
 
-// Stats returns a snapshot of the counters.
+// Telemetry exposes the proxy's metric registry (mounted on /metrics by
+// the HTTP front end; the cluster node adds its peer counters here).
+func (p *Proxy) Telemetry() *telemetry.Registry { return p.reg }
+
+// Node returns the name this proxy uses in trace spans.
+func (p *Proxy) Node() string { return p.cfg.Node }
+
+// Health reports the shared versioned health schema: degraded while the
+// origin breaker is open (requests are being answered from stale cache
+// or failing), ok otherwise.
+func (p *Proxy) Health() telemetry.Health {
+	bc := p.breaker.Counts()
+	status := telemetry.StatusOK
+	if bc.State == resilience.Open.String() {
+		status = telemetry.StatusDegraded
+	}
+	h := p.reg.Health(status)
+	h.Breakers = map[string]telemetry.BreakerHealth{
+		"origin": {State: bc.State, Trips: bc.Trips, Successes: bc.Successes, Failures: bc.Failures},
+	}
+	return h
+}
+
+// Stats returns a snapshot of the counters, read from the registry.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Requests:      p.statRequests.Load(),
-		CacheHits:     p.statCacheHits.Load(),
-		Coalesced:     p.statCoalesced.Load(),
-		OriginFetches: p.statOriginFetches.Load(),
-		FetchRetries:  p.statFetchRetries.Load(),
-		FetchErrors:   p.statFetchErrors.Load(),
-		StaleServed:   p.statStaleServed.Load(),
-		PeerFetches:   p.statPeerFetches.Load(),
-		PeerHits:      p.statPeerHits.Load(),
-		OwnerFetches:  p.statOwnerFetches.Load(),
-		Rejections:    p.statRejections.Load(),
-		BytesIn:       p.statBytesIn.Load(),
-		BytesOut:      p.statBytesOut.Load(),
-		ProxyTime:     time.Duration(p.statProxyTime.Load()),
+		Requests:      p.cRequests.Load(),
+		CacheHits:     p.cCacheHits.Load(),
+		Coalesced:     p.cCoalesced.Load(),
+		OriginFetches: p.cOriginFetches.Load(),
+		FetchRetries:  p.cFetchRetries.Load(),
+		FetchErrors:   p.cFetchErrors.Load(),
+		StaleServed:   p.cStaleServed.Load(),
+		PeerFetches:   p.cPeerFetches.Load(),
+		PeerHits:      p.cPeerHits.Load(),
+		OwnerFetches:  p.cOwnerFetches.Load(),
+		Rejections:    p.cRejections.Load(),
+		BytesIn:       p.cBytesIn.Load(),
+		BytesOut:      p.cBytesOut.Load(),
+		ProxyTime:     p.hPipeline.Snapshot().Sum,
 		Breaker:       p.breaker.Counts(),
 	}
+}
+
+// RequestLatency snapshots the whole-request latency histogram; cluster
+// aggregation merges these across nodes.
+func (p *Proxy) RequestLatency() telemetry.HistSnapshot {
+	return p.hRequest.Snapshot()
 }
 
 // CacheEntries returns the cached keys, sorted (diagnostics).
@@ -370,19 +471,43 @@ func (p *Proxy) CacheEntries() []string {
 
 // Request serves one class to one client: the full intercept path. The
 // ctx bounds the whole request (client disconnect, caller deadline);
-// per-attempt origin deadlines come from Config.FetchTimeout.
-func (p *Proxy) Request(ctx context.Context, client, arch, class string) ([]byte, error) {
-	data, _, err := p.RequestDetail(ctx, client, arch, class)
-	return data, err
+// per-attempt origin deadlines come from Config.FetchTimeout. If the
+// ctx carries a telemetry trace the request joins it; otherwise a fresh
+// trace is created. Either way Result.Trace holds the timeline,
+// populated with a span per stage.
+func (p *Proxy) Request(ctx context.Context, l Lookup) (Result, error) {
+	tr := telemetry.FromContext(ctx)
+	if tr == nil {
+		tr = telemetry.NewTrace()
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
+	span := tr.StartSpan(p.cfg.Node, "proxy.request")
+	p.cRequests.Inc()
+	data, info, err := p.serve(ctx, tr, span, l)
+	p.hRequest.Observe(span.End())
+	return Result{Data: data, Info: info, Trace: tr}, err
 }
 
-// RequestDetail is Request plus a description of how the response was
-// produced; the cluster peer protocol needs the flags to forward them
-// across the extra hop.
+// RequestBytes is Request for callers that only want the bytes.
+//
+// Deprecated: use Request; kept one release for pre-telemetry callers.
+func (p *Proxy) RequestBytes(ctx context.Context, client, arch, class string) ([]byte, error) {
+	res, err := p.Request(ctx, Lookup{Client: client, Arch: arch, Class: class})
+	return res.Data, err
+}
+
+// RequestDetail is Request with the pre-telemetry positional signature.
+//
+// Deprecated: use Request; Result carries the RequestInfo.
 func (p *Proxy) RequestDetail(ctx context.Context, client, arch, class string) ([]byte, RequestInfo, error) {
-	start := time.Now()
-	p.statRequests.Add(1)
-	key := arch + "\x00" + class
+	res, err := p.Request(ctx, Lookup{Client: client, Arch: arch, Class: class})
+	return res.Data, res.Info, err
+}
+
+// serve is the request body under the root span: cache probe, miss
+// coalescing, and the leader path.
+func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.SpanTimer, l Lookup) ([]byte, RequestInfo, error) {
+	key := l.Arch + "\x00" + l.Class
 
 	var staleData []byte // expired cache entry kept for stale-if-error
 	var haveStale bool
@@ -401,11 +526,11 @@ func (p *Proxy) RequestDetail(ctx context.Context, client, arch, class string) (
 			}
 		}
 		if ok && fresh {
-			p.statCacheHits.Add(1)
-			p.statBytesOut.Add(int64(len(data)))
+			p.cCacheHits.Inc()
+			p.cBytesOut.Add(int64(len(data)))
 			p.audit(RequestRecord{
-				Client: client, Arch: arch, Class: class, Bytes: len(data),
-				CacheHit: true, Duration: time.Since(start),
+				Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(data),
+				CacheHit: true, Duration: span.Elapsed(),
 			})
 			return data, RequestInfo{CacheHit: true}, nil
 		}
@@ -420,13 +545,13 @@ func (p *Proxy) RequestDetail(ctx context.Context, client, arch, class string) (
 	p.flightMu.Lock()
 	if f, ok := p.flights[key]; ok {
 		p.flightMu.Unlock()
-		return p.awaitFlight(ctx, f, client, arch, class, start)
+		return p.awaitFlight(ctx, tr, span, f, l)
 	}
 	f := &flight{done: make(chan struct{})}
 	p.flights[key] = f
 	p.flightMu.Unlock()
 
-	data, info, err := p.lead(ctx, f, key, client, arch, class, staleData, haveStale, start)
+	data, info, err := p.lead(ctx, tr, span, f, key, l, staleData, haveStale)
 	// Publish the outcome only after the cache holds the result (success
 	// path inside lead), so new requests find either the flight or the
 	// cached entry; then wake the followers.
@@ -440,40 +565,45 @@ func (p *Proxy) RequestDetail(ctx context.Context, client, arch, class string) (
 // awaitFlight is the follower path: hold connection memory (the client
 // is a live connection even while it waits), share the leader's result,
 // and emit this client's own audit record marked as a coalesced hit.
-func (p *Proxy) awaitFlight(ctx context.Context, f *flight, client, arch, class string, start time.Time) ([]byte, RequestInfo, error) {
+// The wait is a "queue.wait" span: coalescing trades duplicated work
+// for queueing delay, and the trace shows exactly how much.
+func (p *Proxy) awaitFlight(ctx context.Context, tr *telemetry.Trace, span *telemetry.SpanTimer, f *flight, l Lookup) ([]byte, RequestInfo, error) {
 	p.inFlight.Add(connectionMemory)
 	defer p.inFlight.Add(-connectionMemory)
+	wait := tr.StartSpan(p.cfg.Node, "queue.wait")
 	select {
 	case <-f.done:
+		wait.End()
 	case <-ctx.Done():
+		wait.End()
 		// This client gave up (disconnect or deadline); the leader's
 		// fetch continues for the others.
 		err := ctx.Err()
 		p.audit(RequestRecord{
-			Client: client, Arch: arch, Class: class,
-			Coalesced: true, FetchError: err.Error(), Duration: time.Since(start),
+			Client: l.Client, Arch: l.Arch, Class: l.Class,
+			Coalesced: true, FetchError: err.Error(), Duration: span.Elapsed(),
 		})
 		return nil, RequestInfo{Coalesced: true}, err
 	}
 	if f.err != nil {
-		p.statFetchErrors.Add(1)
+		p.cFetchErrors.Inc()
 		p.audit(RequestRecord{
-			Client: client, Arch: arch, Class: class,
-			Coalesced: true, FetchError: f.err.Error(), Duration: time.Since(start),
+			Client: l.Client, Arch: l.Arch, Class: l.Class,
+			Coalesced: true, FetchError: f.err.Error(), Duration: span.Elapsed(),
 		})
 		return nil, RequestInfo{Coalesced: true}, f.err
 	}
-	p.statCacheHits.Add(1)
-	p.statCoalesced.Add(1)
+	p.cCacheHits.Inc()
+	p.cCoalesced.Inc()
 	if f.stale {
-		p.statStaleServed.Add(1)
+		p.cStaleServed.Inc()
 	}
-	p.statBytesOut.Add(int64(len(f.data)))
+	p.cBytesOut.Add(int64(len(f.data)))
 	info := RequestInfo{CacheHit: true, Coalesced: true, Rejected: f.rejected, Stale: f.stale, Peer: f.peer}
 	p.audit(RequestRecord{
-		Client: client, Arch: arch, Class: class, Bytes: len(f.data),
+		Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(f.data),
 		CacheHit: true, Coalesced: true, Rejected: f.rejected, Stale: f.stale,
-		Peer: f.peer, Duration: time.Since(start),
+		Peer: f.peer, Duration: span.Elapsed(),
 	})
 	return f.data, info, nil
 }
@@ -483,7 +613,7 @@ func (p *Proxy) awaitFlight(ctx context.Context, f *flight, client, arch, class 
 // model, pipeline, caching, auditing. The result is left in f for the
 // followers. When the origin is unreachable and a stale cache entry
 // exists, it is served instead (stale-if-error).
-func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class string, staleData []byte, haveStale bool, start time.Time) ([]byte, RequestInfo, error) {
+func (p *Proxy) lead(ctx context.Context, tr *telemetry.Trace, span *telemetry.SpanTimer, f *flight, key string, l Lookup, staleData []byte, haveStale bool) ([]byte, RequestInfo, error) {
 	// Memory model: an in-flight request holds connection state and
 	// transfer buffers for its whole lifetime (including the upstream
 	// fetch), plus the parsed class afterwards.
@@ -496,12 +626,15 @@ func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class st
 	// the owner already paid for them once on behalf of the whole fleet.
 	var peerErr string
 	if p.cfg.PeerFill != nil {
-		switch res := p.cfg.PeerFill(ctx, arch, class); res.Outcome {
+		fill := tr.StartSpan(p.cfg.Node, "peer.fill")
+		res := p.cfg.PeerFill(ctx, l.Arch, l.Class)
+		fill.End()
+		switch res.Outcome {
 		case PeerServed:
-			p.statPeerFetches.Add(1)
-			p.statPeerHits.Add(1)
+			p.cPeerFetches.Inc()
+			p.cPeerHits.Inc()
 			if res.Stale {
-				p.statStaleServed.Add(1)
+				p.cStaleServed.Inc()
 			}
 			if p.cfg.CacheEnabled && res.CacheLocal {
 				// Hot key: replicate the owner's copy into the local LRU
@@ -510,30 +643,31 @@ func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class st
 				p.diskCachePut(key, res.Data)
 			}
 			f.data, f.rejected, f.stale, f.peer = res.Data, res.Rejected, res.Stale, res.Peer
-			p.statBytesOut.Add(int64(len(res.Data)))
+			p.cBytesOut.Add(int64(len(res.Data)))
 			info := RequestInfo{Rejected: res.Rejected, Stale: res.Stale, Peer: res.Peer}
 			p.audit(RequestRecord{
-				Client: client, Arch: arch, Class: class, Bytes: len(res.Data),
+				Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(res.Data),
 				Rejected: res.Rejected, Stale: res.Stale, Peer: res.Peer,
-				Duration: time.Since(start),
+				Duration: span.Elapsed(),
 			})
 			return res.Data, info, nil
 		case PeerFailed:
 			// Owner down or unreachable: degrade to a local origin fetch.
 			// Sharing is lost for this key, availability is not.
-			p.statPeerFetches.Add(1)
+			p.cPeerFetches.Inc()
 			if res.Err != nil {
 				peerErr = res.Err.Error()
 			}
 		default: // PeerSelf: this node owns the key
-			p.statOwnerFetches.Add(1)
+			p.cOwnerFetches.Inc()
 		}
 	}
 
-	p.statOriginFetches.Add(1)
+	p.cOriginFetches.Inc()
+	fetch := tr.StartSpan(p.cfg.Node, "origin.fetch")
 	var raw []byte
 	err := p.hop.Do(ctx, func(actx context.Context) error {
-		b, ferr := p.origin.Fetch(actx, class)
+		b, ferr := p.origin.Fetch(actx, l.Class)
 		if ferr != nil {
 			if errors.Is(ferr, ErrNotFound) {
 				// A definitive answer, not an outage: no retry, no
@@ -545,31 +679,32 @@ func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class st
 		raw = b
 		return nil
 	})
+	p.hOriginFetch.Observe(fetch.End())
 	if err != nil {
 		if haveStale && !errors.Is(err, ErrNotFound) {
 			// Degraded mode: the origin is down but we still hold the
 			// previous transformation. Freshness degrades; availability
 			// does not.
-			p.statStaleServed.Add(1)
-			p.statBytesOut.Add(int64(len(staleData)))
+			p.cStaleServed.Inc()
+			p.cBytesOut.Add(int64(len(staleData)))
 			f.data, f.stale = staleData, true
 			p.touchStale(key)
 			p.audit(RequestRecord{
-				Client: client, Arch: arch, Class: class, Bytes: len(staleData),
+				Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(staleData),
 				CacheHit: true, Stale: true, FetchError: err.Error(),
-				PeerError: peerErr, Duration: time.Since(start),
+				PeerError: peerErr, Duration: span.Elapsed(),
 			})
 			return staleData, RequestInfo{CacheHit: true, Stale: true}, nil
 		}
 		f.err = err
-		p.statFetchErrors.Add(1)
+		p.cFetchErrors.Inc()
 		p.audit(RequestRecord{
-			Client: client, Arch: arch, Class: class,
-			FetchError: err.Error(), PeerError: peerErr, Duration: time.Since(start),
+			Client: l.Client, Arch: l.Arch, Class: l.Class,
+			FetchError: err.Error(), PeerError: peerErr, Duration: span.Elapsed(),
 		})
 		return nil, RequestInfo{}, err
 	}
-	p.statBytesIn.Add(int64(len(raw)))
+	p.cBytesIn.Add(int64(len(raw)))
 	extra := int64(len(raw)) * 4 // parsed form is a few times the wire size
 	held += extra
 	total := p.inFlight.Add(extra)
@@ -581,32 +716,33 @@ func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class st
 		}
 	}
 
-	tstart := time.Now()
+	pipe := tr.StartSpan(p.cfg.Node, "pipeline")
 	rctx := rewrite.NewContext()
-	rctx.ClientID = client
-	rctx.ClientArch = arch
+	rctx.ClientID = l.Client
+	rctx.ClientArch = l.Arch
 	out, perr := p.cfg.Pipeline.Process(raw, rctx)
 	rejected := false
 	if perr != nil {
 		// A verification (or other service) rejection becomes a
 		// replacement class that raises VerifyError on the client.
 		rejected = true
-		p.statRejections.Add(1)
-		repl, rerr := verifier.MakeErrorClass(class, perr.Error())
+		p.cRejections.Inc()
+		repl, rerr := verifier.MakeErrorClass(l.Class, perr.Error())
 		if rerr != nil {
-			err := fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", class, rerr, perr)
+			p.hPipeline.Observe(pipe.End())
+			err := fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", l.Class, rerr, perr)
 			f.err = err
-			p.statFetchErrors.Add(1)
+			p.cFetchErrors.Inc()
 			p.audit(RequestRecord{
-				Client: client, Arch: arch, Class: class, Rejected: true,
-				FetchError: err.Error(), Duration: time.Since(start),
+				Client: l.Client, Arch: l.Arch, Class: l.Class, Rejected: true,
+				FetchError: err.Error(), Duration: span.Elapsed(),
 			})
 			return nil, RequestInfo{}, err
 		}
 		out = repl
 	}
-	proxyTime := time.Since(tstart)
-	p.statProxyTime.Add(int64(proxyTime))
+	proxyTime := pipe.End()
+	p.hPipeline.Observe(proxyTime)
 
 	if p.cfg.CacheEnabled {
 		p.storeMem(key, out)
@@ -614,11 +750,11 @@ func (p *Proxy) lead(ctx context.Context, f *flight, key, client, arch, class st
 	}
 	f.data, f.rejected = out, rejected
 
-	p.statBytesOut.Add(int64(len(out)))
+	p.cBytesOut.Add(int64(len(out)))
 	p.audit(RequestRecord{
-		Client: client, Arch: arch, Class: class, Bytes: len(out),
+		Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(out),
 		Rejected: rejected, PeerError: peerErr,
-		Duration: time.Since(start), ProxyTime: proxyTime,
+		Duration: span.Elapsed(), ProxyTime: proxyTime,
 	})
 	return out, RequestInfo{Rejected: rejected}, nil
 }

@@ -109,10 +109,10 @@ func mustPolicy(t *testing.T) *security.Policy {
 
 func TestProxyCacheSharedAcrossClients(t *testing.T) {
 	p := proxy.New(origin(t), proxy.Config{Pipeline: rewrite.NewPipeline(verifier.Filter()), CacheEnabled: true})
-	if _, err := p.Request(context.Background(), "c1", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c1", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Request(context.Background(), "c2", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c2", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
 	st := p.Stats()
@@ -120,7 +120,7 @@ func TestProxyCacheSharedAcrossClients(t *testing.T) {
 		t.Errorf("hits=%d fetches=%d, want 1/1", st.CacheHits, st.OriginFetches)
 	}
 	// Different arch is a different cache entry (compiled output differs).
-	if _, err := p.Request(context.Background(), "c3", "x86-jdk", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c3", Arch: "x86-jdk", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Stats().OriginFetches; got != 2 {
@@ -131,7 +131,7 @@ func TestProxyCacheSharedAcrossClients(t *testing.T) {
 func TestProxyCacheDisabled(t *testing.T) {
 	p := proxy.New(origin(t), proxy.Config{Pipeline: rewrite.NewPipeline(verifier.Filter())})
 	for i := 0; i < 3; i++ {
-		if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+		if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -147,10 +147,10 @@ func TestProxyCacheEviction(t *testing.T) {
 	p := proxy.New(org, proxy.Config{
 		Pipeline: rewrite.NewPipeline(), CacheEnabled: true, CacheBudget: budget,
 	})
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Main"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Main"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
 	if entries := p.CacheEntries(); len(entries) >= 2 {
@@ -171,14 +171,14 @@ func TestRejectedClassBecomesVerifyError(t *testing.T) {
 	}
 	p := proxy.New(proxy.MapOrigin{"app/Bad": data},
 		proxy.Config{Pipeline: rewrite.NewPipeline(verifier.Filter())})
-	out, err := p.Request(context.Background(), "c", "dvm", "app/Bad")
+	out, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Bad"})
 	if err != nil {
 		t.Fatalf("rejection must not be a transport error: %v", err)
 	}
 	if p.Stats().Rejections != 1 {
 		t.Error("rejection not counted")
 	}
-	vm, err := jvm.New(jvm.MapLoader{"app/Bad": out}, nil)
+	vm, err := jvm.New(jvm.MapLoader{"app/Bad": out.Data}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestProxyConcurrentRequests(t *testing.T) {
 			if i%2 == 0 {
 				name = "app/Dep"
 			}
-			if _, err := p.Request(context.Background(), "c", "dvm", name); err != nil {
+			if _, err := p.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: name}); err != nil {
 				errs <- err
 			}
 		}(i)
@@ -258,10 +258,10 @@ func TestAuditTrail(t *testing.T) {
 			mu.Unlock()
 		},
 	})
-	if _, err := p.Request(context.Background(), "alice", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "alice", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Request(context.Background(), "bob", "dvm", "app/Dep"); err != nil {
+	if _, err := p.Request(context.Background(), proxy.Lookup{Client: "bob", Arch: "dvm", Class: "app/Dep"}); err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) != 2 {

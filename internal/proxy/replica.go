@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+
+	"dvm/internal/telemetry"
 )
 
 // ReplicaGroup addresses the centralization concern of §2: "Centralization
@@ -57,9 +59,10 @@ func (g *ReplicaGroup) Replica(i int) *Proxy { return g.replicas[i] }
 // failing over to the remaining replicas on error. The caller's ctx
 // bounds the whole failover sweep; once it expires no further replicas
 // are tried.
-func (g *ReplicaGroup) Request(ctx context.Context, client, arch, class string) ([]byte, error) {
+func (g *ReplicaGroup) Request(ctx context.Context, l Lookup) (Result, error) {
 	start := int(g.next.Add(1)-1) % len(g.replicas)
 	var firstErr error
+	var firstRes Result
 	for i := 0; i < len(g.replicas); i++ {
 		if cerr := ctx.Err(); cerr != nil {
 			if firstErr == nil {
@@ -68,15 +71,25 @@ func (g *ReplicaGroup) Request(ctx context.Context, client, arch, class string) 
 			break
 		}
 		p := g.replicas[(start+i)%len(g.replicas)]
-		data, err := p.Request(ctx, client, arch, class)
+		res, err := p.Request(ctx, l)
 		if err == nil {
-			return data, nil
+			return res, nil
 		}
 		if firstErr == nil {
-			firstErr = err
+			firstErr, firstRes = err, res
 		}
 	}
-	return nil, firstErr
+	return firstRes, firstErr
+}
+
+// RequestLatency merges the replicas' request-latency histograms into
+// one group-wide snapshot.
+func (g *ReplicaGroup) RequestLatency() telemetry.HistSnapshot {
+	var s telemetry.HistSnapshot
+	for _, p := range g.replicas {
+		_ = s.Merge(p.RequestLatency())
+	}
+	return s
 }
 
 // Stats aggregates the replica counters.

@@ -23,7 +23,7 @@ func TestReplicaGroupRoundRobin(t *testing.T) {
 		t.Fatalf("Size = %d", g.Size())
 	}
 	for i := 0; i < 9; i++ {
-		if _, err := g.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+		if _, err := g.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -35,6 +35,11 @@ func TestReplicaGroupRoundRobin(t *testing.T) {
 	}
 	if g.Stats().Requests != 9 {
 		t.Errorf("aggregate requests = %d", g.Stats().Requests)
+	}
+	// The fleet latency view is the replicas' histograms merged
+	// bucket-wise: its count must equal the aggregate request count.
+	if lat := g.RequestLatency(); lat.Count() != 9 {
+		t.Errorf("merged latency histogram count = %d, want 9", lat.Count())
 	}
 }
 
@@ -50,12 +55,12 @@ func TestReplicaGroupFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := group.Request(context.Background(), "c", "dvm", "app/Dep"); err != nil {
+		if _, err := group.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Dep"}); err != nil {
 			t.Fatalf("request %d failed despite healthy replica: %v", i, err)
 		}
 	}
 	// A class no replica can supply still errors.
-	if _, err := group.Request(context.Background(), "c", "dvm", "app/Nope"); err == nil {
+	if _, err := group.Request(context.Background(), proxy.Lookup{Client: "c", Arch: "dvm", Class: "app/Nope"}); err == nil {
 		t.Fatal("nonexistent class served")
 	}
 }
@@ -78,7 +83,7 @@ func TestReplicaGroupConcurrent(t *testing.T) {
 			if i%2 == 0 {
 				name = "app/Dep"
 			}
-			if _, err := g.Request(context.Background(), fmt.Sprintf("c%d", i), "dvm", name); err != nil {
+			if _, err := g.Request(context.Background(), proxy.Lookup{Client: fmt.Sprintf("c%d", i), Arch: "dvm", Class: name}); err != nil {
 				errs <- err
 			}
 		}(i)

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dvm/internal/telemetry"
 )
 
 // ErrOpen is returned by a breaker that is refusing calls. Callers map
@@ -146,6 +148,10 @@ type BreakerConfig struct {
 	HalfOpenProbes int
 	// Now is a clock hook for deterministic tests (default time.Now).
 	Now func() time.Time
+	// OpenDurations, when non-nil, observes how long each open episode
+	// lasted, recorded when the breaker closes again. Outage-length
+	// histograms merge across nodes like any other telemetry histogram.
+	OpenDurations *telemetry.Histogram
 }
 
 // BreakerCounts is a snapshot of breaker statistics for /healthz and
@@ -235,6 +241,9 @@ func (b *Breaker) Success() {
 	if b.state == HalfOpen {
 		b.state = Closed
 		b.probes = 0
+		if !b.openedAt.IsZero() {
+			b.cfg.OpenDurations.Observe(b.cfg.Now().Sub(b.openedAt))
+		}
 	}
 }
 
@@ -305,6 +314,8 @@ type Hop struct {
 	Breaker *Breaker
 	// OnRetry, when set, observes each scheduled retry (metrics).
 	OnRetry func(attempt int, err error)
+	// Retries, when non-nil, counts every scheduled retry.
+	Retries *telemetry.Counter
 }
 
 // Do runs op under the hop policy. Each attempt gets its own deadline
@@ -324,6 +335,7 @@ func (h Hop) Do(ctx context.Context, op func(context.Context) error) error {
 		if errors.Is(err, ErrOpen) || IsPermanent(err) || attempt >= retry.Attempts {
 			return err
 		}
+		h.Retries.Inc()
 		if h.OnRetry != nil {
 			h.OnRetry(attempt, err)
 		}

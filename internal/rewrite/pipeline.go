@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dvm/internal/classfile"
+	"dvm/internal/telemetry"
 )
 
 // Context carries per-class information through a pipeline run: which
@@ -96,11 +97,11 @@ func (p *Pipeline) Process(data []byte, ctx *Context) ([]byte, error) {
 // ProcessClass runs the filters over an already-parsed class.
 func (p *Pipeline) ProcessClass(cf *classfile.ClassFile, ctx *Context) error {
 	for _, f := range p.filters {
-		start := time.Now()
+		start := telemetry.StartTimer()
 		if err := f.Transform(cf, ctx); err != nil {
 			return fmt.Errorf("rewrite: filter %s on %s: %w", f.Name(), cf.Name(), err)
 		}
-		ctx.FilterTimings[f.Name()] += time.Since(start)
+		ctx.FilterTimings[f.Name()] += start.Elapsed()
 	}
 	return nil
 }

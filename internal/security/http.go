@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dvm/internal/resilience"
+	"dvm/internal/telemetry"
 )
 
 // HTTP transport for the security service: enforcement managers on
@@ -44,11 +45,35 @@ type VersionedServer struct {
 	mu      sync.Mutex
 	version int64
 	waiters map[chan struct{}]struct{}
+
+	reg      *telemetry.Registry
+	cDomains *telemetry.Counter
+	cDecides *telemetry.Counter
+	cPolls   *telemetry.Counter
+	hDecide  *telemetry.Histogram
+	hDomain  *telemetry.Histogram
 }
 
 // NewVersionedServer wraps a security server for network use.
 func NewVersionedServer(s *Server) *VersionedServer {
-	return &VersionedServer{Server: s, version: 1, waiters: make(map[chan struct{}]struct{})}
+	v := &VersionedServer{Server: s, version: 1, waiters: make(map[chan struct{}]struct{})}
+	v.reg = telemetry.NewRegistry("secd")
+	v.cDomains = v.reg.Counter("domain_fetches_total")
+	v.cDecides = v.reg.Counter("decides_total")
+	v.cPolls = v.reg.Counter("polls_total")
+	v.hDecide = v.reg.Histogram("decide_seconds", nil)
+	v.hDomain = v.reg.Histogram("domain_seconds", nil)
+	v.reg.Gauge("policy_version", func() float64 { return float64(v.Version()) })
+	v.reg.Gauge("poll_waiters", func() float64 { return float64(v.Waiters()) })
+	return v
+}
+
+// Telemetry exposes the server's metric registry.
+func (v *VersionedServer) Telemetry() *telemetry.Registry { return v.reg }
+
+// Health reports the shared versioned health schema.
+func (v *VersionedServer) Health() telemetry.Health {
+	return v.reg.Health(telemetry.StatusOK)
 }
 
 // UpdatePolicy swaps the policy, bumps the version, and wakes pollers.
@@ -116,25 +141,34 @@ func (v *VersionedServer) Handler() http.Handler {
 			http.Error(w, "missing sid", http.StatusBadRequest)
 			return
 		}
+		// A traced client (X-DVM-Trace) gets this hop's span back in the
+		// response so domain-fetch time shows up in its timeline.
+		tr := telemetry.JoinTrace(r.Header.Get(telemetry.TraceHeader))
+		span := tr.StartSpan("secd", "secd.domain")
+		v.cDomains.Inc()
 		grants := v.FetchDomain(sid)
+		v.hDomain.Observe(span.End())
+		w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
 		writeJSONSec(w, wireDomain{Version: v.Version(), Grants: grants})
 	})
 	mux.HandleFunc("/decide", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
+		tr := telemetry.JoinTrace(r.Header.Get(telemetry.TraceHeader))
+		span := tr.StartSpan("secd", "secd.decide")
+		v.cDecides.Inc()
 		allowed := v.Decide(q.Get("sid"), q.Get("perm"), q.Get("target"))
+		v.hDecide.Observe(span.End())
+		w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
 		writeJSONSec(w, map[string]bool{"allowed": allowed})
 	})
 	mux.HandleFunc("/poll", func(w http.ResponseWriter, r *http.Request) {
 		since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+		v.cPolls.Inc()
 		ver := v.waitBeyond(r.Context(), since, 25*time.Second)
 		writeJSONSec(w, map[string]int64{"version": ver})
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		v.mu.Lock()
-		version, waiters := v.version, len(v.waiters)
-		v.mu.Unlock()
-		fmt.Fprintf(w, "version=%d waiters=%d\n", version, waiters)
-	})
+	mux.Handle("/healthz", telemetry.HealthHandler(v.Health))
+	mux.Handle("/metrics", v.reg.Handler())
 	return mux
 }
 

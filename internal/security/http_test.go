@@ -2,9 +2,14 @@ package security
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
+
+	"dvm/internal/telemetry"
 )
 
 func TestRemoteManagerFetchAndCache(t *testing.T) {
@@ -93,5 +98,51 @@ func TestVersionedServerPollBlocksAndWakes(t *testing.T) {
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("poll never woke")
+	}
+}
+
+// TestSecdHealthzSharedSchema: the security daemon serves the same
+// versioned health JSON as every other daemon, with its policy version
+// and waiter count as gauges, plus Prometheus metrics on /metrics.
+func TestSecdHealthzSharedSchema(t *testing.T) {
+	vs := NewVersionedServer(NewServer(testPolicy(t)))
+	vs.UpdatePolicy(testPolicy(t)) // version 2
+	ts := httptest.NewServer(vs.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := telemetry.ParseHealth(body)
+	if err != nil {
+		t.Fatalf("healthz did not parse as the shared schema: %v\n%s", err, body)
+	}
+	if h.Service != "secd" || h.Status != telemetry.StatusOK {
+		t.Errorf("service/status = %q/%q, want secd/ok", h.Service, h.Status)
+	}
+	if got := h.Gauges["policy_version"]; got != 2 {
+		t.Errorf("policy_version gauge = %v, want 2", got)
+	}
+	if got := h.Gauges["poll_waiters"]; got != 0 {
+		t.Errorf("poll_waiters gauge = %v, want 0", got)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mbody), "dvm_secd_policy_version 2") {
+		t.Errorf("metrics missing policy version gauge:\n%s", mbody)
 	}
 }

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthRoundTrip is the shared schema assertion: what WriteHealth
+// serves, ParseHealth accepts, with every field intact. The proxy, secd,
+// and monitor handler tests all run their live endpoints through
+// ParseHealth too.
+func TestHealthRoundTrip(t *testing.T) {
+	r := NewRegistry("proxy")
+	r.Counter("requests_total").Add(3)
+	r.Gauge("cache_bytes", func() float64 { return 10 })
+	h := r.Health(StatusOK)
+	h.Breakers = map[string]BreakerHealth{
+		"origin": {State: "closed", Trips: 1, Successes: 9, Failures: 2},
+	}
+	h.Ring = []RingMemberHealth{
+		{Member: "http://a", Link: "-", Self: true},
+		{Member: "http://b", Link: "closed"},
+	}
+
+	rec := httptest.NewRecorder()
+	WriteHealth(rec, h)
+	got, err := ParseHealth(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.V != HealthSchemaVersion || got.Service != "proxy" || got.Status != StatusOK {
+		t.Fatalf("header fields = %+v", got)
+	}
+	if got.Counters["requests_total"] != 3 || got.Gauges["cache_bytes"] != 10 {
+		t.Fatalf("metrics = %+v", got)
+	}
+	if got.Breakers["origin"].Trips != 1 || len(got.Ring) != 2 || !got.Ring[0].Self {
+		t.Fatalf("breakers/ring = %+v", got)
+	}
+}
+
+func TestParseHealthRejectsBadPayloads(t *testing.T) {
+	mk := func(h Health) []byte {
+		b, _ := json.Marshal(h)
+		return b
+	}
+	cases := map[string][]byte{
+		"not json":      []byte("version=3 waiters=0"),
+		"wrong version": mk(Health{V: 2, Service: "proxy", Status: StatusOK}),
+		"no service":    mk(Health{V: 1, Status: StatusOK}),
+		"bad status":    mk(Health{V: 1, Service: "proxy", Status: "meh"}),
+	}
+	for name, data := range cases {
+		if _, err := ParseHealth(data); err == nil {
+			t.Fatalf("%s: accepted %s", name, data)
+		}
+	}
+}
+
+func TestHealthHandler(t *testing.T) {
+	r := NewRegistry("monitor")
+	rec := httptest.NewRecorder()
+	HealthHandler(func() Health { return r.Health(StatusDegraded) }).
+		ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	got, err := ParseHealth(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Status != StatusDegraded || got.Service != "monitor" {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryLint is the telemetry-lint CI check: request timing in
+// service packages must go through telemetry (Timer, SpanTimer,
+// Histogram), not ad-hoc time.Since / time.Now().Sub deltas, so every
+// measured duration lands in a mergeable histogram or a trace span.
+// It walks every non-test file under internal/ outside this package and
+// fails on either pattern. A deliberate exception is marked with a
+// `telemetry:allow` comment on the offending line.
+//
+// Bare time.Now() is still fine (wall-clock stamps, cache TTLs, clock
+// hooks); only duration-delta idioms are flagged.
+func TestTelemetryLint(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal := filepath.Join(root, "internal")
+	var violations []string
+	err = filepath.Walk(internal, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if info.Name() == "telemetry" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		violations = append(violations, lintFile(t, path)...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("telemetry-lint: request timing outside internal/telemetry must use telemetry.Timer / trace spans / histograms\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}
+
+func lintFile(t *testing.T, path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	timeAlias := importAlias(f, "time")
+	if timeAlias == "" {
+		return nil
+	}
+	allowed := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "telemetry:allow") {
+				allowed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	var out []string
+	flag := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		if allowed[p.Line] {
+			return
+		}
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// time.Since(x)
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeAlias && sel.Sel.Name == "Since" {
+			flag(call.Pos(), "time.Since")
+			return true
+		}
+		// time.Now().Sub(x)
+		if sel.Sel.Name == "Sub" {
+			if inner, ok := sel.X.(*ast.CallExpr); ok {
+				if isel, ok := inner.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := isel.X.(*ast.Ident); ok && id.Name == timeAlias && isel.Sel.Name == "Now" {
+						flag(call.Pos(), "time.Now().Sub")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func importAlias(f *ast.File, pkg string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != pkg {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return pkg
+	}
+	return ""
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryPrometheusOutput(t *testing.T) {
+	r := NewRegistry("proxy")
+	r.Counter("requests_total").Add(7)
+	r.Counter("cache_hits_total").Inc()
+	r.Gauge("cache_bytes", func() float64 { return 1234 })
+	h := r.Histogram("request_seconds", nil)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+	h.Observe(2 * time.Minute) // overflow bucket
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE dvm_proxy_requests_total counter",
+		"dvm_proxy_requests_total 7",
+		"dvm_proxy_cache_hits_total 1",
+		"# TYPE dvm_proxy_cache_bytes gauge",
+		"dvm_proxy_cache_bytes 1234",
+		"# TYPE dvm_proxy_request_seconds histogram",
+		`dvm_proxy_request_seconds_bucket{le="0.005"} 1`,
+		`dvm_proxy_request_seconds_bucket{le="0.05"} 2`,
+		`dvm_proxy_request_seconds_bucket{le="30"} 2`,
+		`dvm_proxy_request_seconds_bucket{le="+Inf"} 3`,
+		"dvm_proxy_request_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry("x")
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Fatal("counter not idempotent")
+	}
+	if r.Histogram("h_seconds", nil) != r.Histogram("h_seconds", nil) {
+		t.Fatal("histogram not idempotent")
+	}
+}
+
+func TestRegistryHandlerContentType(t *testing.T) {
+	r := NewRegistry("secd")
+	r.Counter("polls_total").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "dvm_secd_polls_total 1") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestMetricToken(t *testing.T) {
+	if got := metricToken("Peer-Errors.Total"); got != "peer_errors_total" {
+		t.Fatalf("metricToken = %q", got)
+	}
+}
+
+func TestNilCounterSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Fatal("nil counter held a value")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dvm/internal/classgen"
 	"dvm/internal/jvm"
 	"dvm/internal/rewrite"
+	"dvm/internal/telemetry"
 )
 
 // AttrVerified is the class attribute the static service attaches to
@@ -235,14 +236,14 @@ func LocalHook(census *Census, elapsed *time.Duration) jvm.LoadHook {
 		if strings.HasPrefix(name, "java/") || strings.HasPrefix(name, "dvm/") {
 			return nil
 		}
-		start := time.Now()
+		start := telemetry.StartTimer()
 		cf, err := classfile.Parse(data)
 		if err != nil {
 			return err
 		}
 		res, err := Verify(cf)
 		if elapsed != nil {
-			*elapsed += time.Since(start)
+			*elapsed += start.Elapsed()
 		}
 		if err != nil {
 			return err
