@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +28,13 @@ func main() {
 	applets := flag.Bool("applets", false, "run the §4.1.2 applet-fetch measurement")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	scale := flag.Int("scale", 1, "workload scale divisor (1 = paper scale)")
+	pipelineWorkers := flag.Int("pipeline-workers", 0, "static-service per-method fan-out (0 = GOMAXPROCS, 1 = sequential)")
+	benchPipeline := flag.String("bench-pipeline", "", "run the pipeline benchmark and write its JSON report to this path (e.g. BENCH_PIPELINE.json)")
+	benchIters := flag.Int("bench-iters", 200, "iterations per pipeline benchmark measurement")
 	flag.Parse()
 
-	if !*all && *figs == "" && !*applets && !*ablations {
-		fmt.Fprintln(os.Stderr, "usage: dvmbench (-all | -fig N[,N...] | -applets | -ablations) [-scale N]")
+	if !*all && *figs == "" && !*applets && !*ablations && *benchPipeline == "" {
+		fmt.Fprintln(os.Stderr, "usage: dvmbench (-all | -fig N[,N...] | -applets | -ablations | -bench-pipeline FILE) [-scale N] [-pipeline-workers N]")
 		os.Exit(2)
 	}
 	want := map[string]bool{}
@@ -95,8 +99,26 @@ func main() {
 			if *scale > 1 {
 				counts = []int{1, 10, 25, 50}
 			}
-			_, text, err := eval.Fig10(counts, eval.DefaultFig10Config())
+			cfg := eval.DefaultFig10Config()
+			cfg.PipelineWorkers = *pipelineWorkers
+			_, text, err := eval.Fig10(counts, cfg)
 			return text, err
+		})
+	}
+	if *benchPipeline != "" {
+		run("Pipeline benchmark (parse/encode codec + parallel static service)", func() (string, error) {
+			rep, text, err := eval.PipelineBench(*benchIters, nil)
+			if err != nil {
+				return "", err
+			}
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(*benchPipeline, append(data, '\n'), 0o644); err != nil {
+				return "", err
+			}
+			return text + "\nreport written to " + *benchPipeline, nil
 		})
 	}
 	if *applets {

@@ -91,6 +91,7 @@ func main() {
 	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (slowloris guard)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long in-flight requests get to finish on shutdown")
+	pipelineWorkers := flag.Int("pipeline-workers", 0, "static-service per-method fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 	if *originDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: dvmproxy -origin dir [-addr :8642] [-policy policy.xml] [-self URL -peers URL,...]")
@@ -101,6 +102,7 @@ func main() {
 	}
 
 	pipe := rewrite.NewPipeline(verifier.Filter())
+	pipe.SetWorkers(*pipelineWorkers)
 	if *policyPath != "" {
 		data, err := os.ReadFile(*policyPath)
 		if err != nil {

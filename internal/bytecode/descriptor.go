@@ -103,8 +103,16 @@ func (m MethodType) String() string {
 }
 
 // ParseType parses a single field type descriptor such as "I",
-// "Ljava/lang/String;" or "[[D".
+// "Ljava/lang/String;" or "[[D". Successful parses are memoized (the
+// resolve path re-parses the same descriptors on every field access and
+// invocation), so repeat calls allocate nothing; returned values are
+// shared and must be treated as immutable.
 func ParseType(desc string) (Type, error) {
+	if t, ok := typeCache.get(desc); ok {
+		descHits.Add(1)
+		return t, nil
+	}
+	descMisses.Add(1)
 	t, rest, err := parseType(desc, false)
 	if err != nil {
 		return Type{}, err
@@ -112,6 +120,7 @@ func ParseType(desc string) (Type, error) {
 	if rest != "" {
 		return Type{}, fmt.Errorf("descriptor: trailing characters %q in %q", rest, desc)
 	}
+	typeCache.put(desc, t)
 	return t, nil
 }
 
@@ -174,8 +183,19 @@ func parseType(s string, allowVoid bool) (Type, string, error) {
 }
 
 // ParseMethodType parses a method descriptor such as
-// "(ILjava/lang/String;)V".
+// "(ILjava/lang/String;)V". Successful parses are memoized like
+// ParseType's; the returned MethodType (including its Params slice) is
+// shared and must be treated as immutable.
 func ParseMethodType(desc string) (MethodType, error) {
+	if mt, ok := methodCache.get(desc); ok {
+		descHits.Add(1)
+		return mt, nil
+	}
+	descMisses.Add(1)
+	return parseMethodTypeUncached(desc)
+}
+
+func parseMethodTypeUncached(desc string) (MethodType, error) {
 	if desc == "" || desc[0] != '(' {
 		return MethodType{}, fmt.Errorf("descriptor: method descriptor %q must start with '('", desc)
 	}
@@ -207,5 +227,6 @@ func ParseMethodType(desc string) (MethodType, error) {
 		return MethodType{}, fmt.Errorf("descriptor: trailing characters after return type in %q", desc)
 	}
 	mt.Ret = ret
+	methodCache.put(desc, mt)
 	return mt, nil
 }

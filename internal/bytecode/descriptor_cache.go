@@ -1,0 +1,97 @@
+package bytecode
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The static service re-parses the same handful of descriptors on every
+// resolve: phase-2/3 verification, MaxStack effects, and the rewriting
+// services all call ParseType/ParseMethodType with strings drawn from a
+// small working set (a proxy serving one organization sees the same
+// library signatures over and over). A small memoization cache turns
+// those re-parses into map hits with zero allocation.
+//
+// The cache is two-generation ("current" and "previous" maps): inserts
+// go to current, and when current fills up it becomes previous and a
+// fresh current starts. Lookups that hit previous are promoted. This
+// bounds memory at roughly 2×descCacheLimit entries per kind while
+// keeping the hot working set resident — hostile classfiles full of
+// one-shot descriptors can only cycle the generations, never grow the
+// maps without bound.
+//
+// Cached values are shared between callers, which is safe because Type
+// and MethodType are treated as immutable everywhere: nothing in the
+// repo mutates Params/Elem after parsing (descriptor strings round-trip
+// through String() instead).
+
+const descCacheLimit = 4096
+
+type descCache[V any] struct {
+	mu   sync.RWMutex
+	cur  map[string]V
+	prev map[string]V
+}
+
+func (c *descCache[V]) get(key string) (V, bool) {
+	c.mu.RLock()
+	if c.cur != nil {
+		if v, ok := c.cur[key]; ok {
+			c.mu.RUnlock()
+			return v, true
+		}
+	}
+	if c.prev != nil {
+		if v, ok := c.prev[key]; ok {
+			c.mu.RUnlock()
+			// Promote so the entry survives the next rotation.
+			c.put(key, v)
+			return v, true
+		}
+	}
+	c.mu.RUnlock()
+	var zero V
+	return zero, false
+}
+
+func (c *descCache[V]) put(key string, v V) {
+	c.mu.Lock()
+	if c.cur == nil {
+		c.cur = make(map[string]V, 64)
+	}
+	if len(c.cur) >= descCacheLimit {
+		c.prev = c.cur
+		c.cur = make(map[string]V, 64)
+	}
+	c.cur[key] = v
+	c.mu.Unlock()
+}
+
+func (c *descCache[V]) reset() {
+	c.mu.Lock()
+	c.cur, c.prev = nil, nil
+	c.mu.Unlock()
+}
+
+var (
+	typeCache   descCache[Type]
+	methodCache descCache[MethodType]
+
+	descHits   atomic.Int64
+	descMisses atomic.Int64
+)
+
+// DescriptorCacheStats reports the cumulative hit/miss counts of the
+// descriptor memoization cache, for telemetry gauges.
+func DescriptorCacheStats() (hits, misses int64) {
+	return descHits.Load(), descMisses.Load()
+}
+
+// ResetDescriptorCache empties the cache and zeroes its counters
+// (tests and benchmarks).
+func ResetDescriptorCache() {
+	typeCache.reset()
+	methodCache.reset()
+	descHits.Store(0)
+	descMisses.Store(0)
+}

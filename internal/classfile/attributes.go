@@ -82,7 +82,8 @@ func DecodeCode(a *Attribute) (*Code, error) {
 
 // Encode serializes the Code structure into attribute payload form.
 func (c *Code) Encode() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, 16+len(c.Bytecode))}
+	size := 2 + 2 + 4 + len(c.Bytecode) + 2 + 8*len(c.Handlers) + attributesSize(c.Attributes)
+	w := &writer{buf: make([]byte, 0, size)}
 	w.u2(c.MaxStack)
 	w.u2(c.MaxLocals)
 	if len(c.Bytecode) > 0xFFFFFFF {

@@ -10,11 +10,33 @@ func BenchmarkParse(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Parse(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParseReleased measures the pipeline's steady state: each
+// parsed class is Released after use so pool scratch recycles through
+// the sync.Pool instead of hitting the allocator.
+func BenchmarkParseReleased(b *testing.B) {
+	cf := buildBenchClass(b)
+	data, err := cf.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parsed, err := Parse(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parsed.Release()
 	}
 }
 
@@ -26,6 +48,7 @@ func BenchmarkEncode(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cf.Encode(); err != nil {

@@ -241,7 +241,7 @@ func TestModifiedUTF8RoundTrip(t *testing.T) {
 		"日本語",
 	}
 	for _, s := range cases {
-		enc := encodeModifiedUTF8(s)
+		enc := appendModifiedUTF8(nil, s)
 		for _, b := range enc {
 			if b == 0 {
 				t.Errorf("%q: encoded form contains a zero byte", s)
@@ -256,7 +256,7 @@ func TestModifiedUTF8RoundTrip(t *testing.T) {
 
 func TestModifiedUTF8QuickRoundTrip(t *testing.T) {
 	f := func(s string) bool {
-		enc := encodeModifiedUTF8(s)
+		enc := appendModifiedUTF8(nil, s)
 		dec, ok := decodeModifiedUTF8(enc)
 		return ok && dec == s
 	}

@@ -1,6 +1,9 @@
 package classfile
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ConstTag identifies the kind of a constant pool entry (JVM spec 4.4).
 type ConstTag uint8
@@ -85,12 +88,27 @@ func (c Constant) Wide() bool { return c.Tag == TagLong || c.Tag == TagDouble }
 // which rewriting services rely on to keep transformed classes small.
 type ConstPool struct {
 	entries []Constant // entries[0] is a zero placeholder
-	index   map[string]uint16
+	index   map[poolKey]uint16
+	frozen  bool // see Freeze
+}
+
+// poolKey is the comparable interning key for a Constant. A struct key
+// keeps intern lookups allocation-free (the previous string keys paid a
+// fmt.Sprintf per probe, which dominated rewrite-path allocations).
+// Float/Double values are keyed by their bit patterns via the num field
+// so that distinct NaN payloads stay distinct and -0 != +0, matching
+// exact on-disk representation.
+type poolKey struct {
+	tag  ConstTag
+	ref1 uint16
+	ref2 uint16
+	str  string
+	num  uint64
 }
 
 // NewConstPool returns an empty pool (containing only the reserved slot 0).
 func NewConstPool() *ConstPool {
-	return &ConstPool{entries: make([]Constant, 1), index: make(map[string]uint16)}
+	return &ConstPool{entries: make([]Constant, 1), index: make(map[poolKey]uint16)}
 }
 
 // Size returns the constant_pool_count value: number of slots including
@@ -213,9 +231,21 @@ func (p *ConstPool) StringValue(idx uint16) (string, error) {
 	return p.Utf8(c.Ref1)
 }
 
+// Freeze marks the pool immutable (on=true) or mutable again (on=false).
+// While frozen, any Add* call that would need to grow the pool panics.
+// The rewrite pipeline freezes the pool around its per-method fan-out:
+// all constants a method transformation needs must be interned during the
+// filter's sequential Prepare step, which is what makes concurrent
+// TransformMethod calls race-free and the emitted pool deterministic.
+// Interning hits (the entry already exists) remain allowed while frozen.
+func (p *ConstPool) Freeze(on bool) { p.frozen = on }
+
 // append adds a raw entry (no interning) and returns its index.
 // It is used by the parser, which must preserve on-disk indices.
 func (p *ConstPool) append(c Constant) (uint16, error) {
+	if p.frozen {
+		panic(fmt.Sprintf("classfile: constant pool mutated while frozen (adding %s); intern all constants in the filter's Prepare step", c.Tag))
+	}
 	idx := len(p.entries)
 	if c.Wide() {
 		if idx+1 > 0xFFFF {
@@ -231,7 +261,7 @@ func (p *ConstPool) append(c Constant) (uint16, error) {
 	return uint16(idx), nil
 }
 
-func (p *ConstPool) intern(key string, c Constant) uint16 {
+func (p *ConstPool) intern(key poolKey, c Constant) uint16 {
 	if idx, ok := p.index[key]; ok {
 		return idx
 	}
@@ -248,7 +278,9 @@ func (p *ConstPool) intern(key string, c Constant) uint16 {
 // rebuildIndex populates the interning map after parsing, so that
 // rewriters reuse the class's own entries.
 func (p *ConstPool) rebuildIndex() {
-	p.index = make(map[string]uint16, len(p.entries))
+	if p.index == nil {
+		p.index = make(map[poolKey]uint16, len(p.entries))
+	}
 	for i := len(p.entries) - 1; i >= 1; i-- {
 		c := p.entries[i]
 		if key, ok := p.keyOf(c); ok {
@@ -257,95 +289,87 @@ func (p *ConstPool) rebuildIndex() {
 	}
 }
 
-func (p *ConstPool) keyOf(c Constant) (string, bool) {
+func (p *ConstPool) keyOf(c Constant) (poolKey, bool) {
 	switch c.Tag {
 	case TagUtf8:
-		return "u\x00" + c.Str, true
+		return poolKey{tag: TagUtf8, str: c.Str}, true
 	case TagInteger:
-		return fmt.Sprintf("i\x00%d", c.Int), true
+		return poolKey{tag: TagInteger, num: uint64(uint32(c.Int))}, true
 	case TagFloat:
-		return fmt.Sprintf("f\x00%x", c.Float), true
+		return poolKey{tag: TagFloat, num: uint64(math.Float32bits(c.Float))}, true
 	case TagLong:
-		return fmt.Sprintf("l\x00%d", c.Long), true
+		return poolKey{tag: TagLong, num: uint64(c.Long)}, true
 	case TagDouble:
-		return fmt.Sprintf("d\x00%x", c.Double), true
-	case TagClass:
-		return fmt.Sprintf("c\x00%d", c.Ref1), true
-	case TagString:
-		return fmt.Sprintf("s\x00%d", c.Ref1), true
-	case TagNameAndType:
-		return fmt.Sprintf("n\x00%d\x00%d", c.Ref1, c.Ref2), true
-	case TagFieldref:
-		return fmt.Sprintf("F\x00%d\x00%d", c.Ref1, c.Ref2), true
-	case TagMethodref:
-		return fmt.Sprintf("M\x00%d\x00%d", c.Ref1, c.Ref2), true
-	case TagInterfaceMethodref:
-		return fmt.Sprintf("I\x00%d\x00%d", c.Ref1, c.Ref2), true
+		return poolKey{tag: TagDouble, num: math.Float64bits(c.Double)}, true
+	case TagClass, TagString:
+		return poolKey{tag: c.Tag, ref1: c.Ref1}, true
+	case TagNameAndType, TagFieldref, TagMethodref, TagInterfaceMethodref:
+		return poolKey{tag: c.Tag, ref1: c.Ref1, ref2: c.Ref2}, true
 	}
-	return "", false
+	return poolKey{}, false
 }
 
 // AddUtf8 interns a Utf8 constant and returns its index.
 func (p *ConstPool) AddUtf8(s string) uint16 {
-	return p.intern("u\x00"+s, Constant{Tag: TagUtf8, Str: s})
+	return p.intern(poolKey{tag: TagUtf8, str: s}, Constant{Tag: TagUtf8, Str: s})
 }
 
 // AddInteger interns an Integer constant.
 func (p *ConstPool) AddInteger(v int32) uint16 {
-	return p.intern(fmt.Sprintf("i\x00%d", v), Constant{Tag: TagInteger, Int: v})
+	return p.intern(poolKey{tag: TagInteger, num: uint64(uint32(v))}, Constant{Tag: TagInteger, Int: v})
 }
 
 // AddFloat interns a Float constant.
 func (p *ConstPool) AddFloat(v float32) uint16 {
-	return p.intern(fmt.Sprintf("f\x00%x", v), Constant{Tag: TagFloat, Float: v})
+	return p.intern(poolKey{tag: TagFloat, num: uint64(math.Float32bits(v))}, Constant{Tag: TagFloat, Float: v})
 }
 
 // AddLong interns a Long constant (occupies two slots).
 func (p *ConstPool) AddLong(v int64) uint16 {
-	return p.intern(fmt.Sprintf("l\x00%d", v), Constant{Tag: TagLong, Long: v})
+	return p.intern(poolKey{tag: TagLong, num: uint64(v)}, Constant{Tag: TagLong, Long: v})
 }
 
 // AddDouble interns a Double constant (occupies two slots).
 func (p *ConstPool) AddDouble(v float64) uint16 {
-	return p.intern(fmt.Sprintf("d\x00%x", v), Constant{Tag: TagDouble, Double: v})
+	return p.intern(poolKey{tag: TagDouble, num: math.Float64bits(v)}, Constant{Tag: TagDouble, Double: v})
 }
 
 // AddClass interns a Class constant for the given internal name.
 func (p *ConstPool) AddClass(name string) uint16 {
 	ni := p.AddUtf8(name)
-	return p.intern(fmt.Sprintf("c\x00%d", ni), Constant{Tag: TagClass, Ref1: ni})
+	return p.intern(poolKey{tag: TagClass, ref1: ni}, Constant{Tag: TagClass, Ref1: ni})
 }
 
 // AddString interns a String constant with the given text.
 func (p *ConstPool) AddString(s string) uint16 {
 	si := p.AddUtf8(s)
-	return p.intern(fmt.Sprintf("s\x00%d", si), Constant{Tag: TagString, Ref1: si})
+	return p.intern(poolKey{tag: TagString, ref1: si}, Constant{Tag: TagString, Ref1: si})
 }
 
 // AddNameAndType interns a NameAndType constant.
 func (p *ConstPool) AddNameAndType(name, desc string) uint16 {
 	ni := p.AddUtf8(name)
 	di := p.AddUtf8(desc)
-	return p.intern(fmt.Sprintf("n\x00%d\x00%d", ni, di), Constant{Tag: TagNameAndType, Ref1: ni, Ref2: di})
+	return p.intern(poolKey{tag: TagNameAndType, ref1: ni, ref2: di}, Constant{Tag: TagNameAndType, Ref1: ni, Ref2: di})
 }
 
 // AddFieldref interns a Fieldref constant.
 func (p *ConstPool) AddFieldref(class, name, desc string) uint16 {
 	ci := p.AddClass(class)
 	nt := p.AddNameAndType(name, desc)
-	return p.intern(fmt.Sprintf("F\x00%d\x00%d", ci, nt), Constant{Tag: TagFieldref, Ref1: ci, Ref2: nt})
+	return p.intern(poolKey{tag: TagFieldref, ref1: ci, ref2: nt}, Constant{Tag: TagFieldref, Ref1: ci, Ref2: nt})
 }
 
 // AddMethodref interns a Methodref constant.
 func (p *ConstPool) AddMethodref(class, name, desc string) uint16 {
 	ci := p.AddClass(class)
 	nt := p.AddNameAndType(name, desc)
-	return p.intern(fmt.Sprintf("M\x00%d\x00%d", ci, nt), Constant{Tag: TagMethodref, Ref1: ci, Ref2: nt})
+	return p.intern(poolKey{tag: TagMethodref, ref1: ci, ref2: nt}, Constant{Tag: TagMethodref, Ref1: ci, Ref2: nt})
 }
 
 // AddInterfaceMethodref interns an InterfaceMethodref constant.
 func (p *ConstPool) AddInterfaceMethodref(class, name, desc string) uint16 {
 	ci := p.AddClass(class)
 	nt := p.AddNameAndType(name, desc)
-	return p.intern(fmt.Sprintf("I\x00%d\x00%d", ci, nt), Constant{Tag: TagInterfaceMethodref, Ref1: ci, Ref2: nt})
+	return p.intern(poolKey{tag: TagInterfaceMethodref, ref1: ci, ref2: nt}, Constant{Tag: TagInterfaceMethodref, Ref1: ci, Ref2: nt})
 }

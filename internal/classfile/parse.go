@@ -136,7 +136,13 @@ func parsePool(r *reader) (*ConstPool, error) {
 	if count == 0 {
 		return nil, formatErrf(r.off, "constant pool count must be at least 1")
 	}
-	pool := NewConstPool()
+	// Each pool entry is at least 3 bytes on disk; cap the size hint so a
+	// hostile count can't force a huge allocation up front.
+	hint := count
+	if max := (len(r.data)-r.off)/3 + 1; hint > max {
+		hint = max
+	}
+	pool := newParsePool(hint)
 	for len(pool.entries) < count {
 		tag := ConstTag(r.u1())
 		if r.err != nil {
@@ -199,19 +205,21 @@ func parseMembers(r *reader) ([]*Member, error) {
 	if count*8 > len(r.data)-r.off {
 		return nil, formatErrf(r.off, "member count %d exceeds remaining data", count)
 	}
-	members := make([]*Member, 0, count)
+	// One backing array for all members instead of one allocation each;
+	// the pointers stay valid for the life of the ClassFile.
+	backing := make([]Member, count)
+	members := make([]*Member, count)
 	for i := 0; i < count; i++ {
-		m := &Member{
-			AccessFlags:     r.u2(),
-			NameIndex:       r.u2(),
-			DescriptorIndex: r.u2(),
-		}
+		m := &backing[i]
+		m.AccessFlags = r.u2()
+		m.NameIndex = r.u2()
+		m.DescriptorIndex = r.u2()
 		attrs, err := parseAttributes(r)
 		if err != nil {
 			return nil, err
 		}
 		m.Attributes = attrs
-		members = append(members, m)
+		members[i] = m
 	}
 	return members, r.err
 }
@@ -224,7 +232,8 @@ func parseAttributes(r *reader) ([]*Attribute, error) {
 	if count*6 > len(r.data)-r.off {
 		return nil, formatErrf(r.off, "attribute count %d exceeds remaining data", count)
 	}
-	attrs := make([]*Attribute, 0, count)
+	backing := make([]Attribute, count)
+	attrs := make([]*Attribute, count)
 	for i := 0; i < count; i++ {
 		nameIdx := r.u2()
 		length := int(r.u4())
@@ -232,7 +241,8 @@ func parseAttributes(r *reader) ([]*Attribute, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		attrs = append(attrs, &Attribute{NameIndex: nameIdx, Info: info})
+		backing[i] = Attribute{NameIndex: nameIdx, Info: info}
+		attrs[i] = &backing[i]
 	}
 	return attrs, nil
 }
@@ -291,9 +301,22 @@ func decodeModifiedUTF8(b []byte) (string, bool) {
 	return string(out), true
 }
 
-// encodeModifiedUTF8 is the inverse of decodeModifiedUTF8.
-func encodeModifiedUTF8(s string) []byte {
-	out := make([]byte, 0, len(s))
+// appendModifiedUTF8 appends the modified-UTF8 encoding of s to out (the
+// inverse of decodeModifiedUTF8). Appending in place lets the encoder
+// write every Utf8 constant straight into its output buffer instead of
+// allocating a scratch slice per constant.
+func appendModifiedUTF8(out []byte, s string) []byte {
+	// Fast path: plain ASCII without NUL copies straight through.
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 || s[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return append(out, s...)
+	}
 	for _, r := range s {
 		switch {
 		case r == 0:

@@ -1,0 +1,132 @@
+package classfile_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"dvm/internal/classfile"
+	"dvm/internal/workload"
+)
+
+// TestRoundTripCorpus checks the codec's core contract over the whole
+// workload corpus: Parse → Encode → Parse yields a structurally
+// identical class, and re-encoding that class reproduces the same bytes
+// (Encode is a fixed point after one canonicalization pass). The specs
+// are scaled down so the corpus still covers every workload kind
+// without dominating test time.
+func TestRoundTripCorpus(t *testing.T) {
+	specs := append(workload.Benchmarks(), workload.Applets()...)
+	for _, spec := range specs {
+		spec := spec
+		if spec.Classes > 6 {
+			spec.Classes = 6
+		}
+		if spec.TargetBytes > 48*1024 {
+			spec.TargetBytes = 48 * 1024
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			app, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			names := make([]string, 0, len(app.Classes))
+			for name := range app.Classes {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				data := app.Classes[name]
+				cf1, err := classfile.Parse(data)
+				if err != nil {
+					t.Fatalf("%s: parse original: %v", name, err)
+				}
+				enc1, err := cf1.Encode()
+				if err != nil {
+					t.Fatalf("%s: encode: %v", name, err)
+				}
+				cf2, err := classfile.Parse(enc1)
+				if err != nil {
+					t.Fatalf("%s: reparse encoded form: %v", name, err)
+				}
+				if d := structuralDiff(cf1, cf2); d != "" {
+					t.Fatalf("%s: reparse differs: %s", name, d)
+				}
+				enc2, err := cf2.Encode()
+				if err != nil {
+					t.Fatalf("%s: re-encode: %v", name, err)
+				}
+				if !bytes.Equal(enc1, enc2) {
+					t.Fatalf("%s: Encode is not byte-stable: %d vs %d bytes", name, len(enc1), len(enc2))
+				}
+			}
+		})
+	}
+}
+
+// structuralDiff compares two classfiles field by field through the
+// resolving accessors (so it is insensitive to pool index renumbering)
+// and returns a description of the first mismatch, or "".
+func structuralDiff(a, b *classfile.ClassFile) string {
+	switch {
+	case a.MinorVersion != b.MinorVersion || a.MajorVersion != b.MajorVersion:
+		return fmt.Sprintf("version %d.%d vs %d.%d", a.MajorVersion, a.MinorVersion, b.MajorVersion, b.MinorVersion)
+	case a.AccessFlags != b.AccessFlags:
+		return fmt.Sprintf("access flags %#x vs %#x", a.AccessFlags, b.AccessFlags)
+	case a.Name() != b.Name():
+		return fmt.Sprintf("name %q vs %q", a.Name(), b.Name())
+	case a.SuperName() != b.SuperName():
+		return fmt.Sprintf("super %q vs %q", a.SuperName(), b.SuperName())
+	case fmt.Sprint(a.InterfaceNames()) != fmt.Sprint(b.InterfaceNames()):
+		return fmt.Sprintf("interfaces %v vs %v", a.InterfaceNames(), b.InterfaceNames())
+	case a.Pool.Size() != b.Pool.Size():
+		return fmt.Sprintf("pool size %d vs %d", a.Pool.Size(), b.Pool.Size())
+	}
+	if d := memberDiff("field", a, a.Fields, b, b.Fields); d != "" {
+		return d
+	}
+	if d := memberDiff("method", a, a.Methods, b, b.Methods); d != "" {
+		return d
+	}
+	return attrDiff("class", a, a.Attributes, b, b.Attributes)
+}
+
+func memberDiff(kind string, a *classfile.ClassFile, as []*classfile.Member, b *classfile.ClassFile, bs []*classfile.Member) string {
+	if len(as) != len(bs) {
+		return fmt.Sprintf("%s count %d vs %d", kind, len(as), len(bs))
+	}
+	for i := range as {
+		ma, mb := as[i], bs[i]
+		if ma.AccessFlags != mb.AccessFlags ||
+			a.MemberName(ma) != b.MemberName(mb) ||
+			a.MemberDescriptor(ma) != b.MemberDescriptor(mb) {
+			return fmt.Sprintf("%s %d: %s%s flags %#x vs %s%s flags %#x", kind, i,
+				a.MemberName(ma), a.MemberDescriptor(ma), ma.AccessFlags,
+				b.MemberName(mb), b.MemberDescriptor(mb), mb.AccessFlags)
+		}
+		where := fmt.Sprintf("%s %s", kind, a.MemberName(ma))
+		if d := attrDiff(where, a, ma.Attributes, b, mb.Attributes); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+func attrDiff(where string, a *classfile.ClassFile, as []*classfile.Attribute, b *classfile.ClassFile, bs []*classfile.Attribute) string {
+	if len(as) != len(bs) {
+		return fmt.Sprintf("%s: attribute count %d vs %d", where, len(as), len(bs))
+	}
+	for i := range as {
+		if a.AttrName(as[i]) != b.AttrName(bs[i]) {
+			return fmt.Sprintf("%s: attribute %d name %q vs %q", where, i, a.AttrName(as[i]), b.AttrName(bs[i]))
+		}
+		// Attribute payloads embed pool indices, so compare them only
+		// when the pools are index-identical — which they are here,
+		// since Encode writes the pool in entry order.
+		if !bytes.Equal(as[i].Info, bs[i].Info) {
+			return fmt.Sprintf("%s: attribute %q payload differs (%d vs %d bytes)", where, a.AttrName(as[i]), len(as[i].Info), len(bs[i].Info))
+		}
+	}
+	return ""
+}

@@ -17,10 +17,87 @@ func (w *writer) raw(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// modifiedUTF8Len returns the encoded length of s in modified UTF-8
+// without allocating.
+func modifiedUTF8Len(s string) int {
+	// Fast path: plain ASCII without NUL encodes byte-for-byte.
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 || s[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return len(s)
+	}
+	n := 0
+	for _, r := range s {
+		switch {
+		case r == 0:
+			n += 2
+		case r < 0x80:
+			n++
+		case r < 0x800:
+			n += 2
+		case r < 0x10000:
+			n += 3
+		default:
+			n += 6 // CESU-8 surrogate pair
+		}
+	}
+	return n
+}
+
+// encodedSize computes the exact serialized size of the class, so Encode
+// can make a single right-sized allocation instead of growing a buffer.
+func (cf *ClassFile) encodedSize() int {
+	n := 4 + 2 + 2 // magic, minor, major
+	n += 2         // constant_pool_count
+	if cf.Pool != nil {
+		for i := 1; i < len(cf.Pool.entries); i++ {
+			c := cf.Pool.entries[i]
+			switch c.Tag {
+			case 0: // dead second slot of a Long/Double
+			case TagUtf8:
+				n += 1 + 2 + modifiedUTF8Len(c.Str)
+			case TagInteger, TagFloat:
+				n += 1 + 4
+			case TagLong, TagDouble:
+				n += 1 + 8
+			case TagClass, TagString:
+				n += 1 + 2
+			default: // member refs and NameAndType
+				n += 1 + 4
+			}
+		}
+	}
+	n += 2 + 2 + 2 // access_flags, this_class, super_class
+	n += 2 + 2*len(cf.Interfaces)
+	n += 2
+	for _, m := range cf.Fields {
+		n += 6 + attributesSize(m.Attributes)
+	}
+	n += 2
+	for _, m := range cf.Methods {
+		n += 6 + attributesSize(m.Attributes)
+	}
+	n += attributesSize(cf.Attributes)
+	return n
+}
+
+func attributesSize(attrs []*Attribute) int {
+	n := 2
+	for _, a := range attrs {
+		n += 6 + len(a.Info)
+	}
+	return n
+}
+
 // Encode serializes the class back to the on-disk format. Encoding an
 // unmodified parse result reproduces a byte-for-byte identical file.
 func (cf *ClassFile) Encode() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, 4096)}
+	w := &writer{buf: make([]byte, 0, cf.encodedSize())}
 	w.u4(Magic)
 	w.u2(cf.MinorVersion)
 	w.u2(cf.MajorVersion)
@@ -65,12 +142,12 @@ func encodePool(w *writer, p *ConstPool) error {
 		w.u1(uint8(c.Tag))
 		switch c.Tag {
 		case TagUtf8:
-			enc := encodeModifiedUTF8(c.Str)
-			if len(enc) > 0xFFFF {
-				return formatErrf(-1, "Utf8 constant %d too long (%d bytes)", i, len(enc))
+			n := modifiedUTF8Len(c.Str)
+			if n > 0xFFFF {
+				return formatErrf(-1, "Utf8 constant %d too long (%d bytes)", i, n)
 			}
-			w.u2(uint16(len(enc)))
-			w.raw(enc)
+			w.u2(uint16(n))
+			w.buf = appendModifiedUTF8(w.buf, c.Str)
 		case TagInteger:
 			w.u4(uint32(c.Int))
 		case TagFloat:

@@ -270,11 +270,7 @@ func Filter() rewrite.Filter {
 		if err != nil {
 			return err
 		}
-		if prev, ok := ctx.Notes[NoteFusions].(int); ok {
-			ctx.Notes[NoteFusions] = prev + st.Fusions
-		} else {
-			ctx.Notes[NoteFusions] = st.Fusions
-		}
+		ctx.AddIntNote(NoteFusions, st.Fusions)
 		return nil
 	}}
 }

@@ -79,6 +79,9 @@ type Fig10Config struct {
 	// sleeps (e.g. 0.001 turns 2.2 s into 2.2 ms). 0 disables upstream
 	// delay.
 	InternetScale float64
+	// PipelineWorkers bounds the static service's per-method fan-out
+	// (0 = GOMAXPROCS, 1 = sequential).
+	PipelineWorkers int
 }
 
 // DefaultFig10Config mirrors the paper's setup at a compressed
@@ -125,8 +128,10 @@ func Fig10(clientCounts []int, cfg Fig10Config) ([]Fig10Row, string, error) {
 				}
 			},
 		}
+		pipe := ServicePipeline(StandardPolicy(), false)
+		pipe.SetWorkers(cfg.PipelineWorkers)
 		p := proxy.New(delayed, proxy.Config{
-			Pipeline:     ServicePipeline(StandardPolicy(), false),
+			Pipeline:     pipe,
 			CacheEnabled: false, // worst case, per the paper
 			MemoryBudget: cfg.MemoryBudget,
 			// Thrashing is brutal once physical memory is oversubscribed;

@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+
+	"dvm/internal/classfile"
+	"dvm/internal/rewrite"
+	"dvm/internal/telemetry"
+	"dvm/internal/workload"
+)
+
+// PipelineBenchRow is one worker-count measurement of the full static
+// service (verifier + security + monitor) over a workload class.
+type PipelineBenchRow struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Speedup is NsPerOp(workers=1) / NsPerOp(this row). On a
+	// single-core host it hovers near 1.0 regardless of workers; on a
+	// multicore proxy it approaches min(workers, methods).
+	Speedup float64 `json:"speedup_vs_workers_1"`
+}
+
+// PipelineBenchReport is the serialized form of BENCH_PIPELINE.json: the
+// codec hot-path costs plus the pipeline fan-out measurements, recorded
+// per PR so the perf trajectory is trackable.
+type PipelineBenchReport struct {
+	GOMAXPROCS        int                `json:"gomaxprocs"`
+	Iterations        int                `json:"iterations"`
+	ClassBytes        int                `json:"class_bytes"`
+	ParseNsPerOp      float64            `json:"parse_ns_per_op"`
+	ParseAllocsPerOp  float64            `json:"parse_allocs_per_op"`
+	EncodeNsPerOp     float64            `json:"encode_ns_per_op"`
+	EncodeAllocsPerOp float64            `json:"encode_allocs_per_op"`
+	Pipeline          []PipelineBenchRow `json:"pipeline"`
+}
+
+// benchLoop times fn over iterations and reports per-op nanoseconds and
+// heap allocations (from runtime.MemStats deltas, so run it on an
+// otherwise quiet process).
+func benchLoop(iterations int, fn func() error) (nsPerOp, allocsPerOp float64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := telemetry.StartTimer()
+	for i := 0; i < iterations; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := start.Elapsed()
+	runtime.ReadMemStats(&after)
+	n := float64(iterations)
+	return float64(elapsed.Nanoseconds()) / n, float64(after.Mallocs-before.Mallocs) / n, nil
+}
+
+// pipelineBenchClass returns one representative serialized workload
+// class (the same shape the verifier benchmarks use).
+func pipelineBenchClass() ([]byte, error) {
+	spec := workload.Benchmarks()[0]
+	spec.Classes = 3
+	spec.TargetBytes = 32 * 1024
+	app, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	for name, data := range app.Classes {
+		if name != spec.MainClass() {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("eval: workload generated no non-main class")
+}
+
+// PipelineBench measures the parse/encode codec and the full static
+// service at each worker count, returning the report and a rendered
+// table. workerCounts defaults to {1, 2, 4, GOMAXPROCS}.
+func PipelineBench(iterations int, workerCounts []int) (*PipelineBenchReport, string, error) {
+	if iterations <= 0 {
+		iterations = 200
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	}
+	seen := make(map[int]bool, len(workerCounts))
+	counts := workerCounts[:0:0]
+	for _, w := range workerCounts {
+		if !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	workerCounts = counts
+	data, err := pipelineBenchClass()
+	if err != nil {
+		return nil, "", err
+	}
+	rep := &PipelineBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Iterations: iterations,
+		ClassBytes: len(data),
+	}
+
+	rep.ParseNsPerOp, rep.ParseAllocsPerOp, err = benchLoop(iterations, func() error {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			return err
+		}
+		cf.Release()
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+
+	parsed, err := classfile.Parse(data)
+	if err != nil {
+		return nil, "", err
+	}
+	rep.EncodeNsPerOp, rep.EncodeAllocsPerOp, err = benchLoop(iterations, func() error {
+		_, err := parsed.Encode()
+		return err
+	})
+	if err != nil {
+		return nil, "", err
+	}
+
+	policy := StandardPolicy()
+	var base float64
+	for _, w := range workerCounts {
+		pipe := ServicePipeline(policy, false)
+		pipe.SetWorkers(w)
+		ns, allocs, err := benchLoop(iterations, func() error {
+			_, err := pipe.Process(data, rewrite.NewContext())
+			return err
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		row := PipelineBenchRow{Workers: w, NsPerOp: ns, AllocsPerOp: allocs, Speedup: 1}
+		if w == 1 {
+			base = ns
+		}
+		if base > 0 {
+			row.Speedup = base / ns
+		}
+		rep.Pipeline = append(rep.Pipeline, row)
+	}
+
+	var cells [][]string
+	cells = append(cells,
+		[]string{"parse", "-", fmt.Sprintf("%.0f", rep.ParseNsPerOp), fmt.Sprintf("%.1f", rep.ParseAllocsPerOp), "-"},
+		[]string{"encode", "-", fmt.Sprintf("%.0f", rep.EncodeNsPerOp), fmt.Sprintf("%.1f", rep.EncodeAllocsPerOp), "-"})
+	for _, r := range rep.Pipeline {
+		cells = append(cells, []string{
+			"pipeline", fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%.0f", r.NsPerOp), fmt.Sprintf("%.1f", r.AllocsPerOp),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	text := table([]string{"Stage", "Workers", "ns/op", "allocs/op", "Speedup"}, cells)
+	return rep, text, nil
+}

@@ -32,75 +32,125 @@ const (
 // Filter returns the static half of the remote monitoring service:
 // a pipeline filter that rewrites applications to invoke the auditing
 // (and optionally profiling) dynamic components at method and
-// constructor boundaries.
+// constructor boundaries. It implements rewrite.MethodFilter: Prepare
+// interns every constant and appends the first-use guard fields in
+// method-table order (keeping output deterministic), and the per-method
+// insertions then run concurrently on the pipeline's worker pool.
 func Filter(cfg Config) rewrite.Filter {
-	return rewrite.FilterFunc{FilterName: "monitor", Fn: func(cf *classfile.ClassFile, ctx *rewrite.Context) error {
-		sites := 0
-		profIdx := 0
-		for _, m := range cf.Methods {
-			name := cf.MemberName(m)
-			if cfg.Skip != nil && cfg.Skip(cf.Name(), name) {
-				continue
-			}
-			ed, err := rewrite.EditMethod(cf, m)
-			if err != nil {
-				return err
-			}
-			if ed == nil {
-				continue
-			}
-			changed := false
-			if cfg.FirstUse {
-				guard := "dvm$fu$" + strconv.Itoa(profIdx)
-				profIdx++
-				cf.Fields = append(cf.Fields, &classfile.Member{
-					AccessFlags:     classfile.AccPrivate | classfile.AccStatic,
-					NameIndex:       cf.Pool.AddUtf8(guard),
-					DescriptorIndex: cf.Pool.AddUtf8("Z"),
-				})
-				sn := rewrite.NewSnippet(cf.Pool)
-				sn.GetStatic(cf.Name(), guard, "Z")
-				sn.Branch(bytecode.Ifne, rewrite.RelEnd)
-				sn.IConst(1)
-				sn.PutStatic(cf.Name(), guard, "Z")
-				sn.LdcString(cf.Name()).LdcString(name).LdcString(cf.MemberDescriptor(m))
-				sn.InvokeStatic("dvm/Profile", "firstUse",
-					"(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V")
-				if err := ed.InsertEntry(sn.Insts()); err != nil {
-					return err
-				}
-				sites++
-				changed = true
-			}
-			if cfg.Methods {
-				enter := rewrite.NewSnippet(cf.Pool)
-				enter.LdcString(cf.Name()).LdcString(name)
-				enter.InvokeStatic("dvm/Audit", "enter", "(Ljava/lang/String;Ljava/lang/String;)V")
-				exit := rewrite.NewSnippet(cf.Pool)
-				exit.LdcString(cf.Name()).LdcString(name)
-				exit.InvokeStatic("dvm/Audit", "exit", "(Ljava/lang/String;Ljava/lang/String;)V")
-				if err := ed.InsertBeforeReturns(exit.Insts()); err != nil {
-					return err
-				}
-				if err := ed.InsertEntry(enter.Insts()); err != nil {
-					return err
-				}
-				sites += 2
-				changed = true
-			}
-			if changed {
-				if err := ed.Commit(); err != nil {
-					return err
-				}
-			}
+	return &auditFilter{cfg: cfg}
+}
+
+type auditFilter struct{ cfg Config }
+
+// auditPlan holds the pre-built snippets for one method. Snippets are
+// constructed against the pool during Prepare; replaying them in
+// TransformMethod touches the pool read-only.
+type auditPlan struct {
+	fu    []bytecode.Inst
+	enter []bytecode.Inst
+	exit  []bytecode.Inst
+	sites int
+}
+
+const auditPlanNote = "monitor.plan"
+
+func (f *auditFilter) Name() string { return "monitor" }
+
+// Transform implements rewrite.Filter for standalone use; in a pipeline
+// the MethodFilter path is taken instead.
+func (f *auditFilter) Transform(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+	return rewrite.ApplyMethodFilter(f, cf, ctx)
+}
+
+// Prepare implements rewrite.MethodFilter: all pool interning and field
+// appends happen here, sequentially, in method-table order.
+func (f *auditFilter) Prepare(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+	cfg := f.cfg
+	plans := make(map[*classfile.Member]*auditPlan)
+	profIdx := 0
+	for _, m := range cf.Methods {
+		name := cf.MemberName(m)
+		if cfg.Skip != nil && cfg.Skip(cf.Name(), name) {
+			continue
 		}
-		if prev, ok := ctx.Notes[NoteAuditSites].(int); ok {
-			ctx.Notes[NoteAuditSites] = prev + sites
-		} else {
-			ctx.Notes[NoteAuditSites] = sites
+		ed, err := rewrite.EditMethod(cf, m)
+		if err != nil {
+			return err
 		}
+		if ed == nil {
+			continue
+		}
+		plan := &auditPlan{}
+		if cfg.FirstUse {
+			guard := "dvm$fu$" + strconv.Itoa(profIdx)
+			profIdx++
+			cf.Fields = append(cf.Fields, &classfile.Member{
+				AccessFlags:     classfile.AccPrivate | classfile.AccStatic,
+				NameIndex:       cf.Pool.AddUtf8(guard),
+				DescriptorIndex: cf.Pool.AddUtf8("Z"),
+			})
+			sn := rewrite.NewSnippet(cf.Pool)
+			sn.GetStatic(cf.Name(), guard, "Z")
+			sn.Branch(bytecode.Ifne, rewrite.RelEnd)
+			sn.IConst(1)
+			sn.PutStatic(cf.Name(), guard, "Z")
+			sn.LdcString(cf.Name()).LdcString(name).LdcString(cf.MemberDescriptor(m))
+			sn.InvokeStatic("dvm/Profile", "firstUse",
+				"(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V")
+			plan.fu = sn.Insts()
+			plan.sites++
+		}
+		if cfg.Methods {
+			enter := rewrite.NewSnippet(cf.Pool)
+			enter.LdcString(cf.Name()).LdcString(name)
+			enter.InvokeStatic("dvm/Audit", "enter", "(Ljava/lang/String;Ljava/lang/String;)V")
+			exit := rewrite.NewSnippet(cf.Pool)
+			exit.LdcString(cf.Name()).LdcString(name)
+			exit.InvokeStatic("dvm/Audit", "exit", "(Ljava/lang/String;Ljava/lang/String;)V")
+			plan.enter = enter.Insts()
+			plan.exit = exit.Insts()
+			plan.sites += 2
+		}
+		if plan.sites > 0 {
+			plans[m] = plan
+		}
+	}
+	ctx.SetNote(auditPlanNote, plans)
+	ctx.AddIntNote(NoteAuditSites, 0)
+	return nil
+}
+
+// TransformMethod implements rewrite.MethodFilter; safe to call
+// concurrently for distinct methods (pool reads + ctx accessors only).
+func (f *auditFilter) TransformMethod(cf *classfile.ClassFile, m *classfile.Member, ctx *rewrite.Context) error {
+	v, _ := ctx.Note(auditPlanNote)
+	plans, _ := v.(map[*classfile.Member]*auditPlan)
+	plan := plans[m]
+	if plan == nil {
 		return nil
-	}}
+	}
+	ed, err := rewrite.EditMethod(cf, m)
+	if err != nil || ed == nil {
+		return err
+	}
+	if plan.fu != nil {
+		if err := ed.InsertEntry(plan.fu); err != nil {
+			return err
+		}
+	}
+	if plan.enter != nil {
+		if err := ed.InsertBeforeReturns(plan.exit); err != nil {
+			return err
+		}
+		if err := ed.InsertEntry(plan.enter); err != nil {
+			return err
+		}
+	}
+	if err := ed.Commit(); err != nil {
+		return err
+	}
+	ctx.AddIntNote(NoteAuditSites, plan.sites)
+	return nil
 }
 
 // Attach wires a client VM to the collector: performs the handshake and

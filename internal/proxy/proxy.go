@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dvm/internal/bytecode"
 	"dvm/internal/resilience"
 	"dvm/internal/rewrite"
 	"dvm/internal/telemetry"
@@ -400,6 +401,14 @@ func New(origin Origin, cfg Config) *Proxy {
 		return float64(p.cacheBytes)
 	})
 	p.reg.Gauge("inflight_bytes", func() float64 { return float64(p.inFlight.Load()) })
+	p.reg.Gauge("descriptor_cache_hits", func() float64 {
+		hits, _ := bytecode.DescriptorCacheStats()
+		return float64(hits)
+	})
+	p.reg.Gauge("descriptor_cache_misses", func() float64 {
+		_, misses := bytecode.DescriptorCacheStats()
+		return float64(misses)
+	})
 	return p
 }
 
@@ -720,6 +729,8 @@ func (p *Proxy) lead(ctx context.Context, tr *telemetry.Trace, span *telemetry.S
 	rctx := rewrite.NewContext()
 	rctx.ClientID = l.Client
 	rctx.ClientArch = l.Arch
+	rctx.Trace = tr
+	rctx.Node = p.cfg.Node
 	out, perr := p.cfg.Pipeline.Process(raw, rctx)
 	rejected := false
 	if perr != nil {

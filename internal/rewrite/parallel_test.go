@@ -1,0 +1,201 @@
+package rewrite_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dvm/internal/classfile"
+	"dvm/internal/classgen"
+	"dvm/internal/eval"
+	"dvm/internal/monitor"
+	"dvm/internal/rewrite"
+	"dvm/internal/security"
+	"dvm/internal/verifier"
+	"dvm/internal/workload"
+)
+
+// servicePlainClasses returns serialized workload classes for pipeline
+// identity testing.
+func servicePlainClasses(t *testing.T) map[string][]byte {
+	t.Helper()
+	spec := workload.Benchmarks()[0]
+	spec.Classes = 4
+	spec.TargetBytes = 32 * 1024
+	app, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app.Classes
+}
+
+func fullPipeline(workers int) *rewrite.Pipeline {
+	p := rewrite.NewPipeline(
+		verifier.Filter(),
+		security.Filter(eval.StandardPolicy()),
+		monitor.Filter(monitor.Config{Methods: true, FirstUse: true, Skip: monitor.SkipInitializers}),
+	)
+	p.SetWorkers(workers)
+	return p
+}
+
+// TestPipelineParallelByteIdentical is the tentpole determinism test for
+// the rewrite side: the full static service (verifier + security +
+// monitor, all with per-method fan-out) must emit byte-identical classes
+// and identical notes at any worker count.
+func TestPipelineParallelByteIdentical(t *testing.T) {
+	for name, data := range servicePlainClasses(t) {
+		seqCtx := rewrite.NewContext()
+		seqOut, err := fullPipeline(1).Process(data, seqCtx)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			parCtx := rewrite.NewContext()
+			parOut, err := fullPipeline(workers).Process(data, parCtx)
+			if err != nil {
+				t.Fatalf("%s: workers=%d: %v", name, workers, err)
+			}
+			if !bytes.Equal(parOut, seqOut) {
+				t.Errorf("%s: workers=%d output differs from sequential (%d vs %d bytes)",
+					name, workers, len(parOut), len(seqOut))
+			}
+			for _, note := range []string{security.NoteChecksInserted, monitor.NoteAuditSites} {
+				if parCtx.Notes[note] != seqCtx.Notes[note] {
+					t.Errorf("%s: workers=%d note %s = %v, sequential %v",
+						name, workers, note, parCtx.Notes[note], seqCtx.Notes[note])
+				}
+			}
+			pc, _ := parCtx.Note(verifier.NoteCensus)
+			sc, _ := seqCtx.Note(verifier.NoteCensus)
+			if *pc.(*verifier.Census) != *sc.(*verifier.Census) {
+				t.Errorf("%s: workers=%d census diverges", name, workers)
+			}
+		}
+	}
+}
+
+// countFilter is a per-method filter that only bumps note counters —
+// the -race regression subject for concurrent Notes/FilterTimings
+// publication over a many-method class.
+type countFilter struct{ calls atomic.Int64 }
+
+func (f *countFilter) Name() string { return "count" }
+func (f *countFilter) Transform(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+	return rewrite.ApplyMethodFilter(f, cf, ctx)
+}
+func (f *countFilter) Prepare(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+	ctx.AddIntNote("count.methods", 0)
+	return nil
+}
+func (f *countFilter) TransformMethod(cf *classfile.ClassFile, m *classfile.Member, ctx *rewrite.Context) error {
+	f.calls.Add(1)
+	ctx.AddIntNote("count.methods", 1)
+	ctx.SetNote("count.last", cf.MemberName(m))
+	return nil
+}
+
+// manyMethodClass builds a class with n trivial static methods.
+func manyMethodClass(t *testing.T, n int) []byte {
+	t.Helper()
+	b := classgen.NewClass("demo/Many", "java/lang/Object")
+	for i := 0; i < n; i++ {
+		m := b.Method(classfile.AccPublic|classfile.AccStatic, fmt.Sprintf("m%03d", i), "(I)I")
+		m.ILoad(0).IConst(int32(i)).IAdd().IReturn()
+	}
+	cf := b.MustBuild()
+	data, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestConcurrentNotePublication fans a note-heavy per-method filter over
+// a 96-method class; run under -race this is the regression test for the
+// Context locking.
+func TestConcurrentNotePublication(t *testing.T) {
+	data := manyMethodClass(t, 96)
+	f := &countFilter{}
+	p := rewrite.NewPipeline(f)
+	p.SetWorkers(8)
+	ctx := rewrite.NewContext()
+	if _, err := p.Process(data, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.calls.Load(); got != 96 {
+		t.Fatalf("TransformMethod ran %d times, want 96", got)
+	}
+	if got := ctx.Notes["count.methods"]; got != 96 {
+		t.Fatalf("count.methods note = %v, want 96", got)
+	}
+	if ctx.FilterTimings["count"] < 0 {
+		t.Fatal("missing filter timing")
+	}
+}
+
+// freezeViolator interns a brand-new constant from TransformMethod,
+// which the frozen pool must turn into a per-method error, not a crash
+// or a race.
+type freezeViolator struct{}
+
+func (freezeViolator) Name() string { return "violator" }
+func (f freezeViolator) Transform(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+	return rewrite.ApplyMethodFilter(f, cf, ctx)
+}
+func (freezeViolator) Prepare(cf *classfile.ClassFile, ctx *rewrite.Context) error { return nil }
+func (freezeViolator) TransformMethod(cf *classfile.ClassFile, m *classfile.Member, ctx *rewrite.Context) error {
+	cf.Pool.AddUtf8("fresh-" + cf.MemberName(m))
+	return nil
+}
+
+func TestFrozenPoolViolationBecomesError(t *testing.T) {
+	data := manyMethodClass(t, 16)
+	p := rewrite.NewPipeline(freezeViolator{})
+	p.SetWorkers(4)
+	_, err := p.Process(data, rewrite.NewContext())
+	if err == nil {
+		t.Fatal("frozen-pool mutation did not fail the pipeline")
+	}
+	if !strings.Contains(err.Error(), "frozen") {
+		t.Fatalf("error does not mention the freeze contract: %v", err)
+	}
+	// Deterministic first-in-method-order error attribution.
+	if !strings.Contains(err.Error(), "method m000") {
+		t.Fatalf("error not attributed to the first method: %v", err)
+	}
+}
+
+// failAt fails on specific method names to exercise deterministic error
+// selection under concurrency.
+type failAt struct{ bad map[string]bool }
+
+func (failAt) Name() string { return "failat" }
+func (f failAt) Transform(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+	return rewrite.ApplyMethodFilter(f, cf, ctx)
+}
+func (failAt) Prepare(cf *classfile.ClassFile, ctx *rewrite.Context) error { return nil }
+func (f failAt) TransformMethod(cf *classfile.ClassFile, m *classfile.Member, ctx *rewrite.Context) error {
+	if f.bad[cf.MemberName(m)] {
+		return fmt.Errorf("refused %s", cf.MemberName(m))
+	}
+	return nil
+}
+
+func TestParallelErrorDeterministic(t *testing.T) {
+	data := manyMethodClass(t, 64)
+	f := failAt{bad: map[string]bool{"m007": true, "m055": true}}
+	for _, workers := range []int{1, 2, 8} {
+		p := rewrite.NewPipeline(f)
+		p.SetWorkers(workers)
+		_, err := p.Process(data, rewrite.NewContext())
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !strings.Contains(err.Error(), "refused m007") {
+			t.Fatalf("workers=%d: got %v, want the lowest-index failure m007", workers, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package security
 
 import (
+	"dvm/internal/bytecode"
 	"dvm/internal/classfile"
 	"dvm/internal/rewrite"
 )
@@ -23,104 +24,152 @@ const (
 // dynamic target — the capability the Sun JDK's anticipated-hook design
 // lacks (Figure 9's "Read File" row).
 func Filter(policy *Policy) rewrite.Filter {
-	return rewrite.FilterFunc{FilterName: "security", Fn: func(cf *classfile.ClassFile, ctx *rewrite.Context) error {
-		if policy == nil {
-			return nil // no policy: nothing to enforce
-		}
-		inserted := 0
-		for _, m := range cf.Methods {
-			n, err := instrumentMethod(cf, m, policy)
-			if err != nil {
-				return err
-			}
-			inserted += n
-		}
-		if prev, ok := ctx.Notes[NoteChecksInserted].(int); ok {
-			ctx.Notes[NoteChecksInserted] = prev + inserted
-		} else {
-			ctx.Notes[NoteChecksInserted] = inserted
-		}
-		return nil
-	}}
+	return &enforceFilter{policy: policy}
 }
 
-func instrumentMethod(cf *classfile.ClassFile, m *classfile.Member, policy *Policy) (int, error) {
-	ed, err := rewrite.EditMethod(cf, m)
-	if err != nil || ed == nil {
-		return 0, err
-	}
-	inserted := 0
+// enforceFilter implements rewrite.MethodFilter: Prepare scans every
+// method for matching call sites and builds the check snippets (all pool
+// interning, in method-table order so output is deterministic), and the
+// per-method insert+commit work then fans out across the pipeline's
+// worker pool.
+type enforceFilter struct{ policy *Policy }
 
-	// Call-site instrumentation: find invocations matching an operation.
-	type site struct {
-		pos int
-		op  Operation
+// checkSite is one planned insertion: the snippet goes before the
+// instruction at pos (pos == -1 means method entry).
+type checkSite struct {
+	pos   int
+	insts []bytecode.Inst
+}
+
+const enforcePlanNote = "security.plan"
+
+func (f *enforceFilter) Name() string { return "security" }
+
+// Transform implements rewrite.Filter for standalone use; in a pipeline
+// the MethodFilter path is taken instead.
+func (f *enforceFilter) Transform(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+	return rewrite.ApplyMethodFilter(f, cf, ctx)
+}
+
+// Prepare implements rewrite.MethodFilter. Constants are interned only
+// for sites that actually match, so a class with nothing to enforce
+// round-trips byte-identically.
+func (f *enforceFilter) Prepare(cf *classfile.ClassFile, ctx *rewrite.Context) error {
+	if f.policy == nil {
+		return nil // no policy: nothing to enforce
 	}
-	var sites []site
-	for i, in := range ed.Insts {
-		if !in.Op.IsInvoke() {
-			continue
-		}
-		ref, err := cf.Pool.Ref(in.Index)
+	policy := f.policy
+	plans := make(map[*classfile.Member][]checkSite)
+	for _, m := range cf.Methods {
+		ed, err := rewrite.EditMethod(cf, m)
 		if err != nil {
+			return err
+		}
+		if ed == nil {
 			continue
 		}
-		for _, op := range policy.Operations {
-			if !matchPattern(op.Class, ref.Class) || op.Method != ref.Name {
-				continue
-			}
-			if op.Desc != "" && op.Desc != ref.Desc {
-				continue
-			}
-			sites = append(sites, site{pos: i, op: op})
-			break
+
+		// Call-site instrumentation: find invocations matching an operation.
+		type site struct {
+			pos int
+			op  Operation
 		}
-	}
-	// Insert back-to-front so earlier positions stay valid; capture
-	// branches so no control path can reach the operation unchecked.
-	for n := len(sites) - 1; n >= 0; n-- {
-		st := sites[n]
-		sn := rewrite.NewSnippet(ed.Pool())
-		if st.op.TargetArg == "arg" {
-			// Stack: [..., target]; keep it and pass a copy to the check.
-			sn.Dup()
-			sn.LdcString(st.op.Permission)
-			sn.Swap()
-			sn.InvokeStatic("dvm/Enforce", "check", "(Ljava/lang/String;Ljava/lang/String;)V")
-		} else {
-			sn.LdcString(st.op.Permission)
+		var sites []site
+		for i, in := range ed.Insts {
+			if !in.Op.IsInvoke() {
+				continue
+			}
+			ref, err := cf.Pool.Ref(in.Index)
+			if err != nil {
+				continue
+			}
+			for _, op := range policy.Operations {
+				if !matchPattern(op.Class, ref.Class) || op.Method != ref.Name {
+					continue
+				}
+				if op.Desc != "" && op.Desc != ref.Desc {
+					continue
+				}
+				sites = append(sites, site{pos: i, op: op})
+				break
+			}
+		}
+		var plan []checkSite
+		// Snippets are planned back-to-front so that replaying them in
+		// order keeps earlier instruction positions valid.
+		for n := len(sites) - 1; n >= 0; n-- {
+			st := sites[n]
+			sn := rewrite.NewSnippet(cf.Pool)
+			if st.op.TargetArg == "arg" {
+				// Stack: [..., target]; keep it and pass a copy to the check.
+				sn.Dup()
+				sn.LdcString(st.op.Permission)
+				sn.Swap()
+				sn.InvokeStatic("dvm/Enforce", "check", "(Ljava/lang/String;Ljava/lang/String;)V")
+			} else {
+				sn.LdcString(st.op.Permission)
+				sn.LdcString("")
+				sn.InvokeStatic("dvm/Enforce", "check", "(Ljava/lang/String;Ljava/lang/String;)V")
+			}
+			plan = append(plan, checkSite{pos: st.pos, insts: sn.Insts()})
+		}
+
+		// Method-boundary instrumentation: the class itself declares an
+		// operation-mapped method.
+		mname := cf.MemberName(m)
+		for _, op := range policy.Operations {
+			if !matchPattern(op.Class, cf.Name()) || op.Method != mname {
+				continue
+			}
+			if op.Desc != "" && op.Desc != cf.MemberDescriptor(m) {
+				continue
+			}
+			sn := rewrite.NewSnippet(cf.Pool)
+			sn.LdcString(op.Permission)
 			sn.LdcString("")
 			sn.InvokeStatic("dvm/Enforce", "check", "(Ljava/lang/String;Ljava/lang/String;)V")
+			plan = append(plan, checkSite{pos: -1, insts: sn.Insts()})
+			break
 		}
-		if err := ed.InsertAt(st.pos, sn.Insts(), true); err != nil {
-			return inserted, err
-		}
-		inserted++
-	}
 
-	// Method-boundary instrumentation: the class itself declares an
-	// operation-mapped method.
-	mname := cf.MemberName(m)
-	for _, op := range policy.Operations {
-		if !matchPattern(op.Class, cf.Name()) || op.Method != mname {
-			continue
+		if len(plan) > 0 {
+			plans[m] = plan
 		}
-		if op.Desc != "" && op.Desc != cf.MemberDescriptor(m) {
-			continue
-		}
-		sn := rewrite.NewSnippet(ed.Pool())
-		sn.LdcString(op.Permission)
-		sn.LdcString("")
-		sn.InvokeStatic("dvm/Enforce", "check", "(Ljava/lang/String;Ljava/lang/String;)V")
-		if err := ed.InsertEntry(sn.Insts()); err != nil {
-			return inserted, err
-		}
-		inserted++
-		break
 	}
+	ctx.SetNote(enforcePlanNote, plans)
+	ctx.AddIntNote(NoteChecksInserted, 0)
+	return nil
+}
 
-	if inserted == 0 {
-		return 0, nil
+// TransformMethod implements rewrite.MethodFilter; safe to call
+// concurrently for distinct methods. Call-site checks are inserted with
+// captured branches so no control path can reach the operation unchecked.
+func (f *enforceFilter) TransformMethod(cf *classfile.ClassFile, m *classfile.Member, ctx *rewrite.Context) error {
+	if f.policy == nil {
+		return nil
 	}
-	return inserted, ed.Commit()
+	v, _ := ctx.Note(enforcePlanNote)
+	plans, _ := v.(map[*classfile.Member][]checkSite)
+	plan := plans[m]
+	if len(plan) == 0 {
+		return nil
+	}
+	ed, err := rewrite.EditMethod(cf, m)
+	if err != nil || ed == nil {
+		return err
+	}
+	for _, cs := range plan {
+		if cs.pos < 0 {
+			if err := ed.InsertEntry(cs.insts); err != nil {
+				return err
+			}
+		} else if err := ed.InsertAt(cs.pos, cs.insts, true); err != nil {
+			return err
+		}
+	}
+	if err := ed.Commit(); err != nil {
+		return err
+	}
+	ctx.AddIntNote(NoteChecksInserted, len(plan))
+	return nil
 }

@@ -196,7 +196,9 @@ func MakeErrorClass(name, message string) ([]byte, error) {
 // stored under NoteResultPrefix+className.
 func Filter() rewrite.Filter {
 	return rewrite.FilterFunc{FilterName: "verifier", Fn: func(cf *classfile.ClassFile, ctx *rewrite.Context) error {
-		res, err := Verify(cf)
+		// The per-method phases fan out over the pipeline's worker pool;
+		// instrumentation mutates the pool and stays sequential.
+		res, err := VerifyWith(cf, Options{Workers: ctx.Workers(), Trace: ctx.Trace, Node: ctx.Node})
 		if err != nil {
 			return err
 		}
@@ -205,13 +207,13 @@ func Filter() rewrite.Filter {
 		}
 		// Self-describing export table for the dynamic components (§4.3).
 		AddReflectAttr(cf)
-		if c, ok := ctx.Notes[NoteCensus].(*Census); ok {
-			c.Add(res.Census)
+		if v, ok := ctx.Note(NoteCensus); ok {
+			v.(*Census).Add(res.Census)
 		} else {
 			total := res.Census
-			ctx.Notes[NoteCensus] = &total
+			ctx.SetNote(NoteCensus, &total)
 		}
-		ctx.Notes[NoteResultPrefix+res.ClassName] = res
+		ctx.SetNote(NoteResultPrefix+res.ClassName, res)
 		return nil
 	}}
 }

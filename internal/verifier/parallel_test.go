@@ -1,0 +1,144 @@
+package verifier
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dvm/internal/classfile"
+	"dvm/internal/workload"
+)
+
+// corpusClasses returns every parseable class in the workload corpus.
+func corpusClasses(t *testing.T) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, spec := range workload.Benchmarks() {
+		spec.Classes = 3
+		spec.TargetBytes = 24 * 1024
+		app, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range app.Classes {
+			out[spec.Name+"/"+name] = data
+		}
+	}
+	return out
+}
+
+// TestVerifyParallelIdentical asserts the tentpole determinism guarantee:
+// for every corpus class, VerifyWith at workers=2,4,8 produces exactly
+// the census, assumption list (same order), and instrumented bytes that
+// the sequential path produces.
+func TestVerifyParallelIdentical(t *testing.T) {
+	for name, data := range corpusClasses(t) {
+		seqCF, err := classfile.Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seqRes, err := VerifyWith(seqCF, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential verify: %v", name, err)
+		}
+		// Snapshot before Instrument, which bumps DynamicInjected.
+		seqCensus := seqRes.Census
+		seqAssumptions := append([]Assumption(nil), seqRes.Assumptions...)
+		if err := Instrument(seqCF, seqRes); err != nil {
+			t.Fatalf("%s: instrument: %v", name, err)
+		}
+		seqBytes, err := seqCF.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+
+		for _, workers := range []int{2, 4, 8} {
+			parCF, err := classfile.Parse(data)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			parRes, err := VerifyWith(parCF, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s: workers=%d verify: %v", name, workers, err)
+			}
+			if parRes.Census != seqCensus {
+				t.Errorf("%s: workers=%d census %+v != sequential %+v", name, workers, parRes.Census, seqCensus)
+			}
+			if !reflect.DeepEqual(parRes.Assumptions, seqAssumptions) {
+				t.Errorf("%s: workers=%d assumptions diverge from sequential", name, workers)
+			}
+			if err := Instrument(parCF, parRes); err != nil {
+				t.Fatalf("%s: workers=%d instrument: %v", name, workers, err)
+			}
+			parBytes, err := parCF.Encode()
+			if err != nil {
+				t.Fatalf("%s: workers=%d encode: %v", name, workers, err)
+			}
+			if !bytes.Equal(parBytes, seqBytes) {
+				t.Errorf("%s: workers=%d instrumented bytes differ from sequential (%d vs %d bytes)",
+					name, workers, len(parBytes), len(seqBytes))
+			}
+		}
+	}
+}
+
+// TestVerifyParallelErrorDeterministic corrupts one method's bytecode and
+// checks every worker count reports the same (lowest method index) error.
+func TestVerifyParallelErrorDeterministic(t *testing.T) {
+	var data []byte
+	for name, d := range corpusClasses(t) {
+		cf, err := classfile.Parse(d)
+		if err != nil {
+			continue
+		}
+		if len(cf.Methods) >= 4 {
+			data = d
+			_ = name
+			break
+		}
+	}
+	if data == nil {
+		t.Skip("no multi-method corpus class")
+	}
+
+	// Corrupt the bytecode of two methods so multiple workers fail and
+	// the merge has to pick deterministically.
+	corrupt := func() *classfile.ClassFile {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		broken := 0
+		for _, m := range cf.Methods {
+			code, err := cf.CodeOf(m)
+			if err != nil || code == nil {
+				continue
+			}
+			code.Bytecode[0] = 0xFF // impdep2: illegal in classfiles
+			if err := cf.SetCode(m, code); err != nil {
+				t.Fatal(err)
+			}
+			if broken++; broken == 2 {
+				break
+			}
+		}
+		if broken == 0 {
+			t.Skip("no code-bearing methods to corrupt")
+		}
+		return cf
+	}
+
+	_, seqErr := VerifyWith(corrupt(), Options{Workers: 1})
+	if seqErr == nil {
+		t.Fatal("corrupted class verified cleanly")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		_, parErr := VerifyWith(corrupt(), Options{Workers: workers})
+		if parErr == nil {
+			t.Fatalf("workers=%d: corrupted class verified cleanly", workers)
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Errorf("workers=%d error %q != sequential %q", workers, parErr, seqErr)
+		}
+	}
+}
