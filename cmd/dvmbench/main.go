@@ -27,14 +27,16 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	applets := flag.Bool("applets", false, "run the §4.1.2 applet-fetch measurement")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	overload := flag.Bool("overload", false, "run the open-loop overload sweep (admission control vs saturation multiples)")
 	scale := flag.Int("scale", 1, "workload scale divisor (1 = paper scale)")
 	pipelineWorkers := flag.Int("pipeline-workers", 0, "static-service per-method fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	benchPipeline := flag.String("bench-pipeline", "", "run the pipeline benchmark and write its JSON report to this path (e.g. BENCH_PIPELINE.json)")
 	benchIters := flag.Int("bench-iters", 200, "iterations per pipeline benchmark measurement")
+	benchBaseline := flag.String("bench-baseline", "", "recorded BENCH_PIPELINE.json to gate against; exits 1 on >20% regression in host-independent metrics")
 	flag.Parse()
 
-	if !*all && *figs == "" && !*applets && !*ablations && *benchPipeline == "" {
-		fmt.Fprintln(os.Stderr, "usage: dvmbench (-all | -fig N[,N...] | -applets | -ablations | -bench-pipeline FILE) [-scale N] [-pipeline-workers N]")
+	if !*all && *figs == "" && !*applets && !*ablations && !*overload && *benchPipeline == "" {
+		fmt.Fprintln(os.Stderr, "usage: dvmbench (-all | -fig N[,N...] | -applets | -ablations | -overload | -bench-pipeline FILE) [-scale N] [-pipeline-workers N]")
 		os.Exit(2)
 	}
 	want := map[string]bool{}
@@ -44,6 +46,7 @@ func main() {
 		}
 		*applets = true
 		*ablations = true
+		*overload = true
 	}
 	for _, f := range strings.Split(*figs, ",") {
 		if f != "" {
@@ -115,10 +118,38 @@ func main() {
 			if err != nil {
 				return "", err
 			}
+			// Gate before writing, so -bench-baseline FILE -bench-pipeline FILE
+			// compares against the previous recording when re-recording in place.
+			if *benchBaseline != "" {
+				raw, err := os.ReadFile(*benchBaseline)
+				if err != nil {
+					return "", err
+				}
+				var base eval.PipelineBenchReport
+				if err := json.Unmarshal(raw, &base); err != nil {
+					return "", fmt.Errorf("%s: %v", *benchBaseline, err)
+				}
+				if regs := eval.ComparePipelineBench(&base, rep, 0.2); len(regs) > 0 {
+					return "", fmt.Errorf("benchmark regression vs %s:\n  %s", *benchBaseline, strings.Join(regs, "\n  "))
+				}
+				text += "\nno regression vs " + *benchBaseline
+			}
 			if err := os.WriteFile(*benchPipeline, append(data, '\n'), 0o644); err != nil {
 				return "", err
 			}
 			return text + "\nreport written to " + *benchPipeline, nil
+		})
+	}
+	if *overload {
+		run("Overload: open-loop load sweep, admission control on", func() (string, error) {
+			cfg := eval.DefaultOverloadConfig()
+			cfg.PipelineWorkers = *pipelineWorkers
+			if *scale > 1 {
+				cfg.Clients /= *scale
+				cfg.Duration /= time.Duration(*scale)
+			}
+			_, text, err := eval.Overload(cfg, 0)
+			return text, err
 		})
 	}
 	if *applets {

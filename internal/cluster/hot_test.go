@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHotKeySurvivesScanBurst is the regression test for the hot-key
+// table reset bug: when the 4096-entry table filled, it used to be
+// dropped wholesale, so a scan over many distinct cold keys erased a
+// persistently hot key's progress and it never crossed the promotion
+// threshold. With aging (halve counts on pressure), cold count-1 keys
+// die while the hot key keeps most of its count.
+func TestHotKeySurvivesScanBurst(t *testing.T) {
+	n := &Node{cfg: Config{HotThreshold: defaultHotThreshold}, hot: make(map[string]int)}
+
+	const (
+		hotKey   = "dvm\x00app/Hot"
+		distinct = 10000
+		every    = 600 // hot-key fill cadence amid the cold scan
+	)
+	promoted := false
+	for i := 0; i < distinct; i++ {
+		n.noteFill(fmt.Sprintf("dvm\x00cold/K%05d", i))
+		if i%every == 0 && n.noteFill(hotKey) {
+			promoted = true
+		}
+	}
+	if !promoted {
+		t.Errorf("hot key never crossed threshold %d during a %d-distinct-key scan burst (count ended at %d)",
+			n.cfg.HotThreshold, distinct, n.hot[hotKey])
+	}
+	if len(n.hot) > maxHotKeys {
+		t.Errorf("hot table holds %d keys, bound is %d", len(n.hot), maxHotKeys)
+	}
+}
+
+// TestHotKeyTableBounded: the table never exceeds maxHotKeys no matter
+// how many distinct keys stream past, and aging drops single-count cold
+// keys first.
+func TestHotKeyTableBounded(t *testing.T) {
+	n := &Node{cfg: Config{HotThreshold: defaultHotThreshold}, hot: make(map[string]int)}
+	for i := 0; i < 3*maxHotKeys; i++ {
+		n.noteFill(fmt.Sprintf("dvm\x00scan/K%05d", i))
+		if len(n.hot) > maxHotKeys {
+			t.Fatalf("hot table grew to %d keys after %d fills, bound is %d", len(n.hot), i+1, maxHotKeys)
+		}
+	}
+}
+
+// TestHotThresholdDisabled: a negative threshold disables tracking
+// entirely — nothing is counted, nothing promotes.
+func TestHotThresholdDisabled(t *testing.T) {
+	n := &Node{cfg: Config{HotThreshold: -1}, hot: make(map[string]int)}
+	for i := 0; i < 100; i++ {
+		if n.noteFill("dvm\x00app/Hot") {
+			t.Fatal("disabled hot tracking promoted a key")
+		}
+	}
+	if len(n.hot) != 0 {
+		t.Fatalf("disabled hot tracking stored %d keys", len(n.hot))
+	}
+}

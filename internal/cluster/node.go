@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,8 +25,9 @@ const peerPathPrefix = "/peer/class/"
 const maxPeerClassBytes = 16 << 20
 
 // maxHotKeys bounds the per-node hot-key counter table. When it fills,
-// the counts are reset — crude aging that keeps the table O(1) while
-// still promoting keys that stay hot across resets.
+// every count is halved and the zeros dropped — aging that sheds a
+// flood of distinct cold keys (count 1) while a genuinely hot key's
+// count survives the pressure and can still cross the threshold.
 const maxHotKeys = 4096
 
 // Config parameterizes one cluster node.
@@ -80,7 +82,10 @@ type Node struct {
 	cPeerErrors  *telemetry.Counter   // failed peer-fill attempts (fell back to local origin)
 	cPeerServed  *telemetry.Counter   // peer-protocol requests this node answered as owner
 	cHotReplicas *telemetry.Counter   // keys promoted into the local cache as hot
-	hPeerFetch   *telemetry.Histogram // peer-protocol hop latency
+	// cPeerBackpressure counts fills the owner shed with 429: deliberate
+	// overload backpressure, not peer failures (no breaker penalty).
+	cPeerBackpressure *telemetry.Counter
+	hPeerFetch        *telemetry.Histogram // peer-protocol hop latency
 }
 
 // NewNode builds the node's proxy over origin with pcfg and wires its
@@ -123,6 +128,7 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 	n.cPeerErrors = reg.Counter("peer_errors_total")
 	n.cPeerServed = reg.Counter("peer_served_total")
 	n.cHotReplicas = reg.Counter("hot_replicas_total")
+	n.cPeerBackpressure = reg.Counter("peer_backpressure_total")
 	n.hPeerFetch = reg.Histogram("peer_fetch_seconds", nil)
 	reg.Gauge("ring_members", func() float64 { return float64(len(n.ring.Members())) })
 	return n, nil
@@ -191,7 +197,13 @@ func (n *Node) noteFill(key string) bool {
 	n.hotMu.Lock()
 	defer n.hotMu.Unlock()
 	if len(n.hot) >= maxHotKeys {
-		n.hot = make(map[string]int)
+		for k, c := range n.hot {
+			if c >>= 1; c == 0 {
+				delete(n.hot, k)
+			} else {
+				n.hot[k] = c
+			}
+		}
 	}
 	n.hot[key]++
 	return n.hot[key] >= n.cfg.HotThreshold
@@ -227,6 +239,15 @@ func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 			n.cHotReplicas.Inc()
 		}
 	case proxy.PeerFailed:
+		if errors.Is(res.Err, proxy.ErrOverloaded) {
+			// Deliberate backpressure: the owner shed our fill to protect
+			// itself. The peer is healthy — no breaker penalty, and it is
+			// counted apart from real peer failures. The miss falls
+			// through to the local origin as usual.
+			b.Success()
+			n.cPeerBackpressure.Inc()
+			break
+		}
 		if resilience.IsPermanent(res.Err) {
 			// A definitive answer (e.g. the owner's origin says not
 			// found): the peer is healthy, only this key is unservable.
@@ -272,6 +293,13 @@ func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.P
 			// not exist. The local fallback fetch will surface the
 			// canonical not-found to the client.
 			return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: resilience.Permanent(err)}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// The owner's admission control shed this fill (backpressure).
+			// Tag the error so fill() can treat it as a healthy peer's
+			// deliberate answer instead of an outage.
+			return proxy.PeerResult{Outcome: proxy.PeerFailed,
+				Err: fmt.Errorf("%v: %w", err, proxy.ErrOverloaded)}
 		}
 		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
 	}
@@ -337,7 +365,13 @@ func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
 	res, err := n.local.Request(ctx, proxy.Lookup{Client: client, Arch: arch, Class: name})
 	w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
 	if err != nil {
-		http.Error(w, err.Error(), proxy.StatusFor(err))
+		status := proxy.StatusFor(err)
+		if status == http.StatusTooManyRequests {
+			// Backpressure hint for the shed requester: overload clears
+			// on the queue-drain timescale.
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	n.cPeerServed.Inc()
@@ -409,3 +443,7 @@ func (n *Node) PeerServed() int64 { return n.cPeerServed.Load() }
 // HotReplicas returns how many peer fills were promoted into the local
 // cache as hot keys (diagnostics).
 func (n *Node) HotReplicas() int64 { return n.cHotReplicas.Load() }
+
+// PeerBackpressure returns how many peer fills the owner shed with 429
+// (diagnostics).
+func (n *Node) PeerBackpressure() int64 { return n.cPeerBackpressure.Load() }

@@ -162,3 +162,57 @@ func PipelineBench(iterations int, workerCounts []int) (*PipelineBenchReport, st
 	text := table([]string{"Stage", "Workers", "ns/op", "allocs/op", "Speedup"}, cells)
 	return rep, text, nil
 }
+
+// ComparePipelineBench checks current against a recorded baseline and
+// returns a description of every regression beyond tol (0.2 = 20%).
+//
+// Raw ns/op is not comparable across hosts (the baseline is recorded on
+// one machine, CI runs on another), so the gate uses host-independent
+// signals only: allocations per op, which are a property of the code,
+// and each pipeline stage's ns/op normalized by the same run's parse
+// ns/op — the host's speed cancels out of the ratio, leaving relative
+// throughput of the service pipeline against the codec hot path.
+func ComparePipelineBench(baseline, current *PipelineBenchReport, tol float64) []string {
+	if tol <= 0 {
+		tol = 0.2
+	}
+	var regressions []string
+	allocGate := func(stage string, base, cur float64) {
+		// Small absolute slack: alloc counts from MemStats deltas wobble
+		// by a few background allocations per op at low iteration counts.
+		if cur > base*(1+tol)+8 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f allocs/op vs baseline %.1f (+%.0f%%)", stage, cur, base, (cur/base-1)*100))
+		}
+	}
+	allocGate("parse", baseline.ParseAllocsPerOp, current.ParseAllocsPerOp)
+	allocGate("encode", baseline.EncodeAllocsPerOp, current.EncodeAllocsPerOp)
+
+	ratio := func(rep *PipelineBenchReport, ns float64) float64 {
+		if rep.ParseNsPerOp <= 0 {
+			return 0
+		}
+		return ns / rep.ParseNsPerOp
+	}
+	if br, cr := ratio(baseline, baseline.EncodeNsPerOp), ratio(current, current.EncodeNsPerOp); br > 0 && cr > br*(1+tol) {
+		regressions = append(regressions,
+			fmt.Sprintf("encode: %.2fx parse cost vs baseline %.2fx (+%.0f%%)", cr, br, (cr/br-1)*100))
+	}
+	baseRows := make(map[int]PipelineBenchRow, len(baseline.Pipeline))
+	for _, r := range baseline.Pipeline {
+		baseRows[r.Workers] = r
+	}
+	for _, cur := range current.Pipeline {
+		base, ok := baseRows[cur.Workers]
+		if !ok {
+			continue
+		}
+		allocGate(fmt.Sprintf("pipeline(workers=%d)", cur.Workers), base.AllocsPerOp, cur.AllocsPerOp)
+		br, cr := ratio(baseline, base.NsPerOp), ratio(current, cur.NsPerOp)
+		if br > 0 && cr > br*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("pipeline(workers=%d): %.2fx parse cost vs baseline %.2fx (+%.0f%%)", cur.Workers, cr, br, (cr/br-1)*100))
+		}
+	}
+	return regressions
+}

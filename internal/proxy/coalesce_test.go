@@ -246,7 +246,14 @@ func TestProxyCoalescedFetchErrorAudited(t *testing.T) {
 			t.Errorf("record missing FetchError: %+v", r)
 		}
 	}
-	if st := p.Stats(); st.FetchErrors != 4 {
-		t.Errorf("stats.FetchErrors = %d, want 4", st.FetchErrors)
+	// The origin failed once; one failed flight must not inflate
+	// fetch_errors_total by the number of coalesced waiters. Followers
+	// are counted on their own coalesced_failures_total instead.
+	st := p.Stats()
+	if st.FetchErrors != 1 {
+		t.Errorf("stats.FetchErrors = %d, want 1 (one failed fetch, counted once)", st.FetchErrors)
+	}
+	if st.CoalescedFailures != 3 {
+		t.Errorf("stats.CoalescedFailures = %d, want 3", st.CoalescedFailures)
 	}
 }

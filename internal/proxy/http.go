@@ -28,7 +28,8 @@ import (
 //
 // Failures map to distinct statuses so clients can react correctly:
 // origin deadline exceeded -> 504, origin breaker open -> 503 with
-// Retry-After, class unknown -> 404, other upstream failures -> 502.
+// Retry-After, shed by admission control -> 429 with Retry-After,
+// class unknown -> 404, other upstream failures -> 502.
 
 const classPathPrefix = "/classes/"
 
@@ -36,11 +37,18 @@ const classPathPrefix = "/classes/"
 // breaker is open: roughly the breaker cooldown.
 const retryAfterSeconds = 5
 
+// shedRetryAfterSeconds is the hint sent with a 429 when admission
+// control sheds the request: overload is expected to clear on the queue
+// drain timescale, much faster than a breaker cooldown.
+const shedRetryAfterSeconds = 1
+
 // StatusFor maps a Request error to its HTTP status. Exported so the
 // cluster peer protocol serves the same status semantics as the
 // client-facing front end.
 func StatusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, resilience.ErrOpen):
@@ -79,6 +87,9 @@ func (p *Proxy) Handler() http.Handler {
 			status := StatusFor(err)
 			if status == http.StatusServiceUnavailable {
 				w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+			}
+			if status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", fmt.Sprint(shedRetryAfterSeconds))
 			}
 			http.Error(w, err.Error(), status)
 			return

@@ -52,6 +52,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -124,6 +125,8 @@ type RequestRecord struct {
 	// PeerError records a failed peer-fill attempt that fell back to a
 	// local origin fetch (the owner was down or unreachable).
 	PeerError string
+	// Shed marks an admission-control decision (see RequestInfo.Shed).
+	Shed bool
 	// FetchError is set when the origin fetch (or replacement
 	// construction) failed; the administration console must see failed
 	// and degraded fetches too. With Stale set, bytes were still served.
@@ -177,6 +180,26 @@ type Config struct {
 	// possible outcomes; a nil hook (standalone proxy) always behaves as
 	// PeerSelf.
 	PeerFill func(ctx context.Context, arch, class string) PeerResult
+
+	// MaxQueue bounds how many miss requests may wait for a service
+	// slot before new ones are shed (429). 0 disables admission control
+	// entirely: today's unbounded behavior. See admission.go for the
+	// shed ordering.
+	MaxQueue int
+	// MaxConcurrent bounds the flights doing origin-fetch + pipeline
+	// work at once when admission control is enabled (default
+	// 8×GOMAXPROCS). Cache hits and coalesced followers do not count
+	// against it.
+	MaxConcurrent int
+	// QueueDeadline bounds how long a flight may wait for a service
+	// slot before it is shed (default 1s when admission is enabled).
+	QueueDeadline time.Duration
+	// ShedPolicy selects what to shed under overload: ShedPriority
+	// (default — stale-serve before rejecting, peer fills before local
+	// misses, per-client fair shares), ShedFIFO (bounded queue, tail
+	// drop only), or ShedNone (admission disabled even with MaxQueue
+	// set).
+	ShedPolicy string
 
 	// MemoryBudget models the server's physical memory: when the bytes
 	// held by in-flight requests exceed it, each request pays a paging
@@ -258,7 +281,11 @@ type RequestInfo struct {
 	Coalesced bool
 	Rejected  bool
 	Stale     bool
-	Peer      string // cluster node that supplied the bytes, if any
+	// Shed marks an overload decision: with Stale set the request was
+	// answered from expired cache instead of queueing a refetch;
+	// otherwise it was rejected (ErrOverloaded).
+	Shed bool
+	Peer string // cluster node that supplied the bytes, if any
 }
 
 // Stats is a snapshot of proxy counters, derived from the telemetry
@@ -276,9 +303,20 @@ type Stats struct {
 	PeerHits      int64 // peer fetches that returned the transformed class
 	OwnerFetches  int64 // origin fetches performed as the key's ring owner
 	Rejections    int64
-	BytesIn       int64
-	BytesOut      int64
-	ProxyTime     time.Duration
+	// Shed counts requests rejected by admission control (ErrOverloaded);
+	// ShedStale counts overload decisions that were instead answered from
+	// expired cache (those requests still succeeded).
+	Shed      int64
+	ShedStale int64
+	// CoalescedFailures counts followers whose shared flight failed; the
+	// underlying fetch error appears once in FetchErrors.
+	CoalescedFailures int64
+	// FlightsAbandoned counts flights canceled because every waiting
+	// client disconnected first.
+	FlightsAbandoned int64
+	BytesIn          int64
+	BytesOut         int64
+	ProxyTime        time.Duration
 	// Breaker is the origin circuit-breaker snapshot.
 	Breaker resilience.BreakerCounts
 }
@@ -291,14 +329,29 @@ type cacheEntry struct {
 }
 
 // flight is one in-progress origin fetch + pipeline run that concurrent
-// requests for the same key share.
+// requests for the same key share. The work runs on its own detached
+// context (a worker goroutine), so the client that happened to arrive
+// first can disconnect without failing everyone else on the flight: the
+// work is canceled only when the last waiter leaves.
 type flight struct {
-	done     chan struct{} // closed when the leader finishes
-	data     []byte
-	rejected bool
-	stale    bool
-	peer     string // cluster node that filled the miss, if any
-	err      error
+	done   chan struct{}      // closed when the worker finishes
+	cancel context.CancelFunc // stops the worker; called on last leave
+
+	// waiters counts the requests awaiting this flight (guarded by
+	// Proxy.flightMu). When it reaches zero before done, nobody wants
+	// the result anymore and the worker is canceled.
+	waiters int
+
+	// Results, published before done is closed.
+	data      []byte
+	rejected  bool
+	stale     bool
+	shed      bool   // admission control shed this flight (stale or rejected)
+	peer      string // cluster node that filled the miss, if any
+	peerErr   string // failed peer-fill attempt that fell back to origin
+	fetchErr  string // origin failure behind a stale-if-error response
+	proxyTime time.Duration
+	err       error
 }
 
 // Proxy is the static-service host.
@@ -319,6 +372,9 @@ type Proxy struct {
 
 	inFlight atomic.Int64
 
+	// adm is the overload controller (nil = admission disabled).
+	adm *admission
+
 	reg *telemetry.Registry
 
 	cRequests      *telemetry.Counter
@@ -334,6 +390,12 @@ type Proxy struct {
 	cBytesIn       *telemetry.Counter
 	cBytesOut      *telemetry.Counter
 	cFetchRetries  *telemetry.Counter
+	// cCoalescedFailures counts followers whose shared flight failed;
+	// the underlying fetch error is counted once, on the flight.
+	cCoalescedFailures *telemetry.Counter
+	// cFlightsAbandoned counts flights canceled because every waiter
+	// disconnected before the result arrived (not an origin failure).
+	cFlightsAbandoned *telemetry.Counter
 
 	hRequest     *telemetry.Histogram // whole-request latency; count == Requests
 	hOriginFetch *telemetry.Histogram
@@ -354,6 +416,17 @@ func New(origin Origin, cfg Config) *Proxy {
 	}
 	if cfg.MemoryBudget > 0 && cfg.PagingPenaltyPerMB == 0 {
 		cfg.PagingPenaltyPerMB = 2 * time.Millisecond
+	}
+	if cfg.MaxQueue > 0 {
+		if cfg.MaxConcurrent <= 0 {
+			cfg.MaxConcurrent = 8 * runtime.GOMAXPROCS(0)
+		}
+		if cfg.QueueDeadline <= 0 {
+			cfg.QueueDeadline = time.Second
+		}
+		if cfg.ShedPolicy == "" {
+			cfg.ShedPolicy = ShedPriority
+		}
 	}
 	p := &Proxy{
 		origin:  origin,
@@ -377,9 +450,19 @@ func New(origin Origin, cfg Config) *Proxy {
 	p.cBytesIn = p.reg.Counter("bytes_in_total")
 	p.cBytesOut = p.reg.Counter("bytes_out_total")
 	p.cFetchRetries = p.reg.Counter("fetch_retries_total")
+	p.cCoalescedFailures = p.reg.Counter("coalesced_failures_total")
+	p.cFlightsAbandoned = p.reg.Counter("flights_abandoned_total")
 	p.hRequest = p.reg.Histogram("request_seconds", nil)
 	p.hOriginFetch = p.reg.Histogram("origin_fetch_seconds", nil)
 	p.hPipeline = p.reg.Histogram("pipeline_seconds", nil)
+	if cfg.MaxQueue > 0 && cfg.ShedPolicy != ShedNone {
+		// Expected service time for the deadline-aware drop: the live
+		// mean origin fetch plus the live mean pipeline run.
+		svc := func() time.Duration {
+			return p.hOriginFetch.Snapshot().Mean() + p.hPipeline.Snapshot().Mean()
+		}
+		p.adm = newAdmission(cfg, p.reg, svc, p.cRequests)
+	}
 	p.breaker = resilience.NewBreaker(resilience.BreakerConfig{
 		Threshold:     cfg.BreakerThreshold,
 		Cooldown:      cfg.BreakerCooldown,
@@ -453,11 +536,32 @@ func (p *Proxy) Stats() Stats {
 		PeerHits:      p.cPeerHits.Load(),
 		OwnerFetches:  p.cOwnerFetches.Load(),
 		Rejections:    p.cRejections.Load(),
-		BytesIn:       p.cBytesIn.Load(),
-		BytesOut:      p.cBytesOut.Load(),
-		ProxyTime:     p.hPipeline.Snapshot().Sum,
-		Breaker:       p.breaker.Counts(),
+		Shed:          p.shedTotal(),
+		ShedStale:     p.shedStale(),
+
+		CoalescedFailures: p.cCoalescedFailures.Load(),
+		FlightsAbandoned:  p.cFlightsAbandoned.Load(),
+		BytesIn:           p.cBytesIn.Load(),
+		BytesOut:          p.cBytesOut.Load(),
+		ProxyTime:         p.hPipeline.Snapshot().Sum,
+		Breaker:           p.breaker.Counts(),
 	}
+}
+
+// shedTotal reports requests rejected by admission control.
+func (p *Proxy) shedTotal() int64 {
+	if p.adm == nil {
+		return 0
+	}
+	return p.adm.shedTotal()
+}
+
+// shedStale reports overload decisions answered from expired cache.
+func (p *Proxy) shedStale() int64 {
+	if p.adm == nil {
+		return 0
+	}
+	return p.adm.cShedStale.Load()
 }
 
 // RequestLatency snapshots the whole-request latency histogram; cluster
@@ -553,87 +657,186 @@ func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.
 	// origin fetch and the pipeline run.
 	p.flightMu.Lock()
 	if f, ok := p.flights[key]; ok {
+		f.waiters++
 		p.flightMu.Unlock()
-		return p.awaitFlight(ctx, tr, span, f, l)
+		return p.awaitFlight(ctx, tr, span, key, f, l, false)
 	}
-	f := &flight{done: make(chan struct{})}
+	// First request for this key: start the flight on a context detached
+	// from this client. The client's disconnect must not fail the other
+	// clients that coalesce onto the flight; the work is canceled only
+	// when the last waiter leaves (leaveFlight).
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	p.flights[key] = f
 	p.flightMu.Unlock()
 
-	data, info, err := p.lead(ctx, tr, span, f, key, l, staleData, haveStale)
-	// Publish the outcome only after the cache holds the result (success
-	// path inside lead), so new requests find either the flight or the
-	// cached entry; then wake the followers.
-	p.flightMu.Lock()
-	delete(p.flights, key)
-	p.flightMu.Unlock()
-	close(f.done)
-	return data, info, err
+	// The detached context drops the client's deadline, so capture the
+	// remaining budget here for the admission controller's deadline-aware
+	// drop (<0 = no deadline).
+	budget := time.Duration(-1)
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+	}
+	go p.runFlight(fctx, tr, f, key, l, staleData, haveStale, budget)
+	return p.awaitFlight(ctx, tr, span, key, f, l, true)
 }
 
-// awaitFlight is the follower path: hold connection memory (the client
-// is a live connection even while it waits), share the leader's result,
-// and emit this client's own audit record marked as a coalesced hit.
-// The wait is a "queue.wait" span: coalescing trades duplicated work
-// for queueing delay, and the trace shows exactly how much.
-func (p *Proxy) awaitFlight(ctx context.Context, tr *telemetry.Trace, span *telemetry.SpanTimer, f *flight, l Lookup) ([]byte, RequestInfo, error) {
-	p.inFlight.Add(connectionMemory)
-	defer p.inFlight.Add(-connectionMemory)
-	wait := tr.StartSpan(p.cfg.Node, "queue.wait")
+// leaveFlight drops one waiter from a flight. The last waiter to leave
+// cancels the detached work — nobody wants the result anymore — and
+// unpublishes the flight so the next request for the key starts fresh
+// instead of joining a canceled fetch.
+func (p *Proxy) leaveFlight(key string, f *flight) {
+	p.flightMu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	if last && p.flights[key] == f {
+		delete(p.flights, key)
+	}
+	p.flightMu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// awaitFlight is the waiter path every request takes once a flight
+// exists for its key: hold connection memory (the client is a live
+// connection even while it waits), share the flight's result, and emit
+// this client's own audit record. The request that started the flight
+// (leader) waits without a span — the flight's own spans are already on
+// its trace; a follower's wait is a "queue.wait" span, because
+// coalescing trades duplicated work for queueing delay and the trace
+// shows exactly how much.
+func (p *Proxy) awaitFlight(ctx context.Context, tr *telemetry.Trace, span *telemetry.SpanTimer, key string, f *flight, l Lookup, leader bool) ([]byte, RequestInfo, error) {
+	var wait *telemetry.SpanTimer
+	if !leader {
+		// The flight worker models its own connection memory; followers
+		// are additional live connections.
+		p.inFlight.Add(connectionMemory)
+		defer p.inFlight.Add(-connectionMemory)
+		wait = tr.StartSpan(p.cfg.Node, "queue.wait")
+	}
 	select {
 	case <-f.done:
-		wait.End()
+		if wait != nil {
+			wait.End()
+		}
 	case <-ctx.Done():
-		wait.End()
-		// This client gave up (disconnect or deadline); the leader's
-		// fetch continues for the others.
+		if wait != nil {
+			wait.End()
+		}
+		// This client gave up (disconnect or deadline); the flight
+		// continues for the others — unless this was the last waiter,
+		// in which case leaveFlight cancels the work.
+		p.leaveFlight(key, f)
 		err := ctx.Err()
 		p.audit(RequestRecord{
 			Client: l.Client, Arch: l.Arch, Class: l.Class,
-			Coalesced: true, FetchError: err.Error(), Duration: span.Elapsed(),
+			Coalesced: !leader, FetchError: err.Error(), Duration: span.Elapsed(),
 		})
-		return nil, RequestInfo{Coalesced: true}, err
+		return nil, RequestInfo{Coalesced: !leader}, err
 	}
 	if f.err != nil {
-		p.cFetchErrors.Inc()
+		if !leader {
+			// The fetch error itself was counted once, on the flight;
+			// followers count separately so one bad origin fetch with N
+			// waiters does not inflate fetch_errors_total by N+1.
+			p.cCoalescedFailures.Inc()
+		}
 		p.audit(RequestRecord{
-			Client: l.Client, Arch: l.Arch, Class: l.Class,
-			Coalesced: true, FetchError: f.err.Error(), Duration: span.Elapsed(),
+			Client: l.Client, Arch: l.Arch, Class: l.Class, Coalesced: !leader,
+			Shed: f.shed, FetchError: f.err.Error(), PeerError: f.peerErr,
+			Duration: span.Elapsed(),
 		})
-		return nil, RequestInfo{Coalesced: true}, f.err
+		return nil, RequestInfo{Coalesced: !leader, Shed: f.shed}, f.err
 	}
-	p.cCacheHits.Inc()
-	p.cCoalesced.Inc()
+	info := RequestInfo{
+		Coalesced: !leader, Rejected: f.rejected, Stale: f.stale,
+		Shed: f.shed, Peer: f.peer,
+	}
+	// A follower shares bytes another request paid for — a cache hit in
+	// all but storage; so does any waiter served a stale entry from this
+	// node's own cache (stale-if-error or a shed onto the stale copy).
+	info.CacheHit = !leader || (f.stale && f.peer == "")
+	if !leader {
+		p.cCacheHits.Inc()
+		p.cCoalesced.Inc()
+	}
 	if f.stale {
 		p.cStaleServed.Inc()
 	}
 	p.cBytesOut.Add(int64(len(f.data)))
-	info := RequestInfo{CacheHit: true, Coalesced: true, Rejected: f.rejected, Stale: f.stale, Peer: f.peer}
-	p.audit(RequestRecord{
+	rec := RequestRecord{
 		Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(f.data),
-		CacheHit: true, Coalesced: true, Rejected: f.rejected, Stale: f.stale,
-		Peer: f.peer, Duration: span.Elapsed(),
-	})
+		CacheHit: info.CacheHit, Coalesced: !leader, Rejected: f.rejected,
+		Stale: f.stale, Shed: f.shed, Peer: f.peer, Duration: span.Elapsed(),
+	}
+	if leader {
+		// Flight-level detail rides the leader's record, as it did when
+		// the leader ran the fetch inline.
+		rec.PeerError = f.peerErr
+		rec.FetchError = f.fetchErr
+		rec.ProxyTime = f.proxyTime
+	}
+	p.audit(rec)
 	return f.data, info, nil
 }
 
-// lead is the miss path run by exactly one request per key: peer fill
+// runFlight is the miss path, run by one worker goroutine per flight on
+// a context detached from the clients: admission control, peer fill
 // (sharded cluster), origin fetch (deadline + retry + breaker), memory
-// model, pipeline, caching, auditing. The result is left in f for the
-// followers. When the origin is unreachable and a stale cache entry
-// exists, it is served instead (stale-if-error).
-func (p *Proxy) lead(ctx context.Context, tr *telemetry.Trace, span *telemetry.SpanTimer, f *flight, key string, l Lookup, staleData []byte, haveStale bool) ([]byte, RequestInfo, error) {
-	// Memory model: an in-flight request holds connection state and
-	// transfer buffers for its whole lifetime (including the upstream
-	// fetch), plus the parsed class afterwards.
+// model, pipeline, caching. The result is published into f for the
+// waiters, who emit their own per-request counters and audit records.
+// When the origin is unreachable and a stale cache entry exists, it is
+// served instead (stale-if-error). ctx is canceled only when every
+// waiter has left (leaveFlight).
+func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, key string, l Lookup, staleData []byte, haveStale bool, budget time.Duration) {
+	defer func() {
+		// Unpublish before waking the waiters so a new request finds
+		// either the cached entry or no flight at all; leaveFlight may
+		// already have removed an abandoned flight.
+		p.flightMu.Lock()
+		if p.flights[key] == f {
+			delete(p.flights, key)
+		}
+		p.flightMu.Unlock()
+		close(f.done)
+		f.cancel()
+	}()
+
+	// Memory model: the flight holds connection state and transfer
+	// buffers for its whole lifetime (including the upstream fetch),
+	// plus the parsed class afterwards.
 	held := int64(connectionMemory)
 	p.inFlight.Add(held)
 	defer func() { p.inFlight.Add(-held) }()
 
+	// Admission: a flight is one unit of origin+pipeline work; cache
+	// hits and followers never reach this point. The controller may
+	// grant a slot, shed the flight onto its stale copy, or reject it.
+	if p.adm != nil {
+		wspan := tr.StartSpan(p.cfg.Node, "admission.wait")
+		outcome, aerr := p.adm.acquire(ctx, l.Client, haveStale, budget)
+		wspan.End()
+		switch outcome {
+		case admitStale:
+			f.data, f.stale, f.shed = staleData, true, true
+			p.touchStale(key)
+			return
+		case admitShed:
+			if errors.Is(aerr, ErrOverloaded) {
+				f.err, f.shed = aerr, true
+			} else {
+				// ctx expired while queued: every waiter left.
+				p.flightError(f, aerr)
+			}
+			return
+		}
+		defer p.adm.release()
+	}
+
 	// Sharded cluster: ask the key's ring owner before the origin. A
 	// peer-served miss skips both the origin fetch and the pipeline run —
 	// the owner already paid for them once on behalf of the whole fleet.
-	var peerErr string
 	if p.cfg.PeerFill != nil {
 		fill := tr.StartSpan(p.cfg.Node, "peer.fill")
 		res := p.cfg.PeerFill(ctx, l.Arch, l.Class)
@@ -642,9 +845,6 @@ func (p *Proxy) lead(ctx context.Context, tr *telemetry.Trace, span *telemetry.S
 		case PeerServed:
 			p.cPeerFetches.Inc()
 			p.cPeerHits.Inc()
-			if res.Stale {
-				p.cStaleServed.Inc()
-			}
 			if p.cfg.CacheEnabled && res.CacheLocal {
 				// Hot key: replicate the owner's copy into the local LRU
 				// (and disk cache) so this node stops round-tripping for it.
@@ -652,20 +852,13 @@ func (p *Proxy) lead(ctx context.Context, tr *telemetry.Trace, span *telemetry.S
 				p.diskCachePut(key, res.Data)
 			}
 			f.data, f.rejected, f.stale, f.peer = res.Data, res.Rejected, res.Stale, res.Peer
-			p.cBytesOut.Add(int64(len(res.Data)))
-			info := RequestInfo{Rejected: res.Rejected, Stale: res.Stale, Peer: res.Peer}
-			p.audit(RequestRecord{
-				Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(res.Data),
-				Rejected: res.Rejected, Stale: res.Stale, Peer: res.Peer,
-				Duration: span.Elapsed(),
-			})
-			return res.Data, info, nil
+			return
 		case PeerFailed:
 			// Owner down or unreachable: degrade to a local origin fetch.
 			// Sharing is lost for this key, availability is not.
 			p.cPeerFetches.Inc()
 			if res.Err != nil {
-				peerErr = res.Err.Error()
+				f.peerErr = res.Err.Error()
 			}
 		default: // PeerSelf: this node owns the key
 			p.cOwnerFetches.Inc()
@@ -694,24 +887,12 @@ func (p *Proxy) lead(ctx context.Context, tr *telemetry.Trace, span *telemetry.S
 			// Degraded mode: the origin is down but we still hold the
 			// previous transformation. Freshness degrades; availability
 			// does not.
-			p.cStaleServed.Inc()
-			p.cBytesOut.Add(int64(len(staleData)))
-			f.data, f.stale = staleData, true
+			f.data, f.stale, f.fetchErr = staleData, true, err.Error()
 			p.touchStale(key)
-			p.audit(RequestRecord{
-				Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(staleData),
-				CacheHit: true, Stale: true, FetchError: err.Error(),
-				PeerError: peerErr, Duration: span.Elapsed(),
-			})
-			return staleData, RequestInfo{CacheHit: true, Stale: true}, nil
+			return
 		}
-		f.err = err
-		p.cFetchErrors.Inc()
-		p.audit(RequestRecord{
-			Client: l.Client, Arch: l.Arch, Class: l.Class,
-			FetchError: err.Error(), PeerError: peerErr, Duration: span.Elapsed(),
-		})
-		return nil, RequestInfo{}, err
+		p.flightError(f, err)
+		return
 	}
 	p.cBytesIn.Add(int64(len(raw)))
 	extra := int64(len(raw)) * 4 // parsed form is a few times the wire size
@@ -741,33 +922,35 @@ func (p *Proxy) lead(ctx context.Context, tr *telemetry.Trace, span *telemetry.S
 		repl, rerr := verifier.MakeErrorClass(l.Class, perr.Error())
 		if rerr != nil {
 			p.hPipeline.Observe(pipe.End())
-			err := fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", l.Class, rerr, perr)
-			f.err = err
-			p.cFetchErrors.Inc()
-			p.audit(RequestRecord{
-				Client: l.Client, Arch: l.Arch, Class: l.Class, Rejected: true,
-				FetchError: err.Error(), Duration: span.Elapsed(),
-			})
-			return nil, RequestInfo{}, err
+			p.flightError(f, fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", l.Class, rerr, perr))
+			return
 		}
 		out = repl
 	}
-	proxyTime := pipe.End()
-	p.hPipeline.Observe(proxyTime)
+	f.proxyTime = pipe.End()
+	p.hPipeline.Observe(f.proxyTime)
 
 	if p.cfg.CacheEnabled {
 		p.storeMem(key, out)
 		p.diskCachePut(key, out)
 	}
 	f.data, f.rejected = out, rejected
+}
 
-	p.cBytesOut.Add(int64(len(out)))
-	p.audit(RequestRecord{
-		Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(out),
-		Rejected: rejected, PeerError: peerErr,
-		Duration: span.Elapsed(), ProxyTime: proxyTime,
-	})
-	return out, RequestInfo{Rejected: rejected}, nil
+// flightError records a failed flight. A flight canceled because every
+// waiter already disconnected is an abandonment, not an origin failure:
+// nobody was refused service, so it gets its own counter instead of
+// inflating fetch_errors_total.
+func (p *Proxy) flightError(f *flight, err error) {
+	f.err = err
+	p.flightMu.Lock()
+	abandoned := f.waiters == 0
+	p.flightMu.Unlock()
+	if abandoned && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		p.cFlightsAbandoned.Inc()
+		return
+	}
+	p.cFetchErrors.Inc()
 }
 
 // memGet looks up the in-memory cache; a hit refreshes LRU recency.

@@ -108,6 +108,10 @@ func (g *ReplicaGroup) Stats() Stats {
 		out.PeerHits += s.PeerHits
 		out.OwnerFetches += s.OwnerFetches
 		out.Rejections += s.Rejections
+		out.Shed += s.Shed
+		out.ShedStale += s.ShedStale
+		out.CoalescedFailures += s.CoalescedFailures
+		out.FlightsAbandoned += s.FlightsAbandoned
 		out.BytesIn += s.BytesIn
 		out.BytesOut += s.BytesOut
 		out.ProxyTime += s.ProxyTime

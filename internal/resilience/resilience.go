@@ -371,6 +371,15 @@ func (h Hop) attempt(ctx context.Context, op func(context.Context) error) error 
 		h.Breaker.Success()
 		return err
 	}
+	// A canceled parent context means the caller gave up (client
+	// disconnect, abandoned coalesced flight) — that says nothing about
+	// the upstream's health. Recording it as a failure would let a wave
+	// of impatient clients trip the breaker and black out a healthy
+	// origin, turning overload into an outage. Attempt-deadline expiry
+	// (upstream too slow) still counts.
+	if errors.Is(ctx.Err(), context.Canceled) {
+		return err
+	}
 	h.Breaker.Failure()
 	// Surface the attempt deadline as the canonical context error so
 	// callers can map it (proxy: 504).

@@ -232,6 +232,44 @@ func TestHopPermanentDoesNotTripBreaker(t *testing.T) {
 	}
 }
 
+// TestHopCallerCancelDoesNotTripBreaker is the overload regression:
+// clients abandoning in-flight calls (canceled parent contexts) must
+// not count as upstream failures, or a burst of impatient clients
+// trips the breaker and blacks out a healthy origin.
+func TestHopCallerCancelDoesNotTripBreaker(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(2, time.Minute, clk)
+	h := Hop{Breaker: b, Retry: RetryPolicy{Attempts: 1}}
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := h.Do(ctx, func(actx context.Context) error {
+			cancel() // the caller walks away mid-call
+			<-actx.Done()
+			return actx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("breaker state after 10 caller cancels = %v, want closed", got)
+	}
+	if c := b.Counts(); c.Failures != 0 {
+		t.Fatalf("breaker failures after caller cancels = %d, want 0", c.Failures)
+	}
+	// Attempt-deadline expiry (the upstream being slow) still counts.
+	slow := Hop{Breaker: b, Timeout: time.Millisecond, Retry: RetryPolicy{Attempts: 1}}
+	for i := 0; i < 2; i++ {
+		_ = slow.Do(context.Background(), func(actx context.Context) error {
+			<-actx.Done()
+			return actx.Err()
+		})
+	}
+	if got := b.State(); got == Closed {
+		t.Fatal("breaker still closed after repeated upstream timeouts")
+	}
+}
+
 func TestHopParentCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
