@@ -28,6 +28,7 @@ func main() {
 	applets := flag.Bool("applets", false, "run the §4.1.2 applet-fetch measurement")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	overload := flag.Bool("overload", false, "run the open-loop overload sweep (admission control vs saturation multiples)")
+	churn := flag.Bool("churn", false, "run the cluster churn scenario (kill + join under zipf load, R=1 vs R=2)")
 	scale := flag.Int("scale", 1, "workload scale divisor (1 = paper scale)")
 	pipelineWorkers := flag.Int("pipeline-workers", 0, "static-service per-method fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	benchPipeline := flag.String("bench-pipeline", "", "run the pipeline benchmark and write its JSON report to this path (e.g. BENCH_PIPELINE.json)")
@@ -35,8 +36,8 @@ func main() {
 	benchBaseline := flag.String("bench-baseline", "", "recorded BENCH_PIPELINE.json to gate against; exits 1 on >20% regression in host-independent metrics")
 	flag.Parse()
 
-	if !*all && *figs == "" && !*applets && !*ablations && !*overload && *benchPipeline == "" {
-		fmt.Fprintln(os.Stderr, "usage: dvmbench (-all | -fig N[,N...] | -applets | -ablations | -overload | -bench-pipeline FILE) [-scale N] [-pipeline-workers N]")
+	if !*all && *figs == "" && !*applets && !*ablations && !*overload && !*churn && *benchPipeline == "" {
+		fmt.Fprintln(os.Stderr, "usage: dvmbench (-all | -fig N[,N...] | -applets | -ablations | -overload | -churn | -bench-pipeline FILE) [-scale N] [-pipeline-workers N]")
 		os.Exit(2)
 	}
 	want := map[string]bool{}
@@ -47,6 +48,7 @@ func main() {
 		*applets = true
 		*ablations = true
 		*overload = true
+		*churn = true
 	}
 	for _, f := range strings.Split(*figs, ",") {
 		if f != "" {
@@ -149,6 +151,17 @@ func main() {
 				cfg.Duration /= time.Duration(*scale)
 			}
 			_, text, err := eval.Overload(cfg, 0)
+			return text, err
+		})
+	}
+	if *churn {
+		run("Cluster churn: kill + join under load, replication comparison", func() (string, error) {
+			cfg := eval.ChurnConfig{}
+			if *scale > 1 {
+				cfg.Clients = 16 / *scale
+				cfg.Phase = 1200 * time.Millisecond / time.Duration(*scale)
+			}
+			_, text, err := eval.ClusterChurn(cfg, nil)
 			return text, err
 		})
 	}

@@ -22,13 +22,20 @@
 // consistent-hash ring assigns every (arch, class) key an owner node,
 // and misses for keys owned elsewhere are filled from the owner over
 // /peer/class instead of refetched from the origin — one origin fetch
-// and one pipeline run per key across the whole fleet. A peer that
-// stops answering trips a per-link breaker and this node degrades to
-// local fetches. /healthz shows the ring view.
+// and one pipeline run per key across the whole fleet. Membership is
+// live: -peers is only a seed list, gossip (every -gossip-interval)
+// discovers the rest of the fleet, detects failures (suspect, then dead
+// after -suspect-timeout), and rebalances the ring on joins and leaves.
+// Each key is replicated to -replication owners, so a node death
+// degrades to a warm replica hit. A peer that stops answering trips a
+// per-link breaker (feeding failure suspicion) and this node degrades
+// to local fetches. /healthz shows the live membership with per-member
+// state and the view epoch.
 //
-// The server drains gracefully on SIGINT/SIGTERM: the listener closes,
-// in-flight requests get -drain-timeout to finish, and the stats ticker
-// stops.
+// The server drains gracefully on SIGINT/SIGTERM: with -drain (the
+// default) a cluster node first announces its departure and hands its
+// cache off to each key's new owners, then the listener closes and
+// in-flight requests get -drain-timeout to finish.
 package main
 
 import (
@@ -85,8 +92,12 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive origin failures that trip the circuit breaker (-1 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
 	self := flag.String("self", "", "this node's peer URL in a sharded proxy cluster (e.g. http://10.0.0.1:8642); empty = standalone")
-	peers := flag.String("peers", "", "comma-separated peer URLs forming the static cluster membership (include -self)")
+	peers := flag.String("peers", "", "comma-separated seed peer URLs; gossip discovers the rest of the fleet from any live subset")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default)")
+	replication := flag.Int("replication", 0, "ring owners per key: primary plus warm replicas (0 = default 2, 1 = no replication)")
+	gossipInterval := flag.Duration("gossip-interval", 500*time.Millisecond, "membership gossip period")
+	suspectTimeout := flag.Duration("suspect-timeout", 3*time.Second, "how long an unrefuted suspect survives before being declared dead")
+	drain := flag.Bool("drain", true, "on SIGINT/SIGTERM, announce departure and hand the cache off to the new owners before shutting down")
 	hotThreshold := flag.Int("hot-threshold", 0, "peer fills of one key before it is replicated into the local cache (0 = default 8, -1 = never)")
 	peerTimeout := flag.Duration("peer-timeout", 3*time.Second, "deadline for one peer class fetch")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (slowloris guard)")
@@ -155,11 +166,16 @@ func main() {
 	origin := dirOrigin{root: *originDir}
 	var handler http.Handler
 	var stats func() proxy.Stats
+	var node *cluster.Node
 	if *self != "" {
-		node, err := cluster.NewNode(origin, cfg, cluster.Config{
+		var err error
+		node, err = cluster.NewNode(origin, cfg, cluster.Config{
 			Self:             *self,
 			Peers:            splitList(*peers),
 			VirtualNodes:     *vnodes,
+			Replication:      *replication,
+			GossipInterval:   *gossipInterval,
+			SuspectTimeout:   *suspectTimeout,
 			HotThreshold:     *hotThreshold,
 			PeerTimeout:      *peerTimeout,
 			BreakerThreshold: *breakerThreshold,
@@ -170,8 +186,8 @@ func main() {
 		}
 		handler = node.Handler()
 		stats = node.Proxy().Stats
-		log.Printf("dvmproxy: cluster node %s with %d members (ring seed 0, vnodes %d, hot threshold %d)",
-			*self, node.Ring().Size(), *vnodes, *hotThreshold)
+		log.Printf("dvmproxy: cluster node %s with %d members (ring seed 0, vnodes %d, replication %d, gossip %s, suspect timeout %s)",
+			*self, node.Ring().Size(), *vnodes, *replication, *gossipInterval, *suspectTimeout)
 	} else {
 		p := proxy.New(origin, cfg)
 		handler = p.Handler()
@@ -231,8 +247,22 @@ func main() {
 	close(tickerDone)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if node != nil && *drain {
+		// Cluster goodbye before the HTTP server goes away: announce the
+		// departure (peers re-route new fills immediately, 429 +
+		// X-DVM-Draining covers the gossip gap) and push the cache to
+		// each key's new owners. Within the same drain budget as the
+		// connection drain — a slow handoff must not stall shutdown.
+		log.Printf("dvmproxy: announcing departure and handing off cache")
+		if err := node.Drain(shutdownCtx); err != nil {
+			log.Printf("dvmproxy: cluster drain incomplete: %v", err)
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("dvmproxy: drain incomplete: %v", err)
+	}
+	if node != nil {
+		node.Close()
 	}
 	<-tickerStopped
 	summarize("final")

@@ -78,7 +78,12 @@ func TestClusterSingleOriginFetchPerKey(t *testing.T) {
 	// into per-class replica affinity.
 	const nodes, classes = 4, 17
 	org := &countingOrigin{inner: corpus(t, classes)}
-	c, err := cluster.StartLocal(org, nodes, verifyingProxyCfg, nil)
+	// Replication 1: this test asserts the exact peer-hop counts of the
+	// sharing property; replica pushes (R=2 default) warm requester
+	// caches asynchronously and make the counts timing-dependent.
+	c, err := cluster.StartLocal(org, nodes, verifyingProxyCfg, func(int) cluster.Config {
+		return cluster.Config{Replication: 1}
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,8 +240,11 @@ func TestClusterPeerDownDegradesToLocal(t *testing.T) {
 func TestClusterHotKeyReplication(t *testing.T) {
 	const classes = 8
 	org := &countingOrigin{inner: corpus(t, classes)}
+	// Replication 1: with the R=2 default a 2-node cluster replicates
+	// every key to both nodes, which would warm node 0's cache before
+	// the hot threshold could ever be crossed.
 	c, err := cluster.StartLocal(org, 2, verifyingProxyCfg, func(int) cluster.Config {
-		return cluster.Config{HotThreshold: 3}
+		return cluster.Config{HotThreshold: 3, Replication: 1}
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -457,6 +465,9 @@ func TestClusterHealthzRingView(t *testing.T) {
 	if len(h.Ring) != 3 {
 		t.Fatalf("healthz lists %d ring members, want 3:\n%s", len(h.Ring), body)
 	}
+	if h.Epoch == 0 {
+		t.Errorf("healthz missing membership epoch:\n%s", body)
+	}
 	selfs := 0
 	for _, m := range h.Ring {
 		if m.Self {
@@ -467,9 +478,17 @@ func TestClusterHealthzRingView(t *testing.T) {
 		} else if m.Link == "" {
 			t.Errorf("member %s missing link state", m.Member)
 		}
+		if m.State != telemetry.MemberAlive {
+			t.Errorf("member %s state = %q, want alive in a healthy fleet", m.Member, m.State)
+		}
 	}
 	if selfs != 1 {
 		t.Errorf("healthz marks %d members as self, want 1", selfs)
+	}
+	for _, gauge := range []string{"membership_epoch", "membership_alive", "ring_members"} {
+		if _, ok := h.Gauges[gauge]; !ok {
+			t.Errorf("healthz missing membership gauge %s:\n%s", gauge, body)
+		}
 	}
 }
 

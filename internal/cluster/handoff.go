@@ -1,0 +1,311 @@
+package cluster
+
+// Replication and cache handoff: the warm paths that keep an ownership
+// change from turning into a cold-start storm.
+//
+// Replication (push, continuous): every class this node transforms
+// itself is pushed, asynchronously and best-effort, to the key's other
+// ring owners (Replication-1 successors). A push lands in the
+// receiver's cache via proxy.Warm, so when a primary dies its successor
+// already holds the bytes — the remap degrades to a warm replica hit
+// instead of an origin fetch plus a pipeline run. The push queue is a
+// small bounded channel drained by one worker: the transform path never
+// blocks on replication, and under a flood pushes are dropped (counted)
+// rather than queued without bound.
+//
+// Handoff (pull, on membership change): when the ring changes under a
+// node — it just joined, or a death promoted it to primary for keys it
+// never served — it asks each live peer for the cached entries it now
+// owns. The *server* filters: it walks its own cache hottest-first
+// (LRU order) and returns entries whose current primary is the
+// requester, bounded by maxBytes, and sheds the request outright when
+// its admission control reports pressure — warming a newcomer must
+// never out-compete serving clients. Draining inverts the direction:
+// the leaver pushes its cache to each key's new owners before its HTTP
+// server goes away (gossip.go Drain).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dvm/internal/proxy"
+	"dvm/internal/telemetry"
+)
+
+// replicaPathPrefix is the replica-push route: POST
+// /peer/replica/<name>.class with X-DVM-Arch stores transformed bytes
+// in the receiver's cache.
+const replicaPathPrefix = "/peer/replica/"
+
+// handoffPath is the cache-handoff route: POST {member, maxBytes}
+// returns the server's cached entries now owned by member.
+const handoffPath = "/peer/handoff"
+
+// defaultHandoffMaxBytes bounds one handoff transfer when Config leaves
+// it zero: enough for the hot tail, far from a full cache copy.
+const defaultHandoffMaxBytes = 8 << 20
+
+// replQueueLen is the replication push queue bound. Pushes beyond it
+// are dropped (and counted): replication is an optimization, and a
+// backlog that survives 256 entries means the successor is slow or
+// gone — exactly when queuing more would hurt.
+const replQueueLen = 256
+
+type replItem struct {
+	arch, class string
+	data        []byte
+}
+
+// onTransformed is the proxy's OnTransformed hook: enqueue the freshly
+// transformed class for replication to its other owners. Runs on the
+// flight goroutine — must never block.
+func (n *Node) onTransformed(arch, class string, data []byte) {
+	select {
+	case n.replCh <- replItem{arch: arch, class: class, data: data}:
+	default:
+		n.cReplicaDrops.Inc()
+	}
+}
+
+// replWorker drains the push queue.
+func (n *Node) replWorker() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case it := <-n.replCh:
+			n.pushReplicas(it)
+		}
+	}
+}
+
+// pushReplicas sends one transformed class to the key's other owners.
+// Best-effort: a failed push costs nothing but the warm copy.
+func (n *Node) pushReplicas(it replItem) {
+	owners := n.currentRing().Owners(KeyFor(it.arch, it.class), n.cfg.Replication)
+	for _, o := range owners {
+		if o == n.cfg.Self {
+			continue
+		}
+		if n.mship.State(o) != stateAlive {
+			continue
+		}
+		if n.pushReplica(context.Background(), o, it.arch, it.class, it.data) {
+			n.cReplicaPush.Inc()
+		}
+	}
+}
+
+// pushReplica performs one replica POST. Reports success.
+func (n *Node) pushReplica(ctx context.Context, peer, arch, class string, data []byte) bool {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+replicaPathPrefix+class+".class", bytes.NewReader(data))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("X-DVM-Arch", arch)
+	req.Header.Set("Content-Type", "application/java-vm")
+	req.Header.Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	if resp.Header.Get(drainingHeader) == "1" {
+		n.mship.NoteDraining(peer)
+		return false
+	}
+	n.noteEpoch(resp.Header.Get(epochHeader))
+	return resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK
+}
+
+// handleReplica stores a pushed replica in the local cache.
+func (n *Node) handleReplica(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if n.mship.Draining() {
+		w.Header().Set(drainingHeader, "1")
+		http.Error(w, "draining", http.StatusTooManyRequests)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, replicaPathPrefix)
+	name = strings.TrimSuffix(name, ".class")
+	arch := r.Header.Get("X-DVM-Arch")
+	if name == "" || strings.Contains(name, "..") || arch == "" {
+		http.Error(w, "bad replica", http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxPeerClassBytes+1))
+	if err != nil || len(data) > maxPeerClassBytes {
+		http.Error(w, "replica too large", http.StatusBadRequest)
+		return
+	}
+	n.noteEpoch(r.Header.Get(epochHeader))
+	n.local.Warm(arch, name, data)
+	n.cReplicaStored.Inc()
+	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handoffRequest is the pull-handoff wire form.
+type handoffRequest struct {
+	// Member is the requester's peer URL; the server returns entries
+	// whose current ring primary is this member.
+	Member string `json:"member"`
+	// MaxBytes bounds the transfer (server clamps to its own limit).
+	MaxBytes int `json:"maxBytes"`
+}
+
+// handoffResponse carries the transferred entries.
+type handoffResponse struct {
+	Entries []proxy.CachedEntry `json:"entries"`
+}
+
+// handleHandoff serves a pull handoff: the requester's inherited keys,
+// hottest first, bounded by bytes — unless this node is under admission
+// pressure, in which case the whole transfer is shed (the requester
+// warms up the slow way, via misses).
+func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if n.local.UnderPressure() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded, handoff shed", http.StatusTooManyRequests)
+		return
+	}
+	var req handoffRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil || req.Member == "" {
+		http.Error(w, "bad handoff request", http.StatusBadRequest)
+		return
+	}
+	maxBytes := req.MaxBytes
+	if maxBytes <= 0 || maxBytes > n.cfg.HandoffMaxBytes {
+		maxBytes = n.cfg.HandoffMaxBytes
+	}
+	ring := n.currentRing()
+	entries := n.local.CacheSnapshot(maxBytes, func(arch, class string) bool {
+		return ring.Owners(KeyFor(arch, class), 1)[0] == req.Member
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	_ = json.NewEncoder(w).Encode(handoffResponse{Entries: entries})
+}
+
+// PullHandoff asks every live peer for the cached entries this node now
+// owns and warms the local cache with them. Called automatically after
+// a ring change (handoffWorker); manual-mode tests call it directly.
+// Best-effort: a peer that sheds or fails just means a colder start.
+func (n *Node) PullHandoff(ctx context.Context) int {
+	timer := telemetry.StartTimer()
+	total := 0
+	for _, p := range n.mship.Peers(func(s memberState) bool { return s == stateAlive }) {
+		if ctx.Err() != nil {
+			break
+		}
+		total += n.pullFrom(ctx, p)
+	}
+	n.hHandoff.Observe(timer.Elapsed())
+	return total
+}
+
+// pullFrom pulls this node's inherited entries from one peer.
+func (n *Node) pullFrom(ctx context.Context, peer string) int {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.HandoffTimeout)
+	defer cancel()
+	body, _ := json.Marshal(handoffRequest{Member: n.cfg.Self, MaxBytes: n.cfg.HandoffMaxBytes})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+handoffPath, bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var hr handoffResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, int64(n.cfg.HandoffMaxBytes)+maxGossipBytes)).Decode(&hr); err != nil {
+		return 0
+	}
+	n.noteEpoch(resp.Header.Get(epochHeader))
+	for _, e := range hr.Entries {
+		if e.Arch == "" || e.Class == "" || len(e.Data) == 0 || len(e.Data) > maxPeerClassBytes {
+			continue
+		}
+		n.local.Warm(e.Arch, e.Class, e.Data)
+		n.cHandoffKeys.Inc()
+	}
+	return len(hr.Entries)
+}
+
+// pushHandoff is the drain-side transfer: walk the local cache hottest
+// first and push each entry to its new primary (the ring no longer
+// includes this node once DrainSelf has run).
+func (n *Node) pushHandoff(ctx context.Context) error {
+	ring := n.currentRing()
+	entries := n.local.CacheSnapshot(n.cfg.HandoffMaxBytes, nil)
+	for _, e := range entries {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		owner := ring.Owners(KeyFor(e.Arch, e.Class), 1)[0]
+		if owner == n.cfg.Self {
+			return nil // alone in the ring: nobody to hand off to
+		}
+		if n.mship.State(owner) != stateAlive {
+			continue
+		}
+		if n.pushReplica(ctx, owner, e.Arch, e.Class, e.Data) {
+			n.cHandoffKeys.Inc()
+		}
+	}
+	return nil
+}
+
+// handoffWorker runs a pull handoff after each ring change (coalesced
+// through a 1-slot channel: membership churn mid-pull just schedules
+// one more round). It waits one gossip interval first: the ring change
+// that scheduled the pull — typically this node's own join — needs a
+// round to reach the peers whose handoff filters must already count
+// this node as an owner.
+func (n *Node) handoffWorker() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-n.handoffCh:
+		}
+		select {
+		case <-n.closed:
+			return
+		case <-time.After(n.cfg.GossipInterval):
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HandoffTimeout)
+		n.PullHandoff(ctx)
+		cancel()
+	}
+}
+
+// pokeHandoff schedules a pull handoff (non-blocking, coalescing).
+func (n *Node) pokeHandoff() {
+	select {
+	case n.handoffCh <- struct{}{}:
+	default:
+	}
+}

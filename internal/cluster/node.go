@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -30,19 +29,42 @@ const maxPeerClassBytes = 16 << 20
 // count survives the pressure and can still cross the threshold.
 const maxHotKeys = 4096
 
+// DefaultReplication is the ring owners per key when Config leaves
+// Replication zero: a primary plus one warm successor, so any single
+// death degrades to a replica hit instead of a cold start.
+const DefaultReplication = 2
+
 // Config parameterizes one cluster node.
 type Config struct {
 	// Self is this node's peer URL (e.g. "http://10.0.0.1:8642"); the
 	// other members reach its /peer/class/ endpoint there.
 	Self string
-	// Peers is the full static membership, including Self (added if
-	// absent). Every node must be configured with the same set: the ring
-	// is computed locally and identically on each node.
+	// Peers seeds the membership view, including Self (added if absent).
+	// Unlike the pre-gossip design this need not be the full fleet: any
+	// subset that overlaps the live cluster suffices, and the first
+	// gossip exchange pulls in the rest. A node started with only itself
+	// joins nothing until someone gossips to it.
 	Peers []string
 	// VirtualNodes per member on the ring (0 = DefaultVirtualNodes).
 	VirtualNodes int
 	// Seed perturbs ring placement; all members must share it.
 	Seed uint64
+	// Replication is the ring owners per key: the primary plus
+	// Replication-1 successors holding pushed warm copies
+	// (0 = DefaultReplication; 1 disables replication).
+	Replication int
+	// GossipInterval is the membership anti-entropy period
+	// (0 = default 500ms; <0 = manual mode: no background goroutines,
+	// tests drive GossipNow / PullHandoff explicitly).
+	GossipInterval time.Duration
+	// SuspectTimeout is how long an unrefuted suspect survives before
+	// being declared dead and dropped from the ring (0 = default 3s).
+	SuspectTimeout time.Duration
+	// HandoffMaxBytes bounds one cache-handoff transfer
+	// (0 = default 8 MiB).
+	HandoffMaxBytes int
+	// HandoffTimeout bounds one handoff pull (0 = default 5s).
+	HandoffTimeout time.Duration
 	// HotThreshold is how many peer fills of one key this node performs
 	// before replicating the key into its own cache (0 = default 8,
 	// <0 = never replicate).
@@ -63,19 +85,31 @@ type Config struct {
 const defaultHotThreshold = 8
 
 // Node is one member of a sharded proxy cluster: a local proxy whose
-// miss path consults the ring, plus the peer-protocol client and server
-// halves.
+// miss path consults the ring, the peer-protocol client and server
+// halves, and the live-membership machinery (gossip.go, membership.go,
+// handoff.go).
 type Node struct {
 	cfg    Config
-	ring   *Ring
 	local  *proxy.Proxy
 	client *http.Client
+	mship  *membership
+
+	ringMu sync.RWMutex
+	ring   *Ring // rebuilt on every membership change; read via currentRing
 
 	breakerMu sync.Mutex
 	breakers  map[string]*resilience.Breaker
 
 	hotMu sync.Mutex
 	hot   map[string]int
+
+	gossip    gossipState
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	pokeCh    chan struct{} // coalesced "gossip now" requests
+	handoffCh chan struct{} // coalesced "pull handoff" requests
+	replCh    chan replItem // replication push queue
 
 	// Cluster counters live in the local proxy's telemetry registry, so
 	// one /metrics scrape covers the node end to end.
@@ -85,26 +119,32 @@ type Node struct {
 	// cPeerBackpressure counts fills the owner shed with 429: deliberate
 	// overload backpressure, not peer failures (no breaker penalty).
 	cPeerBackpressure *telemetry.Counter
+	cGossipRounds     *telemetry.Counter // gossip exchanges handled or initiated
+	cGossipFails      *telemetry.Counter // failed gossip exchanges
+	cSuspects         *telemetry.Counter // suspicions this node raised
+	cDeaths           *telemetry.Counter // suspects this node promoted to dead
+	cEpochMismatch    *telemetry.Counter // piggybacked epochs that disagreed with ours
+	cReplicaPush      *telemetry.Counter // replicas pushed to successors
+	cReplicaStored    *telemetry.Counter // replicas accepted into the local cache
+	cReplicaDrops     *telemetry.Counter // replication pushes dropped (queue full)
+	cHandoffKeys      *telemetry.Counter // keys transferred by handoff (either direction)
 	hPeerFetch        *telemetry.Histogram // peer-protocol hop latency
+	hHandoff          *telemetry.Histogram // handoff pull duration
 }
 
 // NewNode builds the node's proxy over origin with pcfg and wires its
-// miss path into the cluster. pcfg.PeerFill is overwritten.
+// miss path into the cluster. pcfg.PeerFill is overwritten; so is
+// pcfg.OnTransformed when replication is on.
 func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("cluster: Config.Self is required")
 	}
 	cfg.Self = strings.TrimSuffix(cfg.Self, "/")
-	members := make([]string, 0, len(cfg.Peers)+1)
+	peers := make([]string, 0, len(cfg.Peers))
 	for _, p := range cfg.Peers {
-		members = append(members, strings.TrimSuffix(p, "/"))
-	}
-	if !contains(members, cfg.Self) {
-		members = append(members, cfg.Self)
-	}
-	ring, err := NewRing(members, cfg.VirtualNodes, cfg.Seed)
-	if err != nil {
-		return nil, err
+		if p = strings.TrimSuffix(p, "/"); p != "" && p != cfg.Self {
+			peers = append(peers, p)
+		}
 	}
 	if cfg.HotThreshold == 0 {
 		cfg.HotThreshold = defaultHotThreshold
@@ -112,14 +152,52 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 	if cfg.PeerTimeout <= 0 {
 		cfg.PeerTimeout = 3 * time.Second
 	}
+	if cfg.Replication == 0 {
+		cfg.Replication = DefaultReplication
+	}
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = 500 * time.Millisecond
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 3 * time.Second
+	}
+	if cfg.HandoffMaxBytes <= 0 {
+		cfg.HandoffMaxBytes = defaultHandoffMaxBytes
+	}
+	if cfg.HandoffTimeout <= 0 {
+		cfg.HandoffTimeout = 5 * time.Second
+	}
 	n := &Node{
-		cfg:      cfg,
-		ring:     ring,
-		client:   &http.Client{Transport: cfg.Transport},
-		breakers: make(map[string]*resilience.Breaker),
-		hot:      make(map[string]int),
+		cfg:       cfg,
+		client:    &http.Client{Transport: cfg.Transport},
+		mship:     newMembership(cfg.Self, peers, nil),
+		breakers:  make(map[string]*resilience.Breaker),
+		hot:       make(map[string]int),
+		closed:    make(chan struct{}),
+		pokeCh:    make(chan struct{}, 1),
+		handoffCh: make(chan struct{}, 1),
+		replCh:    make(chan replItem, replQueueLen),
+	}
+	n.gossip.fails = make(map[string]int)
+	ring, err := NewRing(n.mship.RingMembers(), cfg.VirtualNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n.ring = ring
+	n.mship.onChange = func(ringChanged bool) {
+		if !ringChanged {
+			return
+		}
+		n.rebuildRing()
+		if cfg.GossipInterval > 0 {
+			n.pokeHandoff()
+			n.pokeGossip()
+		}
 	}
 	pcfg.PeerFill = n.fill
+	if cfg.Replication > 1 {
+		pcfg.OnTransformed = n.onTransformed
+	}
 	if pcfg.Node == "" {
 		pcfg.Node = cfg.Self // trace spans name the node by its peer URL
 	}
@@ -129,25 +207,88 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 	n.cPeerServed = reg.Counter("peer_served_total")
 	n.cHotReplicas = reg.Counter("hot_replicas_total")
 	n.cPeerBackpressure = reg.Counter("peer_backpressure_total")
+	n.cGossipRounds = reg.Counter("gossip_rounds_total")
+	n.cGossipFails = reg.Counter("gossip_failures_total")
+	n.cSuspects = reg.Counter("member_suspects_total")
+	n.cDeaths = reg.Counter("member_deaths_total")
+	n.cEpochMismatch = reg.Counter("epoch_mismatch_total")
+	n.cReplicaPush = reg.Counter("replica_push_total")
+	n.cReplicaStored = reg.Counter("replica_stored_total")
+	n.cReplicaDrops = reg.Counter("replica_dropped_total")
+	n.cHandoffKeys = reg.Counter("handoff_keys_total")
 	n.hPeerFetch = reg.Histogram("peer_fetch_seconds", nil)
-	reg.Gauge("ring_members", func() float64 { return float64(len(n.ring.Members())) })
+	n.hHandoff = reg.Histogram("handoff_seconds", nil)
+	reg.Gauge("ring_members", func() float64 { return float64(n.currentRing().Size()) })
+	reg.Gauge("membership_epoch", func() float64 { return float64(n.mship.Epoch()) })
+	for st, name := range map[memberState]string{
+		stateAlive: "membership_alive", stateSuspect: "membership_suspect",
+		stateDead: "membership_dead", stateDraining: "membership_draining",
+	} {
+		st := st
+		reg.Gauge(name, func() float64 { return float64(n.mship.counts()[st]) })
+	}
+	// Background machinery. Replication pushes always need their worker;
+	// the gossip ticker and the automatic handoff trigger stay off in
+	// manual mode (GossipInterval < 0) so tests control every transition.
+	n.wg.Add(1)
+	go n.replWorker()
+	if cfg.GossipInterval > 0 {
+		n.wg.Add(2)
+		go n.gossipLoop()
+		go n.handoffWorker()
+		if len(peers) > 0 {
+			// A booting node is a joining node: announce the join with one
+			// immediate gossip round (so the peers' handoff filters already
+			// count this node as an owner), then pull the keys it now owns
+			// from the fleet's caches. On a cold fleet this is a cheap
+			// no-op; on a live fleet it is the warm-up that prevents a
+			// join-time miss storm.
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 2*n.cfg.PeerTimeout)
+				defer cancel()
+				n.gossipRound(ctx)
+				n.pokeHandoff()
+			}()
+		}
+	}
 	return n, nil
 }
 
-func contains(ss []string, s string) bool {
-	for _, v := range ss {
-		if v == s {
-			return true
-		}
+// rebuildRing recomputes the ring from the current ring-eligible
+// membership.
+func (n *Node) rebuildRing() {
+	ring, err := NewRing(n.mship.RingMembers(), n.cfg.VirtualNodes, n.cfg.Seed)
+	if err != nil {
+		return // membership guarantees at least self; unreachable
 	}
-	return false
+	n.ringMu.Lock()
+	n.ring = ring
+	n.ringMu.Unlock()
+}
+
+// currentRing returns the live ring snapshot.
+func (n *Node) currentRing() *Ring {
+	n.ringMu.RLock()
+	defer n.ringMu.RUnlock()
+	return n.ring
+}
+
+// Close stops the node's background goroutines (gossip, handoff,
+// replication). It does not announce a departure — that is Drain; a
+// bare Close looks to the fleet like a crash, which is exactly what the
+// failure-detection tests want.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() { close(n.closed) })
+	n.wg.Wait()
 }
 
 // Proxy returns the node's local proxy (stats, diagnostics).
 func (n *Node) Proxy() *proxy.Proxy { return n.local }
 
-// Ring returns the node's view of the ring.
-func (n *Node) Ring() *Ring { return n.ring }
+// Ring returns the node's current view of the ring.
+func (n *Node) Ring() *Ring { return n.currentRing() }
 
 // Self returns this node's peer URL.
 func (n *Node) Self() string { return n.cfg.Self }
@@ -173,15 +314,27 @@ func isLocalOnly(ctx context.Context) bool {
 }
 
 // breaker returns (creating on demand) the circuit breaker guarding the
-// link to peer.
+// link to peer. A breaker tripping open is the data path's failure
+// evidence: it feeds the membership layer's suspicion directly, so a
+// dead peer starts its suspect clock on the first tripped fill rather
+// than waiting for gossip to notice.
 func (n *Node) breaker(peer string) *resilience.Breaker {
 	n.breakerMu.Lock()
 	defer n.breakerMu.Unlock()
 	b, ok := n.breakers[peer]
 	if !ok {
+		peer := peer
 		b = resilience.NewBreaker(resilience.BreakerConfig{
 			Threshold: n.cfg.BreakerThreshold,
 			Cooldown:  n.cfg.BreakerCooldown,
+			OnStateChange: func(_, to resilience.BreakerState) {
+				if to == resilience.Open {
+					n.suspect(peer)
+					if n.cfg.GossipInterval > 0 {
+						n.pokeGossip()
+					}
+				}
+			},
 		})
 		n.breakers[peer] = b
 	}
@@ -209,61 +362,84 @@ func (n *Node) noteFill(key string) bool {
 	return n.hot[key] >= n.cfg.HotThreshold
 }
 
-// fill is the proxy's PeerFill hook: route the miss to the ring owner.
+// fill is the proxy's PeerFill hook: route the miss through the key's
+// owner chain. The primary is tried first; if it is down, draining, or
+// shedding, the warm replicas are tried in ring order — a replica holds
+// the pushed bytes, so a primary death degrades to one extra hop, not a
+// cold start. Reaching this node's own position in the chain (or
+// exhausting it) falls back to the local origin.
 func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 	if isLocalOnly(ctx) {
-		// Peer-protocol request: we are being asked *as* the owner (or as
+		// Peer-protocol request: we are being asked *as* an owner (or as
 		// a fallback); answer from here regardless of the ring view.
 		return proxy.PeerResult{Outcome: proxy.PeerSelf}
 	}
 	key := KeyFor(arch, class)
-	owner := n.ring.Owner(key)
-	if owner == n.cfg.Self {
+	owners := n.currentRing().Owners(key, n.cfg.Replication)
+	if owners[0] == n.cfg.Self {
 		return proxy.PeerResult{Outcome: proxy.PeerSelf}
 	}
 	hot := n.noteFill(key)
-	b := n.breaker(owner)
-	if err := b.Allow(); err != nil {
-		// The link to the owner is presumed down: skip the network hop
-		// entirely and degrade to a local origin fetch.
-		n.cPeerErrors.Inc()
-		return proxy.PeerResult{Outcome: proxy.PeerFailed, Peer: owner, Err: err}
-	}
-	res := n.fetchPeer(ctx, owner, arch, class)
-	res.Peer = owner
-	switch res.Outcome {
-	case proxy.PeerServed:
-		b.Success()
-		if hot {
-			res.CacheLocal = true
-			n.cHotReplicas.Inc()
+	var last proxy.PeerResult
+	for _, owner := range owners {
+		if owner == n.cfg.Self {
+			// Our own replica position: everything ahead of us in the
+			// chain failed, and our cache already missed — transform
+			// locally (we were due a copy of this key anyway).
+			return proxy.PeerResult{Outcome: proxy.PeerSelf}
 		}
-	case proxy.PeerFailed:
-		if errors.Is(res.Err, proxy.ErrOverloaded) {
-			// Deliberate backpressure: the owner shed our fill to protect
-			// itself. The peer is healthy — no breaker penalty, and it is
-			// counted apart from real peer failures. The miss falls
-			// through to the local origin as usual.
-			b.Success()
-			n.cPeerBackpressure.Inc()
-			break
+		b := n.breaker(owner)
+		if err := b.Allow(); err != nil {
+			// The link is presumed down: skip the network hop and move on
+			// to the next owner in the chain.
+			n.cPeerErrors.Inc()
+			last = proxy.PeerResult{Outcome: proxy.PeerFailed, Peer: owner, Err: err}
+			continue
 		}
-		if resilience.IsPermanent(res.Err) {
-			// A definitive answer (e.g. the owner's origin says not
-			// found): the peer is healthy, only this key is unservable.
+		res := n.fetchPeer(ctx, owner, arch, class)
+		res.Peer = owner
+		switch res.Outcome {
+		case proxy.PeerServed:
 			b.Success()
-		} else {
+			n.mship.Refute(owner) // direct evidence of life
+			if hot {
+				res.CacheLocal = true
+				n.cHotReplicas.Inc()
+			}
+			return res
+		case proxy.PeerFailed:
+			if errors.Is(res.Err, proxy.ErrOverloaded) {
+				// Deliberate backpressure (overload shed or draining): the
+				// peer is healthy — no breaker penalty, counted apart from
+				// real failures — but it will not serve us; try the next
+				// owner in the chain.
+				b.Success()
+				n.cPeerBackpressure.Inc()
+				last = res
+				continue
+			}
+			if resilience.IsPermanent(res.Err) {
+				// A definitive answer (e.g. the owner's origin says not
+				// found): the peer is healthy, only this key is
+				// unservable. No other owner will do better.
+				b.Success()
+				n.cPeerErrors.Inc()
+				return res
+			}
 			b.Failure()
+			n.cPeerErrors.Inc()
+			last = res
 		}
-		n.cPeerErrors.Inc()
 	}
-	return res
+	return last
 }
 
-// fetchPeer performs one GET against the owner's peer endpoint. The
+// fetchPeer performs one GET against an owner's peer endpoint. The
 // request carries the trace ID so the owner joins the same trace, and
 // the owner's spans come back in the response header, shifted into the
-// local timeline at the offset where this hop began.
+// local timeline at the offset where this hop began. Both directions
+// piggyback the membership epoch; a mismatch pokes an immediate gossip
+// round.
 func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.PeerResult {
 	tr := telemetry.FromContext(ctx)
 	hopStart := tr.Elapsed()
@@ -277,6 +453,7 @@ func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.P
 	}
 	req.Header.Set("X-DVM-Arch", arch)
 	req.Header.Set("X-DVM-Client", "peer:"+n.cfg.Self)
+	req.Header.Set(epochHeader, fmtEpoch(n.mship.Epoch()))
 	if id := tr.ID(); id != "" {
 		req.Header.Set(telemetry.TraceHeader, id)
 	}
@@ -285,6 +462,7 @@ func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.P
 		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
 	}
 	defer resp.Body.Close()
+	n.noteEpoch(resp.Header.Get(epochHeader))
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		err := fmt.Errorf("cluster: peer %s: %s: %s", owner, resp.Status, strings.TrimSpace(string(body)))
@@ -295,7 +473,13 @@ func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.P
 			return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: resilience.Permanent(err)}
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
-			// The owner's admission control shed this fill (backpressure).
+			if resp.Header.Get(drainingHeader) == "1" {
+				// The owner is leaving gracefully: record it (the ring
+				// drops the member before gossip even arrives) and treat
+				// the rejection as a healthy shed.
+				n.mship.NoteDraining(owner)
+			}
+			// The owner shed this fill (admission backpressure or drain).
 			// Tag the error so fill() can treat it as a healthy peer's
 			// deliberate answer instead of an outage.
 			return proxy.PeerResult{Outcome: proxy.PeerFailed,
@@ -323,12 +507,16 @@ func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.P
 }
 
 // Handler returns the node's HTTP interface: the client-facing class
-// routes of the local proxy, the peer protocol, and a /healthz that
-// includes the ring view.
+// routes of the local proxy, the peer protocol (fills, replicas,
+// handoff), the gossip endpoint, and a /healthz that includes the live
+// membership view.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle(classPathPrefix(), n.local.Handler())
 	mux.HandleFunc(peerPathPrefix, n.handlePeer)
+	mux.HandleFunc(replicaPathPrefix, n.handleReplica)
+	mux.HandleFunc(handoffPath, n.handleHandoff)
+	mux.HandleFunc(gossipPath, n.handleGossip)
 	mux.Handle("/healthz", telemetry.HealthHandler(n.Health))
 	mux.Handle("/metrics", n.local.Telemetry().Handler())
 	return mux
@@ -340,12 +528,21 @@ func classPathPrefix() string { return "/classes/" }
 
 // handlePeer answers an owner-side fill: serve the transformed class
 // from this node's cache/origin, never re-forwarding (localOnly), and
-// carry the response flags as headers.
+// carry the response flags as headers. A draining node refuses with
+// 429 + X-DVM-Draining so peers re-route immediately.
 func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	if n.mship.Draining() {
+		w.Header().Set(drainingHeader, "1")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusTooManyRequests)
+		return
+	}
+	n.noteEpoch(r.Header.Get(epochHeader))
 	name := strings.TrimPrefix(r.URL.Path, peerPathPrefix)
 	name = strings.TrimSuffix(name, ".class")
 	if name == "" || strings.Contains(name, "..") {
@@ -387,40 +584,47 @@ func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
 }
 
 // Health extends the local proxy's report with the cluster view: the
-// ring membership with per-link breaker states. Any open link marks the
-// node degraded (peer sharing is impaired even though requests succeed
-// via the local origin fallback).
+// live membership (with per-member state and the epoch) and per-link
+// breaker states. Any open link or non-alive member marks the node
+// degraded (sharing is impaired even though requests succeed via
+// replicas or the local origin fallback).
 func (n *Node) Health() telemetry.Health {
 	h := n.local.Health()
+	h.Epoch = n.mship.Epoch()
 	for _, v := range n.PeerViews() {
-		h.Ring = append(h.Ring, telemetry.RingMemberHealth{Member: v.Member, Link: v.Link, Self: v.Self})
-		if v.Link == resilience.Open.String() {
+		h.Ring = append(h.Ring, telemetry.RingMemberHealth{
+			Member: v.Member, State: v.State, Link: v.Link, Self: v.Self,
+		})
+		if v.Link == resilience.Open.String() || v.State != telemetry.MemberAlive {
 			h.Status = telemetry.StatusDegraded
 		}
 	}
 	return h
 }
 
-// PeerView is one member of the node's ring view (diagnostics).
+// PeerView is one member of the node's live membership view
+// (diagnostics).
 type PeerView struct {
 	Member string
 	Self   bool
+	// State is the member's membership state ("alive", "suspect",
+	// "dead", "draining").
+	State string
 	// Link is the local breaker state for the path to this member
 	// ("closed" = healthy, "open" = presumed down, "-" for self).
 	Link string
 }
 
-// PeerViews snapshots the ring membership with per-link health, sorted
-// by member.
+// PeerViews snapshots the live membership with per-link health, sorted
+// by member. Unlike the ring (alive + suspect only) this includes dead
+// and draining members — the fleet's obituaries are diagnostic signal.
 func (n *Node) PeerViews() []PeerView {
-	members := n.ring.Members()
-	sort.Strings(members)
-	out := make([]PeerView, 0, len(members))
-	for _, m := range members {
-		v := PeerView{Member: m, Self: m == n.cfg.Self, Link: "-"}
+	out := make([]PeerView, 0, 4)
+	for _, m := range n.mship.Snapshot() {
+		v := PeerView{Member: m.Addr, Self: m.Addr == n.cfg.Self, State: m.State, Link: "-"}
 		if !v.Self {
 			n.breakerMu.Lock()
-			b := n.breakers[m]
+			b := n.breakers[m.Addr]
 			n.breakerMu.Unlock()
 			if b == nil {
 				v.Link = "closed"
@@ -447,3 +651,15 @@ func (n *Node) HotReplicas() int64 { return n.cHotReplicas.Load() }
 // PeerBackpressure returns how many peer fills the owner shed with 429
 // (diagnostics).
 func (n *Node) PeerBackpressure() int64 { return n.cPeerBackpressure.Load() }
+
+// ReplicasStored returns how many pushed replicas this node accepted
+// into its cache (diagnostics).
+func (n *Node) ReplicasStored() int64 { return n.cReplicaStored.Load() }
+
+// ReplicasPushed returns how many replicas this node pushed to
+// successors (diagnostics).
+func (n *Node) ReplicasPushed() int64 { return n.cReplicaPush.Load() }
+
+// HandoffKeys returns how many keys handoff moved through this node,
+// pulled or pushed (diagnostics).
+func (n *Node) HandoffKeys() int64 { return n.cHandoffKeys.Load() }

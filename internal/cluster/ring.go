@@ -9,12 +9,19 @@
 // one rewrite-pipeline run per key — the proxy's single-flight
 // coalescing extended cluster-wide.
 //
-// Membership is static configuration (every node knows the full peer
-// list); routing is health-checked. A peer that stops answering trips a
-// per-peer circuit breaker and the node degrades to fetching from the
-// origin itself, so a peer outage costs sharing, never availability.
-// Hot keys — ones a node keeps round-tripping for — are replicated into
-// the requesting node's own LRU so ring owners do not become hotspots.
+// Membership is live (membership.go, gossip.go): nodes boot from a
+// static seed list, then gossip versioned views to track joins,
+// failures (SWIM-style suspect -> dead), and graceful drains, each node
+// rebuilding its ring locally as the agreed member set changes. A peer
+// that stops answering trips a per-peer circuit breaker — which both
+// degrades that node to fetching from the origin itself AND feeds the
+// suspicion machinery — so a peer outage costs sharing, never
+// availability, and is eventually excised from every ring. Keys are
+// replicated to R owners (the ring successor holds a warm copy pushed
+// after every transform), so a primary's death degrades to a replica
+// hit instead of a cold origin fetch. Hot keys — ones a node keeps
+// round-tripping for — are additionally replicated into the requesting
+// node's own LRU so ring owners do not become hotspots.
 package cluster
 
 import (
@@ -114,6 +121,33 @@ func (r *Ring) Owner(key string) string {
 		i = 0
 	}
 	return r.points[i].member
+}
+
+// Owners returns the first r distinct members clockwise from the key's
+// hash: Owners(key, 1)[0] == Owner(key), and the rest are the key's
+// replica successors in ring order. With r >= the member count, every
+// member is returned. Replication factor R means a key's bytes live on
+// Owners(key, R): the primary serves peer fills, the successors hold
+// warm copies that take over when the primary dies.
+func (r *Ring) Owners(key string, count int) []string {
+	if count <= 0 {
+		count = 1
+	}
+	if count > len(r.members) {
+		count = len(r.members)
+	}
+	h := r.hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, count)
+	seen := make(map[string]bool, count)
+	for n := 0; n < len(r.points) && len(out) < count; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
 }
 
 // KeyFor builds the canonical ring key for a class request. It must

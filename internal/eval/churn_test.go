@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnSmoke runs a scaled-down ClusterChurn at R=2 and asserts the
+// membership acceptance criteria from the full eval: zero
+// client-visible failures across kill and join, the cold-start p99 for
+// remapped keys bounded by a small multiple of steady state (warm
+// replicas absorb the death), a join remap near 1/n, bounded duplicate
+// origin work, and epoch agreement across the surviving fleet.
+func TestChurnSmoke(t *testing.T) {
+	cfg := ChurnConfig{
+		Nodes:       3,
+		Clients:     6,
+		Classes:     24,
+		ClassKB:     4,
+		Phase:       400 * time.Millisecond,
+		OriginDelay: 25 * time.Millisecond,
+	}
+	rows, text, err := ClusterChurn(cfg, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", text)
+	r := rows[0]
+	if r.Failures != 0 {
+		t.Errorf("churn produced %d client-visible failures, want 0", r.Failures)
+	}
+	// The headline replication claim: with a warm replica the remapped
+	// keys' p99 stays within 3x of steady state instead of paying the
+	// full origin round-trip. (The 3x bound is the acceptance number;
+	// give a no-sample run — remapped keys never drawn in the short kill
+	// window — a pass rather than a false alarm.)
+	if r.RemappedP99 > 0 && r.ColdRatio > 3.0 {
+		t.Errorf("R=2 cold ratio = %.1fx (remapped p99 %v vs steady %v), want <= 3x",
+			r.ColdRatio, r.RemappedP99, r.SteadyP99)
+	}
+	// Consistent hashing: the join remaps about 1/n of keys, never more
+	// than 1.5/n (n = surviving fleet + joiner).
+	if limit := 1.5 / 3.0; r.RemapFrac > limit {
+		t.Errorf("join remapped %.1f%% of keys, want <= %.1f%%", r.RemapFrac*100, limit*100)
+	}
+	// Duplicate-work bound: one fetch per key to warm, plus at most one
+	// re-fetch per key per membership change (kill + join = 2 more
+	// epochs). In practice replication and handoff keep it near Classes.
+	if max := int64(3 * cfg.Classes); r.OriginFetches > max {
+		t.Errorf("origin fetched %d times for %d keys across 3 epochs, want <= %d",
+			r.OriginFetches, cfg.Classes, max)
+	}
+	if !r.EpochAgreed {
+		t.Error("surviving fleet did not converge on one membership epoch")
+	}
+	// Membership gauges must account for the churn: the killed node is
+	// counted dead, and the survivors plus the joiner are all alive —
+	// no member lingers suspect or unaccounted for.
+	if r.MembersAlive != cfg.Nodes || r.MembersDead != 1 {
+		t.Errorf("membership gauges alive=%d dead=%d, want alive=%d dead=1",
+			r.MembersAlive, r.MembersDead, cfg.Nodes)
+	}
+}

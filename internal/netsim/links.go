@@ -55,6 +55,81 @@ func (l *LinkFaults) LinkStats(host string) (FaultStats, bool) {
 	return ft.Stats(), true
 }
 
+// CutSpec is the fault profile of a fully severed link: every request
+// fails immediately. Seed keeps the (deterministic) fault sequence API
+// happy; it has no effect at rate 1.
+func CutSpec(seed uint64) FaultSpec {
+	return FaultSpec{Seed: seed, ErrorRate: 1}
+}
+
+// Cut severs the link to host (every request errors) until ClearLink
+// or Heal restores it.
+func (l *LinkFaults) Cut(host string) { l.SetLink(host, CutSpec(0)) }
+
+// Partition drives network splits across a cluster's fault meshes: one
+// LinkFaults per node (the node's peer transport), one host per node.
+// Because each direction is a separate mesh entry, splits can be
+// asymmetric — A unable to reach B while B still reaches A — which is
+// exactly the case a naive ping-based failure detector gets wrong.
+type Partition struct {
+	meshes []*LinkFaults
+	hosts  []string
+}
+
+// NewPartition pairs each node's LinkFaults mesh with its host
+// ("127.0.0.1:port"). meshes[i] must be node i's peer transport.
+func NewPartition(meshes []*LinkFaults, hosts []string) *Partition {
+	return &Partition{meshes: meshes, hosts: hosts}
+}
+
+// Isolate cuts node i off in both directions: nobody reaches i, i
+// reaches nobody — a network-level crash while the process stays up.
+func (p *Partition) Isolate(i int) {
+	for j, m := range p.meshes {
+		if j == i {
+			continue
+		}
+		m.Cut(p.hosts[i])
+		p.meshes[i].Cut(p.hosts[j])
+	}
+}
+
+// IsolateInbound cuts only traffic *toward* node i: i still reaches
+// everyone (asymmetric partition). i's outbound gossip keeps refuting
+// the suspicion its silence would otherwise earn.
+func (p *Partition) IsolateInbound(i int) {
+	for j, m := range p.meshes {
+		if j != i {
+			m.Cut(p.hosts[i])
+		}
+	}
+}
+
+// Split severs every link between group A (by node index) and the rest,
+// both directions.
+func (p *Partition) Split(groupA []int) {
+	inA := make(map[int]bool, len(groupA))
+	for _, i := range groupA {
+		inA[i] = true
+	}
+	for i := range p.meshes {
+		for j := range p.meshes {
+			if i != j && inA[i] != inA[j] {
+				p.meshes[i].Cut(p.hosts[j])
+			}
+		}
+	}
+}
+
+// Heal restores every link in the mesh.
+func (p *Partition) Heal() {
+	for _, m := range p.meshes {
+		for _, h := range p.hosts {
+			m.ClearLink(h)
+		}
+	}
+}
+
 // RoundTrip implements http.RoundTripper: requests to a host with a
 // configured link go through its fault profile, the rest through base.
 func (l *LinkFaults) RoundTrip(req *http.Request) (*http.Response, error) {

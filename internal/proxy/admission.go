@@ -166,6 +166,17 @@ func (a *admission) shedTotal() int64 {
 	return a.cShedFull.Load() + a.cShedDeadline.Load() + a.cShedFair.Load() + a.cShedPeer.Load()
 }
 
+// pressured reports whether the queue is at least half full (the
+// stale-serve threshold). Nil-safe: no admission control, no pressure.
+func (a *admission) pressured() bool {
+	if a == nil {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.maxQueue > 0 && a.queued*2 >= a.maxQueue
+}
+
 // acquire decides one flight's fate: a service slot (admitOK — caller
 // must release()), a stale answer (admitStale), or a shed (admitShed
 // with the reason). budget is the requester's remaining deadline budget

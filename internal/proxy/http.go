@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -138,6 +139,12 @@ type LoaderOptions struct {
 	BreakerCooldown time.Duration
 	// Context, when non-nil, is the base context for all fetches.
 	Context context.Context
+	// Transport overrides the HTTP transport (fault injection via
+	// netsim in tests; custom dialers in deployments).
+	Transport http.RoundTripper
+	// ProbeInterval is how long HTTPLoaderMulti leaves a failed endpoint
+	// ejected before re-probing it with live traffic (default 2s).
+	ProbeInterval time.Duration
 }
 
 // HTTPLoader returns a jvm.ClassLoader that fetches classes over HTTP
@@ -167,7 +174,7 @@ func HTTPLoaderWith(baseURL, client, arch string, opts LoaderOptions) jvm.ClassL
 			Cooldown:  opts.BreakerCooldown,
 		}),
 	}
-	httpClient := &http.Client{Timeout: opts.Timeout}
+	httpClient := &http.Client{Timeout: opts.Timeout, Transport: opts.Transport}
 	return jvm.FuncLoader(func(name string) ([]byte, error) {
 		var data []byte
 		err := hop.Do(base, func(ctx context.Context) error {
@@ -210,40 +217,123 @@ func HTTPLoaderWith(baseURL, client, arch string, opts LoaderOptions) jvm.ClassL
 	})
 }
 
-// HTTPLoaderMulti returns a jvm.ClassLoader that spreads class fetches
-// round-robin across several proxy endpoints (a replica fleet or a
-// sharded cluster) and fails over to the remaining endpoints when one
-// is down. Each endpoint keeps its own circuit breaker, so a dead proxy
-// is skipped cheaply after a few failures. A not-found answer is
-// definitive (every cluster node can resolve every class) and stops the
-// failover sweep.
-func HTTPLoaderMulti(baseURLs []string, client, arch string, opts LoaderOptions) (jvm.ClassLoader, error) {
+// MultiLoader spreads class fetches round-robin across several proxy
+// endpoints (a replica fleet or a sharded cluster) and fails over to
+// the remaining endpoints when one is down. On top of the per-endpoint
+// circuit breakers it tracks endpoint health explicitly: an endpoint
+// whose load failed is ejected from the rotation for ProbeInterval,
+// then re-probed with one live request — success restores it, failure
+// re-ejects it. So a dead endpoint costs each client at most one failed
+// attempt per probe interval instead of one per rotation pass, and a
+// recovered endpoint rejoins within one interval without any operator
+// action. A not-found answer is definitive (every cluster node can
+// resolve every class) and stops the failover sweep.
+type MultiLoader struct {
+	urls    []string
+	loaders []jvm.ClassLoader
+	probe   time.Duration
+	now     func() time.Time
+	next    atomic.Uint64
+
+	mu        sync.Mutex
+	downUntil []time.Time
+}
+
+// HTTPLoaderMulti builds a MultiLoader over the endpoints.
+func HTTPLoaderMulti(baseURLs []string, client, arch string, opts LoaderOptions) (*MultiLoader, error) {
 	if len(baseURLs) == 0 {
 		return nil, fmt.Errorf("proxy: HTTPLoaderMulti needs at least one endpoint")
 	}
-	if len(baseURLs) == 1 {
-		return HTTPLoaderWith(baseURLs[0], client, arch, opts), nil
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
 	}
-	loaders := make([]jvm.ClassLoader, len(baseURLs))
+	m := &MultiLoader{
+		urls:      append([]string(nil), baseURLs...),
+		loaders:   make([]jvm.ClassLoader, len(baseURLs)),
+		probe:     opts.ProbeInterval,
+		now:       time.Now,
+		downUntil: make([]time.Time, len(baseURLs)),
+	}
 	for i, u := range baseURLs {
-		loaders[i] = HTTPLoaderWith(u, client, arch, opts)
+		m.loaders[i] = HTTPLoaderWith(u, client, arch, opts)
 	}
-	var next atomic.Uint64
-	return jvm.FuncLoader(func(name string) ([]byte, error) {
-		start := int(next.Add(1)-1) % len(loaders)
-		var firstErr error
-		for i := 0; i < len(loaders); i++ {
-			data, err := loaders[(start+i)%len(loaders)].Load(name)
-			if err == nil {
-				return data, nil
-			}
-			if errors.Is(err, ErrNotFound) {
-				return nil, err
-			}
-			if firstErr == nil {
-				firstErr = err
-			}
+	return m, nil
+}
+
+// Down reports which endpoints are currently ejected from the rotation
+// (by endpoint index, matching the constructor's baseURLs order).
+func (m *MultiLoader) Down() []bool {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]bool, len(m.downUntil))
+	for i, t := range m.downUntil {
+		out[i] = now.Before(t)
+	}
+	return out
+}
+
+// ejected reports whether endpoint i is out of rotation at now.
+func (m *MultiLoader) ejected(i int, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return now.Before(m.downUntil[i])
+}
+
+// noteResult updates endpoint i's health after one load attempt.
+func (m *MultiLoader) noteResult(i int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.downUntil[i] = time.Time{}
+	} else {
+		m.downUntil[i] = m.now().Add(m.probe)
+	}
+}
+
+// Load implements jvm.ClassLoader: try endpoints in rotation order,
+// healthy ones first; fall back to the ejected ones only when every
+// healthy endpoint has failed (an all-down fleet must still be retried
+// — the tracker can be wrong, a request cannot be dropped on a guess).
+func (m *MultiLoader) Load(name string) ([]byte, error) {
+	start := int(m.next.Add(1)-1) % len(m.loaders)
+	now := m.now()
+	var firstErr error
+	tried := make([]bool, len(m.loaders))
+	attempt := func(i int) ([]byte, error, bool) {
+		tried[i] = true
+		data, err := m.loaders[i].Load(name)
+		if err == nil {
+			m.noteResult(i, true)
+			return data, nil, true
 		}
-		return nil, firstErr
-	}), nil
+		if errors.Is(err, ErrNotFound) {
+			m.noteResult(i, true) // the endpoint answered; the class is the problem
+			return nil, err, true
+		}
+		m.noteResult(i, false)
+		if firstErr == nil {
+			firstErr = err
+		}
+		return nil, err, false
+	}
+	for i := 0; i < len(m.loaders); i++ {
+		j := (start + i) % len(m.loaders)
+		if m.ejected(j, now) {
+			continue
+		}
+		if data, err, done := attempt(j); done {
+			return data, err
+		}
+	}
+	for i := 0; i < len(m.loaders); i++ {
+		j := (start + i) % len(m.loaders)
+		if tried[j] {
+			continue
+		}
+		if data, err, done := attempt(j); done {
+			return data, err
+		}
+	}
+	return nil, firstErr
 }

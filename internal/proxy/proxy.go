@@ -201,6 +201,13 @@ type Config struct {
 	// set).
 	ShedPolicy string
 
+	// OnTransformed, when set, observes every class this node transformed
+	// itself (origin fetch + pipeline run; peer-served and stale responses
+	// are not reported). The cluster layer uses it to push freshly-owned
+	// results to the key's replicas. Called on the flight goroutine, so it
+	// must not block — enqueue and return.
+	OnTransformed func(arch, class string, data []byte)
+
 	// MemoryBudget models the server's physical memory: when the bytes
 	// held by in-flight requests exceed it, each request pays a paging
 	// penalty proportional to the overshoot (reproduces the >250-client
@@ -570,6 +577,61 @@ func (p *Proxy) RequestLatency() telemetry.HistSnapshot {
 	return p.hRequest.Snapshot()
 }
 
+// CachedEntry is one cache element snapshot (membership handoff,
+// diagnostics).
+type CachedEntry struct {
+	Arch  string
+	Class string
+	Data  []byte
+}
+
+// CacheSnapshot returns cached entries most-recently-used first —
+// recency is the proxy's hotness signal — stopping once the entries'
+// data exceeds maxBytes (0 = unbounded). keep filters entries (nil =
+// all). The cluster handoff path uses it to offer a new owner its
+// hottest inherited keys first.
+func (p *Proxy) CacheSnapshot(maxBytes int, keep func(arch, class string) bool) []CachedEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []CachedEntry
+	bytes := 0
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		arch, class := splitKey(ent.key)
+		if keep != nil && !keep(arch, class) {
+			continue
+		}
+		if maxBytes > 0 && bytes+len(ent.data) > maxBytes && len(out) > 0 {
+			break
+		}
+		out = append(out, CachedEntry{Arch: arch, Class: class, Data: ent.data})
+		bytes += len(ent.data)
+		if maxBytes > 0 && bytes >= maxBytes {
+			break
+		}
+	}
+	return out
+}
+
+// Warm inserts an already-transformed class into the cache without a
+// request: replication pushes and membership handoffs seed a node's
+// cache with results another node paid for. No-op when caching is
+// disabled.
+func (p *Proxy) Warm(arch, class string, data []byte) {
+	if !p.cfg.CacheEnabled {
+		return
+	}
+	key := arch + "\x00" + class
+	p.storeMem(key, data)
+	p.diskCachePut(key, data)
+}
+
+// UnderPressure reports whether the admission queue is at least half
+// full — the same threshold at which stale entries are served instead
+// of queued. Auxiliary work (handoff serving, replication intake) is
+// shed at this point so overload never competes with client traffic.
+func (p *Proxy) UnderPressure() bool { return p.adm.pressured() }
+
 // CacheEntries returns the cached keys, sorted (diagnostics).
 func (p *Proxy) CacheEntries() []string {
 	p.mu.Lock()
@@ -934,6 +996,9 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 		p.storeMem(key, out)
 		p.diskCachePut(key, out)
 	}
+	if p.cfg.OnTransformed != nil {
+		p.cfg.OnTransformed(l.Arch, l.Class, out)
+	}
 	f.data, f.rejected = out, rejected
 }
 
@@ -1018,6 +1083,16 @@ func (p *Proxy) storeMem(key string, data []byte) {
 		delete(p.cache, ent.key)
 		p.cacheBytes -= len(ent.data)
 	}
+}
+
+// splitKey splits an arch\x00class cache key into its parts.
+func splitKey(key string) (arch, class string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return key[:i], key[i+1:]
+		}
+	}
+	return "", key
 }
 
 // keyClass extracts the class name from an arch\x00class cache key for

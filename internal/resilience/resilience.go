@@ -152,6 +152,11 @@ type BreakerConfig struct {
 	// lasted, recorded when the breaker closes again. Outage-length
 	// histograms merge across nodes like any other telemetry histogram.
 	OpenDurations *telemetry.Histogram
+	// OnStateChange, when set, observes every state transition after it
+	// happens (called outside the breaker lock, on the goroutine whose
+	// call caused the transition). The cluster membership layer bridges
+	// peer-breaker trips into failure suspicion through this hook.
+	OnStateChange func(from, to BreakerState)
 }
 
 // BreakerCounts is a snapshot of breaker statistics for /healthz and
@@ -208,23 +213,35 @@ func (b *Breaker) Allow() error {
 		return nil
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
+		b.mu.Unlock()
 		return nil
 	case Open:
 		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.mu.Unlock()
 			return ErrOpen
 		}
 		b.state = HalfOpen
 		b.probes = 1
+		b.mu.Unlock()
+		b.notify(Open, HalfOpen)
 		return nil
 	default: // HalfOpen
 		if b.probes >= b.cfg.HalfOpenProbes {
+			b.mu.Unlock()
 			return ErrOpen
 		}
 		b.probes++
+		b.mu.Unlock()
 		return nil
+	}
+}
+
+// notify fires the OnStateChange hook (outside the lock).
+func (b *Breaker) notify(from, to BreakerState) {
+	if b.cfg.OnStateChange != nil && from != to {
+		b.cfg.OnStateChange(from, to)
 	}
 }
 
@@ -235,15 +252,20 @@ func (b *Breaker) Success() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.successes++
 	b.consecFails = 0
+	closed := false
 	if b.state == HalfOpen {
 		b.state = Closed
 		b.probes = 0
+		closed = true
 		if !b.openedAt.IsZero() {
 			b.cfg.OpenDurations.Observe(b.cfg.Now().Sub(b.openedAt))
 		}
+	}
+	b.mu.Unlock()
+	if closed {
+		b.notify(HalfOpen, Closed)
 	}
 }
 
@@ -254,16 +276,23 @@ func (b *Breaker) Failure() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.failures++
 	b.consecFails++
+	from := b.state
+	tripped := false
 	switch b.state {
 	case HalfOpen:
 		b.trip()
+		tripped = true
 	case Closed:
 		if b.consecFails >= b.cfg.Threshold {
 			b.trip()
+			tripped = true
 		}
+	}
+	b.mu.Unlock()
+	if tripped {
+		b.notify(from, Open)
 	}
 }
 

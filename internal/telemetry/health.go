@@ -36,7 +36,14 @@ type Health struct {
 	Gauges map[string]float64 `json:"gauges,omitempty"`
 	// Breakers reports each upstream circuit breaker by name.
 	Breakers map[string]BreakerHealth `json:"breakers,omitempty"`
-	// Ring is the cluster membership view (cluster nodes only).
+	// Epoch is the live membership epoch (cluster nodes only): a
+	// convergent counter that advances on every accepted membership
+	// assertion, so two nodes reporting the same epoch hold the same
+	// view. Zero for standalone daemons.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Ring is the cluster's *live* membership view (cluster nodes only):
+	// one entry per known member, including suspects, the dead, and
+	// draining members — not the boot-time seed list.
 	Ring []RingMemberHealth `json:"ring,omitempty"`
 }
 
@@ -48,9 +55,20 @@ type BreakerHealth struct {
 	Failures  int64  `json:"failures"`
 }
 
+// Membership states a RingMemberHealth.State may carry.
+const (
+	MemberAlive    = "alive"
+	MemberSuspect  = "suspect"
+	MemberDead     = "dead"
+	MemberDraining = "draining"
+)
+
 // RingMemberHealth is one cluster member in Health.Ring.
 type RingMemberHealth struct {
 	Member string `json:"member"`
+	// State is the member's live membership state: MemberAlive,
+	// MemberSuspect, MemberDead, or MemberDraining.
+	State string `json:"state"`
 	// Link is the local breaker state for the path to this member
 	// ("closed" = healthy, "open" = presumed down, "-" for self).
 	Link string `json:"link"`
@@ -98,6 +116,19 @@ func ParseHealth(data []byte) (Health, error) {
 	}
 	if h.Status != StatusOK && h.Status != StatusDegraded {
 		return Health{}, fmt.Errorf("telemetry: healthz: bad status %q", h.Status)
+	}
+	if len(h.Ring) > 0 && h.Epoch == 0 {
+		return Health{}, fmt.Errorf("telemetry: healthz: ring view without a membership epoch")
+	}
+	for _, m := range h.Ring {
+		if m.Member == "" {
+			return Health{}, fmt.Errorf("telemetry: healthz: ring member without an address")
+		}
+		switch m.State {
+		case MemberAlive, MemberSuspect, MemberDead, MemberDraining:
+		default:
+			return Health{}, fmt.Errorf("telemetry: healthz: ring member %s has bad state %q", m.Member, m.State)
+		}
 	}
 	return h, nil
 }

@@ -18,9 +18,10 @@ func TestHealthRoundTrip(t *testing.T) {
 	h.Breakers = map[string]BreakerHealth{
 		"origin": {State: "closed", Trips: 1, Successes: 9, Failures: 2},
 	}
+	h.Epoch = 7
 	h.Ring = []RingMemberHealth{
-		{Member: "http://a", Link: "-", Self: true},
-		{Member: "http://b", Link: "closed"},
+		{Member: "http://a", State: MemberAlive, Link: "-", Self: true},
+		{Member: "http://b", State: MemberSuspect, Link: "closed"},
 	}
 
 	rec := httptest.NewRecorder()
@@ -38,6 +39,9 @@ func TestHealthRoundTrip(t *testing.T) {
 	if got.Breakers["origin"].Trips != 1 || len(got.Ring) != 2 || !got.Ring[0].Self {
 		t.Fatalf("breakers/ring = %+v", got)
 	}
+	if got.Epoch != 7 || got.Ring[1].State != MemberSuspect {
+		t.Fatalf("membership fields = %+v", got)
+	}
 }
 
 func TestParseHealthRejectsBadPayloads(t *testing.T) {
@@ -50,6 +54,12 @@ func TestParseHealthRejectsBadPayloads(t *testing.T) {
 		"wrong version": mk(Health{V: 2, Service: "proxy", Status: StatusOK}),
 		"no service":    mk(Health{V: 1, Status: StatusOK}),
 		"bad status":    mk(Health{V: 1, Service: "proxy", Status: "meh"}),
+		"ring without epoch": mk(Health{V: 1, Service: "proxy", Status: StatusOK,
+			Ring: []RingMemberHealth{{Member: "http://a", State: MemberAlive}}}),
+		"ring member without address": mk(Health{V: 1, Service: "proxy", Status: StatusOK, Epoch: 3,
+			Ring: []RingMemberHealth{{State: MemberAlive}}}),
+		"ring member bad state": mk(Health{V: 1, Service: "proxy", Status: StatusOK, Epoch: 3,
+			Ring: []RingMemberHealth{{Member: "http://a", State: "zombie"}}}),
 	}
 	for name, data := range cases {
 		if _, err := ParseHealth(data); err == nil {
