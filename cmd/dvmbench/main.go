@@ -29,6 +29,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	overload := flag.Bool("overload", false, "run the open-loop overload sweep (admission control vs saturation multiples)")
 	churn := flag.Bool("churn", false, "run the cluster churn scenario (kill + join under zipf load, R=1 vs R=2)")
+	attestBench := flag.Bool("attest", false, "run the attestation quorum ablation (quorum 1 vs 2 vs 3 tax + Byzantine divergence detection)")
 	scale := flag.Int("scale", 1, "workload scale divisor (1 = paper scale)")
 	pipelineWorkers := flag.Int("pipeline-workers", 0, "static-service per-method fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	benchPipeline := flag.String("bench-pipeline", "", "run the pipeline benchmark and write its JSON report to this path (e.g. BENCH_PIPELINE.json)")
@@ -36,8 +37,8 @@ func main() {
 	benchBaseline := flag.String("bench-baseline", "", "recorded BENCH_PIPELINE.json to gate against; exits 1 on >20% regression in host-independent metrics")
 	flag.Parse()
 
-	if !*all && *figs == "" && !*applets && !*ablations && !*overload && !*churn && *benchPipeline == "" {
-		fmt.Fprintln(os.Stderr, "usage: dvmbench (-all | -fig N[,N...] | -applets | -ablations | -overload | -churn | -bench-pipeline FILE) [-scale N] [-pipeline-workers N]")
+	if !*all && *figs == "" && !*applets && !*ablations && !*overload && !*churn && !*attestBench && *benchPipeline == "" {
+		fmt.Fprintln(os.Stderr, "usage: dvmbench (-all | -fig N[,N...] | -applets | -ablations | -overload | -churn | -attest | -bench-pipeline FILE) [-scale N] [-pipeline-workers N]")
 		os.Exit(2)
 	}
 	want := map[string]bool{}
@@ -49,6 +50,7 @@ func main() {
 		*ablations = true
 		*overload = true
 		*churn = true
+		*attestBench = true
 	}
 	for _, f := range strings.Split(*figs, ",") {
 		if f != "" {
@@ -162,6 +164,17 @@ func main() {
 				cfg.Phase = 1200 * time.Millisecond / time.Duration(*scale)
 			}
 			_, text, err := eval.ClusterChurn(cfg, nil)
+			return text, err
+		})
+	}
+	if *attestBench {
+		run("Attestation: quorum ablation + Byzantine divergence detection", func() (string, error) {
+			cfg := eval.AttestBenchConfig{}
+			if *scale > 1 {
+				cfg.Rounds = 300 / *scale
+				cfg.Classes = 64 / *scale
+			}
+			_, text, err := eval.AttestBench(cfg)
 			return text, err
 		})
 	}

@@ -32,6 +32,14 @@
 // to local fetches. /healthz shows the live membership with per-member
 // state and the view epoch.
 //
+// With -attest-key the fleet cross-checks its rewrites: an owner-side
+// miss dispatches the origin bytes to -attest-quorum minus one ring
+// successors, each votes with its own pipeline's output digest, and on
+// agreement the artifact is sealed under the shared key. Every peer hop
+// (fill, replica push, handoff) re-verifies the seal before trusting
+// the bytes; a peer whose bytes or votes diverge is quarantined after
+// -quarantine-after strikes and surfaced in /healthz.
+//
 // The server drains gracefully on SIGINT/SIGTERM: with -drain (the
 // default) a cluster node first announces its departure and hands its
 // cache off to each key's new owners, then the listener closes and
@@ -99,6 +107,11 @@ func main() {
 	suspectTimeout := flag.Duration("suspect-timeout", 3*time.Second, "how long an unrefuted suspect survives before being declared dead")
 	drain := flag.Bool("drain", true, "on SIGINT/SIGTERM, announce departure and hand the cache off to the new owners before shutting down")
 	hotThreshold := flag.Int("hot-threshold", 0, "peer fills of one key before it is replicated into the local cache (0 = default 8, -1 = never)")
+	attestKey := flag.String("attest-key", "", "shared service key enabling quorum attestation: artifacts are sealed under it and re-verified on every peer hop (all members must agree; empty = attestation off)")
+	attestQuorum := flag.Int("attest-quorum", 2, "variants per attested key, owner included (1 = seal locally without cross-checking)")
+	attestPolicy := flag.String("attest-policy", "always", "which keys run at the full quorum: always, sampled (1-in-attest-sample-rate by key hash), or hot (keys past -hot-threshold)")
+	attestSampleRate := flag.Int("attest-sample-rate", 0, "1-in-N rate for -attest-policy sampled (0 = default 16)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "attestation divergences before a peer is quarantined: excluded from fills and variant votes (0 = default 3)")
 	peerTimeout := flag.Duration("peer-timeout", 3*time.Second, "deadline for one peer class fetch")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (slowloris guard)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
@@ -180,6 +193,11 @@ func main() {
 			PeerTimeout:      *peerTimeout,
 			BreakerThreshold: *breakerThreshold,
 			BreakerCooldown:  *breakerCooldown,
+			AttestKey:        []byte(*attestKey),
+			AttestQuorum:     *attestQuorum,
+			AttestPolicy:     *attestPolicy,
+			AttestSampleRate: *attestSampleRate,
+			QuarantineAfter:  *quarantineAfter,
 		})
 		if err != nil {
 			log.Fatalf("dvmproxy: %v", err)
@@ -188,6 +206,10 @@ func main() {
 		stats = node.Proxy().Stats
 		log.Printf("dvmproxy: cluster node %s with %d members (ring seed 0, vnodes %d, replication %d, gossip %s, suspect timeout %s)",
 			*self, node.Ring().Size(), *vnodes, *replication, *gossipInterval, *suspectTimeout)
+		if *attestKey != "" {
+			log.Printf("dvmproxy: quorum attestation on (quorum %d, policy %s): artifacts are sealed and re-verified on every peer hop",
+				*attestQuorum, *attestPolicy)
+		}
 	} else {
 		p := proxy.New(origin, cfg)
 		handler = p.Handler()

@@ -1,0 +1,328 @@
+package cluster
+
+// Quorum attestation: the cluster half of internal/attest. On an
+// owner-side cache miss the proxy's Attest hook lands here; for keys
+// the policy selects, the owner POSTs the *origin* bytes to ring
+// successors over /peer/attest, each variant runs its own pipeline and
+// answers with only the SHA-256 digest of what it would have served,
+// and the owner compares votes. Agreement seals the artifact under the
+// service key; every later hop that moves the bytes (peer fill,
+// replica push, handoff) re-verifies that seal instead of trusting the
+// wire.
+//
+// Divergence is corruption evidence, not a transport failure. The
+// minority voter is flagged in the authority's suspicion ledger; after
+// K divergences the peer is quarantined — excluded from variant
+// selection and skipped by the fill chain — and surfaced in /healthz.
+// A divergent first round is re-run at a higher quorum (one extra
+// variant at a time) until a strict majority emerges. If the majority
+// contradicts the *local* output, the flight fails: a node never
+// serves bytes its own fleet outvoted. If no majority exists, nothing
+// can be trusted and the flight fails too.
+//
+// Variant dispatch reuses the peer machinery end to end: per-peer
+// circuit breakers, admission backpressure (a pressured or draining
+// variant sheds with 429 and the owner moves to the next candidate),
+// epoch piggybacking, and trace spans across the hop.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dvm/internal/attest"
+	"dvm/internal/proxy"
+	"dvm/internal/telemetry"
+)
+
+// attestPathPrefix is the variant route: POST /peer/attest/<name>.class
+// with X-DVM-Arch and the raw origin bytes as the body; the response is
+// JSON {"digest": "<hex sha-256>"} of the variant's pipeline output.
+const attestPathPrefix = "/peer/attest/"
+
+// attestVote is the variant response wire form.
+type attestVote struct {
+	Digest string `json:"digest"`
+}
+
+// maxAttestExtraRounds bounds tie-break escalation: after the initial
+// quorum, at most this many extra variants are consulted one at a time
+// before the round is declared unresolvable.
+const maxAttestExtraRounds = 2
+
+// attestFlight is the proxy's Attest hook: run the quorum protocol for
+// one freshly transformed artifact and return the sealed attestation.
+// Runs on the flight goroutine under the admission slot, so the
+// variants' round-trips are part of the key's one-time service cost.
+func (n *Node) attestFlight(ctx context.Context, arch, class string, raw, out []byte) (*attest.Attestation, error) {
+	local := attest.Digest(out)
+	want := n.authority.QuorumFor(arch, class)
+	if want <= 1 {
+		return n.authority.Attest(arch, class, out, 1, []string{n.cfg.Self}), nil
+	}
+	candidates := n.variantCandidates(arch, class)
+	votes, rest := n.collectVotes(ctx, arch, class, raw, candidates, want-1)
+	if len(votes) == 0 {
+		// Every candidate was down, shedding, or already quarantined.
+		// Availability wins: seal at quorum 1 (counted, so a fleet that
+		// silently stopped cross-checking is visible in telemetry).
+		n.cAttestDegraded.Inc()
+		return n.authority.Attest(arch, class, out, 1, []string{n.cfg.Self}), nil
+	}
+	majority, minority := attest.Tally(n.cfg.Self, local, votes)
+	// Tie-break: a split vote re-runs at a higher quorum, one extra
+	// variant per round, until a strict majority emerges or the
+	// candidate pool (or the round budget) is exhausted.
+	for extra := 0; majority == "" && extra < maxAttestExtraRounds && len(rest) > 0; extra++ {
+		var more []attest.Vote
+		more, rest = n.collectVotes(ctx, arch, class, raw, rest, 1)
+		if len(more) == 0 {
+			break
+		}
+		votes = append(votes, more...)
+		majority, minority = attest.Tally(n.cfg.Self, local, votes)
+	}
+	if majority == "" {
+		for _, v := range votes {
+			if v.Digest != local {
+				n.noteDivergence(v.Voter)
+			}
+		}
+		return nil, fmt.Errorf("%w: local %.12s vs %d variant votes", attest.ErrNoQuorum, local, len(votes))
+	}
+	for _, m := range minority {
+		n.noteDivergence(m)
+	}
+	if majority != local {
+		// This node is the minority: its own pipeline (or memory, or
+		// compiler) produced bytes the fleet outvoted. The flight fails —
+		// corrupt output must never be cached or served — and the local
+		// divergence is in the ledger for the operator to see.
+		return nil, fmt.Errorf("%w: local %.12s, fleet agreed on %.12s", attest.ErrLocalDivergence, local, majority)
+	}
+	voters := []string{n.cfg.Self}
+	for _, v := range votes {
+		if v.Digest == majority {
+			voters = append(voters, v.Voter)
+		}
+	}
+	return n.authority.Attest(arch, class, out, len(voters), voters), nil
+}
+
+// variantCandidates lists the peers eligible to vote on a key: the
+// ring's successor chain for the key (deterministic, so repeated rounds
+// for one key ask the same nodes first), minus self, minus quarantined
+// and non-alive members.
+func (n *Node) variantCandidates(arch, class string) []string {
+	ring := n.currentRing()
+	owners := ring.Owners(KeyFor(arch, class), ring.Size())
+	out := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o == n.cfg.Self || n.authority.Quarantined(o) {
+			continue
+		}
+		if n.mship.State(o) != stateAlive {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// collectVotes gathers up to need variant votes from candidates,
+// dispatching concurrently and refilling from the remaining pool as
+// variants fail or shed. Returns the votes and the unused candidates
+// (the tie-break pool).
+func (n *Node) collectVotes(ctx context.Context, arch, class string, raw []byte, candidates []string, need int) ([]attest.Vote, []string) {
+	votes := make([]attest.Vote, 0, need)
+	i := 0
+	for len(votes) < need && i < len(candidates) {
+		batch := candidates[i:]
+		if want := need - len(votes); len(batch) > want {
+			batch = batch[:want]
+		}
+		i += len(batch)
+		type result struct {
+			vote attest.Vote
+			ok   bool
+		}
+		ch := make(chan result, len(batch))
+		for _, peer := range batch {
+			go func(peer string) {
+				d, err := n.variantDigest(ctx, peer, arch, class, raw)
+				ch <- result{attest.Vote{Voter: peer, Digest: d}, err == nil}
+			}(peer)
+		}
+		for range batch {
+			if r := <-ch; r.ok {
+				votes = append(votes, r.vote)
+			}
+		}
+	}
+	return votes, candidates[i:]
+}
+
+// variantDigest asks one peer to transform raw and vote. The hop runs
+// under the peer's circuit breaker: a 429 (backpressure or drain) is a
+// healthy shed, a transport failure feeds the breaker like any other
+// peer-protocol failure.
+func (n *Node) variantDigest(ctx context.Context, peer, arch, class string, raw []byte) (string, error) {
+	b := n.breaker(peer)
+	if err := b.Allow(); err != nil {
+		return "", err
+	}
+	tr := telemetry.FromContext(ctx)
+	hopStart := tr.Elapsed()
+	span := tr.StartSpan(n.cfg.Self, "attest.variant")
+	defer span.End()
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+attestPathPrefix+class+".class", bytes.NewReader(raw))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("X-DVM-Arch", arch)
+	req.Header.Set("X-DVM-Client", "peer:"+n.cfg.Self)
+	req.Header.Set("Content-Type", "application/java-vm")
+	req.Header.Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	if id := tr.ID(); id != "" {
+		req.Header.Set(telemetry.TraceHeader, id)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		b.Failure()
+		return "", err
+	}
+	defer resp.Body.Close()
+	n.noteEpoch(resp.Header.Get(epochHeader))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Deliberate shed: the variant is healthy but loaded or leaving.
+		if resp.Header.Get(drainingHeader) == "1" {
+			n.mship.NoteDraining(peer)
+		}
+		b.Success()
+		n.cPeerBackpressure.Inc()
+		return "", fmt.Errorf("cluster: variant %s shed: %w", peer, proxy.ErrOverloaded)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		b.Failure()
+		return "", fmt.Errorf("cluster: variant %s: %s: %s", peer, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var v attestVote
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&v); err != nil || len(v.Digest) != 64 {
+		b.Failure()
+		return "", fmt.Errorf("cluster: variant %s: bad vote: %v", peer, err)
+	}
+	b.Success()
+	n.mship.Refute(peer) // direct evidence of life
+	if spans, derr := telemetry.DecodeSpans(resp.Header.Get(telemetry.TraceSpansHeader)); derr == nil {
+		tr.AppendShifted(spans, hopStart)
+	}
+	return v.Digest, nil
+}
+
+// handleAttest answers a variant request: run the posted origin bytes
+// through this node's own pipeline and return the output digest. Only
+// the digest crosses the wire back — the owner already has bytes; what
+// it wants is an independent opinion. Admission pressure and draining
+// shed the request (429): cross-checking must never out-compete serving
+// clients.
+func (n *Node) handleAttest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	if n.mship.Draining() {
+		w.Header().Set(drainingHeader, "1")
+		http.Error(w, "draining", http.StatusTooManyRequests)
+		return
+	}
+	if n.local.UnderPressure() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded, attest shed", http.StatusTooManyRequests)
+		return
+	}
+	n.noteEpoch(r.Header.Get(epochHeader))
+	name := strings.TrimPrefix(r.URL.Path, attestPathPrefix)
+	name = strings.TrimSuffix(name, ".class")
+	arch := r.Header.Get("X-DVM-Arch")
+	if name == "" || strings.Contains(name, "..") || arch == "" {
+		http.Error(w, "bad attest request", http.StatusBadRequest)
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxPeerClassBytes+1))
+	if err != nil || len(raw) == 0 || len(raw) > maxPeerClassBytes {
+		http.Error(w, "bad attest payload", http.StatusBadRequest)
+		return
+	}
+	tr := telemetry.JoinTrace(r.Header.Get(telemetry.TraceHeader))
+	ctx := telemetry.WithTrace(r.Context(), tr)
+	span := tr.StartSpan(n.cfg.Self, "attest.transform")
+	digest, terr := n.local.TransformDigest(ctx, arch, name, raw)
+	span.End()
+	w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
+	if terr != nil {
+		http.Error(w, terr.Error(), http.StatusInternalServerError)
+		return
+	}
+	n.cAttestVariants.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(attestVote{Digest: digest})
+}
+
+// noteDivergence records one minority vote (or one corrupt payload
+// served) by peer: the divergence counter, the suspicion ledger, and —
+// on crossing the threshold — the quarantine log line. Self-divergence
+// lands in the ledger too; the operator sees a sick node flag itself.
+func (n *Node) noteDivergence(peer string) {
+	n.cAttestDivergence.Inc()
+	already := n.authority.Quarantined(peer)
+	if n.authority.Divergence(peer) && !already {
+		n.cAttestQuarantines.Inc()
+	}
+}
+
+// verifyPayload re-verifies an attestation header against received
+// bytes on behalf of a hop handler. With no authority configured it is
+// a no-op (nil attestation allowed).
+func (n *Node) verifyPayload(header, arch, class string, data []byte) (*attest.Attestation, error) {
+	if n.authority == nil {
+		return nil, nil
+	}
+	att, err := attest.Decode(header)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.authority.Verify(att, arch, class, data); err != nil {
+		return nil, err
+	}
+	return att, nil
+}
+
+// attestRejection classifies a peer-fill error as an attestation
+// rejection (unattested or failed verification) — the link is healthy,
+// the payload is not.
+func attestRejection(err error) bool {
+	return errors.Is(err, attest.ErrVerify) || errors.Is(err, attest.ErrUnattested)
+}
+
+// Suspicions exposes the authority's ledger (nil authority = none).
+func (n *Node) Suspicions() []attest.Suspicion {
+	if n.authority == nil {
+		return nil
+	}
+	return n.authority.Suspicions()
+}
+
+// Quarantined reports whether peer has crossed the divergence
+// threshold on this node's ledger.
+func (n *Node) Quarantined(peer string) bool {
+	return n.authority != nil && n.authority.Quarantined(peer)
+}

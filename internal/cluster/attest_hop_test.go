@@ -1,0 +1,133 @@
+package cluster
+
+// White-box regression tests for the per-hop attestation checks: the
+// peer-fill client (fetchPeer) and the handoff pull (pullFrom) must
+// each discard payloads whose attestation is missing or fails
+// re-verification, and only corruption evidence — a digest/seal
+// mismatch, not a mere missing header — may feed the suspicion ledger.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"dvm/internal/attest"
+	"dvm/internal/proxy"
+)
+
+// newAttestedTestNode builds a manual-mode node with attestation on.
+// Self is a placeholder URL; the tests talk to stub peers directly.
+func newAttestedTestNode(t *testing.T, key []byte) *Node {
+	t.Helper()
+	n, err := NewNode(proxy.MapOrigin{}, proxy.Config{CacheEnabled: true}, Config{
+		Self:           "http://127.0.0.1:1",
+		GossipInterval: -1,
+		AttestKey:      key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestFetchPeerRejectsBadAttestation(t *testing.T) {
+	key := []byte("hop-test-service-key")
+	data := []byte("transformed-artifact-bytes")
+	service := attest.New(attest.Config{Key: key})
+
+	var header atomic.Value // the attestation header the stub owner serves
+	header.Store("")
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := header.Load().(string); h != "" {
+			w.Header().Set(attest.Header, h)
+		}
+		_, _ = w.Write(data)
+	}))
+	defer owner.Close()
+
+	n := newAttestedTestNode(t, key)
+	ctx := context.Background()
+
+	// Missing attestation: rejected, but not ledgered — it proves a
+	// config mismatch, not corruption.
+	res := n.fetchPeer(ctx, owner.URL, "dvm", "app/Hop")
+	if res.Outcome != proxy.PeerFailed || !errors.Is(res.Err, attest.ErrUnattested) {
+		t.Fatalf("unattested fill = %+v, want PeerFailed/ErrUnattested", res)
+	}
+	if got := n.authority.Divergences(owner.URL); got != 0 {
+		t.Errorf("missing attestation ledgered: %d divergences", got)
+	}
+
+	// Correctly sealed attestation over different bytes: a digest
+	// mismatch is corruption evidence against the owner.
+	header.Store(service.Attest("dvm", "app/Hop", []byte("tampered"), 1, nil).Encode())
+	res = n.fetchPeer(ctx, owner.URL, "dvm", "app/Hop")
+	if res.Outcome != proxy.PeerFailed || !errors.Is(res.Err, attest.ErrVerify) {
+		t.Fatalf("tampered fill = %+v, want PeerFailed/ErrVerify", res)
+	}
+	if got := n.authority.Divergences(owner.URL); got != 1 {
+		t.Errorf("corrupt payload not ledgered: %d divergences, want 1", got)
+	}
+
+	// Seal under a different key: unforgeable without the service key.
+	forged := attest.New(attest.Config{Key: []byte("attacker-key")})
+	header.Store(forged.Attest("dvm", "app/Hop", data, 1, nil).Encode())
+	res = n.fetchPeer(ctx, owner.URL, "dvm", "app/Hop")
+	if res.Outcome != proxy.PeerFailed || !errors.Is(res.Err, attest.ErrVerify) {
+		t.Fatalf("forged-seal fill = %+v, want PeerFailed/ErrVerify", res)
+	}
+
+	if got := n.cAttestRejects.Load(); got != 3 {
+		t.Errorf("attest_rejects_total = %d, want 3", got)
+	}
+
+	// The honest case still works, and the verified attestation rides
+	// along with the bytes.
+	header.Store(service.Attest("dvm", "app/Hop", data, 1, nil).Encode())
+	res = n.fetchPeer(ctx, owner.URL, "dvm", "app/Hop")
+	if res.Outcome != proxy.PeerServed || !bytes.Equal(res.Data, data) || res.Att == nil {
+		t.Fatalf("valid fill = %+v, want PeerServed with attestation", res)
+	}
+}
+
+func TestPullHandoffRejectsTamperedEntries(t *testing.T) {
+	key := []byte("hop-test-service-key")
+	service := attest.New(attest.Config{Key: key})
+	good := []byte("good-artifact")
+	entries := []proxy.CachedEntry{
+		{Arch: "dvm", Class: "app/Good", Data: good,
+			Att: service.Attest("dvm", "app/Good", good, 1, nil)},
+		{Arch: "dvm", Class: "app/Tampered", Data: []byte("evil-artifact"),
+			Att: service.Attest("dvm", "app/Tampered", []byte("original"), 1, nil)},
+		{Arch: "dvm", Class: "app/Naked", Data: []byte("unattested-artifact")},
+	}
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(handoffResponse{Entries: entries})
+	}))
+	defer peer.Close()
+
+	n := newAttestedTestNode(t, key)
+	if got := n.pullFrom(context.Background(), peer.URL); got != len(entries) {
+		t.Fatalf("pullFrom returned %d entries, want %d", got, len(entries))
+	}
+	snap := n.local.CacheSnapshot(1<<20, nil)
+	if len(snap) != 1 || snap[0].Class != "app/Good" || !bytes.Equal(snap[0].Data, good) {
+		t.Fatalf("cache after handoff = %+v, want only app/Good", snap)
+	}
+	if snap[0].Att == nil {
+		t.Error("handed-off entry lost its attestation")
+	}
+	if got := n.cHandoffKeys.Load(); got != 1 {
+		t.Errorf("handoff_keys_total = %d, want 1", got)
+	}
+	if got := n.cAttestRejects.Load(); got != 2 {
+		t.Errorf("attest_rejects_total = %d, want 2 (tampered + unattested)", got)
+	}
+}

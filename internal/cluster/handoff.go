@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"dvm/internal/attest"
 	"dvm/internal/proxy"
 	"dvm/internal/telemetry"
 )
@@ -59,14 +60,16 @@ const replQueueLen = 256
 type replItem struct {
 	arch, class string
 	data        []byte
+	att         *attest.Attestation
 }
 
 // onTransformed is the proxy's OnTransformed hook: enqueue the freshly
-// transformed class for replication to its other owners. Runs on the
-// flight goroutine — must never block.
-func (n *Node) onTransformed(arch, class string, data []byte) {
+// transformed class for replication to its other owners, attestation
+// included so the receiver can re-verify. Runs on the flight goroutine
+// — must never block.
+func (n *Node) onTransformed(arch, class string, data []byte, att *attest.Attestation) {
 	select {
-	case n.replCh <- replItem{arch: arch, class: class, data: data}:
+	case n.replCh <- replItem{arch: arch, class: class, data: data, att: att}:
 	default:
 		n.cReplicaDrops.Inc()
 	}
@@ -96,14 +99,14 @@ func (n *Node) pushReplicas(it replItem) {
 		if n.mship.State(o) != stateAlive {
 			continue
 		}
-		if n.pushReplica(context.Background(), o, it.arch, it.class, it.data) {
+		if n.pushReplica(context.Background(), o, it.arch, it.class, it.data, it.att) {
 			n.cReplicaPush.Inc()
 		}
 	}
 }
 
 // pushReplica performs one replica POST. Reports success.
-func (n *Node) pushReplica(ctx context.Context, peer, arch, class string, data []byte) bool {
+func (n *Node) pushReplica(ctx context.Context, peer, arch, class string, data []byte, att *attest.Attestation) bool {
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+replicaPathPrefix+class+".class", bytes.NewReader(data))
@@ -113,6 +116,9 @@ func (n *Node) pushReplica(ctx context.Context, peer, arch, class string, data [
 	req.Header.Set("X-DVM-Arch", arch)
 	req.Header.Set("Content-Type", "application/java-vm")
 	req.Header.Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	if att != nil {
+		req.Header.Set(attest.Header, att.Encode())
+	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return false
@@ -151,7 +157,17 @@ func (n *Node) handleReplica(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.noteEpoch(r.Header.Get(epochHeader))
-	n.local.Warm(arch, name, data)
+	// Re-verify before warming: a replica push is bytes on the wire like
+	// any other hop, and the cache must only ever hold artifacts whose
+	// seal checks out. The pusher's identity is self-reported, so a bad
+	// payload is rejected and counted but not ledgered.
+	att, aerr := n.verifyPayload(r.Header.Get(attest.Header), arch, name, data)
+	if aerr != nil {
+		n.cAttestRejects.Inc()
+		http.Error(w, "replica failed attestation: "+aerr.Error(), http.StatusBadRequest)
+		return
+	}
+	n.local.Warm(arch, name, data, att)
 	n.cReplicaStored.Inc()
 	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
 	w.WriteHeader(http.StatusNoContent)
@@ -247,7 +263,16 @@ func (n *Node) pullFrom(ctx context.Context, peer string) int {
 		if e.Arch == "" || e.Class == "" || len(e.Data) == 0 || len(e.Data) > maxPeerClassBytes {
 			continue
 		}
-		n.local.Warm(e.Arch, e.Class, e.Data)
+		// Handed-off entries re-verify like any other hop; an entry whose
+		// attestation fails (or is missing, with attestation on) is
+		// dropped — inheriting a key is not worth inheriting corruption.
+		if n.authority != nil {
+			if err := n.authority.Verify(e.Att, e.Arch, e.Class, e.Data); err != nil {
+				n.cAttestRejects.Inc()
+				continue
+			}
+		}
+		n.local.Warm(e.Arch, e.Class, e.Data, e.Att)
 		n.cHandoffKeys.Inc()
 	}
 	return len(hr.Entries)
@@ -270,7 +295,7 @@ func (n *Node) pushHandoff(ctx context.Context) error {
 		if n.mship.State(owner) != stateAlive {
 			continue
 		}
-		if n.pushReplica(ctx, owner, e.Arch, e.Class, e.Data) {
+		if n.pushReplica(ctx, owner, e.Arch, e.Class, e.Data, e.Att) {
 			n.cHandoffKeys.Inc()
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"dvm/internal/attest"
 	"dvm/internal/proxy"
 	"dvm/internal/resilience"
 	"dvm/internal/telemetry"
@@ -78,6 +79,27 @@ type Config struct {
 	// Transport overrides the peer HTTP transport (fault injection via
 	// netsim.LinkFaults / netsim.FaultyTransport).
 	Transport http.RoundTripper
+
+	// AttestKey, when set, enables quorum attestation: every locally
+	// transformed artifact is sealed under this shared service key, and
+	// every hop that moves artifact bytes (peer fill, replica push,
+	// handoff) rejects payloads that fail re-verification. All members
+	// must share the key.
+	AttestKey []byte
+	// AttestQuorum is the variant count per attested key, owner included
+	// (0 or 1 = local-only sealing: today's single-rewrite trust model,
+	// no variant traffic).
+	AttestQuorum int
+	// AttestPolicy selects which keys run at AttestQuorum: "always"
+	// (default), "sampled" (1-in-AttestSampleRate by key hash), or "hot"
+	// (keys past HotThreshold; others seal at quorum 1).
+	AttestPolicy string
+	// AttestSampleRate is the 1-in-N rate for the "sampled" policy
+	// (0 = default 16).
+	AttestSampleRate int
+	// QuarantineAfter is how many divergences put a peer in quarantine
+	// (0 = attest.DefaultQuarantineAfter).
+	QuarantineAfter int
 }
 
 // defaultHotThreshold is the peer-fill count after which a key is
@@ -102,6 +124,9 @@ type Node struct {
 
 	hotMu sync.Mutex
 	hot   map[string]int
+
+	// authority is the attestation engine (nil = attestation off).
+	authority *attest.Authority
 
 	gossip    gossipState
 	closed    chan struct{}
@@ -128,8 +153,14 @@ type Node struct {
 	cReplicaStored    *telemetry.Counter // replicas accepted into the local cache
 	cReplicaDrops     *telemetry.Counter // replication pushes dropped (queue full)
 	cHandoffKeys      *telemetry.Counter // keys transferred by handoff (either direction)
-	hPeerFetch        *telemetry.Histogram // peer-protocol hop latency
-	hHandoff          *telemetry.Histogram // handoff pull duration
+	// Attestation counters (zero when attestation is off).
+	cAttestDivergence  *telemetry.Counter // minority votes + corrupt payloads, per voter per round
+	cAttestVariants    *telemetry.Counter // variant votes this node served
+	cAttestRejects     *telemetry.Counter // inbound payloads rejected for missing/failed attestation
+	cAttestDegraded    *telemetry.Counter // quorum rounds sealed at 1 because no variant was reachable
+	cAttestQuarantines *telemetry.Counter // peers newly quarantined by this node's ledger
+	hPeerFetch         *telemetry.Histogram // peer-protocol hop latency
+	hHandoff           *telemetry.Histogram // handoff pull duration
 }
 
 // NewNode builds the node's proxy over origin with pcfg and wires its
@@ -198,6 +229,23 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 	if cfg.Replication > 1 {
 		pcfg.OnTransformed = n.onTransformed
 	}
+	if len(cfg.AttestKey) > 0 {
+		mode, err := attest.ParseMode(cfg.AttestPolicy)
+		if err != nil {
+			return nil, err
+		}
+		n.authority = attest.New(attest.Config{
+			Key: cfg.AttestKey,
+			Policy: attest.Policy{
+				Quorum:     cfg.AttestQuorum,
+				Mode:       mode,
+				SampleRate: cfg.AttestSampleRate,
+				Hot:        n.isHotKey,
+			},
+			QuarantineAfter: cfg.QuarantineAfter,
+		})
+		pcfg.Attest = n.attestFlight
+	}
 	if pcfg.Node == "" {
 		pcfg.Node = cfg.Self // trace spans name the node by its peer URL
 	}
@@ -216,6 +264,22 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 	n.cReplicaStored = reg.Counter("replica_stored_total")
 	n.cReplicaDrops = reg.Counter("replica_dropped_total")
 	n.cHandoffKeys = reg.Counter("handoff_keys_total")
+	n.cAttestDivergence = reg.Counter("attest_divergence_total")
+	n.cAttestVariants = reg.Counter("attest_variants_total")
+	n.cAttestRejects = reg.Counter("attest_rejects_total")
+	n.cAttestDegraded = reg.Counter("attest_degraded_total")
+	n.cAttestQuarantines = reg.Counter("attest_quarantines_total")
+	if n.authority != nil {
+		reg.Gauge("attest_quarantined_peers", func() float64 {
+			q := 0
+			for _, s := range n.authority.Suspicions() {
+				if s.Quarantined {
+					q++
+				}
+			}
+			return float64(q)
+		})
+	}
 	n.hPeerFetch = reg.Histogram("peer_fetch_seconds", nil)
 	n.hHandoff = reg.Histogram("handoff_seconds", nil)
 	reg.Gauge("ring_members", func() float64 { return float64(n.currentRing().Size()) })
@@ -362,6 +426,18 @@ func (n *Node) noteFill(key string) bool {
 	return n.hot[key] >= n.cfg.HotThreshold
 }
 
+// isHotKey reports whether this node's fill counter has seen the key
+// cross the hot threshold — the "hot" attestation policy's selector, so
+// the quorum tax lands only on the keys whose artifacts fan out.
+func (n *Node) isHotKey(arch, class string) bool {
+	if n.cfg.HotThreshold < 0 {
+		return false
+	}
+	n.hotMu.Lock()
+	defer n.hotMu.Unlock()
+	return n.hot[KeyFor(arch, class)] >= n.cfg.HotThreshold
+}
+
 // fill is the proxy's PeerFill hook: route the miss through the key's
 // owner chain. The primary is tried first; if it is down, draining, or
 // shedding, the warm replicas are tried in ring order — a replica holds
@@ -388,6 +464,15 @@ func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 			// locally (we were due a copy of this key anyway).
 			return proxy.PeerResult{Outcome: proxy.PeerSelf}
 		}
+		if n.authority != nil && n.authority.Quarantined(owner) {
+			// The ledger says this peer has served divergent bytes: never
+			// fill from it, even if its link is healthy. The chain moves
+			// on to the next owner (or the local origin).
+			n.cAttestRejects.Inc()
+			last = proxy.PeerResult{Outcome: proxy.PeerFailed, Peer: owner,
+				Err: fmt.Errorf("cluster: peer %s quarantined: %w", owner, attest.ErrVerify)}
+			continue
+		}
 		b := n.breaker(owner)
 		if err := b.Allow(); err != nil {
 			// The link is presumed down: skip the network hop and move on
@@ -408,6 +493,16 @@ func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 			}
 			return res
 		case proxy.PeerFailed:
+			if attestRejection(res.Err) {
+				// The payload failed re-verification: the link is healthy
+				// (no breaker penalty) but the bytes cannot be used.
+				// fetchPeer already fed the ledger for corrupt payloads;
+				// try the next owner in the chain.
+				b.Success()
+				n.cPeerErrors.Inc()
+				last = res
+				continue
+			}
 			if errors.Is(res.Err, proxy.ErrOverloaded) {
 				// Deliberate backpressure (overload shed or draining): the
 				// peer is healthy — no breaker penalty, counted apart from
@@ -498,9 +593,30 @@ func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.P
 	if spans, derr := telemetry.DecodeSpans(resp.Header.Get(telemetry.TraceSpansHeader)); derr == nil {
 		tr.AppendShifted(spans, hopStart)
 	}
+	// Re-verify the attestation before trusting the bytes: the digest
+	// must match what we received and the seal must verify under the
+	// service key. A mismatch is corruption evidence against the owner
+	// (ledger + divergence counter); a missing attestation is rejected
+	// too, but without the ledger penalty — it proves nothing beyond a
+	// config mismatch. Either way the bytes are discarded and the fill
+	// chain falls through to the next owner or the local origin.
+	var att *attest.Attestation
+	if n.authority != nil {
+		var aerr error
+		att, aerr = n.verifyPayload(resp.Header.Get(attest.Header), arch, class, data)
+		if aerr != nil {
+			n.cAttestRejects.Inc()
+			if errors.Is(aerr, attest.ErrVerify) {
+				n.noteDivergence(owner)
+			}
+			return proxy.PeerResult{Outcome: proxy.PeerFailed,
+				Err: fmt.Errorf("cluster: peer %s: %s: %w", owner, class, aerr)}
+		}
+	}
 	return proxy.PeerResult{
 		Outcome:  proxy.PeerServed,
 		Data:     data,
+		Att:      att,
 		Rejected: resp.Header.Get("X-DVM-Rejected") == "1",
 		Stale:    resp.Header.Get("X-DVM-Stale") == "1",
 	}
@@ -514,6 +630,7 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle(classPathPrefix(), n.local.Handler())
 	mux.HandleFunc(peerPathPrefix, n.handlePeer)
+	mux.HandleFunc(attestPathPrefix, n.handleAttest)
 	mux.HandleFunc(replicaPathPrefix, n.handleReplica)
 	mux.HandleFunc(handoffPath, n.handleHandoff)
 	mux.HandleFunc(gossipPath, n.handleGossip)
@@ -572,6 +689,9 @@ func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.cPeerServed.Inc()
+	if res.Info.Attestation != nil {
+		w.Header().Set(attest.Header, res.Info.Attestation.Encode())
+	}
 	if res.Info.Rejected {
 		w.Header().Set("X-DVM-Rejected", "1")
 	}
@@ -594,8 +714,9 @@ func (n *Node) Health() telemetry.Health {
 	for _, v := range n.PeerViews() {
 		h.Ring = append(h.Ring, telemetry.RingMemberHealth{
 			Member: v.Member, State: v.State, Link: v.Link, Self: v.Self,
+			Quarantined: v.Quarantined, Divergences: v.Divergences,
 		})
-		if v.Link == resilience.Open.String() || v.State != telemetry.MemberAlive {
+		if v.Link == resilience.Open.String() || v.State != telemetry.MemberAlive || v.Quarantined {
 			h.Status = telemetry.StatusDegraded
 		}
 	}
@@ -613,6 +734,12 @@ type PeerView struct {
 	// Link is the local breaker state for the path to this member
 	// ("closed" = healthy, "open" = presumed down, "-" for self).
 	Link string
+	// Divergences is the member's attestation suspicion count on this
+	// node's ledger; Quarantined marks it past the threshold (excluded
+	// from peer fill and variant selection). Always zero/false when
+	// attestation is off.
+	Divergences int
+	Quarantined bool
 }
 
 // PeerViews snapshots the live membership with per-link health, sorted
@@ -631,6 +758,10 @@ func (n *Node) PeerViews() []PeerView {
 			} else {
 				v.Link = b.State().String()
 			}
+		}
+		if n.authority != nil {
+			v.Divergences = n.authority.Divergences(m.Addr)
+			v.Quarantined = n.authority.Quarantined(m.Addr)
 		}
 		out = append(out, v)
 	}

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+)
+
+// Scaled-down smoke of the quorum ablation: the clean fleet must serve
+// the whole run failure-free at every quorum with one origin fetch per
+// touched key, and the Byzantine leg must never let a corrupted
+// artifact through. (Deterministic quarantine timing is asserted in
+// the cluster package's chaos test; here detection is reported, not
+// required, because ring placement varies with the harness ports.)
+func TestAttestBenchSmoke(t *testing.T) {
+	cfg := AttestBenchConfig{Clients: 4, Rounds: 40, Classes: 24, Quorums: []int{1, 2}}
+	rows, text, err := AttestBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + text)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.CorruptServed != 0 {
+			t.Errorf("quorum %d: %d corrupt artifacts served, want 0", r.Quorum, r.CorruptServed)
+		}
+		if r.AttestedKeys == 0 {
+			t.Errorf("quorum %d: no keys attested", r.Quorum)
+		}
+		if r.OriginFetches > int64(cfg.Classes) {
+			t.Errorf("quorum %d: %d origin fetches for %d classes — cross-checking duplicated origin work", r.Quorum, r.OriginFetches, cfg.Classes)
+		}
+		if r.Degraded != 0 {
+			t.Errorf("quorum %d: %d degraded seals on a healthy fleet", r.Quorum, r.Degraded)
+		}
+	}
+	if rows[0].Variants != 0 {
+		t.Errorf("quorum 1 sent %d variant votes, want 0 (local-only sealing)", rows[0].Variants)
+	}
+	if rows[1].Variants == 0 {
+		t.Error("quorum 2 sent no variant votes")
+	}
+}

@@ -1,0 +1,52 @@
+package eval
+
+// Property test for the invariant quorum attestation stands on: the
+// static-service pipeline is byte-deterministic, so the output digest
+// for a given (policy, origin bytes) pair is identical at every worker
+// count and across independently constructed pipelines — two nodes that
+// never shared state. If this ever breaks, digest votes would flag
+// honest nodes as divergent; it must fail loudly here first.
+
+import (
+	"fmt"
+	"testing"
+
+	"dvm/internal/attest"
+	"dvm/internal/rewrite"
+)
+
+func TestServicePipelineDigestInvariant(t *testing.T) {
+	const classes = 16
+	origin, err := Corpus(classes, 4096, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference digests: "node A", sequential. Fresh policy parse per
+	// pipeline, so nothing is shared between the instances under test.
+	refPipe := ServicePipeline(StandardPolicy(), true)
+	refPipe.SetWorkers(1)
+	ref := make(map[string]string, classes)
+	for name, raw := range origin {
+		out, err := refPipe.Process(raw, rewrite.NewContext())
+		if err != nil {
+			t.Fatalf("reference %s: %v", name, err)
+		}
+		ref[name] = attest.Digest(out)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// "Node B": an independent pipeline at this worker count.
+			p := ServicePipeline(StandardPolicy(), true)
+			p.SetWorkers(workers)
+			for name, raw := range origin {
+				out, err := p.Process(raw, rewrite.NewContext())
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if d := attest.Digest(out); d != ref[name] {
+					t.Errorf("%s: digest %.12s != reference %.12s — pipeline output depends on worker count or instance state", name, d, ref[name])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package netsim
+
+import (
+	"sync/atomic"
+
+	"dvm/internal/classfile"
+	"dvm/internal/rewrite"
+)
+
+// Byzantine models a compromised static-service node: a rewrite stage
+// that deterministically corrupts every class it emits. The corruption
+// is a well-formed class-level attribute, so the output still parses
+// and loads — exactly the kind of silent tampering a digest vote is
+// for, as opposed to the loud parse failures the fault injectors in
+// faults.go produce. Appended after a node's honest filters it makes
+// that node's pipeline output (and therefore its attestation votes and
+// served bytes) diverge from the rest of the fleet on every key, while
+// the node itself keeps behaving like a healthy protocol participant.
+type Byzantine struct {
+	// Corruptions counts classes the filter tampered with; chaos tests
+	// assert it is non-zero, proving the adversary actually ran.
+	Corruptions atomic.Int64
+}
+
+// byzantineAttr is the class-level attribute the filter plants. The
+// payload is fixed so the corruption is deterministic: two Byzantine
+// nodes with this filter would even agree with each other, which is
+// precisely why quorums must be sized against the assumed number of
+// compromised members.
+const byzantineAttr = "DVM-Byzantine"
+
+// Filter returns the corrupting rewrite stage.
+func (b *Byzantine) Filter() rewrite.Filter {
+	return rewrite.FilterFunc{
+		FilterName: "netsim.byzantine",
+		Fn: func(cf *classfile.ClassFile, _ *rewrite.Context) error {
+			b.Corruptions.Add(1)
+			cf.AddAttribute(byzantineAttr, []byte{0xde, 0xad, 0xbe, 0xef})
+			return nil
+		},
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"os"
 	"path/filepath"
+
+	"dvm/internal/attest"
 )
 
 // The on-disk cache backs the in-memory cache with files, giving the
@@ -27,15 +29,21 @@ func (p *Proxy) diskCachePath(key string) string {
 // diskCacheGet loads a cached transformation from disk, if present.
 // fresh reports whether the file's age is within CacheTTL (always true
 // when no TTL is configured); stale disk entries remain usable as the
-// stale-if-error fallback.
-func (p *Proxy) diskCacheGet(key string) (data []byte, fresh, ok bool) {
+// stale-if-error fallback. The attestation sidecar, if present, is
+// loaded alongside so a restarted proxy keeps serving verifiable
+// artifacts (a sidecar that fails to decode just yields a nil
+// attestation — peers re-verify and fall back on their own).
+func (p *Proxy) diskCacheGet(key string) (data []byte, att *attest.Attestation, fresh, ok bool) {
 	if p.cfg.DiskCacheDir == "" {
-		return nil, false, false
+		return nil, nil, false, false
 	}
 	path := p.diskCachePath(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false, false
+		return nil, nil, false, false
+	}
+	if b, aerr := os.ReadFile(path + ".att"); aerr == nil {
+		att, _ = attest.Decode(string(b))
 	}
 	fresh = true
 	if p.cfg.CacheTTL > 0 {
@@ -43,7 +51,7 @@ func (p *Proxy) diskCacheGet(key string) (data []byte, fresh, ok bool) {
 			fresh = p.now().Sub(fi.ModTime()) <= p.cfg.CacheTTL
 		}
 	}
-	return data, fresh, true
+	return data, att, fresh, true
 }
 
 // diskCachePut stores a transformation on disk (best effort: a full or
@@ -52,7 +60,7 @@ func (p *Proxy) diskCacheGet(key string) (data []byte, fresh, ok bool) {
 // atomically renames it into place, so concurrent writers of the same
 // key cannot interleave partial writes or rename each other's
 // half-written staging file; readers always see a complete entry.
-func (p *Proxy) diskCachePut(key string, data []byte) {
+func (p *Proxy) diskCachePut(key string, data []byte, att *attest.Attestation) {
 	if p.cfg.DiskCacheDir == "" {
 		return
 	}
@@ -60,20 +68,40 @@ func (p *Proxy) diskCachePut(key string, data []byte) {
 		return
 	}
 	path := p.diskCachePath(key)
-	tmp, err := os.CreateTemp(p.cfg.DiskCacheDir, filepath.Base(path)+".tmp*")
-	if err != nil {
+	if !writeAtomic(p.cfg.DiskCacheDir, path, data) {
 		return
+	}
+	// The attestation rides in a sidecar next to the class bytes, so an
+	// attested artifact survives a proxy restart with its trust metadata
+	// intact. Written after the data file: a crash between the two loses
+	// the sidecar, never pairs a sidecar with stale bytes it can't cover.
+	if att != nil {
+		writeAtomic(p.cfg.DiskCacheDir, path+".att", []byte(att.Encode()))
+	} else {
+		os.Remove(path + ".att")
+	}
+}
+
+// writeAtomic stages data in a unique temp file and renames it into
+// place, so concurrent writers of the same key cannot interleave
+// partial writes; readers always see a complete file. Reports success.
+func writeAtomic(dir, path string, data []byte) bool {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return false
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return
+		return false
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return
+		return false
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return false
 	}
+	return true
 }

@@ -27,9 +27,9 @@ func TestLRUCache(t *testing.T) {
 			name:   "fifo order without access",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100))
-				p.storeMem("b", pad(100))
-				p.storeMem("c", pad(100)) // evicts a (oldest)
+				p.storeMem("a", pad(100), nil)
+				p.storeMem("b", pad(100), nil)
+				p.storeMem("c", pad(100), nil) // evicts a (oldest)
 			},
 			want:  []string{"b", "c"},
 			bytes: 200,
@@ -38,10 +38,10 @@ func TestLRUCache(t *testing.T) {
 			name:   "hit refreshes recency",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100))
-				p.storeMem("b", pad(100))
+				p.storeMem("a", pad(100), nil)
+				p.storeMem("b", pad(100), nil)
 				p.memGet("a")             // a now most recent
-				p.storeMem("c", pad(100)) // evicts b, not a
+				p.storeMem("c", pad(100), nil) // evicts b, not a
 			},
 			want:  []string{"a", "c"},
 			bytes: 200,
@@ -50,10 +50,10 @@ func TestLRUCache(t *testing.T) {
 			name:   "re-store refreshes recency",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100))
-				p.storeMem("b", pad(100))
-				p.storeMem("a", pad(100)) // replacement also refreshes
-				p.storeMem("c", pad(100)) // evicts b
+				p.storeMem("a", pad(100), nil)
+				p.storeMem("b", pad(100), nil)
+				p.storeMem("a", pad(100), nil) // replacement also refreshes
+				p.storeMem("c", pad(100), nil) // evicts b
 			},
 			want:  []string{"a", "c"},
 			bytes: 200,
@@ -62,10 +62,10 @@ func TestLRUCache(t *testing.T) {
 			name:   "replacement fixes byte accounting",
 			budget: 300,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100))
-				p.storeMem("a", pad(50)) // shrink: 100 -> 50
-				p.storeMem("b", pad(100))
-				p.storeMem("a", pad(150)) // grow: 50 -> 150
+				p.storeMem("a", pad(100), nil)
+				p.storeMem("a", pad(50), nil) // shrink: 100 -> 50
+				p.storeMem("b", pad(100), nil)
+				p.storeMem("a", pad(150), nil) // grow: 50 -> 150
 			},
 			want:  []string{"a", "b"},
 			bytes: 250,
@@ -74,9 +74,9 @@ func TestLRUCache(t *testing.T) {
 			name:   "replacement growth can evict others",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100))
-				p.storeMem("b", pad(100))
-				p.storeMem("b", pad(150)) // grows over budget; evicts a
+				p.storeMem("a", pad(100), nil)
+				p.storeMem("b", pad(100), nil)
+				p.storeMem("b", pad(150), nil) // grows over budget; evicts a
 			},
 			want:  []string{"b"},
 			bytes: 150,
@@ -85,8 +85,8 @@ func TestLRUCache(t *testing.T) {
 			name:   "oversized entry skipped, cache intact",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100))
-				p.storeMem("big", pad(500)) // larger than the whole budget
+				p.storeMem("a", pad(100), nil)
+				p.storeMem("big", pad(500), nil) // larger than the whole budget
 			},
 			want:  []string{"a"},
 			bytes: 100,
@@ -95,8 +95,8 @@ func TestLRUCache(t *testing.T) {
 			name:   "oversized replacement of resident key skipped",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100))
-				p.storeMem("a", pad(500)) // stale entry stays; oversized skipped
+				p.storeMem("a", pad(100), nil)
+				p.storeMem("a", pad(500), nil) // stale entry stays; oversized skipped
 			},
 			want:  []string{"a"},
 			bytes: 100,
@@ -106,7 +106,7 @@ func TestLRUCache(t *testing.T) {
 			budget: 0,
 			run: func(p *Proxy) {
 				for i := 0; i < 10; i++ {
-					p.storeMem(fmt.Sprintf("k%d", i), pad(100))
+					p.storeMem(fmt.Sprintf("k%d", i), pad(100), nil)
 				}
 			},
 			want:  []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"},
@@ -135,9 +135,9 @@ func TestLRUCache(t *testing.T) {
 
 func TestLRUReplacementServesFreshBytes(t *testing.T) {
 	p := lruProxy(0)
-	p.storeMem("k", []byte("stale"))
-	p.storeMem("k", []byte("fresh"))
-	got, _, ok := p.memGet("k")
+	p.storeMem("k", []byte("stale"), nil)
+	p.storeMem("k", []byte("fresh"), nil)
+	got, _, _, ok := p.memGet("k")
 	if !ok || string(got) != "fresh" {
 		t.Fatalf("memGet = %q, %v; want fresh entry", got, ok)
 	}
@@ -154,8 +154,8 @@ func TestDiskCacheConcurrentWritersSameKey(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p.diskCachePut("k", payload(i))
-			if data, _, ok := p.diskCacheGet("k"); ok {
+			p.diskCachePut("k", payload(i), nil)
+			if data, _, _, ok := p.diskCacheGet("k"); ok {
 				// Any complete write is acceptable; torn bytes are not.
 				if len(data) != 4096 || bytes.Count(data, data[:1]) != 4096 {
 					t.Errorf("torn read: len=%d first=%q", len(data), data[0])
@@ -164,7 +164,7 @@ func TestDiskCacheConcurrentWritersSameKey(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	data, _, ok := p.diskCacheGet("k")
+	data, _, _, ok := p.diskCacheGet("k")
 	if !ok {
 		t.Fatal("no entry after concurrent writes")
 	}

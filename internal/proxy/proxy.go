@@ -58,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dvm/internal/attest"
 	"dvm/internal/bytecode"
 	"dvm/internal/resilience"
 	"dvm/internal/rewrite"
@@ -204,9 +205,19 @@ type Config struct {
 	// OnTransformed, when set, observes every class this node transformed
 	// itself (origin fetch + pipeline run; peer-served and stale responses
 	// are not reported). The cluster layer uses it to push freshly-owned
-	// results to the key's replicas. Called on the flight goroutine, so it
-	// must not block — enqueue and return.
-	OnTransformed func(arch, class string, data []byte)
+	// results to the key's replicas, attestation included. Called on the
+	// flight goroutine, so it must not block — enqueue and return.
+	OnTransformed func(arch, class string, data []byte, att *attest.Attestation)
+
+	// Attest, when set, turns each locally transformed class into a
+	// quorum-attested artifact before it is cached or served: the cluster
+	// layer dispatches the origin bytes to ring successors, compares
+	// output digests, and returns the sealed attestation on agreement.
+	// An error fails the flight — a node must never serve bytes its own
+	// fleet outvoted. Runs on the flight goroutine under the admission
+	// slot, so the quorum round-trip is part of the request's service
+	// time (that is the measured tax of -attest-quorum > 1).
+	Attest func(ctx context.Context, arch, class string, raw, out []byte) (*attest.Attestation, error)
 
 	// MemoryBudget models the server's physical memory: when the bytes
 	// held by in-flight requests exceed it, each request pays a paging
@@ -241,6 +252,9 @@ type PeerResult struct {
 	Outcome PeerOutcome
 	// Data is the transformed class (Outcome == PeerServed).
 	Data []byte
+	// Att is the artifact's attestation, already verified against Data
+	// by the fill hook before the result is handed back.
+	Att *attest.Attestation
 	// CacheLocal stores the peer's bytes in this node's own cache too:
 	// the cluster replicates hot keys toward their readers so the ring
 	// owner does not become a hotspot.
@@ -293,6 +307,11 @@ type RequestInfo struct {
 	// otherwise it was rejected (ErrOverloaded).
 	Shed bool
 	Peer string // cluster node that supplied the bytes, if any
+	// Attestation is the artifact's trust metadata when attestation is
+	// enabled: the sealed digest + quorum record stored with the cache
+	// entry. The peer protocol forwards it as a response header so every
+	// hop can re-verify the bytes it received.
+	Attestation *attest.Attestation
 }
 
 // Stats is a snapshot of proxy counters, derived from the telemetry
@@ -321,7 +340,11 @@ type Stats struct {
 	// FlightsAbandoned counts flights canceled because every waiting
 	// client disconnected first.
 	FlightsAbandoned int64
-	BytesIn          int64
+	// Attested counts artifacts sealed after a quorum round;
+	// AttestFailures counts flights failed by the attest hook.
+	Attested       int64
+	AttestFailures int64
+	BytesIn        int64
 	BytesOut         int64
 	ProxyTime        time.Duration
 	// Breaker is the origin circuit-breaker snapshot.
@@ -332,6 +355,7 @@ type Stats struct {
 type cacheEntry struct {
 	key      string
 	data     []byte
+	att      *attest.Attestation // trust metadata, nil when attestation is off
 	storedAt time.Time
 }
 
@@ -351,6 +375,7 @@ type flight struct {
 
 	// Results, published before done is closed.
 	data      []byte
+	att       *attest.Attestation
 	rejected  bool
 	stale     bool
 	shed      bool   // admission control shed this flight (stale or rejected)
@@ -403,10 +428,16 @@ type Proxy struct {
 	// cFlightsAbandoned counts flights canceled because every waiter
 	// disconnected before the result arrived (not an origin failure).
 	cFlightsAbandoned *telemetry.Counter
+	// cAttested counts artifacts that finished a quorum round and were
+	// sealed; cAttestFailures counts flights failed by the attest hook
+	// (local divergence, no quorum).
+	cAttested       *telemetry.Counter
+	cAttestFailures *telemetry.Counter
 
 	hRequest     *telemetry.Histogram // whole-request latency; count == Requests
 	hOriginFetch *telemetry.Histogram
 	hPipeline    *telemetry.Histogram // parse+transform time; Sum backs Stats.ProxyTime
+	hAttest      *telemetry.Histogram // quorum round latency per attested artifact
 }
 
 // connectionMemory is the modeled per-connection server memory (socket
@@ -459,9 +490,12 @@ func New(origin Origin, cfg Config) *Proxy {
 	p.cFetchRetries = p.reg.Counter("fetch_retries_total")
 	p.cCoalescedFailures = p.reg.Counter("coalesced_failures_total")
 	p.cFlightsAbandoned = p.reg.Counter("flights_abandoned_total")
+	p.cAttested = p.reg.Counter("attested_keys_total")
+	p.cAttestFailures = p.reg.Counter("attest_failures_total")
 	p.hRequest = p.reg.Histogram("request_seconds", nil)
 	p.hOriginFetch = p.reg.Histogram("origin_fetch_seconds", nil)
 	p.hPipeline = p.reg.Histogram("pipeline_seconds", nil)
+	p.hAttest = p.reg.Histogram("attest_quorum_seconds", nil)
 	if cfg.MaxQueue > 0 && cfg.ShedPolicy != ShedNone {
 		// Expected service time for the deadline-aware drop: the live
 		// mean origin fetch plus the live mean pipeline run.
@@ -548,6 +582,8 @@ func (p *Proxy) Stats() Stats {
 
 		CoalescedFailures: p.cCoalescedFailures.Load(),
 		FlightsAbandoned:  p.cFlightsAbandoned.Load(),
+		Attested:          p.cAttested.Load(),
+		AttestFailures:    p.cAttestFailures.Load(),
 		BytesIn:           p.cBytesIn.Load(),
 		BytesOut:          p.cBytesOut.Load(),
 		ProxyTime:         p.hPipeline.Snapshot().Sum,
@@ -578,11 +614,13 @@ func (p *Proxy) RequestLatency() telemetry.HistSnapshot {
 }
 
 // CachedEntry is one cache element snapshot (membership handoff,
-// diagnostics).
+// diagnostics). Att rides along so a handed-off artifact stays
+// verifiable on the receiving node.
 type CachedEntry struct {
 	Arch  string
 	Class string
 	Data  []byte
+	Att   *attest.Attestation `json:",omitempty"`
 }
 
 // CacheSnapshot returns cached entries most-recently-used first —
@@ -604,7 +642,7 @@ func (p *Proxy) CacheSnapshot(maxBytes int, keep func(arch, class string) bool) 
 		if maxBytes > 0 && bytes+len(ent.data) > maxBytes && len(out) > 0 {
 			break
 		}
-		out = append(out, CachedEntry{Arch: arch, Class: class, Data: ent.data})
+		out = append(out, CachedEntry{Arch: arch, Class: class, Data: ent.data, Att: ent.att})
 		bytes += len(ent.data)
 		if maxBytes > 0 && bytes >= maxBytes {
 			break
@@ -615,15 +653,16 @@ func (p *Proxy) CacheSnapshot(maxBytes int, keep func(arch, class string) bool) 
 
 // Warm inserts an already-transformed class into the cache without a
 // request: replication pushes and membership handoffs seed a node's
-// cache with results another node paid for. No-op when caching is
-// disabled.
-func (p *Proxy) Warm(arch, class string, data []byte) {
+// cache with results another node paid for. The caller (the cluster
+// layer) verifies att against data before warming; the proxy just
+// stores them together. No-op when caching is disabled.
+func (p *Proxy) Warm(arch, class string, data []byte, att *attest.Attestation) {
 	if !p.cfg.CacheEnabled {
 		return
 	}
 	key := arch + "\x00" + class
-	p.storeMem(key, data)
-	p.diskCachePut(key, data)
+	p.storeMem(key, data, att)
+	p.diskCachePut(key, data, att)
 }
 
 // UnderPressure reports whether the admission queue is at least half
@@ -663,40 +702,25 @@ func (p *Proxy) Request(ctx context.Context, l Lookup) (Result, error) {
 	return Result{Data: data, Info: info, Trace: tr}, err
 }
 
-// RequestBytes is Request for callers that only want the bytes.
-//
-// Deprecated: use Request; kept one release for pre-telemetry callers.
-func (p *Proxy) RequestBytes(ctx context.Context, client, arch, class string) ([]byte, error) {
-	res, err := p.Request(ctx, Lookup{Client: client, Arch: arch, Class: class})
-	return res.Data, err
-}
-
-// RequestDetail is Request with the pre-telemetry positional signature.
-//
-// Deprecated: use Request; Result carries the RequestInfo.
-func (p *Proxy) RequestDetail(ctx context.Context, client, arch, class string) ([]byte, RequestInfo, error) {
-	res, err := p.Request(ctx, Lookup{Client: client, Arch: arch, Class: class})
-	return res.Data, res.Info, err
-}
-
 // serve is the request body under the root span: cache probe, miss
 // coalescing, and the leader path.
 func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.SpanTimer, l Lookup) ([]byte, RequestInfo, error) {
 	key := l.Arch + "\x00" + l.Class
 
 	var staleData []byte // expired cache entry kept for stale-if-error
+	var staleAtt *attest.Attestation
 	var haveStale bool
 	if p.cfg.CacheEnabled {
-		data, fresh, ok := p.memGet(key)
+		data, att, fresh, ok := p.memGet(key)
 		if !ok {
 			// Second level: the on-disk cache (survives proxy restarts).
 			// Only a fresh disk entry is promoted to memory; a stale one
 			// is kept solely as the stale-if-error fallback so it still
 			// gets revalidated on the next request.
-			if d, diskFresh, hit := p.diskCacheGet(key); hit {
-				data, fresh, ok = d, diskFresh, true
+			if d, datt, diskFresh, hit := p.diskCacheGet(key); hit {
+				data, att, fresh, ok = d, datt, diskFresh, true
 				if diskFresh {
-					p.storeMem(key, d)
+					p.storeMem(key, d, datt)
 				}
 			}
 		}
@@ -707,10 +731,10 @@ func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.
 				Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(data),
 				CacheHit: true, Duration: span.Elapsed(),
 			})
-			return data, RequestInfo{CacheHit: true}, nil
+			return data, RequestInfo{CacheHit: true, Attestation: att}, nil
 		}
 		if ok {
-			staleData, haveStale = data, true
+			staleData, staleAtt, haveStale = data, att, true
 		}
 	}
 
@@ -739,7 +763,7 @@ func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.
 	if dl, ok := ctx.Deadline(); ok {
 		budget = time.Until(dl)
 	}
-	go p.runFlight(fctx, tr, f, key, l, staleData, haveStale, budget)
+	go p.runFlight(fctx, tr, f, key, l, staleData, staleAtt, haveStale, budget)
 	return p.awaitFlight(ctx, tr, span, key, f, l, true)
 }
 
@@ -813,7 +837,7 @@ func (p *Proxy) awaitFlight(ctx context.Context, tr *telemetry.Trace, span *tele
 	}
 	info := RequestInfo{
 		Coalesced: !leader, Rejected: f.rejected, Stale: f.stale,
-		Shed: f.shed, Peer: f.peer,
+		Shed: f.shed, Peer: f.peer, Attestation: f.att,
 	}
 	// A follower shares bytes another request paid for — a cache hit in
 	// all but storage; so does any waiter served a stale entry from this
@@ -851,7 +875,7 @@ func (p *Proxy) awaitFlight(ctx context.Context, tr *telemetry.Trace, span *tele
 // When the origin is unreachable and a stale cache entry exists, it is
 // served instead (stale-if-error). ctx is canceled only when every
 // waiter has left (leaveFlight).
-func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, key string, l Lookup, staleData []byte, haveStale bool, budget time.Duration) {
+func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, key string, l Lookup, staleData []byte, staleAtt *attest.Attestation, haveStale bool, budget time.Duration) {
 	defer func() {
 		// Unpublish before waking the waiters so a new request finds
 		// either the cached entry or no flight at all; leaveFlight may
@@ -881,7 +905,7 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 		wspan.End()
 		switch outcome {
 		case admitStale:
-			f.data, f.stale, f.shed = staleData, true, true
+			f.data, f.att, f.stale, f.shed = staleData, staleAtt, true, true
 			p.touchStale(key)
 			return
 		case admitShed:
@@ -910,10 +934,11 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 			if p.cfg.CacheEnabled && res.CacheLocal {
 				// Hot key: replicate the owner's copy into the local LRU
 				// (and disk cache) so this node stops round-tripping for it.
-				p.storeMem(key, res.Data)
-				p.diskCachePut(key, res.Data)
+				// The fill hook already verified res.Att against res.Data.
+				p.storeMem(key, res.Data, res.Att)
+				p.diskCachePut(key, res.Data, res.Att)
 			}
-			f.data, f.rejected, f.stale, f.peer = res.Data, res.Rejected, res.Stale, res.Peer
+			f.data, f.att, f.rejected, f.stale, f.peer = res.Data, res.Att, res.Rejected, res.Stale, res.Peer
 			return
 		case PeerFailed:
 			// Owner down or unreachable: degrade to a local origin fetch.
@@ -949,7 +974,7 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 			// Degraded mode: the origin is down but we still hold the
 			// previous transformation. Freshness degrades; availability
 			// does not.
-			f.data, f.stale, f.fetchErr = staleData, true, err.Error()
+			f.data, f.att, f.stale, f.fetchErr = staleData, staleAtt, true, err.Error()
 			p.touchStale(key)
 			return
 		}
@@ -992,14 +1017,32 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 	f.proxyTime = pipe.End()
 	p.hPipeline.Observe(f.proxyTime)
 
+	// Quorum attestation: before the artifact is cached or served, the
+	// hook cross-checks the output digest against ring successors and
+	// seals the agreement. A hook error fails the flight — divergence
+	// means these bytes cannot be trusted, and no client may see them.
+	var att *attest.Attestation
+	if p.cfg.Attest != nil {
+		aspan := tr.StartSpan(p.cfg.Node, "attest.quorum")
+		a, aerr := p.cfg.Attest(ctx, l.Arch, l.Class, raw, out)
+		p.hAttest.Observe(aspan.End())
+		if aerr != nil {
+			p.cAttestFailures.Inc()
+			p.flightError(f, fmt.Errorf("proxy: attesting %s: %w", l.Class, aerr))
+			return
+		}
+		att = a
+		p.cAttested.Inc()
+	}
+
 	if p.cfg.CacheEnabled {
-		p.storeMem(key, out)
-		p.diskCachePut(key, out)
+		p.storeMem(key, out, att)
+		p.diskCachePut(key, out, att)
 	}
 	if p.cfg.OnTransformed != nil {
-		p.cfg.OnTransformed(l.Arch, l.Class, out)
+		p.cfg.OnTransformed(l.Arch, l.Class, out, att)
 	}
-	f.data, f.rejected = out, rejected
+	f.data, f.att, f.rejected = out, att, rejected
 }
 
 // flightError records a failed flight. A flight canceled because every
@@ -1021,17 +1064,17 @@ func (p *Proxy) flightError(f *flight, err error) {
 // memGet looks up the in-memory cache; a hit refreshes LRU recency.
 // fresh reports whether the entry is within CacheTTL (always true when
 // no TTL is configured).
-func (p *Proxy) memGet(key string) (data []byte, fresh, ok bool) {
+func (p *Proxy) memGet(key string) (data []byte, att *attest.Attestation, fresh, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	el, ok := p.cache[key]
 	if !ok {
-		return nil, false, false
+		return nil, nil, false, false
 	}
 	p.lru.MoveToFront(el)
 	ent := el.Value.(*cacheEntry)
 	fresh = p.cfg.CacheTTL <= 0 || p.now().Sub(ent.storedAt) <= p.cfg.CacheTTL
-	return ent.data, fresh, true
+	return ent.data, ent.att, fresh, true
 }
 
 // touchStale refreshes the timestamp on a stale entry that was just
@@ -1053,7 +1096,7 @@ func (p *Proxy) touchStale(key string) {
 // eviction. A replacement (e.g. a fresher transform after a pipeline
 // config change, or a disk/memory disagreement) overwrites the stale
 // bytes and fixes the byte accounting.
-func (p *Proxy) storeMem(key string, data []byte) {
+func (p *Proxy) storeMem(key string, data []byte, att *attest.Attestation) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.cfg.CacheBudget > 0 && len(data) > p.cfg.CacheBudget {
@@ -1067,10 +1110,11 @@ func (p *Proxy) storeMem(key string, data []byte) {
 		ent := el.Value.(*cacheEntry)
 		p.cacheBytes += len(data) - len(ent.data)
 		ent.data = data
+		ent.att = att
 		ent.storedAt = p.now()
 		p.lru.MoveToFront(el)
 	} else {
-		p.cache[key] = p.lru.PushFront(&cacheEntry{key: key, data: data, storedAt: p.now()})
+		p.cache[key] = p.lru.PushFront(&cacheEntry{key: key, data: data, att: att, storedAt: p.now()})
 		p.cacheBytes += len(data)
 	}
 	for p.cfg.CacheBudget > 0 && p.cacheBytes > p.cfg.CacheBudget {
@@ -1110,4 +1154,28 @@ func (p *Proxy) audit(r RequestRecord) {
 	if p.cfg.OnAudit != nil {
 		p.cfg.OnAudit(r)
 	}
+}
+
+// TransformDigest runs the pipeline over raw origin bytes and returns
+// the canonical digest of what this node would serve for (arch, class) —
+// the variant half of quorum attestation (/peer/attest). It shares the
+// serving path's rejection-replacement semantics (a deterministic
+// pipeline produces a deterministic rejection, so replacements attest
+// like any other artifact) but touches neither the cache nor the
+// origin: the dispatching owner supplies the raw bytes, and only the
+// digest goes back on the wire.
+func (p *Proxy) TransformDigest(ctx context.Context, arch, class string, raw []byte) (string, error) {
+	rctx := rewrite.NewContext()
+	rctx.ClientArch = arch
+	rctx.Node = p.cfg.Node
+	rctx.Trace = telemetry.FromContext(ctx)
+	out, perr := p.cfg.Pipeline.Process(raw, rctx)
+	if perr != nil {
+		repl, rerr := verifier.MakeErrorClass(class, perr.Error())
+		if rerr != nil {
+			return "", fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", class, rerr, perr)
+		}
+		out = repl
+	}
+	return attest.Digest(out), nil
 }

@@ -42,13 +42,18 @@ func NewSigner(key []byte) *Signer {
 
 // digest computes the MAC over the class serialized WITHOUT its
 // signature attribute, so signing is idempotent and verification can
-// recompute the same bytes.
+// recompute the same bytes. It encodes a shallow view with a filtered
+// attribute slice and never mutates cf: proxies verify classes straight
+// out of a shared cache, concurrently, so this must be side-effect-free.
 func (s *Signer) digest(cf *classfile.ClassFile) ([]byte, error) {
-	// Intern the attribute name up front: attaching the signature later
-	// must not change the constant pool (and hence the signed bytes).
-	cf.Pool.AddUtf8(AttrSignature)
-	cf.RemoveAttribute(AttrSignature)
-	data, err := cf.Encode()
+	view := *cf
+	view.Attributes = make([]*classfile.Attribute, 0, len(cf.Attributes))
+	for _, a := range cf.Attributes {
+		if cf.AttrName(a) != AttrSignature {
+			view.Attributes = append(view.Attributes, a)
+		}
+	}
+	data, err := view.Encode()
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +64,11 @@ func (s *Signer) digest(cf *classfile.ClassFile) ([]byte, error) {
 
 // Sign attaches (or replaces) the signature attribute on the class.
 func (s *Signer) Sign(cf *classfile.ClassFile) error {
+	// Intern the attribute name before digesting: attaching the
+	// signature afterwards must not change the constant pool (and hence
+	// the signed bytes).
+	cf.Pool.AddUtf8(AttrSignature)
+	cf.RemoveAttribute(AttrSignature)
 	sum, err := s.digest(cf)
 	if err != nil {
 		return err
@@ -67,23 +77,40 @@ func (s *Signer) Sign(cf *classfile.ClassFile) error {
 	return nil
 }
 
-// Verify checks a parsed class's signature. It restores the class to its
-// signed state regardless of outcome.
+// Verify checks a parsed class's signature. It is read-only: safe to
+// call concurrently on one instance, including one shared with readers.
 func (s *Signer) Verify(cf *classfile.ClassFile) error {
 	a := cf.FindAttr(cf.Attributes, AttrSignature)
 	if a == nil {
 		return ErrUnsigned
 	}
-	claimed := append([]byte(nil), a.Info...)
-	sum, err := s.digest(cf) // removes the attribute
-	cf.AddAttribute(AttrSignature, claimed)
+	sum, err := s.digest(cf)
 	if err != nil {
 		return err
 	}
-	if !hmac.Equal(claimed, sum) {
+	if !hmac.Equal(a.Info, sum) {
 		return ErrBadSignature
 	}
 	return nil
+}
+
+// sealDomain separates detached seals from class-attribute signatures
+// computed under the same service key.
+const sealDomain = "dvm-seal-v1\x00"
+
+// SealBytes returns the service MAC over an arbitrary message — the
+// detached form used for attestation records, where the sealed object
+// is metadata about class bytes rather than the class itself.
+func (s *Signer) SealBytes(msg []byte) []byte {
+	mac := hmac.New(sha256.New, s.key)
+	mac.Write([]byte(sealDomain))
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// VerifySeal reports whether mac is this service's seal over msg.
+func (s *Signer) VerifySeal(msg, mac []byte) bool {
+	return hmac.Equal(s.SealBytes(msg), mac)
 }
 
 // VerifyBytes parses and verifies serialized class bytes.

@@ -1,7 +1,9 @@
 package signing_test
 
 import (
+	"bytes"
 	"errors"
+	"sync"
 	"testing"
 
 	"dvm/internal/classfile"
@@ -90,6 +92,66 @@ func TestVerifyRejectsForeignKey(t *testing.T) {
 	data, _ := cf.Encode()
 	if err := orgB.VerifyBytes(data); !errors.Is(err, signing.ErrBadSignature) {
 		t.Errorf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+// TestVerifyConcurrentSharedInstance is the regression test for the
+// digest side effect: Verify used to RemoveAttribute/AddAttribute on the
+// class it checked, so two goroutines verifying one cached *ClassFile
+// raced (and could observe the signature missing). Run under -race.
+func TestVerifyConcurrentSharedInstance(t *testing.T) {
+	s := signing.NewSigner([]byte("shared-cache-key"))
+	cf, err := classfile.Parse(sampleClass(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sign(cf); err != nil {
+		t.Fatal(err)
+	}
+	before, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := s.Verify(cf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Verify: %v", err)
+	}
+	after, err := cf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("Verify mutated the class it checked")
+	}
+}
+
+func TestSealRoundTrip(t *testing.T) {
+	s := signing.NewSigner([]byte("seal-key"))
+	msg := []byte("arch\x00net/Applet001\x00deadbeef\x002")
+	mac := s.SealBytes(msg)
+	if !s.VerifySeal(msg, mac) {
+		t.Fatal("seal does not verify")
+	}
+	if s.VerifySeal(append([]byte("x"), msg...), mac) {
+		t.Fatal("seal verified a different message")
+	}
+	if signing.NewSigner([]byte("other-key")).VerifySeal(msg, mac) {
+		t.Fatal("seal verified under a foreign key")
 	}
 }
 

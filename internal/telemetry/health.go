@@ -73,6 +73,13 @@ type RingMemberHealth struct {
 	// ("closed" = healthy, "open" = presumed down, "-" for self).
 	Link string `json:"link"`
 	Self bool   `json:"self,omitempty"`
+	// Divergences is the member's attestation suspicion count on the
+	// reporting node's ledger; Quarantined marks it past the quarantine
+	// threshold (excluded from peer fill and variant selection). Both
+	// are additive fields within schema v1 — absent when attestation is
+	// off.
+	Divergences int  `json:"divergences,omitempty"`
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // Health builds the registry-derived part of a health report; callers
