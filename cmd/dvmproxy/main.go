@@ -21,8 +21,13 @@
 // Cluster mode (-self/-peers) joins this proxy to a sharded fleet: a
 // consistent-hash ring assigns every (arch, class) key an owner node,
 // and misses for keys owned elsewhere are filled from the owner over
-// /peer/class instead of refetched from the origin — one origin fetch
-// and one pipeline run per key across the whole fleet. Membership is
+// the versioned batch peer protocol (POST /peer/v1/batch) instead of
+// refetched from the origin — one origin fetch and one pipeline run per
+// key across the whole fleet. Owners also piggyback each served class's
+// top -prefetch-k predicted first-use successors onto fill responses
+// (byte-budgeted by -prefetch-budget, thresholded by
+// -prefetch-confidence), pre-warming the requester's cache before the
+// client asks; -prefetch-k -1 disables the predictor. Membership is
 // live: -peers is only a seed list, gossip (every -gossip-interval)
 // discovers the rest of the fleet, detects failures (suspect, then dead
 // after -suspect-timeout), and rebalances the ring on joins and leaves.
@@ -112,6 +117,9 @@ func main() {
 	attestPolicy := flag.String("attest-policy", "always", "which keys run at the full quorum: always, sampled (1-in-attest-sample-rate by key hash), or hot (keys past -hot-threshold)")
 	attestSampleRate := flag.Int("attest-sample-rate", 0, "1-in-N rate for -attest-policy sampled (0 = default 16)")
 	quarantineAfter := flag.Int("quarantine-after", 0, "attestation divergences before a peer is quarantined: excluded from fills and variant votes (0 = default 3)")
+	prefetchK := flag.Int("prefetch-k", 0, "predictive prefetch: top-k first-use successors piggybacked onto each peer fill (0 = default 3, -1 disables the predictor)")
+	prefetchBudget := flag.Int("prefetch-budget", 0, "predictive prefetch: byte budget per piggyback batch (0 = default 256KiB)")
+	prefetchConfidence := flag.Float64("prefetch-confidence", 0, "predictive prefetch: minimum successor confidence (edge weight / out-weight) to piggyback (0 = default 0.25)")
 	peerTimeout := flag.Duration("peer-timeout", 3*time.Second, "deadline for one peer class fetch")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (slowloris guard)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
@@ -183,21 +191,24 @@ func main() {
 	if *self != "" {
 		var err error
 		node, err = cluster.NewNode(origin, cfg, cluster.Config{
-			Self:             *self,
-			Peers:            splitList(*peers),
-			VirtualNodes:     *vnodes,
-			Replication:      *replication,
-			GossipInterval:   *gossipInterval,
-			SuspectTimeout:   *suspectTimeout,
-			HotThreshold:     *hotThreshold,
-			PeerTimeout:      *peerTimeout,
-			BreakerThreshold: *breakerThreshold,
-			BreakerCooldown:  *breakerCooldown,
-			AttestKey:        []byte(*attestKey),
-			AttestQuorum:     *attestQuorum,
-			AttestPolicy:     *attestPolicy,
-			AttestSampleRate: *attestSampleRate,
-			QuarantineAfter:  *quarantineAfter,
+			Self:               *self,
+			Peers:              splitList(*peers),
+			VirtualNodes:       *vnodes,
+			Replication:        *replication,
+			GossipInterval:     *gossipInterval,
+			SuspectTimeout:     *suspectTimeout,
+			HotThreshold:       *hotThreshold,
+			PeerTimeout:        *peerTimeout,
+			BreakerThreshold:   *breakerThreshold,
+			BreakerCooldown:    *breakerCooldown,
+			AttestKey:          []byte(*attestKey),
+			AttestQuorum:       *attestQuorum,
+			AttestPolicy:       *attestPolicy,
+			AttestSampleRate:   *attestSampleRate,
+			QuarantineAfter:    *quarantineAfter,
+			PrefetchK:          *prefetchK,
+			PrefetchBudget:     *prefetchBudget,
+			PrefetchConfidence: *prefetchConfidence,
 		})
 		if err != nil {
 			log.Fatalf("dvmproxy: %v", err)
@@ -209,6 +220,10 @@ func main() {
 		if *attestKey != "" {
 			log.Printf("dvmproxy: quorum attestation on (quorum %d, policy %s): artifacts are sealed and re-verified on every peer hop",
 				*attestQuorum, *attestPolicy)
+		}
+		if *prefetchK >= 0 {
+			log.Printf("dvmproxy: predictive prefetch on (top-k %d, budget %dB, confidence %.2f; 0 = package default)",
+				*prefetchK, *prefetchBudget, *prefetchConfidence)
 		}
 	} else {
 		p := proxy.New(origin, cfg)

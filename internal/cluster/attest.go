@@ -182,7 +182,7 @@ func (n *Node) variantDigest(ctx context.Context, peer, arch, class string, raw 
 	defer span.End()
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+attestPathPrefix+class+".class", bytes.NewReader(raw))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+attestV1Prefix+class+".class", bytes.NewReader(raw))
 	if err != nil {
 		return "", err
 	}
@@ -234,23 +234,13 @@ func (n *Node) variantDigest(ctx context.Context, peer, arch, class string, raw 
 // shed the request (429): cross-checking must never out-compete serving
 // clients.
 func (n *Node) handleAttest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	tr, ok := n.peerEnter(w, r, http.MethodPost, true)
+	if !ok {
 		return
 	}
-	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
-	if n.mship.Draining() {
-		w.Header().Set(drainingHeader, "1")
-		http.Error(w, "draining", http.StatusTooManyRequests)
-		return
-	}
-	if n.local.UnderPressure() {
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "overloaded, attest shed", http.StatusTooManyRequests)
-		return
-	}
-	n.noteEpoch(r.Header.Get(epochHeader))
-	name := strings.TrimPrefix(r.URL.Path, attestPathPrefix)
+	// Mounted at both the versioned route and the legacy alias.
+	name := strings.TrimPrefix(r.URL.Path, attestV1Prefix)
+	name = strings.TrimPrefix(name, attestPathPrefix)
 	name = strings.TrimSuffix(name, ".class")
 	arch := r.Header.Get("X-DVM-Arch")
 	if name == "" || strings.Contains(name, "..") || arch == "" {
@@ -262,7 +252,6 @@ func (n *Node) handleAttest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad attest payload", http.StatusBadRequest)
 		return
 	}
-	tr := telemetry.JoinTrace(r.Header.Get(telemetry.TraceHeader))
 	ctx := telemetry.WithTrace(r.Context(), tr)
 	span := tr.StartSpan(n.cfg.Self, "attest.transform")
 	digest, terr := n.local.TransformDigest(ctx, arch, name, raw)

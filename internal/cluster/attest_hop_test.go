@@ -41,22 +41,24 @@ func TestFetchPeerRejectsBadAttestation(t *testing.T) {
 	data := []byte("transformed-artifact-bytes")
 	service := attest.New(attest.Config{Key: key})
 
-	var header atomic.Value // the attestation header the stub owner serves
+	var header atomic.Value // the attestation the stub owner attaches
 	header.Store("")
 	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if h := header.Load().(string); h != "" {
-			w.Header().Set(attest.Header, h)
-		}
-		_, _ = w.Write(data)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(BatchResponse{Entries: []BatchEntry{{
+			Arch: "dvm", Class: "app/Hop", Reason: proxy.ReasonFill,
+			Data: data, Att: header.Load().(string),
+		}}})
 	}))
 	defer owner.Close()
 
 	n := newAttestedTestNode(t, key)
 	ctx := context.Background()
+	lookup := proxy.Lookup{Client: "c1", Arch: "dvm", Class: "app/Hop"}
 
 	// Missing attestation: rejected, but not ledgered — it proves a
 	// config mismatch, not corruption.
-	res := n.fetchPeer(ctx, owner.URL, "dvm", "app/Hop")
+	res := n.fetchPeer(ctx, owner.URL, lookup)
 	if res.Outcome != proxy.PeerFailed || !errors.Is(res.Err, attest.ErrUnattested) {
 		t.Fatalf("unattested fill = %+v, want PeerFailed/ErrUnattested", res)
 	}
@@ -67,7 +69,7 @@ func TestFetchPeerRejectsBadAttestation(t *testing.T) {
 	// Correctly sealed attestation over different bytes: a digest
 	// mismatch is corruption evidence against the owner.
 	header.Store(service.Attest("dvm", "app/Hop", []byte("tampered"), 1, nil).Encode())
-	res = n.fetchPeer(ctx, owner.URL, "dvm", "app/Hop")
+	res = n.fetchPeer(ctx, owner.URL, lookup)
 	if res.Outcome != proxy.PeerFailed || !errors.Is(res.Err, attest.ErrVerify) {
 		t.Fatalf("tampered fill = %+v, want PeerFailed/ErrVerify", res)
 	}
@@ -78,7 +80,7 @@ func TestFetchPeerRejectsBadAttestation(t *testing.T) {
 	// Seal under a different key: unforgeable without the service key.
 	forged := attest.New(attest.Config{Key: []byte("attacker-key")})
 	header.Store(forged.Attest("dvm", "app/Hop", data, 1, nil).Encode())
-	res = n.fetchPeer(ctx, owner.URL, "dvm", "app/Hop")
+	res = n.fetchPeer(ctx, owner.URL, lookup)
 	if res.Outcome != proxy.PeerFailed || !errors.Is(res.Err, attest.ErrVerify) {
 		t.Fatalf("forged-seal fill = %+v, want PeerFailed/ErrVerify", res)
 	}
@@ -90,7 +92,7 @@ func TestFetchPeerRejectsBadAttestation(t *testing.T) {
 	// The honest case still works, and the verified attestation rides
 	// along with the bytes.
 	header.Store(service.Attest("dvm", "app/Hop", data, 1, nil).Encode())
-	res = n.fetchPeer(ctx, owner.URL, "dvm", "app/Hop")
+	res = n.fetchPeer(ctx, owner.URL, lookup)
 	if res.Outcome != proxy.PeerServed || !bytes.Equal(res.Data, data) || res.Att == nil {
 		t.Fatalf("valid fill = %+v, want PeerServed with attestation", res)
 	}
@@ -100,22 +102,23 @@ func TestPullHandoffRejectsTamperedEntries(t *testing.T) {
 	key := []byte("hop-test-service-key")
 	service := attest.New(attest.Config{Key: key})
 	good := []byte("good-artifact")
-	entries := []proxy.CachedEntry{
+	entries := []BatchEntry{
 		{Arch: "dvm", Class: "app/Good", Data: good,
-			Att: service.Attest("dvm", "app/Good", good, 1, nil)},
+			Att: service.Attest("dvm", "app/Good", good, 1, nil).Encode()},
 		{Arch: "dvm", Class: "app/Tampered", Data: []byte("evil-artifact"),
-			Att: service.Attest("dvm", "app/Tampered", []byte("original"), 1, nil)},
+			Att: service.Attest("dvm", "app/Tampered", []byte("original"), 1, nil).Encode()},
 		{Arch: "dvm", Class: "app/Naked", Data: []byte("unattested-artifact")},
 	}
 	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(handoffResponse{Entries: entries})
+		_ = json.NewEncoder(w).Encode(BatchResponse{Entries: entries})
 	}))
 	defer peer.Close()
 
 	n := newAttestedTestNode(t, key)
-	if got := n.pullFrom(context.Background(), peer.URL); got != len(entries) {
-		t.Fatalf("pullFrom returned %d entries, want %d", got, len(entries))
+	// Only the verifiable entry is accepted.
+	if got := n.pullFrom(context.Background(), peer.URL); got != 1 {
+		t.Fatalf("pullFrom accepted %d entries, want 1", got)
 	}
 	snap := n.local.CacheSnapshot(1<<20, nil)
 	if len(snap) != 1 || snap[0].Class != "app/Good" || !bytes.Equal(snap[0].Data, good) {

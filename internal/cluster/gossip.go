@@ -57,8 +57,9 @@ type gossipState struct {
 	fails map[string]int // consecutive gossip failures per peer
 }
 
-// handleGossip answers POST /gossip: merge the sender's view, answer
-// with ours. After the exchange both sides hold the union.
+// handleGossip answers POST /peer/v1/gossip (and the legacy /gossip
+// alias): merge the sender's view, answer with ours. After the exchange
+// both sides hold the union.
 func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -84,7 +85,7 @@ func (n *Node) exchange(ctx context.Context, peer string) bool {
 	}
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+gossipPath, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+gossipV1Path, bytes.NewReader(body))
 	if err != nil {
 		return false
 	}

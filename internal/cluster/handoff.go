@@ -25,11 +25,11 @@ package cluster
 // server goes away (gossip.go Drain).
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -88,9 +88,14 @@ func (n *Node) replWorker() {
 	}
 }
 
-// pushReplicas sends one transformed class to the key's other owners.
-// Best-effort: a failed push costs nothing but the warm copy.
+// pushReplicas sends one transformed class to the key's other owners
+// over the batch protocol. Best-effort: a failed push costs nothing but
+// the warm copy.
 func (n *Node) pushReplicas(it replItem) {
+	e := BatchEntry{Arch: it.arch, Class: it.class, Reason: proxy.ReasonReplica, Data: it.data}
+	if it.att != nil {
+		e.Att = it.att.Encode()
+	}
 	owners := n.currentRing().Owners(KeyFor(it.arch, it.class), n.cfg.Replication)
 	for _, o := range owners {
 		if o == n.cfg.Self {
@@ -99,49 +104,17 @@ func (n *Node) pushReplicas(it replItem) {
 		if n.mship.State(o) != stateAlive {
 			continue
 		}
-		if n.pushReplica(context.Background(), o, it.arch, it.class, it.data, it.att) {
+		if n.pushEntries(context.Background(), o, []BatchEntry{e}) > 0 {
 			n.cReplicaPush.Inc()
 		}
 	}
 }
 
-// pushReplica performs one replica POST. Reports success.
-func (n *Node) pushReplica(ctx context.Context, peer, arch, class string, data []byte, att *attest.Attestation) bool {
-	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+replicaPathPrefix+class+".class", bytes.NewReader(data))
-	if err != nil {
-		return false
-	}
-	req.Header.Set("X-DVM-Arch", arch)
-	req.Header.Set("Content-Type", "application/java-vm")
-	req.Header.Set(epochHeader, fmtEpoch(n.mship.Epoch()))
-	if att != nil {
-		req.Header.Set(attest.Header, att.Encode())
-	}
-	resp, err := n.client.Do(req)
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
-	if resp.Header.Get(drainingHeader) == "1" {
-		n.mship.NoteDraining(peer)
-		return false
-	}
-	n.noteEpoch(resp.Header.Get(epochHeader))
-	return resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK
-}
-
-// handleReplica stores a pushed replica in the local cache.
+// handleReplica is the legacy replica-push route (deprecated alias of
+// POST /peer/v1/batch): raw class bytes in the body, attestation in the
+// header, same ingestEntry gate.
 func (n *Node) handleReplica(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	if n.mship.Draining() {
-		w.Header().Set(drainingHeader, "1")
-		http.Error(w, "draining", http.StatusTooManyRequests)
+	if _, ok := n.peerEnter(w, r, http.MethodPost, false); !ok {
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, replicaPathPrefix)
@@ -156,20 +129,13 @@ func (n *Node) handleReplica(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "replica too large", http.StatusBadRequest)
 		return
 	}
-	n.noteEpoch(r.Header.Get(epochHeader))
-	// Re-verify before warming: a replica push is bytes on the wire like
-	// any other hop, and the cache must only ever hold artifacts whose
-	// seal checks out. The pusher's identity is self-reported, so a bad
-	// payload is rejected and counted but not ledgered.
-	att, aerr := n.verifyPayload(r.Header.Get(attest.Header), arch, name, data)
-	if aerr != nil {
-		n.cAttestRejects.Inc()
-		http.Error(w, "replica failed attestation: "+aerr.Error(), http.StatusBadRequest)
+	if status, ierr := n.ingestEntry(BatchEntry{
+		Arch: arch, Class: name, Reason: proxy.ReasonReplica,
+		Data: data, Att: r.Header.Get(attest.Header),
+	}); ierr != nil {
+		http.Error(w, ierr.Error(), status)
 		return
 	}
-	n.local.Warm(arch, name, data, att)
-	n.cReplicaStored.Inc()
-	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -187,10 +153,47 @@ type handoffResponse struct {
 	Entries []proxy.CachedEntry `json:"entries"`
 }
 
-// handleHandoff serves a pull handoff: the requester's inherited keys,
-// hottest first, bounded by bytes — unless this node is under admission
-// pressure, in which case the whole transfer is shed (the requester
-// warms up the slow way, via misses).
+// handoffEntries selects the cached entries member now owns,
+// hottest-profile-first: the predictor's decayed heat orders the
+// transfer (stable sort, so entries the predictor has never seen keep
+// their MRU order), then the byte budget cuts the tail. A joining node
+// therefore warms up in the order the workload will actually ask.
+func (n *Node) handoffEntries(member string, maxBytes int) []proxy.CacheEntry {
+	ring := n.currentRing()
+	entries := n.heatOrdered(n.local.CacheSnapshot(0, func(arch, class string) bool {
+		return ring.Owners(KeyFor(arch, class), 1)[0] == member
+	}))
+	out := entries[:0]
+	total := 0
+	for _, e := range entries {
+		if maxBytes > 0 && total+len(e.Data) > maxBytes && len(out) > 0 {
+			break
+		}
+		out = append(out, e)
+		total += len(e.Data)
+		if maxBytes > 0 && total >= maxBytes {
+			break
+		}
+	}
+	return out
+}
+
+// heatOrdered stable-sorts cache entries by descending predictor heat;
+// a nil predictor leaves the MRU order untouched.
+func (n *Node) heatOrdered(entries []proxy.CacheEntry) []proxy.CacheEntry {
+	if n.predictor != nil {
+		sort.SliceStable(entries, func(i, j int) bool {
+			return n.predictor.Heat(entries[i].Arch, entries[i].Class) >
+				n.predictor.Heat(entries[j].Arch, entries[j].Class)
+		})
+	}
+	return entries
+}
+
+// handleHandoff is the legacy pull-handoff route (deprecated alias of
+// POST /peer/v1/batch): same handoffEntries selection, legacy JSON wire
+// form. Shed outright under admission pressure — warming a newcomer
+// must never out-compete serving clients.
 func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -210,13 +213,9 @@ func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	if maxBytes <= 0 || maxBytes > n.cfg.HandoffMaxBytes {
 		maxBytes = n.cfg.HandoffMaxBytes
 	}
-	ring := n.currentRing()
-	entries := n.local.CacheSnapshot(maxBytes, func(arch, class string) bool {
-		return ring.Owners(KeyFor(arch, class), 1)[0] == req.Member
-	})
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
-	_ = json.NewEncoder(w).Encode(handoffResponse{Entries: entries})
+	_ = json.NewEncoder(w).Encode(handoffResponse{Entries: n.handoffEntries(req.Member, maxBytes)})
 }
 
 // PullHandoff asks every live peer for the cached entries this node now
@@ -236,58 +235,36 @@ func (n *Node) PullHandoff(ctx context.Context) int {
 	return total
 }
 
-// pullFrom pulls this node's inherited entries from one peer.
+// pullFrom pulls this node's inherited entries from one peer over the
+// batch protocol. Handed-off entries re-verify like any other hop
+// (ingestEntry); an entry whose attestation fails is dropped —
+// inheriting a key is not worth inheriting corruption.
 func (n *Node) pullFrom(ctx context.Context, peer string) int {
-	ctx, cancel := context.WithTimeout(ctx, n.cfg.HandoffTimeout)
-	defer cancel()
-	body, _ := json.Marshal(handoffRequest{Member: n.cfg.Self, MaxBytes: n.cfg.HandoffMaxBytes})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+handoffPath, bytes.NewReader(body))
+	br, err := n.doBatch(ctx, peer, BatchRequest{
+		Reason: proxy.ReasonHandoff, Member: n.cfg.Self, MaxBytes: n.cfg.HandoffMaxBytes,
+	}, n.cfg.HandoffTimeout)
 	if err != nil {
 		return 0
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := n.client.Do(req)
-	if err != nil {
-		return 0
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0
-	}
-	var hr handoffResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, int64(n.cfg.HandoffMaxBytes)+maxGossipBytes)).Decode(&hr); err != nil {
-		return 0
-	}
-	n.noteEpoch(resp.Header.Get(epochHeader))
-	for _, e := range hr.Entries {
-		if e.Arch == "" || e.Class == "" || len(e.Data) == 0 || len(e.Data) > maxPeerClassBytes {
-			continue
+	got := 0
+	for _, e := range br.Entries {
+		e.Reason = proxy.ReasonHandoff
+		if _, ierr := n.ingestEntry(e); ierr == nil {
+			got++
 		}
-		// Handed-off entries re-verify like any other hop; an entry whose
-		// attestation fails (or is missing, with attestation on) is
-		// dropped — inheriting a key is not worth inheriting corruption.
-		if n.authority != nil {
-			if err := n.authority.Verify(e.Att, e.Arch, e.Class, e.Data); err != nil {
-				n.cAttestRejects.Inc()
-				continue
-			}
-		}
-		n.local.Warm(e.Arch, e.Class, e.Data, e.Att)
-		n.cHandoffKeys.Inc()
 	}
-	return len(hr.Entries)
+	return got
 }
 
-// pushHandoff is the drain-side transfer: walk the local cache hottest
-// first and push each entry to its new primary (the ring no longer
-// includes this node once DrainSelf has run).
+// pushHandoff is the drain-side transfer: hand the local cache,
+// hottest-profile-first, to each key's new primary (the ring no longer
+// includes this node once DrainSelf has run), one batch per receiver.
 func (n *Node) pushHandoff(ctx context.Context) error {
 	ring := n.currentRing()
-	entries := n.local.CacheSnapshot(n.cfg.HandoffMaxBytes, nil)
+	entries := n.heatOrdered(n.local.CacheSnapshot(n.cfg.HandoffMaxBytes, nil))
+	batches := make(map[string][]BatchEntry)
+	order := make([]string, 0, 4) // deterministic push order (hottest first)
 	for _, e := range entries {
-		if ctx.Err() != nil {
-			return ctx.Err()
-		}
 		owner := ring.Owners(KeyFor(e.Arch, e.Class), 1)[0]
 		if owner == n.cfg.Self {
 			return nil // alone in the ring: nobody to hand off to
@@ -295,9 +272,20 @@ func (n *Node) pushHandoff(ctx context.Context) error {
 		if n.mship.State(owner) != stateAlive {
 			continue
 		}
-		if n.pushReplica(ctx, owner, e.Arch, e.Class, e.Data, e.Att) {
-			n.cHandoffKeys.Inc()
+		be := BatchEntry{Arch: e.Arch, Class: e.Class, Reason: proxy.ReasonHandoff, Data: e.Data}
+		if e.Att != nil {
+			be.Att = e.Att.Encode()
 		}
+		if _, seen := batches[owner]; !seen {
+			order = append(order, owner)
+		}
+		batches[owner] = append(batches[owner], be)
+	}
+	for _, owner := range order {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		n.cHandoffKeys.Add(int64(n.pushEntries(ctx, owner, batches[owner])))
 	}
 	return nil
 }

@@ -4,13 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"dvm/internal/attest"
+	"dvm/internal/prefetch"
 	"dvm/internal/proxy"
 	"dvm/internal/resilience"
 	"dvm/internal/telemetry"
@@ -80,6 +80,19 @@ type Config struct {
 	// netsim.LinkFaults / netsim.FaultyTransport).
 	Transport http.RoundTripper
 
+	// PrefetchK is how many predicted successors an owner piggybacks
+	// onto each fill it serves over /peer/v1/batch (0 = default 3,
+	// <0 = prediction and piggybacking disabled).
+	PrefetchK int
+	// PrefetchBudget bounds the piggybacked prefetch bytes per fill
+	// response, both offered by the requester and clamped by the owner
+	// (0 = default 256 KiB).
+	PrefetchBudget int
+	// PrefetchConfidence is the minimum successor confidence — the
+	// edge's share of its source key's outgoing weight — for a
+	// prediction to be pushed (0 = default 0.25).
+	PrefetchConfidence float64
+
 	// AttestKey, when set, enables quorum attestation: every locally
 	// transformed artifact is sealed under this shared service key, and
 	// every hop that moves artifact bytes (peer fill, replica push,
@@ -128,6 +141,10 @@ type Node struct {
 	// authority is the attestation engine (nil = attestation off).
 	authority *attest.Authority
 
+	// predictor is the decayed first-use successor graph feeding the
+	// prefetch piggyback and the handoff heat ordering (nil = disabled).
+	predictor *prefetch.Predictor
+
 	gossip    gossipState
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -159,8 +176,12 @@ type Node struct {
 	cAttestRejects     *telemetry.Counter // inbound payloads rejected for missing/failed attestation
 	cAttestDegraded    *telemetry.Counter // quorum rounds sealed at 1 because no variant was reachable
 	cAttestQuarantines *telemetry.Counter // peers newly quarantined by this node's ledger
-	hPeerFetch         *telemetry.Histogram // peer-protocol hop latency
-	hHandoff           *telemetry.Histogram // handoff pull duration
+	// Prefetch counters (zero when prediction is off).
+	cPrefetchPushed   *telemetry.Counter   // successor entries piggybacked onto served fills
+	cPrefetchReceived *telemetry.Counter   // piggybacked entries accepted into the local cache
+	hPeerFetch        *telemetry.Histogram // peer-protocol hop latency
+	hHandoff          *telemetry.Histogram // handoff pull duration
+	hPrefetchBatch    *telemetry.Histogram // piggybacked bytes per fill (byte-valued buckets)
 }
 
 // NewNode builds the node's proxy over origin with pcfg and wires its
@@ -198,6 +219,9 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 	if cfg.HandoffTimeout <= 0 {
 		cfg.HandoffTimeout = 5 * time.Second
 	}
+	if cfg.PrefetchBudget <= 0 {
+		cfg.PrefetchBudget = defaultPrefetchBudget
+	}
 	n := &Node{
 		cfg:       cfg,
 		client:    &http.Client{Transport: cfg.Transport},
@@ -228,6 +252,12 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 	pcfg.PeerFill = n.fill
 	if cfg.Replication > 1 {
 		pcfg.OnTransformed = n.onTransformed
+	}
+	if cfg.PrefetchK >= 0 {
+		n.predictor = prefetch.New(prefetch.Config{
+			TopK:          cfg.PrefetchK,
+			MinConfidence: cfg.PrefetchConfidence,
+		})
 	}
 	if len(cfg.AttestKey) > 0 {
 		mode, err := attest.ParseMode(cfg.AttestPolicy)
@@ -280,8 +310,15 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 			return float64(q)
 		})
 	}
+	n.cPrefetchPushed = reg.Counter("prefetch_pushed_total")
+	n.cPrefetchReceived = reg.Counter("prefetch_received_total")
 	n.hPeerFetch = reg.Histogram("peer_fetch_seconds", nil)
 	n.hHandoff = reg.Histogram("handoff_seconds", nil)
+	// Byte-valued buckets: the histogram type counts time.Durations, so
+	// the bounds are byte counts cast to Duration (1 KiB .. 4 MiB).
+	n.hPrefetchBatch = reg.Histogram("prefetch_batch_bytes", []time.Duration{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
+	})
 	reg.Gauge("ring_members", func() float64 { return float64(n.currentRing().Size()) })
 	reg.Gauge("membership_epoch", func() float64 { return float64(n.mship.Epoch()) })
 	for st, name := range map[memberState]string{
@@ -444,15 +481,21 @@ func (n *Node) isHotKey(arch, class string) bool {
 // the pushed bytes, so a primary death degrades to one extra hop, not a
 // cold start. Reaching this node's own position in the chain (or
 // exhausting it) falls back to the local origin.
-func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
+func (n *Node) fill(ctx context.Context, l proxy.Lookup) proxy.PeerResult {
 	if isLocalOnly(ctx) {
 		// Peer-protocol request: we are being asked *as* an owner (or as
 		// a fallback); answer from here regardless of the ring view.
 		return proxy.PeerResult{Outcome: proxy.PeerSelf}
 	}
-	key := KeyFor(arch, class)
+	key := KeyFor(l.Arch, l.Class)
 	owners := n.currentRing().Owners(key, n.cfg.Replication)
 	if owners[0] == n.cfg.Self {
+		// We own this key and a local client missed on it: that miss is
+		// part of a first-use sequence worth learning, exactly like the
+		// fills forwarded to us by peers.
+		if n.predictor != nil {
+			n.predictor.ObserveRequest(l.Client, l.Arch, l.Class)
+		}
 		return proxy.PeerResult{Outcome: proxy.PeerSelf}
 	}
 	hot := n.noteFill(key)
@@ -481,7 +524,7 @@ func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 			last = proxy.PeerResult{Outcome: proxy.PeerFailed, Peer: owner, Err: err}
 			continue
 		}
-		res := n.fetchPeer(ctx, owner, arch, class)
+		res := n.fetchPeer(ctx, owner, l)
 		res.Peer = owner
 		switch res.Outcome {
 		case proxy.PeerServed:
@@ -529,106 +572,19 @@ func (n *Node) fill(ctx context.Context, arch, class string) proxy.PeerResult {
 	return last
 }
 
-// fetchPeer performs one GET against an owner's peer endpoint. The
-// request carries the trace ID so the owner joins the same trace, and
-// the owner's spans come back in the response header, shifted into the
-// local timeline at the offset where this hop began. Both directions
-// piggyback the membership epoch; a mismatch pokes an immediate gossip
-// round.
-func (n *Node) fetchPeer(ctx context.Context, owner, arch, class string) proxy.PeerResult {
-	tr := telemetry.FromContext(ctx)
-	hopStart := tr.Elapsed()
-	hopTimer := telemetry.StartTimer()
-	defer func() { n.hPeerFetch.Observe(hopTimer.Elapsed()) }()
-	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+peerPathPrefix+class+".class", nil)
-	if err != nil {
-		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: resilience.Permanent(err)}
-	}
-	req.Header.Set("X-DVM-Arch", arch)
-	req.Header.Set("X-DVM-Client", "peer:"+n.cfg.Self)
-	req.Header.Set(epochHeader, fmtEpoch(n.mship.Epoch()))
-	if id := tr.ID(); id != "" {
-		req.Header.Set(telemetry.TraceHeader, id)
-	}
-	resp, err := n.client.Do(req)
-	if err != nil {
-		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
-	}
-	defer resp.Body.Close()
-	n.noteEpoch(resp.Header.Get(epochHeader))
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		err := fmt.Errorf("cluster: peer %s: %s: %s", owner, resp.Status, strings.TrimSpace(string(body)))
-		if resp.StatusCode == http.StatusNotFound {
-			// Definitive: the owner asked the origin and the class does
-			// not exist. The local fallback fetch will surface the
-			// canonical not-found to the client.
-			return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: resilience.Permanent(err)}
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			if resp.Header.Get(drainingHeader) == "1" {
-				// The owner is leaving gracefully: record it (the ring
-				// drops the member before gossip even arrives) and treat
-				// the rejection as a healthy shed.
-				n.mship.NoteDraining(owner)
-			}
-			// The owner shed this fill (admission backpressure or drain).
-			// Tag the error so fill() can treat it as a healthy peer's
-			// deliberate answer instead of an outage.
-			return proxy.PeerResult{Outcome: proxy.PeerFailed,
-				Err: fmt.Errorf("%v: %w", err, proxy.ErrOverloaded)}
-		}
-		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
-	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerClassBytes+1))
-	if err != nil {
-		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
-	}
-	if len(data) > maxPeerClassBytes {
-		return proxy.PeerResult{Outcome: proxy.PeerFailed,
-			Err: resilience.Permanent(fmt.Errorf("cluster: peer %s: %s: response exceeds %d bytes", owner, class, maxPeerClassBytes))}
-	}
-	if spans, derr := telemetry.DecodeSpans(resp.Header.Get(telemetry.TraceSpansHeader)); derr == nil {
-		tr.AppendShifted(spans, hopStart)
-	}
-	// Re-verify the attestation before trusting the bytes: the digest
-	// must match what we received and the seal must verify under the
-	// service key. A mismatch is corruption evidence against the owner
-	// (ledger + divergence counter); a missing attestation is rejected
-	// too, but without the ledger penalty — it proves nothing beyond a
-	// config mismatch. Either way the bytes are discarded and the fill
-	// chain falls through to the next owner or the local origin.
-	var att *attest.Attestation
-	if n.authority != nil {
-		var aerr error
-		att, aerr = n.verifyPayload(resp.Header.Get(attest.Header), arch, class, data)
-		if aerr != nil {
-			n.cAttestRejects.Inc()
-			if errors.Is(aerr, attest.ErrVerify) {
-				n.noteDivergence(owner)
-			}
-			return proxy.PeerResult{Outcome: proxy.PeerFailed,
-				Err: fmt.Errorf("cluster: peer %s: %s: %w", owner, class, aerr)}
-		}
-	}
-	return proxy.PeerResult{
-		Outcome:  proxy.PeerServed,
-		Data:     data,
-		Att:      att,
-		Rejected: resp.Header.Get("X-DVM-Rejected") == "1",
-		Stale:    resp.Header.Get("X-DVM-Stale") == "1",
-	}
-}
-
 // Handler returns the node's HTTP interface: the client-facing class
-// routes of the local proxy, the peer protocol (fills, replicas,
-// handoff), the gossip endpoint, and a /healthz that includes the live
-// membership view.
+// routes of the local proxy, the versioned peer protocol (/peer/v1/*),
+// the legacy single-key peer routes (thin aliases over the same
+// internals, kept for one release), and a /healthz that includes the
+// live membership view.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle(classPathPrefix(), n.local.Handler())
+	// Versioned peer protocol: all cluster-internal traffic.
+	mux.HandleFunc(batchPath, n.handleBatch)
+	mux.HandleFunc(attestV1Prefix, n.handleAttest)
+	mux.HandleFunc(gossipV1Path, n.handleGossip)
+	// Legacy aliases (deprecated; see DESIGN.md §14).
 	mux.HandleFunc(peerPathPrefix, n.handlePeer)
 	mux.HandleFunc(attestPathPrefix, n.handleAttest)
 	mux.HandleFunc(replicaPathPrefix, n.handleReplica)
@@ -643,23 +599,15 @@ func (n *Node) Handler() http.Handler {
 // it from the proxy package.
 func classPathPrefix() string { return "/classes/" }
 
-// handlePeer answers an owner-side fill: serve the transformed class
-// from this node's cache/origin, never re-forwarding (localOnly), and
-// carry the response flags as headers. A draining node refuses with
-// 429 + X-DVM-Draining so peers re-route immediately.
+// handlePeer is the legacy single-key fill route (deprecated alias of
+// POST /peer/v1/batch): same serveFill core, single-class wire form, no
+// prefetch piggyback. A draining node refuses with 429 + X-DVM-Draining
+// so peers re-route immediately.
 func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	tr, ok := n.peerEnter(w, r, http.MethodGet, false)
+	if !ok {
 		return
 	}
-	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
-	if n.mship.Draining() {
-		w.Header().Set(drainingHeader, "1")
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "draining", http.StatusTooManyRequests)
-		return
-	}
-	n.noteEpoch(r.Header.Get(epochHeader))
 	name := strings.TrimPrefix(r.URL.Path, peerPathPrefix)
 	name = strings.TrimSuffix(name, ".class")
 	if name == "" || strings.Contains(name, "..") {
@@ -671,12 +619,8 @@ func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
 	if client == "" {
 		client = "peer"
 	}
-	// Join the caller's trace under its ID; this hop's spans (recorded
-	// against a fresh local time base) ride back in the response header
-	// for the caller to merge into its own timeline.
-	tr := telemetry.JoinTrace(r.Header.Get(telemetry.TraceHeader))
-	ctx := telemetry.WithTrace(withLocalOnly(r.Context()), tr)
-	res, err := n.local.Request(ctx, proxy.Lookup{Client: client, Arch: arch, Class: name})
+	ctx := telemetry.WithTrace(r.Context(), tr)
+	res, err := n.serveFill(ctx, client, arch, name)
 	w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
 	if err != nil {
 		status := proxy.StatusFor(err)
@@ -688,7 +632,6 @@ func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	n.cPeerServed.Inc()
 	if res.Info.Attestation != nil {
 		w.Header().Set(attest.Header, res.Info.Attestation.Encode())
 	}

@@ -1,0 +1,524 @@
+package cluster
+
+// The versioned peer protocol: one POST /peer/v1/batch envelope moves
+// every kind of class payload between nodes — fill (owner serves a
+// requested class), replica (push to a key's successors), handoff
+// (membership-change cache transfer, both pull and drain-push), and
+// prefetch (predicted successors piggybacked onto a fill). Every entry
+// carries its own attestation and reason; every handler re-verifies
+// bytes before they touch a cache. The shared peerEnter middleware does
+// what the five legacy endpoints each did by hand: method check, epoch
+// piggyback in both directions, draining 429, admission backpressure,
+// and trace-span extraction.
+//
+// The legacy routes (/peer/class, /peer/replica, /peer/handoff,
+// /peer/attest, /gossip) remain mounted as thin aliases over the same
+// serve/ingest internals for one release; see DESIGN.md §14 for the
+// deprecation note. All cluster-internal traffic uses /peer/v1/*.
+//
+// Prefetch piggyback: when an owner serves class A over a batch fill,
+// it consults its successor predictor (internal/prefetch, fed by the
+// fill stream itself and by monitor first-use profiles) and appends A's
+// top-k successors — only entries it holds locally, only attested ones
+// when attestation is on, bounded by the requester's byte budget — so
+// the requester's next k misses become local hits: k round trips turned
+// into one. The requester declines the piggyback (NoPrefetch) while its
+// own admission control reports pressure, and the owner skips it while
+// under pressure itself: speculation must never compete with real load.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dvm/internal/attest"
+	"dvm/internal/proxy"
+	"dvm/internal/resilience"
+	"dvm/internal/telemetry"
+)
+
+const (
+	// batchPath is the versioned peer envelope route.
+	batchPath = "/peer/v1/batch"
+	// attestV1Prefix is the versioned variant-vote route (digest-only
+	// exchange; class bytes never ride it, so it stays off the batch).
+	attestV1Prefix = "/peer/v1/attest/"
+	// gossipV1Path is the versioned membership-exchange route.
+	gossipV1Path = "/peer/v1/gossip"
+)
+
+// maxBatchBytes bounds one batch envelope read: a full-size class plus
+// a prefetch piggyback, with JSON/base64 overhead.
+const maxBatchBytes = 48 << 20
+
+// defaultPrefetchBudget bounds piggybacked prefetch bytes per fill
+// response when Config leaves PrefetchBudget zero.
+const defaultPrefetchBudget = 256 << 10
+
+// BatchRequest is the one envelope every peer hop posts.
+type BatchRequest struct {
+	// Reason is the request's purpose: proxy.ReasonFill with Classes,
+	// proxy.ReasonHandoff with Member (pull), or any ingest push with
+	// Entries (each entry carries its own reason).
+	Reason string `json:"reason"`
+	// Member is the requesting node's peer URL.
+	Member string `json:"member,omitempty"`
+	// Client is the originating client id on a fill — forwarded so the
+	// owner's predictor learns per-client request sequences.
+	Client string `json:"client,omitempty"`
+	// Arch qualifies Classes on a fill.
+	Arch string `json:"arch,omitempty"`
+	// Classes are the classes wanted (fill).
+	Classes []string `json:"classes,omitempty"`
+	// MaxBytes bounds the response: the handoff transfer, or the
+	// prefetch piggyback on a fill (server clamps to its own limit).
+	MaxBytes int `json:"maxBytes,omitempty"`
+	// NoPrefetch declines the prefetch piggyback on a fill (requester
+	// under admission pressure, or prediction disabled).
+	NoPrefetch bool `json:"noPrefetch,omitempty"`
+	// Entries is the ingest direction: replica push, drain-side handoff
+	// push, or a standalone prefetch push.
+	Entries []BatchEntry `json:"entries,omitempty"`
+}
+
+// BatchEntry is one class artifact on the wire, with its trust metadata
+// and the reason it is moving.
+type BatchEntry struct {
+	Arch  string `json:"arch"`
+	Class string `json:"class"`
+	// Reason is one of the proxy.Reason* constants.
+	Reason string `json:"reason"`
+	Data   []byte `json:"data"`
+	// Att is the encoded attestation ("" = unattested; rejected on every
+	// hop when attestation is on).
+	Att string `json:"att,omitempty"`
+	// Rejected and Stale mirror the serving proxy's response flags
+	// (fill entries only).
+	Rejected bool `json:"rejected,omitempty"`
+	Stale    bool `json:"stale,omitempty"`
+}
+
+// BatchError reports one entry or class the server could not serve or
+// accept; Status carries the per-item HTTP semantics (404 definitive
+// miss, 429 shed, 400 rejected payload) that whole-response codes used
+// to carry on the legacy single-key routes.
+type BatchError struct {
+	Arch   string `json:"arch,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+}
+
+// BatchResponse answers a batch envelope.
+type BatchResponse struct {
+	Entries []BatchEntry `json:"entries,omitempty"`
+	Errors  []BatchError `json:"errors,omitempty"`
+}
+
+// peerEnter is the shared middleware for every peer-protocol handler:
+// method check, epoch piggyback both ways, draining 429, optional
+// admission backpressure shed, and trace join. Returns ok=false with
+// the response already written when the request must not proceed.
+func (n *Node) peerEnter(w http.ResponseWriter, r *http.Request, method string, sheddable bool) (*telemetry.Trace, bool) {
+	if r.Method != method {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	if n.mship.Draining() {
+		w.Header().Set(drainingHeader, "1")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusTooManyRequests)
+		return nil, false
+	}
+	if sheddable && n.local.UnderPressure() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded, shed", http.StatusTooManyRequests)
+		return nil, false
+	}
+	n.noteEpoch(r.Header.Get(epochHeader))
+	return telemetry.JoinTrace(r.Header.Get(telemetry.TraceHeader)), true
+}
+
+// handleBatch serves POST /peer/v1/batch. Ingest pushes (Entries) are
+// never pre-shed — the bytes are already on the wire and dropping them
+// only re-costs the push; fills let the proxy's admission control
+// decide (a cache hit needs no slot); handoff pulls shed under
+// pressure, like the legacy route.
+func (n *Node) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr, ok := n.peerEnter(w, r, http.MethodPost, false)
+	if !ok {
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad batch request", http.StatusBadRequest)
+		return
+	}
+	var resp BatchResponse
+	switch {
+	case len(req.Entries) > 0:
+		resp = n.ingestBatch(req)
+	case req.Reason == proxy.ReasonFill && len(req.Classes) > 0:
+		ctx := telemetry.WithTrace(r.Context(), tr)
+		resp = n.serveBatchFill(ctx, tr, req)
+	case req.Reason == proxy.ReasonHandoff && req.Member != "":
+		if n.local.UnderPressure() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded, handoff shed", http.StatusTooManyRequests)
+			return
+		}
+		maxBytes := req.MaxBytes
+		if maxBytes <= 0 || maxBytes > n.cfg.HandoffMaxBytes {
+			maxBytes = n.cfg.HandoffMaxBytes
+		}
+		resp.Entries = n.handoffSnapshot(req.Member, maxBytes)
+	default:
+		http.Error(w, "bad batch request", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// serveBatchFill answers the fill direction: the requested classes plus
+// the prefetch piggyback.
+func (n *Node) serveBatchFill(ctx context.Context, tr *telemetry.Trace, req BatchRequest) BatchResponse {
+	var resp BatchResponse
+	client := req.Client
+	if client == "" {
+		client = "peer"
+	}
+	// Namespace the client id by the requesting member so identical ids
+	// on different requester nodes do not interleave into one false
+	// sequence in the predictor.
+	seq := req.Member + "|" + client
+	served := make([]string, 0, len(req.Classes))
+	for _, class := range req.Classes {
+		if class == "" || strings.Contains(class, "..") {
+			resp.Errors = append(resp.Errors, BatchError{Arch: req.Arch, Class: class,
+				Status: http.StatusBadRequest, Error: "bad class name"})
+			continue
+		}
+		res, err := n.serveFill(ctx, seq, req.Arch, class)
+		if err != nil {
+			resp.Errors = append(resp.Errors, BatchError{Arch: req.Arch, Class: class,
+				Status: proxy.StatusFor(err), Error: err.Error()})
+			continue
+		}
+		e := BatchEntry{Arch: req.Arch, Class: class, Reason: proxy.ReasonFill,
+			Data: res.Data, Rejected: res.Info.Rejected, Stale: res.Info.Stale}
+		if res.Info.Attestation != nil {
+			e.Att = res.Info.Attestation.Encode()
+		}
+		resp.Entries = append(resp.Entries, e)
+		served = append(served, class)
+	}
+	if n.predictor != nil && !req.NoPrefetch && len(served) > 0 && !n.local.UnderPressure() {
+		n.piggybackPrefetch(&resp, req, served)
+	}
+	return resp
+}
+
+// serveFill answers one owner-side fill from this node's cache/origin,
+// never re-forwarding (localOnly). Shared by the batch handler and the
+// legacy GET /peer/class alias. The fill stream doubles as the
+// predictor's live signal: misses routed to this owner are exactly the
+// cold-start sequences worth predicting.
+func (n *Node) serveFill(ctx context.Context, client, arch, class string) (proxy.Result, error) {
+	if n.predictor != nil {
+		n.predictor.ObserveRequest(client, arch, class)
+	}
+	res, err := n.local.Request(withLocalOnly(ctx), proxy.Lookup{Client: client, Arch: arch, Class: class})
+	if err == nil {
+		n.cPeerServed.Inc()
+	}
+	return res, err
+}
+
+// piggybackPrefetch appends the served classes' predicted successors to
+// a fill response: local bytes only (Peek — no LRU distortion), attested
+// entries only when attestation is on, bounded by the requester's byte
+// budget, highest-confidence first.
+func (n *Node) piggybackPrefetch(resp *BatchResponse, req BatchRequest, served []string) {
+	budget := req.MaxBytes
+	if budget <= 0 || budget > n.cfg.PrefetchBudget {
+		budget = n.cfg.PrefetchBudget
+	}
+	have := make(map[string]bool, len(req.Classes))
+	for _, c := range req.Classes {
+		have[c] = true
+	}
+	total := 0
+	pushed := 0
+	for _, class := range served {
+		for _, pred := range n.predictor.Predict(req.Arch, class) {
+			if have[pred.Class] {
+				continue
+			}
+			have[pred.Class] = true // dedup across served classes either way
+			data, att, ok := n.local.Peek(req.Arch, pred.Class)
+			if !ok {
+				continue
+			}
+			if n.authority != nil && att == nil {
+				// Never push unattested bytes into a fleet that verifies.
+				continue
+			}
+			if total+len(data) > budget {
+				continue
+			}
+			e := BatchEntry{Arch: req.Arch, Class: pred.Class, Reason: proxy.ReasonPrefetch, Data: data}
+			if att != nil {
+				e.Att = att.Encode()
+			}
+			resp.Entries = append(resp.Entries, e)
+			total += len(data)
+			pushed++
+		}
+	}
+	if pushed > 0 {
+		n.cPrefetchPushed.Add(int64(pushed))
+		n.hPrefetchBatch.Observe(time.Duration(total))
+	}
+}
+
+// ingestBatch accepts pushed entries (replica, handoff-push, prefetch),
+// re-verifying each against its own attestation before it can touch the
+// cache. Rejected entries come back as BatchErrors; the push is
+// best-effort, so a partial accept is a success with a shorter ledger.
+func (n *Node) ingestBatch(req BatchRequest) BatchResponse {
+	var resp BatchResponse
+	for _, e := range req.Entries {
+		if status, err := n.ingestEntry(e); err != nil {
+			resp.Errors = append(resp.Errors, BatchError{Arch: e.Arch, Class: e.Class,
+				Status: status, Error: err.Error()})
+		}
+	}
+	return resp
+}
+
+// ingestEntry verifies and warms one pushed entry — the single
+// ingestion gate shared by the batch handler and the legacy replica
+// alias. Every entry re-verifies its attestation against its bytes
+// here, whatever the reason; the caches only ever hold artifacts whose
+// seal checks out.
+func (n *Node) ingestEntry(e BatchEntry) (int, error) {
+	if e.Arch == "" || e.Class == "" || strings.Contains(e.Class, "..") ||
+		len(e.Data) == 0 || len(e.Data) > maxPeerClassBytes {
+		return http.StatusBadRequest, fmt.Errorf("cluster: bad batch entry %s/%s", e.Arch, e.Class)
+	}
+	att, aerr := n.verifyPayload(e.Att, e.Arch, e.Class, e.Data)
+	if aerr != nil {
+		n.cAttestRejects.Inc()
+		return http.StatusBadRequest, fmt.Errorf("cluster: entry %s failed attestation: %w", e.Class, aerr)
+	}
+	reason := e.Reason
+	if reason == "" {
+		reason = proxy.ReasonReplica
+	}
+	n.local.Warm([]proxy.CacheEntry{{Arch: e.Arch, Class: e.Class, Data: e.Data, Att: att, Reason: reason}})
+	switch reason {
+	case proxy.ReasonHandoff:
+		n.cHandoffKeys.Inc()
+	case proxy.ReasonPrefetch:
+		n.cPrefetchReceived.Inc()
+	default:
+		n.cReplicaStored.Inc()
+	}
+	return 0, nil
+}
+
+// handoffSnapshot assembles the batch-protocol view of the cached
+// entries member now owns (see handoffEntries for the selection and
+// heat ordering).
+func (n *Node) handoffSnapshot(member string, maxBytes int) []BatchEntry {
+	entries := n.handoffEntries(member, maxBytes)
+	out := make([]BatchEntry, 0, len(entries))
+	for _, e := range entries {
+		be := BatchEntry{Arch: e.Arch, Class: e.Class, Reason: proxy.ReasonHandoff, Data: e.Data}
+		if e.Att != nil {
+			be.Att = e.Att.Encode()
+		}
+		out = append(out, be)
+	}
+	return out
+}
+
+// doBatch posts one batch envelope to peer and decodes the response.
+// Both directions piggyback the membership epoch; the caller's trace
+// rides the request header and the peer's spans come back shifted into
+// the local timeline. A 429 is returned as ErrOverloaded (with the
+// draining note recorded) so callers treat it as a healthy shed.
+func (n *Node) doBatch(ctx context.Context, peer string, breq BatchRequest, timeout time.Duration) (*BatchResponse, error) {
+	tr := telemetry.FromContext(ctx)
+	hopStart := tr.Elapsed()
+	body, err := json.Marshal(breq)
+	if err != nil {
+		return nil, resilience.Permanent(err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+batchPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, resilience.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(epochHeader, fmtEpoch(n.mship.Epoch()))
+	if id := tr.ID(); id != "" {
+		req.Header.Set(telemetry.TraceHeader, id)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	n.noteEpoch(resp.Header.Get(epochHeader))
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		err := fmt.Errorf("cluster: peer %s: %s: %s", peer, resp.Status, strings.TrimSpace(string(b)))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get(drainingHeader) == "1" {
+				n.mship.NoteDraining(peer)
+			}
+			return nil, fmt.Errorf("%v: %w", err, proxy.ErrOverloaded)
+		}
+		return nil, err
+	}
+	var br BatchResponse
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, maxBatchBytes)).Decode(&br); derr != nil {
+		return nil, fmt.Errorf("cluster: peer %s: bad batch response: %w", peer, derr)
+	}
+	if spans, derr := telemetry.DecodeSpans(resp.Header.Get(telemetry.TraceSpansHeader)); derr == nil {
+		tr.AppendShifted(spans, hopStart)
+	}
+	return &br, nil
+}
+
+// entryError maps a per-item BatchError back to the error semantics the
+// fill chain understands (404 definitive, 429 healthy shed).
+func entryError(peer string, be BatchError) error {
+	err := fmt.Errorf("cluster: peer %s: %s: %d %s", peer, be.Class, be.Status, be.Error)
+	switch be.Status {
+	case http.StatusNotFound:
+		return resilience.Permanent(err)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%v: %w", err, proxy.ErrOverloaded)
+	}
+	return err
+}
+
+// fetchPeer performs one fill against an owner over the batch protocol
+// and ingests whatever prefetch entries the owner piggybacked.
+func (n *Node) fetchPeer(ctx context.Context, owner string, l proxy.Lookup) proxy.PeerResult {
+	hopTimer := telemetry.StartTimer()
+	defer func() { n.hPeerFetch.Observe(hopTimer.Elapsed()) }()
+	breq := BatchRequest{
+		Reason:  proxy.ReasonFill,
+		Member:  n.cfg.Self,
+		Client:  l.Client,
+		Arch:    l.Arch,
+		Classes: []string{l.Class},
+		// Decline the piggyback while under local pressure: speculative
+		// ingestion must not compete with admission-controlled work.
+		NoPrefetch: n.predictor == nil || n.local.UnderPressure(),
+		MaxBytes:   n.cfg.PrefetchBudget,
+	}
+	br, err := n.doBatch(ctx, owner, breq, n.cfg.PeerTimeout)
+	if err != nil {
+		return proxy.PeerResult{Outcome: proxy.PeerFailed, Err: err}
+	}
+	res := proxy.PeerResult{Outcome: proxy.PeerFailed,
+		Err: fmt.Errorf("cluster: peer %s: no entry for %s", owner, l.Class)}
+	for _, be := range br.Errors {
+		if be.Class == l.Class {
+			res.Err = entryError(owner, be)
+		}
+	}
+	for _, e := range br.Entries {
+		switch {
+		case e.Reason == proxy.ReasonFill && e.Class == l.Class:
+			if len(e.Data) == 0 || len(e.Data) > maxPeerClassBytes {
+				res.Err = resilience.Permanent(fmt.Errorf("cluster: peer %s: %s: bad entry size %d", owner, l.Class, len(e.Data)))
+				continue
+			}
+			// Re-verify before trusting the bytes. A seal that fails
+			// verification is corruption evidence against the owner
+			// (ledger); a missing attestation proves only a config
+			// mismatch. Either way the bytes are discarded.
+			att, aerr := n.verifyPayload(e.Att, l.Arch, l.Class, e.Data)
+			if aerr != nil {
+				n.cAttestRejects.Inc()
+				if errors.Is(aerr, attest.ErrVerify) {
+					n.noteDivergence(owner)
+				}
+				res.Err = fmt.Errorf("cluster: peer %s: %s: %w", owner, l.Class, aerr)
+				continue
+			}
+			res = proxy.PeerResult{Outcome: proxy.PeerServed, Data: e.Data, Att: att,
+				Rejected: e.Rejected, Stale: e.Stale}
+		case e.Reason == proxy.ReasonPrefetch:
+			n.ingestPrefetchEntry(owner, e)
+		}
+	}
+	return res
+}
+
+// ingestPrefetchEntry warms one piggybacked successor. Same trust gate
+// as every other hop: verify or discard. The proxy's prefetch placement
+// (cold-end insert, never evict) and its waste ledger take it from
+// here.
+func (n *Node) ingestPrefetchEntry(owner string, e BatchEntry) {
+	if e.Arch == "" || e.Class == "" || len(e.Data) == 0 || len(e.Data) > maxPeerClassBytes {
+		return
+	}
+	att, aerr := n.verifyPayload(e.Att, e.Arch, e.Class, e.Data)
+	if aerr != nil {
+		n.cAttestRejects.Inc()
+		if errors.Is(aerr, attest.ErrVerify) {
+			n.noteDivergence(owner)
+		}
+		return
+	}
+	if n.local.Warm([]proxy.CacheEntry{{Arch: e.Arch, Class: e.Class, Data: e.Data, Att: att, Reason: proxy.ReasonPrefetch}}) > 0 {
+		n.cPrefetchReceived.Inc()
+	}
+}
+
+// pushEntries posts ingest entries to one peer. Reports how many the
+// peer accepted (best-effort; a shed or dead peer just means colder
+// caches).
+func (n *Node) pushEntries(ctx context.Context, peer string, entries []BatchEntry) int {
+	if len(entries) == 0 {
+		return 0
+	}
+	br, err := n.doBatch(ctx, peer, BatchRequest{Reason: entries[0].Reason, Member: n.cfg.Self, Entries: entries}, n.cfg.PeerTimeout)
+	if err != nil {
+		return 0
+	}
+	return len(entries) - len(br.Errors)
+}
+
+// FeedProfile replays a class-transition order (optimize.ClassOrder of
+// a monitor first-use profile) into this node's predictor: the offline
+// half of the prediction signal, alongside the live fill stream.
+func (n *Node) FeedProfile(arch string, classes []string) {
+	if n.predictor != nil {
+		n.predictor.ObserveOrder(arch, classes)
+	}
+}
+
+// PrefetchPushed returns how many successor entries this node has
+// piggybacked onto fills it served (diagnostics).
+func (n *Node) PrefetchPushed() int64 { return n.cPrefetchPushed.Load() }
+
+// PrefetchReceived returns how many piggybacked entries this node has
+// accepted into its cache (diagnostics).
+func (n *Node) PrefetchReceived() int64 { return n.cPrefetchReceived.Load() }

@@ -23,7 +23,7 @@ import (
 
 // ClusterScalingRow is one (mode, fleet size) point of the comparison.
 type ClusterScalingRow struct {
-	Mode          string // "round-robin" or "cluster"
+	Mode          string // "round-robin", "cluster", or "cluster+prefetch"
 	Nodes         int
 	Clients       int
 	OriginFetches int64
@@ -38,14 +38,39 @@ type ClusterScalingRow struct {
 	// computed from it.
 	Latency       telemetry.HistSnapshot
 	P50, P95, P99 time.Duration
-	ThroughputBps float64
+	// ColdStart is the latency histogram over each client's FIRST request
+	// for each key — the tail the prefetcher attacks. Later repeats of
+	// the same (client, key) pair are warm and excluded.
+	ColdStart telemetry.HistSnapshot
+	ColdP99   time.Duration
+	// Prefetch ledger, summed over the fleet: entries piggybacked onto
+	// peer-fill responses, hits on prefetched entries, and bytes pushed
+	// but evicted/overwritten before first use (waste — reported, never
+	// hidden; each piggyback batch is bounded by the prefetch budget).
+	PrefetchPushed int64
+	PrefetchHits   int64
+	PrefetchWaste  int64
+	ThroughputBps  float64
 }
 
-// ClusterScaling runs the same client workload against two fleets of
-// each size in nodeCounts — N round-robin replicas and an N-node
-// sharded cluster (both with caching on, over the same synthetic-
-// Internet origin) — and reports duplicate work and client-observed
-// latency. The cluster's peer hops run over real loopback HTTP.
+// clusterZipfS is the key-popularity skew of the app-walk workload's
+// window starts (same exponent family as the overload harness).
+const clusterZipfS = 0.9
+
+// clusterWalkLen is the length of one sequential class walk: a client
+// picks a zipf-popular window start and then requests ~8 classes in
+// order — the applet-session shape whose first-use order the monitor
+// profiles, and therefore the sequence the prefetcher can predict.
+const clusterWalkLen = 8
+
+// ClusterScaling runs the same zipf-app-walk workload against three
+// fleets of each size in nodeCounts — N round-robin replicas, an
+// N-node sharded cluster, and the same cluster with predictive
+// prefetch enabled (all with caching on, over the same synthetic-
+// Internet origin) — and reports duplicate work, client-observed
+// latency, cold-start latency (first touch per client and key), and
+// the prefetch hit/waste ledger. The cluster's peer hops run over real
+// loopback HTTP.
 func ClusterScaling(clients int, nodeCounts []int, cfg Fig10Config) ([]ClusterScalingRow, string, error) {
 	origin, err := Corpus(cfg.Applets, cfg.AppletKB*1024, 42)
 	if err != nil {
@@ -78,6 +103,60 @@ func ClusterScaling(clients int, nodeCounts []int, cfg Fig10Config) ([]ClusterSc
 
 	var rows []ClusterScalingRow
 	var breakdown string
+
+	// runCluster drives one sharded fleet, optionally with the prefetch
+	// predictor enabled and pre-trained from the app-walk first-use order
+	// (the monitor profile a previous session would have produced).
+	runCluster := func(n int, mode string, withPrefetch bool) (ClusterScalingRow, error) {
+		mkClust := func(int) cluster.Config {
+			if withPrefetch {
+				return cluster.Config{}
+			}
+			return cluster.Config{PrefetchK: -1}
+		}
+		lc, err := cluster.StartLocal(delayed, n, mkProxy, mkClust)
+		if err != nil {
+			return ClusterScalingRow{}, err
+		}
+		defer lc.Close()
+		if withPrefetch {
+			cycle := make([]string, 0, cfg.Applets+1)
+			for i := 0; i <= cfg.Applets; i++ {
+				cycle = append(cycle, fmt.Sprintf("net/Applet%03d", i%cfg.Applets))
+			}
+			for _, node := range lc.Nodes {
+				node.FeedProfile("dvm", cycle)
+			}
+		}
+		// One traced cold request from a non-owner first: its trace shows
+		// the per-stage breakdown (peer.fill on the non-owner, the owner's
+		// origin.fetch and pipeline) that the aggregate table cannot.
+		if s := traceSample(lc, cfg.Applets); s != "" && breakdown == "" {
+			breakdown = s
+		}
+		row, err := driveFleet(mode, n, clients, cfg, func(c int) requestFunc {
+			return lc.Nodes[c%n].Request
+		})
+		if err != nil {
+			return ClusterScalingRow{}, err
+		}
+		var total proxy.Stats
+		for _, node := range lc.Nodes {
+			s := node.Proxy().Stats()
+			total.Requests += s.Requests
+			total.CacheHits += s.CacheHits
+			total.OriginFetches += s.OriginFetches
+		}
+		row = finishRow(row, total, cfg.Applets)
+		for _, node := range lc.Nodes {
+			_, hits, _, waste, _ := node.Proxy().PrefetchStats()
+			row.PrefetchPushed += node.PrefetchPushed()
+			row.PrefetchHits += hits
+			row.PrefetchWaste += waste
+		}
+		return row, nil
+	}
+
 	for _, n := range nodeCounts {
 		// Round-robin baseline: N independent caches.
 		group, err := proxy.NewReplicaGroup(delayed, n, mkProxy)
@@ -93,33 +172,21 @@ func ClusterScaling(clients int, nodeCounts []int, cfg Fig10Config) ([]ClusterSc
 		row = finishRow(row, group.Stats(), cfg.Applets)
 		rows = append(rows, row)
 
-		// Sharded cluster: one logical cache over N nodes.
-		lc, err := cluster.StartLocal(delayed, n, mkProxy, nil)
+		// Sharded cluster: one logical cache over N nodes, predictor off.
+		row, err = runCluster(n, "cluster", false)
 		if err != nil {
 			return nil, "", err
 		}
-		// One traced cold request from a non-owner first: its trace shows
-		// the per-stage breakdown (peer.fill on the non-owner, the owner's
-		// origin.fetch and pipeline) that the aggregate table cannot.
-		if s := traceSample(lc, cfg.Applets); s != "" {
-			breakdown = s
-		}
-		row, err = driveFleet("cluster", n, clients, cfg, func(c int) requestFunc {
-			return lc.Nodes[c%n].Request
-		})
+		rows = append(rows, row)
+
+		// Same fleet with the prefetcher on: peer fills piggyback
+		// predicted successors, so a client's first touch of a class is
+		// more often a local hit — the cold-start column is the one to
+		// compare against the plain cluster row.
+		row, err = runCluster(n, "cluster+prefetch", true)
 		if err != nil {
-			lc.Close()
 			return nil, "", err
 		}
-		var total proxy.Stats
-		for _, node := range lc.Nodes {
-			s := node.Proxy().Stats()
-			total.Requests += s.Requests
-			total.CacheHits += s.CacheHits
-			total.OriginFetches += s.OriginFetches
-		}
-		lc.Close()
-		row = finishRow(row, total, cfg.Applets)
 		rows = append(rows, row)
 	}
 
@@ -134,11 +201,13 @@ func ClusterScaling(clients int, nodeCounts []int, cfg Fig10Config) ([]ClusterSc
 			ms(r.P50),
 			ms(r.P95),
 			ms(r.P99),
-			fmt.Sprintf("%.0f", r.ThroughputBps/1024),
+			ms(r.ColdP99),
+			fmt.Sprint(r.PrefetchHits),
+			fmt.Sprint(r.PrefetchWaste),
 		})
 	}
-	text := fmt.Sprintf("sharded cluster vs round-robin replicas at %d clients, %d distinct classes\n", clients, cfg.Applets) +
-		table([]string{"Mode", "Nodes", "Origin fetches", "Dup rewrites", "Hit rate", "p50 (ms)", "p95 (ms)", "p99 (ms)", "Throughput (KB/s)"}, cells)
+	text := fmt.Sprintf("sharded cluster vs round-robin replicas at %d clients, %d distinct classes, zipf(s=%.1f) app walks\n", clients, cfg.Applets, clusterZipfS) +
+		table([]string{"Mode", "Nodes", "Origin fetches", "Dup rewrites", "Hit rate", "p50 (ms)", "p95 (ms)", "p99 (ms)", "Cold p99 (ms)", "Pf hits", "Pf waste (B)"}, cells)
 	if breakdown != "" {
 		text += "\n" + breakdown
 	}
@@ -170,13 +239,22 @@ func traceSample(lc *cluster.LocalCluster, applets int) string {
 	return ""
 }
 
-// driveFleet runs the standard applet-loop workload for cfg.Duration
-// and collects client-observed latencies in a shared telemetry
-// histogram — the same mergeable form the daemons export on /metrics.
+// driveFleet runs the zipf-app-walk workload for cfg.Duration and
+// collects client-observed latencies in shared telemetry histograms —
+// the same mergeable form the daemons export on /metrics. Each client
+// repeatedly draws a zipf-popular window start and walks clusterWalkLen
+// classes from it in sequence; the first time a client touches a key
+// its latency also lands in the cold-start histogram.
 func driveFleet(mode string, nodes, clients int, cfg Fig10Config, entry func(c int) requestFunc) (ClusterScalingRow, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	hist := telemetry.NewHistogram(nil)
+	cold := telemetry.NewHistogram(nil)
+	zipf := newZipfTable(cfg.Applets, clusterZipfS)
+	walk := clusterWalkLen
+	if walk > cfg.Applets {
+		walk = cfg.Applets
+	}
 	var totalBytes int64
 	var firstErr error
 	start := telemetry.StartTimer()
@@ -186,19 +264,36 @@ func driveFleet(mode string, nodes, clients int, cfg Fig10Config, entry func(c i
 		go func(c int) {
 			defer wg.Done()
 			req := entry(c)
-			for f := 0; time.Now().Before(deadline); f++ {
-				applet := fmt.Sprintf("net/Applet%03d", (c+f)%cfg.Applets)
-				t0 := telemetry.StartTimer()
-				res, err := req(context.Background(), proxy.Lookup{
-					Client: fmt.Sprintf("client-%d", c), Arch: "dvm", Class: applet,
-				})
-				hist.Observe(t0.Elapsed())
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
+			rng := &lrand{state: uint64(c)*0x9E3779B97F4A7C15 + 12345}
+			seen := make(map[int]bool, cfg.Applets)
+			for time.Now().Before(deadline) {
+				// The first walk starts at the client's own offset so the
+				// fleet collectively covers every key even when the zipf
+				// head would otherwise starve the tail in a short run.
+				w := (c * walk) % cfg.Applets
+				if len(seen) > 0 {
+					w = zipf.draw(rng.float())
 				}
-				totalBytes += int64(len(res.Data))
-				mu.Unlock()
+				for s := 0; s < walk && time.Now().Before(deadline); s++ {
+					idx := (w + s) % cfg.Applets
+					applet := fmt.Sprintf("net/Applet%03d", idx)
+					t0 := telemetry.StartTimer()
+					res, err := req(context.Background(), proxy.Lookup{
+						Client: fmt.Sprintf("client-%d", c), Arch: "dvm", Class: applet,
+					})
+					lat := t0.Elapsed()
+					hist.Observe(lat)
+					if !seen[idx] {
+						seen[idx] = true
+						cold.Observe(lat)
+					}
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					totalBytes += int64(len(res.Data))
+					mu.Unlock()
+				}
 			}
 		}(c)
 	}
@@ -208,6 +303,7 @@ func driveFleet(mode string, nodes, clients int, cfg Fig10Config, entry func(c i
 	}
 	elapsed := start.Elapsed()
 	lat := hist.Snapshot()
+	coldSnap := cold.Snapshot()
 	row := ClusterScalingRow{
 		Mode:          mode,
 		Nodes:         nodes,
@@ -216,6 +312,8 @@ func driveFleet(mode string, nodes, clients int, cfg Fig10Config, entry func(c i
 		P50:           lat.Quantile(0.50),
 		P95:           lat.Quantile(0.95),
 		P99:           lat.Quantile(0.99),
+		ColdStart:     coldSnap,
+		ColdP99:       coldSnap.Quantile(0.99),
 		ThroughputBps: float64(totalBytes) / elapsed.Seconds(),
 	}
 	return row, nil

@@ -52,6 +52,8 @@ type Collector struct {
 	cEvents   *telemetry.Counter
 	cBatches  *telemetry.Counter
 	cRejected *telemetry.Counter
+
+	onFirstUse func(session, class, method string)
 }
 
 type sessionRecord struct {
@@ -115,6 +117,21 @@ func (c *Collector) Record(session, class, method, kind string) error {
 // — keeps the time it actually happened rather than the time the retry
 // landed.
 func (c *Collector) RecordAt(session, class, method, kind string, at time.Time) error {
+	first, err := c.recordAt(session, class, method, kind, at)
+	if first {
+		c.mu.Lock()
+		fn := c.onFirstUse
+		c.mu.Unlock()
+		if fn != nil {
+			// Invoked outside c.mu so the hook may call back into the
+			// collector (or feed a predictor that does its own locking).
+			fn(session, class, method)
+		}
+	}
+	return err
+}
+
+func (c *Collector) recordAt(session, class, method, kind string, at time.Time) (firstUse bool, err error) {
 	if at.IsZero() {
 		at = time.Now()
 	}
@@ -123,7 +140,7 @@ func (c *Collector) RecordAt(session, class, method, kind string, at time.Time) 
 	s, ok := c.sessions[session]
 	if !ok {
 		c.cRejected.Inc()
-		return fmt.Errorf("monitor: unknown session %q", session)
+		return false, fmt.Errorf("monitor: unknown session %q", session)
 	}
 	c.seq++
 	c.cEvents.Inc()
@@ -146,6 +163,7 @@ func (c *Collector) RecordAt(session, class, method, kind string, at time.Time) 
 		if !s.seen[node] {
 			s.seen[node] = true
 			s.first = append(s.first, node)
+			firstUse = true
 		}
 		s.stack = append(s.stack, node)
 	case "exit":
@@ -163,9 +181,19 @@ func (c *Collector) RecordAt(session, class, method, kind string, at time.Time) 
 		if !s.seen[node] {
 			s.seen[node] = true
 			s.first = append(s.first, node)
+			firstUse = true
 		}
 	}
-	return nil
+	return firstUse, nil
+}
+
+// OnFirstUse registers a hook invoked (outside the collector lock) each
+// time a session observes a method for the first time — the live feed
+// for the prefetch successor graph. Pass nil to clear.
+func (c *Collector) OnFirstUse(fn func(session, class, method string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onFirstUse = fn
 }
 
 // Events returns a copy of the stored audit trail (optionally filtered
@@ -241,6 +269,20 @@ func (c *Collector) CallGraph(session string) []CallEdge {
 		}
 		return out[i].Callee < out[j].Callee
 	})
+	return out
+}
+
+// FirstUseOrders returns every session's first-use order keyed by
+// session id — the bulk profile feed a predictor replays at startup.
+func (c *Collector) FirstUseOrders() map[string][]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]string, len(c.sessions))
+	for id, s := range c.sessions {
+		if len(s.first) > 0 {
+			out[id] = append([]string(nil), s.first...)
+		}
+	}
 	return out
 }
 

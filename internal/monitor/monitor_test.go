@@ -223,3 +223,51 @@ func TestSessionsAndMultipleClients(t *testing.T) {
 		t.Errorf("Sessions = %v", got)
 	}
 }
+
+func TestOnFirstUseHookAndBulkOrders(t *testing.T) {
+	coll := monitor.NewCollector()
+	type firstUse struct{ session, class, method string }
+	var fired []firstUse
+	coll.OnFirstUse(func(session, class, method string) {
+		// The hook runs outside the collector lock: calling back in must
+		// not deadlock.
+		_ = coll.EventCount()
+		fired = append(fired, firstUse{session, class, method})
+	})
+	s1 := coll.Handshake(monitor.ClientInfo{})
+	s2 := coll.Handshake(monitor.ClientInfo{})
+	mustRecord := func(sess, class, method, kind string) {
+		t.Helper()
+		if err := coll.Record(sess, class, method, kind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRecord(s1, "app/A", "init", "enter")
+	mustRecord(s1, "app/A", "init", "enter") // repeat: no hook
+	mustRecord(s1, "app/B", "run", "note")
+	mustRecord(s2, "app/C", "x", "enter")
+	mustRecord(s1, "app/A", "init", "exit") // exit: never a first use
+	want := []firstUse{
+		{s1, "app/A", "init"},
+		{s1, "app/B", "run"},
+		{s2, "app/C", "x"},
+	}
+	if len(fired) != len(want) {
+		t.Fatalf("hook fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hook fired %v, want %v", fired, want)
+		}
+	}
+	orders := coll.FirstUseOrders()
+	if len(orders) != 2 {
+		t.Fatalf("orders = %v, want 2 sessions", orders)
+	}
+	if got := orders[s1]; len(got) != 2 || got[0] != "app/A.init" || got[1] != "app/B.run" {
+		t.Errorf("s1 order = %v", got)
+	}
+	if got := orders[s2]; len(got) != 1 || got[0] != "app/C.x" {
+		t.Errorf("s2 order = %v", got)
+	}
+}

@@ -25,25 +25,56 @@ import (
 const ColdSuffix = "$cold"
 
 // Profile is the set of methods observed in use (from the monitoring
-// service's first-use instrumentation). Keys are "class.method".
+// service's first-use instrumentation). Keys are "class.method". Order
+// preserves the first-invocation sequence — the signal the prefetch
+// successor graph consumes.
 type Profile struct {
-	Hot map[string]bool
+	Hot   map[string]bool
+	Order []string // deduplicated "class.method" in arrival order
 }
 
 // NewProfile returns an empty profile.
 func NewProfile() *Profile { return &Profile{Hot: make(map[string]bool)} }
 
 // FromFirstUse builds a profile from monitor first-use order entries of
-// the form "class.method desc" or "class.method".
+// the form "class.method desc" or "class.method". Entries are trimmed,
+// malformed (empty after trimming) entries are skipped, and duplicates
+// keep their first position, so Order is the true arrival order.
 func FromFirstUse(order []string) *Profile {
 	p := NewProfile()
 	for _, e := range order {
+		e = strings.TrimSpace(e)
 		if i := strings.IndexByte(e, ' '); i >= 0 {
 			e = e[:i]
 		}
+		if e == "" || p.Hot[e] {
+			continue
+		}
 		p.Hot[e] = true
+		p.Order = append(p.Order, e)
 	}
 	return p
+}
+
+// ClassOrder projects a profile's method-level first-use order onto
+// classes: the sequence of class transitions with consecutive duplicates
+// collapsed. This is the edge stream the prefetch predictor replays.
+func (p *Profile) ClassOrder() []string {
+	var out []string
+	for _, e := range p.Order {
+		class := e
+		if i := strings.LastIndexByte(e, '.'); i > 0 {
+			class = e[:i]
+		}
+		if class == "" {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1] == class {
+			continue
+		}
+		out = append(out, class)
+	}
+	return out
 }
 
 // HotMethod reports whether class.method was used in the profile.

@@ -191,6 +191,54 @@ func TestFromFirstUseParsesDescriptors(t *testing.T) {
 	}
 }
 
+// Regression: FromFirstUse used to drop arrival order entirely and map a
+// malformed (leading-space) entry to Hot[""]. The prefetch successor
+// graph depends on edge order, so Order must be the deduplicated arrival
+// sequence and malformed entries must not corrupt it.
+func TestFromFirstUsePreservesOrderAndDedups(t *testing.T) {
+	p := optimize.FromFirstUse([]string{
+		"app/A.init ()V",
+		"app/B.run",
+		"app/A.init ()V",   // duplicate: keeps first position
+		" app/C.go ()V",    // leading space: trimmed, not Hot[""]
+		"   ",              // malformed: skipped
+		"",                 // malformed: skipped
+		"app/B.run (JJ)V",  // duplicate with different descriptor
+		"app/D.x",
+	})
+	want := []string{"app/A.init", "app/B.run", "app/C.go", "app/D.x"}
+	if len(p.Order) != len(want) {
+		t.Fatalf("Order = %v, want %v", p.Order, want)
+	}
+	for i := range want {
+		if p.Order[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", p.Order, want)
+		}
+	}
+	if p.Hot[""] {
+		t.Error("malformed entry produced Hot[\"\"]")
+	}
+	if len(p.Hot) != len(want) {
+		t.Errorf("Hot has %d entries, want %d: %v", len(p.Hot), len(want), p.Hot)
+	}
+}
+
+func TestClassOrderCollapsesTransitions(t *testing.T) {
+	p := optimize.FromFirstUse([]string{
+		"app/A.init", "app/A.run", "app/B.go", "app/B.stop", "app/A.end", "app/C.x",
+	})
+	got := p.ClassOrder()
+	want := []string{"app/A", "app/B", "app/A", "app/C"}
+	if len(got) != len(want) {
+		t.Fatalf("ClassOrder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ClassOrder = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestCopyConstantAllTags(t *testing.T) {
 	src := classfile.NewConstPool()
 	dst := classfile.NewConstPool()

@@ -1,0 +1,268 @@
+// Package prefetch predicts which classes a client will request next.
+//
+// The predictor folds two signals into a decayed successor graph keyed by
+// (arch, class):
+//
+//   - live request sequences: each client's consecutive (arch, class)
+//     requests add weight to the edge prev -> next, and
+//   - monitor first-use orders: the optimizer's profile feed
+//     (optimize.ClassOrder) replays recorded class-transition sequences.
+//
+// When the cluster owner serves class A it asks Predict(arch, A) for the
+// top-k successors whose conditional probability clears MinConfidence and
+// piggybacks those entries onto the peer-fill response. Weights decay
+// geometrically every DecayEvery observations so the graph tracks the
+// current workload instead of its whole history; Heat exposes per-key
+// cumulative weight so handoff can pre-warm a joining node hottest-first.
+//
+// All methods are safe for concurrent use.
+package prefetch
+
+import (
+	"sort"
+	"sync"
+)
+
+// Config bounds the predictor. Zero values select the defaults.
+type Config struct {
+	// TopK is the maximum number of successors Predict returns.
+	TopK int
+	// MinConfidence is the minimum conditional probability
+	// weight(A->B) / sum(weight(A->*)) for B to be predicted after A.
+	MinConfidence float64
+	// Decay multiplies every edge weight once per DecayEvery observations.
+	Decay float64
+	// DecayEvery is the observation count between decay sweeps.
+	DecayEvery int
+	// MaxKeys caps the number of distinct (arch, class) nodes tracked.
+	MaxKeys int
+	// MaxClients caps the per-client last-request table.
+	MaxClients int
+}
+
+const (
+	defaultTopK          = 3
+	defaultMinConfidence = 0.25
+	defaultDecay         = 0.5
+	defaultDecayEvery    = 1024
+	defaultMaxKeys       = 4096
+	defaultMaxClients    = 4096
+	// minWeight prunes edges whose decayed weight no longer matters.
+	minWeight = 0.01
+)
+
+func (c Config) withDefaults() Config {
+	if c.TopK == 0 {
+		c.TopK = defaultTopK
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = defaultMinConfidence
+	}
+	if c.Decay == 0 {
+		c.Decay = defaultDecay
+	}
+	if c.DecayEvery == 0 {
+		c.DecayEvery = defaultDecayEvery
+	}
+	if c.MaxKeys == 0 {
+		c.MaxKeys = defaultMaxKeys
+	}
+	if c.MaxClients == 0 {
+		c.MaxClients = defaultMaxClients
+	}
+	return c
+}
+
+// Prediction is one predicted successor class with its conditional
+// probability at prediction time.
+type Prediction struct {
+	Class      string
+	Confidence float64
+}
+
+// node is the successor edge set of one (arch, class) key.
+type node struct {
+	succ map[string]float64 // successor class -> decayed weight
+	heat float64            // cumulative observation weight of the key itself
+}
+
+// Predictor is a decayed first-use successor graph. The zero value is not
+// usable; call New.
+type Predictor struct {
+	cfg Config
+
+	mu    sync.Mutex
+	nodes map[string]*node  // key: arch + "\x00" + class
+	last  map[string]string // client -> last requested key
+	obs   int               // observations since the last decay sweep
+}
+
+// New returns a Predictor with cfg (zero fields replaced by defaults).
+func New(cfg Config) *Predictor {
+	return &Predictor{
+		cfg:   cfg.withDefaults(),
+		nodes: make(map[string]*node),
+		last:  make(map[string]string),
+	}
+}
+
+func key(arch, class string) string { return arch + "\x00" + class }
+
+// ObserveRequest records that client requested (arch, class). Consecutive
+// requests by the same client for the same arch form a successor edge.
+func (p *Predictor) ObserveRequest(client, arch, class string) {
+	if client == "" || class == "" {
+		return
+	}
+	k := key(arch, class)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.last[client]; ok && prev != k {
+		// Only chain within one arch: a client switching arch is a new
+		// sequence, not a code-path transition.
+		if pa, _ := splitKey(prev); pa == arch {
+			p.edge(prev, class)
+		}
+	}
+	if len(p.last) >= p.cfg.MaxClients {
+		// Bounded table: drop an arbitrary entry rather than grow.
+		for c := range p.last {
+			delete(p.last, c)
+			break
+		}
+	}
+	p.last[client] = k
+	p.touch(k)
+}
+
+// ObserveOrder replays a recorded class transition sequence (for example
+// optimize.ClassOrder of a monitor first-use profile) into the graph.
+func (p *Predictor) ObserveOrder(arch string, classes []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	prev := ""
+	for _, c := range classes {
+		if c == "" {
+			continue
+		}
+		k := key(arch, c)
+		if prev != "" && prev != k {
+			p.edge(prev, c)
+		}
+		p.touch(k)
+		prev = k
+	}
+}
+
+// edge adds weight 1 to prevKey -> class. Caller holds p.mu.
+func (p *Predictor) edge(prevKey, class string) {
+	n := p.nodes[prevKey]
+	if n == nil {
+		if len(p.nodes) >= p.cfg.MaxKeys {
+			return
+		}
+		n = &node{succ: make(map[string]float64)}
+		p.nodes[prevKey] = n
+	}
+	n.succ[class]++
+}
+
+// touch bumps key heat and runs the decay sweep when due. Caller holds p.mu.
+func (p *Predictor) touch(k string) {
+	n := p.nodes[k]
+	if n == nil {
+		if len(p.nodes) >= p.cfg.MaxKeys {
+			return
+		}
+		n = &node{succ: make(map[string]float64)}
+		p.nodes[k] = n
+	}
+	n.heat++
+	p.obs++
+	if p.obs >= p.cfg.DecayEvery {
+		p.obs = 0
+		p.decay()
+	}
+}
+
+// decay multiplies all weights by cfg.Decay and prunes dead edges and keys.
+// Caller holds p.mu.
+func (p *Predictor) decay() {
+	for k, n := range p.nodes {
+		n.heat *= p.cfg.Decay
+		for c, w := range n.succ {
+			w *= p.cfg.Decay
+			if w < minWeight {
+				delete(n.succ, c)
+			} else {
+				n.succ[c] = w
+			}
+		}
+		if n.heat < minWeight && len(n.succ) == 0 {
+			delete(p.nodes, k)
+		}
+	}
+}
+
+// Predict returns up to TopK successors of (arch, class) whose conditional
+// probability clears MinConfidence, highest-confidence first. Ties break by
+// class name so the output is deterministic.
+func (p *Predictor) Predict(arch, class string) []Prediction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.nodes[key(arch, class)]
+	if n == nil || len(n.succ) == 0 {
+		return nil
+	}
+	var total float64
+	for _, w := range n.succ {
+		total += w
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]Prediction, 0, len(n.succ))
+	for c, w := range n.succ {
+		conf := w / total
+		if conf >= p.cfg.MinConfidence {
+			out = append(out, Prediction{Class: c, Confidence: conf})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Class < out[j].Class
+	})
+	if len(out) > p.cfg.TopK {
+		out = out[:p.cfg.TopK]
+	}
+	return out
+}
+
+// Heat returns the decayed cumulative observation weight of (arch, class).
+// Handoff uses it to pre-warm a joining node hottest-profile-first.
+func (p *Predictor) Heat(arch, class string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := p.nodes[key(arch, class)]; n != nil {
+		return n.heat
+	}
+	return 0
+}
+
+// Keys returns the number of distinct (arch, class) nodes tracked.
+func (p *Predictor) Keys() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.nodes)
+}
+
+func splitKey(k string) (arch, class string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:]
+		}
+	}
+	return "", k
+}

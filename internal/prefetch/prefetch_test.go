@@ -1,0 +1,139 @@
+package prefetch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPredictTopKDeterministic(t *testing.T) {
+	p := New(Config{TopK: 2, MinConfidence: 0.05})
+	// A -> B seen 5x, A -> C 3x, A -> D 2x.
+	for i := 0; i < 5; i++ {
+		p.ObserveOrder("x86", []string{"app/A", "app/B"})
+	}
+	for i := 0; i < 3; i++ {
+		p.ObserveOrder("x86", []string{"app/A", "app/C"})
+	}
+	for i := 0; i < 2; i++ {
+		p.ObserveOrder("x86", []string{"app/A", "app/D"})
+	}
+	got := p.Predict("x86", "app/A")
+	if len(got) != 2 {
+		t.Fatalf("want top-2, got %v", got)
+	}
+	if got[0].Class != "app/B" || got[1].Class != "app/C" {
+		t.Fatalf("want [B C], got %v", got)
+	}
+	if got[0].Confidence <= got[1].Confidence {
+		t.Fatalf("confidences not descending: %v", got)
+	}
+	// Ties break by name: equal-weight successors come back sorted.
+	q := New(Config{TopK: 3, MinConfidence: 0.05})
+	q.ObserveOrder("x86", []string{"app/A", "app/Z"})
+	q.ObserveOrder("x86", []string{"app/A", "app/M"})
+	if tied := q.Predict("x86", "app/A"); len(tied) != 2 || tied[0].Class != "app/M" || tied[1].Class != "app/Z" {
+		t.Fatalf("tie break not by name: %v", tied)
+	}
+}
+
+func TestPredictConfidenceThreshold(t *testing.T) {
+	p := New(Config{TopK: 10, MinConfidence: 0.3})
+	// B: 6/10 = 0.6 passes; C: 3/10 = 0.3 passes (inclusive); D: 1/10 fails.
+	for i := 0; i < 6; i++ {
+		p.ObserveOrder("x86", []string{"app/A", "app/B"})
+	}
+	for i := 0; i < 3; i++ {
+		p.ObserveOrder("x86", []string{"app/A", "app/C"})
+	}
+	p.ObserveOrder("x86", []string{"app/A", "app/D"})
+	got := p.Predict("x86", "app/A")
+	if len(got) != 2 || got[0].Class != "app/B" || got[1].Class != "app/C" {
+		t.Fatalf("threshold not applied: %v", got)
+	}
+	for _, pr := range got {
+		if pr.Confidence < 0.3 {
+			t.Fatalf("prediction below threshold: %v", pr)
+		}
+	}
+}
+
+func TestDecayForgetsOldWorkload(t *testing.T) {
+	p := New(Config{TopK: 1, MinConfidence: 0.1, Decay: 0.25, DecayEvery: 20})
+	// Phase 1: A -> B dominates.
+	for i := 0; i < 8; i++ {
+		p.ObserveOrder("x86", []string{"app/A", "app/B"})
+	}
+	if got := p.Predict("x86", "app/A"); len(got) != 1 || got[0].Class != "app/B" {
+		t.Fatalf("phase 1: want B, got %v", got)
+	}
+	heatBefore := p.Heat("x86", "app/B")
+	// Phase 2: workload shifts to A -> C; decay sweeps shrink B's edge.
+	for i := 0; i < 40; i++ {
+		p.ObserveOrder("x86", []string{"app/A", "app/C"})
+	}
+	if got := p.Predict("x86", "app/A"); len(got) != 1 || got[0].Class != "app/C" {
+		t.Fatalf("phase 2: want C after decay, got %v", got)
+	}
+	if h := p.Heat("x86", "app/B"); h >= heatBefore {
+		t.Fatalf("B heat did not decay: before %.2f after %.2f", heatBefore, h)
+	}
+	if h := p.Heat("x86", "app/C"); h <= p.Heat("x86", "app/B") {
+		t.Fatalf("C should be hotter than B after shift: C=%.2f B=%.2f", h, p.Heat("x86", "app/B"))
+	}
+}
+
+func TestObserveRequestChainsPerClient(t *testing.T) {
+	p := New(Config{TopK: 3, MinConfidence: 0.1})
+	// Two clients interleave; edges must follow per-client order, and the
+	// arch boundary must not create a cross-arch edge.
+	p.ObserveRequest("c1", "x86", "app/A")
+	p.ObserveRequest("c2", "x86", "app/X")
+	p.ObserveRequest("c1", "x86", "app/B")
+	p.ObserveRequest("c2", "x86", "app/Y")
+	p.ObserveRequest("c1", "arm", "app/C") // arch switch: no x86 A->C edge
+	got := p.Predict("x86", "app/A")
+	if len(got) != 1 || got[0].Class != "app/B" {
+		t.Fatalf("per-client chain broken: %v", got)
+	}
+	if got := p.Predict("x86", "app/X"); len(got) != 1 || got[0].Class != "app/Y" {
+		t.Fatalf("c2 chain broken: %v", got)
+	}
+	if got := p.Predict("x86", "app/B"); len(got) != 0 {
+		t.Fatalf("cross-arch edge leaked: %v", got)
+	}
+}
+
+func TestBoundedKeysAndClients(t *testing.T) {
+	p := New(Config{MaxKeys: 8, MaxClients: 4})
+	for i := 0; i < 100; i++ {
+		p.ObserveRequest(fmt.Sprintf("c%d", i), "x86", fmt.Sprintf("app/K%03d", i))
+	}
+	if n := p.Keys(); n > 8 {
+		t.Fatalf("keys not bounded: %d", n)
+	}
+	p.mu.Lock()
+	nLast := len(p.last)
+	p.mu.Unlock()
+	if nLast > 4 {
+		t.Fatalf("client table not bounded: %d", nLast)
+	}
+}
+
+func TestConcurrentObservePredict(t *testing.T) {
+	p := New(Config{DecayEvery: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := fmt.Sprintf("c%d", g)
+			for i := 0; i < 200; i++ {
+				p.ObserveRequest(client, "x86", fmt.Sprintf("app/K%d", i%7))
+				p.Predict("x86", "app/K0")
+				p.Heat("x86", "app/K1")
+			}
+		}(g)
+	}
+	wg.Wait()
+}

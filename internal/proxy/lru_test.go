@@ -137,7 +137,7 @@ func TestLRUReplacementServesFreshBytes(t *testing.T) {
 	p := lruProxy(0)
 	p.storeMem("k", []byte("stale"), nil)
 	p.storeMem("k", []byte("fresh"), nil)
-	got, _, _, ok := p.memGet("k")
+	got, _, _, _, ok := p.memGet("k")
 	if !ok || string(got) != "fresh" {
 		t.Fatalf("memGet = %q, %v; want fresh entry", got, ok)
 	}

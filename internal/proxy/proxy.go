@@ -177,10 +177,12 @@ type Config struct {
 	// PeerFill, when set, is consulted on every cache miss before the
 	// origin hop. A sharded cluster (internal/cluster) uses it to route
 	// the miss to the ring node that owns the key and fill the cache from
-	// that peer's already-transformed copy. See PeerResult for the three
-	// possible outcomes; a nil hook (standalone proxy) always behaves as
-	// PeerSelf.
-	PeerFill func(ctx context.Context, arch, class string) PeerResult
+	// that peer's already-transformed copy. The full Lookup is passed so
+	// the hook can forward the client identity — the owner's prefetch
+	// predictor learns per-client request sequences from it. See
+	// PeerResult for the three possible outcomes; a nil hook (standalone
+	// proxy) always behaves as PeerSelf.
+	PeerFill func(ctx context.Context, l Lookup) PeerResult
 
 	// MaxQueue bounds how many miss requests may wait for a service
 	// slot before new ones are shed (429). 0 disables admission control
@@ -306,7 +308,11 @@ type RequestInfo struct {
 	// answered from expired cache instead of queueing a refetch;
 	// otherwise it was rejected (ErrOverloaded).
 	Shed bool
-	Peer string // cluster node that supplied the bytes, if any
+	// Prefetched marks a cache hit whose entry was pushed speculatively
+	// (prefetch piggyback) and used here for the first time — the round
+	// trip this response did NOT pay is the prefetcher's win.
+	Prefetched bool
+	Peer       string // cluster node that supplied the bytes, if any
 	// Attestation is the artifact's trust metadata when attestation is
 	// enabled: the sealed digest + quorum record stored with the cache
 	// entry. The peer protocol forwards it as a response header so every
@@ -351,12 +357,16 @@ type Stats struct {
 	Breaker resilience.BreakerCounts
 }
 
-// cacheEntry is one LRU cache element.
+// cacheEntry is one LRU cache element. prefetched marks a speculative
+// entry that has not been hit yet: the flag clears on first use, and an
+// entry evicted or overwritten with the flag still set is counted as
+// prefetch waste.
 type cacheEntry struct {
-	key      string
-	data     []byte
-	att      *attest.Attestation // trust metadata, nil when attestation is off
-	storedAt time.Time
+	key        string
+	data       []byte
+	att        *attest.Attestation // trust metadata, nil when attestation is off
+	storedAt   time.Time
+	prefetched bool
 }
 
 // flight is one in-progress origin fetch + pipeline run that concurrent
@@ -398,6 +408,9 @@ type Proxy struct {
 	cache      map[string]*list.Element // key: arch + "\x00" + class
 	lru        *list.List               // front = most recently used
 	cacheBytes int
+	// prefetchResident tracks bytes of prefetched-but-not-yet-used
+	// entries (guarded by mu; exported as a gauge).
+	prefetchResident int
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
@@ -433,6 +446,18 @@ type Proxy struct {
 	// (local divergence, no quorum).
 	cAttested       *telemetry.Counter
 	cAttestFailures *telemetry.Counter
+
+	// Batch-warm ingestion (replica push, handoff, prefetch — one path,
+	// one set of counters) and the prefetch ledger. Waste is explicit:
+	// prefetched bytes evicted or overwritten before first use are
+	// reported, not hidden.
+	cWarmed             *telemetry.Counter
+	cWarmedBytes        *telemetry.Counter
+	cPrefetchInserted   *telemetry.Counter
+	cPrefetchHits       *telemetry.Counter
+	cPrefetchSkipped    *telemetry.Counter
+	cPrefetchWasteBytes *telemetry.Counter
+	cPrefetchEvicted    *telemetry.Counter
 
 	hRequest     *telemetry.Histogram // whole-request latency; count == Requests
 	hOriginFetch *telemetry.Histogram
@@ -492,6 +517,18 @@ func New(origin Origin, cfg Config) *Proxy {
 	p.cFlightsAbandoned = p.reg.Counter("flights_abandoned_total")
 	p.cAttested = p.reg.Counter("attested_keys_total")
 	p.cAttestFailures = p.reg.Counter("attest_failures_total")
+	p.cWarmed = p.reg.Counter("warm_entries_total")
+	p.cWarmedBytes = p.reg.Counter("warm_bytes_total")
+	p.cPrefetchInserted = p.reg.Counter("prefetch_inserted_total")
+	p.cPrefetchHits = p.reg.Counter("prefetch_hits_total")
+	p.cPrefetchSkipped = p.reg.Counter("prefetch_skipped_total")
+	p.cPrefetchWasteBytes = p.reg.Counter("prefetch_waste_bytes_total")
+	p.cPrefetchEvicted = p.reg.Counter("prefetch_evicted_unused_total")
+	p.reg.Gauge("prefetch_resident_unused_bytes", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.prefetchResident)
+	})
 	p.hRequest = p.reg.Histogram("request_seconds", nil)
 	p.hOriginFetch = p.reg.Histogram("origin_fetch_seconds", nil)
 	p.hPipeline = p.reg.Histogram("pipeline_seconds", nil)
@@ -613,25 +650,43 @@ func (p *Proxy) RequestLatency() telemetry.HistSnapshot {
 	return p.hRequest.Snapshot()
 }
 
-// CachedEntry is one cache element snapshot (membership handoff,
-// diagnostics). Att rides along so a handed-off artifact stays
-// verifiable on the receiving node.
-type CachedEntry struct {
-	Arch  string
-	Class string
-	Data  []byte
-	Att   *attest.Attestation `json:",omitempty"`
+// Warm reasons: why a batch entry is being pushed into a node's cache.
+// Replica pushes, membership handoff, and predictive prefetch all share
+// the same ingestion path (Warm) and the same counters; the reason only
+// changes placement policy (prefetch inserts cold and never evicts).
+const (
+	ReasonFill     = "fill"
+	ReasonReplica  = "replica"
+	ReasonHandoff  = "handoff"
+	ReasonPrefetch = "prefetch"
+)
+
+// CacheEntry is one cache element on the wire or in a snapshot: batch
+// Warm ingestion, membership handoff, diagnostics. Att rides along so a
+// transferred artifact stays verifiable on the receiving node; Reason
+// says why it is being pushed (see the Reason* constants).
+type CacheEntry struct {
+	Arch   string
+	Class  string
+	Data   []byte
+	Att    *attest.Attestation `json:",omitempty"`
+	Reason string              `json:",omitempty"`
 }
+
+// CachedEntry is the old name of CacheEntry.
+//
+// Deprecated: use CacheEntry.
+type CachedEntry = CacheEntry
 
 // CacheSnapshot returns cached entries most-recently-used first —
 // recency is the proxy's hotness signal — stopping once the entries'
 // data exceeds maxBytes (0 = unbounded). keep filters entries (nil =
 // all). The cluster handoff path uses it to offer a new owner its
 // hottest inherited keys first.
-func (p *Proxy) CacheSnapshot(maxBytes int, keep func(arch, class string) bool) []CachedEntry {
+func (p *Proxy) CacheSnapshot(maxBytes int, keep func(arch, class string) bool) []CacheEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var out []CachedEntry
+	var out []CacheEntry
 	bytes := 0
 	for el := p.lru.Front(); el != nil; el = el.Next() {
 		ent := el.Value.(*cacheEntry)
@@ -642,7 +697,7 @@ func (p *Proxy) CacheSnapshot(maxBytes int, keep func(arch, class string) bool) 
 		if maxBytes > 0 && bytes+len(ent.data) > maxBytes && len(out) > 0 {
 			break
 		}
-		out = append(out, CachedEntry{Arch: arch, Class: class, Data: ent.data, Att: ent.att})
+		out = append(out, CacheEntry{Arch: arch, Class: class, Data: ent.data, Att: ent.att})
 		bytes += len(ent.data)
 		if maxBytes > 0 && bytes >= maxBytes {
 			break
@@ -651,18 +706,78 @@ func (p *Proxy) CacheSnapshot(maxBytes int, keep func(arch, class string) bool) 
 	return out
 }
 
-// Warm inserts an already-transformed class into the cache without a
-// request: replication pushes and membership handoffs seed a node's
-// cache with results another node paid for. The caller (the cluster
-// layer) verifies att against data before warming; the proxy just
-// stores them together. No-op when caching is disabled.
-func (p *Proxy) Warm(arch, class string, data []byte, att *attest.Attestation) {
+// Warm inserts already-transformed classes into the cache without a
+// request: replication pushes, membership handoffs, and predictive
+// prefetch all seed a node's cache with results another node paid for,
+// through this one ingestion path with one set of counters. The caller
+// (the cluster layer) verifies each entry's attestation against its
+// bytes before warming; the proxy just stores them together.
+//
+// Entries with Reason == ReasonPrefetch are speculative: they enter at
+// the cold end of the LRU and never evict resident entries — a guess
+// must not displace bytes a client actually asked for. Entries that do
+// not fit the remaining budget (or are already cached) are skipped and
+// counted, not forced.
+//
+// Returns the number of entries stored. No-op when caching is disabled.
+func (p *Proxy) Warm(entries []CacheEntry) int {
 	if !p.cfg.CacheEnabled {
-		return
+		return 0
 	}
-	key := arch + "\x00" + class
-	p.storeMem(key, data, att)
-	p.diskCachePut(key, data, att)
+	stored := 0
+	for _, e := range entries {
+		key := e.Arch + "\x00" + e.Class
+		if e.Reason == ReasonPrefetch {
+			if p.storePrefetch(key, e.Data, e.Att) {
+				p.cWarmed.Inc()
+				p.cWarmedBytes.Add(int64(len(e.Data)))
+				stored++
+			}
+			continue
+		}
+		p.storeMem(key, e.Data, e.Att)
+		p.diskCachePut(key, e.Data, e.Att)
+		p.cWarmed.Inc()
+		p.cWarmedBytes.Add(int64(len(e.Data)))
+		stored++
+	}
+	return stored
+}
+
+// storePrefetch inserts a speculative entry at the cold end of the LRU.
+// It refuses rather than evicts when the budget is full: recency is the
+// proxy's hotness signal, so anything resident is by definition hotter
+// than a guess — this is the LRU pressure guard ("prefetch never evicts
+// a hotter key than it inserts"). The disk cache is not touched; a
+// guess does not deserve durable bytes.
+func (p *Proxy) storePrefetch(key string, data []byte, att *attest.Attestation) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.cache[key]; ok {
+		p.cPrefetchSkipped.Inc()
+		return false
+	}
+	if p.cfg.CacheBudget > 0 && p.cacheBytes+len(data) > p.cfg.CacheBudget {
+		p.cPrefetchSkipped.Inc()
+		return false
+	}
+	p.cache[key] = p.lru.PushBack(&cacheEntry{key: key, data: data, att: att, storedAt: p.now(), prefetched: true})
+	p.cacheBytes += len(data)
+	p.prefetchResident += len(data)
+	p.cPrefetchInserted.Inc()
+	return true
+}
+
+// PrefetchStats reports the prefetch ledger: entries inserted, hits on
+// prefetched entries, entries skipped (already cached or no budget
+// headroom), bytes evicted or overwritten before first use (waste), and
+// bytes currently resident but not yet used.
+func (p *Proxy) PrefetchStats() (inserted, hits, skipped, wasteBytes, residentBytes int64) {
+	p.mu.Lock()
+	resident := int64(p.prefetchResident)
+	p.mu.Unlock()
+	return p.cPrefetchInserted.Load(), p.cPrefetchHits.Load(), p.cPrefetchSkipped.Load(),
+		p.cPrefetchWasteBytes.Load(), resident
 }
 
 // UnderPressure reports whether the admission queue is at least half
@@ -711,7 +826,7 @@ func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.
 	var staleAtt *attest.Attestation
 	var haveStale bool
 	if p.cfg.CacheEnabled {
-		data, att, fresh, ok := p.memGet(key)
+		data, att, fresh, prefetched, ok := p.memGet(key)
 		if !ok {
 			// Second level: the on-disk cache (survives proxy restarts).
 			// Only a fresh disk entry is promoted to memory; a stale one
@@ -731,7 +846,7 @@ func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.
 				Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(data),
 				CacheHit: true, Duration: span.Elapsed(),
 			})
-			return data, RequestInfo{CacheHit: true, Attestation: att}, nil
+			return data, RequestInfo{CacheHit: true, Prefetched: prefetched, Attestation: att}, nil
 		}
 		if ok {
 			staleData, staleAtt, haveStale = data, att, true
@@ -925,7 +1040,7 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 	// the owner already paid for them once on behalf of the whole fleet.
 	if p.cfg.PeerFill != nil {
 		fill := tr.StartSpan(p.cfg.Node, "peer.fill")
-		res := p.cfg.PeerFill(ctx, l.Arch, l.Class)
+		res := p.cfg.PeerFill(ctx, l)
 		fill.End()
 		switch res.Outcome {
 		case PeerServed:
@@ -1063,18 +1178,48 @@ func (p *Proxy) flightError(f *flight, err error) {
 
 // memGet looks up the in-memory cache; a hit refreshes LRU recency.
 // fresh reports whether the entry is within CacheTTL (always true when
-// no TTL is configured).
-func (p *Proxy) memGet(key string) (data []byte, att *attest.Attestation, fresh, ok bool) {
+// no TTL is configured). prefetched reports that this hit was the first
+// use of a speculatively pushed entry — the prefetch paid off; the flag
+// clears so the entry's later eviction is not miscounted as waste.
+func (p *Proxy) memGet(key string) (data []byte, att *attest.Attestation, fresh, prefetched, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	el, ok := p.cache[key]
 	if !ok {
-		return nil, nil, false, false
+		return nil, nil, false, false, false
 	}
 	p.lru.MoveToFront(el)
 	ent := el.Value.(*cacheEntry)
+	if ent.prefetched {
+		ent.prefetched = false
+		prefetched = true
+		p.prefetchResident -= len(ent.data)
+		p.cPrefetchHits.Inc()
+	}
 	fresh = p.cfg.CacheTTL <= 0 || p.now().Sub(ent.storedAt) <= p.cfg.CacheTTL
-	return ent.data, ent.att, fresh, true
+	return ent.data, ent.att, fresh, prefetched, true
+}
+
+// Peek returns the fresh cached bytes for (arch, class) without touching
+// LRU recency, the prefetch ledger, or any counter — the owner-side read
+// used to assemble a prefetch piggyback without distorting its own
+// hotness signal. Stale entries are not returned: pushing bytes due for
+// revalidation would spread staleness to peers.
+func (p *Proxy) Peek(arch, class string) (data []byte, att *attest.Attestation, ok bool) {
+	if !p.cfg.CacheEnabled {
+		return nil, nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.cache[arch+"\x00"+class]
+	if !ok {
+		return nil, nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if p.cfg.CacheTTL > 0 && p.now().Sub(ent.storedAt) > p.cfg.CacheTTL {
+		return nil, nil, false
+	}
+	return ent.data, ent.att, true
 }
 
 // touchStale refreshes the timestamp on a stale entry that was just
@@ -1108,6 +1253,11 @@ func (p *Proxy) storeMem(key string, data []byte, att *attest.Attestation) {
 	}
 	if el, ok := p.cache[key]; ok {
 		ent := el.Value.(*cacheEntry)
+		if ent.prefetched {
+			// Overwritten before first use (e.g. a TTL refetch landed on a
+			// speculative entry): the pushed bytes were waste.
+			p.notePrefetchWaste(ent)
+		}
 		p.cacheBytes += len(data) - len(ent.data)
 		ent.data = data
 		ent.att = att
@@ -1123,10 +1273,22 @@ func (p *Proxy) storeMem(key string, data []byte, att *attest.Attestation) {
 			break
 		}
 		ent := back.Value.(*cacheEntry)
+		if ent.prefetched {
+			p.notePrefetchWaste(ent)
+		}
 		p.lru.Remove(back)
 		delete(p.cache, ent.key)
 		p.cacheBytes -= len(ent.data)
 	}
+}
+
+// notePrefetchWaste records a speculative entry leaving the cache (or
+// being overwritten) before its first use. Caller holds p.mu.
+func (p *Proxy) notePrefetchWaste(ent *cacheEntry) {
+	ent.prefetched = false
+	p.prefetchResident -= len(ent.data)
+	p.cPrefetchWasteBytes.Add(int64(len(ent.data)))
+	p.cPrefetchEvicted.Inc()
 }
 
 // splitKey splits an arch\x00class cache key into its parts.
