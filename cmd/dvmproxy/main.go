@@ -117,6 +117,7 @@ func main() {
 	attestPolicy := flag.String("attest-policy", "always", "which keys run at the full quorum: always, sampled (1-in-attest-sample-rate by key hash), or hot (keys past -hot-threshold)")
 	attestSampleRate := flag.Int("attest-sample-rate", 0, "1-in-N rate for -attest-policy sampled (0 = default 16)")
 	quarantineAfter := flag.Int("quarantine-after", 0, "attestation divergences before a peer is quarantined: excluded from fills and variant votes (0 = default 3)")
+	aotBaseArch := flag.String("aot-base-arch", "", "enable the fleet-shared AOT code cache: misses for the compiled arch derive from this base architecture's cached artifact (e.g. jvm; empty = off)")
 	prefetchK := flag.Int("prefetch-k", 0, "predictive prefetch: top-k first-use successors piggybacked onto each peer fill (0 = default 3, -1 disables the predictor)")
 	prefetchBudget := flag.Int("prefetch-budget", 0, "predictive prefetch: byte budget per piggyback batch (0 = default 256KiB)")
 	prefetchConfidence := flag.Float64("prefetch-confidence", 0, "predictive prefetch: minimum successor confidence (edge weight / out-weight) to piggyback (0 = default 0.25)")
@@ -209,6 +210,7 @@ func main() {
 			PrefetchK:          *prefetchK,
 			PrefetchBudget:     *prefetchBudget,
 			PrefetchConfidence: *prefetchConfidence,
+			AOTBaseArch:        *aotBaseArch,
 		})
 		if err != nil {
 			log.Fatalf("dvmproxy: %v", err)
@@ -224,6 +226,10 @@ func main() {
 		if *prefetchK >= 0 {
 			log.Printf("dvmproxy: predictive prefetch on (top-k %d, budget %dB, confidence %.2f; 0 = package default)",
 				*prefetchK, *prefetchBudget, *prefetchConfidence)
+		}
+		if *aotBaseArch != "" {
+			log.Printf("dvmproxy: AOT code cache on: misses for the compiled arch derive from cached %q artifacts (one compilation per key fleet-wide)",
+				*aotBaseArch)
 		}
 	} else {
 		p := proxy.New(origin, cfg)

@@ -26,8 +26,9 @@ import (
 	"dvm/internal/signing"
 )
 
-// Header carries an encoded Attestation on peer-protocol hops
-// (/peer/class responses, /peer/replica pushes).
+// Header carries an encoded Attestation on hops that move bytes
+// outside the batch envelope (client-facing class responses, disk-cache
+// sidecars); batch entries carry it in their Att field.
 const Header = "X-DVM-Attest"
 
 // ErrUnattested marks a payload that arrived without an attestation on

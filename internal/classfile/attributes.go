@@ -44,6 +44,7 @@ type Code struct {
 
 // DecodeCode decodes an attribute known to be a Code attribute.
 func DecodeCode(a *Attribute) (*Code, error) {
+	statAttrsDecoded.Add(1)
 	r := &reader{data: a.Info}
 	c := &Code{
 		MaxStack:  r.u2(),
@@ -118,12 +119,14 @@ func (cf *ClassFile) CodeOf(m *Member) (*Code, error) {
 }
 
 // SetCode replaces (or installs) method m's Code attribute with the
-// encoding of c. Rewriting services call this after transforming bytecode.
+// encoding of c. Rewriting services call this after transforming
+// bytecode. The member is marked dirty so Encode re-serializes it.
 func (cf *ClassFile) SetCode(m *Member, c *Code) error {
 	payload, err := c.Encode()
 	if err != nil {
 		return err
 	}
+	m.MarkDirty()
 	nameIdx := cf.Pool.AddUtf8(AttrCode)
 	for _, a := range m.Attributes {
 		if cf.AttrName(a) == AttrCode {
@@ -144,6 +147,7 @@ type LineNumberEntry struct {
 
 // DecodeLineNumberTable decodes a LineNumberTable attribute payload.
 func DecodeLineNumberTable(a *Attribute) ([]LineNumberEntry, error) {
+	statAttrsDecoded.Add(1)
 	r := &reader{data: a.Info}
 	n := int(r.u2())
 	if r.err == nil && n*4 != len(a.Info)-r.off {
@@ -168,6 +172,7 @@ func ConstantValueIndex(a *Attribute) (uint16, error) {
 // DecodeExceptions decodes an Exceptions attribute payload into the list
 // of Class constant indices the method declares it may throw.
 func DecodeExceptions(a *Attribute) ([]uint16, error) {
+	statAttrsDecoded.Add(1)
 	r := &reader{data: a.Info}
 	n := int(r.u2())
 	if r.err == nil && n*2 != len(a.Info)-r.off {
@@ -181,8 +186,9 @@ func DecodeExceptions(a *Attribute) ([]uint16, error) {
 }
 
 // AddAttribute appends a named attribute with the given payload to the
-// class-level attribute list.
+// class-level attribute list and marks the list dirty.
 func (cf *ClassFile) AddAttribute(name string, payload []byte) {
+	cf.MarkAttrsDirty()
 	cf.Attributes = append(cf.Attributes, &Attribute{
 		NameIndex: cf.Pool.AddUtf8(name),
 		Info:      payload,
@@ -202,5 +208,8 @@ func (cf *ClassFile) RemoveAttribute(name string) bool {
 		kept = append(kept, a)
 	}
 	cf.Attributes = kept
+	if removed {
+		cf.MarkAttrsDirty()
+	}
 	return removed
 }

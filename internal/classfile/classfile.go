@@ -47,6 +47,19 @@ type ClassFile struct {
 	Fields       []*Member
 	Methods      []*Member
 	Attributes   []*Attribute
+
+	// Zero-copy splice state, set by Parse and zero for classes built
+	// programmatically. raw is the buffer the class was parsed from; the
+	// recorded offsets let Encode splice byte ranges that no filter
+	// touched straight into the output instead of re-serializing them.
+	// Encode falls back to a full re-encode whenever the pool was
+	// replaced wholesale (Pool != parsedPool, e.g. by CompactPool).
+	raw           []byte
+	poolEnd       int        // offset just past the last constant pool entry
+	attrsStart    int        // offset of the class-level attributes_count
+	parsedPool    *ConstPool // pool produced by Parse, for identity check
+	parsedEntries int        // pool slot count at parse time
+	attrsDirty    bool       // class-level attribute list was modified
 }
 
 // Member is a field or method description (field_info / method_info).
@@ -55,7 +68,27 @@ type Member struct {
 	NameIndex       uint16
 	DescriptorIndex uint16
 	Attributes      []*Attribute
+
+	// Splice state: the member's byte range in owner.raw, valid while the
+	// member is unmodified. owner guards against splicing a member that
+	// was moved into a different class's member list.
+	owner              *ClassFile
+	spanStart, spanEnd int
+	dirty              bool
 }
+
+// MarkDirty records that the member was structurally modified, forcing
+// Encode to re-serialize it instead of splicing its original bytes.
+// SetCode calls this automatically; callers that mutate a member's
+// fields or attribute payloads directly must call it themselves.
+func (m *Member) MarkDirty() { m.dirty = true }
+
+// Dirty reports whether the member was marked modified since parsing.
+func (m *Member) Dirty() bool { return m.dirty }
+
+// MarkAttrsDirty records that the class-level attribute list was
+// modified. AddAttribute and RemoveAttribute call this automatically.
+func (cf *ClassFile) MarkAttrsDirty() { cf.attrsDirty = true }
 
 // Attribute is a named attribute with its raw payload. Known attributes
 // (Code, ConstantValue, Exceptions, SourceFile, LineNumberTable) can be

@@ -1,0 +1,41 @@
+package classfile
+
+import "sync/atomic"
+
+// The lazy codec's effectiveness is observable: every Utf8 constant and
+// every attribute carries a "seen" count at parse time and a "decoded"
+// count on first touch, and every Encode records whether it spliced the
+// original bytes or re-serialized the class. The proxy exports the
+// decoded/seen ratio as the lazy_decoded_ratio gauge; the round-trip
+// test suite asserts that a no-touch Parse→Encode cycle decodes nothing.
+var (
+	statUtf8Seen      atomic.Uint64
+	statUtf8Decoded   atomic.Uint64
+	statAttrsSeen     atomic.Uint64
+	statAttrsDecoded  atomic.Uint64
+	statSpliceEncodes atomic.Uint64
+	statFullEncodes   atomic.Uint64
+)
+
+// Stats is a snapshot of the package's cumulative codec counters.
+type Stats struct {
+	Utf8Seen      uint64 // Utf8 constants parsed (lazily, as byte ranges)
+	Utf8Decoded   uint64 // Utf8 constants materialized into Go strings
+	AttrsSeen     uint64 // attributes parsed (payloads kept as byte ranges)
+	AttrsDecoded  uint64 // attribute payloads decoded by a typed helper
+	SpliceEncodes uint64 // Encode calls served by the splice fast path
+	FullEncodes   uint64 // Encode calls that re-serialized everything
+}
+
+// CodecStats returns the cumulative codec counters. Counters only ever
+// grow; callers compute deltas across an operation of interest.
+func CodecStats() Stats {
+	return Stats{
+		Utf8Seen:      statUtf8Seen.Load(),
+		Utf8Decoded:   statUtf8Decoded.Load(),
+		AttrsSeen:     statAttrsSeen.Load(),
+		AttrsDecoded:  statAttrsDecoded.Load(),
+		SpliceEncodes: statSpliceEncodes.Load(),
+		FullEncodes:   statFullEncodes.Load(),
+	}
+}

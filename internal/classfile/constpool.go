@@ -75,6 +75,13 @@ type Constant struct {
 	Double float64
 	Ref1   uint16
 	Ref2   uint16
+
+	// Lazy Utf8 state: the parser validates the modified-UTF8 bytes but
+	// defers building the Go string until first touch. raw is kept even
+	// after materialization so the encoder can reproduce non-canonical
+	// encodings byte-for-byte regardless of what was touched.
+	raw  []byte // original modified-UTF8 bytes (Utf8 entries from Parse)
+	lazy bool   // raw is set and Str has not been decoded yet
 }
 
 // Wide reports whether the constant occupies two pool slots
@@ -89,6 +96,7 @@ func (c Constant) Wide() bool { return c.Tag == TagLong || c.Tag == TagDouble }
 type ConstPool struct {
 	entries []Constant // entries[0] is a zero placeholder
 	index   map[poolKey]uint16
+	indexed bool // index covers all entries (built lazily after Parse)
 	frozen  bool // see Freeze
 }
 
@@ -108,7 +116,7 @@ type poolKey struct {
 
 // NewConstPool returns an empty pool (containing only the reserved slot 0).
 func NewConstPool() *ConstPool {
-	return &ConstPool{entries: make([]Constant, 1), index: make(map[poolKey]uint16)}
+	return &ConstPool{entries: make([]Constant, 1), index: make(map[poolKey]uint16), indexed: true}
 }
 
 // Size returns the constant_pool_count value: number of slots including
@@ -126,12 +134,54 @@ func (p *ConstPool) Valid(idx uint16) bool {
 
 // Entry returns the constant at idx. It returns an error rather than
 // panicking so that phase-1 verification can report malformed indices in
-// hostile classfiles gracefully.
+// hostile classfiles gracefully. Touching a lazy Utf8 entry materializes
+// its string; callers that only need the tag should use Tag, which
+// decodes nothing.
 func (p *ConstPool) Entry(idx uint16) (Constant, error) {
 	if !p.Valid(idx) {
 		return Constant{}, formatErrf(-1, "invalid constant pool index %d (pool size %d)", idx, len(p.entries))
 	}
+	if p.entries[idx].lazy {
+		p.materialize(&p.entries[idx])
+	}
 	return p.entries[idx], nil
+}
+
+// materialize decodes a lazy Utf8 entry's string in place. The raw bytes
+// are kept so the encoder still splices the original representation.
+func (p *ConstPool) materialize(c *Constant) {
+	s, ok := decodeModifiedUTF8(c.raw)
+	if !ok {
+		// Unreachable for parsed pools: Parse validated the bytes.
+		s = string(c.raw)
+	}
+	c.Str = s
+	c.lazy = false
+	statUtf8Decoded.Add(1)
+}
+
+// Materialize eagerly decodes every lazy Utf8 entry. Lazy decoding
+// memoizes by writing into the pool, so any phase that hands the pool to
+// concurrent readers (the pipeline's per-method fan-out, the verifier's
+// phase 2–3 workers) must call this first.
+func (p *ConstPool) Materialize() {
+	for i := range p.entries {
+		if p.entries[i].lazy {
+			p.materialize(&p.entries[i])
+		}
+	}
+}
+
+// ensureIndex builds the interning index on first use. Parsing defers
+// both string decoding and index construction; a class that no filter
+// adds constants to never pays for either.
+func (p *ConstPool) ensureIndex() {
+	if p.indexed {
+		return
+	}
+	p.Materialize()
+	p.rebuildIndex()
+	p.indexed = true
 }
 
 // Tag returns the tag at idx, or 0 if the index is invalid.
@@ -238,7 +288,16 @@ func (p *ConstPool) StringValue(idx uint16) (string, error) {
 // filter's sequential Prepare step, which is what makes concurrent
 // TransformMethod calls race-free and the emitted pool deterministic.
 // Interning hits (the entry already exists) remain allowed while frozen.
-func (p *ConstPool) Freeze(on bool) { p.frozen = on }
+//
+// Freezing also materializes every lazy Utf8 string and builds the
+// interning index: both are memoized by writing into the pool, which
+// must not race with the concurrent readers the freeze protects.
+func (p *ConstPool) Freeze(on bool) {
+	if on {
+		p.ensureIndex()
+	}
+	p.frozen = on
+}
 
 // append adds a raw entry (no interning) and returns its index.
 // It is used by the parser, which must preserve on-disk indices.
@@ -262,6 +321,7 @@ func (p *ConstPool) append(c Constant) (uint16, error) {
 }
 
 func (p *ConstPool) intern(key poolKey, c Constant) uint16 {
+	p.ensureIndex()
 	if idx, ok := p.index[key]; ok {
 		return idx
 	}
@@ -275,8 +335,9 @@ func (p *ConstPool) intern(key poolKey, c Constant) uint16 {
 	return idx
 }
 
-// rebuildIndex populates the interning map after parsing, so that
-// rewriters reuse the class's own entries.
+// rebuildIndex populates the interning map from the entry slice, so that
+// rewriters reuse the class's own entries. Callers must have
+// materialized lazy Utf8 strings first (keyOf keys Utf8 entries by Str).
 func (p *ConstPool) rebuildIndex() {
 	if p.index == nil {
 		p.index = make(map[poolKey]uint16, len(p.entries))

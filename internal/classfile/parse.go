@@ -13,9 +13,21 @@ const MaxClassFileSize = 16 << 20
 
 // reader is a bounds-checked big-endian cursor over the raw classfile.
 type reader struct {
-	data []byte
-	off  int
-	err  error
+	data  []byte
+	off   int
+	err   error
+	arena *attrArena // shared attribute storage for one Parse, nil elsewhere
+}
+
+// attrArena amortizes attribute allocation across one Parse call: every
+// member's attribute list is carved out of two shared growing arrays
+// instead of paying two allocations per member, which dominated the
+// remaining parse cost once strings went lazy. Sub-slices are handed out
+// with capped capacity so a later append (SetCode installing a new
+// attribute) copies out instead of overwriting a neighbor's entries.
+type attrArena struct {
+	backing []Attribute
+	ptrs    []*Attribute
 }
 
 func (r *reader) fail(format string, args ...any) {
@@ -83,11 +95,11 @@ func Parse(data []byte) (*ClassFile, error) {
 	if len(data) > MaxClassFileSize {
 		return nil, formatErrf(0, "classfile exceeds maximum size (%d > %d)", len(data), MaxClassFileSize)
 	}
-	r := &reader{data: data}
+	r := &reader{data: data, arena: &attrArena{}}
 	if magic := r.u4(); r.err == nil && magic != Magic {
 		return nil, formatErrf(0, "bad magic 0x%08X", magic)
 	}
-	cf := &ClassFile{}
+	cf := &ClassFile{raw: data}
 	cf.MinorVersion = r.u2()
 	cf.MajorVersion = r.u2()
 
@@ -96,6 +108,9 @@ func Parse(data []byte) (*ClassFile, error) {
 		return nil, err
 	}
 	cf.Pool = pool
+	cf.poolEnd = r.off
+	cf.parsedPool = pool
+	cf.parsedEntries = len(pool.entries)
 
 	cf.AccessFlags = r.u2()
 	cf.ThisClass = r.u2()
@@ -110,12 +125,13 @@ func Parse(data []byte) (*ClassFile, error) {
 		cf.Interfaces = append(cf.Interfaces, r.u2())
 	}
 
-	if cf.Fields, err = parseMembers(r); err != nil {
+	if cf.Fields, err = parseMembers(r, cf); err != nil {
 		return nil, err
 	}
-	if cf.Methods, err = parseMembers(r); err != nil {
+	if cf.Methods, err = parseMembers(r, cf); err != nil {
 		return nil, err
 	}
+	cf.attrsStart = r.off
 	if cf.Attributes, err = parseAttributes(r); err != nil {
 		return nil, err
 	}
@@ -157,11 +173,14 @@ func parsePool(r *reader) (*ConstPool, error) {
 			if r.err != nil {
 				return nil, r.err
 			}
-			s, ok := decodeModifiedUTF8(raw)
-			if !ok {
+			// Validate now (hostile input must fail at the parse gate) but
+			// defer building the Go string until something touches it.
+			if !validateModifiedUTF8(raw) {
 				return nil, formatErrf(r.off, "malformed modified-UTF8 in constant %d", len(pool.entries))
 			}
-			c.Str = s
+			c.raw = raw
+			c.lazy = true
+			statUtf8Seen.Add(1)
 		case TagInteger:
 			c.Int = int32(r.u4())
 		case TagFloat:
@@ -192,11 +211,12 @@ func parsePool(r *reader) (*ConstPool, error) {
 			return nil, formatErrf(r.off, "Long/Double constant overruns declared pool count %d", count)
 		}
 	}
-	pool.rebuildIndex()
+	// The interning index is built lazily (ensureIndex) on the first Add*
+	// call, so classes that no filter adds constants to never pay for it.
 	return pool, nil
 }
 
-func parseMembers(r *reader) ([]*Member, error) {
+func parseMembers(r *reader, cf *ClassFile) ([]*Member, error) {
 	count := int(r.u2())
 	if r.err != nil {
 		return nil, r.err
@@ -211,6 +231,8 @@ func parseMembers(r *reader) ([]*Member, error) {
 	members := make([]*Member, count)
 	for i := 0; i < count; i++ {
 		m := &backing[i]
+		m.owner = cf
+		m.spanStart = r.off
 		m.AccessFlags = r.u2()
 		m.NameIndex = r.u2()
 		m.DescriptorIndex = r.u2()
@@ -219,6 +241,7 @@ func parseMembers(r *reader) ([]*Member, error) {
 			return nil, err
 		}
 		m.Attributes = attrs
+		m.spanEnd = r.off
 		members[i] = m
 	}
 	return members, r.err
@@ -232,6 +255,23 @@ func parseAttributes(r *reader) ([]*Attribute, error) {
 	if count*6 > len(r.data)-r.off {
 		return nil, formatErrf(r.off, "attribute count %d exceeds remaining data", count)
 	}
+	if ar := r.arena; ar != nil {
+		start := len(ar.ptrs)
+		for i := 0; i < count; i++ {
+			nameIdx := r.u2()
+			length := int(r.u4())
+			info := r.bytes(length)
+			if r.err != nil {
+				return nil, r.err
+			}
+			ar.backing = append(ar.backing, Attribute{NameIndex: nameIdx, Info: info})
+			ar.ptrs = append(ar.ptrs, &ar.backing[len(ar.backing)-1])
+		}
+		statAttrsSeen.Add(uint64(count))
+		// Capped capacity: appending to a member's attribute list must
+		// copy out of the arena, never overwrite the next member's slots.
+		return ar.ptrs[start:len(ar.ptrs):len(ar.ptrs)], nil
+	}
 	backing := make([]Attribute, count)
 	attrs := make([]*Attribute, count)
 	for i := 0; i < count; i++ {
@@ -244,7 +284,48 @@ func parseAttributes(r *reader) ([]*Attribute, error) {
 		backing[i] = Attribute{NameIndex: nameIdx, Info: info}
 		attrs[i] = &backing[i]
 	}
+	statAttrsSeen.Add(uint64(count))
 	return attrs, nil
+}
+
+// validateModifiedUTF8 checks that b is well-formed modified UTF-8
+// without building the decoded string — the alloc-free twin of
+// decodeModifiedUTF8, run at the parse gate so hostile input still fails
+// early while well-formed strings decode lazily.
+func validateModifiedUTF8(b []byte) bool {
+	for i := 0; i < len(b); {
+		c := b[i]
+		switch {
+		case c == 0 || c >= 0xF0:
+			return false
+		case c < 0x80:
+			i++
+		case c&0xE0 == 0xC0:
+			if i+1 >= len(b) || b[i+1]&0xC0 != 0x80 {
+				return false
+			}
+			i += 2
+		case c&0xF0 == 0xE0:
+			if i+2 >= len(b) || b[i+1]&0xC0 != 0x80 || b[i+2]&0xC0 != 0x80 {
+				return false
+			}
+			// Mirror the decoder's CESU-8 surrogate-pair handling exactly,
+			// including which bytes it consumes, so validate and decode
+			// accept precisely the same inputs.
+			r := rune(c&0x0F)<<12 | rune(b[i+1]&0x3F)<<6 | rune(b[i+2]&0x3F)
+			if r >= 0xD800 && r <= 0xDBFF && i+5 < len(b) && b[i+3]&0xF0 == 0xE0 {
+				r2 := rune(b[i+3]&0x0F)<<12 | rune(b[i+4]&0x3F)<<6 | rune(b[i+5]&0x3F)
+				if r2 >= 0xDC00 && r2 <= 0xDFFF {
+					i += 6
+					continue
+				}
+			}
+			i += 3
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // decodeModifiedUTF8 decodes the JVM's "modified UTF-8": NUL is encoded as

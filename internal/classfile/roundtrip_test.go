@@ -65,6 +65,166 @@ func TestRoundTripCorpus(t *testing.T) {
 	}
 }
 
+// corpusClass returns one representative generated class.
+func corpusClass(t *testing.T) []byte {
+	t.Helper()
+	spec := workload.Benchmarks()[0]
+	spec.Classes = 2
+	spec.TargetBytes = 24 * 1024
+	app, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	names := make([]string, 0, len(app.Classes))
+	for name := range app.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return app.Classes[names[0]]
+}
+
+// TestNoTouchRoundTrip is the lazy codec's no-touch leg: parsing a class
+// and re-encoding it without touching anything must (a) reproduce the
+// input byte-for-byte via the splice path and (b) decode no Utf8 strings
+// and no attribute payloads along the way, observed via the package's
+// codec counters.
+func TestNoTouchRoundTrip(t *testing.T) {
+	data := corpusClass(t)
+	before := classfile.CodecStats()
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	enc, err := cf.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	after := classfile.CodecStats()
+	if !bytes.Equal(enc, data) {
+		t.Fatalf("no-touch re-encode is not byte-identical: %d vs %d bytes", len(enc), len(data))
+	}
+	if d := after.Utf8Decoded - before.Utf8Decoded; d != 0 {
+		t.Errorf("no-touch cycle decoded %d Utf8 strings, want 0", d)
+	}
+	if d := after.AttrsDecoded - before.AttrsDecoded; d != 0 {
+		t.Errorf("no-touch cycle decoded %d attribute payloads, want 0", d)
+	}
+	if d := after.SpliceEncodes - before.SpliceEncodes; d != 1 {
+		t.Errorf("no-touch cycle used %d splice encodes, want 1", d)
+	}
+	if after.Utf8Seen == before.Utf8Seen {
+		t.Error("parse did not record any Utf8 constants as seen")
+	}
+}
+
+// TestPartialTouchRoundTrip is the partial-touch leg: dirtying exactly
+// one method re-encodes only that member while everything else splices,
+// and the re-encoded member reproduces the same bytes the splice would
+// have (SetCode with unchanged code is a byte-level no-op).
+func TestPartialTouchRoundTrip(t *testing.T) {
+	data := corpusClass(t)
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var touched *classfile.Member
+	var code *classfile.Code
+	for _, m := range cf.Methods {
+		c, err := cf.CodeOf(m)
+		if err != nil {
+			t.Fatalf("code of %s: %v", cf.MemberName(m), err)
+		}
+		if c != nil {
+			touched, code = m, c
+			break
+		}
+	}
+	if touched == nil {
+		t.Fatal("corpus class has no method with code")
+	}
+	before := classfile.CodecStats()
+	if err := cf.SetCode(touched, code); err != nil {
+		t.Fatalf("set code: %v", err)
+	}
+	if !touched.Dirty() {
+		t.Fatal("SetCode did not mark the member dirty")
+	}
+	for _, m := range cf.Methods {
+		if m != touched && m.Dirty() {
+			t.Fatalf("untouched method %s marked dirty", cf.MemberName(m))
+		}
+	}
+	enc, err := cf.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	after := classfile.CodecStats()
+	// The generator emits canonical encodings, so re-serializing the one
+	// dirty member must reproduce the original bytes exactly: splice and
+	// re-encode are indistinguishable in the output.
+	if !bytes.Equal(enc, data) {
+		t.Fatalf("partial-touch re-encode diverged from original bytes")
+	}
+	if d := after.SpliceEncodes - before.SpliceEncodes; d != 1 {
+		t.Errorf("partial-touch encode took the full path (%d splices)", d)
+	}
+
+	// A real modification must flow through: bump max_stack and check the
+	// change round-trips while the class otherwise stays intact.
+	code.MaxStack++
+	if err := cf.SetCode(touched, code); err != nil {
+		t.Fatalf("set modified code: %v", err)
+	}
+	enc2, err := cf.Encode()
+	if err != nil {
+		t.Fatalf("encode modified: %v", err)
+	}
+	if bytes.Equal(enc2, data) {
+		t.Fatal("modified class re-encoded to unmodified bytes")
+	}
+	cf2, err := classfile.Parse(enc2)
+	if err != nil {
+		t.Fatalf("reparse modified: %v", err)
+	}
+	m2 := cf2.FindMethod(cf.MemberName(touched), cf.MemberDescriptor(touched))
+	if m2 == nil {
+		t.Fatal("touched method lost in round trip")
+	}
+	c2, err := cf2.CodeOf(m2)
+	if err != nil || c2 == nil {
+		t.Fatalf("code of reparsed method: %v", err)
+	}
+	if c2.MaxStack != code.MaxStack {
+		t.Fatalf("max_stack %d did not round-trip (got %d)", code.MaxStack, c2.MaxStack)
+	}
+}
+
+// TestEncodeOutputDoesNotAliasInput is the zero-copy aliasing guard: the
+// encoder's output must be a fresh buffer, never sharing memory with the
+// parse input, because cached artifacts outlive request buffers. The
+// input is poisoned after encoding; the output must not change.
+func TestEncodeOutputDoesNotAliasInput(t *testing.T) {
+	pristine := corpusClass(t)
+	input := append([]byte(nil), pristine...)
+	cf, err := classfile.Parse(input)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	enc, err := cf.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for i := range input {
+		input[i] = 0xFF
+	}
+	if !bytes.Equal(enc, pristine) {
+		t.Fatal("encoded output changed when the input buffer was poisoned: output aliases input")
+	}
+	if _, err := classfile.Parse(enc); err != nil {
+		t.Fatalf("poisoning the input corrupted the encoded output: %v", err)
+	}
+}
+
 // structuralDiff compares two classfiles field by field through the
 // resolving accessors (so it is insensitive to pool index renumbering)
 // and returns a description of the first mismatch, or "".

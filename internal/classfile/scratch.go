@@ -23,6 +23,7 @@ func newParsePool(count int) *ConstPool {
 	if p.index == nil {
 		p.index = make(map[poolKey]uint16, count)
 	}
+	p.indexed = false
 	p.frozen = false
 	return p
 }
@@ -38,11 +39,14 @@ func (cf *ClassFile) Release() {
 		return
 	}
 	cf.Pool = nil
+	cf.parsedPool = nil
+	cf.raw = nil
 	// Drop references held by the recycled containers so the old class's
-	// strings and entries can be collected.
+	// strings, entries, and input buffer can be collected.
 	clear(p.entries)
 	p.entries = p.entries[:0]
 	clear(p.index)
+	p.indexed = false
 	p.frozen = false
 	poolScratch.Put(p)
 }

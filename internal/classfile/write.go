@@ -55,22 +55,7 @@ func (cf *ClassFile) encodedSize() int {
 	n := 4 + 2 + 2 // magic, minor, major
 	n += 2         // constant_pool_count
 	if cf.Pool != nil {
-		for i := 1; i < len(cf.Pool.entries); i++ {
-			c := cf.Pool.entries[i]
-			switch c.Tag {
-			case 0: // dead second slot of a Long/Double
-			case TagUtf8:
-				n += 1 + 2 + modifiedUTF8Len(c.Str)
-			case TagInteger, TagFloat:
-				n += 1 + 4
-			case TagLong, TagDouble:
-				n += 1 + 8
-			case TagClass, TagString:
-				n += 1 + 2
-			default: // member refs and NameAndType
-				n += 1 + 4
-			}
-		}
+		n += cf.Pool.entriesSize(1)
 	}
 	n += 2 + 2 + 2 // access_flags, this_class, super_class
 	n += 2 + 2*len(cf.Interfaces)
@@ -96,7 +81,18 @@ func attributesSize(attrs []*Attribute) int {
 
 // Encode serializes the class back to the on-disk format. Encoding an
 // unmodified parse result reproduces a byte-for-byte identical file.
+//
+// Classes that came from Parse take a splice fast path: byte ranges that
+// no filter dirtied (the constant pool, unmodified members, the class
+// attribute list) are copied verbatim from the original buffer and only
+// dirtied members are re-serialized, so encoding cost scales with what
+// was actually touched. The output is always a freshly allocated buffer;
+// it never aliases the parse input.
 func (cf *ClassFile) Encode() ([]byte, error) {
+	if cf.canSplice() {
+		return cf.encodeSplice()
+	}
+	statFullEncodes.Add(1)
 	w := &writer{buf: make([]byte, 0, cf.encodedSize())}
 	w.u4(Magic)
 	w.u2(cf.MinorVersion)
@@ -126,6 +122,146 @@ func (cf *ClassFile) Encode() ([]byte, error) {
 	return w.buf, nil
 }
 
+// canSplice reports whether the class can use the splice fast path: it
+// was parsed from a buffer and still carries the pool that parse built
+// (a wholesale pool replacement, e.g. by CompactPool, renumbers indices
+// and invalidates every recorded byte range).
+func (cf *ClassFile) canSplice() bool {
+	return cf.raw != nil && cf.Pool != nil && cf.Pool == cf.parsedPool &&
+		len(cf.Pool.entries) >= cf.parsedEntries
+}
+
+// encodeSplice is the splice fast path of Encode.
+func (cf *ClassFile) encodeSplice() ([]byte, error) {
+	statSpliceEncodes.Add(1)
+	p := cf.Pool
+	if len(p.entries) > 0xFFFF {
+		return nil, formatErrf(-1, "constant pool too large (%d entries)", len(p.entries))
+	}
+	if len(cf.Interfaces) > 0xFFFF {
+		return nil, formatErrf(-1, "too many interfaces (%d)", len(cf.Interfaces))
+	}
+	poolGrown := len(p.entries) > cf.parsedEntries
+
+	// Exact output size, so the copy happens into one right-sized buffer.
+	n := 8 // magic, minor, major
+	if poolGrown {
+		n += 2 + (cf.poolEnd - 10) + p.entriesSize(cf.parsedEntries)
+	} else {
+		n += cf.poolEnd - 8
+	}
+	n += 6 + 2 + 2*len(cf.Interfaces)
+	n += 2
+	for _, m := range cf.Fields {
+		n += cf.memberEncodedSize(m)
+	}
+	n += 2
+	for _, m := range cf.Methods {
+		n += cf.memberEncodedSize(m)
+	}
+	if cf.attrsDirty {
+		n += attributesSize(cf.Attributes)
+	} else {
+		n += len(cf.raw) - cf.attrsStart
+	}
+
+	w := &writer{buf: make([]byte, 0, n)}
+	w.u4(Magic)
+	w.u2(cf.MinorVersion)
+	w.u2(cf.MajorVersion)
+	if poolGrown {
+		// Append-only growth keeps every parsed index stable: splice the
+		// parsed entries verbatim and re-serialize only the tail.
+		w.u2(uint16(len(p.entries)))
+		w.raw(cf.raw[10:cf.poolEnd])
+		if err := encodePoolEntries(w, p, cf.parsedEntries); err != nil {
+			return nil, err
+		}
+	} else {
+		w.raw(cf.raw[8:cf.poolEnd]) // count + all entries
+	}
+	w.u2(cf.AccessFlags)
+	w.u2(cf.ThisClass)
+	w.u2(cf.SuperClass)
+	w.u2(uint16(len(cf.Interfaces)))
+	for _, i := range cf.Interfaces {
+		w.u2(i)
+	}
+	if err := cf.spliceMembers(w, cf.Fields); err != nil {
+		return nil, err
+	}
+	if err := cf.spliceMembers(w, cf.Methods); err != nil {
+		return nil, err
+	}
+	if cf.attrsDirty {
+		return w.buf, encodeAttributes(w, cf.Attributes)
+	}
+	w.raw(cf.raw[cf.attrsStart:])
+	return w.buf, nil
+}
+
+// spliceable reports whether m's original byte range can be copied
+// verbatim: it belongs to this parse and was never marked dirty.
+func (cf *ClassFile) spliceable(m *Member) bool {
+	return !m.dirty && m.owner == cf && m.spanEnd > m.spanStart
+}
+
+// memberEncodedSize is the member's size under the splice path.
+func (cf *ClassFile) memberEncodedSize(m *Member) int {
+	if cf.spliceable(m) {
+		return m.spanEnd - m.spanStart
+	}
+	return 6 + attributesSize(m.Attributes)
+}
+
+// spliceMembers writes a member list, copying unmodified members'
+// original bytes and re-serializing dirtied (or newly added) ones.
+func (cf *ClassFile) spliceMembers(w *writer, ms []*Member) error {
+	if len(ms) > 0xFFFF {
+		return formatErrf(-1, "too many members (%d)", len(ms))
+	}
+	w.u2(uint16(len(ms)))
+	for _, m := range ms {
+		if cf.spliceable(m) {
+			w.raw(cf.raw[m.spanStart:m.spanEnd])
+			continue
+		}
+		w.u2(m.AccessFlags)
+		w.u2(m.NameIndex)
+		w.u2(m.DescriptorIndex)
+		if err := encodeAttributes(w, m.Attributes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// entriesSize returns the serialized size of entries[from:].
+func (p *ConstPool) entriesSize(from int) int {
+	n := 0
+	for i := from; i < len(p.entries); i++ {
+		c := p.entries[i]
+		switch c.Tag {
+		case 0: // dead second slot of a Long/Double
+		case TagUtf8:
+			if c.raw != nil {
+				n += 1 + 2 + len(c.raw)
+			} else {
+				n += 1 + 2 + modifiedUTF8Len(c.Str)
+			}
+		case TagInteger, TagFloat:
+			n += 1 + 4
+		case TagLong, TagDouble:
+			n += 1 + 8
+		case TagClass, TagString:
+			n += 1 + 2
+		default: // member refs and NameAndType
+			n += 1 + 4
+		}
+	}
+	return n
+}
+
 func encodePool(w *writer, p *ConstPool) error {
 	if p == nil {
 		return formatErrf(-1, "class has no constant pool")
@@ -134,7 +270,12 @@ func encodePool(w *writer, p *ConstPool) error {
 		return formatErrf(-1, "constant pool too large (%d entries)", len(p.entries))
 	}
 	w.u2(uint16(len(p.entries)))
-	for i := 1; i < len(p.entries); i++ {
+	return encodePoolEntries(w, p, 1)
+}
+
+// encodePoolEntries serializes entries[from:] (no count prefix).
+func encodePoolEntries(w *writer, p *ConstPool, from int) error {
+	for i := from; i < len(p.entries); i++ {
 		c := p.entries[i]
 		if c.Tag == 0 {
 			continue // dead second slot of a Long/Double
@@ -142,6 +283,17 @@ func encodePool(w *writer, p *ConstPool) error {
 		w.u1(uint8(c.Tag))
 		switch c.Tag {
 		case TagUtf8:
+			// Prefer the original bytes when the entry came from a parse:
+			// re-encoding from Str would canonicalize non-canonical
+			// modified-UTF8 and make output depend on what was touched.
+			if c.raw != nil {
+				if len(c.raw) > 0xFFFF {
+					return formatErrf(-1, "Utf8 constant %d too long (%d bytes)", i, len(c.raw))
+				}
+				w.u2(uint16(len(c.raw)))
+				w.raw(c.raw)
+				continue
+			}
 			n := modifiedUTF8Len(c.Str)
 			if n > 0xFFFF {
 				return formatErrf(-1, "Utf8 constant %d too long (%d bytes)", i, n)

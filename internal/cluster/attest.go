@@ -40,15 +40,25 @@ import (
 	"dvm/internal/telemetry"
 )
 
-// attestPathPrefix is the variant route: POST /peer/attest/<name>.class
-// with X-DVM-Arch and the raw origin bytes as the body; the response is
-// JSON {"digest": "<hex sha-256>"} of the variant's pipeline output.
-const attestPathPrefix = "/peer/attest/"
-
-// attestVote is the variant response wire form.
+// attestVote is the variant response wire form: POST
+// /peer/v1/attest/<name>.class with X-DVM-Arch and the payload bytes as
+// the body answers JSON {"digest": "<hex sha-256>"} of the variant's
+// own pipeline (or compiler) output.
 type attestVote struct {
 	Digest string `json:"digest"`
 }
+
+// attestModeHeader selects what a variant does with the posted bytes:
+// absent (or "transform") means "run your pipeline over these origin
+// bytes and vote with the output digest"; attestModeCompile means "the
+// body is an already transformed base-architecture artifact — derive
+// the compiled form with your own AOT compiler and vote with that
+// digest". The compile mode is how the shared AOT code cache keeps the
+// N-variant trust property without shipping origin bytes a second time.
+const (
+	attestModeHeader  = "X-DVM-Attest-Mode"
+	attestModeCompile = "compile"
+)
 
 // maxAttestExtraRounds bounds tie-break escalation: after the initial
 // quorum, at most this many extra variants are consulted one at a time
@@ -60,13 +70,30 @@ const maxAttestExtraRounds = 2
 // Runs on the flight goroutine under the admission slot, so the
 // variants' round-trips are part of the key's one-time service cost.
 func (n *Node) attestFlight(ctx context.Context, arch, class string, raw, out []byte) (*attest.Attestation, error) {
+	return n.attestQuorum(ctx, arch, class, raw, out, "")
+}
+
+// attestCompileFlight is the proxy's AttestCompile hook: the quorum
+// protocol for an AOT-derived artifact. The dispatched payload is the
+// base-architecture artifact (not origin bytes), and variants vote in
+// compile mode — each re-derives with its own compiler and answers
+// with the digest, so compiler corruption diverges exactly like
+// pipeline corruption does on the transform route.
+func (n *Node) attestCompileFlight(ctx context.Context, arch, class string, base, out []byte) (*attest.Attestation, error) {
+	return n.attestQuorum(ctx, arch, class, base, out, attestModeCompile)
+}
+
+// attestQuorum is the shared quorum engine behind both hooks: dispatch
+// payload to ring successors under mode, tally digests against the
+// local out, escalate ties, seal on agreement.
+func (n *Node) attestQuorum(ctx context.Context, arch, class string, payload, out []byte, mode string) (*attest.Attestation, error) {
 	local := attest.Digest(out)
 	want := n.authority.QuorumFor(arch, class)
 	if want <= 1 {
 		return n.authority.Attest(arch, class, out, 1, []string{n.cfg.Self}), nil
 	}
 	candidates := n.variantCandidates(arch, class)
-	votes, rest := n.collectVotes(ctx, arch, class, raw, candidates, want-1)
+	votes, rest := n.collectVotes(ctx, arch, class, payload, candidates, want-1, mode)
 	if len(votes) == 0 {
 		// Every candidate was down, shedding, or already quarantined.
 		// Availability wins: seal at quorum 1 (counted, so a fleet that
@@ -80,7 +107,7 @@ func (n *Node) attestFlight(ctx context.Context, arch, class string, raw, out []
 	// candidate pool (or the round budget) is exhausted.
 	for extra := 0; majority == "" && extra < maxAttestExtraRounds && len(rest) > 0; extra++ {
 		var more []attest.Vote
-		more, rest = n.collectVotes(ctx, arch, class, raw, rest, 1)
+		more, rest = n.collectVotes(ctx, arch, class, payload, rest, 1, mode)
 		if len(more) == 0 {
 			break
 		}
@@ -138,7 +165,7 @@ func (n *Node) variantCandidates(arch, class string) []string {
 // dispatching concurrently and refilling from the remaining pool as
 // variants fail or shed. Returns the votes and the unused candidates
 // (the tie-break pool).
-func (n *Node) collectVotes(ctx context.Context, arch, class string, raw []byte, candidates []string, need int) ([]attest.Vote, []string) {
+func (n *Node) collectVotes(ctx context.Context, arch, class string, raw []byte, candidates []string, need int, mode string) ([]attest.Vote, []string) {
 	votes := make([]attest.Vote, 0, need)
 	i := 0
 	for len(votes) < need && i < len(candidates) {
@@ -154,7 +181,7 @@ func (n *Node) collectVotes(ctx context.Context, arch, class string, raw []byte,
 		ch := make(chan result, len(batch))
 		for _, peer := range batch {
 			go func(peer string) {
-				d, err := n.variantDigest(ctx, peer, arch, class, raw)
+				d, err := n.variantDigest(ctx, peer, arch, class, raw, mode)
 				ch <- result{attest.Vote{Voter: peer, Digest: d}, err == nil}
 			}(peer)
 		}
@@ -171,7 +198,7 @@ func (n *Node) collectVotes(ctx context.Context, arch, class string, raw []byte,
 // under the peer's circuit breaker: a 429 (backpressure or drain) is a
 // healthy shed, a transport failure feeds the breaker like any other
 // peer-protocol failure.
-func (n *Node) variantDigest(ctx context.Context, peer, arch, class string, raw []byte) (string, error) {
+func (n *Node) variantDigest(ctx context.Context, peer, arch, class string, raw []byte, mode string) (string, error) {
 	b := n.breaker(peer)
 	if err := b.Allow(); err != nil {
 		return "", err
@@ -187,6 +214,9 @@ func (n *Node) variantDigest(ctx context.Context, peer, arch, class string, raw 
 		return "", err
 	}
 	req.Header.Set("X-DVM-Arch", arch)
+	if mode != "" {
+		req.Header.Set(attestModeHeader, mode)
+	}
 	req.Header.Set("X-DVM-Client", "peer:"+n.cfg.Self)
 	req.Header.Set("Content-Type", "application/java-vm")
 	req.Header.Set(epochHeader, fmtEpoch(n.mship.Epoch()))
@@ -238,9 +268,7 @@ func (n *Node) handleAttest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	// Mounted at both the versioned route and the legacy alias.
 	name := strings.TrimPrefix(r.URL.Path, attestV1Prefix)
-	name = strings.TrimPrefix(name, attestPathPrefix)
 	name = strings.TrimSuffix(name, ".class")
 	arch := r.Header.Get("X-DVM-Arch")
 	if name == "" || strings.Contains(name, "..") || arch == "" {
@@ -253,9 +281,19 @@ func (n *Node) handleAttest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := telemetry.WithTrace(r.Context(), tr)
-	span := tr.StartSpan(n.cfg.Self, "attest.transform")
-	digest, terr := n.local.TransformDigest(ctx, arch, name, raw)
-	span.End()
+	var digest string
+	var terr error
+	if r.Header.Get(attestModeHeader) == attestModeCompile {
+		// Compile-mode vote: the body is a base-architecture artifact;
+		// answer with the digest of this node's own derivation.
+		span := tr.StartSpan(n.cfg.Self, "attest.compile")
+		digest, terr = n.local.CompileDigest(ctx, arch, name, raw)
+		span.End()
+	} else {
+		span := tr.StartSpan(n.cfg.Self, "attest.transform")
+		digest, terr = n.local.TransformDigest(ctx, arch, name, raw)
+		span.End()
+	}
 	w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
 	if terr != nil {
 		http.Error(w, terr.Error(), http.StatusInternalServerError)

@@ -11,6 +11,7 @@ package cluster_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -307,10 +308,11 @@ func TestAttestByzantineChaos(t *testing.T) {
 	}
 }
 
-// TestReplicaPushRejectsBadAttestation is the /peer/replica hop
-// regression: a push whose payload is unattested, sealed under the
-// wrong key, or covering different bytes must be rejected and never
-// warm the receiver's cache; a correctly sealed push must land.
+// TestReplicaPushRejectsBadAttestation is the replica-ingest hop
+// regression, on the batch envelope: a pushed entry whose payload is
+// unattested, sealed under the wrong key, or covering different bytes
+// must come back as a per-entry 400 BatchError and never warm the
+// receiver's cache; a correctly sealed push must land.
 func TestReplicaPushRejectsBadAttestation(t *testing.T) {
 	org := corpus(t, 1)
 	c, err := cluster.StartLocal(org, 2, verifyingProxyCfg, func(int) cluster.Config {
@@ -327,22 +329,31 @@ func TestReplicaPushRejectsBadAttestation(t *testing.T) {
 	defer c.Close()
 	target := c.Nodes[0]
 	data := []byte("pushed-artifact-bytes")
-	post := func(attHeader string) int {
-		req, err := http.NewRequest(http.MethodPost, target.Self()+"/peer/replica/app/Pushed.class", bytes.NewReader(data))
+	push := func(attHeader string) cluster.BatchResponse {
+		body, err := json.Marshal(cluster.BatchRequest{
+			Reason: proxy.ReasonReplica,
+			Member: c.Nodes[1].Self(),
+			Entries: []cluster.BatchEntry{{
+				Arch: "dvm", Class: "app/Pushed", Reason: proxy.ReasonReplica,
+				Data: data, Att: attHeader,
+			}},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		req.Header.Set("X-DVM-Arch", "dvm")
-		if attHeader != "" {
-			req.Header.Set(attest.Header, attHeader)
-		}
-		resp, err := http.DefaultClient.Do(req)
+		resp, err := http.Post(target.Self()+"/peer/v1/batch", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch push: status %d, want 200 with per-entry errors", resp.StatusCode)
+		}
+		var br cluster.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		return br
 	}
 
 	service := attest.New(attest.Config{Key: attestTestKey()})
@@ -356,8 +367,9 @@ func TestReplicaPushRejectsBadAttestation(t *testing.T) {
 		{"tampered bytes", service.Attest("dvm", "app/Pushed", []byte("other bytes"), 1, nil).Encode()},
 	}
 	for _, tc := range rejects {
-		if got := post(tc.header); got != http.StatusBadRequest {
-			t.Errorf("%s replica push: status %d, want 400", tc.name, got)
+		br := push(tc.header)
+		if len(br.Errors) != 1 || br.Errors[0].Status != http.StatusBadRequest {
+			t.Errorf("%s replica push: errors = %+v, want one 400 entry error", tc.name, br.Errors)
 		}
 	}
 	if snap := target.Proxy().CacheSnapshot(1<<20, nil); len(snap) != 0 {
@@ -370,8 +382,8 @@ func TestReplicaPushRejectsBadAttestation(t *testing.T) {
 		t.Errorf("replica_stored_total = %d, want 0", got)
 	}
 
-	if got := post(service.Attest("dvm", "app/Pushed", data, 1, nil).Encode()); got != http.StatusNoContent {
-		t.Fatalf("valid replica push: status %d, want 204", got)
+	if br := push(service.Attest("dvm", "app/Pushed", data, 1, nil).Encode()); len(br.Errors) != 0 {
+		t.Fatalf("valid replica push: errors = %+v, want none", br.Errors)
 	}
 	snap := target.Proxy().CacheSnapshot(1<<20, nil)
 	if len(snap) != 1 || !bytes.Equal(snap[0].Data, data) || snap[0].Att == nil {

@@ -8,7 +8,9 @@ package cluster_test
 // suite stays fast and race-clean.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
@@ -280,7 +282,10 @@ func TestClusterDrainingRejectsPeerFills(t *testing.T) {
 	if err := c.Nodes[1].Drain(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	resp, err := http.Get(c.URLs()[1] + "/peer/class/app/Applet000.class")
+	body, _ := json.Marshal(cluster.BatchRequest{
+		Reason: proxy.ReasonFill, Member: c.URLs()[0], Arch: "jdk", Classes: []string{"app/Applet000"},
+	})
+	resp, err := http.Post(c.URLs()[1]+"/peer/v1/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,9 +33,6 @@ import (
 	"time"
 )
 
-// gossipPath is the membership-exchange route.
-const gossipPath = "/gossip"
-
 // epochHeader piggybacks the sender's membership epoch on peer-protocol
 // hops so view divergence is noticed without waiting for a gossip tick.
 const epochHeader = "X-DVM-Epoch"
@@ -57,9 +54,8 @@ type gossipState struct {
 	fails map[string]int // consecutive gossip failures per peer
 }
 
-// handleGossip answers POST /peer/v1/gossip (and the legacy /gossip
-// alias): merge the sender's view, answer with ours. After the exchange
-// both sides hold the union.
+// handleGossip answers POST /peer/v1/gossip: merge the sender's view,
+// answer with ours. After the exchange both sides hold the union.
 func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -26,26 +26,13 @@ package cluster
 
 import (
 	"context"
-	"encoding/json"
-	"io"
-	"net/http"
 	"sort"
-	"strings"
 	"time"
 
 	"dvm/internal/attest"
 	"dvm/internal/proxy"
 	"dvm/internal/telemetry"
 )
-
-// replicaPathPrefix is the replica-push route: POST
-// /peer/replica/<name>.class with X-DVM-Arch stores transformed bytes
-// in the receiver's cache.
-const replicaPathPrefix = "/peer/replica/"
-
-// handoffPath is the cache-handoff route: POST {member, maxBytes}
-// returns the server's cached entries now owned by member.
-const handoffPath = "/peer/handoff"
 
 // defaultHandoffMaxBytes bounds one handoff transfer when Config leaves
 // it zero: enough for the hot tail, far from a full cache copy.
@@ -110,49 +97,6 @@ func (n *Node) pushReplicas(it replItem) {
 	}
 }
 
-// handleReplica is the legacy replica-push route (deprecated alias of
-// POST /peer/v1/batch): raw class bytes in the body, attestation in the
-// header, same ingestEntry gate.
-func (n *Node) handleReplica(w http.ResponseWriter, r *http.Request) {
-	if _, ok := n.peerEnter(w, r, http.MethodPost, false); !ok {
-		return
-	}
-	name := strings.TrimPrefix(r.URL.Path, replicaPathPrefix)
-	name = strings.TrimSuffix(name, ".class")
-	arch := r.Header.Get("X-DVM-Arch")
-	if name == "" || strings.Contains(name, "..") || arch == "" {
-		http.Error(w, "bad replica", http.StatusBadRequest)
-		return
-	}
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxPeerClassBytes+1))
-	if err != nil || len(data) > maxPeerClassBytes {
-		http.Error(w, "replica too large", http.StatusBadRequest)
-		return
-	}
-	if status, ierr := n.ingestEntry(BatchEntry{
-		Arch: arch, Class: name, Reason: proxy.ReasonReplica,
-		Data: data, Att: r.Header.Get(attest.Header),
-	}); ierr != nil {
-		http.Error(w, ierr.Error(), status)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-// handoffRequest is the pull-handoff wire form.
-type handoffRequest struct {
-	// Member is the requester's peer URL; the server returns entries
-	// whose current ring primary is this member.
-	Member string `json:"member"`
-	// MaxBytes bounds the transfer (server clamps to its own limit).
-	MaxBytes int `json:"maxBytes"`
-}
-
-// handoffResponse carries the transferred entries.
-type handoffResponse struct {
-	Entries []proxy.CachedEntry `json:"entries"`
-}
-
 // handoffEntries selects the cached entries member now owns,
 // hottest-profile-first: the predictor's decayed heat orders the
 // transfer (stable sort, so entries the predictor has never seen keep
@@ -188,34 +132,6 @@ func (n *Node) heatOrdered(entries []proxy.CacheEntry) []proxy.CacheEntry {
 		})
 	}
 	return entries
-}
-
-// handleHandoff is the legacy pull-handoff route (deprecated alias of
-// POST /peer/v1/batch): same handoffEntries selection, legacy JSON wire
-// form. Shed outright under admission pressure — warming a newcomer
-// must never out-compete serving clients.
-func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	if n.local.UnderPressure() {
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "overloaded, handoff shed", http.StatusTooManyRequests)
-		return
-	}
-	var req handoffRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil || req.Member == "" {
-		http.Error(w, "bad handoff request", http.StatusBadRequest)
-		return
-	}
-	maxBytes := req.MaxBytes
-	if maxBytes <= 0 || maxBytes > n.cfg.HandoffMaxBytes {
-		maxBytes = n.cfg.HandoffMaxBytes
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set(epochHeader, fmtEpoch(n.mship.Epoch()))
-	_ = json.NewEncoder(w).Encode(handoffResponse{Entries: n.handoffEntries(req.Member, maxBytes)})
 }
 
 // PullHandoff asks every live peer for the cached entries this node now

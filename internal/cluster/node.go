@@ -10,15 +10,12 @@ import (
 	"time"
 
 	"dvm/internal/attest"
+	"dvm/internal/compiler"
 	"dvm/internal/prefetch"
 	"dvm/internal/proxy"
 	"dvm/internal/resilience"
 	"dvm/internal/telemetry"
 )
-
-// peerPathPrefix is the peer-protocol route: an owner serves the
-// transformed class for GET /peer/class/<name>.class with X-DVM-Arch.
-const peerPathPrefix = "/peer/class/"
 
 // maxPeerClassBytes bounds one peer response read; mirrors the client
 // loader's bound so a misbehaving peer cannot OOM a node.
@@ -38,7 +35,7 @@ const DefaultReplication = 2
 // Config parameterizes one cluster node.
 type Config struct {
 	// Self is this node's peer URL (e.g. "http://10.0.0.1:8642"); the
-	// other members reach its /peer/class/ endpoint there.
+	// other members reach its /peer/v1/* endpoints there.
 	Self string
 	// Peers seeds the membership view, including Self (added if absent).
 	// Unlike the pre-gossip design this need not be the full fleet: any
@@ -113,6 +110,16 @@ type Config struct {
 	// QuarantineAfter is how many divergences put a peer in quarantine
 	// (0 = attest.DefaultQuarantineAfter).
 	QuarantineAfter int
+
+	// AOTBaseArch, when set, enables the fleet-shared AOT code cache:
+	// a miss for the compiler's native architecture whose base-arch
+	// artifact is already cached is answered by deriving (compiling)
+	// those bytes instead of re-fetching and re-running the whole
+	// pipeline. With attestation on, derived artifacts are sealed by a
+	// compile-mode quorum (variants re-derive and vote). The value is
+	// the architecture string base artifacts are requested under (the
+	// pipeline output without the compile step, e.g. "jvm").
+	AOTBaseArch string
 }
 
 // defaultHotThreshold is the peer-fill count after which a key is
@@ -275,6 +282,18 @@ func NewNode(origin proxy.Origin, pcfg proxy.Config, cfg Config) (*Node, error) 
 			QuarantineAfter: cfg.QuarantineAfter,
 		})
 		pcfg.Attest = n.attestFlight
+	}
+	if cfg.AOTBaseArch != "" && pcfg.AOT == nil {
+		pcfg.AOT = &proxy.AOTConfig{
+			Arch:     compiler.ArchDVM,
+			BaseArch: cfg.AOTBaseArch,
+			Compile:  compiler.CompileArtifact,
+		}
+	}
+	if pcfg.AOT != nil && pcfg.AOT.AttestCompile == nil && len(cfg.AttestKey) > 0 {
+		// Derived artifacts get the same N-variant cross-check as
+		// transformed ones, in compile mode.
+		pcfg.AOT.AttestCompile = n.attestCompileFlight
 	}
 	if pcfg.Node == "" {
 		pcfg.Node = cfg.Self // trace spans name the node by its peer URL
@@ -574,9 +593,10 @@ func (n *Node) fill(ctx context.Context, l proxy.Lookup) proxy.PeerResult {
 
 // Handler returns the node's HTTP interface: the client-facing class
 // routes of the local proxy, the versioned peer protocol (/peer/v1/*),
-// the legacy single-key peer routes (thin aliases over the same
-// internals, kept for one release), and a /healthz that includes the
-// live membership view.
+// and a /healthz that includes the live membership view. The pre-v1
+// single-key routes (/peer/class, /peer/replica, /peer/handoff,
+// /peer/attest, /gossip) are gone after their one-release deprecation
+// window; every cluster-internal hop rides the batch envelope.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle(classPathPrefix(), n.local.Handler())
@@ -584,12 +604,6 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc(batchPath, n.handleBatch)
 	mux.HandleFunc(attestV1Prefix, n.handleAttest)
 	mux.HandleFunc(gossipV1Path, n.handleGossip)
-	// Legacy aliases (deprecated; see DESIGN.md §14).
-	mux.HandleFunc(peerPathPrefix, n.handlePeer)
-	mux.HandleFunc(attestPathPrefix, n.handleAttest)
-	mux.HandleFunc(replicaPathPrefix, n.handleReplica)
-	mux.HandleFunc(handoffPath, n.handleHandoff)
-	mux.HandleFunc(gossipPath, n.handleGossip)
 	mux.Handle("/healthz", telemetry.HealthHandler(n.Health))
 	mux.Handle("/metrics", n.local.Telemetry().Handler())
 	return mux
@@ -598,53 +612,6 @@ func (n *Node) Handler() http.Handler {
 // classPathPrefix mirrors the proxy front end's route without exporting
 // it from the proxy package.
 func classPathPrefix() string { return "/classes/" }
-
-// handlePeer is the legacy single-key fill route (deprecated alias of
-// POST /peer/v1/batch): same serveFill core, single-class wire form, no
-// prefetch piggyback. A draining node refuses with 429 + X-DVM-Draining
-// so peers re-route immediately.
-func (n *Node) handlePeer(w http.ResponseWriter, r *http.Request) {
-	tr, ok := n.peerEnter(w, r, http.MethodGet, false)
-	if !ok {
-		return
-	}
-	name := strings.TrimPrefix(r.URL.Path, peerPathPrefix)
-	name = strings.TrimSuffix(name, ".class")
-	if name == "" || strings.Contains(name, "..") {
-		http.Error(w, "bad class name", http.StatusBadRequest)
-		return
-	}
-	arch := r.Header.Get("X-DVM-Arch")
-	client := r.Header.Get("X-DVM-Client")
-	if client == "" {
-		client = "peer"
-	}
-	ctx := telemetry.WithTrace(r.Context(), tr)
-	res, err := n.serveFill(ctx, client, arch, name)
-	w.Header().Set(telemetry.TraceSpansHeader, telemetry.EncodeSpans(tr.Spans()))
-	if err != nil {
-		status := proxy.StatusFor(err)
-		if status == http.StatusTooManyRequests {
-			// Backpressure hint for the shed requester: overload clears
-			// on the queue-drain timescale.
-			w.Header().Set("Retry-After", "1")
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	if res.Info.Attestation != nil {
-		w.Header().Set(attest.Header, res.Info.Attestation.Encode())
-	}
-	if res.Info.Rejected {
-		w.Header().Set("X-DVM-Rejected", "1")
-	}
-	if res.Info.Stale {
-		w.Header().Set("X-DVM-Stale", "1")
-	}
-	w.Header().Set("Content-Type", "application/java-vm")
-	w.Header().Set("Content-Length", fmt.Sprint(len(res.Data)))
-	_, _ = w.Write(res.Data)
-}
 
 // Health extends the local proxy's report with the cluster view: the
 // live membership (with per-member state and the epoch) and per-link

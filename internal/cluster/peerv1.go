@@ -7,14 +7,14 @@ package cluster
 // prefetch (predicted successors piggybacked onto a fill). Every entry
 // carries its own attestation and reason; every handler re-verifies
 // bytes before they touch a cache. The shared peerEnter middleware does
-// what the five legacy endpoints each did by hand: method check, epoch
+// what the five pre-v1 endpoints each did by hand: method check, epoch
 // piggyback in both directions, draining 429, admission backpressure,
 // and trace-span extraction.
 //
-// The legacy routes (/peer/class, /peer/replica, /peer/handoff,
-// /peer/attest, /gossip) remain mounted as thin aliases over the same
-// serve/ingest internals for one release; see DESIGN.md §14 for the
-// deprecation note. All cluster-internal traffic uses /peer/v1/*.
+// The pre-v1 routes (/peer/class, /peer/replica, /peer/handoff,
+// /peer/attest, /gossip) served one deprecation release as thin
+// aliases and have been removed; see DESIGN.md §14. All
+// cluster-internal traffic uses /peer/v1/*.
 //
 // Prefetch piggyback: when an owner serves class A over a batch fill,
 // it consults its successor predictor (internal/prefetch, fed by the
@@ -107,7 +107,7 @@ type BatchEntry struct {
 // BatchError reports one entry or class the server could not serve or
 // accept; Status carries the per-item HTTP semantics (404 definitive
 // miss, 429 shed, 400 rejected payload) that whole-response codes used
-// to carry on the legacy single-key routes.
+// to carry on the pre-v1 single-key routes.
 type BatchError struct {
 	Arch   string `json:"arch,omitempty"`
 	Class  string `json:"class,omitempty"`
@@ -150,7 +150,7 @@ func (n *Node) peerEnter(w http.ResponseWriter, r *http.Request, method string, 
 // never pre-shed — the bytes are already on the wire and dropping them
 // only re-costs the push; fills let the proxy's admission control
 // decide (a cache hit needs no slot); handoff pulls shed under
-// pressure, like the legacy route.
+// pressure, like the pre-v1 route did.
 func (n *Node) handleBatch(w http.ResponseWriter, r *http.Request) {
 	tr, ok := n.peerEnter(w, r, http.MethodPost, false)
 	if !ok {
@@ -228,8 +228,7 @@ func (n *Node) serveBatchFill(ctx context.Context, tr *telemetry.Trace, req Batc
 }
 
 // serveFill answers one owner-side fill from this node's cache/origin,
-// never re-forwarding (localOnly). Shared by the batch handler and the
-// legacy GET /peer/class alias. The fill stream doubles as the
+// never re-forwarding (localOnly). The fill stream doubles as the
 // predictor's live signal: misses routed to this owner are exactly the
 // cold-start sequences worth predicting.
 func (n *Node) serveFill(ctx context.Context, client, arch, class string) (proxy.Result, error) {
@@ -306,8 +305,8 @@ func (n *Node) ingestBatch(req BatchRequest) BatchResponse {
 }
 
 // ingestEntry verifies and warms one pushed entry — the single
-// ingestion gate shared by the batch handler and the legacy replica
-// alias. Every entry re-verifies its attestation against its bytes
+// ingestion gate behind the batch handler. Every entry re-verifies its
+// attestation against its bytes
 // here, whatever the reason; the caches only ever hold artifacts whose
 // seal checks out.
 func (n *Node) ingestEntry(e BatchEntry) (int, error) {

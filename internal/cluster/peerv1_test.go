@@ -2,8 +2,8 @@ package cluster
 
 // White-box tests for the versioned peer protocol: the /peer/v1/batch
 // envelope (fill + prefetch piggyback, per-entry attested ingest,
-// heat-ordered handoff) and the legacy single-key aliases that must
-// keep answering for one release.
+// heat-ordered handoff) — and the absence of the removed pre-v1
+// single-key routes.
 
 import (
 	"bytes"
@@ -307,90 +307,48 @@ func TestBatchRejectsMalformedRequests(t *testing.T) {
 	}
 }
 
-// TestLegacyPeerRoutesStillAnswer pins the deprecation contract: the
-// pre-v1 single-key routes stay mounted as thin aliases for one release
-// and serve the same artifacts as the batch envelope.
-func TestLegacyPeerRoutesStillAnswer(t *testing.T) {
-	key := []byte("legacy-alias-service-key")
-	service := attest.New(attest.Config{Key: key})
-	n := newBatchTestNode(t, walkOrigin(t), Config{AttestKey: key})
+// TestPreV1PeerRoutesRemoved pins the other side of the deprecation
+// contract: the one-release alias window is over, so the pre-v1
+// single-key routes are unrouted (404) and the versioned protocol is
+// the only peer surface. The paths are spelled as literals on purpose —
+// the constants are gone with the handlers.
+func TestPreV1PeerRoutesRemoved(t *testing.T) {
+	n := newBatchTestNode(t, walkOrigin(t), Config{})
 	srv := httptest.NewServer(n.Handler())
 	defer srv.Close()
 
-	// Legacy fill: GET /peer/class/<name>.class.
-	req, _ := http.NewRequest(http.MethodGet, srv.URL+peerPathPrefix+"app/A.class", nil)
-	req.Header.Set("X-DVM-Arch", "dvm")
-	req.Header.Set("X-DVM-Client", "peer:legacy")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
+	gone := []struct {
+		method, path, body string
+	}{
+		{http.MethodGet, "/peer/class/app/A.class", ""},
+		{http.MethodPost, "/peer/replica/app/Pushed.class", "replica-bytes"},
+		{http.MethodPost, "/peer/handoff", `{"member":"http://127.0.0.1:1"}`},
+		{http.MethodPost, "/gossip", "{}"},
+		{http.MethodPost, "/peer/attest/app/A.class", "raw-bytes"},
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, resident(t, n, "app/A")) {
-		t.Fatalf("legacy fill: status=%d body len=%d", resp.StatusCode, len(body))
-	}
-	if resp.Header.Get(attest.Header) == "" {
-		t.Error("legacy fill lost the attestation header")
-	}
-
-	// Legacy replica push: POST /peer/replica/<name>.class.
-	pushed := []byte("legacy-replica-bytes")
-	req, _ = http.NewRequest(http.MethodPost, srv.URL+replicaPathPrefix+"app/Pushed.class", bytes.NewReader(pushed))
-	req.Header.Set("X-DVM-Arch", "dvm")
-	req.Header.Set(attest.Header, service.Attest("dvm", "app/Pushed", pushed, 1, nil).Encode())
-	resp, err = http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		t.Fatalf("legacy replica push status = %d, want 204", resp.StatusCode)
-	}
-	if data, _, ok := n.Proxy().Peek("dvm", "app/Pushed"); !ok || !bytes.Equal(data, pushed) {
-		t.Errorf("legacy replica not stored: ok=%v", ok)
+	for _, tc := range gone {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		req.Header.Set("X-DVM-Arch", "dvm")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404 (pre-v1 route must be unrouted)", tc.method, tc.path, resp.StatusCode)
+		}
 	}
 
-	// Legacy handoff pull: POST /peer/handoff with the legacy JSON form.
-	hb, _ := json.Marshal(handoffRequest{Member: n.cfg.Self})
-	resp, err = http.Post(srv.URL+handoffPath, "application/json", bytes.NewReader(hb))
-	if err != nil {
-		t.Fatal(err)
+	// The versioned protocol still answers on the same mux.
+	resp, br := postBatch(t, srv.URL, BatchRequest{
+		Reason: proxy.ReasonFill, Member: "http://127.0.0.1:1", Arch: "dvm", Classes: []string{"app/A"},
+	})
+	if resp.StatusCode != http.StatusOK || len(br.Entries) != 1 {
+		t.Fatalf("v1 batch fill: status=%d entries=%d", resp.StatusCode, len(br.Entries))
 	}
-	var hr handoffResponse
-	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if len(hr.Entries) == 0 {
-		t.Error("legacy handoff returned no entries")
-	}
-
-	// Legacy gossip: POST /gossip with a view.
-	gb, _ := json.Marshal(n.mship.View())
-	resp, err = http.Post(srv.URL+gossipPath, "application/json", bytes.NewReader(gb))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("legacy gossip status = %d", resp.StatusCode)
-	}
-
-	// Legacy attest variant: POST /peer/attest/<name>.class.
-	req, _ = http.NewRequest(http.MethodPost, srv.URL+attestPathPrefix+"app/A.class", strings.NewReader("raw-bytes"))
-	req.Header.Set("X-DVM-Arch", "dvm")
-	resp, err = http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var vote attestVote
-	if err := json.NewDecoder(resp.Body).Decode(&vote); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || len(vote.Digest) != 64 {
-		t.Errorf("legacy attest: status=%d digest len=%d", resp.StatusCode, len(vote.Digest))
+	if !bytes.Equal(br.Entries[0].Data, resident(t, n, "app/A")) {
+		t.Error("v1 batch fill served different bytes than the resident artifact")
 	}
 }
 

@@ -96,6 +96,25 @@ func CompileClass(cf *classfile.ClassFile) (Stats, error) {
 	return st, nil
 }
 
+// CompileArtifact derives the DVM-native artifact from an already
+// transformed base-architecture artifact: parse, quicken in place,
+// re-encode. Because every pipeline filter ahead of the compiler is
+// architecture-independent and the compiler only appends to the
+// constant pool, the result is byte-identical to running the full
+// pipeline with the DVM architecture — which is what makes the
+// compiled form a shareable, attestable cluster artifact (the proxy's
+// AOT code cache, proxy.AOTConfig, plugs this in as Compile).
+func CompileArtifact(base []byte) ([]byte, error) {
+	cf, err := classfile.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: parsing base artifact: %w", err)
+	}
+	if _, err := CompileClass(cf); err != nil {
+		return nil, err
+	}
+	return cf.Encode()
+}
+
 // protectedIndices marks instruction indices that must stay addressable:
 // branch/switch targets and exception-table boundaries. A fusion window
 // may start at a protected index but not contain one beyond its first

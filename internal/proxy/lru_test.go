@@ -27,9 +27,9 @@ func TestLRUCache(t *testing.T) {
 			name:   "fifo order without access",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100), nil)
-				p.storeMem("b", pad(100), nil)
-				p.storeMem("c", pad(100), nil) // evicts a (oldest)
+				p.storeMem("a", pad(100), nil, false)
+				p.storeMem("b", pad(100), nil, false)
+				p.storeMem("c", pad(100), nil, false) // evicts a (oldest)
 			},
 			want:  []string{"b", "c"},
 			bytes: 200,
@@ -38,10 +38,10 @@ func TestLRUCache(t *testing.T) {
 			name:   "hit refreshes recency",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100), nil)
-				p.storeMem("b", pad(100), nil)
+				p.storeMem("a", pad(100), nil, false)
+				p.storeMem("b", pad(100), nil, false)
 				p.memGet("a")             // a now most recent
-				p.storeMem("c", pad(100), nil) // evicts b, not a
+				p.storeMem("c", pad(100), nil, false) // evicts b, not a
 			},
 			want:  []string{"a", "c"},
 			bytes: 200,
@@ -50,10 +50,10 @@ func TestLRUCache(t *testing.T) {
 			name:   "re-store refreshes recency",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100), nil)
-				p.storeMem("b", pad(100), nil)
-				p.storeMem("a", pad(100), nil) // replacement also refreshes
-				p.storeMem("c", pad(100), nil) // evicts b
+				p.storeMem("a", pad(100), nil, false)
+				p.storeMem("b", pad(100), nil, false)
+				p.storeMem("a", pad(100), nil, false) // replacement also refreshes
+				p.storeMem("c", pad(100), nil, false) // evicts b
 			},
 			want:  []string{"a", "c"},
 			bytes: 200,
@@ -62,10 +62,10 @@ func TestLRUCache(t *testing.T) {
 			name:   "replacement fixes byte accounting",
 			budget: 300,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100), nil)
-				p.storeMem("a", pad(50), nil) // shrink: 100 -> 50
-				p.storeMem("b", pad(100), nil)
-				p.storeMem("a", pad(150), nil) // grow: 50 -> 150
+				p.storeMem("a", pad(100), nil, false)
+				p.storeMem("a", pad(50), nil, false) // shrink: 100 -> 50
+				p.storeMem("b", pad(100), nil, false)
+				p.storeMem("a", pad(150), nil, false) // grow: 50 -> 150
 			},
 			want:  []string{"a", "b"},
 			bytes: 250,
@@ -74,9 +74,9 @@ func TestLRUCache(t *testing.T) {
 			name:   "replacement growth can evict others",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100), nil)
-				p.storeMem("b", pad(100), nil)
-				p.storeMem("b", pad(150), nil) // grows over budget; evicts a
+				p.storeMem("a", pad(100), nil, false)
+				p.storeMem("b", pad(100), nil, false)
+				p.storeMem("b", pad(150), nil, false) // grows over budget; evicts a
 			},
 			want:  []string{"b"},
 			bytes: 150,
@@ -85,8 +85,8 @@ func TestLRUCache(t *testing.T) {
 			name:   "oversized entry skipped, cache intact",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100), nil)
-				p.storeMem("big", pad(500), nil) // larger than the whole budget
+				p.storeMem("a", pad(100), nil, false)
+				p.storeMem("big", pad(500), nil, false) // larger than the whole budget
 			},
 			want:  []string{"a"},
 			bytes: 100,
@@ -95,8 +95,8 @@ func TestLRUCache(t *testing.T) {
 			name:   "oversized replacement of resident key skipped",
 			budget: 200,
 			run: func(p *Proxy) {
-				p.storeMem("a", pad(100), nil)
-				p.storeMem("a", pad(500), nil) // stale entry stays; oversized skipped
+				p.storeMem("a", pad(100), nil, false)
+				p.storeMem("a", pad(500), nil, false) // stale entry stays; oversized skipped
 			},
 			want:  []string{"a"},
 			bytes: 100,
@@ -106,7 +106,7 @@ func TestLRUCache(t *testing.T) {
 			budget: 0,
 			run: func(p *Proxy) {
 				for i := 0; i < 10; i++ {
-					p.storeMem(fmt.Sprintf("k%d", i), pad(100), nil)
+					p.storeMem(fmt.Sprintf("k%d", i), pad(100), nil, false)
 				}
 			},
 			want:  []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"},
@@ -135,9 +135,9 @@ func TestLRUCache(t *testing.T) {
 
 func TestLRUReplacementServesFreshBytes(t *testing.T) {
 	p := lruProxy(0)
-	p.storeMem("k", []byte("stale"), nil)
-	p.storeMem("k", []byte("fresh"), nil)
-	got, _, _, _, ok := p.memGet("k")
+	p.storeMem("k", []byte("stale"), nil, false)
+	p.storeMem("k", []byte("fresh"), nil, false)
+	got, _, _, _, _, ok := p.memGet("k")
 	if !ok || string(got) != "fresh" {
 		t.Fatalf("memGet = %q, %v; want fresh entry", got, ok)
 	}

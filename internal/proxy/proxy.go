@@ -60,6 +60,7 @@ import (
 
 	"dvm/internal/attest"
 	"dvm/internal/bytecode"
+	"dvm/internal/classfile"
 	"dvm/internal/resilience"
 	"dvm/internal/rewrite"
 	"dvm/internal/telemetry"
@@ -221,6 +222,15 @@ type Config struct {
 	// time (that is the measured tax of -attest-quorum > 1).
 	Attest func(ctx context.Context, arch, class string, raw, out []byte) (*attest.Attestation, error)
 
+	// AOT, when set, turns the compiler's output into a fleet-shared
+	// derived artifact: a request for AOT.Arch whose base-architecture
+	// artifact is already cached locally is answered by compiling those
+	// bytes directly — no origin fetch, no full pipeline run. The fleet
+	// pays one origin fetch and one pipeline run per class under the
+	// base key, and each compiled variant is one cheap derivation on
+	// top of it. See AOTConfig.
+	AOT *AOTConfig
+
 	// MemoryBudget models the server's physical memory: when the bytes
 	// held by in-flight requests exceed it, each request pays a paging
 	// penalty proportional to the overshoot (reproduces the >250-client
@@ -231,6 +241,32 @@ type Config struct {
 	PagingPenaltyPerMB time.Duration
 	// OnAudit receives the audit trail (central administration console).
 	OnAudit func(RequestRecord)
+}
+
+// AOTConfig parameterizes the shared ahead-of-time code cache. The
+// compiled (Arch) artifact for a class is derived from the cached
+// base-architecture artifact instead of re-running the whole pipeline
+// over origin bytes. Every filter ahead of the compiler is
+// architecture-independent, so Compile(pipeline_base(raw)) is
+// byte-identical to pipeline_arch(raw): the derived artifact is exactly
+// what the full pipeline would have produced, and it caches, replicates
+// and attests like any other artifact.
+type AOTConfig struct {
+	// Arch is the derived architecture (the compiler's native format,
+	// e.g. compiler.ArchDVM).
+	Arch string
+	// BaseArch is the architecture whose cached artifact Compile
+	// consumes (the pipeline output without the compile step).
+	BaseArch string
+	// Compile derives the Arch artifact from a BaseArch artifact
+	// (parse, quicken, re-encode). It must be deterministic: attestation
+	// variants re-run it over the same base bytes and compare digests.
+	Compile func(base []byte) ([]byte, error)
+	// AttestCompile, when set, seals a derived artifact the way
+	// Config.Attest seals a transformed one: the cluster dispatches the
+	// base bytes to ring successors in compile mode, each re-derives and
+	// votes with its digest (CompileDigest). An error fails the flight.
+	AttestCompile func(ctx context.Context, arch, class string, base, out []byte) (*attest.Attestation, error)
 }
 
 // PeerOutcome says how a PeerFill attempt resolved.
@@ -350,6 +386,12 @@ type Stats struct {
 	// AttestFailures counts flights failed by the attest hook.
 	Attested       int64
 	AttestFailures int64
+	// CompileHits counts AOT-arch artifacts served without a local
+	// compilation (cache hit or peer fill); CompileMisses counts local
+	// compilations — a cheap derivation from the cached base artifact,
+	// or a full pipeline run when no base was resident.
+	CompileHits    int64
+	CompileMisses  int64
 	BytesIn        int64
 	BytesOut         int64
 	ProxyTime        time.Duration
@@ -367,6 +409,11 @@ type cacheEntry struct {
 	att        *attest.Attestation // trust metadata, nil when attestation is off
 	storedAt   time.Time
 	prefetched bool
+	// rejected marks a verification-failure replacement class. The flag
+	// survives caching so later hits report Rejected faithfully and the
+	// AOT derive path never compiles a replacement (replacements are
+	// architecture-independent; the regular path serves them as-is).
+	rejected bool
 }
 
 // flight is one in-progress origin fetch + pipeline run that concurrent
@@ -446,6 +493,10 @@ type Proxy struct {
 	// (local divergence, no quorum).
 	cAttested       *telemetry.Counter
 	cAttestFailures *telemetry.Counter
+	// cCompileHits / cCompileMisses implement the AOT code cache's
+	// "fleet pays one compilation per class" accounting (see Stats).
+	cCompileHits   *telemetry.Counter
+	cCompileMisses *telemetry.Counter
 
 	// Batch-warm ingestion (replica push, handoff, prefetch — one path,
 	// one set of counters) and the prefetch ledger. Waste is explicit:
@@ -517,6 +568,8 @@ func New(origin Origin, cfg Config) *Proxy {
 	p.cFlightsAbandoned = p.reg.Counter("flights_abandoned_total")
 	p.cAttested = p.reg.Counter("attested_keys_total")
 	p.cAttestFailures = p.reg.Counter("attest_failures_total")
+	p.cCompileHits = p.reg.Counter("compile_hits_total")
+	p.cCompileMisses = p.reg.Counter("compile_misses_total")
 	p.cWarmed = p.reg.Counter("warm_entries_total")
 	p.cWarmedBytes = p.reg.Counter("warm_bytes_total")
 	p.cPrefetchInserted = p.reg.Counter("prefetch_inserted_total")
@@ -562,6 +615,16 @@ func New(origin Origin, cfg Config) *Proxy {
 		return float64(p.cacheBytes)
 	})
 	p.reg.Gauge("inflight_bytes", func() float64 { return float64(p.inFlight.Load()) })
+	// The share of parsed Utf8 constants the lazy codec actually had to
+	// decode (process-wide): near 0 on pass-through traffic, rising only
+	// when filters touch names, descriptors, and attribute payloads.
+	p.reg.Gauge("lazy_decoded_ratio", func() float64 {
+		s := classfile.CodecStats()
+		if s.Utf8Seen == 0 {
+			return 0
+		}
+		return float64(s.Utf8Decoded) / float64(s.Utf8Seen)
+	})
 	p.reg.Gauge("descriptor_cache_hits", func() float64 {
 		hits, _ := bytecode.DescriptorCacheStats()
 		return float64(hits)
@@ -621,6 +684,8 @@ func (p *Proxy) Stats() Stats {
 		FlightsAbandoned:  p.cFlightsAbandoned.Load(),
 		Attested:          p.cAttested.Load(),
 		AttestFailures:    p.cAttestFailures.Load(),
+		CompileHits:       p.cCompileHits.Load(),
+		CompileMisses:     p.cCompileMisses.Load(),
 		BytesIn:           p.cBytesIn.Load(),
 		BytesOut:          p.cBytesOut.Load(),
 		ProxyTime:         p.hPipeline.Snapshot().Sum,
@@ -671,6 +736,9 @@ type CacheEntry struct {
 	Data   []byte
 	Att    *attest.Attestation `json:",omitempty"`
 	Reason string              `json:",omitempty"`
+	// Rejected marks a verification-failure replacement so the flag
+	// survives warm pushes and handoffs (see cacheEntry.rejected).
+	Rejected bool `json:",omitempty"`
 }
 
 // CachedEntry is the old name of CacheEntry.
@@ -697,7 +765,7 @@ func (p *Proxy) CacheSnapshot(maxBytes int, keep func(arch, class string) bool) 
 		if maxBytes > 0 && bytes+len(ent.data) > maxBytes && len(out) > 0 {
 			break
 		}
-		out = append(out, CacheEntry{Arch: arch, Class: class, Data: ent.data, Att: ent.att})
+		out = append(out, CacheEntry{Arch: arch, Class: class, Data: ent.data, Att: ent.att, Rejected: ent.rejected})
 		bytes += len(ent.data)
 		if maxBytes > 0 && bytes >= maxBytes {
 			break
@@ -728,14 +796,14 @@ func (p *Proxy) Warm(entries []CacheEntry) int {
 	for _, e := range entries {
 		key := e.Arch + "\x00" + e.Class
 		if e.Reason == ReasonPrefetch {
-			if p.storePrefetch(key, e.Data, e.Att) {
+			if p.storePrefetch(key, e.Data, e.Att, e.Rejected) {
 				p.cWarmed.Inc()
 				p.cWarmedBytes.Add(int64(len(e.Data)))
 				stored++
 			}
 			continue
 		}
-		p.storeMem(key, e.Data, e.Att)
+		p.storeMem(key, e.Data, e.Att, e.Rejected)
 		p.diskCachePut(key, e.Data, e.Att)
 		p.cWarmed.Inc()
 		p.cWarmedBytes.Add(int64(len(e.Data)))
@@ -750,7 +818,7 @@ func (p *Proxy) Warm(entries []CacheEntry) int {
 // than a guess — this is the LRU pressure guard ("prefetch never evicts
 // a hotter key than it inserts"). The disk cache is not touched; a
 // guess does not deserve durable bytes.
-func (p *Proxy) storePrefetch(key string, data []byte, att *attest.Attestation) bool {
+func (p *Proxy) storePrefetch(key string, data []byte, att *attest.Attestation, rejected bool) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.cache[key]; ok {
@@ -761,7 +829,7 @@ func (p *Proxy) storePrefetch(key string, data []byte, att *attest.Attestation) 
 		p.cPrefetchSkipped.Inc()
 		return false
 	}
-	p.cache[key] = p.lru.PushBack(&cacheEntry{key: key, data: data, att: att, storedAt: p.now(), prefetched: true})
+	p.cache[key] = p.lru.PushBack(&cacheEntry{key: key, data: data, att: att, storedAt: p.now(), prefetched: true, rejected: rejected})
 	p.cacheBytes += len(data)
 	p.prefetchResident += len(data)
 	p.cPrefetchInserted.Inc()
@@ -826,7 +894,7 @@ func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.
 	var staleAtt *attest.Attestation
 	var haveStale bool
 	if p.cfg.CacheEnabled {
-		data, att, fresh, prefetched, ok := p.memGet(key)
+		data, att, fresh, prefetched, rejected, ok := p.memGet(key)
 		if !ok {
 			// Second level: the on-disk cache (survives proxy restarts).
 			// Only a fresh disk entry is promoted to memory; a stale one
@@ -835,18 +903,22 @@ func (p *Proxy) serve(ctx context.Context, tr *telemetry.Trace, span *telemetry.
 			if d, datt, diskFresh, hit := p.diskCacheGet(key); hit {
 				data, att, fresh, ok = d, datt, diskFresh, true
 				if diskFresh {
-					p.storeMem(key, d, datt)
+					p.storeMem(key, d, datt, false)
 				}
 			}
 		}
 		if ok && fresh {
 			p.cCacheHits.Inc()
+			if a := p.cfg.AOT; a != nil && l.Arch == a.Arch {
+				// A resident compiled artifact: nobody compiles anything.
+				p.cCompileHits.Inc()
+			}
 			p.cBytesOut.Add(int64(len(data)))
 			p.audit(RequestRecord{
 				Client: l.Client, Arch: l.Arch, Class: l.Class, Bytes: len(data),
-				CacheHit: true, Duration: span.Elapsed(),
+				CacheHit: true, Rejected: rejected, Duration: span.Elapsed(),
 			})
-			return data, RequestInfo{CacheHit: true, Prefetched: prefetched, Attestation: att}, nil
+			return data, RequestInfo{CacheHit: true, Prefetched: prefetched, Rejected: rejected, Attestation: att}, nil
 		}
 		if ok {
 			staleData, staleAtt, haveStale = data, att, true
@@ -1046,11 +1118,15 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 		case PeerServed:
 			p.cPeerFetches.Inc()
 			p.cPeerHits.Inc()
+			if a := p.cfg.AOT; a != nil && l.Arch == a.Arch {
+				// The owner paid the compilation; this node serves it free.
+				p.cCompileHits.Inc()
+			}
 			if p.cfg.CacheEnabled && res.CacheLocal {
 				// Hot key: replicate the owner's copy into the local LRU
 				// (and disk cache) so this node stops round-tripping for it.
 				// The fill hook already verified res.Att against res.Data.
-				p.storeMem(key, res.Data, res.Att)
+				p.storeMem(key, res.Data, res.Att, res.Rejected)
 				p.diskCachePut(key, res.Data, res.Att)
 			}
 			f.data, f.att, f.rejected, f.stale, f.peer = res.Data, res.Att, res.Rejected, res.Stale, res.Peer
@@ -1064,6 +1140,50 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 			}
 		default: // PeerSelf: this node owns the key
 			p.cOwnerFetches.Inc()
+		}
+	}
+
+	// Shared AOT code cache: a miss for the compiled architecture whose
+	// base-architecture artifact is already resident is answered by
+	// compiling those bytes directly — the origin fetch and the full
+	// pipeline run were paid once, under the base key; this request adds
+	// only the (cheap, deterministic) derivation. Rejected bases are
+	// skipped: a rejection replacement is architecture-independent and
+	// the regular path reproduces it exactly.
+	if a := p.cfg.AOT; a != nil && a.Compile != nil && l.Arch == a.Arch {
+		if base, baseRejected, ok := p.peekEntry(a.BaseArch, l.Class); ok && !baseRejected {
+			dspan := tr.StartSpan(p.cfg.Node, "aot.derive")
+			out, derr := a.Compile(base)
+			f.proxyTime = dspan.End()
+			p.hPipeline.Observe(f.proxyTime)
+			if derr == nil {
+				p.cCompileMisses.Inc()
+				var att *attest.Attestation
+				if a.AttestCompile != nil {
+					aspan := tr.StartSpan(p.cfg.Node, "attest.compile")
+					sealed, aerr := a.AttestCompile(ctx, l.Arch, l.Class, base, out)
+					p.hAttest.Observe(aspan.End())
+					if aerr != nil {
+						p.cAttestFailures.Inc()
+						p.flightError(f, fmt.Errorf("proxy: attesting compiled %s: %w", l.Class, aerr))
+						return
+					}
+					att = sealed
+					p.cAttested.Inc()
+				}
+				if p.cfg.CacheEnabled {
+					p.storeMem(key, out, att, false)
+					p.diskCachePut(key, out, att)
+				}
+				if p.cfg.OnTransformed != nil {
+					p.cfg.OnTransformed(l.Arch, l.Class, out, att)
+				}
+				f.data, f.att = out, att
+				return
+			}
+			// A base artifact the compiler cannot consume degrades to the
+			// full path below; the origin fetch re-derives from scratch.
+			log.Printf("proxy: aot: deriving %s from cached %s artifact: %v", l.Class, a.BaseArch, derr)
 		}
 	}
 
@@ -1131,6 +1251,11 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 	}
 	f.proxyTime = pipe.End()
 	p.hPipeline.Observe(f.proxyTime)
+	if a := p.cfg.AOT; a != nil && l.Arch == a.Arch && !rejected {
+		// Full pipeline run for the compiled architecture: the compile
+		// step ran inside it (no resident base artifact to derive from).
+		p.cCompileMisses.Inc()
+	}
 
 	// Quorum attestation: before the artifact is cached or served, the
 	// hook cross-checks the output digest against ring successors and
@@ -1151,7 +1276,7 @@ func (p *Proxy) runFlight(ctx context.Context, tr *telemetry.Trace, f *flight, k
 	}
 
 	if p.cfg.CacheEnabled {
-		p.storeMem(key, out, att)
+		p.storeMem(key, out, att, rejected)
 		p.diskCachePut(key, out, att)
 	}
 	if p.cfg.OnTransformed != nil {
@@ -1181,12 +1306,12 @@ func (p *Proxy) flightError(f *flight, err error) {
 // no TTL is configured). prefetched reports that this hit was the first
 // use of a speculatively pushed entry — the prefetch paid off; the flag
 // clears so the entry's later eviction is not miscounted as waste.
-func (p *Proxy) memGet(key string) (data []byte, att *attest.Attestation, fresh, prefetched, ok bool) {
+func (p *Proxy) memGet(key string) (data []byte, att *attest.Attestation, fresh, prefetched, rejected, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	el, ok := p.cache[key]
 	if !ok {
-		return nil, nil, false, false, false
+		return nil, nil, false, false, false, false
 	}
 	p.lru.MoveToFront(el)
 	ent := el.Value.(*cacheEntry)
@@ -1197,7 +1322,7 @@ func (p *Proxy) memGet(key string) (data []byte, att *attest.Attestation, fresh,
 		p.cPrefetchHits.Inc()
 	}
 	fresh = p.cfg.CacheTTL <= 0 || p.now().Sub(ent.storedAt) <= p.cfg.CacheTTL
-	return ent.data, ent.att, fresh, prefetched, true
+	return ent.data, ent.att, fresh, prefetched, ent.rejected, true
 }
 
 // Peek returns the fresh cached bytes for (arch, class) without touching
@@ -1222,6 +1347,27 @@ func (p *Proxy) Peek(arch, class string) (data []byte, att *attest.Attestation, 
 	return ent.data, ent.att, true
 }
 
+// peekEntry is Peek plus the rejection flag, for the AOT derive path:
+// same no-recency, fresh-only semantics, but the caller also learns
+// whether the resident bytes are a rejection replacement (which must
+// not be fed to the compiler).
+func (p *Proxy) peekEntry(arch, class string) (data []byte, rejected, ok bool) {
+	if !p.cfg.CacheEnabled {
+		return nil, false, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.cache[arch+"\x00"+class]
+	if !ok {
+		return nil, false, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if p.cfg.CacheTTL > 0 && p.now().Sub(ent.storedAt) > p.cfg.CacheTTL {
+		return nil, false, false
+	}
+	return ent.data, ent.rejected, true
+}
+
 // touchStale refreshes the timestamp on a stale entry that was just
 // served via stale-if-error, so a down origin is re-probed once per TTL
 // window per key instead of on every request (the breaker bounds the
@@ -1241,7 +1387,7 @@ func (p *Proxy) touchStale(key string) {
 // eviction. A replacement (e.g. a fresher transform after a pipeline
 // config change, or a disk/memory disagreement) overwrites the stale
 // bytes and fixes the byte accounting.
-func (p *Proxy) storeMem(key string, data []byte, att *attest.Attestation) {
+func (p *Proxy) storeMem(key string, data []byte, att *attest.Attestation, rejected bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.cfg.CacheBudget > 0 && len(data) > p.cfg.CacheBudget {
@@ -1262,9 +1408,10 @@ func (p *Proxy) storeMem(key string, data []byte, att *attest.Attestation) {
 		ent.data = data
 		ent.att = att
 		ent.storedAt = p.now()
+		ent.rejected = rejected
 		p.lru.MoveToFront(el)
 	} else {
-		p.cache[key] = p.lru.PushFront(&cacheEntry{key: key, data: data, att: att, storedAt: p.now()})
+		p.cache[key] = p.lru.PushFront(&cacheEntry{key: key, data: data, att: att, storedAt: p.now(), rejected: rejected})
 		p.cacheBytes += len(data)
 	}
 	for p.cfg.CacheBudget > 0 && p.cacheBytes > p.cfg.CacheBudget {
@@ -1338,6 +1485,29 @@ func (p *Proxy) TransformDigest(ctx context.Context, arch, class string, raw []b
 			return "", fmt.Errorf("proxy: building replacement for %s: %v (original error: %w)", class, rerr, perr)
 		}
 		out = repl
+	}
+	return attest.Digest(out), nil
+}
+
+// CompileDigest derives the compiled artifact from already-transformed
+// base-architecture bytes and returns its digest — the compile-mode
+// variant vote of quorum attestation. The dispatching owner supplies
+// the base artifact it derived from; this node answers with the digest
+// of what its own compiler produces from the same input, so a corrupt
+// compiler (or memory) on either side shows up as divergence exactly
+// like a corrupt pipeline does on the transform route.
+func (p *Proxy) CompileDigest(ctx context.Context, arch, class string, base []byte) (string, error) {
+	a := p.cfg.AOT
+	if a == nil || a.Compile == nil {
+		return "", fmt.Errorf("proxy: no AOT compiler configured")
+	}
+	if arch != a.Arch {
+		return "", fmt.Errorf("proxy: AOT arch %q cannot vote for %q", a.Arch, arch)
+	}
+	_ = ctx
+	out, err := a.Compile(base)
+	if err != nil {
+		return "", fmt.Errorf("proxy: deriving %s: %w", class, err)
 	}
 	return attest.Digest(out), nil
 }

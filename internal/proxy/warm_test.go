@@ -47,8 +47,8 @@ func TestWarmDisabledCache(t *testing.T) {
 func TestPrefetchInsertsColdAndNeverEvicts(t *testing.T) {
 	p := lruProxy(300)
 	// Two resident entries a client actually asked for.
-	p.storeMem("x86\x00app/A", bytes.Repeat([]byte{'a'}, 100), nil)
-	p.storeMem("x86\x00app/B", bytes.Repeat([]byte{'b'}, 100), nil)
+	p.storeMem("x86\x00app/A", bytes.Repeat([]byte{'a'}, 100), nil, false)
+	p.storeMem("x86\x00app/B", bytes.Repeat([]byte{'b'}, 100), nil, false)
 	// Prefetch fits in the remaining 100 bytes: inserted at the cold end.
 	if n := p.Warm([]CacheEntry{warmEntry("app/P1", 100, ReasonPrefetch)}); n != 1 {
 		t.Fatalf("fitting prefetch not stored")
@@ -67,7 +67,7 @@ func TestPrefetchInsertsColdAndNeverEvicts(t *testing.T) {
 	}
 	// A real store under pressure evicts the unused prefetched entry
 	// first (it sits at the cold end) and counts its bytes as waste.
-	p.storeMem("x86\x00app/C", bytes.Repeat([]byte{'c'}, 100), nil)
+	p.storeMem("x86\x00app/C", bytes.Repeat([]byte{'c'}, 100), nil, false)
 	if _, _, ok := p.Peek("x86", "app/P1"); ok {
 		t.Error("unused prefetched entry survived a real store under pressure")
 	}
@@ -88,7 +88,7 @@ func TestPrefetchHitClearsLedgerAndPromotes(t *testing.T) {
 	if p.prefetchResident != 100 {
 		t.Fatalf("prefetchResident = %d, want 100", p.prefetchResident)
 	}
-	data, _, fresh, prefetched, ok := p.memGet("x86\x00app/P")
+	data, _, fresh, prefetched, _, ok := p.memGet("x86\x00app/P")
 	if !ok || !fresh || !prefetched || len(data) != 100 {
 		t.Fatalf("memGet = ok=%v fresh=%v prefetched=%v", ok, fresh, prefetched)
 	}
@@ -99,11 +99,11 @@ func TestPrefetchHitClearsLedgerAndPromotes(t *testing.T) {
 		t.Errorf("prefetchResident = %d after hit, want 0", p.prefetchResident)
 	}
 	// Second access is an ordinary hit, and later eviction is not waste.
-	if _, _, _, again, _ := p.memGet("x86\x00app/P"); again {
+	if _, _, _, again, _, _ := p.memGet("x86\x00app/P"); again {
 		t.Error("second hit still flagged prefetched")
 	}
-	p.storeMem("x86\x00app/A", bytes.Repeat([]byte{'a'}, 150), nil)
-	p.storeMem("x86\x00app/B", bytes.Repeat([]byte{'b'}, 150), nil) // evicts app/P
+	p.storeMem("x86\x00app/A", bytes.Repeat([]byte{'a'}, 150), nil, false)
+	p.storeMem("x86\x00app/B", bytes.Repeat([]byte{'b'}, 150), nil, false) // evicts app/P
 	if got := p.cPrefetchWasteBytes.Load(); got != 0 {
 		t.Errorf("used prefetch counted as waste: %d bytes", got)
 	}
@@ -111,7 +111,7 @@ func TestPrefetchHitClearsLedgerAndPromotes(t *testing.T) {
 
 func TestPrefetchSkipsAlreadyCached(t *testing.T) {
 	p := lruProxy(0)
-	p.storeMem("x86\x00app/A", []byte("resident"), nil)
+	p.storeMem("x86\x00app/A", []byte("resident"), nil, false)
 	if n := p.Warm([]CacheEntry{warmEntry("app/A", 100, ReasonPrefetch)}); n != 0 {
 		t.Fatal("prefetch overwrote a resident entry")
 	}
@@ -148,8 +148,8 @@ func TestPrefetchNeverEvictsHotterKeysProperty(t *testing.T) {
 				class := fmt.Sprintf("app/R%02d", rng.Intn(20))
 				size := 50 + rng.Intn(100)
 				data := bytes.Repeat([]byte{'r'}, size)
-				real.storeMem("x86\x00"+class, data, nil)
-				mixed.storeMem("x86\x00"+class, data, nil)
+				real.storeMem("x86\x00"+class, data, nil, false)
+				mixed.storeMem("x86\x00"+class, data, nil, false)
 				realKeys[class] = true
 			case 1: // real hit (recency touch)
 				class := fmt.Sprintf("app/R%02d", rng.Intn(20))

@@ -53,6 +53,9 @@ func (s *Signer) digest(cf *classfile.ClassFile) ([]byte, error) {
 			view.Attributes = append(view.Attributes, a)
 		}
 	}
+	// The view's attribute list no longer matches the parsed bytes, so
+	// the zero-copy encoder must not splice the original attribute range.
+	view.MarkAttrsDirty()
 	data, err := view.Encode()
 	if err != nil {
 		return nil, err

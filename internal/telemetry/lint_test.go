@@ -108,6 +108,177 @@ func lintFile(t *testing.T, path string) []string {
 	return out
 }
 
+// TestClassfileAliasLint is the zero-copy aliasing check: since the
+// lazy codec made Attribute.Info and Code.Bytecode views into the
+// parsed input buffer (released to a sync.Pool by ClassFile.Release),
+// retaining one of those slices in anything that outlives the pipeline
+// pass — a composite literal, a struct field, a map entry — is a
+// use-after-release hazard. The rule flags exactly those retention
+// sites in every non-test file outside internal/classfile that imports
+// the classfile package; consuming uses (call arguments, locals,
+// indexing) stay legal. A deliberate copy-free retention is marked
+// with a `classfile:allow-alias` comment on the offending line, which
+// is the reviewer's cue to check that the bytes provably outlive the
+// retainer or were copied upstream.
+func TestClassfileAliasLint(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violations []string
+	for _, dir := range []string{"internal", "cmd"} {
+		err = filepath.Walk(filepath.Join(root, dir), func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() {
+				if info.Name() == "classfile" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			violations = append(violations, lintAliases(t, path)...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(violations) > 0 {
+		t.Fatalf("classfile-alias-lint: Attribute.Info / Code.Bytecode are views into a pooled buffer (ClassFile.Release); copy before retaining, or annotate `classfile:allow-alias`\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}
+
+// aliasFields are the classfile slice fields that may alias the pooled
+// parse buffer.
+var aliasFields = map[string]bool{"Info": true, "Bytecode": true}
+
+// aliasSource unwraps parens and re-slicings; it reports whether expr
+// bottoms out at a bare X.Info / X.Bytecode selector (the alias itself,
+// as opposed to a value computed from it).
+func aliasSource(expr ast.Expr) (string, bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if aliasFields[e.Sel.Name] {
+				return e.Sel.Name, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+func lintAliases(t *testing.T, path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if importAlias(f, "dvm/internal/classfile") == "" {
+		return nil
+	}
+	allowed := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "classfile:allow-alias") {
+				allowed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	var out []string
+	flag := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		if allowed[p.Line] {
+			return
+		}
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if name, ok := aliasSource(val); ok {
+					flag(val.Pos(), "."+name+" retained in composite literal")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				name, ok := aliasSource(rhs)
+				if !ok {
+					continue
+				}
+				if len(node.Lhs) != len(node.Rhs) {
+					continue
+				}
+				switch node.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					flag(rhs.Pos(), "."+name+" retained in struct field")
+				case *ast.IndexExpr:
+					flag(rhs.Pos(), "."+name+" retained in map/slice element")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// TestClassfileAliasLintDetects proves the rule has teeth: each
+// retention shape is flagged on a synthetic file, consuming uses are
+// not, and the allow-alias escape silences a line.
+func TestClassfileAliasLintDetects(t *testing.T) {
+	src := `package scratch
+
+import "dvm/internal/classfile"
+
+type keep struct{ b []byte }
+
+func bad(a *classfile.Attribute, c *classfile.Code, m map[string][]byte) []keep {
+	k := keep{b: a.Info}            // violation: composite literal
+	k.b = c.Bytecode[2:]            // violation: struct field (re-slice)
+	m["x"] = a.Info                 // violation: map element
+	m["y"] = c.Bytecode             // classfile:allow-alias
+	local := a.Info                 // ok: local
+	_ = len(c.Bytecode)             // ok: consumed
+	copied := append([]byte(nil), a.Info...) // ok: copy
+	return []keep{{b: copied}, {b: local[:0]}, k}
+}
+`
+	path := filepath.Join(t.TempDir(), "aliases.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := lintAliases(t, path)
+	if len(got) != 3 {
+		t.Fatalf("lintAliases flagged %d sites, want 3:\n  %s", len(got), strings.Join(got, "\n  "))
+	}
+	for _, want := range []string{"composite literal", "struct field", "map/slice element"} {
+		found := false
+		for _, v := range got {
+			if strings.Contains(v, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentions %q in %v", want, got)
+		}
+	}
+}
+
 func importAlias(f *ast.File, pkg string) string {
 	for _, imp := range f.Imports {
 		if strings.Trim(imp.Path.Value, `"`) != pkg {

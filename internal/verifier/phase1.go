@@ -19,16 +19,21 @@ func phase1(cf *classfile.ClassFile, census *Census) error {
 	}
 	pool := cf.Pool
 
-	// Pool-wide cross-reference validation.
+	// Pool-wide cross-reference validation. The switch is driven by Tag
+	// (which never decodes) and entries are only resolved for tags whose
+	// checks need the referenced strings: names and descriptors get
+	// materialized because they are validated, but the payloads of string
+	// literals stay undecoded byte ranges in the lazy codec.
 	for i := 1; i < pool.Size(); i++ {
 		idx := uint16(i)
-		if !pool.Valid(idx) {
+		tag := pool.Tag(idx)
+		if tag == 0 {
 			continue // second slot of long/double
 		}
-		e, _ := pool.Entry(idx)
 		census.Phase1++
-		switch e.Tag {
+		switch tag {
 		case classfile.TagClass:
+			e, _ := pool.Entry(idx)
 			n, err := pool.Utf8(e.Ref1)
 			if err != nil {
 				return fail("Class constant %d: %v", i, err)
@@ -37,10 +42,15 @@ func phase1(cf *classfile.ClassFile, census *Census) error {
 				return fail("Class constant %d: malformed name %q", i, n)
 			}
 		case classfile.TagString:
-			if _, err := pool.Utf8(e.Ref1); err != nil {
-				return fail("String constant %d: %v", i, err)
+			// A tag check suffices: the Utf8 payload itself was validated
+			// at the parse gate, so decoding the literal here would only
+			// defeat the lazy codec.
+			e, _ := pool.Entry(idx)
+			if pool.Tag(e.Ref1) != classfile.TagUtf8 {
+				return fail("String constant %d: string index %d is not a Utf8", i, e.Ref1)
 			}
 		case classfile.TagNameAndType:
+			e, _ := pool.Entry(idx)
 			n, err := pool.Utf8(e.Ref1)
 			if err != nil {
 				return fail("NameAndType %d: %v", i, err)
@@ -56,6 +66,7 @@ func phase1(cf *classfile.ClassFile, census *Census) error {
 				return fail("NameAndType %d: %v", i, err)
 			}
 		case classfile.TagFieldref, classfile.TagMethodref, classfile.TagInterfaceMethodref:
+			e, _ := pool.Entry(idx)
 			if pool.Tag(e.Ref1) != classfile.TagClass {
 				return fail("member ref %d: class index %d is not a Class", i, e.Ref1)
 			}

@@ -71,6 +71,9 @@ func VerifyWith(cf *classfile.ClassFile, opts Options) (*Result, error) {
 			verifyMethod(cf, m, &results[i])
 		}
 	} else {
+		// The lazy codec memoizes Utf8 decoding by writing into the pool;
+		// materialize everything before handing it to concurrent readers.
+		cf.Pool.Materialize()
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
